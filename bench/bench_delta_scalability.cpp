@@ -1,0 +1,102 @@
+// Delta-tree scalability ablation — the experiment §6.5/§8 calls for:
+// "it seems to be a problem with the scalability of our Delta tree data
+// structures ... threads contending for the same branches of the tree."
+//
+// Two measurements:
+//   1. Raw backend contention: T threads concurrently insert disjoint
+//      key ranges into each Delta backend (concurrent skip list vs
+//      lock-striped tree with varying stripe counts), then the
+//      coordinator drains.  On a multicore host the skip list's CAS
+//      retries and the single-stripe tree's lock convoy show up here;
+//      stripes spread the contention.
+//   2. End-to-end: the Dijkstra program (whose Estimate tuples are the
+//      §6.5 bottleneck) under the default and striped backends.
+//
+// Usage: bench_delta_scalability [keys_per_thread] [dijkstra_vertices]
+#include <cstdio>
+#include <thread>
+
+#include "apps/dijkstra/dijkstra.h"
+#include "bench/harness.h"
+#include "core/delta_tree.h"
+#include "core/striped_delta_tree.h"
+
+namespace {
+
+double contention_run(jstar::DeltaTree& tree, int threads,
+                      std::int64_t keys_per_thread) {
+  using namespace jstar;
+  WallTimer timer;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&tree, t, keys_per_thread] {
+      for (std::int64_t i = 0; i < keys_per_thread; ++i) {
+        DeltaKey k;
+        // Interleaved ranges: adjacent keys come from different threads,
+        // maximising contention on neighbouring tree branches.
+        k.push_back(i * 16 + t);
+        k.push_back(i % 7);
+        tree.get_or_insert(k);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  DeltaKey key;
+  std::unique_ptr<BatchNode> node;
+  while (tree.pop_min(key, node)) {
+  }
+  return timer.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace jstar;
+  using namespace jstar::bench;
+
+  const std::int64_t keys = arg_or(argc, argv, 1, 100000);
+  const auto dij_v = static_cast<std::int32_t>(arg_or(argc, argv, 2, 60000));
+
+  print_header("Delta-tree scalability (the §6.5 bottleneck)");
+
+  std::printf("\n-- backend insert+drain, %lld keys/thread --\n",
+              static_cast<long long>(keys));
+  std::printf("%-22s", "threads:");
+  for (const int t : {1, 2, 4, 8}) std::printf(" %8d", t);
+  std::printf("\n");
+  auto row = [&](const char* label, auto make_tree) {
+    std::printf("%-22s", label);
+    for (const int threads : {1, 2, 4, 8}) {
+      auto tree = make_tree();
+      std::printf(" %7.3fs", contention_run(*tree, threads, keys));
+    }
+    std::printf("\n");
+  };
+  row("concurrent skip list",
+      [] { return std::make_unique<SkipDeltaTree>(); });
+  row("striped tree (1)",
+      [] { return std::make_unique<StripedDeltaTree>(1); });
+  row("striped tree (8)",
+      [] { return std::make_unique<StripedDeltaTree>(8); });
+  row("striped tree (64)",
+      [] { return std::make_unique<StripedDeltaTree>(64); });
+
+  std::printf("\n-- Dijkstra end-to-end (%d vertices), threads=4 --\n",
+              dij_v);
+  const auto g = apps::dijkstra::random_graph(dij_v, dij_v * 2, 42);
+  for (const int stripes : {0, 1, 8, 64}) {
+    EngineOptions opts;
+    opts.threads = 4;
+    opts.delta_stripes = stripes;
+    const Timing t = measure([&] {
+      apps::dijkstra::shortest_paths_jstar(g, opts);
+    });
+    if (stripes == 0) {
+      print_row("  delta = concurrent skip list", t.mean);
+    } else {
+      print_row("  delta = striped tree (" + std::to_string(stripes) + ")",
+                t.mean);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Scale-out ablation: the sharded (distributed) engine on a partitioned
+// BFS reachability workload — the single-process analogue of the cluster
+// experiments the paper points to ("implementations of a few example
+// Starlog programs on cluster computers [7]").
+//
+// Reports, per shard count: wall time, supersteps, cross-shard messages
+// and total local batches.  The interesting *shape* is the communication
+// volume growing with shard count while per-shard work shrinks — the
+// partition/communicate trade-off of §2 stage 3.  (On this 1-core host
+// wall times stay flat; see EXPERIMENTS.md.)
+//
+// Usage: bench_dist_sharded [vertices] [edges]
+#include <cstdio>
+#include <set>
+
+#include "bench/harness.h"
+#include "dist/sharded.h"
+#include "util/rng.h"
+
+namespace {
+
+struct Visit {
+  std::int64_t vertex;
+  auto operator<=>(const Visit&) const = default;
+};
+
+using Graph = std::vector<std::vector<std::int64_t>>;
+
+Graph random_graph(std::int64_t vertices, std::int64_t edges,
+                   std::uint64_t seed) {
+  using jstar::SplitMix64;
+  Graph g(static_cast<std::size_t>(vertices));
+  SplitMix64 rng(seed);
+  // A spanning chain plus random extra edges keeps most vertices reachable.
+  for (std::int64_t v = 1; v < vertices; ++v) {
+    g[static_cast<std::size_t>(v - 1)].push_back(v);
+  }
+  for (std::int64_t e = 0; e < edges; ++e) {
+    const auto from = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(vertices)));
+    const auto to = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(vertices)));
+    g[static_cast<std::size_t>(from)].push_back(to);
+  }
+  return g;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace jstar;
+  using namespace jstar::bench;
+  using namespace jstar::dist;
+
+  const std::int64_t vertices = arg_or(argc, argv, 1, 200000);
+  const std::int64_t edges = arg_or(argc, argv, 2, 400000);
+  const Graph g = random_graph(vertices, edges, 99);
+
+  print_header("scale-out: sharded BFS reachability (cluster analogue of "
+               "[7])");
+  std::printf("%lld vertices, %lld edges (+ chain)\n\n",
+              static_cast<long long>(vertices),
+              static_cast<long long>(edges));
+  std::printf("%-8s %10s %12s %14s %14s %10s\n", "shards", "time",
+              "supersteps", "messages", "local batches", "reached");
+
+  for (const int shards : {1, 2, 4, 8}) {
+    EngineOptions opts;
+    opts.sequential = true;  // per-shard engines; parallelism across shards
+
+    std::vector<Table<Visit>*> tables(static_cast<std::size_t>(shards));
+    ShardedEngine<Visit> cluster(
+        shards, opts,
+        [&g, &tables, shards](int shard, Engine& eng, Sender<Visit>& sender) {
+          auto& visits =
+              eng.table(TableDecl<Visit>("Visit")
+                            .orderby_lit("V")
+                            .orderby_seq("vertex", &Visit::vertex)
+                            .hash([](const Visit& v) {
+                              return hash_fields(v.vertex);
+                            }));
+          tables[static_cast<std::size_t>(shard)] = &visits;
+          eng.rule(visits, "expand",
+                   [&g, &sender, shards](RuleCtx&, const Visit& v) {
+                     for (const std::int64_t to :
+                          g[static_cast<std::size_t>(v.vertex)]) {
+                       sender.send(partition_of(to, shards), Visit{to});
+                     }
+                   });
+          return [&visits, &eng](const Visit& v) { eng.put(visits, v); };
+        });
+
+    cluster.seed(partition_of(0, shards), Visit{0});
+    WallTimer timer;
+    const ShardedRunReport report = cluster.run();
+    const double seconds = timer.seconds();
+
+    std::int64_t reached = 0;
+    for (auto* t : tables) reached += static_cast<std::int64_t>(t->gamma_size());
+    std::printf("%-8d %9.3f s %12d %14lld %14lld %10lld\n", shards, seconds,
+                report.supersteps, static_cast<long long>(report.messages),
+                static_cast<long long>(report.local_batches),
+                static_cast<long long>(reached));
+  }
+  return 0;
+}

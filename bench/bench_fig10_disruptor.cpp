@@ -1,0 +1,52 @@
+// Figure 10: execution times for the Disruptor version of PvWatts,
+// unsorted (month-major) vs sorted (round-robin day/time) input, versus
+// the sequential PvWatts JStar program.
+//
+// Paper (i7-2600, 4 cores + HT): with 8 threads the Disruptor version has
+// 3.31x speedup over sequential JStar on the default (unsorted) input and
+// 2.52x on the sorted input — sorting makes *both* versions faster but
+// narrows the parallel gain because the sequential baseline improves too.
+//
+// Usage: bench_fig10_disruptor [records] [max_consumers]
+#include "apps/pvwatts/pvwatts.h"
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace jstar;
+  using namespace jstar::bench;
+  using namespace jstar::apps::pvwatts;
+
+  const std::int64_t records = arg_or(argc, argv, 1, 12 * 30 * 24 * 30);
+  const int max_consumers = static_cast<int>(arg_or(argc, argv, 2, 12));
+
+  print_header("Fig 10: Disruptor PvWatts vs sequential JStar, "
+               "unsorted/sorted input (paper: 3.31x / 2.52x at 8 threads)");
+
+  struct Input {
+    const char* name;
+    csv::Buffer buf;
+  };
+  Input inputs[] = {
+      {"unsorted (month-major)",
+       generate_csv(records, InputOrder::MonthMajor)},
+      {"sorted (round-robin by day/time)",
+       generate_csv(records, InputOrder::RoundRobin)},
+  };
+
+  for (Input& in : inputs) {
+    JStarConfig seq;
+    seq.engine.sequential = true;
+    const Timing t_seq = measure([&] { run_jstar(in.buf, seq); });
+    std::printf("\n%s — sequential JStar: %.3f s\n", in.name, t_seq.mean);
+    for (int consumers = 1; consumers <= max_consumers;
+         consumers = consumers < 8 ? consumers * 2 : consumers + 4) {
+      DisruptorConfig cfg;
+      cfg.consumers = consumers;
+      const Timing t = measure([&] { run_disruptor(in.buf, cfg); });
+      std::printf("  disruptor, %2d consumers: %8.3f s   speedup over "
+                  "sequential %5.2fx\n",
+                  consumers, t.mean, t_seq.mean / t.mean);
+    }
+  }
+  return 0;
+}

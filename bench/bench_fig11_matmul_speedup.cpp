@@ -1,0 +1,45 @@
+// Figure 11: speedup of the naive MatrixMult program with varying
+// fork/join pool size.
+//
+// Paper (quad Xeon E7-8837, 32 cores): embarrassingly parallel, high
+// compute-to-communication ratio (one Delta tuple per output row), so
+// "good speedup up to 20 cores".  On a 1-core host the curve is flat.
+//
+// Usage: bench_fig11_matmul_speedup [n] [max_threads]
+#include "apps/matmul/matmul.h"
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace jstar;
+  using namespace jstar::bench;
+  using namespace jstar::apps::matmul;
+
+  const auto n = static_cast<int>(arg_or(argc, argv, 1, 256));
+  const int max_threads = static_cast<int>(arg_or(argc, argv, 2, 16));
+
+  print_header("Fig 11: naive MatrixMult speedup vs pool size (paper: good "
+               "speedup to 20 cores)");
+  const Matrix a = Matrix::random(n, n, 1);
+  const Matrix b = Matrix::random(n, n, 2);
+
+  EngineOptions seq;
+  seq.sequential = true;
+  const Timing t_seq = measure([&] {
+    multiply_jstar(a, b, Kernel::Primitive, seq);
+  });
+  std::printf("%dx%d, sequential build: %.3f s\n", n, n, t_seq.mean);
+
+  double t1 = 0;
+  for (int threads = 1; threads <= max_threads; threads *= 2) {
+    EngineOptions opts;
+    opts.threads = threads;
+    const Timing t = measure([&] {
+      multiply_jstar(a, b, Kernel::Primitive, opts);
+    });
+    if (threads == 1) t1 = t.mean;
+    std::printf("  threads=%-2d  %8.3f s   relative %5.2fx   absolute "
+                "%5.2fx\n",
+                threads, t.mean, t1 / t.mean, t_seq.mean / t.mean);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 12: speedup of the Dijkstra ShortestPath program with varying
+// fork/join pool size.
+//
+// Paper (dual Xeon W5590, 8 cores): mediocre speedup, max 4.0x at 8 cores
+// — millions of Estimate tuples contend on the Delta tree.  The timed
+// program includes the 24-task random graph generation (§6.5's fix for
+// the generation bottleneck) plus the shortest-path phase, with
+// -noDelta on the static tables and -noGamma on Estimate.
+//
+// Usage: bench_fig12_dijkstra_speedup [vertices] [edges] [max_threads]
+#include "apps/dijkstra/dijkstra.h"
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace jstar;
+  using namespace jstar::bench;
+  using namespace jstar::apps::dijkstra;
+
+  const auto vertices = static_cast<std::int32_t>(arg_or(argc, argv, 1, 60000));
+  const std::int64_t edges = arg_or(argc, argv, 2, vertices * 2LL);
+  const int max_threads = static_cast<int>(arg_or(argc, argv, 3, 8));
+
+  print_header("Fig 12: Dijkstra speedup vs pool size (paper: mediocre, "
+               "max 4.0x at 8 cores)");
+  std::printf("%d vertices, %lld edges; timed = 24-task generation + "
+              "shortest paths\n", vertices, static_cast<long long>(edges));
+
+  auto run = [&](const EngineOptions& opts) {
+    const Graph g = random_graph_jstar(vertices, edges, 42, 24, opts);
+    shortest_paths_jstar(g, opts);
+  };
+
+  EngineOptions seq;
+  seq.sequential = true;
+  const Timing t_seq = measure([&] { run(seq); });
+  std::printf("sequential build: %.3f s\n", t_seq.mean);
+
+  double t1 = 0;
+  for (int threads = 1; threads <= max_threads; threads *= 2) {
+    EngineOptions opts;
+    opts.threads = threads;
+    const Timing t = measure([&] { run(opts); });
+    if (threads == 1) t1 = t.mean;
+    std::printf("  threads=%-2d  %8.3f s   relative %5.2fx   absolute "
+                "%5.2fx\n",
+                threads, t.mean, t1 / t.mean, t_seq.mean / t.mean);
+  }
+  return 0;
+}

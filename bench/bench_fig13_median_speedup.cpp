@@ -1,0 +1,42 @@
+// Figure 13: speedup of the Median-Finding program with varying fork/join
+// pool size.
+//
+// Paper (quad Xeon E7-8837, 32 cores): good speedup, 8.6x up to 12 cores
+// and a gradual climb to 14x at 32 cores, enabled by the two-copy native
+// array Gamma structure and -noDelta Data.
+//
+// Usage: bench_fig13_median_speedup [n] [max_threads]
+#include "apps/median/median.h"
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace jstar;
+  using namespace jstar::bench;
+  using namespace jstar::apps::median;
+
+  const std::int64_t n = arg_or(argc, argv, 1, 4000000);
+  const int max_threads = static_cast<int>(arg_or(argc, argv, 2, 16));
+
+  print_header("Fig 13: Median speedup vs pool size (paper: 8.6x @ 12, "
+               "14x @ 32 cores)");
+  const auto values = random_values(n, 7);
+  std::printf("%lld doubles\n", static_cast<long long>(n));
+
+  JStarConfig seq;
+  seq.engine.sequential = true;
+  const Timing t_seq = measure([&] { median_jstar(values, seq); });
+  std::printf("sequential build: %.3f s\n", t_seq.mean);
+
+  double t1 = 0;
+  for (int threads = 1; threads <= max_threads; threads *= 2) {
+    JStarConfig cfg;
+    cfg.engine.threads = threads;
+    cfg.regions = threads * 2;
+    const Timing t = measure([&] { median_jstar(values, cfg); });
+    if (threads == 1) t1 = t.mean;
+    std::printf("  threads=%-2d  %8.3f s   relative %5.2fx   absolute "
+                "%5.2fx\n",
+                threads, t.mean, t1 / t.mean, t_seq.mean / t.mean);
+  }
+  return 0;
+}

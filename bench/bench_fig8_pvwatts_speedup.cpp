@@ -1,0 +1,54 @@
+// Figure 8: relative speedup of the PvWatts program with varying
+// fork/join pool size, with alternative data structures for the PvWatts
+// Gamma table.
+//
+// Paper (dual-CPU Xeon W5590, 8 cores): relative speedup reaches ~4x at 8
+// threads with the custom array-of-hashsets structure; absolute speedup is
+// ~35% lower because the sequential structures (TreeMap) are faster than
+// the concurrent ones (ConcurrentSkipListMap).
+//
+// Rows here: per Gamma structure, per thread count — absolute time,
+// relative speedup (vs the 1-thread parallel build) and absolute speedup
+// (vs the sequential build), exactly the two measures §6.2 defines.
+// On this 1-core container the curves are expected to be flat (~1x).
+//
+// Usage: bench_fig8_pvwatts_speedup [records] [max_threads]
+#include "apps/pvwatts/pvwatts.h"
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace jstar;
+  using namespace jstar::bench;
+  using namespace jstar::apps::pvwatts;
+
+  const std::int64_t records = arg_or(argc, argv, 1, 12 * 30 * 24 * 30);
+  const int max_threads = static_cast<int>(arg_or(argc, argv, 2, 8));
+  const auto input = generate_csv(records, InputOrder::MonthMajor);
+
+  print_header("Fig 8: PvWatts speedup vs fork/join pool size x Gamma "
+               "structure (paper: ~4x rel at 8 threads)");
+
+  for (GammaKind kind :
+       {GammaKind::Default, GammaKind::Hash, GammaKind::MonthArray}) {
+    // Sequential reference for absolute speedup.
+    JStarConfig seq;
+    seq.engine.sequential = true;
+    seq.gamma = kind;
+    const Timing t_seq = measure([&] { run_jstar(input, seq); });
+
+    std::printf("\nGamma structure: %s (sequential build: %.3f s)\n",
+                to_string(kind), t_seq.mean);
+    double t1 = 0;
+    for (int threads = 1; threads <= max_threads; threads *= 2) {
+      JStarConfig cfg;
+      cfg.engine.threads = threads;
+      cfg.gamma = kind;
+      const Timing t = measure([&] { run_jstar(input, cfg); });
+      if (threads == 1) t1 = t.mean;
+      std::printf("  threads=%-2d  %8.3f s   relative %5.2fx   absolute "
+                  "%5.2fx\n",
+                  threads, t.mean, t1 / t.mean, t_seq.mean / t.mean);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// §6.3 phase breakdown of the optimised PvWatts program (1 thread):
+//
+// Paper percentages:   16.9% reading/parsing the input file,
+//                      63.7% creating PvWatts tuples + Gamma insert,
+//                       3.8% SumMonth tuples into the Delta tree,
+//                      15.6% running the Statistics reducer.
+// From these the paper derives the Amdahl bound 4.2x for parallelising
+// everything but the reader (1 / (0.169 + (1-0.169)/12)).
+//
+// This bench reproduces the instrumented single-thread run, prints the
+// measured percentages and recomputes the Amdahl bound from them.
+//
+// Usage: bench_phase_breakdown [records]
+#include "apps/pvwatts/pvwatts.h"
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace jstar;
+  using namespace jstar::bench;
+  using namespace jstar::apps::pvwatts;
+
+  const std::int64_t records = arg_or(argc, argv, 1, 12 * 30 * 24 * 30);
+  const auto input = generate_csv(records, InputOrder::MonthMajor);
+
+  print_header("§6.3 phase breakdown of optimised PvWatts, 1 thread "
+               "(paper: 16.9/63.7/3.8/15.6 %)");
+
+  JStarConfig cfg;
+  cfg.engine.sequential = true;  // single-threaded, as in the paper's run
+  const Result r = run_jstar_phased(input, cfg);
+
+  const auto& p = r.phases;
+  const double total =
+      p.read_parse + p.gamma_insert + p.delta_insert + p.reduce;
+  std::printf("  %-42s %8.3f s  %5.1f %%   (paper: 16.9%%)\n",
+              "reading and parsing the input", p.read_parse,
+              100 * p.read_parse / total);
+  std::printf("  %-42s %8.3f s  %5.1f %%   (paper: 63.7%%)\n",
+              "creating PvWatts tuples + Gamma insert", p.gamma_insert,
+              100 * p.gamma_insert / total);
+  std::printf("  %-42s %8.3f s  %5.1f %%   (paper:  3.8%%)\n",
+              "SumMonth tuples into the Delta tree", p.delta_insert,
+              100 * p.delta_insert / total);
+  std::printf("  %-42s %8.3f s  %5.1f %%   (paper: 15.6%%)\n",
+              "Statistics reducer over each month", p.reduce,
+              100 * p.reduce / total);
+
+  const double f_serial = p.read_parse / total;
+  const double amdahl = 1.0 / (f_serial + (1.0 - f_serial) / 12.0);
+  std::printf("\n  Amdahl bound with 1 reader + 12 consumers: %.2fx "
+              "(paper: 4.2x)\n", amdahl);
+  return 0;
+}

@@ -1,0 +1,280 @@
+// Substrate microbenchmarks (google-benchmark): the building blocks whose
+// relative costs explain the paper's observations — concurrent vs
+// sequential ordered maps (the ~35% absolute-speedup gap of §6.2), Delta
+// tree inserts, fork/join dispatch overhead, Disruptor throughput, CSV
+// parse rate, the Statistics reducer and the FM prover.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <thread>
+
+#include "concurrent/skip_list_map.h"
+#include "core/delta_tree.h"
+#include "core/striped_delta_tree.h"
+#include "core/window_store.h"
+#include "csv/csv.h"
+#include "disruptor/mp_ring_buffer.h"
+#include "disruptor/ring_buffer.h"
+#include "reduce/parallel.h"
+#include "sched/fork_join_pool.h"
+#include "smt/causality.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/statistics.h"
+
+namespace {
+
+using namespace jstar;
+
+void BM_StdMapInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    std::map<std::int64_t, std::int64_t> m;
+    SplitMix64 rng(1);
+    for (int i = 0; i < 10000; ++i) {
+      m.emplace(static_cast<std::int64_t>(rng.next_below(1 << 20)), i);
+    }
+    benchmark::DoNotOptimize(m.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_StdMapInsert);
+
+// The "concurrent structures are slower sequentially" effect behind the
+// 35% relative-vs-absolute speedup gap (§6.2).
+void BM_SkipListMapInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    concurrent::SkipListMap<std::int64_t, std::int64_t> m;
+    SplitMix64 rng(1);
+    for (int i = 0; i < 10000; ++i) {
+      m.insert(static_cast<std::int64_t>(rng.next_below(1 << 20)), i);
+    }
+    benchmark::DoNotOptimize(m.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SkipListMapInsert);
+
+void BM_SkipListContains(benchmark::State& state) {
+  concurrent::SkipListMap<std::int64_t, std::int64_t> m;
+  for (std::int64_t i = 0; i < 10000; ++i) m.insert(i * 7, i);
+  SplitMix64 rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        m.contains(static_cast<std::int64_t>(rng.next_below(70000))));
+  }
+}
+BENCHMARK(BM_SkipListContains);
+
+void BM_DeltaTreeInsertPop(benchmark::State& state) {
+  const bool concurrent_tree = state.range(0) != 0;
+  for (auto _ : state) {
+    std::unique_ptr<DeltaTree> tree;
+    if (concurrent_tree) {
+      tree = std::make_unique<SkipDeltaTree>();
+    } else {
+      tree = std::make_unique<MapDeltaTree>();
+    }
+    for (std::int64_t i = 0; i < 2000; ++i) {
+      DeltaKey k;
+      k.push_back(i % 97);
+      benchmark::DoNotOptimize(&tree->get_or_insert(k));
+    }
+    DeltaKey k;
+    std::unique_ptr<BatchNode> node;
+    while (tree->pop_min(k, node)) benchmark::DoNotOptimize(node.get());
+  }
+  state.SetLabel(concurrent_tree ? "skiplist" : "treemap");
+}
+BENCHMARK(BM_DeltaTreeInsertPop)->Arg(0)->Arg(1);
+
+void BM_ForkJoinDispatch(benchmark::State& state) {
+  sched::ForkJoinPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::atomic<int> n{0};
+    pool.for_each_index(256, [&](std::int64_t) {
+      n.fetch_add(1, std::memory_order_relaxed);
+    }, 1);
+    benchmark::DoNotOptimize(n.load());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_ForkJoinDispatch)->Arg(1)->Arg(4);
+
+void BM_DisruptorSpscThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    disruptor::RingBuffer<std::int64_t> ring(
+        1024, disruptor::WaitStrategy::Yielding);
+    const int cid = ring.add_consumer();
+    constexpr std::int64_t kEvents = 100000;
+    std::thread consumer([&] {
+      std::int64_t next = 0;
+      while (next < kEvents) {
+        const std::int64_t hi = ring.wait_for(next);
+        ring.commit(cid, hi);
+        next = hi + 1;
+      }
+    });
+    std::int64_t sent = 0;
+    while (sent < kEvents) {
+      const std::int64_t n = std::min<std::int64_t>(256, kEvents - sent);
+      const std::int64_t hi = ring.claim(n);
+      for (std::int64_t i = 0; i < n; ++i) ring.slot(hi - n + 1 + i) = sent++;
+      ring.publish(hi);
+    }
+    consumer.join();
+    state.SetItemsProcessed(state.items_processed() + kEvents);
+  }
+}
+BENCHMARK(BM_DisruptorSpscThroughput);
+
+void BM_CsvParse(benchmark::State& state) {
+  std::string data;
+  for (int i = 0; i < 20000; ++i) {
+    data += std::to_string(i) + "," + std::to_string(i * 3) + "," +
+            std::to_string(i % 12 + 1) + "\n";
+  }
+  csv::Buffer buf(std::move(data));
+  for (auto _ : state) {
+    csv::RecordReader reader(buf, {0, buf.size()});
+    std::vector<csv::Slice> fields;
+    std::int64_t sum = 0;
+    while (reader.next(fields)) sum += fields[1].to_int64();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_CsvParse);
+
+void BM_StatisticsReduce(benchmark::State& state) {
+  SplitMix64 rng(3);
+  std::vector<double> xs(100000);
+  for (auto& x : xs) x = rng.next_double();
+  for (auto _ : state) {
+    Statistics s;
+    for (double x : xs) s.add(x);
+    benchmark::DoNotOptimize(s.mean());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(xs.size()));
+}
+BENCHMARK(BM_StatisticsReduce);
+
+void BM_CausalityProof(benchmark::State& state) {
+  using namespace jstar::smt;
+  for (auto _ : state) {
+    RuleSpec rule;
+    rule.name = "settle";
+    const VarId d = rule.vars.fresh("d");
+    const VarId w = rule.vars.fresh("w");
+    rule.premise.push_back(ge(LinExpr::var(w), LinExpr(1)));
+    rule.trigger_key = {LinExpr(0), LinExpr::var(d), LinExpr(0)};
+    rule.puts.push_back(
+        {"Estimate",
+         {LinExpr(0), LinExpr::var(d) + LinExpr::var(w), LinExpr(0)},
+         {}});
+    CausalityChecker checker;
+    benchmark::DoNotOptimize(checker.check(rule));
+  }
+}
+BENCHMARK(BM_CausalityProof);
+
+
+// Lock-striped Delta tree vs the skip list, uncontended single-thread
+// (contention curves live in bench_delta_scalability).
+void BM_StripedDeltaInsertPop(benchmark::State& state) {
+  const int stripes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    StripedDeltaTree tree(stripes);
+    for (std::int64_t i = 0; i < 100; ++i) {
+      DeltaKey k;
+      k.push_back(i % 10);
+      k.push_back(i);
+      tree.get_or_insert(k);
+    }
+    DeltaKey key;
+    std::unique_ptr<BatchNode> node;
+    while (tree.pop_min(key, node)) {
+    }
+  }
+  state.SetLabel("stripes=" + std::to_string(stripes));
+}
+BENCHMARK(BM_StripedDeltaInsertPop)->Arg(1)->Arg(8)->Arg(64);
+
+// Multi-producer ring, single-threaded claim+publish+consume round.
+void BM_DisruptorMpThroughput(benchmark::State& state) {
+  disruptor::MpRingBuffer<std::int64_t> ring(1024,
+                                             disruptor::WaitStrategy::BusySpin);
+  const int cid = ring.add_consumer();
+  std::int64_t produced = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 512; ++i) {
+      const std::int64_t s = ring.claim();
+      ring.slot(s) = i;
+      ring.publish(s);
+      ++produced;
+    }
+    const std::int64_t hi = ring.wait_for(produced - 1);
+    ring.commit(cid, hi);
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_DisruptorMpThroughput);
+
+// Epoch-window store: insert throughput with continuous retirement.
+void BM_EpochWindowInsert(benchmark::State& state) {
+  struct Cell {
+    std::int64_t iter, idx;
+    auto operator<=>(const Cell&) const = default;
+  };
+  struct CellHash {
+    std::size_t operator()(const Cell& c) const {
+      return hash_fields(c.iter, c.idx);
+    }
+  };
+  for (auto _ : state) {
+    EpochWindowStore<Cell, CellHash> store(
+        [](const Cell& c) { return c.iter; }, 2);
+    for (std::int64_t i = 0; i < 10000; ++i) {
+      store.insert({i / 100, i % 100});
+    }
+    benchmark::DoNotOptimize(store.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EpochWindowInsert);
+
+// Parallel tree-reduce dispatch overhead at small n (the fixed cost of
+// the §5.2 strategy).
+void BM_ParallelReduceSmall(benchmark::State& state) {
+  sched::ForkJoinPool pool(4);
+  std::vector<double> xs(1000, 1.5);
+  for (auto _ : state) {
+    const auto s = reduce::parallel_reduce_over<Statistics>(
+        &pool, xs, [](Statistics& acc, double x) { acc.add(x); });
+    benchmark::DoNotOptimize(s.mean());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ParallelReduceSmall);
+
+// JSON round-trip of a run-log-sized document.
+void BM_JsonRoundTrip(benchmark::State& state) {
+  json::Array tables;
+  for (int i = 0; i < 20; ++i) {
+    tables.push_back(json::Object{{"name", "T" + std::to_string(i)},
+                                  {"puts", 123456},
+                                  {"fires", 789},
+                                  {"orderby", "(Int, seq t)"}});
+  }
+  const json::Value doc = json::Object{{"program", "bench"},
+                                       {"tables", std::move(tables)}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(json::parse(json::write(doc)));
+  }
+}
+BENCHMARK(BM_JsonRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

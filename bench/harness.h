@@ -1,0 +1,72 @@
+// Shared mini-harness for the paper-figure benchmarks.
+//
+// Each bench binary regenerates one table or figure of the paper's
+// evaluation (§6): it runs the relevant workload under the swept
+// parameters and prints rows in the same shape the paper reports
+// (absolute seconds plus relative/absolute speedup).  Following §6.2's
+// methodology, every configuration is run `reps` times after a warmup run
+// and the mean of the remaining times is reported.
+//
+// NOTE on this machine: the container exposes a single CPU core, so
+// relative speedup over threads degenerates to ~1x; the sweeps still
+// exercise every code path and the rows keep the paper's format (see
+// EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace jstar::bench {
+
+struct Timing {
+  double mean = 0;
+  double min = 0;
+};
+
+/// Runs fn `reps` times after `warmup` unrecorded runs.
+inline Timing measure(const std::function<void()>& fn, int reps = 2,
+                      int warmup = 1) {
+  for (int i = 0; i < warmup; ++i) fn();
+  Timing t;
+  t.min = 1e100;
+  for (int i = 0; i < reps; ++i) {
+    WallTimer timer;
+    fn();
+    const double s = timer.seconds();
+    t.mean += s;
+    if (s < t.min) t.min = s;
+  }
+  t.mean /= reps;
+  return t;
+}
+
+/// argv helper: returns argv[i] as int64 or `def`.  Non-numeric arguments
+/// (stray flags) fall back to the default instead of silently becoming 0.
+inline std::int64_t arg_or(int argc, char** argv, int i, std::int64_t def) {
+  if (argc <= i) return def;
+  char* end = nullptr;
+  const long long v = std::strtoll(argv[i], &end, 10);
+  if (end == argv[i] || (end != nullptr && *end != '\0')) return def;
+  return static_cast<std::int64_t>(v);
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("=== %s ===\n", title.c_str());
+}
+
+inline void print_row(const std::string& label, double seconds,
+                      double speedup = 0.0) {
+  if (speedup > 0) {
+    std::printf("%-48s %10.3f s   speedup %5.2fx\n", label.c_str(), seconds,
+                speedup);
+  } else {
+    std::printf("%-48s %10.3f s\n", label.c_str(), seconds);
+  }
+}
+
+}  // namespace jstar::bench

@@ -1,0 +1,59 @@
+// The Fig 5 ShortestPath program: a random connected graph, then
+// Dijkstra's algorithm where the Delta tree *is* the priority queue.
+//
+// Usage: shortest_path [vertices] [edges] [threads]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/dijkstra/dijkstra.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace jstar::apps::dijkstra;
+
+  const std::int32_t vertices = argc > 1 ? std::atoi(argv[1]) : 50000;
+  const std::int64_t edges = argc > 2 ? std::atoll(argv[2]) : vertices * 2;
+  const int threads = argc > 3 ? std::atoi(argv[3]) : 4;
+
+  std::printf("graph: %d vertices, %lld edges (tree + random extras)\n",
+              vertices, static_cast<long long>(edges));
+
+  // Graph creation as a JStar program, split into 24 parallel generation
+  // tasks (§6.5's bottleneck fix).
+  jstar::EngineOptions opts;
+  opts.threads = threads;
+  jstar::WallTimer gen_timer;
+  const Graph g = random_graph_jstar(vertices, edges, /*seed=*/42,
+                                     /*gen_tasks=*/24, opts);
+  std::printf("generation (24 JStar tasks): %s\n",
+              jstar::format_duration(gen_timer.seconds()).c_str());
+
+  jstar::WallTimer jstar_timer;
+  const Distances jstar_dist = shortest_paths_jstar(g, opts);
+  const double jstar_s = jstar_timer.seconds();
+
+  jstar::WallTimer base_timer;
+  const Distances base_dist = shortest_paths_baseline(g);
+  const double base_s = base_timer.seconds();
+
+  std::int64_t mismatches = 0;
+  std::int64_t max_dist = 0;
+  for (std::size_t v = 0; v < jstar_dist.size(); ++v) {
+    if (jstar_dist[v] != base_dist[v]) ++mismatches;
+    if (jstar_dist[v] > max_dist) max_dist = jstar_dist[v];
+  }
+
+  std::printf("JStar (Delta tree as priority queue): %s\n",
+              jstar::format_duration(jstar_s).c_str());
+  std::printf("baseline (binary heap):               %s\n",
+              jstar::format_duration(base_s).c_str());
+  std::printf("eccentricity of vertex 0: %lld;  mismatches: %lld\n",
+              static_cast<long long>(max_dist),
+              static_cast<long long>(mismatches));
+  // Print a few shortest paths the way the Fig 5 rule's println would.
+  for (std::int32_t v = 0; v < std::min(vertices, 5); ++v) {
+    std::printf("shortest path to %d is %lld\n", v,
+                static_cast<long long>(jstar_dist[static_cast<std::size_t>(v)]));
+  }
+  return mismatches == 0 ? 0 : 1;
+}

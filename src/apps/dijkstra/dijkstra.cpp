@@ -1,0 +1,286 @@
+#include "apps/dijkstra/dijkstra.h"
+
+#include <algorithm>
+#include <array>
+#include <mutex>
+#include <queue>
+
+namespace jstar::apps::dijkstra {
+
+namespace {
+
+/// Canonical edge derivation: every edge's endpoints/weight come from an
+/// RNG stream split off the base seed by the edge's index, so any
+/// partitioning of the index space (1 task or 24) yields the same graph.
+struct EdgeGen {
+  std::int32_t vertices;
+  std::int64_t extra_edges;
+  SplitMix64 base;
+
+  /// Tree edge attaching vertex v (1 <= v < vertices) to a prior vertex.
+  Graph::Arc tree_edge(std::int32_t v, std::int32_t& from) const {
+    SplitMix64 rng = base.split(static_cast<std::uint64_t>(v));
+    from = static_cast<std::int32_t>(rng.next_below(
+        static_cast<std::uint64_t>(v)));
+    return {v, static_cast<std::int32_t>(1 + rng.next_below(10))};
+  }
+
+  /// Extra edge j (0 <= j < extra_edges).
+  void extra_edge(std::int64_t j, std::int32_t& u, std::int32_t& v,
+                  std::int32_t& w) const {
+    SplitMix64 rng = base.split(
+        static_cast<std::uint64_t>(vertices) + static_cast<std::uint64_t>(j));
+    u = static_cast<std::int32_t>(rng.next_below(
+        static_cast<std::uint64_t>(vertices)));
+    do {
+      v = static_cast<std::int32_t>(rng.next_below(
+          static_cast<std::uint64_t>(vertices)));
+    } while (v == u);
+    w = static_cast<std::int32_t>(1 + rng.next_below(10));
+  }
+};
+
+}  // namespace
+
+Graph random_graph(std::int32_t vertices, std::int64_t edges,
+                   std::uint64_t seed) {
+  JSTAR_CHECK(vertices >= 1 && edges >= vertices - 1);
+  Graph g(vertices);
+  EdgeGen gen{vertices, edges - (vertices - 1), SplitMix64(seed)};
+  for (std::int32_t v = 1; v < vertices; ++v) {
+    std::int32_t from;
+    const Graph::Arc arc = gen.tree_edge(v, from);
+    g.add_edge(from, arc.to, arc.weight);
+  }
+  for (std::int64_t j = 0; j < gen.extra_edges; ++j) {
+    std::int32_t u, v, w;
+    gen.extra_edge(j, u, v, w);
+    g.add_edge(u, v, w);
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// JStar tuples
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct GenTask {
+  std::int32_t task;
+  std::int32_t v_lo, v_hi;    // tree-edge vertex slice [lo, hi)
+  std::int64_t e_lo, e_hi;    // extra-edge index slice [lo, hi)
+  auto operator<=>(const GenTask&) const = default;
+};
+
+struct EdgeTuple {
+  std::int32_t from, to, weight;
+  auto operator<=>(const EdgeTuple&) const = default;
+};
+
+struct Estimate {
+  std::int32_t vertex;
+  std::int64_t distance;
+  auto operator<=>(const Estimate&) const = default;
+};
+
+struct Done {
+  std::int32_t vertex;
+  std::int64_t distance;
+  auto operator<=>(const Done&) const = default;
+};
+
+struct DoneHash {
+  std::size_t operator()(const Done& d) const {
+    return hash_fields(d.vertex, d.distance);
+  }
+};
+
+/// The Edge table's native Gamma structure: striped-locked adjacency
+/// lists.  Each directed arc insert locks only its source vertex's stripe.
+class GraphStore final : public GammaStore<EdgeTuple> {
+ public:
+  explicit GraphStore(Graph* g) : graph_(g) {}
+
+  bool insert(const EdgeTuple& e) override {
+    add_arc(e.from, e.to, e.weight);
+    add_arc(e.to, e.from, e.weight);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  bool contains(const EdgeTuple&) const override { return false; }
+  void scan(const std::function<void(const EdgeTuple&)>&) const override {}
+  std::size_t size() const override {
+    return static_cast<std::size_t>(count_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  void add_arc(std::int32_t u, std::int32_t v, std::int32_t w) {
+    // Graph::add_edge adds both directions at once; here each direction is
+    // added separately so only the source vertex's stripe is locked.
+    std::lock_guard<std::mutex> lk(stripes_[static_cast<std::size_t>(u) % kStripes]);
+    graph_->mutable_arcs(u).push_back({v, w});
+  }
+
+  static constexpr std::size_t kStripes = 64;
+  Graph* graph_;
+  mutable std::array<std::mutex, kStripes> stripes_;
+  std::atomic<std::int64_t> count_{0};
+};
+
+void add_common_tables(Engine& eng, Graph& g, const EngineOptions& opts,
+                       Table<GenTask>** gen_out, Table<EdgeTuple>** edge_out) {
+  (void)opts;
+  auto& gen = eng.table(TableDecl<GenTask>("GenTask")
+                            .orderby_lit("Gen")
+                            .orderby_par("task")
+                            .hash([](const GenTask& t) {
+                              return hash_fields(t.task);
+                            }));
+  auto& edge = eng.table(TableDecl<EdgeTuple>("Edge")
+                             .orderby_lit("Edge")
+                             .hash([](const EdgeTuple& e) {
+                               return hash_fields(e.from, e.to, e.weight);
+                             })
+                             .store_factory([&g](bool) {
+                               return std::make_unique<GraphStore>(&g);
+                             }));
+  *gen_out = &gen;
+  *edge_out = &edge;
+}
+
+void add_gen_rule(Engine& eng, Table<GenTask>& gen, Table<EdgeTuple>& edge,
+                  std::int32_t vertices, std::int64_t extra,
+                  std::uint64_t seed) {
+  eng.rule(gen, "generateSlice", [&, vertices, extra, seed](
+                                     RuleCtx& ctx, const GenTask& t) {
+    EdgeGen eg{vertices, extra, SplitMix64(seed)};
+    for (std::int32_t v = std::max(t.v_lo, 1); v < t.v_hi; ++v) {
+      std::int32_t from;
+      const Graph::Arc arc = eg.tree_edge(v, from);
+      edge.put(ctx, EdgeTuple{from, arc.to, arc.weight});
+    }
+    for (std::int64_t j = t.e_lo; j < t.e_hi; ++j) {
+      std::int32_t u, v, w;
+      eg.extra_edge(j, u, v, w);
+      edge.put(ctx, EdgeTuple{u, v, w});
+    }
+  });
+}
+
+void put_gen_tasks(Engine& eng, Table<GenTask>& gen, std::int32_t vertices,
+                   std::int64_t extra, int tasks) {
+  for (int t = 0; t < tasks; ++t) {
+    const auto v_lo = static_cast<std::int32_t>(
+        static_cast<std::int64_t>(vertices) * t / tasks);
+    const auto v_hi = static_cast<std::int32_t>(
+        static_cast<std::int64_t>(vertices) * (t + 1) / tasks);
+    const std::int64_t e_lo = extra * t / tasks;
+    const std::int64_t e_hi = extra * (t + 1) / tasks;
+    eng.put(gen, GenTask{t, v_lo, v_hi, e_lo, e_hi});
+  }
+}
+
+/// Installs the Fig 5 Dijkstra tables + rule on an engine whose Edge data
+/// lives in `g`.  Returns the Done table for result extraction.
+Table<Done>& add_dijkstra_program(Engine& eng, const Graph& g,
+                                  Table<Estimate>** est_out) {
+  auto& est = eng.table(TableDecl<Estimate>("Estimate")
+                            .orderby_lit("Int")
+                            .orderby_seq("distance", &Estimate::distance)
+                            .orderby_lit("Estimate")
+                            .hash([](const Estimate& e) {
+                              return hash_fields(e.vertex, e.distance);
+                            }));
+  auto& done = eng.table(
+      TableDecl<Done>("Done")
+          .orderby_lit("Int")
+          .orderby_seq("distance", &Done::distance)
+          .orderby_lit("Done")
+          .hash([](const Done& d) { return hash_fields(d.vertex, d.distance); })
+          .primary_key([](const Done& d) { return d.vertex; })
+          .store_factory([](bool parallel) -> std::unique_ptr<GammaStore<Done>> {
+            if (parallel) {
+              return std::make_unique<StripedHashStore<Done, DoneHash>>(64);
+            }
+            return std::make_unique<HashSetStore<Done, DoneHash>>();
+          }));
+  eng.order({"Estimate", "Done"});
+
+  // Fig 5: foreach (Estimate dist) { ... }
+  eng.rule(est, "settle", [&est, &done, &g](RuleCtx& ctx, const Estimate& e) {
+    if (done.get_unique(e.vertex).has_value()) return;
+    done.put(ctx, Done{e.vertex, e.distance});
+    for (const Graph::Arc& arc : g.arcs(e.vertex)) {
+      if (!done.get_unique(arc.to).has_value()) {
+        est.put(ctx, Estimate{arc.to, e.distance + arc.weight});
+      }
+    }
+  });
+  *est_out = &est;
+  return done;
+}
+
+Distances extract_distances(Table<Done>& done, std::int32_t vertices) {
+  Distances out(static_cast<std::size_t>(vertices), -1);
+  done.scan([&](const Done& d) {
+    out[static_cast<std::size_t>(d.vertex)] = d.distance;
+  });
+  return out;
+}
+
+}  // namespace
+
+Graph random_graph_jstar(std::int32_t vertices, std::int64_t edges,
+                         std::uint64_t seed, int gen_tasks,
+                         const EngineOptions& base_opts) {
+  JSTAR_CHECK(vertices >= 1 && edges >= vertices - 1 && gen_tasks >= 1);
+  Graph g(vertices);
+  EngineOptions opts = base_opts;
+  opts.no_delta.insert("Edge");
+  Engine eng(opts);
+  Table<GenTask>* gen = nullptr;
+  Table<EdgeTuple>* edge = nullptr;
+  add_common_tables(eng, g, opts, &gen, &edge);
+  const std::int64_t extra = edges - (vertices - 1);
+  add_gen_rule(eng, *gen, *edge, vertices, extra, seed);
+  put_gen_tasks(eng, *gen, vertices, extra, gen_tasks);
+  eng.run();
+  return g;
+}
+
+Distances shortest_paths_jstar(const Graph& g, const EngineOptions& base_opts) {
+  EngineOptions opts = base_opts;
+  // §6.5's strategy: Estimate tuples are trigger-only (-noGamma); the
+  // static tables would be -noDelta but here the graph is pre-built.
+  opts.no_gamma.insert("Estimate");
+  Engine eng(opts);
+  Table<Estimate>* est = nullptr;
+  Table<Done>& done = add_dijkstra_program(eng, g, &est);
+  eng.put(*est, Estimate{0, 0});  // Set the origin.
+  eng.run();
+  return extract_distances(done, g.vertices());
+}
+
+Distances shortest_paths_baseline(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.vertices());
+  Distances dist(n, -1);
+  using Item = std::pair<std::int64_t, std::int32_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  pq.push({0, 0});
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    auto& dv = dist[static_cast<std::size_t>(v)];
+    if (dv != -1) continue;
+    dv = d;
+    for (const Graph::Arc& arc : g.arcs(v)) {
+      if (dist[static_cast<std::size_t>(arc.to)] == -1) {
+        pq.push({d + arc.weight, arc.to});
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace jstar::apps::dijkstra

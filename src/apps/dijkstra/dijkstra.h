@@ -1,0 +1,84 @@
+// The ShortestPath case study (§6.5, Fig 5): generate a random connected
+// graph, then run Dijkstra's algorithm from vertex 0 where "the Delta tree
+// acts as the priority queue (ordered by the distance to the vertex)".
+//
+// Graph generation follows the paper: a random tree over V vertices plus
+// extra random edges up to E total, weights uniform in 1..10.  §6.5 notes
+// the single-rule generator was a >60% bottleneck, so the JStar program
+// splits creation into `gen_tasks` parallel task tuples (24 in the paper),
+// each with a split deterministic RNG stream — the "support for parallel
+// random number generators" the paper calls for.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/rng.h"
+
+namespace jstar::apps::dijkstra {
+
+/// Undirected weighted graph in adjacency-list form (the Edge table's
+/// native Gamma structure; Edge tuples are -noDelta and query-only).
+class Graph {
+ public:
+  explicit Graph(std::int32_t vertices = 0) : adj_(vertices) {}
+
+  std::int32_t vertices() const { return static_cast<std::int32_t>(adj_.size()); }
+
+  void add_edge(std::int32_t u, std::int32_t v, std::int32_t w) {
+    adj_[static_cast<std::size_t>(u)].push_back({v, w});
+    adj_[static_cast<std::size_t>(v)].push_back({u, w});
+  }
+
+  struct Arc {
+    std::int32_t to;
+    std::int32_t weight;
+  };
+
+  const std::vector<Arc>& arcs(std::int32_t v) const {
+    return adj_[static_cast<std::size_t>(v)];
+  }
+
+  /// Direct adjacency access for custom Gamma stores that add arcs one
+  /// direction at a time under their own locking.
+  std::vector<Arc>& mutable_arcs(std::int32_t v) {
+    return adj_[static_cast<std::size_t>(v)];
+  }
+
+  std::int64_t edge_count() const {
+    std::int64_t n = 0;
+    for (const auto& a : adj_) n += static_cast<std::int64_t>(a.size());
+    return n / 2;
+  }
+
+ private:
+  std::vector<std::vector<Arc>> adj_;
+};
+
+/// Deterministic random connected graph: a tree over `vertices` plus
+/// random extra edges up to `edges` total, weights 1..10.
+Graph random_graph(std::int32_t vertices, std::int64_t edges,
+                   std::uint64_t seed);
+
+/// Builds the same graph *inside* a JStar program using `gen_tasks`
+/// parallel generation-task tuples (the §6.5 restructuring).  The result
+/// is identical to random_graph for the same parameters.
+Graph random_graph_jstar(std::int32_t vertices, std::int64_t edges,
+                         std::uint64_t seed, int gen_tasks,
+                         const EngineOptions& opts);
+
+/// Shortest distances from vertex 0; unreachable = -1 (cannot happen for
+/// connected graphs).
+using Distances = std::vector<std::int64_t>;
+
+/// The Fig 5 JStar program: Estimate tuples flow through the Delta tree
+/// ordered by distance (`-noGamma Estimate`, `-noDelta` on the static
+/// tables, per §6.5); Done records the settled distances.
+Distances shortest_paths_jstar(const Graph& g, const EngineOptions& opts);
+
+/// Hand-coded baseline: binary-heap Dijkstra with a std::priority_queue —
+/// the "Java version" that Fig 6 shows at about half the JStar time.
+Distances shortest_paths_baseline(const Graph& g);
+
+}  // namespace jstar::apps::dijkstra

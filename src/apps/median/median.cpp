@@ -1,0 +1,383 @@
+#include "apps/median/median.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "util/rng.h"
+
+namespace jstar::apps::median {
+
+std::vector<double> random_values(std::int64_t n, std::uint64_t seed) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  SplitMix64 rng(seed);
+  for (auto& x : v) x = rng.next_double();
+  return v;
+}
+
+double median_sort(const std::vector<double>& values) {
+  std::vector<double> copy = values;
+  std::sort(copy.begin(), copy.end());
+  return copy[(copy.size() - 1) / 2];
+}
+
+double median_nth_element(const std::vector<double>& values) {
+  std::vector<double> copy = values;
+  const std::size_t k = (copy.size() - 1) / 2;
+  std::nth_element(copy.begin(),
+                   copy.begin() + static_cast<std::ptrdiff_t>(k), copy.end());
+  return copy[k];
+}
+
+double median_quickselect(const std::vector<double>& values) {
+  std::vector<double> a = values;
+  std::size_t lo = 0, hi = a.size();
+  std::size_t k = (a.size() - 1) / 2;
+  SplitMix64 rng(0x9d1ce);
+  while (hi - lo > 1) {
+    const double pivot =
+        a[lo + rng.next_below(static_cast<std::uint64_t>(hi - lo))];
+    // Three-way partition of [lo, hi).
+    std::size_t below = lo, scan = lo, above = hi;
+    while (scan < above) {
+      if (a[scan] < pivot) {
+        std::swap(a[below++], a[scan++]);
+      } else if (a[scan] > pivot) {
+        std::swap(a[scan], a[--above]);
+      } else {
+        ++scan;
+      }
+    }
+    if (k < below) {
+      hi = below;
+    } else if (k < above) {
+      return pivot;  // k lands in the equal-to-pivot run
+    } else {
+      lo = above;
+    }
+  }
+  return a[lo];
+}
+
+// ---------------------------------------------------------------------------
+// JStar formulation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// table Data(int iter, int index -> double value): the two-copy native
+/// array Gamma structure of §6.6 ("double[2][100000000], iter modulo 2").
+class TwoCopyArray {
+ public:
+  explicit TwoCopyArray(std::int64_t n)
+      : bufs_{std::vector<double>(static_cast<std::size_t>(n)),
+              std::vector<double>(static_cast<std::size_t>(n))} {}
+
+  double read(std::int64_t iter, std::int64_t index) const {
+    return bufs_[static_cast<std::size_t>(iter % 2)]
+                [static_cast<std::size_t>(index)];
+  }
+  void write(std::int64_t iter, std::int64_t index, double v) {
+    bufs_[static_cast<std::size_t>(iter % 2)][static_cast<std::size_t>(index)] =
+        v;
+  }
+  std::vector<double>& buffer(std::int64_t iter) {
+    return bufs_[static_cast<std::size_t>(iter % 2)];
+  }
+
+ private:
+  std::vector<double> bufs_[2];
+};
+
+struct DataTuple {
+  std::int64_t iter;
+  std::int64_t index;
+  double value;
+  auto operator<=>(const DataTuple&) const = default;
+};
+
+/// Custom Gamma store writing Data tuples straight into the two-copy
+/// array.  Distinct (iter, index) keys make set-semantics dedup trivial.
+class DataArrayStore final : public GammaStore<DataTuple> {
+ public:
+  explicit DataArrayStore(TwoCopyArray* a) : array_(a) {}
+  bool insert(const DataTuple& t) override {
+    array_->write(t.iter, t.index, t.value);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  bool contains(const DataTuple&) const override { return false; }
+  void scan(const std::function<void(const DataTuple&)>&) const override {}
+  std::size_t size() const override {
+    return static_cast<std::size_t>(count_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  TwoCopyArray* array_;
+  std::atomic<std::int64_t> count_{0};
+};
+
+/// Controller state for one selection phase: the active prefix
+/// [0, n) of copy iter holds the candidates; find order statistic k.
+struct Phase {
+  std::int64_t iter;
+  std::int64_t n;
+  std::int64_t k;
+  double pivot;
+  auto operator<=>(const Phase&) const = default;
+};
+
+struct PartTask {
+  std::int64_t iter;
+  std::int32_t region;
+  std::int64_t begin, end;
+  double pivot;
+  auto operator<=>(const PartTask&) const = default;
+};
+
+struct PartResult {
+  std::int64_t iter;
+  std::int32_t region;
+  std::int64_t below, equal;
+  double sample_below, sample_above;  // pivot candidates for the next phase
+  std::int32_t has_below, has_above;
+  auto operator<=>(const PartResult&) const = default;
+};
+
+struct Decide {
+  std::int64_t iter;
+  std::int64_t n;
+  std::int64_t k;
+  double pivot;
+  auto operator<=>(const Decide&) const = default;
+};
+
+struct CopyTask {
+  std::int64_t iter;
+  std::int32_t region;
+  std::int64_t begin, end;
+  double pivot;
+  std::int32_t side;  // 0 = below, 1 = above(including equal)
+  std::int64_t dest;  // destination offset in copy iter+1
+  auto operator<=>(const CopyTask&) const = default;
+};
+
+struct MedianFound {
+  double value;
+  auto operator<=>(const MedianFound&) const = default;
+};
+
+}  // namespace
+
+double median_jstar(const std::vector<double>& values,
+                    const JStarConfig& config) {
+  JSTAR_CHECK(!values.empty());
+  const auto n0 = static_cast<std::int64_t>(values.size());
+  TwoCopyArray array(n0);
+  array.buffer(0) = values;
+
+  EngineOptions opts = config.engine;
+  opts.no_delta.insert("Data");
+  Engine eng(opts);
+
+  int regions = config.regions;
+  if (regions <= 0) regions = opts.sequential ? 4 : opts.threads * 2;
+
+  auto& phase = eng.table(
+      TableDecl<Phase>("Phase")
+          .orderby_lit("Med")
+          .orderby_seq("iter", &Phase::iter)
+          .orderby_lit("MedPhase")
+          .hash([](const Phase& p) { return hash_fields(p.iter, p.n, p.k); }));
+  auto& task = eng.table(
+      TableDecl<PartTask>("PartTask")
+          .orderby_lit("Med")
+          .orderby_seq("iter", &PartTask::iter)
+          .orderby_lit("MedTask")
+          .orderby_par("region")
+          .hash([](const PartTask& t) { return hash_fields(t.iter, t.region); }));
+  auto& part = eng.table(
+      TableDecl<PartResult>("PartResult")
+          .orderby_lit("Med")
+          .orderby_seq("iter", &PartResult::iter)
+          .orderby_lit("MedResult")
+          .hash([](const PartResult& r) { return hash_fields(r.iter, r.region); }));
+  auto& decide = eng.table(
+      TableDecl<Decide>("Decide")
+          .orderby_lit("Med")
+          .orderby_seq("iter", &Decide::iter)
+          .orderby_lit("MedDecide")
+          .hash([](const Decide& d) { return hash_fields(d.iter, d.n, d.k); }));
+  auto& copy = eng.table(
+      TableDecl<CopyTask>("CopyTask")
+          .orderby_lit("Med")
+          .orderby_seq("iter", &CopyTask::iter)
+          .orderby_lit("MedCopy")
+          .orderby_par("region")
+          .hash([](const CopyTask& t) { return hash_fields(t.iter, t.region, t.side); }));
+  auto& data = eng.table(
+      TableDecl<DataTuple>("Data")
+          .orderby_lit("Med")
+          .orderby_seq("iter", &DataTuple::iter)
+          .orderby_lit("MedData")
+          .hash([](const DataTuple& t) { return hash_fields(t.iter, t.index); })
+          .store_factory([&array](bool) {
+            return std::make_unique<DataArrayStore>(&array);
+          }));
+
+  std::mutex result_mu;
+  double result = 0.0;
+  bool have_result = false;
+  auto& found = eng.table(
+      TableDecl<MedianFound>("MedianFound")
+          .orderby_lit("MedFinal")
+          .hash([](const MedianFound& m) { return hash_fields(m.value); })
+          .effect([&](const MedianFound& m) {
+            std::lock_guard<std::mutex> lk(result_mu);
+            result = m.value;
+            have_result = true;
+          }));
+
+  eng.order({"Med", "MedFinal"});
+  eng.order({"MedPhase", "MedTask", "MedResult", "MedDecide", "MedCopy",
+             "MedData"});
+
+  // Controller fan-out: split the active prefix into consecutive regions.
+  eng.rule(phase, "fanOut", [&, regions](RuleCtx& ctx, const Phase& p) {
+    for (int r = 0; r < regions; ++r) {
+      const std::int64_t begin = p.n * r / regions;
+      const std::int64_t end = p.n * (r + 1) / regions;
+      if (begin == end) continue;
+      task.put(ctx, PartTask{p.iter, static_cast<std::int32_t>(r), begin, end,
+                             p.pivot});
+    }
+    decide.put(ctx, Decide{p.iter, p.n, p.k, p.pivot});
+  });
+
+  // Region partition (counting pass): report sizes to the controller.
+  eng.rule(task, "partition", [&](RuleCtx& ctx, const PartTask& t) {
+    std::int64_t below = 0, equal = 0;
+    double sample_below = 0, sample_above = 0;
+    std::int32_t has_below = 0, has_above = 0;
+    for (std::int64_t i = t.begin; i < t.end; ++i) {
+      const double v = array.read(t.iter, i);
+      if (v < t.pivot) {
+        ++below;
+        // Rotate the retained sample so later phases don't keep hitting
+        // the same pivot candidate on skewed inputs.
+        if (!has_below || (i & 15) == 0) {
+          sample_below = v;
+          has_below = 1;
+        }
+      } else {
+        if (v == t.pivot) ++equal;
+        if (v > t.pivot && (!has_above || (i & 15) == 0)) {
+          sample_above = v;
+          has_above = 1;
+        }
+      }
+    }
+    part.put(ctx, PartResult{t.iter, t.region, below, equal, sample_below,
+                             sample_above, has_below, has_above});
+  });
+
+  // Controller decision: aggregate region counts (an aggregate query of
+  // strictly earlier tuples, per the law of causality), then either finish
+  // directly, answer with the pivot, or fan out the compaction.
+  eng.rule(decide, "decide", [&, regions](RuleCtx& ctx, const Decide& d) {
+    if (d.n <= config.direct_cutoff) {
+      // Few enough candidates: select directly from the active prefix.
+      std::vector<double> rest(
+          array.buffer(d.iter).begin(),
+          array.buffer(d.iter).begin() + static_cast<std::ptrdiff_t>(d.n));
+      std::nth_element(rest.begin(),
+                       rest.begin() + static_cast<std::ptrdiff_t>(d.k),
+                       rest.end());
+      found.put(ctx, MedianFound{rest[static_cast<std::size_t>(d.k)]});
+      return;
+    }
+    std::vector<PartResult> results;
+    part.scan_range(PartResult{d.iter, 0, INT64_MIN, INT64_MIN, 0, 0, 0, 0},
+                    PartResult{d.iter + 1, 0, INT64_MIN, INT64_MIN, 0, 0, 0, 0},
+                    [&](const PartResult& r) { results.push_back(r); });
+    std::sort(results.begin(), results.end(),
+              [](const PartResult& a, const PartResult& b) {
+                return a.region < b.region;
+              });
+    std::int64_t total_below = 0, total_equal = 0;
+    for (const auto& r : results) {
+      total_below += r.below;
+      total_equal += r.equal;
+    }
+    std::int32_t side;
+    std::int64_t next_n, next_k;
+    if (d.k < total_below) {
+      side = 0;
+      next_n = total_below;
+      next_k = d.k;
+    } else if (d.k < total_below + total_equal) {
+      found.put(ctx, MedianFound{d.pivot});
+      return;
+    } else {
+      side = 1;
+      next_n = d.n - total_below;  // above side keeps equal values
+      next_k = d.k - total_below;
+    }
+    // Next pivot: median of the per-region samples on the chosen side.
+    std::vector<double> samples;
+    for (const auto& r : results) {
+      if (side == 0 && r.has_below) samples.push_back(r.sample_below);
+      if (side == 1 && r.has_above) samples.push_back(r.sample_above);
+    }
+    double next_pivot;
+    if (samples.empty()) {
+      // Chosen side is entirely pivot-equal values (side 1 only).
+      found.put(ctx, MedianFound{d.pivot});
+      return;
+    }
+    std::nth_element(samples.begin(),
+                     samples.begin() + static_cast<std::ptrdiff_t>(samples.size() / 2),
+                     samples.end());
+    next_pivot = samples[samples.size() / 2];
+
+    // Compaction fan-out: each region copies its chosen-side elements to a
+    // precomputed offset in the iter+1 array copy.
+    std::int64_t dest = 0;
+    for (const auto& r : results) {
+      const std::int64_t begin = d.n * r.region / regions;
+      const std::int64_t end = d.n * (r.region + 1) / regions;
+      const std::int64_t len =
+          (side == 0) ? r.below : (end - begin - r.below);
+      if (len > 0) {
+        copy.put(ctx, CopyTask{d.iter, r.region, begin, end, d.pivot, side,
+                               dest});
+        dest += len;
+      }
+    }
+    phase.put(ctx, Phase{d.iter + 1, next_n, next_k, next_pivot});
+  });
+
+  // Compaction: stream the chosen side into the next array copy as Data
+  // tuples (straight into the native-array store, -noDelta).
+  eng.rule(copy, "copySide", [&](RuleCtx& ctx, const CopyTask& t) {
+    std::int64_t at = t.dest;
+    for (std::int64_t i = t.begin; i < t.end; ++i) {
+      const double v = array.read(t.iter, i);
+      const bool take = (t.side == 0) ? (v < t.pivot) : !(v < t.pivot);
+      if (take) {
+        data.put(ctx, DataTuple{t.iter + 1, at++, v});
+      }
+    }
+  });
+
+  // Initial pivot: a deterministic sample of the input.
+  SplitMix64 rng(0xfeed5eed);
+  const double pivot0 =
+      values[rng.next_below(static_cast<std::uint64_t>(values.size()))];
+  eng.put(phase, Phase{0, n0, (n0 - 1) / 2, pivot0});
+  eng.run();
+  JSTAR_CHECK_MSG(have_result, "median program terminated without a result");
+  return result;
+}
+
+}  // namespace jstar::apps::median

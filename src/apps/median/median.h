@@ -1,0 +1,59 @@
+// The Median case study (§6.6): find the median of a large array of
+// random doubles with an explicitly parallel selection algorithm:
+//
+//   "It chooses a global pivot value, divides the array into N consecutive
+//    regions, partitions each of those regions using the pivot value
+//    (similar to a Quicksort) and reports the size of those partitions
+//    back to a central controller.  The controller then repeats this
+//    process (each time focusing on the partitions that must contain the
+//    median value) until only one value is left."
+//
+// The JStar formulation uses the paper's Data table
+//     table Data(int iter, int index -> double value)
+//         orderby (Int, seq iter, Data, seq index)
+// with the custom double[2][N] Gamma structure: "the rules only use iter
+// and iter+1, so we only need two copies of the array" — a manual
+// gamma-garbage-collection lifetime hint (§5, item 4).  Data tuples are
+// -noDelta (never triggers).
+//
+// Per iteration: a Phase tuple fans out PartTask region tuples (counting
+// pass), a Decide tuple aggregates the PartResult counts, selects the
+// side containing the k-th element, and fans out CopyTask tuples that
+// compact the chosen side into the next iteration's array copy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace jstar::apps::median {
+
+/// Deterministic random input array.
+std::vector<double> random_values(std::int64_t n, std::uint64_t seed);
+
+struct JStarConfig {
+  EngineOptions engine;
+  /// Partition regions per iteration (the paper's N tasks); 0 = 2x threads.
+  int regions = 0;
+  /// Below this many active elements the controller finishes directly.
+  std::int64_t direct_cutoff = 1024;
+};
+
+/// Lower median (k = (n-1)/2 order statistic) via the JStar program.
+double median_jstar(const std::vector<double>& values,
+                    const JStarConfig& config);
+
+/// Hand-coded baseline: full sort (the "Java version using Arrays.sort",
+/// Fig 6's 13.4 s bar).
+double median_sort(const std::vector<double>& values);
+
+/// Hand-coded median-specific quickselect — the sequential equivalent of
+/// the JStar algorithm ("partitions the whole array, but then recurses
+/// only into the half that contains the median").
+double median_quickselect(const std::vector<double>& values);
+
+/// std::nth_element reference (for tests).
+double median_nth_element(const std::vector<double>& values);
+
+}  // namespace jstar::apps::median

@@ -1,0 +1,696 @@
+#include "apps/pvwatts/pvwatts.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace jstar::apps::pvwatts {
+
+namespace {
+
+constexpr std::int32_t kBaseYear = 2012;
+constexpr std::int32_t kDaysPerMonth = 30;
+constexpr std::int32_t kHoursPerDay = 24;
+constexpr std::int64_t kRecordsPerYear = 12 * kDaysPerMonth * kHoursPerDay;
+
+/// Deterministic synthetic solar power in watts: seasonal x diurnal shape
+/// plus hash noise.  Zero at night, peak at noon in summer.
+std::int64_t power_model(std::int32_t year, std::int32_t month,
+                         std::int32_t day, std::int32_t hour,
+                         std::uint64_t seed) {
+  if (hour < 6 || hour > 18) return 0;
+  const double diurnal = std::sin((hour - 6) * 3.14159265 / 12.0);
+  const double seasonal = 0.6 + 0.4 * std::cos((month - 6) * 3.14159265 / 6.0);
+  SplitMix64 noise(seed ^ hash_fields(year, month, day, hour));
+  const double jitter = 0.9 + 0.2 * noise.next_double();
+  return static_cast<std::int64_t>(1000.0 * diurnal * seasonal * jitter);
+}
+
+void append_record(csv::Writer& out, std::int32_t year, std::int32_t month,
+                   std::int32_t day, std::int32_t hour, std::uint64_t seed) {
+  out.field(year)
+      .field(month)
+      .field(day)
+      .field(hour)
+      .field(power_model(year, month, day, hour, seed))
+      .end_record();
+}
+
+}  // namespace
+
+csv::Buffer generate_csv(std::int64_t records, InputOrder order,
+                         std::uint64_t seed) {
+  csv::Writer bytes(static_cast<std::size_t>(records) * 22 + 64);
+  std::int64_t emitted = 0;
+  for (std::int32_t year = kBaseYear; emitted < records; ++year) {
+    if (order == InputOrder::MonthMajor) {
+      // "unsorted" (Fig 10): long runs of records for the same month.
+      for (std::int32_t m = 1; m <= 12 && emitted < records; ++m) {
+        for (std::int32_t d = 1; d <= kDaysPerMonth && emitted < records; ++d) {
+          for (std::int32_t h = 0; h < kHoursPerDay && emitted < records; ++h) {
+            append_record(bytes, year, m, d, h, seed);
+            ++emitted;
+          }
+        }
+      }
+    } else {
+      // "sorted" by day/time (Fig 10): months interleave round-robin.
+      for (std::int32_t d = 1; d <= kDaysPerMonth && emitted < records; ++d) {
+        for (std::int32_t h = 0; h < kHoursPerDay && emitted < records; ++h) {
+          for (std::int32_t m = 1; m <= 12 && emitted < records; ++m) {
+            append_record(bytes, year, m, d, h, seed);
+            ++emitted;
+          }
+        }
+      }
+    }
+  }
+  return bytes.take();
+}
+
+MonthlyMeans reference_means(const csv::Buffer& input) {
+  MonthlyMeans out;
+  csv::RecordReader reader(input, {0, input.size()});
+  std::vector<csv::Slice> fields;
+  while (reader.next(fields)) {
+    const auto year = static_cast<std::int32_t>(fields[0].to_int64());
+    const auto month = static_cast<std::int32_t>(fields[1].to_int64());
+    out[year * 100 + month].add(static_cast<double>(fields[4].to_int64()));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Custom Gamma structure (§6.2): "an array indexed by month (1..12) at the
+// top level, and either a HashSet or ConcurrentHashMap within each entry".
+// ---------------------------------------------------------------------------
+
+class MonthArrayStore final : public GammaStore<PvRecord> {
+ public:
+  bool insert(const PvRecord& r) override {
+    Bucket& b = bucket(r.month);
+    std::lock_guard<std::mutex> lk(b.mu);
+    return b.set.insert(r).second;
+  }
+  bool contains(const PvRecord& r) const override {
+    const Bucket& b = bucket(r.month);
+    std::lock_guard<std::mutex> lk(b.mu);
+    return b.set.count(r) != 0;
+  }
+  void scan(const std::function<void(const PvRecord&)>& fn) const override {
+    for (int m = 1; m <= 12; ++m) month_scan(m, fn);
+  }
+  std::size_t size() const override {
+    std::size_t n = 0;
+    for (const Bucket& b : buckets_) {
+      std::lock_guard<std::mutex> lk(b.mu);
+      n += b.set.size();
+    }
+    return n;
+  }
+  /// The specialised query path: all records of one month.
+  void month_scan(int month,
+                  const std::function<void(const PvRecord&)>& fn) const {
+    const Bucket& b = bucket(month);
+    std::lock_guard<std::mutex> lk(b.mu);
+    for (const PvRecord& r : b.set) fn(r);
+  }
+
+ private:
+  struct Bucket {
+    mutable std::mutex mu;
+    std::unordered_set<PvRecord> set;
+  };
+  Bucket& bucket(int month) { return buckets_[static_cast<std::size_t>(month - 1)]; }
+  const Bucket& bucket(int month) const {
+    return buckets_[static_cast<std::size_t>(month - 1)];
+  }
+  std::array<Bucket, 12> buckets_;
+};
+
+/// The §6.2 hash alternative: "we can use a HashSet or ConcurrentHashMap,
+/// which are considerably more efficient" — the paper indexes "the year
+/// and month fields of the PvWatts table (e.g. as one hashtable)", i.e.
+/// the hash key is the *query* key (year*100+month), not the whole tuple.
+class YearMonthHashStore final : public GammaStore<PvRecord> {
+ public:
+  explicit YearMonthHashStore(std::size_t stripes = 16)
+      : stripes_(stripes) {}
+
+  bool insert(const PvRecord& r) override {
+    Stripe& s = stripe(ym(r));
+    std::lock_guard<std::mutex> lk(s.mu);
+    return s.map[ym(r)].insert(r).second;
+  }
+  bool contains(const PvRecord& r) const override {
+    const Stripe& s = stripe(ym(r));
+    std::lock_guard<std::mutex> lk(s.mu);
+    const auto it = s.map.find(ym(r));
+    return it != s.map.end() && it->second.count(r) != 0;
+  }
+  void scan(const std::function<void(const PvRecord&)>& fn) const override {
+    for (const Stripe& s : stripes_vec_) {
+      std::lock_guard<std::mutex> lk(s.mu);
+      for (const auto& [key, set] : s.map) {
+        (void)key;
+        for (const PvRecord& r : set) fn(r);
+      }
+    }
+  }
+  std::size_t size() const override {
+    std::size_t n = 0;
+    for (const Stripe& s : stripes_vec_) {
+      std::lock_guard<std::mutex> lk(s.mu);
+      for (const auto& [key, set] : s.map) {
+        (void)key;
+        n += set.size();
+      }
+    }
+    return n;
+  }
+  /// The keyed query path: all records of one (year, month).
+  void ym_scan(std::int32_t year, std::int32_t month,
+               const std::function<void(const PvRecord&)>& fn) const {
+    const std::int32_t key = year * 100 + month;
+    const Stripe& s = stripe(key);
+    std::lock_guard<std::mutex> lk(s.mu);
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) return;
+    for (const PvRecord& r : it->second) fn(r);
+  }
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<std::int32_t, std::unordered_set<PvRecord>> map;
+  };
+  static std::int32_t ym(const PvRecord& r) { return r.year * 100 + r.month; }
+  Stripe& stripe(std::int32_t key) {
+    return stripes_vec_[static_cast<std::size_t>(key) % stripes_];
+  }
+  const Stripe& stripe(std::int32_t key) const {
+    return stripes_vec_[static_cast<std::size_t>(key) % stripes_];
+  }
+  std::size_t stripes_;
+  mutable std::vector<Stripe> stripes_vec_{stripes_};
+};
+
+namespace {
+
+std::unique_ptr<GammaStore<PvRecord>> make_store(GammaKind kind,
+                                                 bool parallel) {
+  switch (kind) {
+    case GammaKind::Default:
+      if (parallel) return std::make_unique<SkipListStore<PvRecord>>();
+      return std::make_unique<TreeSetStore<PvRecord>>();
+    case GammaKind::Hash:
+      // Sequential vs parallel differ only in stripe count (1 stripe ==
+      // the plain HashMap of hash sets).
+      return std::make_unique<YearMonthHashStore>(parallel ? 16 : 1);
+    case GammaKind::MonthArray:
+      return std::make_unique<MonthArrayStore>();
+  }
+  return nullptr;
+}
+
+/// Query all PvWatts records of (year, month) through whatever structure
+/// the strategy installed — the rule text itself never changes (§1.4).
+void query_month(const Table<PvRecord>& pv, std::int32_t year,
+                 std::int32_t month,
+                 const std::function<void(const PvRecord&)>& fn) {
+  if (const auto* ma = dynamic_cast<const MonthArrayStore*>(pv.store())) {
+    ma->month_scan(month, [&](const PvRecord& r) {
+      if (r.year == year) fn(r);
+    });
+    return;
+  }
+  if (const auto* h = dynamic_cast<const YearMonthHashStore*>(pv.store())) {
+    h->ym_scan(year, month, fn);
+    return;
+  }
+  // Ordered stores support the range scan.
+  const PvRecord lo{year, month, 0, 0, INT64_MIN};
+  const PvRecord hi{year, month + 1, 0, 0, INT64_MIN};
+  pv.scan_range(lo, hi, fn);
+}
+
+/// The read-loop rule body: the request tuple triggers parallel region
+/// readers over the input (the Fig 7 first phase).
+struct ReadRequest {
+  std::int32_t regions;
+  auto operator<=>(const ReadRequest&) const = default;
+};
+
+}  // namespace
+
+namespace detail_hash {
+struct ReadRequestHash {
+  std::size_t operator()(const ReadRequest& r) const {
+    return jstar::hash_fields(r.regions);
+  }
+};
+}  // namespace detail_hash
+
+static Result run_jstar_impl(const csv::Buffer& input,
+                             const JStarConfig& config,
+                             PhaseBreakdown* phases) {
+  EngineOptions opts = config.engine;
+  if (config.no_delta_pvwatts) opts.no_delta.insert("PvWatts");
+  Engine eng(opts);
+
+  auto& req = eng.table(TableDecl<ReadRequest>("PvWattsRequest")
+                            .orderby_lit("Req")
+                            .hash(detail_hash::ReadRequestHash{}));
+  auto& pv = eng.table(
+      TableDecl<PvRecord>("PvWatts")
+          .orderby_lit("PvWatts")
+          .hash([](const PvRecord& r) { return std::hash<PvRecord>{}(r); })
+          .store_factory([&config](bool parallel) {
+            return make_store(config.gamma, parallel);
+          }));
+  auto& sum = eng.table(
+      TableDecl<SumMonth>("SumMonth").orderby_lit("SumMonth").hash([](
+          const SumMonth& s) { return std::hash<SumMonth>{}(s); }));
+  eng.order({"Req", "PvWatts", "SumMonth"});
+
+  // foreach (PvWatts pv) { put new SumMonth(pv.year, pv.month); }
+  eng.rule(pv, "pvToSumMonth", [&](RuleCtx& ctx, const PvRecord& r) {
+    WallTimer t;
+    sum.put(ctx, SumMonth{r.year, r.month});
+    if (phases) phases->delta_insert += t.seconds();
+  });
+
+  // foreach (PvWattsRequest req) { ... CSV read loop ... }
+  eng.rule(req, "readCsv", [&](RuleCtx& ctx, const ReadRequest& r) {
+    const auto regions = csv::split_regions(input.size(), r.regions);
+    auto read_region = [&](std::int64_t i) {
+      csv::RecordReader reader(input, regions[static_cast<std::size_t>(i)]);
+      std::vector<csv::Slice> fields;
+      for (;;) {
+        WallTimer t;
+        if (!reader.next(fields)) break;
+        PvRecord rec{static_cast<std::int32_t>(fields[0].to_int64()),
+                     static_cast<std::int32_t>(fields[1].to_int64()),
+                     static_cast<std::int32_t>(fields[2].to_int64()),
+                     static_cast<std::int32_t>(fields[3].to_int64()),
+                     fields[4].to_int64()};
+        if (phases) phases->read_parse += t.seconds();
+        WallTimer t2;
+        pv.put(ctx, rec);
+        if (phases) {
+          // pv.put includes the inline SumMonth put (noDelta fires the
+          // pvToSumMonth rule immediately); that part is accumulated into
+          // delta_insert by the rule itself, so subtract it here.
+          phases->gamma_insert += t2.seconds();
+        }
+      }
+    };
+    auto* pool = eng.pool();
+    if (pool != nullptr && r.regions > 1) {
+      pool->for_each_index(r.regions, read_region, /*grain=*/1);
+    } else {
+      for (int i = 0; i < r.regions; ++i) read_region(i);
+    }
+  });
+
+  // foreach (SumMonth s) { Statistics over that month's records }
+  std::mutex out_mu;
+  Result result;
+  eng.rule(sum, "sumMonth", [&](RuleCtx&, const SumMonth& s) {
+    WallTimer t;
+    Statistics stats;
+    query_month(pv, s.year, s.month,
+                [&](const PvRecord& r) { stats.add(static_cast<double>(r.power)); });
+    if (phases) phases->reduce += t.seconds();
+    std::lock_guard<std::mutex> lk(out_mu);
+    result.months[s.year * 100 + s.month] = stats;
+  });
+
+  int region_count = config.csv_regions;
+  if (region_count <= 0) {
+    region_count = opts.sequential ? 1 : opts.threads;
+  }
+  WallTimer timer;
+  eng.put(req, ReadRequest{region_count});
+  eng.run();
+  result.seconds = timer.seconds();
+  if (phases) {
+    phases->gamma_insert -= phases->delta_insert;
+    if (phases->gamma_insert < 0) phases->gamma_insert = 0;
+    result.phases = *phases;
+  }
+  return result;
+}
+
+Result run_jstar(const csv::Buffer& input, const JStarConfig& config) {
+  return run_jstar_impl(input, config, nullptr);
+}
+
+Result run_jstar_incremental(const csv::Buffer& input,
+                             const JStarConfig& config) {
+  // The §6.2 "more aggressive optimization": unfold the SumMonth rule so
+  // its reduce loop runs incrementally as the PvWatts tuples are produced.
+  // Each (year, month) owns a Statistics reducer; PvWatts tuples are fed
+  // to their month's reducer the moment they are created and are then
+  // discarded (-noDelta + -noGamma) — "the program [runs] in a constant
+  // amount of memory, rather than proportional to the size of the input
+  // file".
+  EngineOptions opts = config.engine;
+  opts.no_delta.insert("PvWatts");
+  opts.no_gamma.insert("PvWatts");
+  Engine eng(opts);
+
+  auto& req = eng.table(TableDecl<ReadRequest>("PvWattsRequest")
+                            .orderby_lit("Req")
+                            .hash(detail_hash::ReadRequestHash{}));
+  auto& pv = eng.table(
+      TableDecl<PvRecord>("PvWatts")
+          .orderby_lit("PvWatts")
+          .hash([](const PvRecord& r) { return std::hash<PvRecord>{}(r); }));
+  eng.order({"Req", "PvWatts"});
+
+  // One reducer per (year, month) bucket, sharded by month so parallel
+  // region readers rarely contend (the paper's "the reducer could be
+  // associated with each bucket in the PvWatts hashtable").
+  struct MonthShard {
+    std::mutex mu;
+    std::unordered_map<std::int32_t, Statistics> by_year_month;
+  };
+  std::array<MonthShard, 12> shards;
+
+  eng.rule(pv, "incrementalReduce", [&](RuleCtx&, const PvRecord& r) {
+    MonthShard& shard = shards[static_cast<std::size_t>(r.month - 1)];
+    std::lock_guard<std::mutex> lk(shard.mu);
+    shard.by_year_month[r.year * 100 + r.month].add(
+        static_cast<double>(r.power));
+  });
+
+  eng.rule(req, "readCsv", [&](RuleCtx& ctx, const ReadRequest& r) {
+    const auto regions = csv::split_regions(input.size(), r.regions);
+    auto read_region = [&](std::int64_t i) {
+      csv::RecordReader reader(input, regions[static_cast<std::size_t>(i)]);
+      std::vector<csv::Slice> fields;
+      while (reader.next(fields)) {
+        pv.put(ctx, {static_cast<std::int32_t>(fields[0].to_int64()),
+                     static_cast<std::int32_t>(fields[1].to_int64()),
+                     static_cast<std::int32_t>(fields[2].to_int64()),
+                     static_cast<std::int32_t>(fields[3].to_int64()),
+                     fields[4].to_int64()});
+      }
+    };
+    auto* pool = eng.pool();
+    if (pool != nullptr && r.regions > 1) {
+      pool->for_each_index(r.regions, read_region, /*grain=*/1);
+    } else {
+      for (int i = 0; i < r.regions; ++i) read_region(i);
+    }
+  });
+
+  int region_count = config.csv_regions;
+  if (region_count <= 0) {
+    region_count = opts.sequential ? 1 : opts.threads;
+  }
+  WallTimer timer;
+  eng.put(req, ReadRequest{region_count});
+  eng.run();
+
+  Result result;
+  for (const MonthShard& shard : shards) {
+    for (const auto& [ym, stats] : shard.by_year_month) {
+      result.months[ym] = stats;
+    }
+  }
+  result.seconds = timer.seconds();
+  // Constant-memory claim is checkable by the caller: nothing was stored.
+  JSTAR_CHECK(pv.gamma_size() == 0);
+  return result;
+}
+
+Result run_jstar_phased(const csv::Buffer& input, const JStarConfig& config) {
+  PhaseBreakdown phases;
+  return run_jstar_impl(input, config, &phases);
+}
+
+Result run_baseline(const csv::Buffer& input) {
+  // The paper's Java comparator "uses the typical input reading style of
+  // BufferedReader.readline plus String.split" — i.e. it materialises one
+  // String per line and one per field.  Reproduce that allocation pattern
+  // (getline-into-string + substr splitting) so the Fig 6 comparison
+  // measures the same thing the paper measured: slow string-based parsing
+  // versus JStar's byte-array CSV library.
+  WallTimer timer;
+  Result result;
+  std::unordered_map<std::int32_t, Statistics> acc;
+  const char* data = input.data();
+  const std::size_t size = input.size();
+  std::size_t pos = 0;
+  std::string line;
+  std::vector<std::string> fields;
+  while (pos < size) {
+    std::size_t eol = pos;
+    while (eol < size && data[eol] != '\n') ++eol;
+    line.assign(data + pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    fields.clear();
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t comma = line.find(',', start);
+      if (comma == std::string::npos) {
+        fields.push_back(line.substr(start));
+        break;
+      }
+      fields.push_back(line.substr(start, comma - start));
+      start = comma + 1;
+    }
+    if (fields.size() < 5) continue;
+    const auto year = static_cast<std::int32_t>(std::stoll(fields[0]));
+    const auto month = static_cast<std::int32_t>(std::stoll(fields[1]));
+    acc[year * 100 + month].add(static_cast<double>(std::stoll(fields[4])));
+  }
+  for (const auto& [ym, stats] : acc) result.months[ym] = stats;
+  result.seconds = timer.seconds();
+  return result;
+}
+
+Result run_baseline_fast_csv(const csv::Buffer& input) {
+  // A second, stronger comparator: the same streaming aggregation but on
+  // the zero-copy byte-slice reader (what a careful C++ programmer would
+  // write).  Not in the paper; reported alongside Fig 6 for honesty about
+  // where the JStar overhead goes (tuple storage, not parsing).
+  WallTimer timer;
+  Result result;
+  std::unordered_map<std::int32_t, Statistics> acc;
+  csv::RecordReader reader(input, {0, input.size()});
+  std::vector<csv::Slice> fields;
+  while (reader.next(fields)) {
+    const auto year = static_cast<std::int32_t>(fields[0].to_int64());
+    const auto month = static_cast<std::int32_t>(fields[1].to_int64());
+    acc[year * 100 + month].add(static_cast<double>(fields[4].to_int64()));
+  }
+  for (const auto& [ym, stats] : acc) result.months[ym] = stats;
+  result.seconds = timer.seconds();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Disruptor version (§6.3, Fig 9): single producer reads the CSV and
+// publishes PvWatts tuples; each consumer owns a subset of months, keeps a
+// local Gamma, and reduces it when the sentinel arrives.
+// ---------------------------------------------------------------------------
+
+namespace {
+struct Event {
+  PvRecord record{};
+  bool sentinel = false;
+};
+}  // namespace
+
+Result run_disruptor(const csv::Buffer& input, const DisruptorConfig& config) {
+  JSTAR_CHECK_MSG(config.consumers >= 1 && config.consumers <= 12,
+                  "consumers must be in 1..12 (one or more months each)");
+  WallTimer timer;
+  disruptor::RingBuffer<Event> ring(config.ring_size, config.wait);
+  std::vector<int> consumer_ids;
+  for (int c = 0; c < config.consumers; ++c) {
+    consumer_ids.push_back(ring.add_consumer());
+  }
+
+  std::mutex out_mu;
+  Result result;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(config.consumers));
+  for (int c = 0; c < config.consumers; ++c) {
+    threads.emplace_back([&, c] {
+      // Local Gamma: month-of-this-consumer → records (Fig 9's "own Gamma
+      // database"); reduced when the sentinel tuple arrives.
+      std::unordered_map<std::int32_t, std::vector<PvRecord>> local_gamma;
+      disruptor::consume_loop(ring, consumer_ids[static_cast<std::size_t>(c)],
+                              [&](const Event& e, std::int64_t) {
+        if (e.sentinel) {
+          std::lock_guard<std::mutex> lk(out_mu);
+          for (const auto& [ym, records] : local_gamma) {
+            Statistics stats;
+            for (const PvRecord& r : records) {
+              stats.add(static_cast<double>(r.power));
+            }
+            result.months[ym] = stats;
+          }
+          return false;
+        }
+        if ((e.record.month - 1) % config.consumers == c) {
+          local_gamma[e.record.year * 100 + e.record.month].push_back(e.record);
+        }
+        return true;
+      });
+    });
+  }
+
+  // Producer: read + parse + publish in claimed batches (Table 1).
+  {
+    csv::RecordReader reader(input, {0, input.size()});
+    std::vector<csv::Slice> fields;
+    bool more = true;
+    while (more) {
+      std::vector<PvRecord> batch;
+      batch.reserve(static_cast<std::size_t>(config.producer_batch));
+      while (static_cast<std::int64_t>(batch.size()) < config.producer_batch) {
+        if (!reader.next(fields)) {
+          more = false;
+          break;
+        }
+        batch.push_back({static_cast<std::int32_t>(fields[0].to_int64()),
+                         static_cast<std::int32_t>(fields[1].to_int64()),
+                         static_cast<std::int32_t>(fields[2].to_int64()),
+                         static_cast<std::int32_t>(fields[3].to_int64()),
+                         fields[4].to_int64()});
+      }
+      if (!batch.empty()) {
+        const std::int64_t hi =
+            ring.claim(static_cast<std::int64_t>(batch.size()));
+        const std::int64_t lo = hi - static_cast<std::int64_t>(batch.size()) + 1;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          Event& slot = ring.slot(lo + static_cast<std::int64_t>(i));
+          slot.record = batch[i];
+          slot.sentinel = false;
+        }
+        ring.publish(hi);
+      }
+    }
+    const std::int64_t s = ring.claim(1);
+    ring.slot(s).sentinel = true;
+    ring.publish(s);
+  }
+
+  for (auto& t : threads) t.join();
+  result.seconds = timer.seconds();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Multi-producer Disruptor variant: N region readers (the Fig 7 first
+// phase / Hadoop-style split readers) publish concurrently through an
+// MpRingBuffer.  Each producer sends one sentinel; consumers stop after
+// seeing all N.
+// ---------------------------------------------------------------------------
+
+Result run_disruptor_mp(const csv::Buffer& input,
+                        const DisruptorConfig& config, int producers) {
+  JSTAR_CHECK_MSG(config.consumers >= 1 && config.consumers <= 12,
+                  "consumers must be in 1..12 (one or more months each)");
+  JSTAR_CHECK_MSG(producers >= 1, "need at least one producer");
+  WallTimer timer;
+  disruptor::MpRingBuffer<Event> ring(config.ring_size, config.wait);
+  std::vector<int> consumer_ids;
+  for (int c = 0; c < config.consumers; ++c) {
+    consumer_ids.push_back(ring.add_consumer());
+  }
+
+  std::mutex out_mu;
+  Result result;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(config.consumers + producers));
+  for (int c = 0; c < config.consumers; ++c) {
+    threads.emplace_back([&, c] {
+      std::unordered_map<std::int32_t, std::vector<PvRecord>> local_gamma;
+      int sentinels = 0;
+      disruptor::mp_consume_loop(
+          ring, consumer_ids[static_cast<std::size_t>(c)],
+          [&](const Event& e, std::int64_t) {
+            if (e.sentinel) {
+              if (++sentinels < producers) return true;
+              std::lock_guard<std::mutex> lk(out_mu);
+              for (const auto& [ym, records] : local_gamma) {
+                Statistics stats;
+                for (const PvRecord& r : records) {
+                  stats.add(static_cast<double>(r.power));
+                }
+                result.months[ym] = stats;
+              }
+              return false;
+            }
+            if ((e.record.month - 1) % config.consumers == c) {
+              local_gamma[e.record.year * 100 + e.record.month].push_back(
+                  e.record);
+            }
+            return true;
+          });
+    });
+  }
+
+  const std::vector<csv::Region> regions =
+      csv::split_regions(input.size(), producers);
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      csv::RecordReader reader(input, regions[static_cast<std::size_t>(p)]);
+      std::vector<csv::Slice> fields;
+      bool more = true;
+      while (more) {
+        std::vector<PvRecord> batch;
+        batch.reserve(static_cast<std::size_t>(config.producer_batch));
+        while (static_cast<std::int64_t>(batch.size()) <
+               config.producer_batch) {
+          if (!reader.next(fields)) {
+            more = false;
+            break;
+          }
+          batch.push_back({static_cast<std::int32_t>(fields[0].to_int64()),
+                           static_cast<std::int32_t>(fields[1].to_int64()),
+                           static_cast<std::int32_t>(fields[2].to_int64()),
+                           static_cast<std::int32_t>(fields[3].to_int64()),
+                           fields[4].to_int64()});
+        }
+        if (!batch.empty()) {
+          const std::int64_t hi =
+              ring.claim(static_cast<std::int64_t>(batch.size()));
+          const std::int64_t lo =
+              hi - static_cast<std::int64_t>(batch.size()) + 1;
+          for (std::size_t i = 0; i < batch.size(); ++i) {
+            Event& slot = ring.slot(lo + static_cast<std::int64_t>(i));
+            slot.record = batch[i];
+            slot.sentinel = false;
+          }
+          ring.publish(lo, hi);
+        }
+      }
+      const std::int64_t s = ring.claim(1);
+      ring.slot(s).sentinel = true;
+      ring.publish(s);
+    });
+  }
+
+  for (auto& t : threads) t.join();
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace jstar::apps::pvwatts

@@ -1,0 +1,162 @@
+// The PvWatts case study (§6.2–§6.3): a map-reduce style program that
+// reads hourly solar-cell output records from a CSV file and computes the
+// average power generated during each month (Fig 4).
+//
+// The paper's input is a 192 MB file from NREL's PVWatts tool (8,760,000
+// hourly records).  We do not have that file, so generate_csv() produces a
+// synthetic equivalent: hourly records `year,month,day,hour,power` with a
+// deterministic diurnal/seasonal power model.  The benchmark's behaviour
+// depends only on record count and month distribution, both preserved; the
+// record count is a parameter so the paper-scale input can be regenerated.
+//
+// Three implementations, mirroring the paper:
+//   * run_jstar     — the Fig 4 program on the jstar engine, with the
+//                     §6.2 strategy knobs (noDelta, Gamma structure choice,
+//                     threads, parallel CSV regions);
+//   * run_baseline  — the hand-coded "Java version": sequential read,
+//                     flat accumulation (Fig 6 comparator);
+//   * run_disruptor — the §6.3 single-producer / multi-consumer Disruptor
+//                     pipeline (Table 1, Fig 10).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "csv/csv.h"
+#include "disruptor/mp_ring_buffer.h"
+#include "disruptor/ring_buffer.h"
+#include "util/statistics.h"
+
+namespace jstar::apps::pvwatts {
+
+/// One hourly measurement — the PvWatts tuple of Fig 4.
+struct PvRecord {
+  std::int32_t year;
+  std::int32_t month;  // 1..12
+  std::int32_t day;    // 1..31
+  std::int32_t hour;   // 0..23
+  std::int64_t power;  // watts
+
+  auto operator<=>(const PvRecord&) const = default;
+};
+
+/// The SumMonth request tuple of Fig 4.
+struct SumMonth {
+  std::int32_t year;
+  std::int32_t month;
+  auto operator<=>(const SumMonth&) const = default;
+};
+
+/// Record ordering in the generated file (Fig 10):
+///   MonthMajor — "unsorted" in the paper's terms: ordered by year and
+///                month, so one consumer sees long runs of records;
+///   RoundRobin — "sorted" by day/hour: months interleave record by
+///                record, giving the Disruptor consumers even load.
+enum class InputOrder { MonthMajor, RoundRobin };
+
+/// Generates `records` hourly measurements covering `records / 8760`
+/// years (rounded up), deterministic in `seed`.
+csv::Buffer generate_csv(std::int64_t records, InputOrder order,
+                         std::uint64_t seed = 1);
+
+/// (year*100 + month) → statistics of power for that month.
+using MonthlyMeans = std::map<std::int32_t, Statistics>;
+
+/// Gamma data-structure choice for the PvWatts table (Fig 8's
+/// alternatives).
+enum class GammaKind {
+  Default,      // TreeSet / ConcurrentSkipListSet
+  Hash,         // HashSet / striped concurrent hash set
+  MonthArray,   // custom array[12]-of-hash-sets (§6.2)
+};
+
+inline const char* to_string(GammaKind g) {
+  switch (g) {
+    case GammaKind::Default: return "skiplist";
+    case GammaKind::Hash: return "hash";
+    case GammaKind::MonthArray: return "month-array";
+  }
+  return "?";
+}
+
+struct JStarConfig {
+  EngineOptions engine;
+  /// -noDelta PvWatts (§5.1/§6.2); on by default as in the tuned program.
+  bool no_delta_pvwatts = true;
+  GammaKind gamma = GammaKind::MonthArray;
+  /// Parallel CSV reader count (the Fig 7 first phase); 0 = threads.
+  int csv_regions = 0;
+};
+
+/// Phase timings for the §6.3 breakdown.
+struct PhaseBreakdown {
+  double read_parse = 0;     // reading + parsing the input
+  double gamma_insert = 0;   // creating PvWatts tuples + Gamma insert
+  double delta_insert = 0;   // SumMonth tuples into the Delta tree
+  double reduce = 0;         // Statistics reduction per month
+};
+
+struct Result {
+  MonthlyMeans months;
+  double seconds = 0;
+  PhaseBreakdown phases;  // filled by run_jstar_phased only
+};
+
+Result run_jstar(const csv::Buffer& input, const JStarConfig& config);
+
+/// Like run_jstar but with per-phase instrumentation (single-threaded
+/// timers; use with threads == 1 as in §6.3).
+Result run_jstar_phased(const csv::Buffer& input, const JStarConfig& config);
+
+/// The §6.2 incremental-reducer optimisation: per-month Statistics
+/// reducers consume PvWatts tuples as they are created (-noDelta
+/// -noGamma), so the program runs in constant memory — no tuple is ever
+/// stored.  `config.gamma` is ignored (there is no Gamma table).
+Result run_jstar_incremental(const csv::Buffer& input,
+                             const JStarConfig& config);
+
+/// Hand-coded comparator (the "Java version" of Fig 6): deliberately uses
+/// readline-plus-split string parsing, the input style the paper ascribes
+/// to the Java program.
+Result run_baseline(const csv::Buffer& input);
+
+/// Stronger comparator on the zero-copy CSV reader (not in the paper; see
+/// the Fig 6 bench output for why both are reported).
+Result run_baseline_fast_csv(const csv::Buffer& input);
+
+struct DisruptorConfig {
+  int consumers = 12;                       // Table 1: 12, one per month
+  std::size_t ring_size = 1024;             // Table 1
+  std::int64_t producer_batch = 256;        // Table 1
+  disruptor::WaitStrategy wait = disruptor::WaitStrategy::Blocking;
+};
+
+Result run_disruptor(const csv::Buffer& input, const DisruptorConfig& config);
+
+/// Multi-producer variant: `producers` parallel CSV region readers publish
+/// through an MpRingBuffer (Table 1's "multiple producers" alternative
+/// combined with the Fig 7 parallel read phase).
+Result run_disruptor_mp(const csv::Buffer& input,
+                        const DisruptorConfig& config, int producers);
+
+/// Reference means computed directly (for correctness tests).
+MonthlyMeans reference_means(const csv::Buffer& input);
+
+}  // namespace jstar::apps::pvwatts
+
+// Hash support for the tuples (set-semantics dedup).
+template <>
+struct std::hash<jstar::apps::pvwatts::PvRecord> {
+  std::size_t operator()(const jstar::apps::pvwatts::PvRecord& r) const {
+    return jstar::hash_fields(r.year, r.month, r.day, r.hour, r.power);
+  }
+};
+template <>
+struct std::hash<jstar::apps::pvwatts::SumMonth> {
+  std::size_t operator()(const jstar::apps::pvwatts::SumMonth& s) const {
+    return jstar::hash_fields(s.year, s.month);
+  }
+};

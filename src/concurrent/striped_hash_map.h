@@ -1,0 +1,182 @@
+// Striped (lock-sharded) hash map and set — the ConcurrentHashMap /
+// concurrent HashSet stand-ins.  §6.2 uses these for the optimised PvWatts
+// Gamma table ("we can use a HashSet or ConcurrentHashMap, which are
+// considerably more efficient" than ordered structures when the query key
+// is fully known).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace jstar::concurrent {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class StripedHashMap {
+ public:
+  explicit StripedHashMap(std::size_t stripes = 16)
+      : shards_(round_up_pow2(stripes)) {}
+
+  /// Inserts (key, value) if absent; returns true if inserted.
+  bool insert(const K& key, V value) {
+    Shard& s = shard(key);
+    std::lock_guard<std::mutex> lk(s.mu);
+    return s.map.emplace(key, std::move(value)).second;
+  }
+
+  /// Finds the value for key, inserting make() if absent.  The returned
+  /// reference stays valid until erase/clear (unordered_map node stability).
+  template <typename Factory>
+  V& get_or_insert(const K& key, Factory&& make) {
+    Shard& s = shard(key);
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) it = s.map.emplace(key, make()).first;
+    return it->second;
+  }
+
+  /// Applies fn under the shard lock to the value for key, default-creating
+  /// it if absent.  This is the safe way to mutate values concurrently.
+  template <typename Fn>
+  void update(const K& key, Fn&& fn) {
+    Shard& s = shard(key);
+    std::lock_guard<std::mutex> lk(s.mu);
+    fn(s.map[key]);
+  }
+
+  /// Copies out the value for key if present.
+  bool lookup(const K& key, V& out) const {
+    const Shard& s = shard(key);
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) return false;
+    out = it->second;
+    return true;
+  }
+
+  bool contains(const K& key) const {
+    const Shard& s = shard(key);
+    std::lock_guard<std::mutex> lk(s.mu);
+    return s.map.count(key) != 0;
+  }
+
+  bool erase(const K& key) {
+    Shard& s = shard(key);
+    std::lock_guard<std::mutex> lk(s.mu);
+    return s.map.erase(key) != 0;
+  }
+
+  /// Visits every entry, one shard at a time (each shard under its lock).
+  /// Unordered; do not call map operations from fn (would self-deadlock).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lk(s.mu);
+      for (const auto& [k, v] : s.map) fn(k, v);
+    }
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lk(s.mu);
+      n += s.map.size();
+    }
+    return n;
+  }
+
+  void clear() {
+    for (Shard& s : shards_) {
+      std::lock_guard<std::mutex> lk(s.mu);
+      s.map.clear();
+    }
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<K, V, Hash> map;
+  };
+
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  Shard& shard(const K& key) {
+    return shards_[Hash{}(key) & (shards_.size() - 1)];
+  }
+  const Shard& shard(const K& key) const {
+    return shards_[Hash{}(key) & (shards_.size() - 1)];
+  }
+
+  mutable std::vector<Shard> shards_;
+};
+
+template <typename T, typename Hash = std::hash<T>>
+class StripedHashSet {
+ public:
+  explicit StripedHashSet(std::size_t stripes = 16)
+      : shards_(round_up_pow2(stripes)) {}
+
+  /// Inserts v if absent; returns true if inserted.
+  bool insert(const T& v) {
+    Shard& s = shard(v);
+    std::lock_guard<std::mutex> lk(s.mu);
+    return s.set.insert(v).second;
+  }
+
+  bool contains(const T& v) const {
+    const Shard& s = shard(v);
+    std::lock_guard<std::mutex> lk(s.mu);
+    return s.set.count(v) != 0;
+  }
+
+  bool erase(const T& v) {
+    Shard& s = shard(v);
+    std::lock_guard<std::mutex> lk(s.mu);
+    return s.set.erase(v) != 0;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lk(s.mu);
+      for (const auto& v : s.set) fn(v);
+    }
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lk(s.mu);
+      n += s.set.size();
+    }
+    return n;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_set<T, Hash> set;
+  };
+
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  Shard& shard(const T& v) { return shards_[Hash{}(v) & (shards_.size() - 1)]; }
+  const Shard& shard(const T& v) const {
+    return shards_[Hash{}(v) & (shards_.size() - 1)];
+  }
+
+  mutable std::vector<Shard> shards_;
+};
+
+}  // namespace jstar::concurrent

@@ -1,0 +1,38 @@
+// Delta-tree leaves: the "sets of tuples" in one causality equivalence
+// class (§5).  A BatchNode holds, per table, the deduplicated tuples whose
+// DeltaKey equals the node's key; everything in one node may execute in
+// parallel.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace jstar {
+
+/// Type-erased per-table slice of a batch; the concrete type is
+/// Table<T>::BatchVec.
+class BatchVecBase {
+ public:
+  virtual ~BatchVecBase() = default;
+  virtual std::size_t count() const = 0;
+};
+
+/// One Delta-tree leaf.  Insertions lock `mu` (many rule tasks may put
+/// tuples with the same future timestamp concurrently); the engine
+/// coordinator consumes nodes exclusively after pop_min.
+struct BatchNode {
+  std::mutex mu;
+  /// Indexed by table id; slots are created lazily under `mu`.
+  std::vector<std::unique_ptr<BatchVecBase>> per_table;
+
+  std::size_t total_tuples() const {
+    std::size_t n = 0;
+    for (const auto& s : per_table) {
+      if (s) n += s->count();
+    }
+    return n;
+  }
+};
+
+}  // namespace jstar

@@ -1,0 +1,99 @@
+// The Delta set (§3, §5): a multi-level priority queue over pending tuples,
+// ordered by the causality ordering, with set-semantics deduplication.
+//
+// Two backends mirror the paper's generated code:
+//   * MapDeltaTree  — java.util.TreeMap analogue, for -sequential code;
+//   * SkipDeltaTree — ConcurrentSkipListMap analogue, for parallel code
+//     (workers insert concurrently while a batch executes; the coordinator
+//     pops the minimum between batches, which is an exclusive phase).
+//
+// Footnote 5 of the paper explains why this is a map and not a plain
+// priority queue: duplicate tuples must be removed as they are inserted.
+// The per-table dedup sets live inside the BatchNode slices.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "concurrent/skip_list_map.h"
+#include "core/batch.h"
+#include "core/key.h"
+
+namespace jstar {
+
+class DeltaTree {
+ public:
+  virtual ~DeltaTree() = default;
+
+  /// Returns the batch node for `key`, creating it if absent.
+  /// Thread-safety depends on the backend (see class comment).
+  virtual BatchNode& get_or_insert(const DeltaKey& key) = 0;
+
+  /// EXCLUSIVE PHASE.  Removes the minimal batch; returns false when empty.
+  virtual bool pop_min(DeltaKey& key_out, std::unique_ptr<BatchNode>& node_out) = 0;
+
+  virtual bool empty() const = 0;
+  virtual std::size_t batch_count() const = 0;
+
+  /// EXCLUSIVE PHASE.  Reclaims memory retired by concurrent operations.
+  virtual void collect_garbage() {}
+};
+
+/// Sequential backend (TreeMap analogue).  Not thread-safe.
+class MapDeltaTree final : public DeltaTree {
+ public:
+  BatchNode& get_or_insert(const DeltaKey& key) override {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      it = map_.emplace(key, std::make_unique<BatchNode>()).first;
+    }
+    return *it->second;
+  }
+
+  bool pop_min(DeltaKey& key_out, std::unique_ptr<BatchNode>& node_out) override {
+    if (map_.empty()) return false;
+    auto it = map_.begin();
+    key_out = it->first;
+    node_out = std::move(it->second);
+    map_.erase(it);
+    return true;
+  }
+
+  bool empty() const override { return map_.empty(); }
+  std::size_t batch_count() const override { return map_.size(); }
+
+ private:
+  std::map<DeltaKey, std::unique_ptr<BatchNode>, DeltaKeyLess> map_;
+};
+
+/// Concurrent backend (ConcurrentSkipListMap analogue).  get_or_insert is
+/// safe from any number of rule tasks; pop_min/collect_garbage are
+/// coordinator-only, between batches.
+class SkipDeltaTree final : public DeltaTree {
+ public:
+  ~SkipDeltaTree() override {
+    map_.for_each([](const DeltaKey&, BatchNode* const& node) { delete node; });
+  }
+
+  BatchNode& get_or_insert(const DeltaKey& key) override {
+    // The factory runs exactly once per successfully inserted node (after
+    // predecessor validation), so there is no allocate-and-discard race.
+    return *map_.get_or_insert(key, [] { return new BatchNode(); });
+  }
+
+  bool pop_min(DeltaKey& key_out, std::unique_ptr<BatchNode>& node_out) override {
+    BatchNode* node = nullptr;
+    if (!map_.pop_min(key_out, node)) return false;
+    node_out.reset(node);
+    return true;
+  }
+
+  bool empty() const override { return map_.empty(); }
+  std::size_t batch_count() const override { return map_.size(); }
+  void collect_garbage() override { map_.collect_garbage(); }
+
+ private:
+  concurrent::SkipListMap<DeltaKey, BatchNode*, DeltaKeyLess> map_;
+};
+
+}  // namespace jstar

@@ -1,0 +1,97 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+namespace jstar {
+
+Engine::Engine(EngineOptions opts) : opts_(std::move(opts)) {
+  JSTAR_CHECK_MSG(opts_.threads >= 1, "threads must be >= 1");
+}
+
+Engine::~Engine() = default;
+
+void Engine::prepare() {
+  if (prepared_) return;
+  prepared_ = true;
+  if (opts_.sequential) {
+    delta_ = std::make_unique<MapDeltaTree>();
+  } else {
+    if (opts_.delta_stripes >= 1) {
+      delta_ = std::make_unique<StripedDeltaTree>(opts_.delta_stripes);
+    } else {
+      delta_ = std::make_unique<SkipDeltaTree>();
+    }
+    pool_ = std::make_unique<sched::ForkJoinPool>(opts_.threads);
+  }
+  edges_.resize(tables_.size());
+  TableBase::RuntimeEnv env;
+  env.delta = delta_.get();
+  env.pool = pool_.get();
+  env.edges = &edges_;
+  env.orders = &orders_;
+  env.causality_checks = opts_.causality_checks;
+  env.parallel = !opts_.sequential;
+  env.task_per_rule = opts_.task_per_rule;
+  // configure() registers each table's orderby literals, so it must run
+  // before the order relation is frozen into ranks.
+  for (auto& t : tables_) {
+    t->configure(env, opts_.no_delta.count(t->name()) != 0,
+                 opts_.no_gamma.count(t->name()) != 0);
+  }
+  orders_.freeze();
+}
+
+void Engine::process_batch(const DeltaKey& key, BatchNode& node,
+                           RunReport& report) {
+  // Phase A: move every tuple of this equivalence class into Gamma (all
+  // tables), recording freshness.  Running A for all tables before any B
+  // makes positive queries at timestamp == now deterministic: every tuple
+  // of the class is visible before any rule of the class runs.
+  const std::size_t slots = node.per_table.size();
+  std::vector<std::vector<std::uint8_t>> keep(slots);
+  std::int64_t batch_tuples = 0;
+  for (std::size_t i = 0; i < slots; ++i) {
+    if (!node.per_table[i]) continue;
+    batch_tuples += static_cast<std::int64_t>(node.per_table[i]->count());
+    tables_[i]->batch_insert_phase(*node.per_table[i], keep[i]);
+  }
+  // Phase B: effects + rule firing, one fork/join task per tuple (§5).
+  for (std::size_t i = 0; i < slots; ++i) {
+    if (!node.per_table[i]) continue;
+    tables_[i]->batch_fire_phase(*node.per_table[i], keep[i], key);
+  }
+  ++report.batches;
+  report.tuples += batch_tuples;
+  report.max_batch = std::max(report.max_batch, batch_tuples);
+}
+
+bool Engine::step(RunReport* report) {
+  prepare();
+  DeltaKey key;
+  std::unique_ptr<BatchNode> node;
+  if (!delta_->pop_min(key, node)) return false;
+  RunReport scratch;
+  process_batch(key, *node, report != nullptr ? *report : scratch);
+  return true;
+}
+
+RunReport Engine::run() {
+  prepare();
+  RunReport report;
+  WallTimer timer;
+  DeltaKey key;
+  std::unique_ptr<BatchNode> node;
+  int since_gc = 0;
+  while (delta_->pop_min(key, node)) {
+    process_batch(key, *node, report);
+    node.reset();
+    if (!opts_.sequential && ++since_gc >= opts_.gc_interval_batches) {
+      delta_->collect_garbage();
+      since_gc = 0;
+    }
+  }
+  report.seconds = timer.seconds();
+  return report;
+}
+
+}  // namespace jstar

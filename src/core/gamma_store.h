@@ -1,0 +1,150 @@
+// Gamma database storage (§5, §6.2): one pluggable store per table.
+//
+// The paper's defaults are TreeSet (sequential) / ConcurrentSkipListSet
+// (parallel), both "NavigableSet"s so ordered range queries work; §6.2 then
+// shows overriding a table's structure — HashSet / ConcurrentHashMap when
+// the query key is always fully known, or custom array-backed structures
+// ("native arrays", §6.4) — *without touching the program*.  That
+// late-commitment-to-data-structures story (§1.4) is reproduced here by
+// TableDecl::store_factory overrides.
+//
+// Thread-safety contract: in parallel engine mode, insert/contains/scans
+// may be called concurrently from rule tasks; implementations marked
+// sequential are only used by the sequential engine.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <unordered_set>
+
+#include "concurrent/skip_list_set.h"
+#include "concurrent/striped_hash_map.h"
+
+namespace jstar {
+
+/// Type-erased marker base so Engine can hold stores uniformly.
+class GammaStoreBase {
+ public:
+  virtual ~GammaStoreBase() = default;
+  virtual std::size_t size() const = 0;
+};
+
+/// Storage interface for one table's Gamma data.
+template <typename T>
+class GammaStore : public GammaStoreBase {
+ public:
+  /// Set-semantics insert; returns false when the tuple is a duplicate.
+  virtual bool insert(const T& t) = 0;
+  virtual bool contains(const T& t) const = 0;
+  /// Visits every stored tuple (order depends on the structure).
+  virtual void scan(const std::function<void(const T&)>& fn) const = 0;
+  /// Visits tuples t with lo <= t < hi under the structure's order.
+  /// Unordered stores fall back to a filtered full scan.
+  virtual void scan_range(const T& lo, const T& hi,
+                          const std::function<void(const T&)>& fn) const {
+    scan([&](const T& t) {
+      if (!(t < lo) && (t < hi)) fn(t);
+    });
+  }
+};
+
+/// Sequential ordered store — the Java TreeSet default.
+template <typename T>
+class TreeSetStore final : public GammaStore<T> {
+ public:
+  bool insert(const T& t) override { return set_.insert(t).second; }
+  bool contains(const T& t) const override { return set_.count(t) != 0; }
+  void scan(const std::function<void(const T&)>& fn) const override {
+    for (const T& t : set_) fn(t);
+  }
+  void scan_range(const T& lo, const T& hi,
+                  const std::function<void(const T&)>& fn) const override {
+    for (auto it = set_.lower_bound(lo); it != set_.end() && *it < hi; ++it) {
+      fn(*it);
+    }
+  }
+  std::size_t size() const override { return set_.size(); }
+
+ private:
+  std::set<T> set_;
+};
+
+/// Concurrent ordered store — the ConcurrentSkipListSet default for
+/// parallel code.
+template <typename T>
+class SkipListStore final : public GammaStore<T> {
+ public:
+  bool insert(const T& t) override { return set_.insert(t); }
+  bool contains(const T& t) const override { return set_.contains(t); }
+  void scan(const std::function<void(const T&)>& fn) const override {
+    set_.for_each(fn);
+  }
+  void scan_range(const T& lo, const T& hi,
+                  const std::function<void(const T&)>& fn) const override {
+    set_.for_range(lo, hi, fn);
+  }
+  std::size_t size() const override { return set_.size(); }
+
+ private:
+  concurrent::SkipListSet<T> set_;
+};
+
+/// Sequential hash store — the HashSet alternative of §6.2.  Requires a
+/// Hash functor; range scans degrade to filtered full scans.
+template <typename T, typename Hash>
+class HashSetStore final : public GammaStore<T> {
+ public:
+  bool insert(const T& t) override { return set_.insert(t).second; }
+  bool contains(const T& t) const override { return set_.count(t) != 0; }
+  void scan(const std::function<void(const T&)>& fn) const override {
+    for (const T& t : set_) fn(t);
+  }
+  std::size_t size() const override { return set_.size(); }
+
+ private:
+  std::unordered_set<T, Hash> set_;
+};
+
+/// Concurrent hash store — the ConcurrentHashMap alternative of §6.2.
+template <typename T, typename Hash>
+class StripedHashStore final : public GammaStore<T> {
+ public:
+  explicit StripedHashStore(std::size_t stripes = 64) : set_(stripes) {}
+  bool insert(const T& t) override { return set_.insert(t); }
+  bool contains(const T& t) const override { return set_.contains(t); }
+  void scan(const std::function<void(const T&)>& fn) const override {
+    set_.for_each(fn);
+  }
+  std::size_t size() const override { return set_.size(); }
+
+ private:
+  concurrent::StripedHashSet<T, Hash> set_;
+};
+
+/// The `-noGamma T` store (§5.1): tuples are never retained, so there is
+/// no set-semantics dedup either; every insert "succeeds".  Useful for
+/// trigger-only tables (e.g. Estimate in the Dijkstra program, §6.5) and
+/// it "does help to reduce the active heap size".
+template <typename T>
+class NullStore final : public GammaStore<T> {
+ public:
+  bool insert(const T&) override {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  bool contains(const T&) const override { return false; }
+  void scan(const std::function<void(const T&)>&) const override {}
+  std::size_t size() const override { return 0; }
+  /// Number of tuples that passed through (for stats only).
+  std::int64_t passed_through() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> count_{0};
+};
+
+}  // namespace jstar

@@ -1,0 +1,44 @@
+// Delta-tree keys: the flattened form of a tuple's `orderby` list.
+//
+// The paper's Delta tree is a multi-level structure: each level is either a
+// capitalised literal name (ordered by the program's `order` declarations),
+// a `seq` field (sorted sequentially), or a `par` field (unordered, i.e.
+// excluded from the ordering).  Two tuples are in the same equivalence
+// class — and may therefore run in parallel — iff their comparable levels
+// are equal.
+//
+// We flatten the comparable levels (literal ranks and seq field values)
+// into one lexicographically-compared integer vector; `par` fields are
+// simply not emitted.  This is observationally equivalent to the tree: the
+// order over equivalence classes is identical, and the leaf "sets of
+// tuples" of the paper become the batches keyed by equal DeltaKeys.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/small_vec.h"
+
+namespace jstar {
+
+/// A fully comparable timestamp: literal stratum ranks and seq field values
+/// flattened into one lexicographic vector.  A strict prefix compares less.
+using DeltaKey = SmallVec<std::int64_t, 6>;
+
+inline std::string to_string(const DeltaKey& k) {
+  std::string s = "(";
+  for (std::size_t i = 0; i < k.size(); ++i) {
+    if (i) s += ", ";
+    s += std::to_string(k[i]);
+  }
+  s += ")";
+  return s;
+}
+
+struct DeltaKeyLess {
+  bool operator()(const DeltaKey& a, const DeltaKey& b) const {
+    return (a <=> b) == std::strong_ordering::less;
+  }
+};
+
+}  // namespace jstar

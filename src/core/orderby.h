@@ -1,0 +1,116 @@
+// `orderby` specifications and `order` declarations (§3–§4).
+//
+// A table declaration like
+//     table Ship(int frame -> int x, ...) orderby (Int, seq frame)
+// becomes
+//     TableDecl<Ship> d("Ship");
+//     d.orderby(lit("Int"), seq(&Ship::frame));
+// The literal levels are ordered by explicit `order` declarations
+// (e.g. `order Req < PvWatts < SumMonth`, Fig 4), which define a partial
+// order; we resolve it to integer ranks by a deterministic topological
+// sort, rejecting cycles (a cyclic order makes stratification impossible).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace jstar {
+
+/// One level of an orderby list, for documentation/visualisation and for
+/// building the static causality specs.
+struct OrderByLevel {
+  enum class Kind { Lit, Seq, Par };
+  Kind kind;
+  std::string name;  // literal name, or field name
+};
+
+/// Resolves literal level names to integer ranks consistent with all
+/// `order` declarations.  Ranks are assigned by Kahn's algorithm with
+/// registration order as the tie-break, so rank assignment is
+/// deterministic — incomparable literals get an arbitrary but stable
+/// linear extension, which is a valid scheduling refinement of the
+/// declared partial order.
+class OrderResolver {
+ public:
+  /// Registers (or finds) a literal name; allowed only before freeze().
+  int literal(const std::string& name) {
+    auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+    JSTAR_CHECK_MSG(!frozen_, "order literal registered after freeze: " + name);
+    const int id = static_cast<int>(names_.size());
+    ids_.emplace(name, id);
+    names_.push_back(name);
+    adj_.emplace_back();
+    return id;
+  }
+
+  /// Declares a chain a < b < c < ... (the paper's `order` statement).
+  void declare_chain(const std::vector<std::string>& chain) {
+    JSTAR_CHECK_MSG(!frozen_, "order declared after freeze");
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+      const int a = literal(chain[i]);
+      const int b = literal(chain[i + 1]);
+      adj_[static_cast<std::size_t>(a)].push_back(b);
+    }
+  }
+
+  /// Computes ranks; further literals/orders are rejected.  Throws
+  /// CheckError on a cyclic order declaration.
+  void freeze() {
+    if (frozen_) return;
+    const std::size_t n = names_.size();
+    std::vector<int> indeg(n, 0);
+    for (const auto& out : adj_) {
+      for (int b : out) ++indeg[static_cast<std::size_t>(b)];
+    }
+    // Kahn's algorithm; the ready "queue" is scanned in id order so the
+    // result is deterministic in registration order.
+    ranks_.assign(n, -1);
+    std::vector<bool> done(n, false);
+    for (std::size_t assigned = 0; assigned < n; ++assigned) {
+      int pick = -1;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!done[i] && indeg[i] == 0) {
+          pick = static_cast<int>(i);
+          break;
+        }
+      }
+      JSTAR_CHECK_MSG(pick >= 0, "cycle in order declarations");
+      done[static_cast<std::size_t>(pick)] = true;
+      ranks_[static_cast<std::size_t>(pick)] = static_cast<int>(assigned);
+      for (int b : adj_[static_cast<std::size_t>(pick)]) {
+        --indeg[static_cast<std::size_t>(b)];
+      }
+    }
+    frozen_ = true;
+  }
+
+  bool frozen() const { return frozen_; }
+
+  /// Rank of a literal id (freeze() must have been called).
+  std::int64_t rank(int literal_id) const {
+    JSTAR_CHECK_MSG(frozen_, "OrderResolver::rank before freeze");
+    return ranks_[static_cast<std::size_t>(literal_id)];
+  }
+
+  std::int64_t rank_of(const std::string& name) const {
+    auto it = ids_.find(name);
+    JSTAR_CHECK_MSG(it != ids_.end(), "unknown order literal: " + name);
+    return rank(it->second);
+  }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::map<std::string, int> ids_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<int>> adj_;
+  std::vector<int> ranks_;
+  bool frozen_ = false;
+};
+
+}  // namespace jstar

@@ -1,0 +1,138 @@
+// Typed query predicates — the C++ embedding of JStar's boolean lambda
+// query terms (§1.4: "part of the query term is typically written using a
+// boolean lambda expression").
+//
+// Predicates built from field matchers compose with && and ||, and they
+// *describe* themselves: each predicate knows which fields it constrains
+// to equality, so the engine can route a query through a secondary index
+// when one exists (see table.h / index support) instead of scanning —
+// reproducing the paper's point that query structure, not the program
+// text, should pick the data structure.
+//
+//   using q = jstar::query;
+//   auto p = q::eq(&Pv::year, 2012) && q::lt(&Pv::power, 100);
+//   table.find_if(p);   // works anywhere a callable is expected
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace jstar::query {
+
+/// One equality binding discovered in a predicate: "field #tag == value".
+/// Tags are the member-pointer identity erased to an opaque void*; index
+/// registration uses the same tag so lookups can be matched to indexes.
+struct EqBinding {
+  const void* field_tag = nullptr;
+  std::int64_t value = 0;
+};
+
+namespace detail {
+
+/// Stable opaque tag for a pointer-to-member.  Two mentions of &T::x give
+/// the same tag; distinct fields give distinct tags.
+template <typename T, typename M>
+const void* field_tag(M T::*member) {
+  // Function-local statics keyed by the template instantiation would
+  // collapse all members of the same type; instead hash the member
+  // pointer's bytes into a per-instantiation registry.
+  static_assert(sizeof(member) <= 16);
+  union {
+    M T::*m;
+    unsigned char bytes[16];
+  } u{};
+  u.m = member;
+  // The bytes uniquely identify the member within (T, M); combine with a
+  // per-instantiation anchor so (T1::x, T2::y) of equal offsets differ.
+  static const char anchor = 0;
+  std::size_t h = reinterpret_cast<std::size_t>(&anchor);
+  for (unsigned char b : u.bytes) h = h * 131 + b;
+  return reinterpret_cast<const void*>(h);
+}
+
+}  // namespace detail
+
+/// A predicate over T: callable, plus the list of equality bindings it
+/// implies (for index routing).  And/Or compose; Or discards bindings
+/// (a disjunction no longer pins a field to one value).
+template <typename T>
+class Pred {
+ public:
+  Pred(std::function<bool(const T&)> fn, std::vector<EqBinding> eqs = {})
+      : fn_(std::move(fn)), eqs_(std::move(eqs)) {}
+
+  bool operator()(const T& t) const { return fn_(t); }
+  const std::vector<EqBinding>& eq_bindings() const { return eqs_; }
+
+  friend Pred operator&&(const Pred& a, const Pred& b) {
+    std::vector<EqBinding> eqs = a.eqs_;
+    eqs.insert(eqs.end(), b.eqs_.begin(), b.eqs_.end());
+    return Pred(
+        [fa = a.fn_, fb = b.fn_](const T& t) { return fa(t) && fb(t); },
+        std::move(eqs));
+  }
+  friend Pred operator||(const Pred& a, const Pred& b) {
+    return Pred(
+        [fa = a.fn_, fb = b.fn_](const T& t) { return fa(t) || fb(t); });
+  }
+  friend Pred operator!(const Pred& a) {
+    return Pred([fa = a.fn_](const T& t) { return !fa(t); });
+  }
+
+ private:
+  std::function<bool(const T&)> fn_;
+  std::vector<EqBinding> eqs_;
+};
+
+/// field == value — the indexable equality matcher.
+template <typename T, typename M, typename V>
+Pred<T> eq(M T::*member, V value) {
+  EqBinding b{detail::field_tag(member), static_cast<std::int64_t>(value)};
+  return Pred<T>(
+      [member, value](const T& t) { return t.*member == value; }, {b});
+}
+
+template <typename T, typename M, typename V>
+Pred<T> ne(M T::*member, V value) {
+  return Pred<T>([member, value](const T& t) { return t.*member != value; });
+}
+template <typename T, typename M, typename V>
+Pred<T> lt(M T::*member, V value) {
+  return Pred<T>([member, value](const T& t) { return t.*member < value; });
+}
+template <typename T, typename M, typename V>
+Pred<T> le(M T::*member, V value) {
+  return Pred<T>([member, value](const T& t) { return t.*member <= value; });
+}
+template <typename T, typename M, typename V>
+Pred<T> gt(M T::*member, V value) {
+  return Pred<T>([member, value](const T& t) { return t.*member > value; });
+}
+template <typename T, typename M, typename V>
+Pred<T> ge(M T::*member, V value) {
+  return Pred<T>([member, value](const T& t) { return t.*member >= value; });
+}
+
+/// value in [lo, hi)
+template <typename T, typename M, typename V>
+Pred<T> between(M T::*member, V lo, V hi) {
+  return Pred<T>([member, lo, hi](const T& t) {
+    return t.*member >= lo && t.*member < hi;
+  });
+}
+
+/// Arbitrary lambda escape hatch (no index routing information).
+template <typename T, typename Fn>
+Pred<T> lambda(Fn&& fn) {
+  return Pred<T>(std::function<bool(const T&)>(std::forward<Fn>(fn)));
+}
+
+/// The tag for a member, exported so indexes can register under it.
+template <typename T, typename M>
+const void* field_tag(M T::*member) {
+  return detail::field_tag(member);
+}
+
+}  // namespace jstar::query

@@ -1,0 +1,38 @@
+// Per-table usage statistics (§1.5: "a logging system for recording usage
+// statistics about each table during a program run").  Fed to the viz
+// module to emit annotated dependency graphs, and used by the phase
+// breakdown bench.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace jstar {
+
+struct TableStats {
+  std::atomic<std::int64_t> puts{0};           // tuples put by rules/initial
+  std::atomic<std::int64_t> delta_inserts{0};  // entered the Delta tree
+  std::atomic<std::int64_t> delta_dups{0};     // discarded as batch duplicates
+  std::atomic<std::int64_t> gamma_inserts{0};  // stored into Gamma
+  std::atomic<std::int64_t> gamma_dups{0};     // set-semantics duplicates
+  std::atomic<std::int64_t> fires{0};          // rule invocations triggered
+  std::atomic<std::int64_t> queries{0};        // query operations served
+  std::atomic<std::int64_t> pk_conflicts{0};   // primary-key invariant hits
+  std::atomic<std::int64_t> index_lookups{0};  // queries routed via an index
+  std::atomic<std::int64_t> full_scans{0};     // queries that had to scan
+
+  void reset() {
+    puts = 0;
+    delta_inserts = 0;
+    delta_dups = 0;
+    gamma_inserts = 0;
+    gamma_dups = 0;
+    fires = 0;
+    queries = 0;
+    pk_conflicts = 0;
+    index_lookups = 0;
+    full_scans = 0;
+  }
+};
+
+}  // namespace jstar

@@ -1,0 +1,730 @@
+// Tables, tuples and rules — the programmer-facing core of the jstar
+// runtime (§3).
+//
+// A JStar `table` declaration becomes a TableDecl<T> where T is a plain
+// immutable struct (the "immutable Java object with a fixed set of named
+// fields").  The declaration carries:
+//   * the orderby list        — lit/seq/par levels (§4, §5),
+//   * a hash function         — set-semantics dedup needs it,
+//   * an optional primary key — the `->` arrow in table declarations,
+//   * an optional store factory — the §1.4 late data-structure commitment,
+//   * an optional effect      — external action when the tuple leaves the
+//                               Delta set (§3: "requests for external
+//                               actions ... performed when those tuples are
+//                               taken out of the Delta Set").
+//
+// Rules (`foreach (T t) {...}`) are callables fired with a RuleCtx that
+// carries the current causality timestamp; RuleCtx::put is checked
+// dynamically against the law of causality (§4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "concurrent/striped_hash_map.h"
+#include "core/batch.h"
+#include "core/delta_tree.h"
+#include "core/gamma_store.h"
+#include "core/key.h"
+#include "core/query.h"
+#include "core/window_store.h"
+#include "core/orderby.h"
+#include "core/stats.h"
+#include "sched/fork_join_pool.h"
+#include "util/check.h"
+
+namespace jstar {
+
+/// Thrown when a rule violates the law of causality at runtime: it put a
+/// tuple whose timestamp is strictly before the trigger's timestamp.
+class CausalityViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Records the dynamic table→table dataflow (which tables each trigger's
+/// rules put into), feeding the viz module's Fig-7-style graphs.
+class EdgeMatrix {
+ public:
+  void resize(std::size_t tables) {
+    counts_ = std::vector<std::atomic<std::int64_t>>(tables * tables);
+    n_ = tables;
+  }
+  void record(int from, int to) {
+    if (from < 0 || n_ == 0) return;
+    counts_[static_cast<std::size_t>(from) * n_ + static_cast<std::size_t>(to)]
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  std::int64_t count(int from, int to) const {
+    if (n_ == 0) return 0;
+    return counts_[static_cast<std::size_t>(from) * n_ +
+                   static_cast<std::size_t>(to)]
+        .load(std::memory_order_relaxed);
+  }
+  std::size_t tables() const { return n_; }
+
+ private:
+  std::vector<std::atomic<std::int64_t>> counts_;
+  std::size_t n_ = 0;
+};
+
+/// Execution context passed to every rule invocation.  `now` is the
+/// causality timestamp of the trigger tuple's batch.
+class RuleCtx {
+ public:
+  RuleCtx(DeltaKey now, int from_table, EdgeMatrix* edges)
+      : now_(std::move(now)), from_table_(from_table), edges_(edges) {}
+
+  /// The causality timestamp the rule is executing at.
+  const DeltaKey& now() const { return now_; }
+  int from_table() const { return from_table_; }
+  EdgeMatrix* edges() const { return edges_; }
+  /// True for initial puts performed before the engine starts running.
+  bool initial() const { return now_.empty(); }
+
+ private:
+  DeltaKey now_;
+  int from_table_;
+  EdgeMatrix* edges_;
+};
+
+// ---------------------------------------------------------------------------
+
+/// Declarative description of a table.  Build one, then register it with
+/// Engine::table().  All setters return *this for chaining.
+template <typename T>
+class TableDecl {
+ public:
+  using StoreFactory =
+      std::function<std::unique_ptr<GammaStore<T>>(bool parallel)>;
+
+  explicit TableDecl(std::string name) : name_(std::move(name)) {}
+
+  /// Adds a capitalised literal level (ordered by `order` declarations).
+  TableDecl& orderby_lit(std::string lit_name) {
+    spec_.push_back({OrderByLevel::Kind::Lit, lit_name});
+    levels_.push_back(Level{LevelKind::Lit, std::move(lit_name), {}});
+    return *this;
+  }
+
+  /// Adds a `seq` level: tuples are ordered by this field's value.
+  TableDecl& orderby_seq(std::string field_name,
+                         std::function<std::int64_t(const T&)> getter) {
+    spec_.push_back({OrderByLevel::Kind::Seq, field_name});
+    levels_.push_back(Level{LevelKind::Seq, std::move(field_name),
+                            std::move(getter)});
+    return *this;
+  }
+
+  /// Convenience overload for an integral member pointer.
+  template <typename M>
+  TableDecl& orderby_seq(std::string field_name, M T::*member) {
+    return orderby_seq(std::move(field_name), [member](const T& t) {
+      return static_cast<std::int64_t>(t.*member);
+    });
+  }
+
+  /// Adds a `par` level: tuples differing only here are unordered, hence
+  /// executable in parallel.  Recorded for documentation/viz only.
+  TableDecl& orderby_par(std::string field_name) {
+    spec_.push_back({OrderByLevel::Kind::Par, field_name});
+    levels_.push_back(Level{LevelKind::Par, std::move(field_name), {}});
+    return *this;
+  }
+
+  /// Hash over the tuple's fields, required for set-semantics dedup.
+  /// Use jstar::hash_fields(t.a, t.b, ...).
+  TableDecl& hash(std::function<std::size_t(const T&)> h) {
+    hash_ = std::move(h);
+    return *this;
+  }
+
+  /// Declares a primary key (the `->` in table declarations): at most one
+  /// tuple per key value may exist; later conflicting tuples are rejected
+  /// and counted in stats().pk_conflicts.
+  TableDecl& primary_key(std::function<std::int64_t(const T&)> pk) {
+    pk_ = std::move(pk);
+    return *this;
+  }
+
+  /// Overrides the Gamma data structure (the §1.4 / §6.2 tuning hook).
+  TableDecl& store_factory(StoreFactory f) {
+    store_factory_ = std::move(f);
+    return *this;
+  }
+
+  /// Manual lifetime hint (Fig 3 step 4, §6.6): tuples carry a
+  /// nondecreasing epoch in `epoch_of`, and rules only query the most
+  /// recent `keep` epochs; older tuples are retired from Gamma as the
+  /// maximum epoch advances.  Median's two-iteration array is
+  /// retain_epochs(iter, 2).
+  /// Accepts a lambda or a pointer-to-member (std::function invokes both).
+  /// The store is built at configure() time so it can reuse this table's
+  /// hash() function for its buckets.
+  TableDecl& retain_epochs(std::function<std::int64_t(const T&)> epoch_of,
+                           std::int64_t keep) {
+    retain_epoch_of_ = std::move(epoch_of);
+    retain_keep_ = keep;
+    return *this;
+  }
+
+  /// External side effect executed once per tuple when it leaves the Delta
+  /// set (the kosher way to print, §6.2 footnote 8).
+  TableDecl& effect(std::function<void(const T&)> e) {
+    effect_ = std::move(e);
+    return *this;
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  template <typename U>
+  friend class Table;
+
+  enum class LevelKind { Lit, Seq, Par };
+  struct Level {
+    LevelKind kind;
+    std::string name;
+    std::function<std::int64_t(const T&)> getter;  // Seq only
+  };
+
+  std::string name_;
+  std::vector<OrderByLevel> spec_;
+  std::vector<Level> levels_;
+  std::function<std::size_t(const T&)> hash_;
+  std::function<std::int64_t(const T&)> pk_;
+  StoreFactory store_factory_;
+  std::function<void(const T&)> effect_;
+  std::function<std::int64_t(const T&)> retain_epoch_of_;  // lifetime hint
+  std::int64_t retain_keep_ = 0;                           // 0 = retain all
+};
+
+// ---------------------------------------------------------------------------
+
+/// Type-erased table handle used by the engine loop and the viz module.
+class TableBase {
+ public:
+  virtual ~TableBase() = default;
+
+  const std::string& name() const { return name_; }
+  int id() const { return id_; }
+  TableStats& stats() { return stats_; }
+  const TableStats& stats() const { return stats_; }
+
+  bool no_delta() const { return no_delta_; }
+  bool no_gamma() const { return no_gamma_; }
+
+  virtual const std::vector<OrderByLevel>& orderby_spec() const = 0;
+  virtual std::size_t gamma_size() const = 0;
+  virtual std::size_t rule_count() const = 0;
+  virtual std::vector<std::string> rule_names() const = 0;
+
+  // --- engine-internal interface -----------------------------------------
+
+  struct RuntimeEnv {
+    DeltaTree* delta = nullptr;
+    sched::ForkJoinPool* pool = nullptr;  // null in sequential mode
+    EdgeMatrix* edges = nullptr;
+    OrderResolver* orders = nullptr;
+    bool causality_checks = true;
+    bool parallel = false;
+    bool task_per_rule = false;  // §5.2 one task per (tuple, rule)
+  };
+
+  /// Called by Engine::prepare(): resolves literals, builds the store.
+  virtual void configure(const RuntimeEnv& env, bool no_delta,
+                         bool no_gamma) = 0;
+
+  /// Phase A of batch processing: move this table's slice of the batch
+  /// into Gamma, recording which tuples were fresh (not duplicates).
+  virtual void batch_insert_phase(BatchVecBase& slice,
+                                  std::vector<std::uint8_t>& keep) = 0;
+
+  /// Phase B: run effects and fire rules for the fresh tuples, at
+  /// causality timestamp `key`.
+  virtual void batch_fire_phase(BatchVecBase& slice,
+                                const std::vector<std::uint8_t>& keep,
+                                const DeltaKey& key) = 0;
+
+ protected:
+  friend class Engine;
+  std::string name_;
+  int id_ = -1;
+  mutable TableStats stats_;
+  bool no_delta_ = false;
+  bool no_gamma_ = false;
+};
+
+// ---------------------------------------------------------------------------
+
+/// A typed table: Gamma storage + rules + optional primary-key index.
+///
+/// T must be equality-comparable; ordered stores additionally require
+/// operator< (defaulted <=> on the struct gives you both).
+template <typename T>
+class Table final : public TableBase {
+ public:
+  using Rule = std::function<void(RuleCtx&, const T&)>;
+
+  explicit Table(TableDecl<T> decl) : decl_(std::move(decl)) {
+    name_ = decl_.name_;
+    JSTAR_CHECK_MSG(static_cast<bool>(decl_.hash_),
+                    "table '" + name_ + "' needs a hash function");
+  }
+
+  // --- program-facing API --------------------------------------------------
+
+  /// Puts a tuple from within a rule.  Enforces the law of causality: the
+  /// new tuple's timestamp must be >= the trigger's timestamp.
+  void put(RuleCtx& ctx, const T& t) {
+    stats_.puts.fetch_add(1, std::memory_order_relaxed);
+    DeltaKey k = key_of(t);
+    if (env_.causality_checks && !ctx.initial()) {
+      if ((k <=> ctx.now()) == std::strong_ordering::less) {
+        throw CausalityViolation(
+            "rule fired at " + jstar::to_string(ctx.now()) +
+            " put a tuple into the past at " + jstar::to_string(k) +
+            " of table " + name_);
+      }
+    }
+    if (ctx.edges() != nullptr) ctx.edges()->record(ctx.from_table(), id_);
+    if (no_delta_) {
+      deliver_now(k, t);
+    } else {
+      enqueue_delta(k, t);
+    }
+  }
+
+  /// The tuple's causality timestamp per the orderby list.
+  DeltaKey key_of(const T& t) const {
+    DeltaKey k;
+    for (const auto& step : key_steps_) {
+      k.push_back(step.is_lit ? env_.orders->rank(step.lit_id)
+                              : step.getter(t));
+    }
+    return k;
+  }
+
+  /// Primary-key lookup (`get uniq?`).  Requires a primary_key in the decl.
+  std::optional<T> get_unique(std::int64_t pk) const {
+    stats_.queries.fetch_add(1, std::memory_order_relaxed);
+    JSTAR_CHECK_MSG(has_pk_, "table '" + name_ + "' has no primary key");
+    if (env_.parallel) {
+      T out;
+      if (pk_index_par_.lookup(pk, out)) return out;
+      return std::nullopt;
+    }
+    auto it = pk_index_seq_.find(pk);
+    if (it == pk_index_seq_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Visits all stored tuples.
+  template <typename Fn>
+  void scan(Fn&& fn) const {
+    stats_.queries.fetch_add(1, std::memory_order_relaxed);
+    store_->scan(std::function<void(const T&)>(std::forward<Fn>(fn)));
+  }
+
+  /// Ordered range scan [lo, hi) on stores that support it.
+  template <typename Fn>
+  void scan_range(const T& lo, const T& hi, Fn&& fn) const {
+    stats_.queries.fetch_add(1, std::memory_order_relaxed);
+    store_->scan_range(lo, hi,
+                       std::function<void(const T&)>(std::forward<Fn>(fn)));
+  }
+
+  /// First tuple satisfying pred, if any (a `get ... ?` query).
+  template <typename Pred>
+  std::optional<T> find_if(Pred&& pred) const {
+    std::optional<T> out;
+    scan([&](const T& t) {
+      if (!out && pred(t)) out = t;
+    });
+    return out;
+  }
+
+  template <typename Pred>
+  std::int64_t count_if(Pred&& pred) const {
+    std::int64_t n = 0;
+    scan([&](const T& t) {
+      if (pred(t)) ++n;
+    });
+    return n;
+  }
+
+  /// Aggregate query: folds every stored tuple into a reducer (the
+  /// `get sum/min/count` aggregates of §3–§4; reducer types live in
+  /// reduce/reducers.h, or any type with add()).  The §4 obligation that
+  /// aggregates read only strictly-past strata is the caller's rule
+  /// structure; this helper is the read itself.
+  template <typename R, typename Proj>
+  R aggregate(Proj&& proj, R reducer = R{}) const {
+    scan([&](const T& t) { reducer.add(proj(t)); });
+    return reducer;
+  }
+
+  /// `get min T(...)`: the least tuple under `less` among those matching
+  /// pred, if any.
+  template <typename Pred, typename Less = std::less<T>>
+  std::optional<T> min_by(Pred&& pred, Less less = {}) const {
+    std::optional<T> best;
+    scan([&](const T& t) {
+      if (!pred(t)) return;
+      if (!best || less(t, *best)) best = t;
+    });
+    return best;
+  }
+
+  /// Negative query (§4): true iff no stored tuple matches.
+  template <typename Pred>
+  bool none(Pred&& pred) const {
+    return !find_if(std::forward<Pred>(pred)).has_value();
+  }
+
+  bool contains(const T& t) const {
+    stats_.queries.fetch_add(1, std::memory_order_relaxed);
+    return store_->contains(t);
+  }
+
+  /// Direct store access for app-specific query paths (the custom
+  /// structures of §6.2/§6.4 expose richer lookups).
+  GammaStore<T>* store() { return store_.get(); }
+  const GammaStore<T>* store() const { return store_.get(); }
+
+  // --- secondary indexes & routed queries (§1.4) ---------------------------
+
+  /// Declares a secondary hash index on an integral field.  Must be called
+  /// before the engine starts; index maintenance then piggybacks on Gamma
+  /// inserts.  Queries built from query::eq on the same field are routed
+  /// through the index automatically (see query()).
+  template <typename M>
+  void add_index(M T::*member) {
+    JSTAR_CHECK_MSG(store_ == nullptr,
+                    "index on '" + name_ + "' added after execution started");
+    indexes_.push_back(std::make_unique<SecondaryIndex>(
+        query::field_tag(member), [member](const T& t) {
+          return static_cast<std::int64_t>(t.*member);
+        }));
+  }
+
+  /// Runs `fn` over every stored tuple matching `pred`.  If the predicate
+  /// pins an indexed field to a value, only that index bucket is visited
+  /// (stats().index_lookups); otherwise the whole table is scanned
+  /// (stats().full_scans).  Results are identical either way — the §1.4
+  /// claim that access-path choice cannot change program meaning.
+  void query(const query::Pred<T>& pred,
+             const std::function<void(const T&)>& fn) const {
+    stats_.queries.fetch_add(1, std::memory_order_relaxed);
+    for (const query::EqBinding& b : pred.eq_bindings()) {
+      for (const auto& idx : indexes_) {
+        if (idx->tag == b.field_tag) {
+          stats_.index_lookups.fetch_add(1, std::memory_order_relaxed);
+          // Indexes never forget, but a retention hint (retain_epochs)
+          // retires tuples from the store; re-validate hits against the
+          // store so index and scan paths stay observationally identical.
+          const bool check_live = decl_.retain_keep_ >= 1;
+          idx->lookup(b.value, [&](const T& t) {
+            if (pred(t) && (!check_live || store_->contains(t))) fn(t);
+          });
+          return;
+        }
+      }
+    }
+    stats_.full_scans.fetch_add(1, std::memory_order_relaxed);
+    store_->scan([&](const T& t) {
+      if (pred(t)) fn(t);
+    });
+  }
+
+  /// Count of tuples matching pred, routed like query().
+  std::int64_t query_count(const query::Pred<T>& pred) const {
+    std::int64_t n = 0;
+    query(pred, [&](const T&) { ++n; });
+    return n;
+  }
+
+  std::size_t index_count() const { return indexes_.size(); }
+
+  void add_rule(std::string rule_name, Rule fn) {
+    rules_.push_back({std::move(rule_name), std::move(fn)});
+  }
+
+  // --- TableBase implementation -------------------------------------------
+
+  const std::vector<OrderByLevel>& orderby_spec() const override {
+    return decl_.spec_;
+  }
+  std::size_t gamma_size() const override {
+    return store_ ? store_->size() : 0;
+  }
+  std::size_t rule_count() const override { return rules_.size(); }
+  std::vector<std::string> rule_names() const override {
+    std::vector<std::string> out;
+    out.reserve(rules_.size());
+    for (const auto& r : rules_) out.push_back(r.name);
+    return out;
+  }
+
+  void configure(const RuntimeEnv& env, bool no_delta,
+                 bool no_gamma) override {
+    env_ = env;
+    no_delta_ = no_delta;
+    no_gamma_ = no_gamma;
+    has_pk_ = static_cast<bool>(decl_.pk_) && !no_gamma;
+    // Resolve orderby levels into key-building steps.  At least one
+    // comparable (lit/seq) level is required: an all-par orderby would give
+    // every tuple the empty timestamp, which is reserved for initial puts.
+    key_steps_.clear();
+    for (const auto& level : decl_.levels_) {
+      switch (level.kind) {
+        case TableDecl<T>::LevelKind::Lit:
+          key_steps_.push_back({true, env_.orders->literal(level.name), {}});
+          break;
+        case TableDecl<T>::LevelKind::Seq:
+          key_steps_.push_back({false, 0, level.getter});
+          break;
+        case TableDecl<T>::LevelKind::Par:
+          break;  // excluded from the comparable key
+      }
+    }
+    JSTAR_CHECK_MSG(!key_steps_.empty(),
+                    "table '" + name_ +
+                        "' needs at least one lit/seq orderby level");
+    // Build the Gamma store per strategy (§1.4 late commitment).
+    if (no_gamma) {
+      store_ = std::make_unique<NullStore<T>>();
+    } else if (decl_.retain_keep_ >= 1) {
+      store_ = std::make_unique<EpochWindowStore<T, FnHash<T>>>(
+          decl_.retain_epoch_of_, decl_.retain_keep_, FnHash<T>{decl_.hash_});
+    } else if (decl_.store_factory_) {
+      store_ = decl_.store_factory_(env.parallel);
+    } else if (env.parallel) {
+      store_ = std::make_unique<SkipListStore<T>>();
+    } else {
+      store_ = std::make_unique<TreeSetStore<T>>();
+    }
+  }
+
+  void batch_insert_phase(BatchVecBase& slice,
+                          std::vector<std::uint8_t>& keep) override {
+    auto& bv = static_cast<BatchVec&>(slice);
+    const std::int64_t n = static_cast<std::int64_t>(bv.items.size());
+    keep.assign(static_cast<std::size_t>(n), 0);
+    auto insert_one = [&](std::int64_t i) {
+      keep[static_cast<std::size_t>(i)] =
+          insert_gamma(bv.items[static_cast<std::size_t>(i)]) ? 1 : 0;
+    };
+    if (env_.pool != nullptr && n > 1) {
+      env_.pool->for_each_index(n, insert_one);
+    } else {
+      for (std::int64_t i = 0; i < n; ++i) insert_one(i);
+    }
+  }
+
+  void batch_fire_phase(BatchVecBase& slice,
+                        const std::vector<std::uint8_t>& keep,
+                        const DeltaKey& key) override {
+    auto& bv = static_cast<BatchVec&>(slice);
+    const std::int64_t n = static_cast<std::int64_t>(bv.items.size());
+    if (env_.pool != nullptr && env_.task_per_rule && rules_.size() > 1) {
+      // §5.2 fine-grained strategy: one task per (tuple, rule) pair.
+      // Effects run in the rule-0 task so they still happen exactly once
+      // per tuple.
+      const auto rules = static_cast<std::int64_t>(rules_.size());
+      env_.pool->for_each_index(
+          n * rules,
+          [&](std::int64_t idx) {
+            const std::int64_t i = idx / rules;
+            const auto r = static_cast<std::size_t>(idx % rules);
+            if (!keep[static_cast<std::size_t>(i)]) return;
+            const T& t = bv.items[static_cast<std::size_t>(i)];
+            if (r == 0 && decl_.effect_) decl_.effect_(t);
+            RuleCtx ctx(key, id_, env_.edges);
+            stats_.fires.fetch_add(1, std::memory_order_relaxed);
+            rules_[r].fn(ctx, t);
+          },
+          /*grain=*/1);
+      return;
+    }
+    auto fire_one = [&](std::int64_t i) {
+      if (!keep[static_cast<std::size_t>(i)]) return;
+      fire_tuple(key, bv.items[static_cast<std::size_t>(i)]);
+    };
+    if (env_.pool != nullptr && n > 1) {
+      // The paper's strategy: one fork/join task per minimal tuple (§5).
+      env_.pool->for_each_index(n, fire_one, /*grain=*/1);
+    } else {
+      for (std::int64_t i = 0; i < n; ++i) fire_one(i);
+    }
+  }
+
+ private:
+  friend class Engine;
+
+  struct NamedRule {
+    std::string name;
+    Rule fn;
+  };
+
+  struct HashAdapter {
+    const Table* table;
+    std::size_t operator()(const T& t) const { return table->decl_.hash_(t); }
+  };
+
+  struct BatchVec final : public BatchVecBase {
+    explicit BatchVec(const Table* table)
+        : seen(8, HashAdapter{table}) {}
+    std::vector<T> items;
+    std::unordered_set<T, HashAdapter> seen;
+    std::size_t count() const override { return items.size(); }
+  };
+
+  struct KeyStep {
+    bool is_lit;
+    int lit_id;
+    std::function<std::int64_t(const T&)> getter;
+  };
+
+  /// Striped hash multimap from an integral field value to tuples; safe
+  /// for concurrent inserts from parallel rule tasks.
+  struct SecondaryIndex {
+    SecondaryIndex(const void* t, std::function<std::int64_t(const T&)> k)
+        : tag(t), key_of(std::move(k)), shards(16) {}
+
+    void insert(const T& t) {
+      const std::int64_t key = key_of(t);
+      Shard& s = shard_for(key);
+      std::lock_guard<std::mutex> lk(s.mu);
+      s.map.emplace(key, t);
+    }
+    void lookup(std::int64_t key,
+                const std::function<void(const T&)>& fn) const {
+      const Shard& s = shard_for(key);
+      std::lock_guard<std::mutex> lk(s.mu);
+      auto [lo, hi] = s.map.equal_range(key);
+      for (auto it = lo; it != hi; ++it) fn(it->second);
+    }
+
+    const void* tag;
+    std::function<std::int64_t(const T&)> key_of;
+
+   private:
+    struct Shard {
+      mutable std::mutex mu;
+      std::unordered_multimap<std::int64_t, T> map;
+    };
+    Shard& shard_for(std::int64_t key) {
+      return shards[static_cast<std::size_t>(key) % shards.size()];
+    }
+    const Shard& shard_for(std::int64_t key) const {
+      return shards[static_cast<std::size_t>(key) % shards.size()];
+    }
+    mutable std::vector<Shard> shards;
+  };
+
+  void enqueue_delta(const DeltaKey& k, const T& t) {
+    BatchNode& node = env_.delta->get_or_insert(k);
+    std::lock_guard<std::mutex> lk(node.mu);
+    if (node.per_table.size() <= static_cast<std::size_t>(id_)) {
+      node.per_table.resize(static_cast<std::size_t>(id_) + 1);
+    }
+    auto& slot = node.per_table[static_cast<std::size_t>(id_)];
+    if (!slot) slot = std::make_unique<BatchVec>(this);
+    auto& bv = static_cast<BatchVec&>(*slot);
+    if (bv.seen.insert(t).second) {
+      bv.items.push_back(t);
+      stats_.delta_inserts.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats_.delta_dups.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// -noDelta path (§5.1): straight into Gamma, fire rules inline.
+  void deliver_now(const DeltaKey& k, const T& t) {
+    if (insert_gamma(t)) fire_tuple(k, t);
+  }
+
+  /// Returns true when the tuple is fresh (not a set-semantics duplicate
+  /// and not a primary-key conflict).
+  bool insert_gamma(const T& t) {
+    if (has_pk_) {
+      const std::int64_t pk = decl_.pk_(t);
+      bool fresh = false;
+      if (env_.parallel) {
+        pk_index_par_.get_or_insert(pk, [&] {
+          fresh = true;
+          return t;
+        });
+      } else {
+        fresh = pk_index_seq_.emplace(pk, t).second;
+      }
+      if (!fresh) {
+        // Either an exact duplicate (set semantics) or a conflicting tuple
+        // (invariant violation the SMT layer would flag statically).
+        const std::optional<T> existing = peek_pk(pk);
+        if (existing && !(*existing == t)) {
+          stats_.pk_conflicts.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          stats_.gamma_dups.fetch_add(1, std::memory_order_relaxed);
+        }
+        return false;
+      }
+      store_->insert(t);
+      stats_.gamma_inserts.fetch_add(1, std::memory_order_relaxed);
+      update_indexes(t);
+      return true;
+    }
+    if (!store_->insert(t)) {
+      stats_.gamma_dups.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    stats_.gamma_inserts.fetch_add(1, std::memory_order_relaxed);
+    update_indexes(t);
+    return true;
+  }
+
+  void update_indexes(const T& t) {
+    for (const auto& idx : indexes_) idx->insert(t);
+  }
+
+  std::optional<T> peek_pk(std::int64_t pk) const {
+    if (env_.parallel) {
+      T out;
+      if (pk_index_par_.lookup(pk, out)) return out;
+      return std::nullopt;
+    }
+    auto it = pk_index_seq_.find(pk);
+    if (it == pk_index_seq_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void fire_tuple(const DeltaKey& k, const T& t) {
+    if (decl_.effect_) decl_.effect_(t);
+    if (rules_.empty()) return;
+    RuleCtx ctx(k, id_, env_.edges);
+    for (const auto& r : rules_) {
+      stats_.fires.fetch_add(1, std::memory_order_relaxed);
+      r.fn(ctx, t);
+    }
+  }
+
+  TableDecl<T> decl_;
+  RuntimeEnv env_;
+  std::vector<KeyStep> key_steps_;
+  std::vector<std::unique_ptr<SecondaryIndex>> indexes_;
+  std::unique_ptr<GammaStore<T>> store_;
+  std::vector<NamedRule> rules_;
+  bool has_pk_ = false;
+  // Primary-key index: one of these is active depending on strategy.
+  std::unordered_map<std::int64_t, T> pk_index_seq_;
+  mutable concurrent::StripedHashMap<std::int64_t, T> pk_index_par_{64};
+};
+
+}  // namespace jstar

@@ -1,0 +1,147 @@
+// Epoch-window Gamma storage — the generalised form of the Median
+// program's `double[2][100000000]` lifetime trick (§6.6) and of Fig 3's
+// step 4 ("if program analysis makes it possible to determine that this
+// tuple can never participate in future queries, then it can be removed
+// from the Gamma database ... we use manual lifetime hints from the
+// user").
+//
+// The hint: tuples carry a monotonically nondecreasing *epoch* field (the
+// Median program's `iter`); rules only ever query the most recent
+// `keep_epochs` epochs ("the rules only use iter and iter+1, so we only
+// need two copies of the array").  EpochWindowStore buckets tuples by
+// epoch and retires whole buckets as the maximum observed epoch advances,
+// so the live heap stays proportional to the window instead of the whole
+// run history.
+//
+// Thread-safety: insert/contains/scans take a shared mutex; bucket
+// retirement happens inside insert under the exclusive lock.  This store
+// is used for tables whose per-batch insert volume is moderate; tables
+// with millions of inserts per batch should use a custom store (the
+// Median app's array store) — the point of §1.4 is exactly that this
+// choice is a swappable hint.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_set>
+
+#include "core/gamma_store.h"
+#include "util/check.h"
+
+namespace jstar {
+
+/// Hash functor wrapping the table declaration's hash function, so window
+/// stores work for tuple structs without a std::hash specialisation.
+template <typename T>
+struct FnHash {
+  std::function<std::size_t(const T&)> fn;
+  std::size_t operator()(const T& t) const { return fn(t); }
+};
+
+template <typename T, typename Hash = std::hash<T>>
+class EpochWindowStore final : public GammaStore<T> {
+ public:
+  /// `epoch_of` extracts the epoch field; the most recent `keep_epochs`
+  /// distinct epoch *values* (by numeric distance, not count) stay live:
+  /// after a tuple with epoch e arrives, tuples with epoch <= e -
+  /// keep_epochs are retired.
+  EpochWindowStore(std::function<std::int64_t(const T&)> epoch_of,
+                   std::int64_t keep_epochs, Hash hash = Hash{})
+      : epoch_of_(std::move(epoch_of)), keep_(keep_epochs),
+        hash_(std::move(hash)) {
+    JSTAR_CHECK_MSG(keep_ >= 1, "EpochWindowStore needs keep_epochs >= 1");
+  }
+
+  bool insert(const T& t) override {
+    const std::int64_t e = epoch_of_(t);
+    std::unique_lock lk(mu_);
+    if (e <= max_epoch_ - keep_) {
+      // A straggler behind the window: by the user's hint no future query
+      // can observe it, so dropping preserves semantics.  It still counts
+      // as "fresh" (returns true) because it was never stored before —
+      // rules must fire for it exactly as for any tuple.
+      retired_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    auto bucket_it = buckets_.find(e);
+    if (bucket_it == buckets_.end()) {
+      bucket_it = buckets_.emplace(e, Bucket(8, hash_)).first;
+    }
+    const bool fresh = bucket_it->second.insert(t).second;
+    if (fresh) ++size_;
+    if (e > max_epoch_) {
+      max_epoch_ = e;
+      // Retire buckets that fell out of the window.
+      const std::int64_t threshold = max_epoch_ - keep_;
+      for (auto it = buckets_.begin();
+           it != buckets_.end() && it->first <= threshold;) {
+        retired_.fetch_add(static_cast<std::int64_t>(it->second.size()),
+                           std::memory_order_relaxed);
+        size_ -= it->second.size();
+        it = buckets_.erase(it);
+      }
+    }
+    return fresh;
+  }
+
+  bool contains(const T& t) const override {
+    std::shared_lock lk(mu_);
+    const auto it = buckets_.find(epoch_of_(t));
+    return it != buckets_.end() && it->second.count(t) != 0;
+  }
+
+  void scan(const std::function<void(const T&)>& fn) const override {
+    std::shared_lock lk(mu_);
+    for (const auto& [epoch, bucket] : buckets_) {
+      (void)epoch;
+      for (const T& t : bucket) fn(t);
+    }
+  }
+
+  std::size_t size() const override {
+    std::shared_lock lk(mu_);
+    return size_;
+  }
+
+  /// Visits only the tuples of one epoch (the common query shape: "the
+  /// current iteration's array").
+  void scan_epoch(std::int64_t epoch,
+                  const std::function<void(const T&)>& fn) const {
+    std::shared_lock lk(mu_);
+    const auto it = buckets_.find(epoch);
+    if (it == buckets_.end()) return;
+    for (const T& t : it->second) fn(t);
+  }
+
+  std::int64_t max_epoch() const {
+    std::shared_lock lk(mu_);
+    return max_epoch_;
+  }
+  std::int64_t live_epochs() const {
+    std::shared_lock lk(mu_);
+    return static_cast<std::int64_t>(buckets_.size());
+  }
+  /// Tuples dropped by window retirement so far.
+  std::int64_t retired() const {
+    return retired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using Bucket = std::unordered_set<T, Hash>;
+
+  std::function<std::int64_t(const T&)> epoch_of_;
+  const std::int64_t keep_;
+  Hash hash_;
+
+  mutable std::shared_mutex mu_;
+  std::map<std::int64_t, Bucket> buckets_;
+  std::size_t size_ = 0;
+  std::int64_t max_epoch_ = INT64_MIN / 2;
+  std::atomic<std::int64_t> retired_{0};
+};
+
+}  // namespace jstar

@@ -1,0 +1,36 @@
+#include "csv/csv.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace jstar::csv {
+
+Buffer Buffer::from_file(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  JSTAR_CHECK_MSG(f != nullptr, "cannot open file: " + path);
+  std::fseek(f.get(), 0, SEEK_END);
+  const long size = std::ftell(f.get());
+  JSTAR_CHECK_MSG(size >= 0, "cannot stat file: " + path);
+  std::fseek(f.get(), 0, SEEK_SET);
+  std::string bytes(static_cast<std::size_t>(size), '\0');
+  const std::size_t got = std::fread(bytes.data(), 1, bytes.size(), f.get());
+  JSTAR_CHECK_MSG(got == bytes.size(), "short read on file: " + path);
+  return Buffer(std::move(bytes));
+}
+
+std::vector<Region> split_regions(std::size_t size, int n) {
+  JSTAR_CHECK_MSG(n >= 1, "need at least one region");
+  std::vector<Region> out;
+  out.reserve(static_cast<std::size_t>(n));
+  const std::size_t chunk = size / static_cast<std::size_t>(n);
+  std::size_t at = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t end = (i == n - 1) ? size : at + chunk;
+    out.push_back({at, end});
+    at = end;
+  }
+  return out;
+}
+
+}  // namespace jstar::csv

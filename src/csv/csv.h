@@ -1,0 +1,220 @@
+// Fast CSV reading, modelled on the JStar CSV library (§6.1): "keeps lines
+// as byte arrays and avoids conversion to strings as much as possible".
+//
+// Three pieces:
+//   * Buffer       — owns the raw bytes (from a file or generated in
+//                    memory, so benches are hermetic);
+//   * RecordReader — iterates records of a byte *region*, yielding fields
+//                    as zero-copy slices and parsing integers in place;
+//   * split_regions— divides a buffer into N roughly equal regions at
+//                    record boundaries.  "Each reader continues reading a
+//                    little way past the end of its region, to ensure that
+//                    all records have been read.  This strategy is also
+//                    employed by some of the input file readers in
+//                    Hadoop." (§6.2)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace jstar::csv {
+
+/// A non-owning view of field bytes.
+struct Slice {
+  const char* data = nullptr;
+  std::size_t len = 0;
+
+  std::string to_string() const { return std::string(data, len); }
+
+  /// Parses a decimal integer (optional leading '-'); no allocation.
+  std::int64_t to_int64() const {
+    std::int64_t v = 0;
+    std::size_t i = 0;
+    bool neg = false;
+    if (i < len && (data[i] == '-' || data[i] == '+')) {
+      neg = data[i] == '-';
+      ++i;
+    }
+    for (; i < len; ++i) {
+      const char c = data[i];
+      if (c < '0' || c > '9') break;
+      v = v * 10 + (c - '0');
+    }
+    return neg ? -v : v;
+  }
+
+  bool operator==(const char* s) const {
+    std::size_t i = 0;
+    for (; i < len && s[i] != '\0'; ++i) {
+      if (data[i] != s[i]) return false;
+    }
+    return i == len && s[i] == '\0';
+  }
+};
+
+/// Owns CSV bytes.  Move-only.
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(std::string bytes) : bytes_(std::move(bytes)) {}
+
+  /// Reads a whole file into memory; throws CheckError when unreadable.
+  static Buffer from_file(const std::string& path);
+
+  const char* data() const { return bytes_.data(); }
+  std::size_t size() const { return bytes_.size(); }
+  bool empty() const { return bytes_.empty(); }
+
+  /// Appends raw bytes (used by workload generators).
+  void append(const std::string& s) { bytes_ += s; }
+
+ private:
+  std::string bytes_;
+};
+
+/// A byte region [begin, end) of a buffer whose records should be read by
+/// one reader; `hard_end` is the end of the whole buffer.
+struct Region {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Splits [0, size) into n roughly equal byte regions.  Region boundaries
+/// are arbitrary byte offsets: RecordReader applies the skip/overrun rule
+/// so that every record is read by exactly one reader.
+std::vector<Region> split_regions(std::size_t size, int n);
+
+/// Iterates the records of one region.
+///
+/// Semantics (the Hadoop rule): a record *belongs* to the region containing
+/// its first byte.  A reader starting mid-record skips forward to the next
+/// record boundary; a reader whose last record crosses the region end reads
+/// past the end to finish it.
+class RecordReader {
+ public:
+  RecordReader(const Buffer& buf, Region region)
+      : data_(buf.data()), hard_end_(buf.size()), pos_(region.begin),
+        end_(region.end) {
+    if (pos_ > 0) {
+      // Skip the partial record that belongs to the previous region.
+      while (pos_ < hard_end_ && data_[pos_ - 1] != '\n') ++pos_;
+    }
+  }
+
+  /// Reads the next record into `fields` (comma-separated, record ends at
+  /// '\n' or EOF).  Returns false when the region is exhausted.  Empty
+  /// lines are skipped.
+  bool next(std::vector<Slice>& fields) {
+    for (;;) {
+      if (pos_ >= end_ || pos_ >= hard_end_) return false;
+      const std::size_t record_start = pos_;
+      fields.clear();
+      std::size_t field_start = pos_;
+      while (pos_ < hard_end_ && data_[pos_] != '\n') {
+        if (data_[pos_] == ',') {
+          fields.push_back({data_ + field_start, pos_ - field_start});
+          field_start = pos_ + 1;
+        }
+        ++pos_;
+      }
+      fields.push_back({data_ + field_start, pos_ - field_start});
+      if (pos_ < hard_end_) ++pos_;  // consume '\n'
+      if (fields.size() == 1 && fields[0].len == 0) continue;  // blank line
+      (void)record_start;
+      return true;
+    }
+  }
+
+ private:
+  const char* data_;
+  std::size_t hard_end_;
+  std::size_t pos_;
+  std::size_t end_;
+};
+
+/// Writes records into a Buffer with the same byte discipline the reader
+/// expects: comma-separated fields, '\n' record terminator, integers
+/// formatted without allocation.  Field text must not contain ',' or
+/// '\n' (the dialect has no quoting — checked in debug builds).  Used by
+/// the workload generators so benches are hermetic.
+class Writer {
+ public:
+  /// Reserve for roughly `expected_bytes` of output.
+  explicit Writer(std::size_t expected_bytes = 0) {
+    bytes_.reserve(expected_bytes);
+  }
+
+  Writer& field(std::int64_t v) {
+    separate();
+    char buf[24];
+    const int n = format_int(v, buf);
+    bytes_.append(buf, static_cast<std::size_t>(n));
+    return *this;
+  }
+
+  Writer& field(const char* s) { return field(Slice{s, length(s)}); }
+  Writer& field(const std::string& s) {
+    return field(Slice{s.data(), s.size()});
+  }
+  Writer& field(Slice s) {
+    separate();
+#ifndef NDEBUG
+    for (std::size_t i = 0; i < s.len; ++i) {
+      JSTAR_DCHECK(s.data[i] != ',' && s.data[i] != '\n');
+    }
+#endif
+    bytes_.append(s.data, s.len);
+    return *this;
+  }
+
+  /// Ends the current record.
+  Writer& end_record() {
+    bytes_ += '\n';
+    at_record_start_ = true;
+    return *this;
+  }
+
+  std::size_t size() const { return bytes_.size(); }
+
+  /// Takes the accumulated bytes as a read-ready Buffer.
+  Buffer take() {
+    at_record_start_ = true;
+    return Buffer(std::move(bytes_));
+  }
+
+ private:
+  void separate() {
+    if (!at_record_start_) bytes_ += ',';
+    at_record_start_ = false;
+  }
+
+  static std::size_t length(const char* s) {
+    std::size_t n = 0;
+    while (s[n] != '\0') ++n;
+    return n;
+  }
+
+  static int format_int(std::int64_t v, char* out) {
+    char tmp[24];
+    int n = 0;
+    const bool neg = v < 0;
+    // Negate digit-by-digit to survive INT64_MIN.
+    do {
+      const auto digit = static_cast<char>(neg ? -(v % 10) : (v % 10));
+      tmp[n++] = static_cast<char>('0' + digit);
+      v /= 10;
+    } while (v != 0);
+    int k = 0;
+    if (neg) out[k++] = '-';
+    while (n > 0) out[k++] = tmp[--n];
+    return k;
+  }
+
+  std::string bytes_;
+  bool at_record_start_ = true;
+};
+
+}  // namespace jstar::csv

@@ -1,0 +1,206 @@
+// Multi-producer Disruptor ring buffer — the "multiple producers"
+// alternative of Table 1 ("alternative implementations for single or
+// multiple producers, single or multiple consumers").
+//
+// Differences from the single-producer RingBuffer (ring_buffer.h), both
+// following the LMAX MultiProducerSequencer design [Thompson et al. 2011]:
+//   * claims go through a shared atomic sequence with a CAS loop that
+//     first waits for ring capacity (so a claim can never overwrite slots
+//     a consumer has not passed);
+//   * publication is per-slot: an *availability buffer* records, for each
+//     slot, the round number (sequence / capacity) that has been fully
+//     written.  Consumers advance to the highest *contiguous* published
+//     sequence, skipping nothing — out-of-order publishes by different
+//     producers become visible only once the gap before them fills.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "disruptor/ring_buffer.h"
+#include "util/cache_pad.h"
+#include "util/check.h"
+
+namespace jstar::disruptor {
+
+template <typename T>
+class MpRingBuffer {
+ public:
+  explicit MpRingBuffer(std::size_t capacity,
+                        WaitStrategy wait = WaitStrategy::Blocking)
+      : slots_(capacity), available_(capacity),
+        mask_(static_cast<std::int64_t>(capacity) - 1),
+        shift_(std::countr_zero(capacity)), wait_(wait), next_(-1) {
+    JSTAR_CHECK_MSG(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+                    "ring buffer capacity must be a power of two");
+    for (auto& a : available_) {
+      a.store(-1, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+  WaitStrategy wait_strategy() const { return wait_; }
+
+  int add_consumer() {
+    consumers_.push_back(std::make_unique<PaddedAtomicI64>(-1));
+    return static_cast<int>(consumers_.size()) - 1;
+  }
+  int consumer_count() const { return static_cast<int>(consumers_.size()); }
+
+  // --- producer side (any number of threads) -------------------------------
+
+  /// Claims `n` consecutive sequences; returns the highest.  Safe from any
+  /// thread; blocks while the ring lacks capacity.
+  std::int64_t claim(std::int64_t n = 1) {
+    JSTAR_DCHECK(n >= 1 && n <= static_cast<std::int64_t>(slots_.size()));
+    for (;;) {
+      std::int64_t current = next_.load(std::memory_order_relaxed);
+      const std::int64_t hi = current + n;
+      const std::int64_t wrap = hi - static_cast<std::int64_t>(slots_.size());
+      if (wrap > min_consumer_sequence()) {
+        producer_wait();
+        continue;
+      }
+      if (next_.compare_exchange_weak(current, hi)) {
+        return hi;
+      }
+    }
+  }
+
+  T& slot(std::int64_t seq) {
+    return slots_[static_cast<std::size_t>(seq & mask_)];
+  }
+
+  /// Publishes the claimed range [lo, hi] (use lo == hi for single
+  /// claims).  Each producer publishes only sequences it claimed.
+  void publish(std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t s = lo; s <= hi; ++s) {
+      available_[static_cast<std::size_t>(s & mask_)].store(
+          round_of(s), std::memory_order_release);
+    }
+    if (wait_ == WaitStrategy::Blocking) {
+      std::lock_guard<std::mutex> lk(mu_);
+      cv_.notify_all();
+    }
+  }
+  void publish(std::int64_t seq) { publish(seq, seq); }
+
+  // --- consumer side --------------------------------------------------------
+
+  /// Blocks until sequence `seq` is published, then returns the highest
+  /// published sequence contiguous from `seq` (batching, gap-safe).
+  std::int64_t wait_for(std::int64_t seq) {
+    switch (wait_) {
+      case WaitStrategy::BusySpin:
+        while (!is_available(seq)) {
+        }
+        break;
+      case WaitStrategy::Yielding:
+        while (!is_available(seq)) std::this_thread::yield();
+        break;
+      case WaitStrategy::Blocking: {
+        if (!is_available(seq)) {
+          std::unique_lock<std::mutex> lk(mu_);
+          cv_.wait(lk, [&] { return is_available(seq); });
+        }
+        break;
+      }
+    }
+    return highest_published_from(seq);
+  }
+
+  void commit(int cid, std::int64_t seq) {
+    consumers_[static_cast<std::size_t>(cid)]->store(seq);
+    if (wait_ == WaitStrategy::Blocking) {
+      std::lock_guard<std::mutex> lk(mu_);
+      cv_.notify_all();
+    }
+  }
+
+  std::int64_t consumer_sequence(int cid) const {
+    return consumers_[static_cast<std::size_t>(cid)]->load();
+  }
+
+  /// Highest sequence any producer has claimed (may exceed published).
+  std::int64_t claimed() const {
+    return next_.load(std::memory_order_acquire);
+  }
+
+  bool is_available(std::int64_t seq) const {
+    return available_[static_cast<std::size_t>(seq & mask_)].load(
+               std::memory_order_acquire) == round_of(seq);
+  }
+
+ private:
+  std::int64_t round_of(std::int64_t seq) const { return seq >> shift_; }
+
+  std::int64_t highest_published_from(std::int64_t lo) const {
+    const std::int64_t claimed_hi = next_.load(std::memory_order_acquire);
+    std::int64_t s = lo;
+    while (s <= claimed_hi && is_available(s)) ++s;
+    return s - 1;
+  }
+
+  std::int64_t min_consumer_sequence() const {
+    JSTAR_CHECK_MSG(!consumers_.empty(),
+                    "ring buffer needs at least one consumer before claims");
+    std::int64_t m = INT64_MAX;
+    for (const auto& c : consumers_) m = std::min(m, c->load());
+    return m;
+  }
+
+  void producer_wait() {
+    switch (wait_) {
+      case WaitStrategy::BusySpin:
+        break;
+      case WaitStrategy::Yielding:
+        std::this_thread::yield();
+        break;
+      case WaitStrategy::Blocking: {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait_for(lk, std::chrono::milliseconds(1));
+        break;
+      }
+    }
+  }
+
+  std::vector<T> slots_;
+  std::vector<std::atomic<std::int64_t>> available_;  // round per slot
+  const std::int64_t mask_;
+  const int shift_;
+  const WaitStrategy wait_;
+
+  PaddedAtomicI64 next_;  // highest claimed sequence (shared, CAS'd)
+  std::vector<std::unique_ptr<PaddedAtomicI64>> consumers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+/// Consumer loop for the multi-producer ring: fn(event, seq) until it
+/// returns false.
+template <typename T, typename Fn>
+void mp_consume_loop(MpRingBuffer<T>& ring, int cid, Fn&& fn) {
+  std::int64_t next = ring.consumer_sequence(cid) + 1;
+  bool running = true;
+  while (running) {
+    const std::int64_t available = ring.wait_for(next);
+    while (next <= available) {
+      if (!fn(ring.slot(next), next)) {
+        running = false;
+        ++next;
+        break;
+      }
+      ++next;
+    }
+    ring.commit(cid, next - 1);
+  }
+}
+
+}  // namespace jstar::disruptor

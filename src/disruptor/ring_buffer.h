@@ -1,0 +1,214 @@
+// A C++ reproduction of the LMAX Disruptor [Thompson et al. 2011] in the
+// single-producer / multiple-consumer configuration the paper tunes for
+// the PvWatts program (§6.3, Table 1):
+//
+//   * preallocated power-of-two ring of event slots (objects recycled, not
+//     garbage collected),
+//   * a cache-line-padded publication cursor and one padded sequence per
+//     consumer (no false sharing on the hot counters),
+//   * single-threaded claim strategy: the producer owns `next_`, so claims
+//     need no CAS at all; it only gates on the slowest consumer,
+//   * batched claims ("Claim slots in a batch of 256", Table 1),
+//   * pluggable consumer wait strategies: BusySpin, Yielding, Blocking.
+//
+// Consumers broadcast-read: every consumer observes every published slot,
+// tracking its own sequence; the producer recycles a slot only once all
+// consumer sequences have passed it.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/cache_pad.h"
+#include "util/check.h"
+
+namespace jstar::disruptor {
+
+enum class WaitStrategy {
+  BusySpin,  // lowest latency, burns a core
+  Yielding,  // spin with std::this_thread::yield
+  Blocking,  // mutex + condvar (Table 1's best setting for PvWatts)
+};
+
+inline const char* to_string(WaitStrategy w) {
+  switch (w) {
+    case WaitStrategy::BusySpin: return "BusySpin";
+    case WaitStrategy::Yielding: return "Yielding";
+    case WaitStrategy::Blocking: return "Blocking";
+  }
+  return "?";
+}
+
+template <typename T>
+class RingBuffer {
+ public:
+  /// `capacity` must be a power of two (Table 1 uses 1024).
+  explicit RingBuffer(std::size_t capacity,
+                      WaitStrategy wait = WaitStrategy::Blocking)
+      : slots_(capacity), mask_(static_cast<std::int64_t>(capacity) - 1),
+        wait_(wait), cursor_(-1) {
+    JSTAR_CHECK_MSG(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+                    "ring buffer capacity must be a power of two");
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+  WaitStrategy wait_strategy() const { return wait_; }
+
+  // --- consumer registration (before the producer starts) -----------------
+
+  /// Registers a consumer; returns its id.  All consumers see all events.
+  int add_consumer() {
+    consumers_.push_back(std::make_unique<PaddedAtomicI64>(-1));
+    return static_cast<int>(consumers_.size()) - 1;
+  }
+
+  int consumer_count() const { return static_cast<int>(consumers_.size()); }
+
+  // --- producer side (single thread) ---------------------------------------
+
+  /// Claims `n` consecutive slots; returns the highest claimed sequence.
+  /// Blocks (per strategy) while the ring is full.
+  std::int64_t claim(std::int64_t n) {
+    JSTAR_DCHECK(n >= 1 && n <= static_cast<std::int64_t>(slots_.size()));
+    const std::int64_t next = produced_ + n;
+    const std::int64_t hi = next - 1;
+    // Slot (hi & mask) is recycled once every consumer has passed sequence
+    // hi - capacity; gate on the slowest consumer only past that point.
+    const std::int64_t wrap = hi - static_cast<std::int64_t>(slots_.size());
+    if (wrap > cached_gate_) {
+      std::int64_t gate;
+      while ((gate = min_consumer_sequence()) < wrap) {
+        producer_wait();
+      }
+      cached_gate_ = gate;
+    }
+    produced_ = next;
+    return hi;
+  }
+
+  /// The event slot for a claimed (or available) sequence.
+  T& slot(std::int64_t seq) {
+    return slots_[static_cast<std::size_t>(seq & mask_)];
+  }
+
+  /// Publishes every claimed sequence up to and including `hi`.
+  void publish(std::int64_t hi) {
+    cursor_.store(hi, std::memory_order_release);
+    if (wait_ == WaitStrategy::Blocking) {
+      std::lock_guard<std::mutex> lk(mu_);
+      cv_.notify_all();
+    }
+  }
+
+  std::int64_t cursor() const { return cursor_.load(); }
+
+  // --- consumer side --------------------------------------------------------
+
+  /// Blocks until sequence `seq` has been published; returns the highest
+  /// published sequence (so consumers naturally process in batches).
+  std::int64_t wait_for(std::int64_t seq) {
+    std::int64_t available = cursor_.load();
+    if (available >= seq) return available;
+    switch (wait_) {
+      case WaitStrategy::BusySpin:
+        while ((available = cursor_.load()) < seq) {
+        }
+        return available;
+      case WaitStrategy::Yielding:
+        while ((available = cursor_.load()) < seq) {
+          std::this_thread::yield();
+        }
+        return available;
+      case WaitStrategy::Blocking: {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return (available = cursor_.load()) >= seq; });
+        return available;
+      }
+    }
+    return available;
+  }
+
+  /// Marks everything up to `seq` as consumed by consumer `cid`, allowing
+  /// the producer to recycle those slots.
+  void commit(int cid, std::int64_t seq) {
+    consumers_[static_cast<std::size_t>(cid)]->store(seq);
+    if (wait_ == WaitStrategy::Blocking) {
+      // The producer may be parked waiting for capacity.
+      std::lock_guard<std::mutex> lk(mu_);
+      cv_.notify_all();
+    }
+  }
+
+  std::int64_t consumer_sequence(int cid) const {
+    return consumers_[static_cast<std::size_t>(cid)]->load();
+  }
+
+ private:
+  std::int64_t min_consumer_sequence() const {
+    JSTAR_CHECK_MSG(!consumers_.empty(),
+                    "ring buffer needs at least one consumer before claims");
+    std::int64_t m = INT64_MAX;
+    for (const auto& c : consumers_) {
+      const std::int64_t s = c->load();
+      if (s < m) m = s;
+    }
+    return m;
+  }
+
+  void producer_wait() {
+    switch (wait_) {
+      case WaitStrategy::BusySpin:
+        break;
+      case WaitStrategy::Yielding:
+        std::this_thread::yield();
+        break;
+      case WaitStrategy::Blocking: {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait_for(lk, std::chrono::milliseconds(1));
+        break;
+      }
+    }
+  }
+
+  std::vector<T> slots_;
+  const std::int64_t mask_;
+  const WaitStrategy wait_;
+
+  // Producer-private state (single-threaded claim strategy).
+  std::int64_t produced_ = 0;
+  std::int64_t cached_gate_ = -1;
+
+  PaddedAtomicI64 cursor_;
+  std::vector<std::unique_ptr<PaddedAtomicI64>> consumers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+/// Drives one consumer thread: calls fn(event, sequence) for every
+/// published event until fn returns false (e.g. on the sentinel tuple the
+/// PvWatts producer sends at end of input, §6.3).
+template <typename T, typename Fn>
+void consume_loop(RingBuffer<T>& ring, int cid, Fn&& fn) {
+  std::int64_t next = ring.consumer_sequence(cid) + 1;
+  bool running = true;
+  while (running) {
+    const std::int64_t available = ring.wait_for(next);
+    while (next <= available) {
+      if (!fn(ring.slot(next), next)) {
+        running = false;
+        ++next;
+        break;
+      }
+      ++next;
+    }
+    ring.commit(cid, next - 1);
+  }
+}
+
+}  // namespace jstar::disruptor

@@ -1,0 +1,173 @@
+// Parallel reduce and scan on the fork/join pool — the execution side of
+// §1.3's "reduce and scan operations with user-defined operators" and the
+// §5.2 observation that "loops that do involve a reducer object could also
+// be executed in parallel, with a tree-based pass to combine the final
+// reducer results".
+//
+//   * parallel_reduce  — splits [0, n) into per-worker chunks, folds each
+//     chunk into a private reducer (no sharing, no locks), then merges the
+//     partials left-to-right.  Deterministic for commutative monoids, and
+//     also for merely-associative ones because the merge order is fixed.
+//   * parallel_scan    — Blelloch two-pass prefix scan over a sequence
+//     with a user-supplied associative operation (inclusive and exclusive
+//     variants).
+//
+// Both degrade gracefully to sequential loops when the pool is null or the
+// input is small, so they are safe to call from -sequential strategies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sched/fork_join_pool.h"
+#include "util/check.h"
+
+namespace jstar::reduce {
+
+/// Chunk bounds for splitting [0, n) into `parts` nearly equal ranges.
+struct Chunk {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+};
+
+inline std::vector<Chunk> split_range(std::int64_t n, int parts) {
+  JSTAR_CHECK_MSG(parts >= 1, "split_range needs parts >= 1");
+  std::vector<Chunk> out;
+  out.reserve(static_cast<std::size_t>(parts));
+  const std::int64_t base = n / parts;
+  const std::int64_t extra = n % parts;
+  std::int64_t at = 0;
+  for (int p = 0; p < parts; ++p) {
+    const std::int64_t len = base + (p < extra ? 1 : 0);
+    out.push_back({at, at + len});
+    at += len;
+  }
+  return out;
+}
+
+/// Folds fn(i) for i in [0, n) into a reducer of type R, in parallel.
+/// `fold` receives (reducer&, index); partial reducers merge in chunk
+/// order, so the result is deterministic for associative merges.
+///
+/// `identity` must be a *neutral* element: it is copied as the prototype
+/// of every per-chunk partial (carrying configuration such as Histogram
+/// bin bounds or TopK's k), so any data it already holds would be counted
+/// once per chunk.  Fold pre-accumulated state in with merge() afterwards.
+template <typename R, typename FoldFn>
+R parallel_reduce(sched::ForkJoinPool* pool, std::int64_t n, FoldFn&& fold,
+                  R identity = R{}) {
+  if (n <= 0) return identity;
+  const int parts =
+      (pool == nullptr || n < 2) ? 1 : std::max(1, pool->size());
+  if (parts == 1) {
+    R acc = std::move(identity);
+    for (std::int64_t i = 0; i < n; ++i) fold(acc, i);
+    return acc;
+  }
+  const std::vector<Chunk> chunks = split_range(n, parts);
+  std::vector<R> partials(chunks.size(), identity);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(chunks.size());
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    tasks.push_back([c, &chunks, &partials, &fold] {
+      R& acc = partials[c];
+      for (std::int64_t i = chunks[c].begin; i < chunks[c].end; ++i) {
+        fold(acc, i);
+      }
+    });
+  }
+  pool->invoke_all(std::move(tasks));
+  // Tree-equivalent combine: partials merge left-to-right (the tree shape
+  // only changes constant factors; order is what determinism needs).
+  R result = std::move(identity);
+  for (R& p : partials) result.merge(p);
+  return result;
+}
+
+/// Convenience: reduce the elements of a vector-like container.
+template <typename R, typename Container, typename AddFn>
+R parallel_reduce_over(sched::ForkJoinPool* pool, const Container& xs,
+                       AddFn&& add, R identity = R{}) {
+  return parallel_reduce<R>(
+      pool, static_cast<std::int64_t>(xs.size()),
+      [&](R& acc, std::int64_t i) {
+        add(acc, xs[static_cast<std::size_t>(i)]);
+      },
+      std::move(identity));
+}
+
+/// In-place inclusive prefix scan: out[i] = x0 op x1 op ... op xi.
+/// `op` must be associative.  Blelloch two-pass: per-chunk scan, exclusive
+/// scan of chunk totals, then a parallel fix-up pass.
+template <typename T, typename Op>
+void parallel_inclusive_scan(sched::ForkJoinPool* pool, std::vector<T>& xs,
+                             Op op) {
+  const auto n = static_cast<std::int64_t>(xs.size());
+  if (n <= 1) return;
+  const int parts =
+      (pool == nullptr) ? 1 : std::min<std::int64_t>(pool->size(), n / 2);
+  if (parts <= 1) {
+    for (std::int64_t i = 1; i < n; ++i) {
+      xs[static_cast<std::size_t>(i)] =
+          op(xs[static_cast<std::size_t>(i - 1)],
+             xs[static_cast<std::size_t>(i)]);
+    }
+    return;
+  }
+  const std::vector<Chunk> chunks = split_range(n, parts);
+  std::vector<T> totals(chunks.size());
+  // Pass 1 (parallel): scan each chunk locally, record its total.
+  {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(chunks.size());
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      tasks.push_back([c, &chunks, &xs, &totals, &op] {
+        const Chunk ch = chunks[c];
+        for (std::int64_t i = ch.begin + 1; i < ch.end; ++i) {
+          xs[static_cast<std::size_t>(i)] =
+              op(xs[static_cast<std::size_t>(i - 1)],
+                 xs[static_cast<std::size_t>(i)]);
+        }
+        totals[c] = xs[static_cast<std::size_t>(ch.end - 1)];
+      });
+    }
+    pool->invoke_all(std::move(tasks));
+  }
+  // Pass 2 (sequential, tiny): exclusive scan of the chunk totals.
+  std::vector<T> offsets(chunks.size());
+  for (std::size_t c = 1; c < chunks.size(); ++c) {
+    offsets[c] = (c == 1) ? totals[0] : op(offsets[c - 1], totals[c - 1]);
+  }
+  // Pass 3 (parallel): add each chunk's offset to its elements.
+  {
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t c = 1; c < chunks.size(); ++c) {
+      tasks.push_back([c, &chunks, &xs, &offsets, &op] {
+        const Chunk ch = chunks[c];
+        for (std::int64_t i = ch.begin; i < ch.end; ++i) {
+          xs[static_cast<std::size_t>(i)] =
+              op(offsets[c], xs[static_cast<std::size_t>(i)]);
+        }
+      });
+    }
+    pool->invoke_all(std::move(tasks));
+  }
+}
+
+/// Exclusive prefix scan: out[i] = id op x0 op ... op x(i-1); out[0] = id.
+template <typename T, typename Op>
+void parallel_exclusive_scan(sched::ForkJoinPool* pool, std::vector<T>& xs,
+                             T identity, Op op) {
+  const auto n = static_cast<std::int64_t>(xs.size());
+  if (n == 0) return;
+  // Inclusive scan then shift right by one.  The shift is cheap relative
+  // to the scan and keeps one code path for the two-pass algorithm.
+  parallel_inclusive_scan(pool, xs, op);
+  for (std::int64_t i = n - 1; i >= 1; --i) {
+    xs[static_cast<std::size_t>(i)] = xs[static_cast<std::size_t>(i - 1)];
+  }
+  xs[0] = std::move(identity);
+}
+
+}  // namespace jstar::reduce

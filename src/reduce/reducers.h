@@ -1,0 +1,237 @@
+// Reduce operators with user-defined combination — the JStar replacement
+// for sequential accumulation loops (§1.3: "JStar supports reduce and scan
+// operations with user-defined operators").
+//
+// A reducer is a commutative-monoid accumulator:
+//   * a value type V and an identity (the default-constructed reducer),
+//   * add(x)   — fold one element,
+//   * merge(r) — combine another partial reduction (tree combine, §5.2).
+//
+// Because merge() is associative, any loop over a relation that feeds a
+// reducer has independent iterations up to the final combine — which is
+// exactly why JStar can parallelise reducer loops "with a tree-based pass
+// to combine the final reducer results" (§5.2).  parallel.h implements
+// that pass on the fork/join pool.
+//
+// The Reducible concept below is the compile-time contract; Statistics
+// (util/statistics.h, the Fig 4 reducer) satisfies it, as do the reducers
+// here.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "util/check.h"
+
+namespace jstar::reduce {
+
+/// Compile-time contract for reducers: default-constructible identity,
+/// element folding, and associative partial-result merging.
+template <typename R, typename V>
+concept Reducible = requires(R r, const R cr, V v) {
+  R{};
+  r.add(v);
+  r.merge(cr);
+};
+
+// ---------------------------------------------------------------------------
+// Arithmetic reducers
+// ---------------------------------------------------------------------------
+
+/// Sum of elements.  T must be an arithmetic-like type with += .
+template <typename T>
+class Sum {
+ public:
+  void add(T x) { value_ += x; }
+  void merge(const Sum& o) { value_ += o.value_; }
+  T value() const { return value_; }
+
+ private:
+  T value_{};
+};
+
+/// Element count (useful for aggregate `count` queries).
+class Count {
+ public:
+  template <typename T>
+  void add(const T&) {
+    ++n_;
+  }
+  void merge(const Count& o) { n_ += o.n_; }
+  std::int64_t value() const { return n_; }
+
+ private:
+  std::int64_t n_ = 0;
+};
+
+/// Minimum element; empty() when nothing was added (a `get min` aggregate
+/// over an empty relation has no result).
+template <typename T, typename Less = std::less<T>>
+class Min {
+ public:
+  void add(const T& x) {
+    if (!value_ || Less{}(x, *value_)) value_ = x;
+  }
+  void merge(const Min& o) {
+    if (o.value_) add(*o.value_);
+  }
+  bool empty() const { return !value_.has_value(); }
+  const T& value() const {
+    JSTAR_CHECK_MSG(value_.has_value(), "Min reducer is empty");
+    return *value_;
+  }
+
+ private:
+  std::optional<T> value_;
+};
+
+/// Maximum element; empty() when nothing was added.
+template <typename T, typename Less = std::less<T>>
+class Max {
+ public:
+  void add(const T& x) {
+    if (!value_ || Less{}(*value_, x)) value_ = x;
+  }
+  void merge(const Max& o) {
+    if (o.value_) add(*o.value_);
+  }
+  bool empty() const { return !value_.has_value(); }
+  const T& value() const {
+    JSTAR_CHECK_MSG(value_.has_value(), "Max reducer is empty");
+    return *value_;
+  }
+
+ private:
+  std::optional<T> value_;
+};
+
+// ---------------------------------------------------------------------------
+// Order-statistics reducers
+// ---------------------------------------------------------------------------
+
+/// The k smallest elements, ascending.  merge() keeps the combined top-k,
+/// so the reducer is a monoid for any fixed k.
+template <typename T, typename Less = std::less<T>>
+class TopK {
+ public:
+  explicit TopK(std::size_t k) : k_(k) {
+    JSTAR_CHECK_MSG(k >= 1, "TopK needs k >= 1");
+  }
+
+  void add(const T& x) {
+    items_.push_back(x);
+    shrink();
+  }
+  void merge(const TopK& o) {
+    JSTAR_CHECK_MSG(k_ == o.k_, "merging TopK reducers with different k");
+    items_.insert(items_.end(), o.items_.begin(), o.items_.end());
+    shrink();
+  }
+  /// The k (or fewer) smallest elements seen, in ascending order.
+  std::vector<T> values() const {
+    std::vector<T> out = items_;
+    std::sort(out.begin(), out.end(), Less{});
+    if (out.size() > k_) out.resize(k_);
+    return out;
+  }
+  std::size_t k() const { return k_; }
+
+ private:
+  void shrink() {
+    if (items_.size() <= 2 * k_) return;
+    std::nth_element(items_.begin(),
+                     items_.begin() + static_cast<std::ptrdiff_t>(k_) - 1,
+                     items_.end(), Less{});
+    items_.resize(k_);
+  }
+
+  std::size_t k_;
+  std::vector<T> items_;  // invariant: contains a superset of the true top-k
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range values are clamped into
+/// the first/last bin.  merge() adds bin counts.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {
+    JSTAR_CHECK_MSG(bins >= 1 && hi > lo, "invalid histogram shape");
+  }
+
+  void add(double x) {
+    const double t = (x - lo_) / (hi_ - lo_);
+    auto bin = static_cast<std::int64_t>(t * static_cast<double>(counts_.size()));
+    bin = std::clamp<std::int64_t>(bin, 0,
+                                   static_cast<std::int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(bin)];
+  }
+  void merge(const Histogram& o) {
+    JSTAR_CHECK_MSG(counts_.size() == o.counts_.size() && lo_ == o.lo_ &&
+                        hi_ == o.hi_,
+                    "merging incompatible histograms");
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+  }
+  const std::vector<std::int64_t>& counts() const { return counts_; }
+  std::int64_t total() const {
+    std::int64_t n = 0;
+    for (auto c : counts_) n += c;
+    return n;
+  }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::int64_t> counts_;
+};
+
+// ---------------------------------------------------------------------------
+// Combinators
+// ---------------------------------------------------------------------------
+
+/// Wraps a plain binary operation `combine` with identity `id` into a
+/// reducer — the "user-defined operators" form of §1.3.
+template <typename T, typename Op>
+class Fold {
+ public:
+  Fold(T id, Op op) : value_(std::move(id)), op_(std::move(op)) {}
+
+  void add(const T& x) { value_ = op_(value_, x); }
+  void merge(const Fold& o) { value_ = op_(value_, o.value_); }
+  const T& value() const { return value_; }
+
+ private:
+  T value_;
+  Op op_;
+};
+
+template <typename T, typename Op>
+Fold(T, Op) -> Fold<T, Op>;
+
+/// Runs two reducers over the same stream (e.g. Sum + Count in one pass).
+template <typename A, typename B>
+class Pair {
+ public:
+  Pair() = default;
+  Pair(A a, B b) : a_(std::move(a)), b_(std::move(b)) {}
+
+  template <typename V>
+  void add(const V& v) {
+    a_.add(v);
+    b_.add(v);
+  }
+  void merge(const Pair& o) {
+    a_.merge(o.a_);
+    b_.merge(o.b_);
+  }
+  const A& first() const { return a_; }
+  const B& second() const { return b_; }
+
+ private:
+  A a_;
+  B b_;
+};
+
+}  // namespace jstar::reduce

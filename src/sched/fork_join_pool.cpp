@@ -1,0 +1,224 @@
+#include "sched/fork_join_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/check.h"
+
+namespace jstar::sched {
+
+namespace {
+thread_local ForkJoinPool* tl_pool = nullptr;
+thread_local int tl_worker_index = -1;
+}  // namespace
+
+ForkJoinPool* ForkJoinPool::current_pool() { return tl_pool; }
+int ForkJoinPool::current_worker_index() { return tl_worker_index; }
+
+ForkJoinPool::ForkJoinPool(int threads) {
+  JSTAR_CHECK_MSG(threads >= 1, "pool needs at least one thread");
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (int i = 0; i < threads; ++i) {
+    workers_[static_cast<std::size_t>(i)]->thread =
+        std::thread([this, i] { worker_loop(i); });
+  }
+}
+
+ForkJoinPool::~ForkJoinPool() {
+  wait_idle();
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    sleep_cv_.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  // Drain anything left in the injector (can only happen if tasks were
+  // submitted after wait_idle, which is a caller bug, but don't leak).
+  for (detail::Task* t : injector_) delete t;
+}
+
+void ForkJoinPool::record_exception(std::exception_ptr ep) {
+  std::lock_guard<std::mutex> lk(exception_mu_);
+  if (!first_exception_) first_exception_ = ep;
+}
+
+void ForkJoinPool::run_task(detail::Task* t) {
+  // Keep the latch alive past task deletion *and* past the caller's
+  // invoke_all frame: the shared_ptr copy makes the final count_down safe
+  // even if the batch owner wakes and returns concurrently.
+  std::shared_ptr<detail::BatchLatch> latch = t->latch;
+  try {
+    t->fn();
+  } catch (...) {
+    record_exception(std::current_exception());
+  }
+  delete t;
+  if (latch) latch->count_down();
+  if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lk(idle_mu_);
+    idle_cv_.notify_all();
+  }
+}
+
+void ForkJoinPool::enqueue(detail::Task* task) {
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  if (tl_pool == this && tl_worker_index >= 0) {
+    workers_[static_cast<std::size_t>(tl_worker_index)]->deque.push(task);
+  } else {
+    std::lock_guard<std::mutex> lk(injector_mu_);
+    injector_.push_back(task);
+  }
+  if (sleepers_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    sleep_cv_.notify_one();
+  }
+}
+
+bool ForkJoinPool::try_run_one(int self_index, SplitMix64& rng) {
+  detail::Task* task = nullptr;
+  // 1. Own deque (workers only).
+  if (self_index >= 0 &&
+      workers_[static_cast<std::size_t>(self_index)]->deque.pop(task)) {
+    run_task(task);
+    return true;
+  }
+  // 2. Injector queue.
+  {
+    std::unique_lock<std::mutex> lk(injector_mu_, std::try_to_lock);
+    if (lk.owns_lock() && !injector_.empty()) {
+      task = injector_.front();
+      injector_.pop_front();
+      lk.unlock();
+      run_task(task);
+      return true;
+    }
+  }
+  // 3. Steal from a random victim, then scan the rest.
+  const int n = size();
+  const int start = static_cast<int>(rng.next_below(
+      static_cast<std::uint64_t>(n)));
+  for (int k = 0; k < n; ++k) {
+    const int victim = (start + k) % n;
+    if (victim == self_index) continue;
+    if (workers_[static_cast<std::size_t>(victim)]->deque.steal(task)) {
+      run_task(task);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ForkJoinPool::worker_loop(int index) {
+  tl_pool = this;
+  tl_worker_index = index;
+  SplitMix64 rng(0xC0FFEE ^ static_cast<std::uint64_t>(index) * 7919);
+  int misses = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (try_run_one(index, rng)) {
+      misses = 0;
+      continue;
+    }
+    if (++misses < 64) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Park until new work arrives (or periodically re-check).
+    std::unique_lock<std::mutex> lk(sleep_mu_);
+    sleepers_.fetch_add(1, std::memory_order_acq_rel);
+    sleep_cv_.wait_for(lk, std::chrono::milliseconds(10));
+    sleepers_.fetch_sub(1, std::memory_order_acq_rel);
+    misses = 0;
+  }
+  tl_pool = nullptr;
+  tl_worker_index = -1;
+}
+
+void ForkJoinPool::help_until(detail::BatchLatch& latch, int self_index) {
+  SplitMix64 rng(0xFEEDFACE ^ static_cast<std::uint64_t>(self_index + 17));
+  while (!latch.done()) {
+    if (!try_run_one(self_index, rng)) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void ForkJoinPool::invoke_all(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  const bool on_worker = (tl_pool == this && tl_worker_index >= 0);
+  if (tasks.size() == 1 && on_worker) {
+    // A worker may run a singleton batch inline: current_pool() is already
+    // set, and no other thread can observe the batch.
+    tasks[0]();
+    return;
+  }
+  auto latch =
+      std::make_shared<detail::BatchLatch>(static_cast<std::int64_t>(tasks.size()));
+  for (auto& fn : tasks) {
+    auto* t = new detail::Task{std::move(fn), latch};
+    enqueue(t);
+  }
+  if (on_worker) {
+    // Workers help-execute while waiting so nested invoke_all cannot
+    // starve the pool.
+    help_until(*latch, tl_worker_index);
+  } else {
+    // External threads must NOT execute tasks themselves: rule bodies call
+    // current_pool(), which is only set on worker threads.
+    latch->wait();
+  }
+  std::exception_ptr ep;
+  {
+    std::lock_guard<std::mutex> lk(exception_mu_);
+    ep = first_exception_;
+    first_exception_ = nullptr;
+  }
+  if (ep) std::rethrow_exception(ep);
+}
+
+void ForkJoinPool::for_each_index(std::int64_t n,
+                                  const std::function<void(std::int64_t)>& fn,
+                                  std::int64_t grain) {
+  if (n <= 0) return;
+  const int p = size();
+  if (grain <= 0) grain = std::max<std::int64_t>(1, n / (p * 8));
+  if (n <= grain || (p == 1 && tl_pool == this)) {
+    // Inline only when already on this pool's (sole) worker; external
+    // callers still dispatch so fn sees current_pool() set.
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto next = std::make_shared<std::atomic<std::int64_t>>(0);
+  const int workers =
+      static_cast<int>(std::min<std::int64_t>(p, (n + grain - 1) / grain));
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    tasks.push_back([next, n, grain, &fn] {
+      for (;;) {
+        const std::int64_t begin = next->fetch_add(grain);
+        if (begin >= n) break;
+        const std::int64_t end = std::min<std::int64_t>(begin + grain, n);
+        for (std::int64_t i = begin; i < end; ++i) fn(i);
+      }
+    });
+  }
+  invoke_all(std::move(tasks));
+}
+
+void ForkJoinPool::submit(std::function<void()> fn) {
+  enqueue(new detail::Task{std::move(fn), nullptr});
+}
+
+void ForkJoinPool::wait_idle() {
+  std::unique_lock<std::mutex> lk(idle_mu_);
+  idle_cv_.wait(lk, [&] {
+    return inflight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace jstar::sched

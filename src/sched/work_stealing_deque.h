@@ -1,0 +1,129 @@
+// Chase–Lev work-stealing deque (Chase & Lev, SPAA 2005), the classic
+// substrate under fork/join schedulers — including the Java 7 Fork/Join
+// framework [Lea 2000] that the JStar runtime builds on (§5).
+//
+// The owner thread pushes and pops at the *bottom*; thief threads steal from
+// the *top*.  Only `pop` vs `steal` on the last element races, resolved with
+// a CAS on `top`.  The buffer grows geometrically; retired buffers are kept
+// until destruction so stealing threads never dereference freed memory.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/cache_pad.h"
+
+namespace jstar::sched {
+
+template <typename T>
+class WorkStealingDeque {
+ public:
+  explicit WorkStealingDeque(std::int64_t initial_capacity = 64)
+      : top_(0), bottom_(0) {
+    buffers_.push_back(std::make_unique<Buffer>(initial_capacity));
+    buffer_.store(buffers_.back().get(), std::memory_order_relaxed);
+  }
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  /// Owner only.  Pushes one item at the bottom.
+  void push(T item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t > buf->capacity - 1) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only.  Pops the most recently pushed item; returns false if the
+  /// deque is empty (or the last item was stolen concurrently).
+  bool pop(T& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Deque was already empty: restore bottom.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    out = buf->get(b);
+    if (t == b) {
+      // Last element: race against thieves via CAS on top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return false;
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  /// Any thread.  Steals the oldest item; returns false when empty or lost
+  /// a race (callers should retry elsewhere, not spin here).
+  bool steal(T& out) {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return false;
+    Buffer* buf = buffer_.load(std::memory_order_consume);
+    T item = buf->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return false;
+    }
+    out = item;
+    return true;
+  }
+
+  /// Approximate size (safe from any thread; may be stale).
+  std::int64_t size_approx() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+  bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::int64_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<T>[cap]) {}
+    const std::int64_t capacity;
+    const std::int64_t mask;
+    std::unique_ptr<std::atomic<T>[]> slots;
+
+    T get(std::int64_t i) const {
+      return slots[i & mask].load(std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T v) {
+      slots[i & mask].store(v, std::memory_order_relaxed);
+    }
+  };
+
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto bigger = std::make_unique<Buffer>(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    Buffer* raw = bigger.get();
+    buffers_.push_back(std::move(bigger));
+    buffer_.store(raw, std::memory_order_release);
+    return raw;
+  }
+
+  alignas(kCacheLine) std::atomic<std::int64_t> top_;
+  alignas(kCacheLine) std::atomic<std::int64_t> bottom_;
+  alignas(kCacheLine) std::atomic<Buffer*> buffer_;
+  // Retired + live buffers; only touched by the owner inside push (grow).
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+}  // namespace jstar::sched

@@ -1,0 +1,160 @@
+// Bridge from engine-side table declarations to SMT-side causality
+// specifications (§4).
+//
+// The paper's compiler builds the proof obligations automatically from
+// the program text: each tuple occurrence's orderby list is unfolded into
+// its key expressions, literal levels become their declared ranks, and
+// seq fields become symbolic integer variables.  In this embedding, rule
+// *bodies* are opaque C++ lambdas, so the arithmetic a rule performs on
+// field values must be restated symbolically — but everything schema-
+// derived (orderby shapes, literal ranks, key layout) is mechanical, and
+// this bridge mechanises it:
+//
+//   OrderResolver orders;            // or engine.orders() after prepare()
+//   RuleSpecBuilder b(orders, "settle");
+//   auto trig = b.trigger(estimate); // vars for Estimate's seq fields
+//   auto done = b.put(done_table);
+//   b.given(smt::ge(trig["distance"] ... ));
+//   done.bind("distance", trig["distance"]);   // put key expression
+//   RuleSpec spec = b.build();
+//
+// Every key occurrence starts with fresh variables for its seq fields;
+// bind() replaces a field's variable with an explicit expression (the
+// value the rule actually writes).  Unbound fields stay symbolic — the
+// obligation must then hold for *any* field value, which is the sound
+// default.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/orderby.h"
+#include "smt/causality.h"
+
+namespace jstar::smt {
+
+/// One symbolic tuple occurrence: its key expressions (per comparable
+/// orderby level) plus name → variable/expression handles for seq fields.
+class KeyHandle {
+ public:
+  /// The symbolic expression for a seq field (throws if unknown).
+  const LinExpr& operator[](const std::string& field) const {
+    const auto it = fields_.find(field);
+    JSTAR_CHECK_MSG(it != fields_.end(),
+                    "no seq orderby field '" + field + "' on " + table_);
+    return key_[it->second];
+  }
+
+  /// Replaces the field's symbolic variable with a concrete expression —
+  /// the value the rule writes into that field of the new tuple.
+  void bind(const std::string& field, const LinExpr& e) {
+    const auto it = fields_.find(field);
+    JSTAR_CHECK_MSG(it != fields_.end(),
+                    "no seq orderby field '" + field + "' on " + table_);
+    key_[it->second] = e;
+  }
+
+  const KeyExprs& key() const { return key_; }
+  const std::string& table() const { return table_; }
+
+ private:
+  friend class RuleSpecBuilder;
+  std::string table_;
+  KeyExprs key_;
+  std::map<std::string, std::size_t> fields_;  // field name → key index
+};
+
+/// Assembles a RuleSpec from table orderby specs + a frozen order
+/// relation, creating fresh variables per occurrence.
+class RuleSpecBuilder {
+ public:
+  RuleSpecBuilder(const OrderResolver& orders, std::string rule_name)
+      : orders_(orders) {
+    JSTAR_CHECK_MSG(orders.frozen(),
+                    "freeze the order relation before building specs");
+    spec_.name = std::move(rule_name);
+  }
+
+  /// Declares the trigger occurrence; its seq fields become variables
+  /// named "<table>.<field>".
+  KeyHandle trigger(const std::string& table,
+                    const std::vector<OrderByLevel>& orderby) {
+    KeyHandle h = occurrence(table, orderby, "");
+    spec_.trigger_key = h.key();
+    trigger_ = h;
+    has_trigger_ = true;
+    return h;
+  }
+
+  /// Declares a put occurrence.  Call bind() on the handle to state what
+  /// the rule writes, then pass it to add_put().
+  KeyHandle put(const std::string& table,
+                const std::vector<OrderByLevel>& orderby,
+                const std::string& suffix = "'") {
+    return occurrence(table, orderby, suffix);
+  }
+
+  /// Declares a negative/aggregate query occurrence.
+  KeyHandle query(const std::string& table,
+                  const std::vector<OrderByLevel>& orderby,
+                  const std::string& suffix = "?") {
+    return occurrence(table, orderby, suffix);
+  }
+
+  /// Adds a premise (guard, invariant, or field definition).
+  void given(const Constraint& c) { spec_.premise.push_back(c); }
+  void given(const std::vector<Constraint>& cs) {
+    spec_.premise.insert(spec_.premise.end(), cs.begin(), cs.end());
+  }
+
+  /// Registers the put obligation: trigger ≤lex put key.
+  void add_put(const KeyHandle& h) {
+    spec_.puts.push_back({h.table(), h.key(), {}});
+  }
+
+  /// Registers the negative/aggregate query obligation: key <lex trigger.
+  void add_query(const KeyHandle& h) {
+    spec_.queries.push_back({h.table(), h.key(), true, {}});
+  }
+
+  VarPool& vars() { return spec_.vars; }
+
+  /// Finalises (the trigger must have been declared).
+  RuleSpec build() {
+    JSTAR_CHECK_MSG(has_trigger_, "rule spec needs a trigger");
+    return std::move(spec_);
+  }
+
+ private:
+  KeyHandle occurrence(const std::string& table,
+                       const std::vector<OrderByLevel>& orderby,
+                       const std::string& suffix) {
+    KeyHandle h;
+    h.table_ = table;
+    for (const OrderByLevel& level : orderby) {
+      switch (level.kind) {
+        case OrderByLevel::Kind::Lit:
+          h.key_.push_back(LinExpr(orders_.rank_of(level.name)));
+          break;
+        case OrderByLevel::Kind::Seq: {
+          const VarId v =
+              spec_.vars.fresh(table + suffix + "." + level.name);
+          h.fields_.emplace(level.name, h.key_.size());
+          h.key_.push_back(LinExpr::var(v));
+          break;
+        }
+        case OrderByLevel::Kind::Par:
+          break;  // par fields are outside the comparable key
+      }
+    }
+    return h;
+  }
+
+  const OrderResolver& orders_;
+  RuleSpec spec_;
+  KeyHandle trigger_;
+  bool has_trigger_ = false;
+};
+
+}  // namespace jstar::smt

@@ -1,0 +1,154 @@
+#include "smt/causality.h"
+
+#include "util/check.h"
+
+#include <algorithm>
+
+namespace jstar::smt {
+
+namespace {
+
+/// Disjunctive normal form of  a >lex b : for some position k the prefixes
+/// agree and a[k] > b[k], or b is a strict prefix of a.
+std::vector<std::vector<Constraint>> lex_gt_disjuncts(const KeyExprs& a,
+                                                      const KeyExprs& b) {
+  std::vector<std::vector<Constraint>> out;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t k = 0; k < n; ++k) {
+    std::vector<Constraint> cs;
+    for (std::size_t j = 0; j < k; ++j) {
+      auto eqs = eq(a[j], b[j]);
+      cs.insert(cs.end(), eqs.begin(), eqs.end());
+    }
+    cs.push_back(gt(a[k], b[k]));
+    out.push_back(std::move(cs));
+  }
+  if (a.size() > b.size()) {
+    // Prefix-equal and a strictly longer: a >lex b (prefix-is-less rule).
+    std::vector<Constraint> cs;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      auto eqs = eq(a[j], b[j]);
+      cs.insert(cs.end(), eqs.begin(), eqs.end());
+    }
+    out.push_back(std::move(cs));
+  }
+  return out;
+}
+
+/// The conjunction  a =lex b, or nullopt when lengths differ (keys of
+/// different lengths are never lexicographically equal here).
+std::vector<std::vector<Constraint>> lex_eq_disjunct(const KeyExprs& a,
+                                                     const KeyExprs& b) {
+  if (a.size() != b.size()) return {};
+  std::vector<Constraint> cs;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    auto eqs = eq(a[j], b[j]);
+    cs.insert(cs.end(), eqs.begin(), eqs.end());
+  }
+  return {cs};
+}
+
+bool integral_model(const std::map<VarId, Rat>& model) {
+  for (const auto& [v, r] : model) {
+    (void)v;
+    if (!r.is_integer()) return false;
+  }
+  return true;
+}
+
+std::string model_to_string(const std::map<VarId, Rat>& model,
+                            const VarPool& vars) {
+  std::string s;
+  for (const auto& [v, r] : model) {
+    if (!s.empty()) s += ", ";
+    s += vars.name(v) + " = " + r.to_string();
+  }
+  return s.empty() ? "(empty assignment)" : s;
+}
+
+}  // namespace
+
+ObligationResult CausalityChecker::prove_all_unsat(
+    const std::vector<Constraint>& premise,
+    const std::vector<std::vector<Constraint>>& disjuncts,
+    const VarPool& vars, const std::string& description) const {
+  ObligationResult res;
+  res.description = description;
+  res.status = ProofStatus::Proved;
+  for (const auto& d : disjuncts) {
+    SatOutcome outcome;
+    try {
+      // Branch-and-bound integer refinement: tuple fields are integers, so
+      // a fractional rational witness alone proves nothing — it either
+      // rounds into a genuine integer counterexample or the branch search
+      // shows the violation region contains no lattice point.
+      std::vector<Constraint> all = premise;
+      all.insert(all.end(), d.begin(), d.end());
+      outcome = fm_.check_integer(std::move(all));
+    } catch (const RationalOverflow&) {
+      res.status = ProofStatus::Unknown;
+      res.detail = "arithmetic overflow during elimination";
+      return res;
+    }
+    switch (outcome.result) {
+      case SatResult::Unsat:
+        continue;  // this violation scenario is impossible — good
+      case SatResult::Sat:
+        JSTAR_DCHECK(integral_model(outcome.model));
+        res.status = ProofStatus::Refuted;
+        res.detail = "counterexample: " + model_to_string(outcome.model, vars);
+        return res;
+      case SatResult::Unknown:
+        res.status = ProofStatus::Unknown;
+        res.detail = "integer refinement inconclusive (depth limit)";
+        return res;
+    }
+  }
+  return res;
+}
+
+ObligationResult CausalityChecker::prove_lex_le(
+    const std::vector<Constraint>& premise, const KeyExprs& a,
+    const KeyExprs& b, const VarPool& vars,
+    const std::string& description) const {
+  // ¬(a ≤lex b)  ≡  a >lex b
+  return prove_all_unsat(premise, lex_gt_disjuncts(a, b), vars, description);
+}
+
+ObligationResult CausalityChecker::prove_lex_lt(
+    const std::vector<Constraint>& premise, const KeyExprs& a,
+    const KeyExprs& b, const VarPool& vars,
+    const std::string& description) const {
+  // ¬(a <lex b)  ≡  a >lex b  ∨  a =lex b
+  auto disjuncts = lex_gt_disjuncts(a, b);
+  auto eq_d = lex_eq_disjunct(a, b);
+  disjuncts.insert(disjuncts.end(), eq_d.begin(), eq_d.end());
+  return prove_all_unsat(premise, disjuncts, vars, description);
+}
+
+std::vector<ObligationResult> CausalityChecker::check(
+    const RuleSpec& rule) const {
+  std::vector<ObligationResult> results;
+  int index = 1;
+  for (const auto& put : rule.puts) {
+    std::vector<Constraint> premise = rule.premise;
+    premise.insert(premise.end(), put.given.begin(), put.given.end());
+    results.push_back(prove_lex_le(
+        premise, rule.trigger_key, put.key, rule.vars,
+        rule.name + ": put #" + std::to_string(index++) + " into " +
+            put.table + " must be in the present or future"));
+  }
+  index = 1;
+  for (const auto& q : rule.queries) {
+    if (!q.negative_or_aggregate) continue;  // positive queries: no duty
+    std::vector<Constraint> premise = rule.premise;
+    premise.insert(premise.end(), q.given.begin(), q.given.end());
+    results.push_back(prove_lex_lt(
+        premise, q.key, rule.trigger_key, rule.vars,
+        rule.name + ": negative/aggregate query #" + std::to_string(index++) +
+            " of " + q.table + " must be strictly in the past"));
+  }
+  return results;
+}
+
+}  // namespace jstar::smt

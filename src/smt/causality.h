@@ -1,0 +1,100 @@
+// Static verification of the law of causality (§4).
+//
+// For a rule triggered by tuple `trig` that puts tuple `new` and performs
+// negative/aggregate queries `q`, the paper discharges, per put:
+//
+//     inv(trig) ∧ guards ∧ inv(new) ⟹ orderby(trig) ≤lex orderby(new)
+//
+// and per negative/aggregate query:
+//
+//     inv(trig) ∧ guards ⟹ orderby(q) <lex orderby(trig)
+//
+// A RuleSpec describes a rule symbolically: a premise (invariants, guards,
+// field definitions as equalities) plus the orderby key expressions of the
+// trigger, the puts and the queries.  CausalityChecker turns each
+// obligation into UNSAT checks on the negated lexicographic comparison and
+// reports Proved / Refuted(+counterexample) / Unknown — the Unknown case
+// corresponds to the paper's "Stratification error" warnings telling the
+// programmer to strengthen invariants or change orderby clauses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "smt/fourier_motzkin.h"
+
+namespace jstar::smt {
+
+/// The orderby list of one tuple occurrence, as symbolic expressions.
+/// Literal levels appear as their integer ranks (constants); seq levels as
+/// linear expressions over the rule's variables.
+using KeyExprs = std::vector<LinExpr>;
+
+struct PutSpec {
+  std::string table;
+  KeyExprs key;
+  /// Extra facts known about the new tuple (its table invariant).
+  std::vector<Constraint> given;
+};
+
+struct QuerySpec {
+  std::string table;
+  KeyExprs key;
+  /// Only negative/aggregate queries carry a strictly-before obligation;
+  /// positive queries at <= trigger time are always legal.
+  bool negative_or_aggregate = true;
+  std::vector<Constraint> given;
+};
+
+/// Symbolic description of one rule for causality checking.
+struct RuleSpec {
+  std::string name;
+  VarPool vars;
+  /// Trigger invariant + rule guards + field definitions (as equalities).
+  std::vector<Constraint> premise;
+  KeyExprs trigger_key;
+  std::vector<PutSpec> puts;
+  std::vector<QuerySpec> queries;
+};
+
+enum class ProofStatus { Proved, Refuted, Unknown };
+
+struct ObligationResult {
+  std::string description;
+  ProofStatus status = ProofStatus::Unknown;
+  /// Human-readable counterexample assignment when Refuted (or a rational
+  /// near-counterexample when Unknown).
+  std::string detail;
+};
+
+class CausalityChecker {
+ public:
+  explicit CausalityChecker(std::size_t fm_limit = 50000) : fm_(fm_limit) {}
+
+  /// Discharges every obligation of the rule; the rule is causally sound
+  /// iff all results are Proved.
+  std::vector<ObligationResult> check(const RuleSpec& rule) const;
+
+  /// premise ⟹ a ≤lex b
+  ObligationResult prove_lex_le(const std::vector<Constraint>& premise,
+                                const KeyExprs& a, const KeyExprs& b,
+                                const VarPool& vars,
+                                const std::string& description) const;
+
+  /// premise ⟹ a <lex b
+  ObligationResult prove_lex_lt(const std::vector<Constraint>& premise,
+                                const KeyExprs& a, const KeyExprs& b,
+                                const VarPool& vars,
+                                const std::string& description) const;
+
+ private:
+  /// Shared engine: proves  premise ⟹ ¬(any disjunct satisfiable).
+  ObligationResult prove_all_unsat(
+      const std::vector<Constraint>& premise,
+      const std::vector<std::vector<Constraint>>& disjuncts,
+      const VarPool& vars, const std::string& description) const;
+
+  FourierMotzkin fm_;
+};
+
+}  // namespace jstar::smt

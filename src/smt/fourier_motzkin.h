@@ -1,0 +1,296 @@
+// Fourier–Motzkin satisfiability for conjunctions of linear constraints —
+// the decision procedure behind the causality checker.
+//
+// The paper sends its stratification proof obligations to off-the-shelf
+// SMT solvers (§1.5, §4).  The obligations are implications between
+// conjunctions of linear integer constraints and lexicographic orderby
+// comparisons; validity reduces to UNSAT checks on premise ∧ ¬conclusion.
+// FM elimination decides these over the rationals:
+//   * Unsat  → the implication is valid over the rationals, hence over the
+//              integers too (integer models are rational models) — proved.
+//   * Sat    → we extract a rational counterexample by back-substitution.
+//              If it happens to be integral it is a genuine counterexample;
+//              otherwise the result is reported as Unknown (the paper's
+//              solvers have the same sound-but-incomplete behaviour, and
+//              the runtime reacts identically: warn the programmer).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "smt/linear.h"
+
+namespace jstar::smt {
+
+enum class SatResult { Sat, Unsat, Unknown };
+
+struct SatOutcome {
+  SatResult result = SatResult::Unknown;
+  /// A satisfying rational assignment when result == Sat.
+  std::map<VarId, Rat> model;
+};
+
+class FourierMotzkin {
+ public:
+  /// Caps the constraint-set size during elimination; beyond it we give up
+  /// with Unknown (FM is worst-case exponential).
+  explicit FourierMotzkin(std::size_t max_constraints = 50000)
+      : max_constraints_(max_constraints) {}
+
+  SatOutcome check(std::vector<Constraint> cs) const {
+    // Collect the variables present.
+    std::set<VarId> vars;
+    for (const auto& c : cs) {
+      for (const auto& [v, coeff] : c.expr.coeffs()) {
+        (void)coeff;
+        vars.insert(v);
+      }
+    }
+    // Ground constraints never enter the elimination loop, so validate and
+    // drop them up front (e.g. a premise of `3 <= 1` must be Unsat even
+    // with no variables at all).
+    {
+      std::vector<Constraint> kept;
+      kept.reserve(cs.size());
+      for (auto& c : cs) {
+        if (c.expr.is_constant()) {
+          if (violated(c)) return {SatResult::Unsat, {}};
+        } else {
+          kept.push_back(std::move(c));
+        }
+      }
+      cs = std::move(kept);
+    }
+    // Remember, per eliminated variable, its bounding constraints so a
+    // model can be rebuilt by back-substitution.
+    struct Eliminated {
+      VarId var;
+      std::vector<Constraint> bounds;  // constraints mentioning var
+    };
+    std::vector<Eliminated> trail;
+
+    while (!vars.empty()) {
+      // Heuristic: eliminate the variable minimising lower*upper products.
+      VarId best = *vars.begin();
+      std::size_t best_cost = SIZE_MAX;
+      for (VarId v : vars) {
+        std::size_t lower = 0, upper = 0;
+        for (const auto& c : cs) {
+          const Rat k = c.expr.coeff(v);
+          if (k.is_positive()) ++upper;
+          else if (k.is_negative()) ++lower;
+        }
+        const std::size_t cost = lower * upper;
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = v;
+        }
+      }
+      vars.erase(best);
+
+      std::vector<Constraint> rest, uppers, lowers;
+      for (auto& c : cs) {
+        const Rat k = c.expr.coeff(best);
+        if (k.is_zero()) rest.push_back(std::move(c));
+        else if (k.is_positive()) uppers.push_back(std::move(c));
+        else lowers.push_back(std::move(c));
+      }
+      trail.push_back({best, {}});
+      auto& bounds = trail.back().bounds;
+      bounds.insert(bounds.end(), uppers.begin(), uppers.end());
+      bounds.insert(bounds.end(), lowers.begin(), lowers.end());
+
+      // Combine every lower with every upper: from  a·x + e1 <= 0 (a>0)
+      // and  -b·x + e2 <= 0 (b>0):  b·e1 + a·e2 <= 0.
+      for (const auto& up : uppers) {
+        const Rat a = up.expr.coeff(best);
+        for (const auto& lo : lowers) {
+          const Rat b = -lo.expr.coeff(best);
+          Constraint combo;
+          combo.expr = b * (up.expr - a * LinExpr::var(best)) +
+                       a * (lo.expr + b * LinExpr::var(best));
+          combo.strict = up.strict || lo.strict;
+          if (combo.expr.is_constant()) {
+            if (violated(combo)) return {SatResult::Unsat, {}};
+            continue;  // trivially true; drop
+          }
+          rest.push_back(std::move(combo));
+          if (rest.size() > max_constraints_) {
+            return {SatResult::Unknown, {}};
+          }
+        }
+      }
+      cs = std::move(rest);
+      // Drop trivially-true ground constraints; fail on false ones.
+      std::vector<Constraint> kept;
+      for (auto& c : cs) {
+        if (c.expr.is_constant()) {
+          if (violated(c)) return {SatResult::Unsat, {}};
+        } else {
+          kept.push_back(std::move(c));
+        }
+      }
+      cs = std::move(kept);
+    }
+
+    // All variables eliminated and no ground contradiction: satisfiable.
+    // Rebuild a model in reverse elimination order.
+    SatOutcome out;
+    out.result = SatResult::Sat;
+    for (auto it = trail.rbegin(); it != trail.rend(); ++it) {
+      out.model[it->var] = choose_value(it->var, it->bounds, out.model);
+    }
+    return out;
+  }
+
+  /// Is `premise && extra` unsatisfiable?
+  SatOutcome check_with(const std::vector<Constraint>& premise,
+                        const std::vector<Constraint>& extra) const {
+    std::vector<Constraint> all = premise;
+    all.insert(all.end(), extra.begin(), extra.end());
+    return check(std::move(all));
+  }
+
+  /// Normalisation for integer-valued variables (Gomory-style constant
+  /// tightening).  Scale each constraint to integer coefficients, divide
+  /// by their gcd, and floor the bound:
+  ///     a·x <= b   becomes   (a/g)·x <= floor(b/g),
+  ///     a·x <  b   becomes   (a/g)·x <= ceil(b/g) - 1.
+  /// Sound and complete over integer points; it often closes regions that
+  /// are rationally open (e.g. 2q <= 2t + 1 tightens to q - t <= 0).  The
+  /// output has no strict constraints left.
+  static std::vector<Constraint> tighten_for_integers(
+      const std::vector<Constraint>& cs) {
+    std::vector<Constraint> out;
+    out.reserve(cs.size());
+    for (const Constraint& c : cs) {
+      if (c.expr.is_constant()) {
+        out.push_back(c);
+        continue;
+      }
+      // Scale to integer coefficients: multiply by the lcm of coefficient
+      // denominators.
+      std::int64_t lcm = 1;
+      for (const auto& [v, k] : c.expr.coeffs()) {
+        (void)v;
+        lcm = std::lcm(lcm, k.den());
+      }
+      const Rat scale(lcm);
+      // g = gcd of the scaled coefficients' magnitudes.
+      std::int64_t g = 0;
+      for (const auto& [v, k] : c.expr.coeffs()) {
+        (void)v;
+        const Rat sk = scale * k;
+        g = std::gcd(g, sk.num() < 0 ? -sk.num() : sk.num());
+      }
+      if (g == 0) g = 1;
+      // expr = sum a_i x_i + c0 (<=|<) 0  ⇔  sum a_i x_i (<=|<) -c0.
+      // After scaling and dividing by g the bound is b = -c0 * lcm / g.
+      const Rat b = -(scale * c.expr.constant()) / Rat(g);
+      std::int64_t ib;  // tightened integer bound: lhs <= ib
+      if (c.strict) {
+        // lhs < b  ⇔  lhs <= ceil(b) - 1  (integral lhs)
+        ib = b.is_integer() ? b.num() - 1 : b.floor();
+      } else {
+        ib = b.floor();
+      }
+      LinExpr lhs;
+      for (const auto& [v, k] : c.expr.coeffs()) {
+        lhs = lhs + LinExpr::var(v, (scale * k) / Rat(g));
+      }
+      out.push_back(le(lhs, LinExpr(ib)));
+    }
+    return out;
+  }
+
+  /// Satisfiability over the *integers*: constant tightening plus
+  /// branch-and-bound refinement of the rational relaxation.  When the
+  /// relaxation is Sat with a fractional witness for variable x = q, the
+  /// integer solutions split exactly into the two subproblems with
+  /// x <= floor(q) and x >= ceil(q); recursing on both either finds an
+  /// integral model (Sat) or exhausts the space (Unsat).  Depth-limited:
+  /// deep branching returns Unknown, the same sound-incomplete behaviour
+  /// the paper accepts from its SMT backends.
+  SatOutcome check_integer(const std::vector<Constraint>& cs_in,
+                           int max_depth = 24) const {
+    const std::vector<Constraint> cs = tighten_for_integers(cs_in);
+    SatOutcome relaxed = check(cs);
+    if (relaxed.result != SatResult::Sat) return relaxed;
+    // Find a fractional variable to branch on.
+    VarId frac = -1;
+    Rat value(0);
+    for (const auto& [v, r] : relaxed.model) {
+      if (!r.is_integer()) {
+        frac = v;
+        value = r;
+        break;
+      }
+    }
+    if (frac < 0) return relaxed;  // already integral
+    if (max_depth <= 0) return {SatResult::Unknown, {}};
+
+    const std::int64_t fl = value.floor();
+    // x <= floor(q)
+    std::vector<Constraint> lo = cs;
+    lo.push_back(le(LinExpr::var(frac), LinExpr(fl)));
+    SatOutcome down = check_integer(lo, max_depth - 1);
+    if (down.result == SatResult::Sat) return down;
+    // x >= floor(q) + 1
+    std::vector<Constraint> hi = cs;
+    hi.push_back(ge(LinExpr::var(frac), LinExpr(fl + 1)));
+    SatOutcome up = check_integer(hi, max_depth - 1);
+    if (up.result == SatResult::Sat) return up;
+    if (down.result == SatResult::Unsat && up.result == SatResult::Unsat) {
+      return {SatResult::Unsat, {}};
+    }
+    return {SatResult::Unknown, {}};
+  }
+
+ private:
+  static bool violated(const Constraint& c) {
+    const Rat k = c.expr.constant();
+    return c.strict ? !(k < Rat(0)) : k.is_positive();
+  }
+
+  /// Picks a value for `var` consistent with its bounds under the partial
+  /// model (later-eliminated variables are already assigned; any variable
+  /// still unassigned defaults to 0, which is consistent because it was
+  /// eliminated earlier, i.e. it is unconstrained relative to this one).
+  static Rat choose_value(VarId var, const std::vector<Constraint>& bounds,
+                          const std::map<VarId, Rat>& model) {
+    std::optional<Rat> lo, hi;        // lo <= x <= hi
+    bool lo_strict = false, hi_strict = false;
+    for (const auto& c : bounds) {
+      const Rat k = c.expr.coeff(var);
+      // c:  k*x + rest <= 0  →  x <= -rest/k (k>0)  or  x >= -rest/k (k<0)
+      LinExpr rest = c.expr - k * LinExpr::var(var);
+      const Rat bound = -rest.eval(model) / k;
+      if (k.is_positive()) {
+        if (!hi || bound < *hi || (bound == *hi && c.strict)) {
+          hi = bound;
+          hi_strict = c.strict;
+        }
+      } else {
+        if (!lo || bound > *lo || (bound == *lo && c.strict)) {
+          lo = bound;
+          lo_strict = c.strict;
+        }
+      }
+    }
+    if (!lo && !hi) return Rat(0);
+    if (lo && !hi) return lo_strict ? *lo + Rat(1) : *lo;
+    if (!lo && hi) return hi_strict ? *hi - Rat(1) : *hi;
+    if (!lo_strict) return *lo;
+    if (!hi_strict) return *hi;
+    // Open interval: midpoint (FM guarantees non-emptiness).
+    return (*lo + *hi) / Rat(2);
+  }
+
+  std::size_t max_constraints_;
+};
+
+}  // namespace jstar::smt

@@ -1,0 +1,150 @@
+// Linear expressions and constraints over integer-valued variables —
+// the term language of the causality proof obligations (§4).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "smt/rational.h"
+
+namespace jstar::smt {
+
+using VarId = int;
+
+/// Maps variable ids to human-readable names for diagnostics.
+class VarPool {
+ public:
+  VarId fresh(const std::string& name) {
+    names_.push_back(name);
+    return static_cast<VarId>(names_.size()) - 1;
+  }
+  const std::string& name(VarId v) const {
+    return names_[static_cast<std::size_t>(v)];
+  }
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// c0 + sum(ci * xi).  Sparse over variable ids.
+class LinExpr {
+ public:
+  LinExpr() = default;
+  LinExpr(Rat constant) : constant_(constant) {}  // NOLINT implicit
+  LinExpr(std::int64_t constant) : constant_(constant) {}  // NOLINT implicit
+
+  static LinExpr var(VarId v, Rat coeff = Rat(1)) {
+    LinExpr e;
+    if (!coeff.is_zero()) e.coeffs_[v] = coeff;
+    return e;
+  }
+
+  const Rat& constant() const { return constant_; }
+  const std::map<VarId, Rat>& coeffs() const { return coeffs_; }
+
+  Rat coeff(VarId v) const {
+    auto it = coeffs_.find(v);
+    return it == coeffs_.end() ? Rat(0) : it->second;
+  }
+
+  bool is_constant() const { return coeffs_.empty(); }
+
+  friend LinExpr operator+(const LinExpr& a, const LinExpr& b) {
+    LinExpr r = a;
+    r.constant_ += b.constant_;
+    for (const auto& [v, c] : b.coeffs_) r.add_coeff(v, c);
+    return r;
+  }
+  friend LinExpr operator-(const LinExpr& a, const LinExpr& b) {
+    LinExpr r = a;
+    r.constant_ -= b.constant_;
+    for (const auto& [v, c] : b.coeffs_) r.add_coeff(v, -c);
+    return r;
+  }
+  friend LinExpr operator*(const Rat& k, const LinExpr& e) {
+    LinExpr r;
+    if (k.is_zero()) return r;
+    r.constant_ = k * e.constant_;
+    for (const auto& [v, c] : e.coeffs_) r.coeffs_[v] = k * c;
+    return r;
+  }
+  LinExpr operator-() const { return Rat(-1) * *this; }
+
+  /// Substitutes variable v by expression e.
+  LinExpr substitute(VarId v, const LinExpr& e) const {
+    auto it = coeffs_.find(v);
+    if (it == coeffs_.end()) return *this;
+    const Rat c = it->second;
+    LinExpr r = *this;
+    r.coeffs_.erase(v);
+    return r + c * e;
+  }
+
+  /// Evaluates under a (total) assignment.
+  Rat eval(const std::map<VarId, Rat>& assignment) const {
+    Rat acc = constant_;
+    for (const auto& [v, c] : coeffs_) {
+      auto it = assignment.find(v);
+      acc += c * (it == assignment.end() ? Rat(0) : it->second);
+    }
+    return acc;
+  }
+
+  std::string to_string(const VarPool& pool) const {
+    std::string s;
+    bool first = true;
+    for (const auto& [v, c] : coeffs_) {
+      if (!first) s += " + ";
+      first = false;
+      if (!(c == Rat(1))) s += c.to_string() + "*";
+      s += pool.name(v);
+    }
+    if (!constant_.is_zero() || first) {
+      if (!first) s += " + ";
+      s += constant_.to_string();
+    }
+    return s;
+  }
+
+ private:
+  void add_coeff(VarId v, const Rat& c) {
+    auto [it, inserted] = coeffs_.emplace(v, c);
+    if (!inserted) {
+      it->second += c;
+      if (it->second.is_zero()) coeffs_.erase(it);
+    }
+  }
+
+  Rat constant_;
+  std::map<VarId, Rat> coeffs_;
+};
+
+/// A normalized constraint: expr <= 0 (strict = false) or expr < 0.
+struct Constraint {
+  LinExpr expr;
+  bool strict = false;
+
+  std::string to_string(const VarPool& pool) const {
+    return expr.to_string(pool) + (strict ? " < 0" : " <= 0");
+  }
+};
+
+// Constraint builders -------------------------------------------------------
+
+inline Constraint le(const LinExpr& a, const LinExpr& b) {
+  return Constraint{a - b, /*strict=*/false};  // a <= b
+}
+inline Constraint lt(const LinExpr& a, const LinExpr& b) {
+  return Constraint{a - b, /*strict=*/true};  // a < b
+}
+inline Constraint ge(const LinExpr& a, const LinExpr& b) { return le(b, a); }
+inline Constraint gt(const LinExpr& a, const LinExpr& b) { return lt(b, a); }
+
+/// a == b expands to two inequalities.
+inline std::vector<Constraint> eq(const LinExpr& a, const LinExpr& b) {
+  return {le(a, b), le(b, a)};
+}
+
+}  // namespace jstar::smt

@@ -1,0 +1,120 @@
+// Exact rational arithmetic for the Fourier–Motzkin prover.
+//
+// Coefficients in causality proof obligations come from program text
+// (small integers), but FM elimination multiplies constraints together, so
+// intermediate values can grow; we compute through __int128 and normalise
+// by the gcd after every operation, throwing on genuine overflow rather
+// than silently corrupting a proof.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace jstar::smt {
+
+class RationalOverflow : public std::runtime_error {
+ public:
+  RationalOverflow() : std::runtime_error("rational arithmetic overflow") {}
+};
+
+class Rat {
+ public:
+  constexpr Rat() : num_(0), den_(1) {}
+  constexpr Rat(std::int64_t n) : num_(n), den_(1) {}  // NOLINT implicit
+  Rat(std::int64_t n, std::int64_t d) : num_(n), den_(d) { normalize(); }
+
+  std::int64_t num() const { return num_; }
+  std::int64_t den() const { return den_; }
+
+  bool is_zero() const { return num_ == 0; }
+  bool is_negative() const { return num_ < 0; }
+  bool is_positive() const { return num_ > 0; }
+  bool is_integer() const { return den_ == 1; }
+
+  friend Rat operator+(const Rat& a, const Rat& b) {
+    return make(i128(a.num_) * b.den_ + i128(b.num_) * a.den_,
+                i128(a.den_) * b.den_);
+  }
+  friend Rat operator-(const Rat& a, const Rat& b) {
+    return make(i128(a.num_) * b.den_ - i128(b.num_) * a.den_,
+                i128(a.den_) * b.den_);
+  }
+  friend Rat operator*(const Rat& a, const Rat& b) {
+    return make(i128(a.num_) * b.num_, i128(a.den_) * b.den_);
+  }
+  friend Rat operator/(const Rat& a, const Rat& b) {
+    if (b.num_ == 0) throw std::domain_error("rational division by zero");
+    return make(i128(a.num_) * b.den_, i128(a.den_) * b.num_);
+  }
+  Rat operator-() const { return Rat(-num_, den_); }
+
+  Rat& operator+=(const Rat& o) { return *this = *this + o; }
+  Rat& operator-=(const Rat& o) { return *this = *this - o; }
+  Rat& operator*=(const Rat& o) { return *this = *this * o; }
+
+  friend bool operator==(const Rat& a, const Rat& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rat& a, const Rat& b) {
+    const i128 lhs = i128(a.num_) * b.den_;
+    const i128 rhs = i128(b.num_) * a.den_;
+    if (lhs < rhs) return std::strong_ordering::less;
+    if (lhs > rhs) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+
+  /// Largest integer <= this.
+  std::int64_t floor() const {
+    if (num_ >= 0) return num_ / den_;
+    return -((-num_ + den_ - 1) / den_);
+  }
+
+  std::string to_string() const {
+    if (den_ == 1) return std::to_string(num_);
+    return std::to_string(num_) + "/" + std::to_string(den_);
+  }
+
+ private:
+  using i128 = __int128;
+
+  static Rat make(i128 n, i128 d) {
+    if (d < 0) {
+      n = -n;
+      d = -d;
+    }
+    const i128 g = gcd128(n < 0 ? -n : n, d);
+    if (g > 1) {
+      n /= g;
+      d /= g;
+    }
+    if (n > INT64_MAX || n < INT64_MIN || d > INT64_MAX || d <= 0) {
+      throw RationalOverflow();
+    }
+    Rat r;
+    r.num_ = static_cast<std::int64_t>(n);
+    r.den_ = static_cast<std::int64_t>(d);
+    return r;
+  }
+
+  static i128 gcd128(i128 a, i128 b) {
+    while (b != 0) {
+      const i128 t = a % b;
+      a = b;
+      b = t;
+    }
+    return a == 0 ? 1 : a;
+  }
+
+  void normalize() {
+    if (den_ == 0) throw std::domain_error("rational with zero denominator");
+    *this = make(num_, den_);
+  }
+
+  std::int64_t num_;
+  std::int64_t den_;
+};
+
+}  // namespace jstar::smt

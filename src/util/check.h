@@ -1,0 +1,50 @@
+// Lightweight invariant checking for the jstar runtime.
+//
+// JSTAR_CHECK is always on (these guard user-visible API contracts and cheap
+// runtime invariants); JSTAR_DCHECK compiles out in NDEBUG builds and guards
+// hot-path internal invariants.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace jstar {
+
+/// Thrown when a runtime invariant or API precondition is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "JSTAR_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace jstar
+
+#define JSTAR_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::jstar::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define JSTAR_CHECK_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::jstar::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define JSTAR_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define JSTAR_DCHECK(expr) JSTAR_CHECK(expr)
+#endif

@@ -1,0 +1,365 @@
+// A minimal JSON value type, writer and recursive-descent parser — just
+// enough for the run-log subsystem (§1.5: "a logging system for recording
+// usage statistics about each table during a program run, and tools to
+// visualise those logs").  Self-contained: no external dependencies are
+// available offline.
+//
+// Supported: null, booleans, integers (int64), doubles, strings with the
+// standard escapes, arrays, objects.  Object member order is preserved so
+// serialisation round-trips byte-identically for logs we wrote ourselves.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace jstar::json {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, std::size_t at)
+      : std::runtime_error(what + " at offset " + std::to_string(at)),
+        offset(at) {}
+  std::size_t offset;
+};
+
+class Value;
+using Array = std::vector<Value>;
+using Member = std::pair<std::string, Value>;
+using Object = std::vector<Member>;  // order-preserving
+
+class Value {
+ public:
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}            // NOLINT implicit
+  Value(bool b) : v_(b) {}                          // NOLINT implicit
+  Value(std::int64_t i) : v_(i) {}                  // NOLINT implicit
+  Value(int i) : v_(static_cast<std::int64_t>(i)) {}  // NOLINT implicit
+  Value(double d) : v_(d) {}                        // NOLINT implicit
+  Value(std::string s) : v_(std::move(s)) {}        // NOLINT implicit
+  Value(const char* s) : v_(std::string(s)) {}      // NOLINT implicit
+  Value(Array a) : v_(std::move(a)) {}              // NOLINT implicit
+  Value(Object o) : v_(std::move(o)) {}             // NOLINT implicit
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
+  /// Numeric accessor: accepts both int and double storage.
+  double as_number() const {
+    if (is_int()) return static_cast<double>(as_int());
+    return std::get<double>(v_);
+  }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const Array& as_array() const { return std::get<Array>(v_); }
+  const Object& as_object() const { return std::get<Object>(v_); }
+
+  /// Object member lookup; throws std::out_of_range when missing.
+  const Value& at(const std::string& key) const {
+    for (const auto& [k, v] : as_object()) {
+      if (k == key) return v;
+    }
+    throw std::out_of_range("no JSON member '" + key + "'");
+  }
+  bool has(const std::string& key) const {
+    if (!is_object()) return false;
+    for (const auto& [k, v] : as_object()) {
+      (void)v;
+      if (k == key) return true;
+    }
+    return false;
+  }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.v_ == b.v_;
+  }
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      v_;
+};
+
+// --- writing ----------------------------------------------------------------
+
+inline void escape_to(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+inline void write_to(const Value& v, std::string& out, int indent,
+                     int depth) {
+  const std::string pad(static_cast<std::size_t>(indent * (depth + 1)), ' ');
+  const std::string close_pad(static_cast<std::size_t>(indent * depth), ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_int()) {
+    out += std::to_string(v.as_int());
+  } else if (v.is_double()) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v.as_number());
+    out += buf;
+  } else if (v.is_string()) {
+    escape_to(v.as_string(), out);
+  } else if (v.is_array()) {
+    const Array& a = v.as_array();
+    if (a.empty()) {
+      out += "[]";
+      return;
+    }
+    out += "[";
+    out += nl;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      out += pad;
+      write_to(a[i], out, indent, depth + 1);
+      if (i + 1 < a.size()) out += ",";
+      out += nl;
+    }
+    out += close_pad + "]";
+  } else {
+    const Object& o = v.as_object();
+    if (o.empty()) {
+      out += "{}";
+      return;
+    }
+    out += "{";
+    out += nl;
+    for (std::size_t i = 0; i < o.size(); ++i) {
+      out += pad;
+      escape_to(o[i].first, out);
+      out += indent > 0 ? ": " : ":";
+      write_to(o[i].second, out, indent, depth + 1);
+      if (i + 1 < o.size()) out += ",";
+      out += nl;
+    }
+    out += close_pad + "}";
+  }
+}
+
+/// Serialises; indent = 0 gives compact one-line output.
+inline std::string write(const Value& v, int indent = 2) {
+  std::string out;
+  write_to(v, out, indent, 0);
+  return out;
+}
+
+// --- parsing ----------------------------------------------------------------
+
+namespace detail {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse() {
+    Value v = value();
+    skip_ws();
+    if (at_ != text_.size()) throw ParseError("trailing content", at_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (at_ < text_.size() &&
+           (text_[at_] == ' ' || text_[at_] == '\n' || text_[at_] == '\t' ||
+            text_[at_] == '\r')) {
+      ++at_;
+    }
+  }
+
+  char peek() {
+    if (at_ >= text_.size()) throw ParseError("unexpected end", at_);
+    return text_[at_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw ParseError(std::string("expected '") + c + "'", at_);
+    }
+    ++at_;
+  }
+
+  bool consume_word(std::string_view w) {
+    if (text_.substr(at_, w.size()) == w) {
+      at_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return Value(string());
+      case 't':
+        if (consume_word("true")) return Value(true);
+        throw ParseError("bad literal", at_);
+      case 'f':
+        if (consume_word("false")) return Value(false);
+        throw ParseError("bad literal", at_);
+      case 'n':
+        if (consume_word("null")) return Value(nullptr);
+        throw ParseError("bad literal", at_);
+      default: return number();
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Object o;
+    skip_ws();
+    if (peek() == '}') {
+      ++at_;
+      return Value(std::move(o));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      o.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++at_;
+        continue;
+      }
+      expect('}');
+      return Value(std::move(o));
+    }
+  }
+
+  Value array() {
+    expect('[');
+    Array a;
+    skip_ws();
+    if (peek() == ']') {
+      ++at_;
+      return Value(std::move(a));
+    }
+    for (;;) {
+      a.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++at_;
+        continue;
+      }
+      expect(']');
+      return Value(std::move(a));
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (at_ >= text_.size()) throw ParseError("unterminated string", at_);
+      const char c = text_[at_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_ >= text_.size()) throw ParseError("bad escape", at_);
+      const char e = text_[at_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (at_ + 4 > text_.size()) throw ParseError("bad \\u escape", at_);
+          const std::string hex(text_.substr(at_, 4));
+          at_ += 4;
+          const auto code = static_cast<unsigned>(
+              std::stoul(hex, nullptr, 16));
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: throw ParseError("bad escape", at_);
+      }
+    }
+  }
+
+  Value number() {
+    const std::size_t start = at_;
+    bool is_double = false;
+    if (peek() == '-') ++at_;
+    while (at_ < text_.size()) {
+      const char c = text_[at_];
+      if (c >= '0' && c <= '9') {
+        ++at_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++at_;
+      } else {
+        break;
+      }
+    }
+    if (at_ == start) throw ParseError("expected value", at_);
+    const std::string token(text_.substr(start, at_ - start));
+    try {
+      if (is_double) return Value(std::stod(token));
+      return Value(static_cast<std::int64_t>(std::stoll(token)));
+    } catch (const std::exception&) {
+      throw ParseError("bad number '" + token + "'", start);
+    }
+  }
+
+  std::string_view text_;
+  std::size_t at_ = 0;
+};
+
+}  // namespace detail
+
+inline Value parse(std::string_view text) {
+  return detail::Parser(text).parse();
+}
+
+}  // namespace jstar::json

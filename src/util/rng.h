@@ -1,0 +1,58 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// The paper's shortest-path case study (§6.5) notes that parallelising the
+// random-graph creation rule "requires support for parallel random number
+// generators".  SplitMix64 gives us exactly that: a tiny, high-quality
+// generator whose streams can be split deterministically, so every JStar
+// program in this repo is reproducible regardless of the parallelism
+// strategy — which is what makes the determinism property tests possible.
+#pragma once
+
+#include <cstdint>
+
+namespace jstar {
+
+/// SplitMix64 (Steele, Lea, Flood 2014).  Passes BigCrush; 64-bit state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+      : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). Unbiased enough for workload generation
+  /// (bound << 2^64); uses the multiply-shift reduction.
+  std::uint64_t next_below(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform int in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Deterministically derive an independent stream (for task i of a
+  /// parallel loop).  Mixing the index through the output function keeps
+  /// streams statistically independent.
+  SplitMix64 split(std::uint64_t stream_index) const {
+    SplitMix64 mixer(state_ ^ (0x5851f42d4c957f2dULL * (stream_index + 1)));
+    return SplitMix64(mixer.next());
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace jstar

@@ -1,0 +1,19 @@
+#include "util/statistics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace jstar {
+
+double Statistics::stddev() const { return std::sqrt(variance()); }
+
+std::string Statistics::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.6g min=%.6g max=%.6g sd=%.6g",
+                static_cast<unsigned long long>(count_), mean(), min_, max_,
+                stddev());
+  return buf;
+}
+
+}  // namespace jstar

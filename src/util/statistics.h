@@ -1,0 +1,76 @@
+// The `Statistics` reducer — the "standard JStar reduce operator" used by
+// the PvWatts program (Fig 4) to compute per-month mean power.
+//
+// It is an associative, commutative monoid (merge) so reducer loops can be
+// parallelised with a tree-combine pass (§5.2).  Variance uses the parallel
+// Chan/Golub/LeVeque update so merge() is numerically stable.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace jstar {
+
+class Statistics {
+ public:
+  Statistics() = default;
+
+  /// Fold one observation into the running statistics.
+  void add(double x) {
+    ++count_;
+    sum_ += x;
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  Statistics& operator+=(double x) {
+    add(x);
+    return *this;
+  }
+
+  /// Merge another partial reduction into this one (tree combine).
+  void merge(const Statistics& o) {
+    if (o.count_ == 0) return;
+    if (count_ == 0) {
+      *this = o;
+      return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(o.count_);
+    const double delta = o.mean_ - mean_;
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += o.m2_ + delta * delta * n1 * n2 / n;
+    sum_ += o.sum_;
+    count_ += o.count_;
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Population variance.
+  double variance() const {
+    return count_ == 0 ? 0.0 : m2_ / static_cast<double>(count_);
+  }
+  double stddev() const;
+
+  std::string to_string() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace jstar

@@ -1,0 +1,54 @@
+// Wall-clock timing used by the benchmark harnesses (bench/) and by the
+// per-phase instrumentation of §6.3.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace jstar {
+
+/// Simple monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { reset(); }
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across several start/stop intervals.  Used by
+/// the phase-breakdown instrumentation (bench_phase_breakdown reproduces the
+/// §6.3 percentages: read / Gamma insert / Delta insert / reduce).
+class PhaseTimer {
+ public:
+  void start() { t_.reset(); running_ = true; }
+  void stop() {
+    if (running_) {
+      total_ += t_.seconds();
+      running_ = false;
+    }
+  }
+  double total_seconds() const { return total_; }
+  void add_seconds(double s) { total_ += s; }
+
+ private:
+  WallTimer t_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+/// Format seconds as a human-readable string ("12.34 ms", "1.23 s").
+std::string format_duration(double seconds);
+
+}  // namespace jstar

@@ -1,0 +1,199 @@
+#include "viz/runlog.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.h"
+
+namespace jstar::viz {
+
+namespace {
+
+std::string orderby_string(const TableBase& t) {
+  std::string s = "(";
+  bool first = true;
+  for (const auto& level : t.orderby_spec()) {
+    if (!first) s += ", ";
+    first = false;
+    switch (level.kind) {
+      case OrderByLevel::Kind::Lit: s += level.name; break;
+      case OrderByLevel::Kind::Seq: s += "seq " + level.name; break;
+      case OrderByLevel::Kind::Par: s += "par " + level.name; break;
+    }
+  }
+  return s + ")";
+}
+
+json::Value table_to_json(const TableLog& t) {
+  json::Array rules;
+  for (const std::string& r : t.rules) rules.emplace_back(r);
+  return json::Object{
+      {"name", t.name},
+      {"orderby", t.orderby},
+      {"no_delta", t.no_delta},
+      {"no_gamma", t.no_gamma},
+      {"puts", t.puts},
+      {"delta_inserts", t.delta_inserts},
+      {"delta_dups", t.delta_dups},
+      {"gamma_inserts", t.gamma_inserts},
+      {"gamma_dups", t.gamma_dups},
+      {"fires", t.fires},
+      {"queries", t.queries},
+      {"index_lookups", t.index_lookups},
+      {"full_scans", t.full_scans},
+      {"rules", std::move(rules)},
+  };
+}
+
+TableLog table_from_json(const json::Value& v) {
+  TableLog t;
+  t.name = v.at("name").as_string();
+  t.orderby = v.at("orderby").as_string();
+  t.no_delta = v.at("no_delta").as_bool();
+  t.no_gamma = v.at("no_gamma").as_bool();
+  t.puts = v.at("puts").as_int();
+  t.delta_inserts = v.at("delta_inserts").as_int();
+  t.delta_dups = v.at("delta_dups").as_int();
+  t.gamma_inserts = v.at("gamma_inserts").as_int();
+  t.gamma_dups = v.at("gamma_dups").as_int();
+  t.fires = v.at("fires").as_int();
+  t.queries = v.at("queries").as_int();
+  t.index_lookups = v.at("index_lookups").as_int();
+  t.full_scans = v.at("full_scans").as_int();
+  for (const json::Value& r : v.at("rules").as_array()) {
+    t.rules.push_back(r.as_string());
+  }
+  return t;
+}
+
+}  // namespace
+
+RunLog capture(const Engine& engine, const std::string& program,
+               const RunReport& report) {
+  RunLog log;
+  log.program = program;
+  log.batches = report.batches;
+  log.tuples = report.tuples;
+  log.seconds = report.seconds;
+  const auto tables = engine.all_tables();
+  for (const TableBase* t : tables) {
+    const TableStats& s = t->stats();
+    TableLog tl;
+    tl.name = t->name();
+    tl.orderby = orderby_string(*t);
+    tl.no_delta = t->no_delta();
+    tl.no_gamma = t->no_gamma();
+    tl.puts = s.puts.load();
+    tl.delta_inserts = s.delta_inserts.load();
+    tl.delta_dups = s.delta_dups.load();
+    tl.gamma_inserts = s.gamma_inserts.load();
+    tl.gamma_dups = s.gamma_dups.load();
+    tl.fires = s.fires.load();
+    tl.queries = s.queries.load();
+    tl.index_lookups = s.index_lookups.load();
+    tl.full_scans = s.full_scans.load();
+    tl.rules = t->rule_names();
+    log.tables.push_back(std::move(tl));
+  }
+  const EdgeMatrix& edges = engine.edges();
+  for (const TableBase* from : tables) {
+    for (const TableBase* to : tables) {
+      const std::int64_t n = edges.count(from->id(), to->id());
+      if (n > 0) log.edges.push_back({from->name(), to->name(), n});
+    }
+  }
+  return log;
+}
+
+std::string to_json(const RunLog& log) {
+  json::Array tables;
+  for (const TableLog& t : log.tables) tables.push_back(table_to_json(t));
+  json::Array edges;
+  for (const EdgeLog& e : log.edges) {
+    edges.push_back(json::Object{
+        {"from", e.from}, {"to", e.to}, {"count", e.count}});
+  }
+  const json::Value root = json::Object{
+      {"program", log.program},
+      {"batches", log.batches},
+      {"tuples", log.tuples},
+      {"seconds", log.seconds},
+      {"tables", std::move(tables)},
+      {"edges", std::move(edges)},
+  };
+  return json::write(root);
+}
+
+RunLog from_json(const std::string& text) {
+  const json::Value root = json::parse(text);
+  RunLog log;
+  log.program = root.at("program").as_string();
+  log.batches = root.at("batches").as_int();
+  log.tuples = root.at("tuples").as_int();
+  log.seconds = root.at("seconds").as_number();
+  for (const json::Value& t : root.at("tables").as_array()) {
+    log.tables.push_back(table_from_json(t));
+  }
+  for (const json::Value& e : root.at("edges").as_array()) {
+    log.edges.push_back({e.at("from").as_string(), e.at("to").as_string(),
+                         e.at("count").as_int()});
+  }
+  return log;
+}
+
+void save(const RunLog& log, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write run log: " + path);
+  out << to_json(log) << "\n";
+}
+
+RunLog load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read run log: " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return from_json(ss.str());
+}
+
+std::string dot_graph(const RunLog& log) {
+  // Hot-table threshold: top decile by fires (at least the max).
+  std::int64_t hot = 0;
+  for (const TableLog& t : log.tables) hot = std::max(hot, t.fires);
+  hot = hot * 9 / 10;
+
+  std::ostringstream os;
+  os << "digraph \"" << log.program << "\" {\n"
+     << "  rankdir=LR;\n"
+     << "  label=\"" << log.program << ": " << log.batches << " batches, "
+     << log.tuples << " tuples\";\n"
+     << "  node [shape=record, fontsize=10];\n";
+  for (std::size_t i = 0; i < log.tables.size(); ++i) {
+    const TableLog& t = log.tables[i];
+    os << "  t" << i << " [label=\"{" << t.name << " " << t.orderby
+       << "|puts=" << t.puts << " fires=" << t.fires
+       << "\\lgamma=" << t.gamma_inserts << " dup=" << t.gamma_dups
+       << "\\lqueries=" << t.queries << " idx=" << t.index_lookups
+       << " scan=" << t.full_scans << "\\l}\"";
+    if (t.fires > 0 && t.fires >= hot) os << ", color=red, penwidth=2";
+    if (t.no_delta || t.no_gamma) os << ", style=dashed";
+    os << "];\n";
+  }
+  auto index_of = [&](const std::string& name) -> std::ptrdiff_t {
+    for (std::size_t i = 0; i < log.tables.size(); ++i) {
+      if (log.tables[i].name == name) return static_cast<std::ptrdiff_t>(i);
+    }
+    return -1;
+  };
+  for (const EdgeLog& e : log.edges) {
+    const auto from = index_of(e.from);
+    const auto to = index_of(e.to);
+    if (from < 0 || to < 0) continue;
+    os << "  t" << from << " -> t" << to << " [label=\"" << e.count
+       << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace jstar::viz

@@ -1,0 +1,81 @@
+// The run-log subsystem (§1.5): "a logging system for recording usage
+// statistics about each table during a program run, and tools to
+// visualise those logs as annotated dependency graphs of the program
+// execution.  This is a useful basis for choosing parallelisation
+// strategies."
+//
+// capture() snapshots an engine after (or during) a run into a RunLog:
+// per-table usage counters, the observed table→table dataflow edges and
+// the run report.  Logs serialise to JSON (save/load) so that separate
+// tooling — or a later tuning session — can reload them and render
+// annotated DOT dependency graphs without re-running the program, which
+// is exactly the workflow split of §2 (application programmer produces
+// logs; parallelisation engineer studies them).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace jstar::viz {
+
+/// One table's usage statistics snapshot.
+struct TableLog {
+  std::string name;
+  std::string orderby;
+  bool no_delta = false;
+  bool no_gamma = false;
+  std::int64_t puts = 0;
+  std::int64_t delta_inserts = 0;
+  std::int64_t delta_dups = 0;
+  std::int64_t gamma_inserts = 0;
+  std::int64_t gamma_dups = 0;
+  std::int64_t fires = 0;
+  std::int64_t queries = 0;
+  std::int64_t index_lookups = 0;
+  std::int64_t full_scans = 0;
+  std::vector<std::string> rules;
+
+  friend bool operator==(const TableLog&, const TableLog&) = default;
+};
+
+/// One observed dataflow edge: rules triggered by `from` put into `to`.
+struct EdgeLog {
+  std::string from;
+  std::string to;
+  std::int64_t count = 0;
+
+  friend bool operator==(const EdgeLog&, const EdgeLog&) = default;
+};
+
+struct RunLog {
+  std::string program;
+  std::vector<TableLog> tables;
+  std::vector<EdgeLog> edges;
+  std::int64_t batches = 0;
+  std::int64_t tuples = 0;
+  double seconds = 0.0;
+
+  friend bool operator==(const RunLog&, const RunLog&) = default;
+};
+
+/// Snapshots the engine's statistics into a log.
+RunLog capture(const Engine& engine, const std::string& program,
+               const RunReport& report);
+
+/// JSON round-trip.
+std::string to_json(const RunLog& log);
+RunLog from_json(const std::string& text);
+
+/// File round-trip (throws std::runtime_error on IO failure).
+void save(const RunLog& log, const std::string& path);
+RunLog load(const std::string& path);
+
+/// Renders a loaded log as an annotated DOT dependency graph (the same
+/// shape as viz::dot_graph but driven entirely by the log, no engine
+/// needed).  Hot tables — the top decile by rule fires — are highlighted,
+/// which is the "basis for choosing parallelisation strategies".
+std::string dot_graph(const RunLog& log);
+
+}  // namespace jstar::viz

@@ -1,0 +1,160 @@
+// Tests for the aggregate query helpers (§3–§4's `get min` / aggregate
+// queries) and the Engine::step single-batch API.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/engine.h"
+#include "reduce/reducers.h"
+#include "util/statistics.h"
+
+namespace jstar {
+namespace {
+
+struct Sample {
+  std::int64_t t, sensor, value;
+  auto operator<=>(const Sample&) const = default;
+};
+
+TableDecl<Sample> sample_decl() {
+  return TableDecl<Sample>("Sample")
+      .orderby_lit("S")
+      .orderby_seq("t", &Sample::t)
+      .hash([](const Sample& s) {
+        return hash_fields(s.t, s.sensor, s.value);
+      });
+}
+
+class AggregateApi : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    eng_ = std::make_unique<Engine>(EngineOptions{.sequential = true});
+    table_ = &eng_->table(sample_decl());
+    for (std::int64_t i = 0; i < 20; ++i) {
+      eng_->put(*table_, Sample{i, i % 3, (i * 7) % 13});
+    }
+    eng_->run();
+  }
+
+  std::unique_ptr<Engine> eng_;
+  Table<Sample>* table_ = nullptr;
+};
+
+TEST_F(AggregateApi, SumAggregate) {
+  const auto sum = table_->aggregate<reduce::Sum<std::int64_t>>(
+      [](const Sample& s) { return s.value; });
+  std::int64_t expect = 0;
+  for (std::int64_t i = 0; i < 20; ++i) expect += (i * 7) % 13;
+  EXPECT_EQ(sum.value(), expect);
+}
+
+TEST_F(AggregateApi, CountAggregate) {
+  const auto n = table_->aggregate<reduce::Count>(
+      [](const Sample& s) { return s.value; });
+  EXPECT_EQ(n.value(), 20);
+}
+
+TEST_F(AggregateApi, StatisticsAggregate) {
+  const auto stats = table_->aggregate<Statistics>(
+      [](const Sample& s) { return static_cast<double>(s.value); });
+  EXPECT_EQ(stats.count(), 20u);
+  EXPECT_GE(stats.min(), 0.0);
+  EXPECT_LE(stats.max(), 12.0);
+}
+
+TEST_F(AggregateApi, HistogramAggregateWithConfiguredIdentity) {
+  const auto hist = table_->aggregate<reduce::Histogram>(
+      [](const Sample& s) { return static_cast<double>(s.value); },
+      reduce::Histogram(0.0, 13.0, 13));
+  EXPECT_EQ(hist.total(), 20);
+}
+
+TEST_F(AggregateApi, MinByFindsLeastMatching) {
+  // Least sample of sensor 1 by value.
+  const auto best = table_->min_by(
+      [](const Sample& s) { return s.sensor == 1; },
+      [](const Sample& a, const Sample& b) { return a.value < b.value; });
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->sensor, 1);
+  std::int64_t expect = INT64_MAX;
+  table_->scan([&](const Sample& s) {
+    if (s.sensor == 1) expect = std::min(expect, s.value);
+  });
+  EXPECT_EQ(best->value, expect);
+}
+
+TEST_F(AggregateApi, MinByEmptyMatchIsNullopt) {
+  EXPECT_FALSE(
+      table_->min_by([](const Sample& s) { return s.sensor == 99; })
+          .has_value());
+}
+
+TEST_F(AggregateApi, NegativeQuery) {
+  EXPECT_TRUE(table_->none([](const Sample& s) { return s.value > 100; }));
+  EXPECT_FALSE(table_->none([](const Sample& s) { return s.value >= 0; }));
+}
+
+// ---------------------------------------------------------------------------
+// Engine::step
+// ---------------------------------------------------------------------------
+
+TEST(EngineStep, ProcessesOneBatchAtATime) {
+  Engine eng(EngineOptions{.sequential = true});
+  auto& samples = eng.table(sample_decl());
+  std::vector<std::int64_t> fired;
+  eng.rule(samples, "observe", [&](RuleCtx&, const Sample& s) {
+    fired.push_back(s.t);
+  });
+  for (std::int64_t i = 0; i < 5; ++i) eng.put(samples, Sample{i, 0, 0});
+
+  RunReport report;
+  // Each t value is its own batch (seq level): five steps then empty.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(eng.step(&report));
+    EXPECT_EQ(fired.size(), static_cast<std::size_t>(i + 1));
+    EXPECT_EQ(fired.back(), i);  // causality order
+  }
+  EXPECT_FALSE(eng.step(&report));
+  EXPECT_EQ(report.batches, 5);
+  EXPECT_EQ(report.tuples, 5);
+}
+
+TEST(EngineStep, StepThenRunFinishes) {
+  Engine eng(EngineOptions{.sequential = true});
+  auto& samples = eng.table(sample_decl());
+  int fires = 0;
+  eng.rule(samples, "count", [&](RuleCtx& ctx, const Sample& s) {
+    ++fires;
+    if (s.t < 9) samples.put(ctx, Sample{s.t + 1, 0, 0});
+  });
+  eng.put(samples, Sample{0, 0, 0});
+  EXPECT_TRUE(eng.step());  // one batch by hand...
+  eng.run();                // ...the rest to quiescence
+  EXPECT_EQ(fires, 10);
+}
+
+TEST(EngineStep, StepOnEmptyEngineIsFalse) {
+  Engine eng(EngineOptions{.sequential = true});
+  auto& samples = eng.table(sample_decl());
+  (void)samples;
+  EXPECT_FALSE(eng.step());
+}
+
+TEST(EngineStep, WorksInParallelMode) {
+  EngineOptions opts;
+  opts.threads = 2;
+  Engine eng(opts);
+  auto& samples = eng.table(sample_decl());
+  std::atomic<int> fires{0};
+  eng.rule(samples, "count", [&](RuleCtx&, const Sample&) {
+    fires.fetch_add(1);
+  });
+  for (std::int64_t i = 0; i < 3; ++i) eng.put(samples, Sample{i, 0, 0});
+  int steps = 0;
+  while (eng.step()) ++steps;
+  EXPECT_EQ(steps, 3);
+  EXPECT_EQ(fires.load(), 3);
+}
+
+}  // namespace
+}  // namespace jstar

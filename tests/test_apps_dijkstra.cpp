@@ -1,0 +1,142 @@
+// Correctness tests for the ShortestPath case study: the Fig 5 JStar
+// Dijkstra (Delta tree as priority queue) must agree with the binary-heap
+// baseline on every graph and strategy; the parallel graph generator must
+// be deterministic regardless of task count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/dijkstra/dijkstra.h"
+
+namespace jstar::apps::dijkstra {
+namespace {
+
+std::vector<std::pair<std::int32_t, std::int32_t>> sorted_arcs(const Graph& g,
+                                                               std::int32_t v) {
+  std::vector<std::pair<std::int32_t, std::int32_t>> out;
+  for (const auto& a : g.arcs(v)) out.emplace_back(a.to, a.weight);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void expect_same_graph(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.vertices(), b.vertices());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (std::int32_t v = 0; v < a.vertices(); ++v) {
+    ASSERT_EQ(sorted_arcs(a, v), sorted_arcs(b, v)) << "vertex " << v;
+  }
+}
+
+TEST(RandomGraph, HasRequestedShape) {
+  const Graph g = random_graph(100, 250, 7);
+  EXPECT_EQ(g.vertices(), 100);
+  EXPECT_EQ(g.edge_count(), 250);
+}
+
+TEST(RandomGraph, IsConnected) {
+  const Graph g = random_graph(500, 499, 3);  // pure tree
+  const auto dist = shortest_paths_baseline(g);
+  for (std::int64_t d : dist) EXPECT_GE(d, 0);
+}
+
+TEST(RandomGraph, WeightsInRange) {
+  const Graph g = random_graph(50, 120, 11);
+  for (std::int32_t v = 0; v < g.vertices(); ++v) {
+    for (const auto& a : g.arcs(v)) {
+      EXPECT_GE(a.weight, 1);
+      EXPECT_LE(a.weight, 10);
+    }
+  }
+}
+
+TEST(RandomGraph, DeterministicInSeed) {
+  expect_same_graph(random_graph(200, 500, 42), random_graph(200, 500, 42));
+}
+
+// The §6.5 requirement: splitting generation into parallel tasks must not
+// change the graph (splittable RNG streams).
+class GenTasks : public ::testing::TestWithParam<int> {};
+
+TEST_P(GenTasks, JStarGeneratorMatchesSequentialForAnyTaskCount) {
+  const Graph reference = random_graph(300, 700, 9);
+  EngineOptions opts;
+  opts.threads = 4;
+  const Graph got = random_graph_jstar(300, 700, 9, GetParam(), opts);
+  expect_same_graph(reference, got);
+}
+
+INSTANTIATE_TEST_SUITE_P(TaskCounts, GenTasks, ::testing::Values(1, 2, 8, 24));
+
+TEST(Baseline, TinyKnownGraph) {
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 2);
+  g.add_edge(0, 2, 10);
+  g.add_edge(2, 3, 1);
+  const auto dist = shortest_paths_baseline(g);
+  EXPECT_EQ(dist, (Distances{0, 1, 3, 4}));
+}
+
+struct DijkstraCase {
+  std::int32_t vertices;
+  std::int64_t edges;
+  std::uint64_t seed;
+  bool sequential;
+  int threads;
+  std::string label;
+};
+
+class DijkstraJStar : public ::testing::TestWithParam<DijkstraCase> {};
+
+TEST_P(DijkstraJStar, MatchesBaseline) {
+  const DijkstraCase& c = GetParam();
+  const Graph g = random_graph(c.vertices, c.edges, c.seed);
+  EngineOptions opts;
+  opts.sequential = c.sequential;
+  opts.threads = c.threads;
+  const Distances got = shortest_paths_jstar(g, opts);
+  const Distances want = shortest_paths_baseline(g);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t v = 0; v < want.size(); ++v) {
+    ASSERT_EQ(got[v], want[v]) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GraphsAndStrategies, DijkstraJStar,
+    ::testing::Values(
+        DijkstraCase{1, 0, 1, true, 1, "singleton"},
+        DijkstraCase{2, 1, 1, true, 1, "one_edge"},
+        DijkstraCase{100, 99, 2, true, 1, "tree_seq"},
+        DijkstraCase{500, 1500, 3, true, 1, "dense_seq"},
+        DijkstraCase{500, 1500, 3, false, 1, "dense_par1"},
+        DijkstraCase{500, 1500, 3, false, 4, "dense_par4"},
+        DijkstraCase{2000, 5000, 4, false, 4, "large_par4"},
+        DijkstraCase{2000, 5000, 5, false, 8, "large_par8"}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(DijkstraJStarMisc, RepeatedParallelRunsIdentical) {
+  const Graph g = random_graph(800, 2000, 17);
+  EngineOptions opts;
+  opts.threads = 4;
+  const Distances first = shortest_paths_jstar(g, opts);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(shortest_paths_jstar(g, opts), first) << "iteration " << i;
+  }
+}
+
+TEST(DijkstraJStarMisc, ManyEqualDistancesInOneBatch) {
+  // A star graph: all leaves settle at the same distance — one big
+  // equivalence class in the Delta tree, all processed in parallel.
+  Graph g(64);
+  for (std::int32_t v = 1; v < 64; ++v) g.add_edge(0, v, 5);
+  EngineOptions opts;
+  opts.threads = 4;
+  const Distances dist = shortest_paths_jstar(g, opts);
+  for (std::int32_t v = 1; v < 64; ++v) {
+    EXPECT_EQ(dist[static_cast<std::size_t>(v)], 5);
+  }
+}
+
+}  // namespace
+}  // namespace jstar::apps::dijkstra

@@ -1,0 +1,116 @@
+// Correctness tests for the MatrixMult case study: both JStar kernels
+// (primitive and the boxed XText-bug reproduction) must agree with both
+// hand-coded baselines across shapes and strategies.
+#include <gtest/gtest.h>
+
+#include "apps/matmul/matmul.h"
+
+namespace jstar::apps::matmul {
+namespace {
+
+TEST(Matrix, RandomIsDeterministic) {
+  const Matrix a = Matrix::random(8, 8, 3);
+  const Matrix b = Matrix::random(8, 8, 3);
+  EXPECT_EQ(a, b);
+  const Matrix c = Matrix::random(8, 8, 4);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Matrix, IdentityMultiplication) {
+  Matrix id(3, 3);
+  for (int i = 0; i < 3; ++i) id.set(i, i, 1);
+  const Matrix a = Matrix::random(3, 3, 9);
+  EXPECT_EQ(multiply_naive(a, id), a);
+  EXPECT_EQ(multiply_naive(id, a), a);
+}
+
+TEST(Matrix, KnownProduct) {
+  Matrix a(2, 2), b(2, 2);
+  a.set(0, 0, 1); a.set(0, 1, 2); a.set(1, 0, 3); a.set(1, 1, 4);
+  b.set(0, 0, 5); b.set(0, 1, 6); b.set(1, 0, 7); b.set(1, 1, 8);
+  const Matrix c = multiply_naive(a, b);
+  EXPECT_EQ(c.at(0, 0), 19);
+  EXPECT_EQ(c.at(0, 1), 22);
+  EXPECT_EQ(c.at(1, 0), 43);
+  EXPECT_EQ(c.at(1, 1), 50);
+}
+
+TEST(Matrix, TransposedEqualsNaive) {
+  const Matrix a = Matrix::random(17, 23, 1);
+  const Matrix b = Matrix::random(23, 11, 2);
+  EXPECT_EQ(multiply_transposed(a, b), multiply_naive(a, b));
+}
+
+TEST(Matrix, RectangularShapes) {
+  const Matrix a = Matrix::random(5, 1, 7);
+  const Matrix b = Matrix::random(1, 9, 8);
+  const Matrix c = multiply_naive(a, b);
+  EXPECT_EQ(c.rows(), 5);
+  EXPECT_EQ(c.cols(), 9);
+  EXPECT_EQ(multiply_transposed(a, b), c);
+}
+
+TEST(Matrix, MismatchedShapesRejected) {
+  const Matrix a = Matrix::random(3, 4, 1);
+  const Matrix b = Matrix::random(5, 3, 1);
+  EXPECT_THROW(multiply_naive(a, b), CheckError);
+  EXPECT_THROW(multiply_jstar(a, b, Kernel::Primitive, {}), CheckError);
+}
+
+struct MatmulCase {
+  int n;
+  bool sequential;
+  int threads;
+  Kernel kernel;
+  std::string label;
+};
+
+class MatmulJStar : public ::testing::TestWithParam<MatmulCase> {};
+
+TEST_P(MatmulJStar, MatchesNaiveBaseline) {
+  const MatmulCase& c = GetParam();
+  const Matrix a = Matrix::random(c.n, c.n, 11);
+  const Matrix b = Matrix::random(c.n, c.n, 22);
+  EngineOptions opts;
+  opts.sequential = c.sequential;
+  opts.threads = c.threads;
+  const Matrix got = multiply_jstar(a, b, c.kernel, opts);
+  EXPECT_EQ(got, multiply_naive(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulJStar,
+    ::testing::Values(
+        MatmulCase{1, true, 1, Kernel::Primitive, "n1_seq"},
+        MatmulCase{16, true, 1, Kernel::Primitive, "n16_seq"},
+        MatmulCase{16, true, 1, Kernel::Boxed, "n16_seq_boxed"},
+        MatmulCase{16, true, 1, Kernel::Transposed, "n16_seq_transposed"},
+        MatmulCase{33, false, 1, Kernel::Primitive, "n33_par1"},
+        MatmulCase{33, false, 4, Kernel::Primitive, "n33_par4"},
+        MatmulCase{33, false, 4, Kernel::Boxed, "n33_par4_boxed"},
+        MatmulCase{33, false, 4, Kernel::Transposed, "n33_par4_transposed"},
+        MatmulCase{64, false, 8, Kernel::Primitive, "n64_par8"}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(MatmulJStarMisc, RectangularViaJStar) {
+  const Matrix a = Matrix::random(7, 13, 5);
+  const Matrix b = Matrix::random(13, 4, 6);
+  EngineOptions opts;
+  opts.threads = 2;
+  EXPECT_EQ(multiply_jstar(a, b, Kernel::Primitive, opts),
+            multiply_naive(a, b));
+}
+
+TEST(MatmulJStarMisc, RepeatedParallelRunsIdentical) {
+  const Matrix a = Matrix::random(24, 24, 1);
+  const Matrix b = Matrix::random(24, 24, 2);
+  EngineOptions opts;
+  opts.threads = 4;
+  const Matrix first = multiply_jstar(a, b, Kernel::Primitive, opts);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(multiply_jstar(a, b, Kernel::Primitive, opts), first);
+  }
+}
+
+}  // namespace
+}  // namespace jstar::apps::matmul

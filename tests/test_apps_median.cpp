@@ -1,0 +1,135 @@
+// Correctness tests for the Median case study: the JStar iterative
+// pivot-partition program must agree with std::nth_element on every input
+// shape, region count and strategy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/median/median.h"
+#include "util/rng.h"
+
+namespace jstar::apps::median {
+namespace {
+
+TEST(MedianBaselines, AgreeOnRandomInput) {
+  const auto values = random_values(10001, 3);
+  const double want = median_nth_element(values);
+  EXPECT_DOUBLE_EQ(median_sort(values), want);
+  EXPECT_DOUBLE_EQ(median_quickselect(values), want);
+}
+
+TEST(MedianBaselines, TinyInputs) {
+  EXPECT_DOUBLE_EQ(median_sort({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(median_quickselect({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(median_sort({2.0, 1.0}), 1.0);  // lower median
+  EXPECT_DOUBLE_EQ(median_quickselect({2.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(median_sort({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(MedianBaselines, AllEqualValues) {
+  std::vector<double> v(1000, 7.5);
+  EXPECT_DOUBLE_EQ(median_quickselect(v), 7.5);
+  EXPECT_DOUBLE_EQ(median_nth_element(v), 7.5);
+}
+
+struct MedianCase {
+  std::int64_t n;
+  std::uint64_t seed;
+  bool sequential;
+  int threads;
+  int regions;
+  std::string label;
+};
+
+class MedianJStar : public ::testing::TestWithParam<MedianCase> {};
+
+TEST_P(MedianJStar, MatchesNthElement) {
+  const MedianCase& c = GetParam();
+  const auto values = random_values(c.n, c.seed);
+  JStarConfig config;
+  config.engine.sequential = c.sequential;
+  config.engine.threads = c.threads;
+  config.regions = c.regions;
+  const double got = median_jstar(values, config);
+  EXPECT_DOUBLE_EQ(got, median_nth_element(values));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    InputsAndStrategies, MedianJStar,
+    ::testing::Values(
+        MedianCase{1, 1, true, 1, 2, "single_value"},
+        MedianCase{2, 1, true, 1, 2, "two_values"},
+        MedianCase{100, 2, true, 1, 4, "small_seq"},
+        MedianCase{10000, 3, true, 1, 4, "seq_10k"},
+        MedianCase{10000, 3, false, 1, 4, "par1_10k"},
+        MedianCase{10000, 3, false, 4, 8, "par4_10k"},
+        MedianCase{100000, 4, false, 4, 16, "par4_100k"},
+        MedianCase{99999, 5, false, 2, 7, "odd_regions"}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(MedianJStarMisc, BelowCutoffFinishesDirectly) {
+  const auto values = random_values(500, 9);
+  JStarConfig config;
+  config.engine.sequential = true;
+  config.direct_cutoff = 1024;  // n < cutoff: single Decide round
+  EXPECT_DOUBLE_EQ(median_jstar(values, config), median_nth_element(values));
+}
+
+TEST(MedianJStarMisc, TinyCutoffForcesManyIterations) {
+  const auto values = random_values(20000, 12);
+  JStarConfig config;
+  config.engine.threads = 2;
+  config.direct_cutoff = 2;  // maximal number of partition rounds
+  config.regions = 4;
+  EXPECT_DOUBLE_EQ(median_jstar(values, config), median_nth_element(values));
+}
+
+TEST(MedianJStarMisc, ManyDuplicateValues) {
+  // Heavy pivot-equal mass exercises the equal-count early exit.
+  SplitMix64 rng(77);
+  std::vector<double> values(30000);
+  for (auto& v : values) v = static_cast<double>(rng.next_below(5));
+  JStarConfig config;
+  config.engine.threads = 4;
+  EXPECT_DOUBLE_EQ(median_jstar(values, config), median_nth_element(values));
+}
+
+TEST(MedianJStarMisc, SortedAndReversedInputs) {
+  std::vector<double> asc(5000), desc(5000);
+  for (int i = 0; i < 5000; ++i) {
+    asc[static_cast<std::size_t>(i)] = i;
+    desc[static_cast<std::size_t>(i)] = 5000 - i;
+  }
+  JStarConfig config;
+  config.engine.threads = 2;
+  EXPECT_DOUBLE_EQ(median_jstar(asc, config), median_nth_element(asc));
+  EXPECT_DOUBLE_EQ(median_jstar(desc, config), median_nth_element(desc));
+}
+
+TEST(MedianJStarMisc, RepeatedParallelRunsIdentical) {
+  const auto values = random_values(50000, 21);
+  JStarConfig config;
+  config.engine.threads = 4;
+  const double first = median_jstar(values, config);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(median_jstar(values, config), first);
+  }
+}
+
+// Property sweep: many seeds and sizes.
+class MedianSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(MedianSeeds, AlwaysMatchesReference) {
+  const int seed = GetParam();
+  const std::int64_t n = 1000 + seed * 317;
+  const auto values = random_values(n, static_cast<std::uint64_t>(seed));
+  JStarConfig config;
+  config.engine.threads = 2;
+  config.regions = 3 + seed % 5;
+  EXPECT_DOUBLE_EQ(median_jstar(values, config), median_nth_element(values));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MedianSeeds, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace jstar::apps::median

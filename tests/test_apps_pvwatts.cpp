@@ -1,0 +1,213 @@
+// Correctness tests for the PvWatts case study: every strategy variant —
+// sequential/parallel, noDelta on/off, all three Gamma structures, the
+// Disruptor pipeline with every wait strategy and consumer count — must
+// produce the same monthly means as a direct scan of the input.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/pvwatts/pvwatts.h"
+
+namespace jstar::apps::pvwatts {
+namespace {
+
+constexpr std::int64_t kRecords = 12 * 30 * 24 * 2;  // two synthetic years
+
+const csv::Buffer& input_month_major() {
+  static const csv::Buffer buf =
+      generate_csv(kRecords, InputOrder::MonthMajor);
+  return buf;
+}
+const csv::Buffer& input_round_robin() {
+  static const csv::Buffer buf =
+      generate_csv(kRecords, InputOrder::RoundRobin);
+  return buf;
+}
+
+void expect_same_means(const MonthlyMeans& got, const MonthlyMeans& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& [ym, stats] : want) {
+    auto it = got.find(ym);
+    ASSERT_NE(it, got.end()) << "missing month " << ym;
+    EXPECT_EQ(it->second.count(), stats.count()) << "month " << ym;
+    EXPECT_NEAR(it->second.mean(), stats.mean(), 1e-9) << "month " << ym;
+  }
+}
+
+TEST(PvWattsGenerator, RecordCountAndShape) {
+  const auto ref = reference_means(input_month_major());
+  EXPECT_EQ(ref.size(), 24u);  // two years x 12 months
+  std::uint64_t total = 0;
+  for (const auto& [ym, s] : ref) total += s.count();
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kRecords));
+  // Seasonal shape: June (month 6) generates more than December (12).
+  EXPECT_GT(ref.at(201206).mean(), ref.at(201212).mean());
+}
+
+TEST(PvWattsGenerator, OrderingsContainSameData) {
+  const auto a = reference_means(input_month_major());
+  const auto b = reference_means(input_round_robin());
+  expect_same_means(a, b);
+}
+
+TEST(PvWattsGenerator, DeterministicInSeed) {
+  const auto a = generate_csv(1000, InputOrder::MonthMajor, 5);
+  const auto b = generate_csv(1000, InputOrder::MonthMajor, 5);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::string(a.data(), a.size()), std::string(b.data(), b.size()));
+}
+
+TEST(PvWattsBaseline, MatchesReference) {
+  const auto result = run_baseline(input_month_major());
+  expect_same_means(result.months, reference_means(input_month_major()));
+}
+
+struct JStarCase {
+  bool sequential;
+  int threads;
+  bool no_delta;
+  GammaKind gamma;
+  std::string label;
+};
+
+class PvWattsJStar : public ::testing::TestWithParam<JStarCase> {};
+
+TEST_P(PvWattsJStar, MatchesReference) {
+  const JStarCase& c = GetParam();
+  JStarConfig config;
+  config.engine.sequential = c.sequential;
+  config.engine.threads = c.threads;
+  config.no_delta_pvwatts = c.no_delta;
+  config.gamma = c.gamma;
+  const auto result = run_jstar(input_month_major(), config);
+  expect_same_means(result.months, reference_means(input_month_major()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, PvWattsJStar,
+    ::testing::Values(
+        JStarCase{true, 1, true, GammaKind::MonthArray, "seq_noDelta_monthArray"},
+        JStarCase{true, 1, false, GammaKind::MonthArray, "seq_delta_monthArray"},
+        JStarCase{true, 1, true, GammaKind::Default, "seq_noDelta_tree"},
+        JStarCase{true, 1, true, GammaKind::Hash, "seq_noDelta_hash"},
+        JStarCase{false, 1, true, GammaKind::MonthArray, "par1_monthArray"},
+        JStarCase{false, 4, true, GammaKind::MonthArray, "par4_monthArray"},
+        JStarCase{false, 4, false, GammaKind::MonthArray, "par4_delta"},
+        JStarCase{false, 4, true, GammaKind::Default, "par4_skiplist"},
+        JStarCase{false, 4, true, GammaKind::Hash, "par4_hash"}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(PvWattsJStarMisc, RoundRobinInputSameAnswer) {
+  JStarConfig config;
+  config.engine.threads = 2;
+  const auto result = run_jstar(input_round_robin(), config);
+  expect_same_means(result.months, reference_means(input_round_robin()));
+}
+
+TEST(PvWattsJStarMisc, PhasedRunReportsBreakdown) {
+  JStarConfig config;
+  config.engine.sequential = true;
+  const auto result = run_jstar_phased(input_month_major(), config);
+  expect_same_means(result.months, reference_means(input_month_major()));
+  const auto& p = result.phases;
+  EXPECT_GT(p.read_parse, 0.0);
+  EXPECT_GT(p.gamma_insert, 0.0);
+  EXPECT_GT(p.reduce, 0.0);
+  // The phases must account for a dominant share of the wall time.
+  EXPECT_LE(p.read_parse + p.gamma_insert + p.delta_insert + p.reduce,
+            result.seconds * 1.5);
+}
+
+struct DisruptorCase {
+  int consumers;
+  std::size_t ring;
+  std::int64_t batch;
+  disruptor::WaitStrategy wait;
+  std::string label;
+};
+
+class PvWattsDisruptor : public ::testing::TestWithParam<DisruptorCase> {};
+
+TEST_P(PvWattsDisruptor, MatchesReference) {
+  const DisruptorCase& c = GetParam();
+  DisruptorConfig config;
+  config.consumers = c.consumers;
+  config.ring_size = c.ring;
+  config.producer_batch = c.batch;
+  config.wait = c.wait;
+  const auto result = run_disruptor(input_month_major(), config);
+  expect_same_means(result.months, reference_means(input_month_major()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, PvWattsDisruptor,
+    ::testing::Values(
+        DisruptorCase{12, 1024, 256, disruptor::WaitStrategy::Blocking,
+                      "paper_defaults"},
+        DisruptorCase{1, 1024, 256, disruptor::WaitStrategy::Blocking,
+                      "one_consumer"},
+        DisruptorCase{3, 64, 16, disruptor::WaitStrategy::Yielding,
+                      "tiny_ring_yield"},
+        DisruptorCase{5, 256, 1, disruptor::WaitStrategy::Blocking,
+                      "unbatched"},
+        DisruptorCase{12, 1024, 256, disruptor::WaitStrategy::BusySpin,
+                      "busyspin"}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(PvWattsDisruptorMisc, SortedInputSameAnswer) {
+  DisruptorConfig config;
+  const auto result = run_disruptor(input_round_robin(), config);
+  expect_same_means(result.months, reference_means(input_round_robin()));
+}
+
+class PvWattsDisruptorMp : public ::testing::TestWithParam<int> {};
+
+TEST_P(PvWattsDisruptorMp, RegionReadersMatchReference) {
+  DisruptorConfig config;
+  config.consumers = 4;
+  const auto result =
+      run_disruptor_mp(input_month_major(), config, GetParam());
+  expect_same_means(result.months, reference_means(input_month_major()));
+}
+
+TEST_P(PvWattsDisruptorMp, SortedInputMatchesReference) {
+  DisruptorConfig config;
+  config.ring_size = 128;
+  config.producer_batch = 16;
+  const auto result =
+      run_disruptor_mp(input_round_robin(), config, GetParam());
+  expect_same_means(result.months, reference_means(input_round_robin()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Producers, PvWattsDisruptorMp,
+                         ::testing::Values(1, 2, 4),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+// §6.2 incremental-reducer optimisation: same answer, zero stored tuples.
+TEST(PvWattsIncremental, SequentialMatchesReference) {
+  JStarConfig config;
+  config.engine.sequential = true;
+  const auto result = run_jstar_incremental(input_month_major(), config);
+  expect_same_means(result.months, reference_means(input_month_major()));
+}
+
+TEST(PvWattsIncremental, ParallelRegionsMatchReference) {
+  JStarConfig config;
+  config.engine.threads = 4;
+  config.csv_regions = 4;
+  const auto result = run_jstar_incremental(input_round_robin(), config);
+  expect_same_means(result.months, reference_means(input_round_robin()));
+}
+
+// The paper-style string baseline and the byte-slice baseline must agree.
+TEST(PvWattsBaselines, StringAndSliceBaselinesAgree) {
+  const auto slow = run_baseline(input_month_major());
+  const auto fast = run_baseline_fast_csv(input_month_major());
+  expect_same_means(slow.months, fast.months);
+  expect_same_means(slow.months, reference_means(input_month_major()));
+}
+
+}  // namespace
+}  // namespace jstar::apps::pvwatts

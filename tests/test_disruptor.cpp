@@ -1,0 +1,210 @@
+// Tests for the Disruptor ring buffer (§6.3, Table 1): single-producer
+// publication order, multi-consumer broadcast, wrap-around gating, batch
+// claims, all three wait strategies, and the sentinel protocol.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "disruptor/ring_buffer.h"
+
+namespace jstar::disruptor {
+namespace {
+
+struct Event {
+  std::int64_t value = 0;
+  bool sentinel = false;
+};
+
+TEST(RingBuffer, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(RingBuffer<int>(100), CheckError);
+  EXPECT_THROW(RingBuffer<int>(0), CheckError);
+  EXPECT_NO_THROW(RingBuffer<int>(128));
+}
+
+TEST(RingBuffer, ClaimPublishSingleThread) {
+  RingBuffer<int> ring(8);
+  const int cid = ring.add_consumer();
+  for (int i = 0; i < 8; ++i) {
+    const std::int64_t s = ring.claim(1);
+    ring.slot(s) = i * 10;
+    ring.publish(s);
+  }
+  EXPECT_EQ(ring.cursor(), 7);
+  for (std::int64_t s = 0; s <= 7; ++s) {
+    EXPECT_EQ(ring.slot(s), static_cast<int>(s) * 10);
+  }
+  ring.commit(cid, 7);
+}
+
+TEST(RingBuffer, BatchClaimReturnsContiguousRange) {
+  RingBuffer<int> ring(16);
+  ring.add_consumer();
+  const std::int64_t hi = ring.claim(4);
+  EXPECT_EQ(hi, 3);
+  const std::int64_t hi2 = ring.claim(4);
+  EXPECT_EQ(hi2, 7);
+}
+
+class WaitStrategies : public ::testing::TestWithParam<WaitStrategy> {};
+
+// The fundamental SPSC property: the consumer sees every published value
+// in publication order, across many wrap-arounds of a small ring.
+TEST_P(WaitStrategies, SpscOrderedDeliveryAcrossWraps) {
+  constexpr std::int64_t kEvents = 50000;
+  RingBuffer<Event> ring(64, GetParam());
+  const int cid = ring.add_consumer();
+
+  std::int64_t received = 0;
+  bool ordered = true;
+  std::thread consumer([&] {
+    consume_loop(ring, cid, [&](const Event& e, std::int64_t) {
+      if (e.sentinel) return false;
+      if (e.value != received) ordered = false;
+      ++received;
+      return true;
+    });
+  });
+
+  for (std::int64_t i = 0; i < kEvents; ++i) {
+    const std::int64_t s = ring.claim(1);
+    ring.slot(s) = {i, false};
+    ring.publish(s);
+  }
+  const std::int64_t s = ring.claim(1);
+  ring.slot(s) = {0, true};
+  ring.publish(s);
+  consumer.join();
+
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(received, kEvents);
+}
+
+// Broadcast: every consumer sees every event (each keeps its own
+// sequence), and the producer never overwrites an unconsumed slot.
+TEST_P(WaitStrategies, MultiConsumerBroadcast) {
+  constexpr std::int64_t kEvents = 20000;
+  constexpr int kConsumers = 3;
+  RingBuffer<Event> ring(128, GetParam());
+  std::vector<int> cids;
+  for (int c = 0; c < kConsumers; ++c) cids.push_back(ring.add_consumer());
+
+  std::atomic<std::int64_t> sums[kConsumers] = {};
+  std::atomic<std::int64_t> counts[kConsumers] = {};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&, c] {
+      consume_loop(ring, cids[static_cast<std::size_t>(c)],
+                   [&](const Event& e, std::int64_t) {
+        if (e.sentinel) return false;
+        sums[c].fetch_add(e.value);
+        counts[c].fetch_add(1);
+        return true;
+      });
+    });
+  }
+
+  std::int64_t expected = 0;
+  for (std::int64_t i = 0; i < kEvents; ++i) {
+    const std::int64_t s = ring.claim(1);
+    ring.slot(s) = {i, false};
+    ring.publish(s);
+    expected += i;
+  }
+  const std::int64_t s = ring.claim(1);
+  ring.slot(s) = {0, true};
+  ring.publish(s);
+  for (auto& t : consumers) t.join();
+
+  for (int c = 0; c < kConsumers; ++c) {
+    EXPECT_EQ(counts[c].load(), kEvents) << "consumer " << c;
+    EXPECT_EQ(sums[c].load(), expected) << "consumer " << c;
+  }
+}
+
+// Batched producer claims (Table 1's batch of 256) deliver the same data.
+TEST_P(WaitStrategies, BatchedClaims) {
+  constexpr std::int64_t kEvents = 4096;
+  constexpr std::int64_t kBatch = 256;
+  RingBuffer<Event> ring(1024, GetParam());
+  const int cid = ring.add_consumer();
+
+  std::int64_t sum = 0, count = 0;
+  std::thread consumer([&] {
+    consume_loop(ring, cid, [&](const Event& e, std::int64_t) {
+      if (e.sentinel) return false;
+      sum += e.value;
+      ++count;
+      return true;
+    });
+  });
+
+  std::int64_t next_value = 0;
+  while (next_value < kEvents) {
+    const std::int64_t n = std::min(kBatch, kEvents - next_value);
+    const std::int64_t hi = ring.claim(n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      ring.slot(hi - n + 1 + i) = {next_value++, false};
+    }
+    ring.publish(hi);
+  }
+  const std::int64_t s = ring.claim(1);
+  ring.slot(s) = {0, true};
+  ring.publish(s);
+  consumer.join();
+
+  EXPECT_EQ(count, kEvents);
+  EXPECT_EQ(sum, kEvents * (kEvents - 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, WaitStrategies,
+                         ::testing::Values(WaitStrategy::Blocking,
+                                           WaitStrategy::Yielding,
+                                           WaitStrategy::BusySpin),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+// A slow consumer must gate the producer: with ring size 4, the producer
+// cannot run more than 4 events ahead.
+TEST(RingBuffer, ProducerGatesOnSlowestConsumer) {
+  RingBuffer<Event> ring(4, WaitStrategy::Yielding);
+  const int cid = ring.add_consumer();
+  std::atomic<std::int64_t> produced{0};
+  std::atomic<bool> done{false};
+
+  std::thread producer([&] {
+    for (std::int64_t i = 0; i < 64; ++i) {
+      const std::int64_t s = ring.claim(1);
+      ring.slot(s) = {i, false};
+      ring.publish(s);
+      produced.store(i + 1);
+    }
+    done.store(true);
+  });
+
+  // Consume one event at a time, checking the producer lead.
+  std::int64_t next = 0;
+  while (next < 64) {
+    ring.wait_for(next);
+    EXPECT_LE(produced.load() - next, 4 + 1);
+    ring.commit(cid, next);
+    ++next;
+  }
+  producer.join();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(RingBuffer, WaitForReturnsBatchEnd) {
+  RingBuffer<int> ring(16);
+  ring.add_consumer();
+  const std::int64_t hi = ring.claim(5);
+  ring.publish(hi);
+  EXPECT_EQ(ring.wait_for(0), 4);
+  EXPECT_EQ(ring.wait_for(4), 4);
+}
+
+}  // namespace
+}  // namespace jstar::disruptor

@@ -1,0 +1,519 @@
+// Semantics tests for the core engine: the Fig 2/§3 Ship example, the law
+// of causality, set semantics, strata, -noDelta/-noGamma, primary keys,
+// effects, and the pseudo-naive loop's behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace jstar {
+namespace {
+
+/// The Ship tuple of Fig 2: table Ship(int frame -> int x, y, dx, dy)
+/// orderby (Int, seq frame).
+struct Ship {
+  std::int64_t frame, x, y, dx, dy;
+  auto operator<=>(const Ship&) const = default;
+};
+
+TableDecl<Ship> ship_decl() {
+  return TableDecl<Ship>("Ship")
+      .orderby_lit("Int")
+      .orderby_seq("frame", &Ship::frame)
+      .hash([](const Ship& s) {
+        return hash_fields(s.frame, s.x, s.y, s.dx, s.dy);
+      })
+      .primary_key([](const Ship& s) { return s.frame; });
+}
+
+TEST(Engine, ShipMovesRightUntilGuardFails) {
+  Engine eng(EngineOptions{.sequential = true});
+  auto& ship = eng.table(ship_decl());
+  // foreach (Ship s) { if (s.x < 400) put Ship(s.frame+1, s.x+150, ...) }
+  eng.rule(ship, "moveRight", [&](RuleCtx& ctx, const Ship& s) {
+    if (s.x < 400) {
+      ship.put(ctx, Ship{s.frame + 1, s.x + 150, s.y, s.dx, s.dy});
+    }
+  });
+  eng.put(ship, Ship{0, 10, 10, 150, 0});
+  const RunReport report = eng.run();
+
+  // 10 -> 160 -> 310 -> 460 (guard stops): 4 tuples, frames 0..3.
+  EXPECT_EQ(ship.gamma_size(), 4u);
+  ASSERT_TRUE(eng.run().batches == 0);  // quiescent
+  auto f3 = ship.get_unique(3);
+  ASSERT_TRUE(f3.has_value());
+  EXPECT_EQ(f3->x, 460);
+  EXPECT_EQ(report.tuples, 4);
+  EXPECT_EQ(report.batches, 4);  // one frame per batch
+}
+
+TEST(Engine, UnconditionalRuleWouldLoopSoGuardMatters) {
+  // Bounded variant of the paper's "infinite loop" example: we stop via
+  // the guard at a large frame to show the loop really re-triggers.
+  Engine eng(EngineOptions{.sequential = true});
+  auto& ship = eng.table(ship_decl());
+  eng.rule(ship, "move", [&](RuleCtx& ctx, const Ship& s) {
+    if (s.frame < 1000) {
+      ship.put(ctx, Ship{s.frame + 1, s.x, s.y, s.dx, s.dy});
+    }
+  });
+  eng.put(ship, Ship{0, 0, 0, 0, 0});
+  eng.run();
+  EXPECT_EQ(ship.gamma_size(), 1001u);
+}
+
+TEST(Engine, CausalityViolationThrows) {
+  Engine eng(EngineOptions{.sequential = true});
+  auto& ship = eng.table(ship_decl());
+  eng.rule(ship, "timeTravel", [&](RuleCtx& ctx, const Ship& s) {
+    if (s.frame == 1) {
+      ship.put(ctx, Ship{0, 1, 1, 1, 1});  // into the past!
+    } else if (s.frame == 0) {
+      ship.put(ctx, Ship{1, 0, 0, 0, 0});
+    }
+  });
+  eng.put(ship, Ship{0, 10, 10, 0, 0});
+  EXPECT_THROW(eng.run(), CausalityViolation);
+}
+
+TEST(Engine, CausalityChecksCanBeDisabled) {
+  EngineOptions opts{.sequential = true};
+  opts.causality_checks = false;
+  Engine eng(opts);
+  auto& ship = eng.table(ship_decl());
+  eng.rule(ship, "pastPut", [&](RuleCtx& ctx, const Ship& s) {
+    if (s.frame == 5) ship.put(ctx, Ship{1, 0, 0, 0, 0});
+  });
+  eng.put(ship, Ship{5, 0, 0, 0, 0});
+  EXPECT_NO_THROW(eng.run());
+}
+
+TEST(Engine, PutAtSameTimestampIsPresentNotPast) {
+  // "rules can affect the future" — and the present (<=, §4).
+  struct Evt {
+    std::int64_t t, tag;
+    auto operator<=>(const Evt&) const = default;
+  };
+  Engine eng(EngineOptions{.sequential = true});
+  auto& evt = eng.table(TableDecl<Evt>("Evt")
+                            .orderby_lit("E")
+                            .orderby_seq("t", &Evt::t)
+                            .hash([](const Evt& e) {
+                              return hash_fields(e.t, e.tag);
+                            }));
+  int fires = 0;
+  eng.rule(evt, "sameTime", [&](RuleCtx& ctx, const Evt& e) {
+    ++fires;
+    if (e.tag == 0) evt.put(ctx, Evt{e.t, 1});  // same timestamp: legal
+  });
+  eng.put(evt, Evt{3, 0});
+  eng.run();
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(evt.gamma_size(), 2u);
+}
+
+TEST(Engine, SetSemanticsDiscardDuplicates) {
+  struct Item {
+    std::int64_t k, v;
+    auto operator<=>(const Item&) const = default;
+  };
+  Engine eng(EngineOptions{.sequential = true});
+  auto& src = eng.table(TableDecl<Item>("Src")
+                            .orderby_lit("A")
+                            .hash([](const Item& i) {
+                              return hash_fields(i.k, i.v);
+                            }));
+  auto& dst = eng.table(TableDecl<Item>("Dst")
+                            .orderby_lit("B")
+                            .hash([](const Item& i) {
+                              return hash_fields(i.k, i.v);
+                            }));
+  eng.order({"A", "B"});
+  std::atomic<int> dst_fires{0};
+  eng.rule(src, "dup", [&](RuleCtx& ctx, const Item& i) {
+    // Every Src tuple puts the SAME Dst tuple (like the SumMonth dedup).
+    dst.put(ctx, Item{99, 99});
+    (void)i;
+  });
+  eng.rule(dst, "count", [&](RuleCtx&, const Item&) { dst_fires.fetch_add(1); });
+  for (std::int64_t i = 0; i < 10; ++i) eng.put(src, Item{i, i});
+  eng.run();
+  EXPECT_EQ(dst.gamma_size(), 1u);
+  EXPECT_EQ(dst_fires.load(), 1);
+  // 9 duplicates were discarded in the Delta tree (footnote 5).
+  EXPECT_EQ(dst.stats().delta_dups.load(), 9);
+}
+
+// While a tuple's Delta node is still pending, re-puts dedup in Delta;
+// Out fires exactly once and the duplicate is charged to delta_dups.
+TEST(Engine, DeltaDuplicateAcrossBatchesSkipsRefire) {
+  struct Tick {
+    std::int64_t t;
+    auto operator<=>(const Tick&) const = default;
+  };
+  struct Out {
+    std::int64_t v;
+    auto operator<=>(const Out&) const = default;
+  };
+  Engine eng(EngineOptions{.sequential = true});
+  auto& tick = eng.table(TableDecl<Tick>("Tick")
+                             .orderby_lit("T")
+                             .orderby_seq("t", &Tick::t)
+                             .hash([](const Tick& t) { return hash_fields(t.t); }));
+  auto& out = eng.table(TableDecl<Out>("Out")
+                            .orderby_lit("U")
+                            .hash([](const Out& o) { return hash_fields(o.v); }));
+  eng.order({"T", "U"});
+  int out_fires = 0;
+  // Two ticks in different batches put the same Out tuple; the Out node is
+  // still pending in Delta (rank U sorts after every Tick) when the second
+  // put arrives, so the duplicate is caught by the Delta set.
+  eng.rule(tick, "emit", [&](RuleCtx& ctx, const Tick&) {
+    out.put(ctx, Out{7});
+  });
+  eng.rule(out, "fire", [&](RuleCtx&, const Out&) { ++out_fires; });
+  eng.put(tick, Tick{1});
+  eng.put(tick, Tick{2});
+  eng.run();
+  EXPECT_EQ(out_fires, 1);
+  EXPECT_EQ(out.stats().delta_dups.load(), 1);
+  EXPECT_EQ(out.stats().gamma_dups.load(), 0);
+}
+
+// Once a tuple's batch has been popped, an equal-timestamp re-derivation
+// (puts at <= are legal, §4) flows through a fresh Delta node into Gamma,
+// where it must be dropped as a Gamma duplicate without re-firing rules.
+TEST(Engine, GammaDuplicateAtEqualTimestampSkipsRefire) {
+  struct Seed {
+    std::int64_t t;
+    auto operator<=>(const Seed&) const = default;
+  };
+  struct Echo {
+    std::int64_t v;
+    auto operator<=>(const Echo&) const = default;
+  };
+  struct Out {
+    std::int64_t v;
+    auto operator<=>(const Out&) const = default;
+  };
+  Engine eng(EngineOptions{.sequential = true});
+  auto& seed = eng.table(TableDecl<Seed>("Seed")
+                             .orderby_lit("T")
+                             .hash([](const Seed& s) { return hash_fields(s.t); }));
+  auto& echo = eng.table(TableDecl<Echo>("Echo")
+                             .orderby_lit("U")
+                             .hash([](const Echo& e) { return hash_fields(e.v); }));
+  auto& out = eng.table(TableDecl<Out>("Out")
+                            .orderby_lit("U")
+                            .hash([](const Out& o) { return hash_fields(o.v); }));
+  eng.order({"T", "U"});
+  int out_fires = 0;
+  // Seed puts Out{7} and Echo{9}, both at rank(U): one batch.  Out{7}
+  // enters Gamma and fires; Echo's rule re-derives Out{7} at the same
+  // timestamp after the (U) node was already popped.
+  eng.rule(seed, "emit", [&](RuleCtx& ctx, const Seed&) {
+    out.put(ctx, Out{7});
+    echo.put(ctx, Echo{9});
+  });
+  eng.rule(echo, "reecho", [&](RuleCtx& ctx, const Echo&) {
+    out.put(ctx, Out{7});
+  });
+  eng.rule(out, "fire", [&](RuleCtx&, const Out&) { ++out_fires; });
+  eng.put(seed, Seed{0});
+  eng.run();
+  EXPECT_EQ(out_fires, 1);
+  EXPECT_EQ(out.stats().gamma_dups.load(), 1);
+}
+
+TEST(Engine, StrataProcessedInDeclaredOrder) {
+  struct Token {
+    std::int64_t id;
+    auto operator<=>(const Token&) const = default;
+  };
+  auto decl = [](const char* table_name, const char* lit) {
+    return TableDecl<Token>(table_name).orderby_lit(lit).hash(
+        [](const Token& t) { return hash_fields(t.id); });
+  };
+  Engine eng(EngineOptions{.sequential = true});
+  auto& a = eng.table(decl("A", "LitA"));
+  auto& b = eng.table(decl("B", "LitB"));
+  auto& c = eng.table(decl("C", "LitC"));
+  // Deliberately register in a different order than the causality chain.
+  eng.order({"LitC", "LitA", "LitB"});
+  std::vector<char> trace;
+  eng.rule(a, "ra", [&](RuleCtx&, const Token&) { trace.push_back('A'); });
+  eng.rule(b, "rb", [&](RuleCtx&, const Token&) { trace.push_back('B'); });
+  eng.rule(c, "rc", [&](RuleCtx&, const Token&) { trace.push_back('C'); });
+  eng.put(a, Token{1});
+  eng.put(b, Token{2});
+  eng.put(c, Token{3});
+  eng.run();
+  EXPECT_EQ(trace, (std::vector<char>{'C', 'A', 'B'}));
+}
+
+TEST(Engine, OrderCycleRejected) {
+  Engine eng(EngineOptions{.sequential = true});
+  struct T {
+    std::int64_t x;
+    auto operator<=>(const T&) const = default;
+  };
+  auto& t = eng.table(TableDecl<T>("T").orderby_lit("X").hash(
+      [](const T& v) { return hash_fields(v.x); }));
+  eng.order({"X", "Y"});
+  eng.order({"Y", "X"});
+  EXPECT_THROW(eng.put(t, T{1}), CheckError);
+}
+
+TEST(Engine, NoDeltaFiresInline) {
+  struct Src {
+    std::int64_t i;
+    auto operator<=>(const Src&) const = default;
+  };
+  struct Mid {
+    std::int64_t i;
+    auto operator<=>(const Mid&) const = default;
+  };
+  EngineOptions opts{.sequential = true};
+  opts.no_delta.insert("Mid");
+  Engine eng(opts);
+  auto& src = eng.table(TableDecl<Src>("Src").orderby_lit("S").hash(
+      [](const Src& s) { return hash_fields(s.i); }));
+  auto& mid = eng.table(TableDecl<Mid>("Mid").orderby_lit("M").hash(
+      [](const Mid& m) { return hash_fields(m.i); }));
+  eng.order({"S", "M"});
+  std::vector<std::int64_t> seen;
+  eng.rule(src, "emit", [&](RuleCtx& ctx, const Src& s) {
+    mid.put(ctx, Mid{s.i * 2});
+    // Inline firing: the Mid rule already ran before put returns.
+    EXPECT_EQ(seen.back(), s.i * 2);
+  });
+  eng.rule(mid, "collect", [&](RuleCtx&, const Mid& m) {
+    seen.push_back(m.i);
+  });
+  eng.put(src, Src{21});
+  eng.run();
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{42}));
+  EXPECT_EQ(mid.stats().delta_inserts.load(), 0);
+  EXPECT_EQ(mid.gamma_size(), 1u);
+}
+
+TEST(Engine, NoGammaStoresNothingButStillTriggers) {
+  struct Evt {
+    std::int64_t i;
+    auto operator<=>(const Evt&) const = default;
+  };
+  EngineOptions opts{.sequential = true};
+  opts.no_gamma.insert("Evt");
+  Engine eng(opts);
+  auto& evt = eng.table(TableDecl<Evt>("Evt")
+                            .orderby_lit("E")
+                            .orderby_seq("i", &Evt::i)
+                            .hash([](const Evt& e) { return hash_fields(e.i); }));
+  int fires = 0;
+  eng.rule(evt, "r", [&](RuleCtx& ctx, const Evt& e) {
+    ++fires;
+    if (e.i < 5) evt.put(ctx, Evt{e.i + 1});
+  });
+  eng.put(evt, Evt{0});
+  eng.run();
+  EXPECT_EQ(fires, 6);
+  EXPECT_EQ(evt.gamma_size(), 0u);  // nothing retained (§5.1)
+}
+
+TEST(Engine, PrimaryKeyConflictKeepsFirstAndCounts) {
+  Engine eng(EngineOptions{.sequential = true});
+  auto& ship = eng.table(ship_decl());
+  struct Cmd {
+    std::int64_t i;
+    auto operator<=>(const Cmd&) const = default;
+  };
+  auto& cmd = eng.table(TableDecl<Cmd>("Cmd").orderby_lit("C").hash(
+      [](const Cmd& c) { return hash_fields(c.i); }));
+  eng.order({"C", "Int"});
+  eng.rule(cmd, "mkShips", [&](RuleCtx& ctx, const Cmd&) {
+    ship.put(ctx, Ship{1, 100, 0, 0, 0});
+    ship.put(ctx, Ship{1, 200, 0, 0, 0});  // same frame, different x
+  });
+  eng.put(cmd, Cmd{0});
+  eng.run();
+  EXPECT_EQ(ship.gamma_size(), 1u);
+  EXPECT_EQ(ship.stats().pk_conflicts.load(), 1);
+  auto s = ship.get_unique(1);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->x, 100);  // first wins
+}
+
+TEST(Engine, EffectRunsOncePerFreshTuple) {
+  struct Println {
+    std::int64_t seqno;
+    auto operator<=>(const Println&) const = default;
+  };
+  Engine eng(EngineOptions{.sequential = true});
+  std::vector<std::int64_t> printed;
+  auto& out = eng.table(TableDecl<Println>("Println")
+                            .orderby_lit("Out")
+                            .orderby_seq("seqno", &Println::seqno)
+                            .hash([](const Println& p) {
+                              return hash_fields(p.seqno);
+                            })
+                            .effect([&](const Println& p) {
+                              printed.push_back(p.seqno);
+                            }));
+  eng.put(out, Println{3});
+  eng.put(out, Println{1});
+  eng.put(out, Println{2});
+  eng.put(out, Println{1});  // duplicate
+  eng.run();
+  // Effects fire in causality order — the "kosher way of printing" with a
+  // defined output sorting order (§6.2 footnote 8).
+  EXPECT_EQ(printed, (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+TEST(Engine, EventDrivenRerun) {
+  Engine eng(EngineOptions{.sequential = true});
+  auto& ship = eng.table(ship_decl());
+  std::atomic<int> fires{0};
+  eng.rule(ship, "obs", [&](RuleCtx&, const Ship&) { fires.fetch_add(1); });
+  eng.put(ship, Ship{0, 0, 0, 0, 0});
+  eng.run();
+  EXPECT_EQ(fires.load(), 1);
+  // New external input arrives; the database persists across runs (§3's
+  // event-driven framing).
+  eng.put(ship, Ship{1, 5, 5, 0, 0});
+  eng.run();
+  EXPECT_EQ(fires.load(), 2);
+  EXPECT_EQ(ship.gamma_size(), 2u);
+}
+
+TEST(Engine, DeclarationsAfterPrepareRejected) {
+  Engine eng(EngineOptions{.sequential = true});
+  auto& ship = eng.table(ship_decl());
+  eng.put(ship, Ship{0, 0, 0, 0, 0});
+  EXPECT_THROW(eng.order({"A", "B"}), CheckError);
+  EXPECT_THROW(eng.table(TableDecl<Ship>("Late").orderby_lit("L").hash(
+                   [](const Ship&) { return 0u; })),
+               CheckError);
+}
+
+TEST(Engine, TableWithoutHashRejected) {
+  Engine eng;
+  EXPECT_THROW(eng.table(TableDecl<Ship>("NoHash").orderby_lit("X")),
+               CheckError);
+}
+
+TEST(Engine, TableWithoutComparableLevelRejected) {
+  Engine eng(EngineOptions{.sequential = true});
+  auto& t = eng.table(TableDecl<Ship>("OnlyPar")
+                          .orderby_par("x")
+                          .hash([](const Ship& s) { return hash_fields(s.x); }));
+  EXPECT_THROW(eng.put(t, Ship{0, 0, 0, 0, 0}), CheckError);
+}
+
+TEST(Engine, ParFieldsShareOneBatch) {
+  struct Task {
+    std::int64_t id;
+    auto operator<=>(const Task&) const = default;
+  };
+  Engine eng(EngineOptions{.sequential = true});
+  auto& task = eng.table(TableDecl<Task>("Task")
+                             .orderby_lit("T")
+                             .orderby_par("id")
+                             .hash([](const Task& t) {
+                               return hash_fields(t.id);
+                             }));
+  for (std::int64_t i = 0; i < 50; ++i) eng.put(task, Task{i});
+  const RunReport report = eng.run();
+  // All 50 tuples are in one causality equivalence class.
+  EXPECT_EQ(report.batches, 1);
+  EXPECT_EQ(report.max_batch, 50);
+}
+
+TEST(Engine, SeqFieldsMakeSeparateBatches) {
+  struct Task {
+    std::int64_t id;
+    auto operator<=>(const Task&) const = default;
+  };
+  Engine eng(EngineOptions{.sequential = true});
+  auto& task = eng.table(TableDecl<Task>("Task")
+                             .orderby_lit("T")
+                             .orderby_seq("id", &Task::id)
+                             .hash([](const Task& t) {
+                               return hash_fields(t.id);
+                             }));
+  for (std::int64_t i = 0; i < 50; ++i) eng.put(task, Task{i});
+  const RunReport report = eng.run();
+  EXPECT_EQ(report.batches, 50);
+  EXPECT_EQ(report.max_batch, 1);
+}
+
+TEST(Engine, QueriesSeeAllTuplesOfCurrentBatch) {
+  // Positive queries at timestamp == now must see every tuple of the
+  // batch (phase A completes before phase B), deterministically.
+  struct Item {
+    std::int64_t grp, id;
+    auto operator<=>(const Item&) const = default;
+  };
+  Engine eng(EngineOptions{.threads = 4});
+  auto& item = eng.table(TableDecl<Item>("Item")
+                             .orderby_lit("I")
+                             .orderby_seq("grp", &Item::grp)
+                             .hash([](const Item& i) {
+                               return hash_fields(i.grp, i.id);
+                             }));
+  std::atomic<int> bad{0};
+  eng.rule(item, "countSiblings", [&](RuleCtx&, const Item& it) {
+    const std::int64_t n = item.count_if(
+        [&](const Item& o) { return o.grp == it.grp; });
+    if (n != 10) bad.fetch_add(1);
+  });
+  for (std::int64_t g = 0; g < 3; ++g) {
+    for (std::int64_t i = 0; i < 10; ++i) eng.put(item, Item{g, i});
+  }
+  eng.run();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(Engine, StatsCountersAreConsistent) {
+  Engine eng(EngineOptions{.sequential = true});
+  auto& ship = eng.table(ship_decl());
+  eng.rule(ship, "move", [&](RuleCtx& ctx, const Ship& s) {
+    if (s.x < 400) ship.put(ctx, Ship{s.frame + 1, s.x + 150, s.y, s.dx, s.dy});
+  });
+  eng.put(ship, Ship{0, 10, 10, 150, 0});
+  eng.run();
+  const auto& st = ship.stats();
+  EXPECT_EQ(st.puts.load(), 4);
+  EXPECT_EQ(st.delta_inserts.load(), 4);
+  EXPECT_EQ(st.gamma_inserts.load(), 4);
+  EXPECT_EQ(st.fires.load(), 4);
+}
+
+TEST(Engine, EdgeMatrixRecordsDataflow) {
+  struct A {
+    std::int64_t i;
+    auto operator<=>(const A&) const = default;
+  };
+  struct B {
+    std::int64_t i;
+    auto operator<=>(const B&) const = default;
+  };
+  Engine eng(EngineOptions{.sequential = true});
+  auto& a = eng.table(TableDecl<A>("A").orderby_lit("La").hash(
+      [](const A& x) { return hash_fields(x.i); }));
+  auto& b = eng.table(TableDecl<B>("B").orderby_lit("Lb").hash(
+      [](const B& x) { return hash_fields(x.i); }));
+  eng.order({"La", "Lb"});
+  eng.rule(a, "a2b", [&](RuleCtx& ctx, const A& x) { b.put(ctx, B{x.i}); });
+  for (std::int64_t i = 0; i < 5; ++i) eng.put(a, A{i});
+  eng.run();
+  EXPECT_EQ(eng.edges().count(a.id(), b.id()), 5);
+  EXPECT_EQ(eng.edges().count(b.id(), a.id()), 0);
+}
+
+}  // namespace
+}  // namespace jstar

@@ -1,0 +1,217 @@
+// The paper's central determinism claim (§1.3): "the output of the program
+// is independent of the parallelism strategy that is used."  One recursive,
+// heavily-deduplicating program is run under every strategy combination —
+// sequential / parallel x thread counts x -noDelta — and must produce a
+// bit-identical output database.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace jstar {
+namespace {
+
+/// A branching frontier: each Step(d, x) spawns two Steps at depth d+1
+/// whose values collide often (mod arithmetic), exercising both Delta and
+/// Gamma dedup, plus an aggregate over a strictly earlier stratum.
+struct Step {
+  std::int64_t depth, x;
+  auto operator<=>(const Step&) const = default;
+};
+struct Summary {
+  std::int64_t token;
+  auto operator<=>(const Summary&) const = default;
+};
+
+struct Strategy {
+  bool sequential;
+  int threads;
+  bool no_delta_step;
+  std::string label;
+  bool task_per_rule = false;  // §5.2 one task per (tuple, rule)
+  int delta_stripes = 0;       // lock-striped Delta backend (>= 1)
+};
+
+std::ostream& operator<<(std::ostream& os, const Strategy& s) {
+  return os << s.label;
+}
+
+struct ProgramOutput {
+  std::vector<Step> steps;          // sorted final database
+  std::int64_t summary_count = -1;  // aggregate result
+};
+
+ProgramOutput run_program(const Strategy& strat) {
+  constexpr std::int64_t kDepth = 12;
+  constexpr std::int64_t kMod = 257;
+
+  EngineOptions opts;
+  opts.sequential = strat.sequential;
+  opts.threads = strat.threads;
+  opts.task_per_rule = strat.task_per_rule;
+  opts.delta_stripes = strat.delta_stripes;
+  if (strat.no_delta_step) opts.no_delta.insert("Step");
+  Engine eng(opts);
+
+  auto& step = eng.table(TableDecl<Step>("Step")
+                             .orderby_lit("T")
+                             .orderby_seq("depth", &Step::depth)
+                             .orderby_par("x")
+                             .hash([](const Step& s) {
+                               return hash_fields(s.depth, s.x);
+                             }));
+  auto& summary = eng.table(TableDecl<Summary>("Summary")
+                                .orderby_lit("Z")
+                                .hash([](const Summary& s) {
+                                  return hash_fields(s.token);
+                                }));
+  eng.order({"T", "Z"});
+
+  eng.rule(step, "branch", [&](RuleCtx& ctx, const Step& s) {
+    if (s.depth < kDepth) {
+      step.put(ctx, Step{s.depth + 1, (s.x * 2 + 1) % kMod});
+      step.put(ctx, Step{s.depth + 1, (s.x * 3 + 7) % kMod});
+    } else {
+      summary.put(ctx, Summary{0});
+    }
+  });
+
+  ProgramOutput out;
+  std::mutex mu;
+  eng.rule(summary, "aggregate", [&](RuleCtx&, const Summary&) {
+    // Aggregate query over the strictly earlier Step stratum (§4).
+    const std::int64_t n = step.count_if([](const Step&) { return true; });
+    std::lock_guard<std::mutex> lk(mu);
+    out.summary_count = n;
+  });
+
+  for (std::int64_t x = 0; x < 4; ++x) eng.put(step, Step{0, x * 50});
+  eng.run();
+
+  step.scan([&](const Step& s) { out.steps.push_back(s); });
+  std::sort(out.steps.begin(), out.steps.end());
+  return out;
+}
+
+class DeterminismTest : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(DeterminismTest, OutputIndependentOfStrategy) {
+  static const ProgramOutput reference =
+      run_program({true, 1, false, "reference"});
+  ASSERT_FALSE(reference.steps.empty());
+  ASSERT_GT(reference.summary_count, 0);
+
+  const ProgramOutput got = run_program(GetParam());
+  EXPECT_EQ(got.steps, reference.steps);
+  EXPECT_EQ(got.summary_count, reference.summary_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, DeterminismTest,
+    ::testing::Values(
+        Strategy{true, 1, false, "sequential"},
+        Strategy{true, 1, true, "sequential_noDelta"},
+        Strategy{false, 1, false, "parallel1"},
+        Strategy{false, 2, false, "parallel2"},
+        Strategy{false, 4, false, "parallel4"},
+        Strategy{false, 8, false, "parallel8"},
+        Strategy{false, 4, true, "parallel4_noDelta"},
+        Strategy{false, 2, false, "parallel2_taskPerRule", true},
+        Strategy{false, 4, false, "parallel4_taskPerRule", true},
+        Strategy{false, 4, false, "parallel4_stripedDelta1", false, 1},
+        Strategy{false, 4, false, "parallel4_stripedDelta8", false, 8}),
+    [](const auto& info) { return info.param.label; });
+
+// §5.2: with task_per_rule every rule of a multi-rule table fires in its
+// own task; firing counts and effects-per-tuple must be unchanged.
+TEST(TaskPerRule, FiresEveryRuleOncePerTupleWithSingleEffect) {
+  struct Item {
+    std::int64_t id;
+    auto operator<=>(const Item&) const = default;
+  };
+  for (const bool per_rule : {false, true}) {
+    EngineOptions opts;
+    opts.sequential = false;
+    opts.threads = 4;
+    opts.task_per_rule = per_rule;
+    Engine eng(opts);
+    std::atomic<int> effects{0};
+    std::atomic<int> rule_a{0};
+    std::atomic<int> rule_b{0};
+    std::atomic<int> rule_c{0};
+    auto& item = eng.table(
+        TableDecl<Item>("Item")
+            .orderby_lit("T")
+            .orderby_seq("id", &Item::id)
+            .hash([](const Item& i) { return hash_fields(i.id); })
+            .effect([&](const Item&) { effects.fetch_add(1); }));
+    eng.rule(item, "a", [&](RuleCtx&, const Item&) { rule_a.fetch_add(1); });
+    eng.rule(item, "b", [&](RuleCtx&, const Item&) { rule_b.fetch_add(1); });
+    eng.rule(item, "c", [&](RuleCtx&, const Item&) { rule_c.fetch_add(1); });
+    constexpr int kN = 200;
+    for (int i = 0; i < kN; ++i) eng.put(item, Item{i});
+    eng.run();
+    EXPECT_EQ(effects.load(), kN) << "task_per_rule=" << per_rule;
+    EXPECT_EQ(rule_a.load(), kN) << "task_per_rule=" << per_rule;
+    EXPECT_EQ(rule_b.load(), kN) << "task_per_rule=" << per_rule;
+    EXPECT_EQ(rule_c.load(), kN) << "task_per_rule=" << per_rule;
+    EXPECT_EQ(item.stats().fires.load(), 3 * kN);
+  }
+}
+
+// Rules of one tuple may put into the same downstream table from distinct
+// tasks; set semantics must still hold under task_per_rule.
+TEST(TaskPerRule, ConcurrentPutsFromSiblingRulesDedup) {
+  struct Src {
+    std::int64_t id;
+    auto operator<=>(const Src&) const = default;
+  };
+  struct Dst {
+    std::int64_t v;
+    auto operator<=>(const Dst&) const = default;
+  };
+  EngineOptions opts;
+  opts.sequential = false;
+  opts.threads = 4;
+  opts.task_per_rule = true;
+  Engine eng(opts);
+  auto& src = eng.table(TableDecl<Src>("Src")
+                            .orderby_lit("T")
+                            .orderby_seq("id", &Src::id)
+                            .hash([](const Src& s) { return hash_fields(s.id); }));
+  auto& dst = eng.table(TableDecl<Dst>("Dst")
+                            .orderby_lit("U")
+                            .hash([](const Dst& d) { return hash_fields(d.v); }));
+  eng.order({"T", "U"});
+  std::atomic<int> dst_fires{0};
+  // Both rules derive the same Dst tuple for every Src tuple.
+  eng.rule(src, "left", [&](RuleCtx& ctx, const Src& s) {
+    dst.put(ctx, Dst{s.id % 7});
+  });
+  eng.rule(src, "right", [&](RuleCtx& ctx, const Src& s) {
+    dst.put(ctx, Dst{s.id % 7});
+  });
+  eng.rule(dst, "count", [&](RuleCtx&, const Dst&) { dst_fires.fetch_add(1); });
+  for (int i = 0; i < 100; ++i) eng.put(src, Src{i});
+  eng.run();
+  EXPECT_EQ(dst_fires.load(), 7);
+  EXPECT_EQ(dst.gamma_size(), 7u);
+}
+
+// Repeat the parallel run several times: scheduling nondeterminism must
+// never leak into the output database.
+TEST(DeterminismRepeat, ParallelRunsAreStable) {
+  const ProgramOutput reference = run_program({true, 1, false, "ref"});
+  for (int i = 0; i < 5; ++i) {
+    const ProgramOutput got = run_program({false, 4, false, "par4"});
+    ASSERT_EQ(got.steps, reference.steps) << "iteration " << i;
+    ASSERT_EQ(got.summary_count, reference.summary_count);
+  }
+}
+
+}  // namespace
+}  // namespace jstar

@@ -1,0 +1,166 @@
+// Integration tests for API corners not covered elsewhere: primary-key
+// lookups under both strategies, range scans through each Gamma store,
+// -noGamma query behaviour, run logs from parallel strategies, and a
+// whole-pipeline soak combining window retention + indexes + effects.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "core/engine.h"
+#include "viz/runlog.h"
+#include "viz/viz.h"
+
+namespace jstar {
+namespace {
+
+struct Row {
+  std::int64_t key, value;
+  auto operator<=>(const Row&) const = default;
+};
+
+TableDecl<Row> row_decl(const char* name = "Row") {
+  return TableDecl<Row>(name)
+      .orderby_lit("R")
+      .orderby_seq("key", &Row::key)
+      .hash([](const Row& r) { return hash_fields(r.key, r.value); });
+}
+
+class BothModes : public ::testing::TestWithParam<bool> {
+ protected:
+  EngineOptions options() const {
+    EngineOptions o;
+    o.sequential = GetParam();
+    o.threads = 2;
+    return o;
+  }
+};
+
+TEST_P(BothModes, PrimaryKeyLookupAfterRun) {
+  Engine eng(options());
+  auto& rows = eng.table(row_decl().primary_key(
+      [](const Row& r) { return r.key; }));
+  for (std::int64_t i = 0; i < 50; ++i) eng.put(rows, Row{i, i * i});
+  eng.run();
+  const auto hit = rows.get_unique(7);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->value, 49);
+  EXPECT_FALSE(rows.get_unique(999).has_value());
+}
+
+TEST_P(BothModes, RangeScanThroughDefaultStore) {
+  Engine eng(options());
+  auto& rows = eng.table(row_decl());
+  for (std::int64_t i = 0; i < 100; ++i) eng.put(rows, Row{i, 0});
+  eng.run();
+  std::vector<std::int64_t> keys;
+  rows.scan_range(Row{10, 0}, Row{20, 0},
+                  [&](const Row& r) { keys.push_back(r.key); });
+  ASSERT_EQ(keys.size(), 10u);
+  EXPECT_EQ(keys.front(), 10);
+  EXPECT_EQ(keys.back(), 19);
+}
+
+TEST_P(BothModes, NoGammaTableAnswersQueriesEmpty) {
+  EngineOptions opts = options();
+  opts.no_gamma.insert("Row");
+  Engine eng(opts);
+  auto& rows = eng.table(row_decl());
+  std::atomic<int> fires{0};
+  eng.rule(rows, "observe", [&](RuleCtx&, const Row&) { fires.fetch_add(1); });
+  for (std::int64_t i = 0; i < 10; ++i) eng.put(rows, Row{i, i});
+  eng.run();
+  EXPECT_EQ(fires.load(), 10);            // rules still fire
+  EXPECT_EQ(rows.gamma_size(), 0u);       // nothing retained
+  EXPECT_FALSE(rows.contains(Row{1, 1}));
+  EXPECT_TRUE(rows.none([](const Row&) { return true; }));
+}
+
+TEST_P(BothModes, RunLogCapturesAnyStrategy) {
+  Engine eng(options());
+  auto& rows = eng.table(row_decl());
+  auto& out = eng.table(row_decl("Out"));
+  eng.order({"R"});  // single literal; both tables share it
+  eng.rule(rows, "copy", [&](RuleCtx& ctx, const Row& r) {
+    if (r.key < 90) out.put(ctx, Row{r.key + 100, r.value});
+  });
+  for (std::int64_t i = 0; i < 30; ++i) eng.put(rows, Row{i, 1});
+  const RunReport report = eng.run();
+  const viz::RunLog log = viz::capture(eng, "both-modes", report);
+  ASSERT_EQ(log.tables.size(), 2u);
+  EXPECT_EQ(log.tables[0].fires, 30);
+  ASSERT_EQ(log.edges.size(), 1u);
+  EXPECT_EQ(log.edges[0].count, 30);
+  // And the live dot/stats renderers accept the same engine.
+  EXPECT_NE(viz::dot_graph(eng, "t").find("Row"), std::string::npos);
+  EXPECT_NE(viz::stats_report(eng).find("Out"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, BothModes, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "sequential" : "parallel";
+                         });
+
+// ---------------------------------------------------------------------------
+// Whole-pipeline soak: window retention + secondary index + effects +
+// event-driven reruns, in parallel mode, checked against a model.
+// ---------------------------------------------------------------------------
+
+TEST(PipelineSoak, WindowedIndexedEventLoopMatchesModel) {
+  struct Reading {
+    std::int64_t epoch, sensor, value;
+    auto operator<=>(const Reading&) const = default;
+  };
+  EngineOptions opts;
+  opts.threads = 2;
+  Engine eng(opts);
+  std::atomic<std::int64_t> effects{0};
+  auto& readings = eng.table(
+      TableDecl<Reading>("Reading")
+          .orderby_lit("E")
+          .orderby_seq("epoch", &Reading::epoch)
+          .orderby_par("sensor")
+          .hash([](const Reading& r) {
+            return hash_fields(r.epoch, r.sensor, r.value);
+          })
+          .retain_epochs([](const Reading& r) { return r.epoch; }, 3)
+          .effect([&](const Reading&) { effects.fetch_add(1); }));
+  readings.add_index(&Reading::sensor);
+
+  constexpr std::int64_t kEpochs = 12;
+  constexpr std::int64_t kSensors = 6;
+  for (std::int64_t e = 0; e < kEpochs; ++e) {
+    for (std::int64_t s = 0; s < kSensors; ++s) {
+      eng.put(readings, Reading{e, s, e * 10 + s});
+    }
+    eng.run();  // event-driven: one wave per epoch
+  }
+
+  EXPECT_EQ(effects.load(), kEpochs * kSensors);
+  // Window keeps the last 3 epochs only.
+  EXPECT_EQ(readings.gamma_size(),
+            static_cast<std::size_t>(3 * kSensors));
+  // Index answers within the live window.
+  std::set<std::int64_t> epochs;
+  readings.query(query::eq(&Reading::sensor, 2),
+                 [&](const Reading& r) { epochs.insert(r.epoch); });
+  EXPECT_EQ(epochs, (std::set<std::int64_t>{kEpochs - 3, kEpochs - 2,
+                                            kEpochs - 1}));
+  EXPECT_GE(readings.stats().index_lookups.load(), 1);
+}
+
+// NullStore's pass-through counter (the -noGamma accounting).
+TEST(PipelineSoak, NullStorePassThroughCount) {
+  NullStore<Row> store;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(store.insert(Row{i, 0}));
+  }
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.passed_through(), 5);
+  int visited = 0;
+  store.scan([&](const Row&) { ++visited; });
+  EXPECT_EQ(visited, 0);
+}
+
+}  // namespace
+}  // namespace jstar

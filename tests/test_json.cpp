@@ -1,0 +1,99 @@
+// Tests for the minimal JSON reader/writer behind the run-log subsystem.
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace jstar::json {
+namespace {
+
+TEST(Json, ScalarRoundTrips) {
+  EXPECT_EQ(write(Value(nullptr), 0), "null");
+  EXPECT_EQ(write(Value(true), 0), "true");
+  EXPECT_EQ(write(Value(false), 0), "false");
+  EXPECT_EQ(write(Value(42), 0), "42");
+  EXPECT_EQ(write(Value(-7), 0), "-7");
+  EXPECT_EQ(write(Value("hi"), 0), "\"hi\"");
+}
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("-13").as_int(), -13);
+  EXPECT_DOUBLE_EQ(parse("2.5").as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(parse("1e3").as_number(), 1000.0);
+  EXPECT_EQ(parse("\"abc\"").as_string(), "abc");
+}
+
+TEST(Json, StringEscapes) {
+  const Value v(std::string("line\nquote\"back\\slash\ttab"));
+  const std::string s = write(v, 0);
+  EXPECT_EQ(parse(s).as_string(), v.as_string());
+}
+
+TEST(Json, UnicodeEscapeDecodes) {
+  EXPECT_EQ(parse("\"\\u0041\"").as_string(), "A");
+  // Two-byte and three-byte UTF-8 paths.
+  EXPECT_EQ(parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+  EXPECT_EQ(parse("\"\\u20ac\"").as_string(), "\xe2\x82\xac");
+}
+
+TEST(Json, ArraysAndObjects) {
+  const std::string text = R"({"a": [1, 2, 3], "b": {"c": true}, "d": []})";
+  const Value v = parse(text);
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("a").as_array().size(), 3u);
+  EXPECT_EQ(v.at("a").as_array()[1].as_int(), 2);
+  EXPECT_TRUE(v.at("b").at("c").as_bool());
+  EXPECT_TRUE(v.at("d").as_array().empty());
+  EXPECT_TRUE(v.has("a"));
+  EXPECT_FALSE(v.has("zzz"));
+  EXPECT_THROW(v.at("zzz"), std::out_of_range);
+}
+
+TEST(Json, MemberOrderPreserved) {
+  const Value v = parse(R"({"z": 1, "a": 2, "m": 3})");
+  const Object& o = v.as_object();
+  ASSERT_EQ(o.size(), 3u);
+  EXPECT_EQ(o[0].first, "z");
+  EXPECT_EQ(o[1].first, "a");
+  EXPECT_EQ(o[2].first, "m");
+}
+
+TEST(Json, RoundTripComplex) {
+  const Value v = Object{
+      {"name", "jstar"},
+      {"count", 88},
+      {"ratio", 0.125},
+      {"flags", Array{Value(true), Value(false)}},
+      {"nested", Object{{"deep", Array{Value(1), Value("two"),
+                                       Value(nullptr)}}}},
+  };
+  for (const int indent : {0, 2, 4}) {
+    EXPECT_EQ(parse(write(v, indent)), v) << "indent " << indent;
+  }
+}
+
+TEST(Json, WhitespaceTolerant) {
+  EXPECT_EQ(parse("  {  \"a\"\n:\t1 }  ").at("a").as_int(), 1);
+}
+
+TEST(Json, Errors) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("{"), ParseError);
+  EXPECT_THROW(parse("[1,"), ParseError);
+  EXPECT_THROW(parse("\"unterminated"), ParseError);
+  EXPECT_THROW(parse("truish"), ParseError);
+  EXPECT_THROW(parse("{\"a\":1} extra"), ParseError);
+  EXPECT_THROW(parse("{'single':1}"), ParseError);
+}
+
+TEST(Json, NumberEdgeCases) {
+  EXPECT_EQ(parse("0").as_int(), 0);
+  EXPECT_EQ(parse("9223372036854775807").as_int(), INT64_MAX);
+  EXPECT_TRUE(parse("1.0").is_double());
+  EXPECT_TRUE(parse("-0.5").is_double());
+  EXPECT_THROW(parse("--3"), ParseError);
+}
+
+}  // namespace
+}  // namespace jstar::json

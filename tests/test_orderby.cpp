@@ -1,0 +1,213 @@
+// Direct tests for OrderResolver (the `order` declarations of §3–§4) and
+// for extra fork/join pool edge cases.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <thread>
+
+#include "core/orderby.h"
+#include "sched/fork_join_pool.h"
+
+namespace jstar {
+namespace {
+
+// ---------------------------------------------------------------------------
+// OrderResolver
+// ---------------------------------------------------------------------------
+
+TEST(OrderResolver, ChainRespectsDeclaredOrder) {
+  OrderResolver r;
+  r.declare_chain({"Req", "PvWatts", "SumMonth"});  // Fig 4's order
+  r.freeze();
+  EXPECT_LT(r.rank_of("Req"), r.rank_of("PvWatts"));
+  EXPECT_LT(r.rank_of("PvWatts"), r.rank_of("SumMonth"));
+}
+
+TEST(OrderResolver, TwoChainsMergeIntoOnePartialOrder) {
+  OrderResolver r;
+  // Fig 5: order Vertex < Edge < Int;  order Estimate < Done.
+  r.declare_chain({"Vertex", "Edge", "Int"});
+  r.declare_chain({"Estimate", "Done"});
+  r.freeze();
+  EXPECT_LT(r.rank_of("Vertex"), r.rank_of("Edge"));
+  EXPECT_LT(r.rank_of("Edge"), r.rank_of("Int"));
+  EXPECT_LT(r.rank_of("Estimate"), r.rank_of("Done"));
+  // All ranks distinct (a linear extension).
+  std::set<std::int64_t> ranks;
+  for (const std::string& n : r.names()) ranks.insert(r.rank_of(n));
+  EXPECT_EQ(ranks.size(), r.names().size());
+}
+
+TEST(OrderResolver, DiamondPartialOrder) {
+  OrderResolver r;
+  r.declare_chain({"A", "B", "D"});
+  r.declare_chain({"A", "C", "D"});
+  r.freeze();
+  EXPECT_LT(r.rank_of("A"), r.rank_of("B"));
+  EXPECT_LT(r.rank_of("A"), r.rank_of("C"));
+  EXPECT_LT(r.rank_of("B"), r.rank_of("D"));
+  EXPECT_LT(r.rank_of("C"), r.rank_of("D"));
+}
+
+TEST(OrderResolver, CycleThrowsOnFreeze) {
+  OrderResolver r;
+  r.declare_chain({"A", "B"});
+  r.declare_chain({"B", "C"});
+  r.declare_chain({"C", "A"});
+  EXPECT_THROW(r.freeze(), std::logic_error);
+}
+
+TEST(OrderResolver, SelfLoopThrows) {
+  OrderResolver r;
+  r.declare_chain({"A", "A"});
+  EXPECT_THROW(r.freeze(), std::logic_error);
+}
+
+TEST(OrderResolver, DeterministicAcrossRepeats) {
+  auto build = [] {
+    OrderResolver r;
+    r.literal("Z");
+    r.declare_chain({"M", "N"});
+    r.literal("Q");
+    r.freeze();
+    return std::vector<std::int64_t>{r.rank_of("Z"), r.rank_of("M"),
+                                     r.rank_of("N"), r.rank_of("Q")};
+  };
+  const auto first = build();
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(build(), first);
+}
+
+TEST(OrderResolver, FreezeIsIdempotentAndLateDeclarationsRejected) {
+  OrderResolver r;
+  r.declare_chain({"A", "B"});
+  r.freeze();
+  r.freeze();  // no-op
+  EXPECT_THROW(r.declare_chain({"C", "D"}), std::logic_error);
+  EXPECT_THROW(r.literal("New"), std::logic_error);
+  EXPECT_EQ(r.literal("A"), 0);  // existing lookups still fine
+}
+
+TEST(OrderResolver, UnknownLiteralThrows) {
+  OrderResolver r;
+  r.freeze();
+  EXPECT_THROW(r.rank_of("Ghost"), std::logic_error);
+}
+
+TEST(OrderResolver, RanksOnRandomDagsAreValidTopologicalOrders) {
+  std::mt19937_64 rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    OrderResolver r;
+    constexpr int kN = 12;
+    std::vector<std::pair<int, int>> edges;
+    // Random DAG: edges only from lower to higher index (acyclic by
+    // construction), then registered under shuffled names.
+    std::vector<std::string> names;
+    for (int i = 0; i < kN; ++i) names.push_back("L" + std::to_string(i));
+    std::uniform_int_distribution<int> pick(0, kN - 1);
+    for (int e = 0; e < 18; ++e) {
+      int a = pick(rng), b = pick(rng);
+      if (a == b) continue;
+      if (a > b) std::swap(a, b);
+      edges.emplace_back(a, b);
+      r.declare_chain({names[static_cast<std::size_t>(a)],
+                       names[static_cast<std::size_t>(b)]});
+    }
+    r.freeze();
+    for (const auto& [a, b] : edges) {
+      EXPECT_LT(r.rank_of(names[static_cast<std::size_t>(a)]),
+                r.rank_of(names[static_cast<std::size_t>(b)]))
+          << "trial " << trial;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ForkJoinPool edge cases
+// ---------------------------------------------------------------------------
+
+using sched::ForkJoinPool;
+
+TEST(ForkJoinPoolEdge, SubmitFromWorkerThreadRuns) {
+  ForkJoinPool pool(2);
+  std::atomic<int> inner{0};
+  pool.invoke_all({[&] {
+    for (int i = 0; i < 10; ++i) {
+      ForkJoinPool::current_pool()->submit([&] { inner.fetch_add(1); });
+    }
+  }});
+  pool.wait_idle();
+  EXPECT_EQ(inner.load(), 10);
+}
+
+TEST(ForkJoinPoolEdge, EmptyInvokeAllReturnsImmediately) {
+  ForkJoinPool pool(2);
+  pool.invoke_all({});
+  SUCCEED();
+}
+
+TEST(ForkJoinPoolEdge, SingleTaskFromExternalThreadSeesPool) {
+  ForkJoinPool pool(2);
+  bool saw_pool = false;
+  pool.invoke_all({[&] {
+    saw_pool = ForkJoinPool::current_pool() == &pool &&
+               ForkJoinPool::current_worker_index() >= 0;
+  }});
+  EXPECT_TRUE(saw_pool);
+}
+
+TEST(ForkJoinPoolEdge, ForEachZeroAndNegativeAreNoops) {
+  ForkJoinPool pool(2);
+  std::atomic<int> count{0};
+  pool.for_each_index(0, [&](std::int64_t) { count.fetch_add(1); });
+  pool.for_each_index(-5, [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(ForkJoinPoolEdge, ExceptionInOneBatchDoesNotPoisonTheNext) {
+  ForkJoinPool pool(2);
+  EXPECT_THROW(pool.invoke_all({[] { throw std::runtime_error("x"); },
+                                [] {}}),
+               std::runtime_error);
+  std::atomic<int> ok{0};
+  pool.invoke_all({[&] { ok.fetch_add(1); }, [&] { ok.fetch_add(1); }});
+  EXPECT_EQ(ok.load(), 2);
+}
+
+TEST(ForkJoinPoolEdge, DeepNestingCompletes) {
+  ForkJoinPool pool(2);
+  std::atomic<int> leaves{0};
+  std::function<void(int)> recurse = [&](int depth) {
+    if (depth == 0) {
+      leaves.fetch_add(1);
+      return;
+    }
+    ForkJoinPool::current_pool()->invoke_all(
+        {[&, depth] { recurse(depth - 1); },
+         [&, depth] { recurse(depth - 1); }});
+  };
+  pool.invoke_all({[&] { recurse(6); }});
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(ForkJoinPoolEdge, ManyConcurrentExternalInvokers) {
+  ForkJoinPool pool(3);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 20; ++round) {
+        std::vector<std::function<void()>> tasks;
+        for (int i = 0; i < 8; ++i) {
+          tasks.push_back([&] { total.fetch_add(1); });
+        }
+        pool.invoke_all(std::move(tasks));
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(total.load(), 4 * 20 * 8);
+}
+
+}  // namespace
+}  // namespace jstar

@@ -1,0 +1,186 @@
+// Tests for the typed predicate DSL and secondary-index query routing
+// (§1.4): predicates compose, equality bindings survive conjunction and
+// die under disjunction, indexed and scanned paths agree, and stats
+// record which access path served each query.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace jstar {
+namespace {
+
+struct Reading {
+  std::int64_t sensor, hour, value;
+  auto operator<=>(const Reading&) const = default;
+};
+
+TableDecl<Reading> reading_decl() {
+  return TableDecl<Reading>("Reading")
+      .orderby_lit("R")
+      .orderby_seq("hour", &Reading::hour)
+      .hash([](const Reading& r) {
+        return hash_fields(r.sensor, r.hour, r.value);
+      });
+}
+
+// --- predicate semantics ---------------------------------------------------
+
+TEST(QueryPred, FieldMatchers) {
+  const Reading r{3, 7, 40};
+  EXPECT_TRUE(query::eq(&Reading::sensor, 3)(r));
+  EXPECT_FALSE(query::eq(&Reading::sensor, 4)(r));
+  EXPECT_TRUE(query::ne(&Reading::sensor, 4)(r));
+  EXPECT_TRUE(query::lt(&Reading::value, 41)(r));
+  EXPECT_FALSE(query::lt(&Reading::value, 40)(r));
+  EXPECT_TRUE(query::le(&Reading::value, 40)(r));
+  EXPECT_TRUE(query::gt(&Reading::hour, 6)(r));
+  EXPECT_TRUE(query::ge(&Reading::hour, 7)(r));
+  EXPECT_TRUE(query::between(&Reading::hour, 7, 8)(r));
+  EXPECT_FALSE(query::between(&Reading::hour, 8, 9)(r));
+}
+
+TEST(QueryPred, Composition) {
+  const auto p = query::eq(&Reading::sensor, 1) &&
+                 query::ge(&Reading::value, 10);
+  EXPECT_TRUE(p({1, 0, 10}));
+  EXPECT_FALSE(p({1, 0, 9}));
+  EXPECT_FALSE(p({2, 0, 10}));
+
+  const auto q = query::eq(&Reading::sensor, 1) ||
+                 query::eq(&Reading::sensor, 2);
+  EXPECT_TRUE(q({2, 0, 0}));
+  EXPECT_FALSE(q({3, 0, 0}));
+
+  EXPECT_TRUE((!query::eq(&Reading::sensor, 9))({1, 0, 0}));
+}
+
+TEST(QueryPred, EqBindingsPropagateThroughAnd) {
+  const auto p = query::eq(&Reading::sensor, 5) &&
+                 query::lt(&Reading::value, 100);
+  ASSERT_EQ(p.eq_bindings().size(), 1u);
+  EXPECT_EQ(p.eq_bindings()[0].value, 5);
+  // Both equality bindings survive a conjunction of two eqs.
+  const auto p2 = query::eq(&Reading::sensor, 5) &&
+                  query::eq(&Reading::hour, 3);
+  EXPECT_EQ(p2.eq_bindings().size(), 2u);
+}
+
+TEST(QueryPred, EqBindingsDropUnderOrAndNot) {
+  const auto p = query::eq(&Reading::sensor, 5) ||
+                 query::eq(&Reading::sensor, 6);
+  EXPECT_TRUE(p.eq_bindings().empty());
+  EXPECT_TRUE((!query::eq(&Reading::sensor, 5)).eq_bindings().empty());
+}
+
+TEST(QueryPred, DistinctFieldsHaveDistinctTags) {
+  EXPECT_NE(query::field_tag(&Reading::sensor),
+            query::field_tag(&Reading::hour));
+  EXPECT_EQ(query::field_tag(&Reading::sensor),
+            query::field_tag(&Reading::sensor));
+}
+
+// --- index routing ----------------------------------------------------------
+
+class IndexedQuery : public ::testing::TestWithParam<bool /*sequential*/> {};
+
+TEST_P(IndexedQuery, IndexAndScanAgree) {
+  EngineOptions opts;
+  opts.sequential = GetParam();
+  opts.threads = 2;
+  Engine eng(opts);
+  auto& readings = eng.table(reading_decl());
+  readings.add_index(&Reading::sensor);
+
+  constexpr std::int64_t kN = 500;
+  for (std::int64_t i = 0; i < kN; ++i) {
+    eng.put(readings, Reading{i % 13, i % 24, i});
+  }
+  eng.run();
+
+  // Indexed query: sensor pinned by equality.
+  const auto indexed = query::eq(&Reading::sensor, 4) &&
+                       query::ge(&Reading::value, 0);
+  std::vector<Reading> via_index;
+  readings.query(indexed, [&](const Reading& r) { via_index.push_back(r); });
+
+  // Same predicate through an unindexable formulation (lambda escape).
+  const auto scanned = query::lambda<Reading>(
+      [](const Reading& r) { return r.sensor == 4 && r.value >= 0; });
+  std::vector<Reading> via_scan;
+  readings.query(scanned, [&](const Reading& r) { via_scan.push_back(r); });
+
+  std::sort(via_index.begin(), via_index.end());
+  std::sort(via_scan.begin(), via_scan.end());
+  EXPECT_EQ(via_index, via_scan);
+  EXPECT_FALSE(via_index.empty());
+
+  EXPECT_GE(readings.stats().index_lookups.load(), 1);
+  EXPECT_GE(readings.stats().full_scans.load(), 1);
+}
+
+TEST_P(IndexedQuery, UnindexedFieldFallsBackToScan) {
+  EngineOptions opts;
+  opts.sequential = GetParam();
+  Engine eng(opts);
+  auto& readings = eng.table(reading_decl());
+  readings.add_index(&Reading::sensor);
+  for (std::int64_t i = 0; i < 100; ++i) {
+    eng.put(readings, Reading{i % 5, i % 24, i});
+  }
+  eng.run();
+  // hour is not indexed: equality on it cannot use the sensor index.
+  const auto p = query::eq(&Reading::hour, 3);
+  const std::int64_t n = readings.query_count(p);
+  EXPECT_GT(n, 0);
+  EXPECT_EQ(readings.stats().index_lookups.load(), 0);
+  EXPECT_EQ(readings.stats().full_scans.load(), 1);
+}
+
+TEST_P(IndexedQuery, CountMatchesManualFilter) {
+  EngineOptions opts;
+  opts.sequential = GetParam();
+  Engine eng(opts);
+  auto& readings = eng.table(reading_decl());
+  readings.add_index(&Reading::sensor);
+  readings.add_index(&Reading::hour);
+  constexpr std::int64_t kN = 300;
+  std::int64_t expect = 0;
+  for (std::int64_t i = 0; i < kN; ++i) {
+    const Reading r{i % 7, i % 24, i};
+    if (r.hour == 5 && r.value < 150) ++expect;
+    eng.put(readings, r);
+  }
+  eng.run();
+  const auto p = query::eq(&Reading::hour, 5) &&
+                 query::lt(&Reading::value, 150);
+  EXPECT_EQ(readings.query_count(p), expect);
+  EXPECT_EQ(readings.stats().index_lookups.load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, IndexedQuery, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "sequential" : "parallel";
+                         });
+
+TEST(IndexedQueryMisc, AddIndexAfterStartThrows) {
+  Engine eng(EngineOptions{.sequential = true});
+  auto& readings = eng.table(reading_decl());
+  eng.put(readings, Reading{0, 0, 0});
+  EXPECT_THROW(readings.add_index(&Reading::sensor), std::logic_error);
+}
+
+TEST(IndexedQueryMisc, IndexSeesOnlyFreshTuples) {
+  Engine eng(EngineOptions{.sequential = true});
+  auto& readings = eng.table(reading_decl());
+  readings.add_index(&Reading::sensor);
+  eng.put(readings, Reading{1, 0, 10});
+  eng.put(readings, Reading{1, 0, 10});  // duplicate
+  eng.run();
+  EXPECT_EQ(readings.query_count(query::eq(&Reading::sensor, 1)), 1);
+}
+
+}  // namespace
+}  // namespace jstar

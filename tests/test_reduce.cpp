@@ -1,0 +1,364 @@
+// Tests for the reduce/scan module (§1.3, §5.2): reducer monoid laws,
+// parallel tree-reduce vs sequential reference, and Blelloch scans under
+// parameterized pool sizes and input shapes.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+#include <string>
+
+#include "reduce/parallel.h"
+#include "reduce/reducers.h"
+#include "util/statistics.h"
+
+namespace jstar::reduce {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reducer unit tests
+// ---------------------------------------------------------------------------
+
+TEST(Reducers, SumBasics) {
+  Sum<std::int64_t> s;
+  for (int i = 1; i <= 10; ++i) s.add(i);
+  EXPECT_EQ(s.value(), 55);
+  Sum<std::int64_t> t;
+  t.add(100);
+  s.merge(t);
+  EXPECT_EQ(s.value(), 155);
+}
+
+TEST(Reducers, SumIdentityIsNeutral) {
+  Sum<double> s;
+  s.add(2.5);
+  Sum<double> id;
+  s.merge(id);
+  EXPECT_DOUBLE_EQ(s.value(), 2.5);
+  id.merge(s);
+  EXPECT_DOUBLE_EQ(id.value(), 2.5);
+}
+
+TEST(Reducers, CountCountsAnything) {
+  Count c;
+  c.add(1);
+  c.add(std::string("x"));
+  c.add(3.14);
+  EXPECT_EQ(c.value(), 3);
+  Count d;
+  d.add(0);
+  c.merge(d);
+  EXPECT_EQ(c.value(), 4);
+}
+
+TEST(Reducers, MinMaxEmptyAndMerge) {
+  Min<int> mn;
+  Max<int> mx;
+  EXPECT_TRUE(mn.empty());
+  EXPECT_TRUE(mx.empty());
+  mn.add(4);
+  mn.add(-2);
+  mx.add(4);
+  mx.add(-2);
+  EXPECT_EQ(mn.value(), -2);
+  EXPECT_EQ(mx.value(), 4);
+  Min<int> mn2;
+  mn2.add(-10);
+  mn.merge(mn2);
+  EXPECT_EQ(mn.value(), -10);
+  Max<int> empty_max;
+  mx.merge(empty_max);  // merging an identity must not change the value
+  EXPECT_EQ(mx.value(), 4);
+}
+
+TEST(Reducers, MinEmptyValueThrows) {
+  Min<int> mn;
+  EXPECT_THROW((void)mn.value(), std::logic_error);
+}
+
+TEST(Reducers, TopKKeepsSmallest) {
+  TopK<int> top(3);
+  for (int x : {9, 1, 8, 2, 7, 3, 6, 4, 5}) top.add(x);
+  EXPECT_EQ(top.values(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Reducers, TopKMergePreservesTopK) {
+  TopK<int> a(4), b(4);
+  for (int x : {10, 20, 30, 40, 50}) a.add(x);
+  for (int x : {5, 15, 25, 35, 45}) b.add(x);
+  a.merge(b);
+  EXPECT_EQ(a.values(), (std::vector<int>{5, 10, 15, 20}));
+}
+
+TEST(Reducers, TopKFewerThanK) {
+  TopK<int> top(10);
+  top.add(2);
+  top.add(1);
+  EXPECT_EQ(top.values(), (std::vector<int>{1, 2}));
+}
+
+TEST(Reducers, TopKMismatchedKThrows) {
+  TopK<int> a(2), b(3);
+  EXPECT_THROW(a.merge(b), std::logic_error);
+}
+
+TEST(Reducers, HistogramBinsAndClamps) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.5);   // bin 4
+  h.add(-3.0);  // clamped to bin 0
+  h.add(42.0);  // clamped to bin 4
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.counts()[0], 2);
+  EXPECT_EQ(h.counts()[2], 1);
+  EXPECT_EQ(h.counts()[4], 2);
+  EXPECT_EQ(h.total(), 5);
+}
+
+TEST(Reducers, HistogramMerge) {
+  Histogram a(0, 1, 4), b(0, 1, 4);
+  a.add(0.1);
+  b.add(0.1);
+  b.add(0.9);
+  a.merge(b);
+  EXPECT_EQ(a.counts()[0], 2);
+  EXPECT_EQ(a.counts()[3], 1);
+}
+
+TEST(Reducers, HistogramIncompatibleMergeThrows) {
+  Histogram a(0, 1, 4), b(0, 1, 8);
+  EXPECT_THROW(a.merge(b), std::logic_error);
+}
+
+TEST(Reducers, FoldWithUserOperator) {
+  // gcd-fold: a user-defined operator per §1.3.
+  Fold fold(0L, [](long a, long b) { return std::gcd(a, b); });
+  for (long x : {12L, 18L, 30L}) fold.add(x);
+  EXPECT_EQ(fold.value(), 6L);
+}
+
+TEST(Reducers, PairRunsBothReducers) {
+  Pair<Sum<double>, Count> p;
+  p.add(1.5);
+  p.add(2.5);
+  EXPECT_DOUBLE_EQ(p.first().value(), 4.0);
+  EXPECT_EQ(p.second().value(), 2);
+  Pair<Sum<double>, Count> q;
+  q.add(6.0);
+  p.merge(q);
+  EXPECT_DOUBLE_EQ(p.first().value(), 10.0);
+  EXPECT_EQ(p.second().value(), 3);
+}
+
+TEST(Reducers, StatisticsSatisfiesReducible) {
+  static_assert(Reducible<Statistics, double>);
+  static_assert(Reducible<Sum<int>, int>);
+  static_assert(Reducible<Count, int>);
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// split_range properties
+// ---------------------------------------------------------------------------
+
+TEST(SplitRange, CoversExactlyOnce) {
+  for (std::int64_t n : {0, 1, 7, 64, 1000}) {
+    for (int parts : {1, 2, 3, 8, 13}) {
+      const auto chunks = split_range(n, parts);
+      ASSERT_EQ(chunks.size(), static_cast<std::size_t>(parts));
+      std::int64_t at = 0;
+      for (const auto& c : chunks) {
+        EXPECT_EQ(c.begin, at);
+        EXPECT_LE(c.begin, c.end);
+        at = c.end;
+      }
+      EXPECT_EQ(at, n);
+    }
+  }
+}
+
+TEST(SplitRange, BalancedWithinOne) {
+  const auto chunks = split_range(10, 3);
+  std::int64_t mn = INT64_MAX, mx = 0;
+  for (const auto& c : chunks) {
+    mn = std::min(mn, c.end - c.begin);
+    mx = std::max(mx, c.end - c.begin);
+  }
+  EXPECT_LE(mx - mn, 1);
+}
+
+// ---------------------------------------------------------------------------
+// parallel_reduce: parameterized against the sequential reference
+// ---------------------------------------------------------------------------
+
+class ParallelReduce : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  int threads() const { return std::get<0>(GetParam()); }
+  int n() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(ParallelReduce, SumMatchesSequential) {
+  sched::ForkJoinPool pool(threads());
+  std::vector<std::int64_t> xs(static_cast<std::size_t>(n()));
+  std::mt19937_64 rng(42);
+  for (auto& x : xs) x = static_cast<std::int64_t>(rng() % 1000);
+  const auto result = parallel_reduce_over<Sum<std::int64_t>>(
+      &pool, xs, [](Sum<std::int64_t>& acc, std::int64_t x) { acc.add(x); });
+  std::int64_t expect = 0;
+  for (auto x : xs) expect += x;
+  EXPECT_EQ(result.value(), expect);
+}
+
+TEST_P(ParallelReduce, StatisticsMatchesSequential) {
+  sched::ForkJoinPool pool(threads());
+  std::vector<double> xs(static_cast<std::size_t>(n()));
+  std::mt19937_64 rng(7);
+  for (auto& x : xs) x = static_cast<double>(rng() % 10000) / 100.0;
+  const auto par = parallel_reduce_over<Statistics>(
+      &pool, xs, [](Statistics& acc, double x) { acc.add(x); });
+  Statistics seq;
+  for (double x : xs) seq.add(x);
+  EXPECT_EQ(par.count(), seq.count());
+  EXPECT_NEAR(par.mean(), seq.mean(), 1e-9);
+  EXPECT_NEAR(par.variance(), seq.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(par.min(), seq.min());
+  EXPECT_DOUBLE_EQ(par.max(), seq.max());
+}
+
+TEST_P(ParallelReduce, MinMaxMatchSequential) {
+  sched::ForkJoinPool pool(threads());
+  std::vector<int> xs(static_cast<std::size_t>(n()));
+  std::mt19937_64 rng(99);
+  for (auto& x : xs) x = static_cast<int>(rng() % 100000) - 50000;
+  if (xs.empty()) return;
+  const auto mn = parallel_reduce_over<Min<int>>(
+      &pool, xs, [](Min<int>& acc, int x) { acc.add(x); });
+  const auto mx = parallel_reduce_over<Max<int>>(
+      &pool, xs, [](Max<int>& acc, int x) { acc.add(x); });
+  EXPECT_EQ(mn.value(), *std::min_element(xs.begin(), xs.end()));
+  EXPECT_EQ(mx.value(), *std::max_element(xs.begin(), xs.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelReduce,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(0, 1, 2, 100, 4096, 100001)));
+
+TEST(ParallelReduceEdge, NullPoolFallsBackToSequential) {
+  std::vector<int> xs{1, 2, 3, 4};
+  const auto r = parallel_reduce_over<Sum<int>>(
+      nullptr, xs, [](Sum<int>& acc, int x) { acc.add(x); });
+  EXPECT_EQ(r.value(), 10);
+}
+
+TEST(ParallelReduceEdge, IdentityCarriesConfigurationNotData) {
+  sched::ForkJoinPool pool(4);
+  // Histogram has no default constructor: the identity argument is the
+  // prototype that carries bin configuration into every chunk partial.
+  std::vector<double> xs(10000);
+  std::mt19937_64 rng(5);
+  for (auto& x : xs) x = static_cast<double>(rng() % 1000);
+  const auto par = parallel_reduce_over<Histogram>(
+      &pool, xs, [](Histogram& acc, double x) { acc.add(x); },
+      Histogram(0.0, 1000.0, 16));
+  Histogram seq(0.0, 1000.0, 16);
+  for (double x : xs) seq.add(x);
+  EXPECT_EQ(par.counts(), seq.counts());
+  EXPECT_EQ(par.total(), 10000);
+}
+
+TEST(ParallelReduceEdge, TopKAcrossChunks) {
+  sched::ForkJoinPool pool(4);
+  std::vector<int> xs(5000);
+  std::mt19937_64 rng(17);
+  for (auto& x : xs) x = static_cast<int>(rng() % 1000000);
+  const auto par = parallel_reduce_over<TopK<int>>(
+      &pool, xs, [](TopK<int>& acc, int x) { acc.add(x); }, TopK<int>(8));
+  auto sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.resize(8);
+  EXPECT_EQ(par.values(), sorted);
+}
+
+// ---------------------------------------------------------------------------
+// parallel scans: parameterized against std::partial_sum
+// ---------------------------------------------------------------------------
+
+class ParallelScan : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  int threads() const { return std::get<0>(GetParam()); }
+  int n() const { return std::get<1>(GetParam()); }
+
+  std::vector<std::int64_t> input() const {
+    std::vector<std::int64_t> xs(static_cast<std::size_t>(n()));
+    std::mt19937_64 rng(1234);
+    for (auto& x : xs) x = static_cast<std::int64_t>(rng() % 100) - 50;
+    return xs;
+  }
+};
+
+TEST_P(ParallelScan, InclusiveMatchesPartialSum) {
+  sched::ForkJoinPool pool(threads());
+  auto xs = input();
+  std::vector<std::int64_t> expect(xs.size());
+  std::partial_sum(xs.begin(), xs.end(), expect.begin());
+  parallel_inclusive_scan(&pool, xs, std::plus<std::int64_t>{});
+  EXPECT_EQ(xs, expect);
+}
+
+TEST_P(ParallelScan, ExclusiveShiftsInclusive) {
+  sched::ForkJoinPool pool(threads());
+  auto xs = input();
+  std::vector<std::int64_t> expect(xs.size());
+  std::int64_t run = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    expect[i] = run;
+    run += xs[i];
+  }
+  parallel_exclusive_scan(&pool, xs, std::int64_t{0},
+                          std::plus<std::int64_t>{});
+  EXPECT_EQ(xs, expect);
+}
+
+TEST_P(ParallelScan, MaxScanAssociativeNonCommutativeSafe) {
+  // max is associative; prefix-max is a classic scan use.
+  sched::ForkJoinPool pool(threads());
+  auto xs = input();
+  std::vector<std::int64_t> expect(xs.size());
+  std::int64_t run = INT64_MIN;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    run = std::max(run, xs[i]);
+    expect[i] = run;
+  }
+  parallel_inclusive_scan(&pool, xs, [](std::int64_t a, std::int64_t b) {
+    return std::max(a, b);
+  });
+  EXPECT_EQ(xs, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelScan,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(0, 1, 2, 3, 64, 1000, 65537)));
+
+TEST(ParallelScanEdge, NullPoolSequential) {
+  std::vector<std::int64_t> xs{1, 2, 3};
+  parallel_inclusive_scan(nullptr, xs, std::plus<std::int64_t>{});
+  EXPECT_EQ(xs, (std::vector<std::int64_t>{1, 3, 6}));
+}
+
+TEST(ParallelScanEdge, ExclusiveOfEmptyIsEmpty) {
+  std::vector<std::int64_t> xs;
+  parallel_exclusive_scan(nullptr, xs, std::int64_t{0},
+                          std::plus<std::int64_t>{});
+  EXPECT_TRUE(xs.empty());
+}
+
+TEST(ParallelScanEdge, ExclusiveIdentityLandsAtFront) {
+  std::vector<std::int64_t> xs{5};
+  parallel_exclusive_scan(nullptr, xs, std::int64_t{7},
+                          std::plus<std::int64_t>{});
+  EXPECT_EQ(xs, (std::vector<std::int64_t>{7}));
+}
+
+}  // namespace
+}  // namespace jstar::reduce

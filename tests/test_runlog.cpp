@@ -1,0 +1,121 @@
+// Tests for the run-log subsystem (§1.5): capture from a live engine,
+// JSON and file round-trips, and log-driven annotated DOT graphs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "viz/runlog.h"
+
+namespace jstar::viz {
+namespace {
+
+struct Src {
+  std::int64_t id;
+  auto operator<=>(const Src&) const = default;
+};
+struct Dst {
+  std::int64_t v;
+  auto operator<=>(const Dst&) const = default;
+};
+
+/// Builds, runs and captures a small two-table program.
+RunLog sample_log() {
+  Engine eng(EngineOptions{.sequential = true});
+  auto& src = eng.table(TableDecl<Src>("Src")
+                            .orderby_lit("A")
+                            .orderby_seq("id", &Src::id)
+                            .hash([](const Src& s) { return hash_fields(s.id); }));
+  auto& dst = eng.table(TableDecl<Dst>("Dst")
+                            .orderby_lit("B")
+                            .hash([](const Dst& d) { return hash_fields(d.v); }));
+  eng.order({"A", "B"});
+  eng.rule(src, "derive", [&](RuleCtx& ctx, const Src& s) {
+    dst.put(ctx, Dst{s.id % 3});
+  });
+  eng.rule(dst, "consume", [&](RuleCtx&, const Dst&) {});
+  for (int i = 0; i < 30; ++i) eng.put(src, Src{i});
+  const RunReport report = eng.run();
+  return capture(eng, "sample", report);
+}
+
+TEST(RunLog, CaptureRecordsTablesEdgesAndCounts) {
+  const RunLog log = sample_log();
+  EXPECT_EQ(log.program, "sample");
+  ASSERT_EQ(log.tables.size(), 2u);
+  EXPECT_EQ(log.tables[0].name, "Src");
+  EXPECT_EQ(log.tables[0].puts, 30);
+  EXPECT_EQ(log.tables[0].fires, 30);
+  EXPECT_EQ(log.tables[0].rules, std::vector<std::string>{"derive"});
+  EXPECT_EQ(log.tables[1].name, "Dst");
+  EXPECT_EQ(log.tables[1].gamma_inserts, 3);  // dedup to ids mod 3
+  ASSERT_EQ(log.edges.size(), 1u);
+  EXPECT_EQ(log.edges[0].from, "Src");
+  EXPECT_EQ(log.edges[0].to, "Dst");
+  EXPECT_EQ(log.edges[0].count, 30);
+  EXPECT_GT(log.batches, 0);
+  EXPECT_GT(log.tuples, 0);
+}
+
+TEST(RunLog, JsonRoundTripIsLossless) {
+  const RunLog log = sample_log();
+  const RunLog back = from_json(to_json(log));
+  EXPECT_EQ(back, log);
+}
+
+TEST(RunLog, FileRoundTrip) {
+  const RunLog log = sample_log();
+  const auto path = std::filesystem::temp_directory_path() /
+                    "jstar_runlog_test.json";
+  save(log, path.string());
+  const RunLog back = load(path.string());
+  EXPECT_EQ(back, log);
+  std::filesystem::remove(path);
+}
+
+TEST(RunLog, LoadMissingFileThrows) {
+  EXPECT_THROW(load("/nonexistent/path/log.json"), std::runtime_error);
+}
+
+TEST(RunLog, DotGraphFromLogMentionsEverything) {
+  const RunLog log = sample_log();
+  const std::string dot = dot_graph(log);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("Src"), std::string::npos);
+  EXPECT_NE(dot.find("Dst"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("30 tuples") != std::string::npos ||
+                dot.find("tuples") != std::string::npos,
+            false);
+  // The hottest table is highlighted.
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+}
+
+TEST(RunLog, DotGraphSkipsEdgesForUnknownTables) {
+  RunLog log;
+  log.program = "handmade";
+  log.tables.push_back({.name = "Only"});
+  log.edges.push_back({"Only", "Ghost", 5});
+  const std::string dot = dot_graph(log);
+  EXPECT_EQ(dot.find("Ghost"), std::string::npos);
+  EXPECT_EQ(dot.find("->"), std::string::npos);
+}
+
+TEST(RunLog, CapturesIndexAndScanCounters) {
+  Engine eng(EngineOptions{.sequential = true});
+  auto& src = eng.table(TableDecl<Src>("Src")
+                            .orderby_lit("A")
+                            .orderby_seq("id", &Src::id)
+                            .hash([](const Src& s) { return hash_fields(s.id); }));
+  src.add_index(&Src::id);
+  for (int i = 0; i < 5; ++i) eng.put(src, Src{i});
+  const RunReport report = eng.run();
+  (void)src.query_count(query::eq(&Src::id, 2));
+  (void)src.query_count(query::lt(&Src::id, 3));
+  const RunLog log = capture(eng, "indexed", report);
+  EXPECT_EQ(log.tables[0].index_lookups, 1);
+  EXPECT_EQ(log.tables[0].full_scans, 1);
+}
+
+}  // namespace
+}  // namespace jstar::viz

@@ -1,0 +1,200 @@
+// Tests for the fork/join work-stealing pool — the substrate under the
+// all-minimums parallelisation strategy (§5).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "sched/fork_join_pool.h"
+#include "sched/work_stealing_deque.h"
+
+namespace jstar::sched {
+namespace {
+
+TEST(WorkStealingDeque, LifoForOwner) {
+  WorkStealingDeque<int> dq;
+  dq.push(1);
+  dq.push(2);
+  dq.push(3);
+  int out = 0;
+  ASSERT_TRUE(dq.pop(out));
+  EXPECT_EQ(out, 3);
+  ASSERT_TRUE(dq.pop(out));
+  EXPECT_EQ(out, 2);
+  ASSERT_TRUE(dq.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_FALSE(dq.pop(out));
+}
+
+TEST(WorkStealingDeque, FifoForThief) {
+  WorkStealingDeque<int> dq;
+  dq.push(1);
+  dq.push(2);
+  int out = 0;
+  ASSERT_TRUE(dq.steal(out));
+  EXPECT_EQ(out, 1);
+  ASSERT_TRUE(dq.steal(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(dq.steal(out));
+}
+
+TEST(WorkStealingDeque, GrowsBeyondInitialCapacity) {
+  WorkStealingDeque<int> dq(4);
+  for (int i = 0; i < 1000; ++i) dq.push(i);
+  EXPECT_EQ(dq.size_approx(), 1000);
+  int out;
+  for (int i = 999; i >= 0; --i) {
+    ASSERT_TRUE(dq.pop(out));
+    EXPECT_EQ(out, i);
+  }
+}
+
+TEST(WorkStealingDeque, ConcurrentStealersGetDisjointItems) {
+  WorkStealingDeque<int> dq;
+  constexpr int kItems = 20000;
+  for (int i = 0; i < kItems; ++i) dq.push(i);
+  std::atomic<std::int64_t> sum{0};
+  std::atomic<int> taken{0};
+  auto thief = [&] {
+    int v;
+    while (taken.load() < kItems) {
+      if (dq.steal(v)) {
+        sum.fetch_add(v);
+        taken.fetch_add(1);
+      }
+    }
+  };
+  std::thread t1(thief), t2(thief), t3(thief);
+  t1.join();
+  t2.join();
+  t3.join();
+  EXPECT_EQ(sum.load(), static_cast<std::int64_t>(kItems) * (kItems - 1) / 2);
+}
+
+TEST(ForkJoinPool, InvokeAllRunsEverything) {
+  ForkJoinPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i) tasks.push_back([&] { count.fetch_add(1); });
+  pool.invoke_all(std::move(tasks));
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ForkJoinPool, SingleTaskRunsInline) {
+  ForkJoinPool pool(2);
+  bool ran = false;
+  pool.invoke_all({[&] { ran = true; }});
+  EXPECT_TRUE(ran);
+}
+
+TEST(ForkJoinPool, ForEachIndexCoversRangeExactlyOnce) {
+  ForkJoinPool pool(4);
+  constexpr std::int64_t kN = 100000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.for_each_index(kN, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ForkJoinPool, ForEachIndexEmptyAndTiny) {
+  ForkJoinPool pool(3);
+  int calls = 0;
+  pool.for_each_index(0, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.for_each_index(1, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ForkJoinPool, NestedParallelismDoesNotDeadlock) {
+  ForkJoinPool pool(2);
+  std::atomic<int> leaf{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < 8; ++i) {
+    outer.push_back([&] {
+      // A rule body spawning its own parallel loop (§5.2's
+      // embarrassingly-parallel for loops within rules).
+      ForkJoinPool::current_pool()->for_each_index(
+          16, [&](std::int64_t) { leaf.fetch_add(1); });
+    });
+  }
+  pool.invoke_all(std::move(outer));
+  EXPECT_EQ(leaf.load(), 8 * 16);
+}
+
+TEST(ForkJoinPool, ExceptionPropagatesToCaller) {
+  ForkJoinPool pool(2);
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([] { throw std::runtime_error("boom"); });
+  tasks.push_back([] {});
+  EXPECT_THROW(pool.invoke_all(std::move(tasks)), std::runtime_error);
+}
+
+TEST(ForkJoinPool, SubmitAndWaitIdle) {
+  ForkJoinPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) pool.submit([&] { done.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ForkJoinPool, CurrentPoolVisibleFromWorkers) {
+  ForkJoinPool pool(2);
+  std::atomic<int> ok{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 4; ++i) {
+    tasks.push_back([&] {
+      if (ForkJoinPool::current_pool() == &pool &&
+          ForkJoinPool::current_worker_index() >= 0) {
+        ok.fetch_add(1);
+      }
+    });
+  }
+  pool.invoke_all(std::move(tasks));
+  EXPECT_EQ(ok.load(), 4);
+  EXPECT_EQ(ForkJoinPool::current_pool(), nullptr);
+}
+
+TEST(ForkJoinPool, ParallelSumMatchesSequential) {
+  ForkJoinPool pool(4);
+  constexpr std::int64_t kN = 1 << 18;
+  std::vector<std::int64_t> data(kN);
+  std::iota(data.begin(), data.end(), 0);
+  std::atomic<std::int64_t> sum{0};
+  pool.for_each_index(kN, [&](std::int64_t i) {
+    sum.fetch_add(data[static_cast<std::size_t>(i)],
+                  std::memory_order_relaxed);
+  }, /*grain=*/1024);
+  EXPECT_EQ(sum.load(), kN * (kN - 1) / 2);
+}
+
+TEST(ForkJoinPool, ManySmallBatches) {
+  ForkJoinPool pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 4; ++i) tasks.push_back([&] { total.fetch_add(1); });
+    pool.invoke_all(std::move(tasks));
+  }
+  EXPECT_EQ(total.load(), 800);
+}
+
+class PoolSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(PoolSizes, ForEachIsCorrectForAnyPoolSize) {
+  ForkJoinPool pool(GetParam());
+  std::atomic<std::int64_t> sum{0};
+  pool.for_each_index(10000, [&](std::int64_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 10000LL * 9999 / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, PoolSizes, ::testing::Values(1, 2, 3, 8));
+
+}  // namespace
+}  // namespace jstar::sched

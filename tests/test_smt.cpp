@@ -1,0 +1,412 @@
+// Tests for the SMT-lite layer: rationals, Fourier–Motzkin, and the §4
+// causality proof obligations (including the paper's worked examples).
+#include <gtest/gtest.h>
+
+#include "smt/causality.h"
+#include "smt/fourier_motzkin.h"
+#include "smt/rational.h"
+
+namespace jstar::smt {
+namespace {
+
+TEST(Rat, NormalisesSignAndGcd) {
+  EXPECT_EQ(Rat(2, 4), Rat(1, 2));
+  EXPECT_EQ(Rat(-2, -4), Rat(1, 2));
+  EXPECT_EQ(Rat(2, -4), Rat(-1, 2));
+  EXPECT_EQ(Rat(0, 7), Rat(0));
+}
+
+TEST(Rat, Arithmetic) {
+  EXPECT_EQ(Rat(1, 2) + Rat(1, 3), Rat(5, 6));
+  EXPECT_EQ(Rat(1, 2) - Rat(1, 3), Rat(1, 6));
+  EXPECT_EQ(Rat(2, 3) * Rat(3, 4), Rat(1, 2));
+  EXPECT_EQ(Rat(1, 2) / Rat(1, 4), Rat(2));
+  EXPECT_EQ(-Rat(1, 2), Rat(-1, 2));
+}
+
+TEST(Rat, Ordering) {
+  EXPECT_LT(Rat(1, 3), Rat(1, 2));
+  EXPECT_GT(Rat(-1, 3), Rat(-1, 2));
+  EXPECT_EQ(Rat(3, 3), Rat(1));
+}
+
+TEST(Rat, Floor) {
+  EXPECT_EQ(Rat(7, 2).floor(), 3);
+  EXPECT_EQ(Rat(-7, 2).floor(), -4);
+  EXPECT_EQ(Rat(4).floor(), 4);
+}
+
+TEST(Rat, DivisionByZeroThrows) {
+  EXPECT_THROW(Rat(1) / Rat(0), std::domain_error);
+  EXPECT_THROW(Rat(1, 0), std::domain_error);
+}
+
+TEST(LinExprTest, AdditionMergesCoefficients) {
+  VarPool pool;
+  const VarId x = pool.fresh("x");
+  LinExpr e = LinExpr::var(x, Rat(2)) + LinExpr::var(x, Rat(3)) + LinExpr(4);
+  EXPECT_EQ(e.coeff(x), Rat(5));
+  EXPECT_EQ(e.constant(), Rat(4));
+}
+
+TEST(LinExprTest, CancellationRemovesVariable) {
+  VarPool pool;
+  const VarId x = pool.fresh("x");
+  LinExpr e = LinExpr::var(x) - LinExpr::var(x);
+  EXPECT_TRUE(e.is_constant());
+}
+
+TEST(LinExprTest, Substitute) {
+  VarPool pool;
+  const VarId x = pool.fresh("x");
+  const VarId y = pool.fresh("y");
+  // (2x + 1)[x := y + 3] = 2y + 7
+  LinExpr e = LinExpr::var(x, Rat(2)) + LinExpr(1);
+  LinExpr r = e.substitute(x, LinExpr::var(y) + LinExpr(3));
+  EXPECT_EQ(r.coeff(y), Rat(2));
+  EXPECT_EQ(r.constant(), Rat(7));
+  EXPECT_EQ(r.coeff(x), Rat(0));
+}
+
+class FMTest : public ::testing::Test {
+ protected:
+  VarPool pool;
+  FourierMotzkin fm;
+  LinExpr v(VarId id) { return LinExpr::var(id); }
+};
+
+TEST_F(FMTest, TrivialSat) {
+  const VarId x = pool.fresh("x");
+  auto out = fm.check({le(v(x), LinExpr(5))});
+  EXPECT_EQ(out.result, SatResult::Sat);
+}
+
+TEST_F(FMTest, ContradictionUnsat) {
+  const VarId x = pool.fresh("x");
+  // x <= 1 && x >= 3
+  auto out = fm.check({le(v(x), LinExpr(1)), ge(v(x), LinExpr(3))});
+  EXPECT_EQ(out.result, SatResult::Unsat);
+}
+
+TEST_F(FMTest, StrictnessMatters) {
+  const VarId x = pool.fresh("x");
+  // x <= 2 && x >= 2 is sat; x < 2 && x >= 2 is unsat.
+  EXPECT_EQ(fm.check({le(v(x), LinExpr(2)), ge(v(x), LinExpr(2))}).result,
+            SatResult::Sat);
+  EXPECT_EQ(fm.check({lt(v(x), LinExpr(2)), ge(v(x), LinExpr(2))}).result,
+            SatResult::Unsat);
+}
+
+TEST_F(FMTest, ChainOfVariables) {
+  const VarId x = pool.fresh("x");
+  const VarId y = pool.fresh("y");
+  const VarId z = pool.fresh("z");
+  // x < y, y < z, z < x is unsat.
+  auto out = fm.check({lt(v(x), v(y)), lt(v(y), v(z)), lt(v(z), v(x))});
+  EXPECT_EQ(out.result, SatResult::Unsat);
+}
+
+TEST_F(FMTest, ModelSatisfiesConstraints) {
+  const VarId x = pool.fresh("x");
+  const VarId y = pool.fresh("y");
+  std::vector<Constraint> cs = {ge(v(x), LinExpr(2)), le(v(x), v(y)),
+                                le(v(y), LinExpr(10))};
+  auto out = fm.check(cs);
+  ASSERT_EQ(out.result, SatResult::Sat);
+  for (const auto& c : cs) {
+    const Rat val = c.expr.eval(out.model);
+    if (c.strict) {
+      EXPECT_LT(val, Rat(0)) << c.to_string(pool);
+    } else {
+      EXPECT_LE(val, Rat(0)) << c.to_string(pool);
+    }
+  }
+}
+
+TEST_F(FMTest, EqualityViaTwoInequalities) {
+  const VarId x = pool.fresh("x");
+  auto eqs = eq(v(x), LinExpr(7));
+  auto cs = eqs;
+  cs.push_back(lt(v(x), LinExpr(7)));
+  EXPECT_EQ(fm.check(cs).result, SatResult::Unsat);
+  auto out = fm.check(eqs);
+  ASSERT_EQ(out.result, SatResult::Sat);
+  EXPECT_EQ(out.model.at(x), Rat(7));
+}
+
+TEST_F(FMTest, GroundFalseUnsat) {
+  EXPECT_EQ(fm.check({le(LinExpr(3), LinExpr(1))}).result, SatResult::Unsat);
+  EXPECT_EQ(fm.check({lt(LinExpr(0), LinExpr(0))}).result, SatResult::Unsat);
+  EXPECT_EQ(fm.check({le(LinExpr(0), LinExpr(0))}).result, SatResult::Sat);
+}
+
+// --- Integer branch-and-bound refinement -----------------------------------
+
+TEST_F(FMTest, IntegerRefinementRejectsFractionalOnlyRegion) {
+  // 1 < 2x < 3 has rational solutions (x = 1/2 .. 3/2 interior) minus the
+  // integer point x = 1?  Careful: x = 1 gives 2x = 2, inside.  Use
+  // 0 < 2x < 2 instead: only rational x in (0, 1), no integers.
+  const VarId x = pool.fresh("x");
+  std::vector<Constraint> cs = {gt(Rat(2) * v(x), LinExpr(0)),
+                                lt(Rat(2) * v(x), LinExpr(2))};
+  EXPECT_EQ(fm.check(cs).result, SatResult::Sat);  // rationally sat
+  EXPECT_EQ(fm.check_integer(cs).result, SatResult::Unsat);
+}
+
+TEST_F(FMTest, IntegerRefinementFindsIntegerPoint) {
+  // 1 <= 2x <= 4 contains the integer points x in {1, 2}.
+  const VarId x = pool.fresh("x");
+  std::vector<Constraint> cs = {ge(Rat(2) * v(x), LinExpr(1)),
+                                le(Rat(2) * v(x), LinExpr(4))};
+  const auto out = fm.check_integer(cs);
+  ASSERT_EQ(out.result, SatResult::Sat);
+  ASSERT_TRUE(out.model.count(x));
+  EXPECT_TRUE(out.model.at(x).is_integer());
+  const Rat val = out.model.at(x);
+  EXPECT_TRUE(val == Rat(1) || val == Rat(2)) << val.to_string();
+}
+
+TEST_F(FMTest, IntegerRefinementTwoVariables) {
+  // 2x + 2y = 1 has rational solutions but no integer ones (parity).
+  // Bound the variables so branch-and-bound terminates by exhaustion.
+  const VarId x = pool.fresh("x");
+  const VarId y = pool.fresh("y");
+  std::vector<Constraint> cs = eq(Rat(2) * v(x) + Rat(2) * v(y), LinExpr(1));
+  cs.push_back(ge(v(x), LinExpr(-5)));
+  cs.push_back(le(v(x), LinExpr(5)));
+  cs.push_back(ge(v(y), LinExpr(-5)));
+  cs.push_back(le(v(y), LinExpr(5)));
+  EXPECT_EQ(fm.check(cs).result, SatResult::Sat);
+  EXPECT_EQ(fm.check_integer(cs).result, SatResult::Unsat);
+}
+
+TEST_F(FMTest, IntegerRefinementPassesThroughUnsat) {
+  const VarId x = pool.fresh("x");
+  std::vector<Constraint> cs = {le(v(x), LinExpr(0)), ge(v(x), LinExpr(1))};
+  EXPECT_EQ(fm.check_integer(cs).result, SatResult::Unsat);
+}
+
+TEST_F(FMTest, IntegerRefinementDepthLimitGivesUnknown) {
+  // 3x - 3y = 1 with x, y unbounded: rationally sat everywhere, integer
+  // unsat, but branching never closes the unbounded region — the depth
+  // limit must kick in rather than looping forever.
+  const VarId x = pool.fresh("x");
+  const VarId y = pool.fresh("y");
+  std::vector<Constraint> cs = eq(Rat(3) * v(x) - Rat(3) * v(y), LinExpr(1));
+  const auto out = fm.check_integer(cs, /*max_depth=*/6);
+  EXPECT_NE(out.result, SatResult::Sat);
+}
+
+// The causality checker benefits from integer reasoning: with the guard
+// 2q <= 2t + 1 the violation region of "q <= t" is the rationally
+// nonempty strip t < q <= t + 1/2, which contains no integer point (for
+// integers q > t forces q >= t + 1, i.e. 2q >= 2t + 2).  A purely
+// rational prover reports an inconclusive fractional witness here; the
+// branch-and-bound layer proves the obligation outright.
+TEST(Causality, HalfOpenStripIsProvedByIntegerReasoning) {
+  CausalityChecker checker;
+  VarPool vars;
+  const VarId t = vars.fresh("t");
+  const VarId q = vars.fresh("q");
+  const std::vector<Constraint> premise = {
+      le(Rat(2) * LinExpr::var(q), Rat(2) * LinExpr::var(t) + LinExpr(1))};
+  // Sanity: the violation strip is rationally satisfiable...
+  FourierMotzkin fm;
+  std::vector<Constraint> violation = premise;
+  violation.push_back(gt(LinExpr::var(q), LinExpr::var(t)));
+  EXPECT_EQ(fm.check(violation).result, SatResult::Sat);
+  // ...yet the obligation is Proved thanks to integer refinement.
+  const auto r = checker.prove_lex_le(premise, {LinExpr::var(q)},
+                                      {LinExpr::var(t)}, vars,
+                                      "q at or before t");
+  EXPECT_EQ(r.status, ProofStatus::Proved) << r.detail;
+}
+
+// --- Causality obligations (§4) -------------------------------------------
+
+// The Ship rule: foreach (Ship s) if (s.x < 400) put Ship(s.frame+1, ...).
+// Obligation: frame <= frame + 1 — provable with no invariants at all.
+TEST(Causality, ShipMoveRightIsCausal) {
+  RuleSpec rule;
+  rule.name = "moveRight";
+  const VarId frame = rule.vars.fresh("s.frame");
+  const VarId x = rule.vars.fresh("s.x");
+  rule.premise.push_back(lt(LinExpr::var(x), LinExpr(400)));  // guard
+  rule.trigger_key = {LinExpr::var(frame)};
+  rule.puts.push_back({"Ship", {LinExpr::var(frame) + LinExpr(1)}, {}});
+
+  CausalityChecker checker;
+  auto results = checker.check(rule);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, ProofStatus::Proved) << results[0].detail;
+}
+
+// A rule that puts into the *past* must be refuted with a counterexample.
+TEST(Causality, PutIntoPastIsRefuted) {
+  RuleSpec rule;
+  rule.name = "badRule";
+  const VarId frame = rule.vars.fresh("frame");
+  rule.trigger_key = {LinExpr::var(frame)};
+  rule.puts.push_back({"Ship", {LinExpr::var(frame) - LinExpr(1)}, {}});
+
+  CausalityChecker checker;
+  auto results = checker.check(rule);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, ProofStatus::Refuted);
+  EXPECT_NE(results[0].detail.find("counterexample"), std::string::npos);
+}
+
+// Fig 4: with `order Req < PvWatts < SumMonth` the SumMonth rule's
+// aggregate query over PvWatts is strictly in the past (rank 1 < rank 2);
+// without the order declaration ranks collapse and the obligation fails —
+// the paper's "Stratification error".
+TEST(Causality, PvWattsStratificationWithOrder) {
+  RuleSpec rule;
+  rule.name = "sumMonth";
+  rule.trigger_key = {LinExpr(2)};                           // rank(SumMonth)
+  rule.queries.push_back({"PvWatts", {LinExpr(1)}, true, {}});  // rank(PvWatts)
+
+  CausalityChecker checker;
+  auto results = checker.check(rule);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, ProofStatus::Proved);
+}
+
+TEST(Causality, PvWattsStratificationErrorWithoutOrder) {
+  RuleSpec rule;
+  rule.name = "sumMonthNoOrder";
+  rule.trigger_key = {LinExpr(1)};                           // same rank!
+  rule.queries.push_back({"PvWatts", {LinExpr(1)}, true, {}});
+
+  CausalityChecker checker;
+  auto results = checker.check(rule);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_NE(results[0].status, ProofStatus::Proved);
+}
+
+// Fig 5 Dijkstra: trigger Estimate at key (Int, d, rank(Estimate)=0); puts
+// Done at (Int, d, 1) and Estimate at (Int, d+w, 0) with w >= 1.
+TEST(Causality, DijkstraRuleIsCausal) {
+  RuleSpec rule;
+  rule.name = "settle";
+  const VarId d = rule.vars.fresh("dist.distance");
+  const VarId w = rule.vars.fresh("edge.value");
+  const LinExpr int_rank(0);
+  rule.premise.push_back(ge(LinExpr::var(w), LinExpr(1)));  // edge invariant
+  rule.trigger_key = {int_rank, LinExpr::var(d), LinExpr(0)};
+  rule.puts.push_back(
+      {"Done", {int_rank, LinExpr::var(d), LinExpr(1)}, {}});
+  rule.puts.push_back(
+      {"Estimate",
+       {int_rank, LinExpr::var(d) + LinExpr::var(w), LinExpr(0)},
+       {}});
+
+  CausalityChecker checker;
+  auto results = checker.check(rule);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].status, ProofStatus::Proved) << results[0].detail;
+  EXPECT_EQ(results[1].status, ProofStatus::Proved) << results[1].detail;
+}
+
+// Without the w >= 1 invariant the Estimate put is not provable (w could
+// be negative) — the SMT solver finds the counterexample.
+TEST(Causality, DijkstraNeedsPositiveWeights) {
+  RuleSpec rule;
+  rule.name = "settleNoInvariant";
+  const VarId d = rule.vars.fresh("d");
+  const VarId w = rule.vars.fresh("w");
+  rule.trigger_key = {LinExpr(0), LinExpr::var(d), LinExpr(0)};
+  rule.puts.push_back(
+      {"Estimate",
+       {LinExpr(0), LinExpr::var(d) + LinExpr::var(w), LinExpr(0)},
+       {}});
+  CausalityChecker checker;
+  auto results = checker.check(rule);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, ProofStatus::Refuted);
+}
+
+// Lexicographic subtleties: equal first level, strictly later second.
+TEST(Causality, LexSecondLevelCarriesProof) {
+  CausalityChecker checker;
+  VarPool vars;
+  const VarId i = vars.fresh("iter");
+  KeyExprs trig = {LinExpr(0), LinExpr::var(i), LinExpr(3)};
+  KeyExprs put = {LinExpr(0), LinExpr::var(i) + LinExpr(1), LinExpr(0)};
+  auto r = checker.prove_lex_le({}, trig, put, vars, "iter+1 beats sublevel");
+  EXPECT_EQ(r.status, ProofStatus::Proved) << r.detail;
+}
+
+TEST(Causality, LexEqualKeysSatisfyLeButNotLt) {
+  CausalityChecker checker;
+  VarPool vars;
+  const VarId t = vars.fresh("t");
+  KeyExprs k = {LinExpr::var(t)};
+  EXPECT_EQ(checker.prove_lex_le({}, k, k, vars, "le").status,
+            ProofStatus::Proved);
+  EXPECT_EQ(checker.prove_lex_lt({}, k, k, vars, "lt").status,
+            ProofStatus::Refuted);
+}
+
+// Negative/aggregate queries at the same timestamp are illegal (§4): the
+// query key must be strictly before the trigger.
+TEST(Causality, SameTimestampAggregateQueryRejected) {
+  RuleSpec rule;
+  rule.name = "selfAggregate";
+  const VarId t = rule.vars.fresh("t");
+  rule.trigger_key = {LinExpr::var(t)};
+  rule.queries.push_back({"Self", {LinExpr::var(t)}, true, {}});
+  CausalityChecker checker;
+  auto results = checker.check(rule);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, ProofStatus::Refuted);
+}
+
+// Positive queries carry no obligation.
+TEST(Causality, PositiveQueryHasNoObligation) {
+  RuleSpec rule;
+  rule.name = "positive";
+  const VarId t = rule.vars.fresh("t");
+  rule.trigger_key = {LinExpr::var(t)};
+  rule.queries.push_back({"Self", {LinExpr::var(t)}, false, {}});
+  CausalityChecker checker;
+  EXPECT_TRUE(checker.check(rule).empty());
+}
+
+// Guards participate in proofs: put at frame - 1 is fine when the guard
+// says frame >= 5 and the put key is max(frame-1, ...) — here modelled as
+// a conditional branch with the guard frame <= 0 making the "past" branch
+// unreachable.
+TEST(Causality, GuardMakesBranchProvable) {
+  RuleSpec rule;
+  rule.name = "guarded";
+  const VarId f = rule.vars.fresh("frame");
+  // Guard: frame <= -1; put at key 0 (a constant).  -1 < 0 so the put is
+  // into the future of every reachable trigger.
+  rule.premise.push_back(le(LinExpr::var(f), LinExpr(-1)));
+  rule.trigger_key = {LinExpr::var(f)};
+  rule.puts.push_back({"T", {LinExpr(0)}, {}});
+  CausalityChecker checker;
+  auto results = checker.check(rule);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, ProofStatus::Proved) << results[0].detail;
+}
+
+// Prefix keys: a put whose key is a strict extension of an equal prefix is
+// in the future (prefix-is-less), so provable.
+TEST(Causality, PrefixExtensionIsFuture) {
+  CausalityChecker checker;
+  VarPool vars;
+  const VarId t = vars.fresh("t");
+  KeyExprs short_key = {LinExpr::var(t)};
+  KeyExprs long_key = {LinExpr::var(t), LinExpr(0)};
+  EXPECT_EQ(checker.prove_lex_lt({}, short_key, long_key, vars, "prefix")
+                .status,
+            ProofStatus::Proved);
+  EXPECT_EQ(checker.prove_lex_le({}, long_key, short_key, vars, "reverse")
+                .status,
+            ProofStatus::Refuted);
+}
+
+}  // namespace
+}  // namespace jstar::smt

@@ -1,0 +1,190 @@
+// Tests for EpochWindowStore and the retain_epochs lifetime hint
+// (Fig 3 step 4 / §6.6): bounded live size, straggler handling, epoch
+// scans, and end-to-end engine behaviour on an iterative program.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/window_store.h"
+
+namespace jstar {
+namespace {
+
+struct Cell {
+  std::int64_t iter, index;
+  double value;
+  auto operator<=>(const Cell&) const = default;
+};
+
+struct CellHash {
+  std::size_t operator()(const Cell& c) const {
+    return hash_fields(c.iter, c.index);
+  }
+};
+
+std::int64_t cell_iter(const Cell& c) { return c.iter; }
+
+TEST(EpochWindowStore, KeepsOnlyWindowEpochs) {
+  EpochWindowStore<Cell, CellHash> store(cell_iter, 2);
+  for (std::int64_t it = 0; it < 10; ++it) {
+    for (std::int64_t i = 0; i < 5; ++i) {
+      EXPECT_TRUE(store.insert({it, i, 1.0}));
+    }
+  }
+  // Only iterations 8 and 9 remain live.
+  EXPECT_EQ(store.size(), 10u);
+  EXPECT_EQ(store.live_epochs(), 2);
+  EXPECT_EQ(store.max_epoch(), 9);
+  EXPECT_EQ(store.retired(), 8 * 5);
+  EXPECT_TRUE(store.contains({9, 0, 1.0}));
+  EXPECT_TRUE(store.contains({8, 4, 1.0}));
+  EXPECT_FALSE(store.contains({7, 0, 1.0}));
+}
+
+TEST(EpochWindowStore, DuplicateWithinWindowIsDetected) {
+  EpochWindowStore<Cell, CellHash> store(cell_iter, 2);
+  EXPECT_TRUE(store.insert({0, 1, 2.0}));
+  EXPECT_FALSE(store.insert({0, 1, 2.0}));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(EpochWindowStore, StragglerBehindWindowDroppedButFresh) {
+  EpochWindowStore<Cell, CellHash> store(cell_iter, 1);
+  EXPECT_TRUE(store.insert({5, 0, 1.0}));
+  // Epoch 2 is far behind: dropped immediately, but reported fresh so the
+  // engine still fires its rules exactly once.
+  EXPECT_TRUE(store.insert({2, 0, 1.0}));
+  EXPECT_FALSE(store.contains({2, 0, 1.0}));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.retired(), 1);
+}
+
+TEST(EpochWindowStore, ScanEpochVisitsOneIteration) {
+  EpochWindowStore<Cell, CellHash> store(cell_iter, 3);
+  for (std::int64_t it = 0; it < 3; ++it) {
+    for (std::int64_t i = 0; i < 4; ++i) store.insert({it, i, 0.0});
+  }
+  int seen = 0;
+  store.scan_epoch(1, [&](const Cell& c) {
+    EXPECT_EQ(c.iter, 1);
+    ++seen;
+  });
+  EXPECT_EQ(seen, 4);
+  store.scan_epoch(99, [&](const Cell&) { FAIL(); });
+}
+
+TEST(EpochWindowStore, ScanVisitsAllLive) {
+  EpochWindowStore<Cell, CellHash> store(cell_iter, 2);
+  for (std::int64_t it = 0; it < 4; ++it) store.insert({it, 0, 0.0});
+  std::vector<std::int64_t> iters;
+  store.scan([&](const Cell& c) { iters.push_back(c.iter); });
+  std::sort(iters.begin(), iters.end());
+  EXPECT_EQ(iters, (std::vector<std::int64_t>{2, 3}));
+}
+
+TEST(EpochWindowStore, WindowOfOneIsDoubleBufferDegenerate) {
+  EpochWindowStore<Cell, CellHash> store(cell_iter, 1);
+  store.insert({0, 0, 0.0});
+  store.insert({1, 0, 0.0});
+  EXPECT_EQ(store.live_epochs(), 1);
+  EXPECT_TRUE(store.contains({1, 0, 0.0}));
+}
+
+TEST(EpochWindowStore, InvalidWindowThrows) {
+  EXPECT_THROW((EpochWindowStore<Cell, CellHash>(cell_iter, 0)),
+               std::logic_error);
+}
+
+TEST(EpochWindowStore, ConcurrentInsertsStayConsistent) {
+  EpochWindowStore<Cell, CellHash> store(cell_iter, 2);
+  constexpr int kThreads = 4;
+  constexpr std::int64_t kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::int64_t i = 0; i < kPerThread; ++i) {
+        store.insert({i / 100, t * kPerThread + i, 1.0});
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Window is 2 epochs x 100 tuples per epoch per thread.
+  EXPECT_EQ(store.max_epoch(), (kPerThread - 1) / 100);
+  EXPECT_LE(store.live_epochs(), 2);
+  std::size_t scanned = 0;
+  store.scan([&](const Cell&) { ++scanned; });
+  EXPECT_EQ(scanned, store.size());
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: an iterative relaxation program with retain_epochs
+// keeps its Gamma footprint bounded by the window.
+// ---------------------------------------------------------------------------
+
+TEST(RetainEpochs, IterativeProgramHasBoundedGamma) {
+  struct Tick {
+    std::int64_t iter;
+    auto operator<=>(const Tick&) const = default;
+  };
+  constexpr std::int64_t kIters = 50;
+  constexpr std::int64_t kWidth = 20;
+
+  for (const bool sequential : {true, false}) {
+    EngineOptions opts;
+    opts.sequential = sequential;
+    opts.threads = 2;
+    Engine eng(opts);
+    auto& cell = eng.table(
+        TableDecl<Cell>("Cell")
+            .orderby_lit("Int")
+            .orderby_seq("iter", &Cell::iter)
+            .orderby_par("index")
+            .hash([](const Cell& c) { return hash_fields(c.iter, c.index); })
+            .retain_epochs([](const Cell& c) { return c.iter; }, 2));
+    auto& tick = eng.table(TableDecl<Tick>("Tick")
+                               .orderby_lit("Int")
+                               .orderby_seq("iter", &Tick::iter)
+                               .hash([](const Tick& t) {
+                                 return hash_fields(t.iter);
+                               }));
+
+    // Each tick advances every cell to the next iteration, reading the
+    // previous iteration's values (a Jacobi-style sweep).
+    eng.rule(tick, "advance", [&](RuleCtx& ctx, const Tick& t) {
+      if (t.iter >= kIters) return;
+      std::vector<Cell> prev;
+      cell.scan([&](const Cell& c) {
+        if (c.iter == t.iter) prev.push_back(c);
+      });
+      for (const Cell& c : prev) {
+        cell.put(ctx, Cell{c.iter + 1, c.index, c.value * 0.5 + 1.0});
+      }
+      tick.put(ctx, Tick{t.iter + 1});
+    });
+
+    for (std::int64_t i = 0; i < kWidth; ++i) {
+      eng.put(cell, Cell{0, i, 1.0});
+    }
+    eng.put(tick, Tick{0});
+    eng.run();
+
+    // Gamma holds at most 2 iterations of cells.
+    EXPECT_LE(cell.gamma_size(), static_cast<std::size_t>(2 * kWidth))
+        << "sequential=" << sequential;
+    // The final iteration's values converged toward 2.0.
+    int finals = 0;
+    cell.scan([&](const Cell& c) {
+      if (c.iter == kIters) {
+        EXPECT_NEAR(c.value, 2.0, 1e-9);
+        ++finals;
+      }
+    });
+    EXPECT_EQ(finals, kWidth) << "sequential=" << sequential;
+  }
+}
+
+}  // namespace
+}  // namespace jstar
