@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/check.h"
@@ -47,11 +48,7 @@ struct Slice {
   }
 
   bool operator==(const char* s) const {
-    std::size_t i = 0;
-    for (; i < len && s[i] != '\0'; ++i) {
-      if (data[i] != s[i]) return false;
-    }
-    return i == len && s[i] == '\0';
+    return std::string_view(data, len) == std::string_view(s);
   }
 };
 

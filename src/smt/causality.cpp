@@ -48,7 +48,8 @@ std::vector<std::vector<Constraint>> lex_eq_disjunct(const KeyExprs& a,
   return {cs};
 }
 
-bool integral_model(const std::map<VarId, Rat>& model) {
+// Only referenced from JSTAR_DCHECK, which compiles out under NDEBUG.
+[[maybe_unused]] bool integral_model(const std::map<VarId, Rat>& model) {
   for (const auto& [v, r] : model) {
     (void)v;
     if (!r.is_integer()) return false;

@@ -1,0 +1,231 @@
+// Invariants of ShardedRunReport and the mailbox fabric (§2 stage 3):
+// message accounting must be a pure function of the program's derived
+// tuple sets (single-shard runs exchange nothing, counts are deterministic
+// across runs, supersteps track the BSP wavefront), partition_of must be a
+// stable total hash partition, and the mailboxes must enforce their
+// set-semantics / bounds contracts.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "dist/sharded.h"
+#include "util/rng.h"
+
+namespace jstar::dist {
+namespace {
+
+struct Visit {
+  std::int64_t vertex;
+  auto operator<=>(const Visit&) const = default;
+};
+
+// A BFS over the chain 0 -> 1 -> ... -> n-1, every hop routed through the
+// mailbox.  The BSP wavefront advances one vertex per superstep, so the
+// report is fully predictable from n.
+ShardedRunReport run_chain(std::int64_t n, int shards, bool sequential,
+                           std::set<std::int64_t>* reached = nullptr) {
+  EngineOptions opts;
+  opts.sequential = sequential;
+  opts.threads = 2;
+
+  std::vector<Table<Visit>*> tables(static_cast<std::size_t>(shards));
+  ShardedEngine<Visit> cluster(
+      shards, opts,
+      [n, shards, &tables](int shard, Engine& eng, Sender<Visit>& sender) {
+        auto& visits = eng.table(TableDecl<Visit>("Visit")
+                                     .orderby_lit("V")
+                                     .orderby_seq("vertex", &Visit::vertex)
+                                     .hash([](const Visit& v) {
+                                       return hash_fields(v.vertex);
+                                     }));
+        tables[static_cast<std::size_t>(shard)] = &visits;
+        eng.rule(visits, "advance",
+                 [n, shards, &sender](RuleCtx&, const Visit& v) {
+                   if (v.vertex + 1 < n) {
+                     sender.send(partition_of(v.vertex + 1, shards),
+                                 Visit{v.vertex + 1});
+                   }
+                 });
+        return [&visits, &eng](const Visit& v) { eng.put(visits, v); };
+      });
+
+  cluster.seed(partition_of(0, shards), Visit{0});
+  const ShardedRunReport report = cluster.run();
+  if (reached != nullptr) {
+    for (auto* t : tables) {
+      t->scan([&](const Visit& v) { reached->insert(v.vertex); });
+    }
+  }
+  return report;
+}
+
+// --- ShardedRunReport invariants -------------------------------------------
+
+TEST(DistReport, SingleShardExchangesNoMessages) {
+  std::set<std::int64_t> reached;
+  const ShardedRunReport r = run_chain(32, 1, /*sequential=*/true, &reached);
+  EXPECT_EQ(r.messages, 0);
+  // The hops still travelled through the mailbox — as local self-sends.
+  EXPECT_EQ(r.local_messages, 31);
+  EXPECT_EQ(reached.size(), 32u);
+}
+
+TEST(DistReport, SuperstepsTrackGraphDiameter) {
+  // One mailbox hop per chain edge: a chain of n vertices takes exactly n
+  // supersteps, so supersteps are strictly monotone in the diameter.
+  int prev = 0;
+  for (const std::int64_t n : {1, 2, 5, 17, 40}) {
+    const ShardedRunReport r = run_chain(n, 3, /*sequential=*/true);
+    EXPECT_EQ(r.supersteps, n) << "chain length " << n;
+    EXPECT_GT(r.supersteps, prev);
+    prev = r.supersteps;
+  }
+}
+
+TEST(DistReport, MessageCountsDeterministicAcrossRunsAndStrategies) {
+  const ShardedRunReport first = run_chain(64, 4, /*sequential=*/true);
+  for (int i = 0; i < 3; ++i) {
+    const ShardedRunReport seq = run_chain(64, 4, /*sequential=*/true);
+    const ShardedRunReport par = run_chain(64, 4, /*sequential=*/false);
+    for (const ShardedRunReport* r : {&seq, &par}) {
+      EXPECT_EQ(r->supersteps, first.supersteps) << "run " << i;
+      EXPECT_EQ(r->messages, first.messages) << "run " << i;
+      EXPECT_EQ(r->local_messages, first.local_messages) << "run " << i;
+      EXPECT_EQ(r->local_tuples, first.local_tuples) << "run " << i;
+    }
+  }
+}
+
+TEST(DistReport, MessagesSplitIntoCrossAndLocalExactly) {
+  // Every chain hop is exactly one mailbox tuple, cross-shard or local.
+  const ShardedRunReport r = run_chain(50, 4, /*sequential=*/true);
+  EXPECT_EQ(r.messages + r.local_messages, 49);
+  EXPECT_GT(r.messages, 0);  // 50 hash-spread vertices never all co-locate
+}
+
+// --- partition_of properties -----------------------------------------------
+
+TEST(PartitionOf, CoversEveryShardAndStaysInRange) {
+  SplitMix64 rng(11);
+  for (const int shards : {1, 2, 3, 5, 8, 16}) {
+    std::set<int> hit;
+    for (int i = 0; i < 4000; ++i) {
+      const auto key = static_cast<std::int64_t>(rng.next());
+      const int p = partition_of(key, shards);
+      ASSERT_GE(p, 0);
+      ASSERT_LT(p, shards);
+      hit.insert(p);
+    }
+    EXPECT_EQ(hit.size(), static_cast<std::size_t>(shards))
+        << shards << " shards not all covered";
+  }
+}
+
+TEST(PartitionOf, StableAcrossCalls) {
+  SplitMix64 rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    const auto key = static_cast<std::int64_t>(rng.next());
+    const int shards = static_cast<int>(rng.next_below(15)) + 1;
+    EXPECT_EQ(partition_of(key, shards), partition_of(key, shards));
+  }
+}
+
+TEST(PartitionOf, NegativeKeysAreSafe) {
+  SplitMix64 rng(37);
+  for (const int shards : {1, 2, 7, 8}) {
+    for (int i = 0; i < 1000; ++i) {
+      const std::int64_t key =
+          -static_cast<std::int64_t>(rng.next_below(1ULL << 62)) - 1;
+      const int p = partition_of(key, shards);
+      EXPECT_GE(p, 0);
+      EXPECT_LT(p, shards);
+    }
+    EXPECT_NO_THROW(partition_of(std::numeric_limits<std::int64_t>::min(),
+                                 shards));
+  }
+}
+
+TEST(PartitionOf, RejectsNonPositiveShardCounts) {
+  EXPECT_THROW(partition_of(1, 0), std::logic_error);
+  EXPECT_THROW(partition_of(1, -3), std::logic_error);
+}
+
+// --- mailbox edge cases ----------------------------------------------------
+
+// A 2-shard cluster with no rules; exposes each shard's Sender so tests
+// can exercise the mailbox fabric directly.
+struct Fixture {
+  std::vector<Table<Visit>*> tables{2, nullptr};
+  std::vector<Sender<Visit>*> senders{2, nullptr};
+  ShardedEngine<Visit> cluster;
+
+  Fixture()
+      : cluster(2, sequential_opts(),
+                [this](int shard, Engine& eng, Sender<Visit>& sender) {
+                  auto& t = eng.table(TableDecl<Visit>("Visit")
+                                          .orderby_lit("V")
+                                          .orderby_seq("vertex",
+                                                       &Visit::vertex)
+                                          .hash([](const Visit& v) {
+                                            return hash_fields(v.vertex);
+                                          }));
+                  tables[static_cast<std::size_t>(shard)] = &t;
+                  senders[static_cast<std::size_t>(shard)] = &sender;
+                  return [&t, &eng](const Visit& v) { eng.put(t, v); };
+                }) {}
+
+  static EngineOptions sequential_opts() {
+    EngineOptions opts;
+    opts.sequential = true;
+    return opts;
+  }
+};
+
+TEST(Mailbox, SeedOutOfRangeThrows) {
+  Fixture f;
+  EXPECT_THROW(f.cluster.seed(-1, Visit{1}), std::out_of_range);
+  EXPECT_THROW(f.cluster.seed(2, Visit{1}), std::out_of_range);
+  EXPECT_THROW(f.cluster.seed(100, Visit{1}), std::out_of_range);
+}
+
+TEST(Mailbox, SendOutOfRangeThrows) {
+  Fixture f;
+  EXPECT_THROW(f.senders[0]->send(-1, Visit{1}), std::out_of_range);
+  EXPECT_THROW(f.senders[0]->send(2, Visit{1}), std::out_of_range);
+}
+
+TEST(Mailbox, DuplicateSendsDedupUnderSetSemantics) {
+  Fixture f;
+  for (int i = 0; i < 5; ++i) f.senders[0]->send(1, Visit{7});
+  f.senders[0]->send(1, Visit{8});
+  const ShardedRunReport r = f.cluster.run();
+  // 5x Visit{7} collapses to one message; Visit{8} is the other.
+  EXPECT_EQ(r.messages, 2);
+  EXPECT_EQ(f.tables[1]->gamma_size(), 2u);
+  EXPECT_EQ(f.tables[0]->gamma_size(), 0u);
+}
+
+TEST(Mailbox, DuplicateSeedsDedupUnderSetSemantics) {
+  Fixture f;
+  for (int i = 0; i < 5; ++i) f.cluster.seed(0, Visit{3});
+  const ShardedRunReport r = f.cluster.run();
+  EXPECT_EQ(r.messages, 0);
+  EXPECT_EQ(f.tables[0]->gamma_size(), 1u);
+}
+
+TEST(Mailbox, EmptyClusterRunCompletesImmediately) {
+  Fixture f;
+  const ShardedRunReport r = f.cluster.run();
+  EXPECT_LE(r.supersteps, 1);
+  EXPECT_EQ(r.messages, 0);
+  EXPECT_EQ(r.local_messages, 0);
+  EXPECT_EQ(r.local_batches, 0);
+  EXPECT_EQ(f.tables[0]->gamma_size(), 0u);
+  EXPECT_EQ(f.tables[1]->gamma_size(), 0u);
+}
+
+}  // namespace
+}  // namespace jstar::dist
