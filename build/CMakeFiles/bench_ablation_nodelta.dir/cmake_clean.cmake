@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nodelta.dir/bench/bench_ablation_nodelta.cpp.o"
+  "CMakeFiles/bench_ablation_nodelta.dir/bench/bench_ablation_nodelta.cpp.o.d"
+  "bench_ablation_nodelta"
+  "bench_ablation_nodelta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nodelta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

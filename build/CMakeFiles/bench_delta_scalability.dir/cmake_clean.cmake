@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delta_scalability.dir/bench/bench_delta_scalability.cpp.o"
+  "CMakeFiles/bench_delta_scalability.dir/bench/bench_delta_scalability.cpp.o.d"
+  "bench_delta_scalability"
+  "bench_delta_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delta_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

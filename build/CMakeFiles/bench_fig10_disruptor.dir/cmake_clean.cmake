@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_disruptor.dir/bench/bench_fig10_disruptor.cpp.o"
+  "CMakeFiles/bench_fig10_disruptor.dir/bench/bench_fig10_disruptor.cpp.o.d"
+  "bench_fig10_disruptor"
+  "bench_fig10_disruptor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_disruptor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

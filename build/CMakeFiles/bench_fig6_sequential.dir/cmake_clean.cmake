@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_sequential.dir/bench/bench_fig6_sequential.cpp.o"
+  "CMakeFiles/bench_fig6_sequential.dir/bench/bench_fig6_sequential.cpp.o.d"
+  "bench_fig6_sequential"
+  "bench_fig6_sequential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_disruptor_tuning.dir/bench/bench_table1_disruptor_tuning.cpp.o"
+  "CMakeFiles/bench_table1_disruptor_tuning.dir/bench/bench_table1_disruptor_tuning.cpp.o.d"
+  "bench_table1_disruptor_tuning"
+  "bench_table1_disruptor_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_disruptor_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

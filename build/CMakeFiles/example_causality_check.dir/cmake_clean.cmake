@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_causality_check.dir/examples/causality_check.cpp.o"
+  "CMakeFiles/example_causality_check.dir/examples/causality_check.cpp.o.d"
+  "example_causality_check"
+  "example_causality_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_causality_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

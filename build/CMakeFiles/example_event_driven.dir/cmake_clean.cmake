@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_event_driven.dir/examples/event_driven.cpp.o"
+  "CMakeFiles/example_event_driven.dir/examples/event_driven.cpp.o.d"
+  "example_event_driven"
+  "example_event_driven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_event_driven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

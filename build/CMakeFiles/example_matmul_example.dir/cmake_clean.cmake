@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_matmul_example.dir/examples/matmul_example.cpp.o"
+  "CMakeFiles/example_matmul_example.dir/examples/matmul_example.cpp.o.d"
+  "example_matmul_example"
+  "example_matmul_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_matmul_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

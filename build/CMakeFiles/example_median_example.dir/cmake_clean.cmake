@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_median_example.dir/examples/median_example.cpp.o"
+  "CMakeFiles/example_median_example.dir/examples/median_example.cpp.o.d"
+  "example_median_example"
+  "example_median_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_median_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pvwatts_example.dir/examples/pvwatts_example.cpp.o"
+  "CMakeFiles/example_pvwatts_example.dir/examples/pvwatts_example.cpp.o.d"
+  "example_pvwatts_example"
+  "example_pvwatts_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pvwatts_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_reduce_scan.dir/examples/reduce_scan.cpp.o"
+  "CMakeFiles/example_reduce_scan.dir/examples/reduce_scan.cpp.o.d"
+  "example_reduce_scan"
+  "example_reduce_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_reduce_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_shortest_path.dir/examples/shortest_path.cpp.o"
+  "CMakeFiles/example_shortest_path.dir/examples/shortest_path.cpp.o.d"
+  "example_shortest_path"
+  "example_shortest_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_shortest_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

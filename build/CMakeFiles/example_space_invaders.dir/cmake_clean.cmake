@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_space_invaders.dir/examples/space_invaders.cpp.o"
+  "CMakeFiles/example_space_invaders.dir/examples/space_invaders.cpp.o.d"
+  "example_space_invaders"
+  "example_space_invaders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_space_invaders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

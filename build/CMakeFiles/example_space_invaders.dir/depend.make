@@ -1,0 +1,2 @@
+# Empty dependencies file for example_space_invaders.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tuning_workflow.dir/examples/tuning_workflow.cpp.o"
+  "CMakeFiles/example_tuning_workflow.dir/examples/tuning_workflow.cpp.o.d"
+  "example_tuning_workflow"
+  "example_tuning_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tuning_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

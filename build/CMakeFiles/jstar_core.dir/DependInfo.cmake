@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/dijkstra/dijkstra.cpp" "CMakeFiles/jstar_core.dir/src/apps/dijkstra/dijkstra.cpp.o" "gcc" "CMakeFiles/jstar_core.dir/src/apps/dijkstra/dijkstra.cpp.o.d"
+  "/root/repo/src/apps/matmul/matmul.cpp" "CMakeFiles/jstar_core.dir/src/apps/matmul/matmul.cpp.o" "gcc" "CMakeFiles/jstar_core.dir/src/apps/matmul/matmul.cpp.o.d"
+  "/root/repo/src/apps/median/median.cpp" "CMakeFiles/jstar_core.dir/src/apps/median/median.cpp.o" "gcc" "CMakeFiles/jstar_core.dir/src/apps/median/median.cpp.o.d"
+  "/root/repo/src/apps/pvwatts/pvwatts.cpp" "CMakeFiles/jstar_core.dir/src/apps/pvwatts/pvwatts.cpp.o" "gcc" "CMakeFiles/jstar_core.dir/src/apps/pvwatts/pvwatts.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "CMakeFiles/jstar_core.dir/src/core/engine.cpp.o" "gcc" "CMakeFiles/jstar_core.dir/src/core/engine.cpp.o.d"
+  "/root/repo/src/csv/csv.cpp" "CMakeFiles/jstar_core.dir/src/csv/csv.cpp.o" "gcc" "CMakeFiles/jstar_core.dir/src/csv/csv.cpp.o.d"
+  "/root/repo/src/sched/fork_join_pool.cpp" "CMakeFiles/jstar_core.dir/src/sched/fork_join_pool.cpp.o" "gcc" "CMakeFiles/jstar_core.dir/src/sched/fork_join_pool.cpp.o.d"
+  "/root/repo/src/smt/causality.cpp" "CMakeFiles/jstar_core.dir/src/smt/causality.cpp.o" "gcc" "CMakeFiles/jstar_core.dir/src/smt/causality.cpp.o.d"
+  "/root/repo/src/util/statistics.cpp" "CMakeFiles/jstar_core.dir/src/util/statistics.cpp.o" "gcc" "CMakeFiles/jstar_core.dir/src/util/statistics.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "CMakeFiles/jstar_core.dir/src/util/timer.cpp.o" "gcc" "CMakeFiles/jstar_core.dir/src/util/timer.cpp.o.d"
+  "/root/repo/src/viz/runlog.cpp" "CMakeFiles/jstar_core.dir/src/viz/runlog.cpp.o" "gcc" "CMakeFiles/jstar_core.dir/src/viz/runlog.cpp.o.d"
+  "/root/repo/src/viz/viz.cpp" "CMakeFiles/jstar_core.dir/src/viz/viz.cpp.o" "gcc" "CMakeFiles/jstar_core.dir/src/viz/viz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

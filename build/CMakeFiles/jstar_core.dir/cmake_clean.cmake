@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jstar_core.dir/src/apps/dijkstra/dijkstra.cpp.o"
+  "CMakeFiles/jstar_core.dir/src/apps/dijkstra/dijkstra.cpp.o.d"
+  "CMakeFiles/jstar_core.dir/src/apps/matmul/matmul.cpp.o"
+  "CMakeFiles/jstar_core.dir/src/apps/matmul/matmul.cpp.o.d"
+  "CMakeFiles/jstar_core.dir/src/apps/median/median.cpp.o"
+  "CMakeFiles/jstar_core.dir/src/apps/median/median.cpp.o.d"
+  "CMakeFiles/jstar_core.dir/src/apps/pvwatts/pvwatts.cpp.o"
+  "CMakeFiles/jstar_core.dir/src/apps/pvwatts/pvwatts.cpp.o.d"
+  "CMakeFiles/jstar_core.dir/src/core/engine.cpp.o"
+  "CMakeFiles/jstar_core.dir/src/core/engine.cpp.o.d"
+  "CMakeFiles/jstar_core.dir/src/csv/csv.cpp.o"
+  "CMakeFiles/jstar_core.dir/src/csv/csv.cpp.o.d"
+  "CMakeFiles/jstar_core.dir/src/sched/fork_join_pool.cpp.o"
+  "CMakeFiles/jstar_core.dir/src/sched/fork_join_pool.cpp.o.d"
+  "CMakeFiles/jstar_core.dir/src/smt/causality.cpp.o"
+  "CMakeFiles/jstar_core.dir/src/smt/causality.cpp.o.d"
+  "CMakeFiles/jstar_core.dir/src/util/statistics.cpp.o"
+  "CMakeFiles/jstar_core.dir/src/util/statistics.cpp.o.d"
+  "CMakeFiles/jstar_core.dir/src/util/timer.cpp.o"
+  "CMakeFiles/jstar_core.dir/src/util/timer.cpp.o.d"
+  "CMakeFiles/jstar_core.dir/src/viz/runlog.cpp.o"
+  "CMakeFiles/jstar_core.dir/src/viz/runlog.cpp.o.d"
+  "CMakeFiles/jstar_core.dir/src/viz/viz.cpp.o"
+  "CMakeFiles/jstar_core.dir/src/viz/viz.cpp.o.d"
+  "libjstar_core.a"
+  "libjstar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jstar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aggregates.dir/tests/test_aggregates.cpp.o"
+  "CMakeFiles/test_aggregates.dir/tests/test_aggregates.cpp.o.d"
+  "test_aggregates"
+  "test_aggregates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aggregates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_dijkstra.dir/tests/test_apps_dijkstra.cpp.o"
+  "CMakeFiles/test_apps_dijkstra.dir/tests/test_apps_dijkstra.cpp.o.d"
+  "test_apps_dijkstra"
+  "test_apps_dijkstra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_dijkstra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_matmul.dir/tests/test_apps_matmul.cpp.o"
+  "CMakeFiles/test_apps_matmul.dir/tests/test_apps_matmul.cpp.o.d"
+  "test_apps_matmul"
+  "test_apps_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_median.dir/tests/test_apps_median.cpp.o"
+  "CMakeFiles/test_apps_median.dir/tests/test_apps_median.cpp.o.d"
+  "test_apps_median"
+  "test_apps_median.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_median.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_pvwatts.dir/tests/test_apps_pvwatts.cpp.o"
+  "CMakeFiles/test_apps_pvwatts.dir/tests/test_apps_pvwatts.cpp.o.d"
+  "test_apps_pvwatts"
+  "test_apps_pvwatts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_pvwatts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_strategies.dir/tests/test_engine_strategies.cpp.o"
+  "CMakeFiles/test_engine_strategies.dir/tests/test_engine_strategies.cpp.o.d"
+  "test_engine_strategies"
+  "test_engine_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_misc.dir/tests/test_integration_misc.cpp.o"
+  "CMakeFiles/test_integration_misc.dir/tests/test_integration_misc.cpp.o.d"
+  "test_integration_misc"
+  "test_integration_misc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

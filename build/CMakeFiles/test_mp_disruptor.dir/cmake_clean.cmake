@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mp_disruptor.dir/tests/test_mp_disruptor.cpp.o"
+  "CMakeFiles/test_mp_disruptor.dir/tests/test_mp_disruptor.cpp.o.d"
+  "test_mp_disruptor"
+  "test_mp_disruptor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mp_disruptor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

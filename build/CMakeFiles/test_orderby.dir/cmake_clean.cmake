@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orderby.dir/tests/test_orderby.cpp.o"
+  "CMakeFiles/test_orderby.dir/tests/test_orderby.cpp.o.d"
+  "test_orderby"
+  "test_orderby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orderby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reduce.dir/tests/test_reduce.cpp.o"
+  "CMakeFiles/test_reduce.dir/tests/test_reduce.cpp.o.d"
+  "test_reduce"
+  "test_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

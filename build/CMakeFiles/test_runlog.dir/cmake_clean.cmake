@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runlog.dir/tests/test_runlog.cpp.o"
+  "CMakeFiles/test_runlog.dir/tests/test_runlog.cpp.o.d"
+  "test_runlog"
+  "test_runlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

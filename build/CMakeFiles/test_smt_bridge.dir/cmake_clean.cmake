@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smt_bridge.dir/tests/test_smt_bridge.cpp.o"
+  "CMakeFiles/test_smt_bridge.dir/tests/test_smt_bridge.cpp.o.d"
+  "test_smt_bridge"
+  "test_smt_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smt_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

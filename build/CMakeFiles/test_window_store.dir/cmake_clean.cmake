@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_window_store.dir/tests/test_window_store.cpp.o"
+  "CMakeFiles/test_window_store.dir/tests/test_window_store.cpp.o.d"
+  "test_window_store"
+  "test_window_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_window_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
