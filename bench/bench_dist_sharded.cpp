@@ -1,23 +1,44 @@
-// Scale-out ablation: the sharded (distributed) engine on a partitioned
-// BFS reachability workload — the single-process analogue of the cluster
+// Scale-out ablation: the sharded (distributed) engine on partitioned BFS
+// reachability workloads — the single-process analogue of the cluster
 // experiments the paper points to ("implementations of a few example
-// Starlog programs on cluster computers [7]").
+// Starlog programs on cluster computers [7]"), now comparing the two
+// schedules of src/dist/sharded.h head to head:
 //
-// Reports, per shard count: wall time, supersteps, cross-shard messages
-// and total local batches.  The interesting *shape* is the communication
-// volume growing with shard count while per-shard work shrinks — the
-// partition/communicate trade-off of §2 stage 3.  (On this 1-core host
-// wall times stay flat; see EXPERIMENTS.md.)
+//   * BSP   — barrier-synchronised supersteps (the deterministic reference),
+//   * Async — pipelined shard workers + credit-counting termination.
 //
-// Usage: bench_dist_sharded [vertices] [edges]
+// Two workload shapes bracket the trade-off:
+//
+//   * "wide": a random graph with a spanning chain — shallow wavefront,
+//     bulk messages per superstep.  Barriers are few, so BSP and async
+//     should be close.
+//   * "deep": a ladder chain (i -> i+1, i -> i+2) hash-partitioned across
+//     shards — nearly every edge crosses a shard boundary and the
+//     wavefront is thousands of levels deep, so BSP pays thousands of
+//     barriers while async just keeps draining.  This is the
+//     message-heavy workload the async executor exists for.
+//
+// Results go to stdout as a table and to BENCH_dist_sharded.json (in the
+// working directory) so the perf trajectory is machine-readable from this
+// PR onward.  The "headline" object records async-over-BSP speedup on the
+// deep workload at the widest shard count.
+//
+// Usage: bench_dist_sharded [wide_vertices] [wide_edges] [deep_vertices]
 #include <cstdio>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "bench/harness.h"
 #include "dist/sharded.h"
+#include "util/json.h"
 #include "util/rng.h"
 
 namespace {
+
+using namespace jstar;
+using namespace jstar::bench;
+using namespace jstar::dist;
 
 struct Visit {
   std::int64_t vertex;
@@ -28,7 +49,6 @@ using Graph = std::vector<std::vector<std::int64_t>>;
 
 Graph random_graph(std::int64_t vertices, std::int64_t edges,
                    std::uint64_t seed) {
-  using jstar::SplitMix64;
   Graph g(static_cast<std::size_t>(vertices));
   SplitMix64 rng(seed);
   // A spanning chain plus random extra edges keeps most vertices reachable.
@@ -45,32 +65,40 @@ Graph random_graph(std::int64_t vertices, std::int64_t edges,
   return g;
 }
 
-}  // namespace
+/// i -> i+1 and i -> i+2: wavefront depth ~ vertices/2, and under hash
+/// partitioning nearly every edge crosses shards — barrier-dominated in
+/// BSP, pipelined in async.
+Graph ladder_graph(std::int64_t vertices) {
+  Graph g(static_cast<std::size_t>(vertices));
+  for (std::int64_t v = 0; v < vertices; ++v) {
+    if (v + 1 < vertices) g[static_cast<std::size_t>(v)].push_back(v + 1);
+    if (v + 2 < vertices) g[static_cast<std::size_t>(v)].push_back(v + 2);
+  }
+  return g;
+}
 
-int main(int argc, char** argv) {
-  using namespace jstar;
-  using namespace jstar::bench;
-  using namespace jstar::dist;
+struct ModeResult {
+  double seconds = 0;
+  ShardedRunReport report;
+  std::int64_t reached = 0;
+};
 
-  const std::int64_t vertices = arg_or(argc, argv, 1, 200000);
-  const std::int64_t edges = arg_or(argc, argv, 2, 400000);
-  const Graph g = random_graph(vertices, edges, 99);
-
-  print_header("scale-out: sharded BFS reachability (cluster analogue of "
-               "[7])");
-  std::printf("%lld vertices, %lld edges (+ chain)\n\n",
-              static_cast<long long>(vertices),
-              static_cast<long long>(edges));
-  std::printf("%-8s %10s %12s %14s %14s %10s\n", "shards", "time",
-              "supersteps", "messages", "local batches", "reached");
-
-  for (const int shards : {1, 2, 4, 8}) {
+/// Builds a fresh cluster over `g`, seeds vertex 0 and runs to fixpoint
+/// under `mode`.  A fresh cluster per run keeps the measurement honest:
+/// run() is event-driven, so a second run() on the same cluster is a no-op.
+ModeResult run_mode(const Graph& g, int shards, ShardedMode mode, int reps) {
+  ModeResult best;
+  best.seconds = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
     EngineOptions opts;
-    opts.sequential = true;  // per-shard engines; parallelism across shards
+    opts.sequential = false;  // threaded cluster: BSP spawns shard threads per
+    opts.threads = 2;         // superstep, async keeps long-lived workers
+    ShardedOptions sopts;
+    sopts.mode = mode;
 
     std::vector<Table<Visit>*> tables(static_cast<std::size_t>(shards));
     ShardedEngine<Visit> cluster(
-        shards, opts,
+        shards, opts, sopts,
         [&g, &tables, shards](int shard, Engine& eng, Sender<Visit>& sender) {
           auto& visits =
               eng.table(TableDecl<Visit>("Visit")
@@ -94,13 +122,127 @@ int main(int argc, char** argv) {
     WallTimer timer;
     const ShardedRunReport report = cluster.run();
     const double seconds = timer.seconds();
+    if (seconds < best.seconds) {
+      best.seconds = seconds;
+      best.report = report;
+      best.reached = 0;
+      for (auto* t : tables) {
+        best.reached += static_cast<std::int64_t>(t->gamma_size());
+      }
+    }
+  }
+  return best;
+}
 
-    std::int64_t reached = 0;
-    for (auto* t : tables) reached += static_cast<std::int64_t>(t->gamma_size());
-    std::printf("%-8d %9.3f s %12d %14lld %14lld %10lld\n", shards, seconds,
-                report.supersteps, static_cast<long long>(report.messages),
-                static_cast<long long>(report.local_batches),
-                static_cast<long long>(reached));
+json::Value row_json(int shards, const char* mode, const ModeResult& r) {
+  return json::Object{
+      {"shards", shards},
+      {"mode", mode},
+      {"seconds", r.seconds},
+      {"supersteps", r.report.supersteps},
+      {"epochs", r.report.epochs},
+      {"messages", r.report.messages},
+      {"local_messages", r.report.local_messages},
+      {"local_tuples", r.report.local_tuples},
+      {"reached", r.reached},
+  };
+}
+
+void print_rows(int shards, const ModeResult& bsp, const ModeResult& async_r) {
+  const double speedup =
+      async_r.seconds > 0 ? bsp.seconds / async_r.seconds : 0.0;
+  std::printf("%-8d %-6s %9.3f s %12d %14lld %14lld %10lld\n", shards, "bsp",
+              bsp.seconds, bsp.report.supersteps,
+              static_cast<long long>(bsp.report.messages),
+              static_cast<long long>(bsp.report.local_tuples),
+              static_cast<long long>(bsp.reached));
+  std::printf("%-8s %-6s %9.3f s %12d %14lld %14lld %10lld   %5.2fx\n", "",
+              "async", async_r.seconds, async_r.report.supersteps,
+              static_cast<long long>(async_r.report.messages),
+              static_cast<long long>(async_r.report.local_tuples),
+              static_cast<long long>(async_r.reached), speedup);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::int64_t wide_vertices = arg_or(argc, argv, 1, 200000);
+  const std::int64_t wide_edges = arg_or(argc, argv, 2, 400000);
+  const std::int64_t deep_vertices = arg_or(argc, argv, 3, 4000);
+  const int reps = 3;
+
+  struct Workload {
+    const char* name;
+    Graph graph;
+    std::int64_t vertices;
+    std::int64_t edges;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"wide", random_graph(wide_vertices, wide_edges, 99),
+                       wide_vertices, wide_edges});
+  workloads.push_back({"deep", ladder_graph(deep_vertices), deep_vertices,
+                       2 * deep_vertices - 3});
+
+  json::Array workloads_json;
+  double headline_bsp = 0, headline_async = 0;
+  int headline_shards = 0;
+
+  print_header("scale-out: sharded BFS, BSP vs async (cluster analogue of "
+               "[7])");
+  for (const Workload& w : workloads) {
+    std::printf("\n-- %s: %lld vertices, %lld edges --\n", w.name,
+                static_cast<long long>(w.vertices),
+                static_cast<long long>(w.edges));
+    std::printf("%-8s %-6s %11s %12s %14s %14s %10s\n", "shards", "mode",
+                "time", "supersteps", "messages", "local tuples", "reached");
+    json::Array rows;
+    for (const int shards : {1, 2, 4, 8}) {
+      const ModeResult bsp = run_mode(w.graph, shards, ShardedMode::Bsp, reps);
+      const ModeResult async_r =
+          run_mode(w.graph, shards, ShardedMode::Async, reps);
+      print_rows(shards, bsp, async_r);
+      rows.push_back(row_json(shards, "bsp", bsp));
+      rows.push_back(row_json(shards, "async", async_r));
+      if (std::string(w.name) == "deep" && shards == 8) {
+        headline_bsp = bsp.seconds;
+        headline_async = async_r.seconds;
+        headline_shards = shards;
+      }
+    }
+    workloads_json.push_back(json::Object{
+        {"name", w.name},
+        {"vertices", w.vertices},
+        {"edges", w.edges},
+        {"rows", std::move(rows)},
+    });
+  }
+
+  const double headline_speedup =
+      headline_async > 0 ? headline_bsp / headline_async : 0.0;
+  std::printf("\nheadline: deep workload, %d shards: async %.2fx over BSP\n",
+              headline_shards, headline_speedup);
+
+  const json::Value doc = json::Object{
+      {"bench", "dist_sharded"},
+      {"workloads", std::move(workloads_json)},
+      {"headline",
+       json::Object{
+           {"workload", "deep"},
+           {"shards", headline_shards},
+           {"bsp_seconds", headline_bsp},
+           {"async_seconds", headline_async},
+           {"async_speedup_over_bsp", headline_speedup},
+       }},
+  };
+  std::FILE* f = std::fopen("BENCH_dist_sharded.json", "w");
+  if (f != nullptr) {
+    const std::string text = json::write(doc);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote BENCH_dist_sharded.json\n");
+  } else {
+    std::printf("could not write BENCH_dist_sharded.json\n");
   }
   return 0;
 }

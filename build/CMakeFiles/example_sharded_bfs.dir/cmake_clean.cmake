@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sharded_bfs.dir/examples/sharded_bfs.cpp.o"
+  "CMakeFiles/example_sharded_bfs.dir/examples/sharded_bfs.cpp.o.d"
+  "example_sharded_bfs"
+  "example_sharded_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sharded_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -321,4 +321,4 @@ CMakeFiles/test_dist.dir/tests/test_dist.cpp.o: \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/sched/work_stealing_deque.h /root/repo/src/util/timer.h \
- /usr/include/c++/12/chrono
+ /usr/include/c++/12/chrono /root/repo/src/dist/mailbox.h

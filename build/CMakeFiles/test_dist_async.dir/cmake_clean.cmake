@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_async.dir/tests/test_dist_async.cpp.o"
+  "CMakeFiles/test_dist_async.dir/tests/test_dist_async.cpp.o.d"
+  "test_dist_async"
+  "test_dist_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

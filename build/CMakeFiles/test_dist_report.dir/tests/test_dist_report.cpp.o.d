@@ -293,7 +293,10 @@ CMakeFiles/test_dist_report.dir/tests/test_dist_report.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/dist/sharded.h /usr/include/c++/12/mutex \
+ /root/repo/src/dist/sharded.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/thread \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
@@ -306,9 +309,6 @@ CMakeFiles/test_dist_report.dir/tests/test_dist_report.cpp.o: \
  /root/repo/src/concurrent/skip_list_map.h /root/repo/src/util/check.h \
  /root/repo/src/util/rng.h /root/repo/src/core/batch.h \
  /root/repo/src/core/key.h /root/repo/src/util/small_vec.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/cstring /root/repo/src/core/striped_delta_tree.h \
  /root/repo/src/util/cache_pad.h /root/repo/src/core/orderby.h \
  /root/repo/src/core/table.h /usr/include/c++/12/unordered_set \
@@ -321,4 +321,4 @@ CMakeFiles/test_dist_report.dir/tests/test_dist_report.cpp.o: \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/sched/work_stealing_deque.h /root/repo/src/util/timer.h \
- /usr/include/c++/12/chrono
+ /usr/include/c++/12/chrono /root/repo/src/dist/mailbox.h

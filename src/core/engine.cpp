@@ -8,6 +8,12 @@ Engine::Engine(EngineOptions opts) : opts_(std::move(opts)) {
   JSTAR_CHECK_MSG(opts_.threads >= 1, "threads must be >= 1");
 }
 
+Engine::Engine(EngineOptions opts, sched::ForkJoinPool* shared_pool)
+    : opts_(std::move(opts)),
+      external_pool_(opts_.sequential ? nullptr : shared_pool) {
+  JSTAR_CHECK_MSG(opts_.threads >= 1, "threads must be >= 1");
+}
+
 Engine::~Engine() = default;
 
 void Engine::prepare() {
@@ -21,12 +27,14 @@ void Engine::prepare() {
     } else {
       delta_ = std::make_unique<SkipDeltaTree>();
     }
-    pool_ = std::make_unique<sched::ForkJoinPool>(opts_.threads);
+    if (external_pool_ == nullptr) {
+      pool_ = std::make_unique<sched::ForkJoinPool>(opts_.threads);
+    }
   }
   edges_.resize(tables_.size());
   TableBase::RuntimeEnv env;
   env.delta = delta_.get();
-  env.pool = pool_.get();
+  env.pool = pool();
   env.edges = &edges_;
   env.orders = &orders_;
   env.causality_checks = opts_.causality_checks;

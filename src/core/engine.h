@@ -73,6 +73,13 @@ struct RunReport {
 class Engine {
  public:
   explicit Engine(EngineOptions opts = {});
+
+  /// Constructs an engine that runs its parallel strategy on `shared_pool`
+  /// instead of a private pool (non-owning; must outlive the engine).  This
+  /// is how N sharded engines share one fork/join pool, so the machine's
+  /// thread count no longer multiplies by the shard count.  Ignored in
+  /// sequential mode; `opts.threads` is likewise ignored when set.
+  Engine(EngineOptions opts, sched::ForkJoinPool* shared_pool);
   ~Engine();
 
   Engine(const Engine&) = delete;
@@ -128,7 +135,9 @@ class Engine {
   OrderResolver& orders() { return orders_; }
   const EdgeMatrix& edges() const { return edges_; }
   DeltaTree& delta() { return *delta_; }
-  sched::ForkJoinPool* pool() { return pool_.get(); }
+  sched::ForkJoinPool* pool() {
+    return external_pool_ != nullptr ? external_pool_ : pool_.get();
+  }
 
   std::vector<TableBase*> all_tables() const {
     std::vector<TableBase*> out;
@@ -149,7 +158,8 @@ class Engine {
   EdgeMatrix edges_;
   std::vector<std::unique_ptr<TableBase>> tables_;
   std::unique_ptr<DeltaTree> delta_;
-  std::unique_ptr<sched::ForkJoinPool> pool_;
+  std::unique_ptr<sched::ForkJoinPool> pool_;        // owned (private) pool
+  sched::ForkJoinPool* external_pool_ = nullptr;     // shared pool, not owned
   bool prepared_ = false;
 };
 

@@ -31,6 +31,8 @@ struct Slice {
   std::string to_string() const { return std::string(data, len); }
 
   /// Parses a decimal integer (optional leading '-'); no allocation.
+  /// Accumulates in negative space: |INT64_MIN| > INT64_MAX, so the
+  /// positive accumulator would overflow on INT64_MIN's digits.
   std::int64_t to_int64() const {
     std::int64_t v = 0;
     std::size_t i = 0;
@@ -42,9 +44,9 @@ struct Slice {
     for (; i < len; ++i) {
       const char c = data[i];
       if (c < '0' || c > '9') break;
-      v = v * 10 + (c - '0');
+      v = v * 10 - (c - '0');
     }
-    return neg ? -v : v;
+    return neg ? v : -v;
   }
 
   bool operator==(const char* s) const {

@@ -1,0 +1,152 @@
+// Double-buffered shard mailbox — the delivery half of the sharded
+// engine's fabric (src/dist/sharded.h).
+//
+// A Mailbox<T> is the *inbound* box of one shard.  Any number of producers
+// push concurrently; exactly one consumer (the owning shard) drains.  The
+// box keeps two set buffers and an index that says which one is the write
+// side: push() inserts into the write buffer under a short mutex section,
+// drain() flips the index under the same mutex — an O(1) swap — and then
+// moves the full buffer out *after* releasing the lock.  Producers
+// therefore never wait behind a consumer iterating thousands of tuples;
+// they only contend on individual set inserts into the other buffer.  This
+// is the "lock-free-ish" double buffering the async executor leans on: the
+// critical section is a pointer flip, not a drain.
+//
+// Epochs: every drain() is one epoch (counted in drains()).  Dedup is per
+// destination per epoch — a tuple pushed twice into the same write buffer
+// is delivered once; pushed again after the buffer swapped, it is a new
+// delivery (set semantics at the receiving engine makes the redelivery a
+// no-op, so cross-epoch duplicates are harmless, only counted).
+//
+// Termination support: an optional pending counter can be attached.  While
+// attached, every *fresh* push increments it under the mailbox mutex —
+// which means the increment is visible before any drain() can hand the
+// tuple to the consumer, so the async termination detector's credit
+// arithmetic (decrement after processing) can never observe a transient
+// zero while work is still in flight.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <utility>
+
+namespace jstar::dist {
+
+template <typename T>
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Inserts `t` into the current write buffer.  Returns true when the
+  /// tuple is fresh in this epoch (not a duplicate of an undrained tuple).
+  /// Wakes a consumer blocked in wait().  Thread-safe.
+  bool push(const T& t) {
+    bool fresh;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      fresh = bufs_[write_].insert(t).second;
+      if (fresh && pending_ != nullptr) {
+        pending_->fetch_add(1, std::memory_order_acq_rel);
+      }
+      if (fresh) nonempty_.store(true, std::memory_order_release);
+    }
+    if (fresh) cv_.notify_one();
+    return fresh;
+  }
+
+  /// Bulk push; returns how many tuples were fresh this epoch.
+  template <typename It>
+  std::int64_t push_all(It first, It last) {
+    std::int64_t fresh = 0;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (It it = first; it != last; ++it) {
+        if (bufs_[write_].insert(*it).second) {
+          ++fresh;
+          if (pending_ != nullptr) {
+            pending_->fetch_add(1, std::memory_order_acq_rel);
+          }
+        }
+      }
+      if (fresh > 0) nonempty_.store(true, std::memory_order_release);
+    }
+    if (fresh > 0) cv_.notify_one();
+    return fresh;
+  }
+
+  /// Swap-on-drain: flips the write side under the lock (O(1)), then moves
+  /// the filled buffer out after unlocking so producers are not blocked
+  /// while the consumer takes ownership.  Single consumer only — the
+  /// returned buffer aliases the non-write side until the *next* drain.
+  /// Counts one epoch even when empty (the consumer polled).
+  std::set<T> drain() {
+    int full;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      full = write_;
+      write_ ^= 1;
+      nonempty_.store(false, std::memory_order_release);
+      drains_.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::set<T> out = std::move(bufs_[static_cast<std::size_t>(full)]);
+    bufs_[static_cast<std::size_t>(full)].clear();
+    return out;
+  }
+
+  /// True when the write buffer has undrained mail.  Lock-free hint for
+  /// polling loops; the authoritative empty check is drain().empty().
+  bool has_mail() const { return nonempty_.load(std::memory_order_acquire); }
+
+  /// Blocks until mail arrives or `stop()` returns true.  `stop` is
+  /// evaluated under the mailbox mutex, so a producer that sets its flag
+  /// and then calls poke() cannot race a lost wakeup.
+  template <typename Stop>
+  void wait(Stop&& stop) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] {
+      return nonempty_.load(std::memory_order_acquire) || stop();
+    });
+  }
+
+  /// Wakes every waiter so it re-evaluates its stop predicate (used for
+  /// termination / abort broadcast).
+  void poke() {
+    std::lock_guard<std::mutex> lk(mu_);
+    cv_.notify_all();
+  }
+
+  /// Number of drain() epochs so far.
+  std::int64_t drains() const {
+    return drains_.load(std::memory_order_relaxed);
+  }
+
+  /// Undrained tuple count (takes the lock; for setup-time accounting).
+  std::int64_t pending_size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return static_cast<std::int64_t>(bufs_[write_].size());
+  }
+
+  /// Attaches (or detaches, with nullptr) the shared in-flight counter.
+  /// Must be called while no producer is pushing — the async executor does
+  /// so before spawning shard threads and after joining them.
+  void set_pending_counter(std::atomic<std::int64_t>* counter) {
+    std::lock_guard<std::mutex> lk(mu_);
+    pending_ = counter;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::set<T> bufs_[2];
+  int write_ = 0;
+  std::atomic<bool> nonempty_{false};
+  std::atomic<std::int64_t> drains_{0};
+  std::atomic<std::int64_t>* pending_ = nullptr;
+};
+
+}  // namespace jstar::dist

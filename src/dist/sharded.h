@@ -4,26 +4,72 @@
 // "the same Starlog program can be compiled for a single processor, a
 // multicore, or a cluster" (the cluster exploration it cites as [7]).  This
 // header is the cluster substrate in single-process form: N shards, each
-// owning a private Engine (its own Delta tree, Gamma stores and thread
-// pool), exchanging tuples through mailboxes in bulk-synchronous-parallel
-// supersteps.
+// owning a private Engine (its own Delta tree and Gamma stores), exchanging
+// tuples through double-buffered mailboxes (src/dist/mailbox.h).  All
+// parallel shard engines share ONE fork/join pool, so the machine's thread
+// count no longer multiplies by the shard count.
 //
-// Execution model (BSP):
+// Two execution modes, selected by ShardedOptions::mode — same program,
+// same fixpoint, different schedule:
+//
+// BSP (the deterministic reference):
 //   1. deliver every shard's inbound mail as *initial* puts (Engine::put,
 //      the empty timestamp) — mail crosses superstep boundaries, so it can
 //      never violate a shard's local causality order,
 //   2. run every shard's engine to quiescence (threads in parallel mode,
 //      round-robin on the calling thread in sequential mode),
-//   3. barrier: collect the outboxes; if any mail was sent, goto 1.
+//   3. barrier: drain the outboxes into the mailboxes; if any mail moved,
+//      goto 1.
+//   Message counts are deduped per (sender, destination, superstep) and are
+//   a pure function of the program's derived tuple sets — fully
+//   deterministic, which is why BSP stays as the reference schedule the
+//   randomized differential tests compare against.
 //
-// Set semantics does the heavy lifting for exactness: mailboxes dedup per
-// (sender, destination, superstep), and a redelivered tuple that already
-// reached a shard's Gamma is a set-semantics duplicate there — it inserts
-// nothing and fires no rules.  Hence a sharded run computes exactly the
-// single-engine fixpoint, for any shard count (tests/test_dist.cpp sweeps
-// 1/2/3/8 shards against the sequential reference).
+// Async (the pipelined schedule):
+//   Every shard runs on its own long-lived worker thread in a loop:
+//   drain own mailbox → deliver as initial puts → run engine to
+//   quiescence → repeat.  There is no barrier: shard A fires rules against
+//   epoch-3 mail while shard B is still computing epoch 1.  Mail still only
+//   enters an engine *between* runs-to-quiescence, so the BSP causality
+//   argument carries over unchanged — which is why the async fixpoint is
+//   tuple-for-tuple identical (tests/test_dist_async.cpp pins this against
+//   the sequential and BSP references across hundreds of random programs).
+//
+//   Termination is detected by credit counting (Dijkstra–Scholten style):
+//   a shared `unprocessed` counter holds one credit per undrained mailbox
+//   tuple plus one initial token per shard.  A fresh mailbox push
+//   increments the counter *under the mailbox lock*, i.e. before the tuple
+//   is drainable; a shard decrements its drained credits only *after* its
+//   engine reached quiescence for that epoch — so every send a rule makes
+//   is counted before the credit that caused it is returned.  The counter
+//   therefore reaches zero exactly when every mailbox is empty and every
+//   shard is quiescent; the shard that returns the last credit broadcasts
+//   shutdown.  Per-shard drain epochs, busy/idle seconds and wait counts
+//   are reported in ShardedRunReport::shard_stats.
+//
+// Trade-offs (also see the "Sharded execution" section of README.md):
+//   * BSP: deterministic message accounting, superstep == wavefront depth,
+//     but every round pays a full barrier — shards idle behind the slowest
+//     peer, and deep (high-diameter) programs pay one barrier per level.
+//   * Async: no barrier, shards pipeline across epochs and message-heavy /
+//     deep programs speed up (bench_dist_sharded measures BSP vs async);
+//     message counts are deduped per (sender, destination, run) — still
+//     deterministic, but not comparable superstep-by-superstep with BSP.
+//   * Exceptions: if several shards throw, the lowest shard id's exception
+//     propagates in BSP (deterministic in both sequential and threaded
+//     supersteps); async aborts all shards and rethrows the lowest shard
+//     id among the exceptions that were actually raised before shutdown.
+//
+// Set semantics does the heavy lifting for exactness in both modes:
+// mailboxes dedup per (destination, epoch), senders dedup per destination
+// within their window, and a redelivered tuple that already reached a
+// shard's Gamma is a set-semantics duplicate there — it inserts nothing
+// and fires no rules.  Hence a sharded run computes exactly the
+// single-engine fixpoint, for any shard count and either schedule.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -36,6 +82,8 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "dist/mailbox.h"
+#include "sched/fork_join_pool.h"
 #include "util/timer.h"
 
 namespace jstar::dist {
@@ -54,23 +102,63 @@ inline int partition_of(std::int64_t key, int shards) {
   return static_cast<int>(z % static_cast<std::uint64_t>(shards));
 }
 
+/// Which schedule drives the shards.
+enum class ShardedMode {
+  Bsp,    ///< barrier-synchronised supersteps (deterministic reference)
+  Async,  ///< pipelined shard threads + credit-counting termination
+};
+
+/// Strategy knobs of the sharded substrate itself (the per-shard Engine
+/// keeps its own EngineOptions — strategy stays apart from the program at
+/// every layer).
+struct ShardedOptions {
+  ShardedMode mode = ShardedMode::Bsp;
+  /// Worker count of the single fork/join pool shared by all parallel
+  /// shard engines.  0 = EngineOptions::threads.  Ignored when the shard
+  /// engines are sequential.
+  int pool_threads = 0;
+};
+
+/// Per-shard execution counters of one run (both modes fill them).
+struct ShardStats {
+  std::int64_t drains = 0;          ///< non-empty mailbox drain epochs
+  std::int64_t drained_tuples = 0;  ///< tuples delivered from the mailbox
+  std::int64_t runs = 0;            ///< engine runs to quiescence
+  std::int64_t idle_waits = 0;      ///< async: times the shard slept for mail
+  double busy_seconds = 0.0;        ///< deliver + engine-run wall time
+  double idle_seconds = 0.0;        ///< async: wall time blocked for mail
+};
+
 /// Summary of one ShardedEngine::run().
 struct ShardedRunReport {
-  int supersteps = 0;            // BSP rounds executed (>= 1)
+  /// BSP: rounds executed (>= 1).  Async: the deepest per-shard epoch
+  /// count (>= 1) — the pipelined analogue of the wavefront depth.
+  int supersteps = 0;
+  /// Total non-empty drain epochs summed over shards.  In BSP this is the
+  /// number of (shard, superstep) pairs that actually had mail.
+  std::int64_t epochs = 0;
   std::int64_t messages = 0;     // cross-shard tuples, deduped per sender
   std::int64_t local_messages = 0;  // self-sends routed through the mailbox
   std::int64_t local_batches = 0;   // Delta batches summed over all shards
   std::int64_t local_tuples = 0;    // tuples taken out of Delta, all shards
   double seconds = 0.0;
+  std::vector<ShardStats> shard_stats;  // one entry per shard
 };
 
 template <typename T>
 class ShardedEngine;
 
 /// A shard's outbox: `send(dest, t)` enqueues `t` for delivery to shard
-/// `dest` at the start of the *next* superstep.  Thread-safe (rules fire
-/// from fork/join tasks in parallel mode) and set-semantics deduped per
-/// destination within a superstep, so message counts are deterministic.
+/// `dest`.  Thread-safe (rules fire from fork/join tasks in parallel mode)
+/// and set-semantics deduped per destination, so message counts are
+/// deterministic.  The dedup window is one superstep in BSP mode and the
+/// whole run in async mode (there are no supersteps to scope it to; the
+/// wider window can only suppress redundant redeliveries).
+///
+/// In BSP mode sends are buffered until the barrier; in async mode a fresh
+/// send is pushed into the destination's mailbox immediately, which is
+/// what lets the receiving shard start on it while the sender is still
+/// computing.
 template <typename T>
 class Sender {
  public:
@@ -80,6 +168,16 @@ class Sender {
                               " out of range [0, " +
                               std::to_string(out_.size()) + ")");
     }
+    if (async_) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!out_[static_cast<std::size_t>(dest)].insert(tuple).second) {
+          return;  // already sent this run
+        }
+      }
+      fabric_->async_send(self_, dest, tuple);
+      return;
+    }
     std::lock_guard<std::mutex> lk(mu_);
     out_[static_cast<std::size_t>(dest)].insert(tuple);
   }
@@ -87,11 +185,19 @@ class Sender {
  private:
   friend class ShardedEngine<T>;
 
-  explicit Sender(int shards)
-      : out_(static_cast<std::size_t>(shards)) {}
+  Sender(int self, int shards, bool async, ShardedEngine<T>* fabric)
+      : self_(self),
+        async_(async),
+        fabric_(fabric),
+        out_(static_cast<std::size_t>(shards)) {}
 
+  const int self_;
+  const bool async_;
+  ShardedEngine<T>* const fabric_;
   std::mutex mu_;
-  std::vector<std::set<T>> out_;  // per-destination, deduped
+  // BSP: per-destination outbox, drained at the barrier.
+  // Async: per-destination already-sent window for this run.
+  std::vector<std::set<T>> out_;
 };
 
 /// N private Engines plus the mailbox fabric between them.  The setup
@@ -106,27 +212,40 @@ class ShardedEngine {
   using Setup = std::function<Deliver(int shard, Engine&, Sender<T>&)>;
 
   ShardedEngine(int shards, const EngineOptions& opts, const Setup& setup)
-      : shards_(shards) {
+      : ShardedEngine(shards, opts, ShardedOptions{}, setup) {}
+
+  ShardedEngine(int shards, const EngineOptions& opts,
+                const ShardedOptions& sopts, const Setup& setup)
+      : shards_(shards), sopts_(sopts) {
     if (shards < 1) {
       throw std::logic_error("ShardedEngine: shard count must be >= 1, got " +
                              std::to_string(shards));
     }
+    if (!opts.sequential) {
+      const int pool_threads =
+          sopts_.pool_threads > 0 ? sopts_.pool_threads : opts.threads;
+      shared_pool_ = std::make_unique<sched::ForkJoinPool>(pool_threads);
+    }
+    const bool async = sopts_.mode == ShardedMode::Async;
     engines_.reserve(static_cast<std::size_t>(shards));
     senders_.reserve(static_cast<std::size_t>(shards));
     deliver_.reserve(static_cast<std::size_t>(shards));
-    seeds_.resize(static_cast<std::size_t>(shards));
+    mailboxes_.reserve(static_cast<std::size_t>(shards));
     for (int s = 0; s < shards; ++s) {
-      engines_.push_back(std::make_unique<Engine>(opts));
-      senders_.push_back(std::unique_ptr<Sender<T>>(new Sender<T>(shards)));
+      engines_.push_back(std::make_unique<Engine>(opts, shared_pool_.get()));
+      senders_.push_back(
+          std::unique_ptr<Sender<T>>(new Sender<T>(s, shards, async, this)));
+      mailboxes_.push_back(std::make_unique<Mailbox<T>>());
       deliver_.push_back(setup(s, *engines_.back(), *senders_.back()));
     }
   }
 
   int shards() const { return shards_; }
+  const ShardedOptions& sharded_options() const { return sopts_; }
   Engine& engine(int shard) { return *engines_.at(static_cast<std::size_t>(shard)); }
 
-  /// Stages a tuple for delivery to `shard` in the first superstep of the
-  /// next run().  Seeds dedup under set semantics like all mail, and do not
+  /// Stages a tuple for delivery to `shard` at the start of the next
+  /// run().  Seeds dedup under set semantics like all mail, and do not
   /// count as messages (they never crossed a shard boundary).
   void seed(int shard, const T& tuple) {
     if (shard < 0 || shard >= shards_) {
@@ -134,92 +253,108 @@ class ShardedEngine {
                               std::to_string(shard) + " out of range [0, " +
                               std::to_string(shards_) + ")");
     }
-    seeds_[static_cast<std::size_t>(shard)].insert(tuple);
+    mailboxes_[static_cast<std::size_t>(shard)]->push(tuple);
   }
 
-  /// Runs BSP supersteps until no shard has pending mail.  Always executes
-  /// at least one superstep, so tuples put directly during setup reach
-  /// their fixpoint even with no seeds.  May be called repeatedly: later
-  /// seeds + runs continue the same per-shard databases, mirroring
-  /// Engine::run()'s event-driven contract.
+  /// Runs the cluster to its fixpoint under the configured mode.  Always
+  /// executes at least one engine run per shard, so tuples put directly
+  /// during setup reach their fixpoint even with no seeds.  May be called
+  /// repeatedly: later seeds + runs continue the same per-shard databases,
+  /// mirroring Engine::run()'s event-driven contract.
   ShardedRunReport run() {
-    WallTimer timer;
-    ShardedRunReport report;
-    std::vector<std::set<T>> inbox(static_cast<std::size_t>(shards_));
-    inbox.swap(seeds_);
-    bool first = true;
-    while (first || !all_empty(inbox)) {
-      first = false;
-      ++report.supersteps;
-      superstep(inbox, report);
-      inbox = exchange(report);
-    }
-    report.seconds = timer.seconds();
-    return report;
+    return sopts_.mode == ShardedMode::Async ? run_async() : run_bsp();
   }
 
  private:
-  static bool all_empty(const std::vector<std::set<T>>& boxes) {
-    for (const auto& b : boxes) {
-      if (!b.empty()) return false;
-    }
-    return true;
-  }
+  friend class Sender<T>;
 
-  /// Delivers shard `s`'s inbox and runs its engine to quiescence.
-  void run_shard(std::size_t s, std::set<T>& in, ShardedRunReport* slot) {
+  // --- shared helpers ------------------------------------------------------
+
+  /// Delivers one drained epoch to shard `s` and runs its engine to
+  /// quiescence, accumulating into that shard's stats slot.
+  void run_shard_epoch(std::size_t s, const std::set<T>& mail,
+                       ShardStats& st) {
+    WallTimer busy;
+    if (!mail.empty()) {
+      ++st.drains;
+      st.drained_tuples += static_cast<std::int64_t>(mail.size());
+    }
+    ++st.runs;
     if (deliver_[s]) {
-      for (const T& t : in) deliver_[s](t);
+      for (const T& t : mail) deliver_[s](t);
     }
     const RunReport r = engines_[s]->run();
-    slot->local_batches += r.batches;
-    slot->local_tuples += r.tuples;
+    shard_batches_[s] += r.batches;
+    shard_tuples_[s] += r.tuples;
+    st.busy_seconds += busy.seconds();
   }
 
-  /// One BSP round: every shard delivers + runs.  Parallel mode puts each
-  /// shard on its own thread (their engines share nothing); sequential mode
-  /// visits shards round-robin on the calling thread.  Threads are spawned
-  /// per round: shard counts are small and each thread amortises a full
-  /// engine run to fixpoint, so spawn cost is noise next to the work — a
-  /// persistent shard pool is the upgrade path if profiles ever disagree.
-  /// Per-shard report slots avoid write contention; exceptions from shard
-  /// threads (e.g. a CausalityViolation inside a rule) are rethrown on the
-  /// caller.
-  void superstep(std::vector<std::set<T>>& inbox, ShardedRunReport& report) {
+  /// Rethrows the lowest-shard-id exception, if any.  Keeping propagation
+  /// keyed on the shard id (not on which thread lost the race) makes
+  /// multi-shard failures deterministic.
+  static void rethrow_lowest(std::vector<std::exception_ptr>& errors) {
+    for (auto& err : errors) {
+      if (err) std::rethrow_exception(err);
+    }
+  }
+
+  void finalize_report(ShardedRunReport& report) {
+    report.supersteps = std::max(report.supersteps, 1);
+    for (std::size_t s = 0; s < report.shard_stats.size(); ++s) {
+      report.epochs += report.shard_stats[s].drains;
+      report.local_batches += shard_batches_[s];
+      report.local_tuples += shard_tuples_[s];
+    }
+  }
+
+  // --- BSP mode ------------------------------------------------------------
+
+  /// One BSP round: every shard drains its mailbox, delivers and runs.
+  /// Parallel mode puts each shard on its own thread (their engines share
+  /// only the fork/join pool); sequential mode visits shards round-robin
+  /// on the calling thread.  Threads are spawned per round: shard counts
+  /// are small and each thread amortises a full engine run to fixpoint, so
+  /// spawn cost is noise next to the work (the async mode is the persistent
+  /// upgrade path).  Exceptions are collected per shard and the lowest
+  /// shard id's is rethrown — in sequential mode the remaining shards
+  /// still run their round first, so both paths fail identically.
+  void superstep(ShardedRunReport& report) {
     const auto n = static_cast<std::size_t>(shards_);
-    std::vector<ShardedRunReport> slots(n);
+    std::vector<std::exception_ptr> errors(n);
     if (engines_[0]->options().sequential || shards_ == 1) {
-      for (std::size_t s = 0; s < n; ++s) run_shard(s, inbox[s], &slots[s]);
+      for (std::size_t s = 0; s < n; ++s) {
+        try {
+          const std::set<T> mail = mailboxes_[s]->drain();
+          run_shard_epoch(s, mail, report.shard_stats[s]);
+        } catch (...) {
+          errors[s] = std::current_exception();
+        }
+      }
     } else {
       std::vector<std::thread> threads;
-      std::vector<std::exception_ptr> errors(n);
       threads.reserve(n);
       for (std::size_t s = 0; s < n; ++s) {
-        threads.emplace_back([this, s, &inbox, &slots, &errors] {
+        threads.emplace_back([this, s, &report, &errors] {
           try {
-            run_shard(s, inbox[s], &slots[s]);
+            const std::set<T> mail = mailboxes_[s]->drain();
+            run_shard_epoch(s, mail, report.shard_stats[s]);
           } catch (...) {
             errors[s] = std::current_exception();
           }
         });
       }
       for (auto& th : threads) th.join();
-      for (auto& err : errors) {
-        if (err) std::rethrow_exception(err);
-      }
     }
-    for (const auto& slot : slots) {
-      report.local_batches += slot.local_batches;
-      report.local_tuples += slot.local_tuples;
-    }
+    rethrow_lowest(errors);
   }
 
-  /// The barrier: drains every sender's outboxes into next-superstep
-  /// inboxes.  Counting happens per (sender, destination) before the
+  /// The barrier: drains every sender's outboxes into the destination
+  /// mailboxes.  Counting happens per (sender, destination) before the
   /// cross-sender merge, so `messages` is a pure function of the derived
-  /// tuple sets — deterministic across runs and strategies.
-  std::vector<std::set<T>> exchange(ShardedRunReport& report) {
-    std::vector<std::set<T>> inbox(static_cast<std::size_t>(shards_));
+  /// tuple sets — deterministic across runs and strategies.  Returns the
+  /// number of tuples moved (pre-merge), zero meaning quiescence.
+  std::int64_t exchange(ShardedRunReport& report) {
+    std::int64_t moved = 0;
     for (std::size_t s = 0; s < senders_.size(); ++s) {
       Sender<T>& sender = *senders_[s];
       std::lock_guard<std::mutex> lk(sender.mu_);
@@ -232,18 +367,161 @@ class ShardedEngine {
         } else {
           report.messages += count;
         }
-        inbox[d].merge(out);
+        moved += count;
+        mailboxes_[d]->push_all(out.begin(), out.end());
         out.clear();
       }
     }
-    return inbox;
+    return moved;
   }
 
-  int shards_;
+  ShardedRunReport run_bsp() {
+    WallTimer timer;
+    ShardedRunReport report;
+    report.shard_stats.resize(static_cast<std::size_t>(shards_));
+    reset_run_state();
+    bool first = true;
+    std::int64_t moved = 0;
+    while (first || moved > 0) {
+      first = false;
+      ++report.supersteps;
+      superstep(report);
+      moved = exchange(report);
+    }
+    finalize_report(report);
+    report.seconds = timer.seconds();
+    return report;
+  }
+
+  // --- async mode ----------------------------------------------------------
+
+  /// Called by Sender in async mode after the per-sender dedup window
+  /// admitted the tuple.  Pushes into the destination's mailbox (a fresh
+  /// push bumps the in-flight credit counter under the mailbox lock) and
+  /// accounts the message.
+  void async_send(int src, int dest, const T& tuple) {
+    mailboxes_[static_cast<std::size_t>(dest)]->push(tuple);
+    if (src == dest) {
+      async_local_messages_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      async_messages_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// The long-lived shard worker: drain → deliver → run-to-quiescence →
+  /// return credits, sleeping only when the mailbox is empty and the
+  /// initial token is spent.  The worker that returns the last credit
+  /// detects global quiescence and broadcasts shutdown.
+  void async_shard_loop(std::size_t s, ShardStats& st) {
+    Mailbox<T>& box = *mailboxes_[s];
+    bool token = true;  // covers the first run (setup-time puts)
+    while (!done_.load(std::memory_order_acquire) &&
+           !abort_.load(std::memory_order_acquire)) {
+      std::set<T> mail = box.drain();
+      if (mail.empty() && !token) {
+        ++st.idle_waits;
+        WallTimer idle;
+        box.wait([this] {
+          return done_.load(std::memory_order_acquire) ||
+                 abort_.load(std::memory_order_acquire);
+        });
+        st.idle_seconds += idle.seconds();
+        continue;
+      }
+      const std::int64_t credit =
+          static_cast<std::int64_t>(mail.size()) + (token ? 1 : 0);
+      token = false;
+      try {
+        run_shard_epoch(s, mail, st);
+      } catch (...) {
+        errors_[s] = std::current_exception();
+        abort_.store(true, std::memory_order_release);
+        for (auto& mb : mailboxes_) mb->poke();
+        return;
+      }
+      // Return the credits only now: every send this epoch's rules made
+      // has already incremented the counter, so hitting zero proves global
+      // quiescence (empty mailboxes + every shard idle).
+      if (unprocessed_.fetch_sub(credit, std::memory_order_acq_rel) ==
+          credit) {
+        done_.store(true, std::memory_order_release);
+        for (auto& mb : mailboxes_) mb->poke();
+      }
+    }
+  }
+
+  ShardedRunReport run_async() {
+    WallTimer timer;
+    ShardedRunReport report;
+    const auto n = static_cast<std::size_t>(shards_);
+    report.shard_stats.resize(n);
+    reset_run_state();
+    done_.store(false, std::memory_order_relaxed);
+    abort_.store(false, std::memory_order_relaxed);
+    errors_.assign(n, nullptr);
+    async_messages_.store(0, std::memory_order_relaxed);
+    async_local_messages_.store(0, std::memory_order_relaxed);
+    for (auto& sender : senders_) {
+      std::lock_guard<std::mutex> lk(sender->mu_);
+      for (auto& window : sender->out_) window.clear();
+    }
+    // Initial credits: one token per shard plus the mail (seeds or
+    // leftovers from a previous event-driven run) already staged.  The
+    // counter must be primed before it is attached, and attached before
+    // any worker can push.
+    std::int64_t credits = shards_;
+    for (auto& mb : mailboxes_) credits += mb->pending_size();
+    unprocessed_.store(credits, std::memory_order_release);
+    for (auto& mb : mailboxes_) mb->set_pending_counter(&unprocessed_);
+
+    std::vector<std::thread> workers;
+    workers.reserve(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      workers.emplace_back(
+          [this, s, &report] { async_shard_loop(s, report.shard_stats[s]); });
+    }
+    for (auto& th : workers) th.join();
+    for (auto& mb : mailboxes_) mb->set_pending_counter(nullptr);
+    rethrow_lowest(errors_);
+
+    report.messages = async_messages_.load(std::memory_order_relaxed);
+    report.local_messages =
+        async_local_messages_.load(std::memory_order_relaxed);
+    for (const ShardStats& st : report.shard_stats) {
+      report.supersteps =
+          std::max(report.supersteps, static_cast<int>(st.drains));
+    }
+    finalize_report(report);
+    report.seconds = timer.seconds();
+    return report;
+  }
+
+  /// Zeroes the per-run accumulation slots shared by both modes.
+  void reset_run_state() {
+    shard_batches_.assign(static_cast<std::size_t>(shards_), 0);
+    shard_tuples_.assign(static_cast<std::size_t>(shards_), 0);
+  }
+
+  const int shards_;
+  const ShardedOptions sopts_;
+  std::unique_ptr<sched::ForkJoinPool> shared_pool_;  // null when sequential
   std::vector<std::unique_ptr<Engine>> engines_;
   std::vector<std::unique_ptr<Sender<T>>> senders_;
+  std::vector<std::unique_ptr<Mailbox<T>>> mailboxes_;
   std::vector<Deliver> deliver_;
-  std::vector<std::set<T>> seeds_;
+
+  // Per-run accumulation (indexed by shard; each slot written by at most
+  // one thread during a run, folded into the report afterwards).
+  std::vector<std::int64_t> shard_batches_;
+  std::vector<std::int64_t> shard_tuples_;
+
+  // Async-run state.
+  std::atomic<std::int64_t> unprocessed_{0};
+  std::atomic<bool> done_{false};
+  std::atomic<bool> abort_{false};
+  std::atomic<std::int64_t> async_messages_{0};
+  std::atomic<std::int64_t> async_local_messages_{0};
+  std::vector<std::exception_ptr> errors_;
 };
 
 }  // namespace jstar::dist

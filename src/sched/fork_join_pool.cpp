@@ -28,7 +28,14 @@ ForkJoinPool::ForkJoinPool(int threads) {
 }
 
 ForkJoinPool::~ForkJoinPool() {
-  wait_idle();
+  // Not wait_idle(): a parked fire-and-forget exception must not throw
+  // out of a destructor.  It dies with the pool, like a detached thread's.
+  {
+    std::unique_lock<std::mutex> lk(idle_mu_);
+    idle_cv_.wait(lk, [&] {
+      return inflight_.load(std::memory_order_acquire) == 0;
+    });
+  }
   stop_.store(true, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lk(sleep_mu_);
@@ -55,7 +62,13 @@ void ForkJoinPool::run_task(detail::Task* t) {
   try {
     t->fn();
   } catch (...) {
-    record_exception(std::current_exception());
+    // Batch tasks park the exception in their own latch; fire-and-forget
+    // tasks fall back to the pool-level slot (nothing joins them).
+    if (latch) {
+      latch->record_exception(std::current_exception());
+    } else {
+      record_exception(std::current_exception());
+    }
   }
   delete t;
   if (latch) latch->count_down();
@@ -171,13 +184,9 @@ void ForkJoinPool::invoke_all(std::vector<std::function<void()>> tasks) {
     // current_pool(), which is only set on worker threads.
     latch->wait();
   }
-  std::exception_ptr ep;
-  {
-    std::lock_guard<std::mutex> lk(exception_mu_);
-    ep = first_exception_;
-    first_exception_ = nullptr;
+  if (std::exception_ptr ep = latch->take_exception()) {
+    std::rethrow_exception(ep);
   }
-  if (ep) std::rethrow_exception(ep);
 }
 
 void ForkJoinPool::for_each_index(std::int64_t n,
@@ -215,10 +224,21 @@ void ForkJoinPool::submit(std::function<void()> fn) {
 }
 
 void ForkJoinPool::wait_idle() {
-  std::unique_lock<std::mutex> lk(idle_mu_);
-  idle_cv_.wait(lk, [&] {
-    return inflight_.load(std::memory_order_acquire) == 0;
-  });
+  {
+    std::unique_lock<std::mutex> lk(idle_mu_);
+    idle_cv_.wait(lk, [&] {
+      return inflight_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  // Surface the first exception a fire-and-forget task threw since the
+  // last wait (batch tasks rethrow at their own join in invoke_all).
+  std::exception_ptr ep;
+  {
+    std::lock_guard<std::mutex> lk(exception_mu_);
+    ep = first_exception_;
+    first_exception_ = nullptr;
+  }
+  if (ep) std::rethrow_exception(ep);
 }
 
 }  // namespace jstar::sched

@@ -33,7 +33,10 @@ class ForkJoinPool;
 namespace detail {
 
 /// Counts down as tasks of one batch complete; external waiters block on
-/// the condition variable, worker waiters help-execute instead.
+/// the condition variable, worker waiters help-execute instead.  The latch
+/// also owns the batch's first exception: capture is per-batch, not
+/// per-pool, so concurrent invoke_all batches (several shard engines
+/// sharing one pool) can never observe each other's failures.
 class BatchLatch {
  public:
   explicit BatchLatch(std::int64_t count) : remaining_(count) {}
@@ -53,10 +56,24 @@ class BatchLatch {
     cv_.wait(lk, [&] { return done(); });
   }
 
+  void record_exception(std::exception_ptr ep) {
+    std::lock_guard<std::mutex> lk(ex_mu_);
+    if (!exception_) exception_ = ep;
+  }
+
+  std::exception_ptr take_exception() {
+    std::lock_guard<std::mutex> lk(ex_mu_);
+    std::exception_ptr ep = exception_;
+    exception_ = nullptr;
+    return ep;
+  }
+
  private:
   std::atomic<std::int64_t> remaining_;
   std::mutex mu_;
   std::condition_variable cv_;
+  std::mutex ex_mu_;
+  std::exception_ptr exception_;
 };
 
 struct Task {
@@ -79,8 +96,9 @@ class ForkJoinPool {
   int size() const { return static_cast<int>(workers_.size()); }
 
   /// Runs all closures, potentially in parallel, and blocks until every one
-  /// has finished.  Exceptions from tasks are captured and the first one is
-  /// rethrown to the caller after the join.
+  /// has finished.  Exceptions from tasks are captured in the batch's own
+  /// latch and the first one is rethrown to the caller after the join —
+  /// concurrent batches on the same pool keep their failures separate.
   void invoke_all(std::vector<std::function<void()>> tasks);
 
   /// Runs fn(i) for every i in [0, n).  `grain` controls the dynamic chunk
@@ -91,7 +109,9 @@ class ForkJoinPool {
   /// Fire-and-forget.  The task runs on some worker eventually.
   void submit(std::function<void()> fn);
 
-  /// Blocks until every submitted/forked task has completed.
+  /// Blocks until every submitted/forked task has completed, then
+  /// rethrows the first exception a fire-and-forget submit() task threw
+  /// since the last wait (invoke_all batches rethrow at their own join).
   void wait_idle();
 
   /// The pool the calling thread is a worker of, or nullptr.

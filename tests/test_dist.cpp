@@ -59,10 +59,13 @@ std::set<std::int64_t> reference_reachable(const Graph& g,
 }
 
 std::set<std::int64_t> sharded_reachable(const Graph& g, std::int64_t start,
-                                         int shards, bool sequential) {
+                                         int shards, bool sequential,
+                                         ShardedMode mode = ShardedMode::Bsp) {
   EngineOptions opts;
   opts.sequential = sequential;
   opts.threads = 2;
+  ShardedOptions sopts;
+  sopts.mode = mode;
 
   struct ShardState {
     Table<Visit>* visits = nullptr;
@@ -71,7 +74,7 @@ std::set<std::int64_t> sharded_reachable(const Graph& g, std::int64_t start,
       static_cast<std::size_t>(shards));
 
   ShardedEngine<Visit> cluster(
-      shards, opts,
+      shards, opts, sopts,
       [&g, states, shards](int shard, Engine& eng, Sender<Visit>& sender) {
         auto& visits = eng.table(TableDecl<Visit>("Visit")
                                      .orderby_lit("V")
@@ -112,31 +115,39 @@ std::set<std::int64_t> sharded_reachable(const Graph& g, std::int64_t start,
 }
 
 class ShardedBfs
-    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+    : public ::testing::TestWithParam<std::tuple<int, bool, ShardedMode>> {};
 
 TEST_P(ShardedBfs, MatchesSingleEngineReference) {
   const int shards = std::get<0>(GetParam());
   const bool sequential = std::get<1>(GetParam());
+  const ShardedMode mode = std::get<2>(GetParam());
   const Graph g = random_graph(400, 900, 7);
   const auto expect = reference_reachable(g, 0);
-  const auto got = sharded_reachable(g, 0, shards, sequential);
+  const auto got = sharded_reachable(g, 0, shards, sequential, mode);
   EXPECT_EQ(got, expect);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, ShardedBfs,
     ::testing::Combine(::testing::Values(1, 2, 3, 8),
-                       ::testing::Values(true, false)),
+                       ::testing::Values(true, false),
+                       ::testing::Values(ShardedMode::Bsp,
+                                         ShardedMode::Async)),
     [](const auto& info) {
       return "shards" + std::to_string(std::get<0>(info.param)) +
-             (std::get<1>(info.param) ? "_seq" : "_par");
+             (std::get<1>(info.param) ? "_seq" : "_par") +
+             (std::get<2>(info.param) == ShardedMode::Bsp ? "_bsp"
+                                                          : "_async");
     });
 
 TEST(ShardedBfsMisc, RepeatedRunsAreDeterministic) {
   const Graph g = random_graph(300, 700, 21);
-  const auto first = sharded_reachable(g, 0, 4, false);
-  for (int i = 0; i < 3; ++i) {
-    EXPECT_EQ(sharded_reachable(g, 0, 4, false), first) << "run " << i;
+  for (const ShardedMode mode : {ShardedMode::Bsp, ShardedMode::Async}) {
+    const auto first = sharded_reachable(g, 0, 4, false, mode);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(sharded_reachable(g, 0, 4, false, mode), first)
+          << "run " << i;
+    }
   }
 }
 

@@ -142,6 +142,44 @@ TEST(ForkJoinPool, SubmitAndWaitIdle) {
   EXPECT_EQ(done.load(), 50);
 }
 
+TEST(ForkJoinPool, SubmitExceptionRethrownAtWaitIdle) {
+  ForkJoinPool pool(2);
+  pool.submit([] { throw std::runtime_error("fire-and-forget boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The slot is cleared by the rethrow, and later batches are unaffected.
+  pool.wait_idle();
+  std::vector<std::function<void()>> tasks;
+  std::atomic<int> ran{0};
+  tasks.push_back([&] { ran.fetch_add(1); });
+  pool.invoke_all(std::move(tasks));
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ForkJoinPool, ConcurrentBatchesKeepExceptionsSeparate) {
+  // Two threads run invoke_all batches on the SAME pool (as sharded
+  // engines sharing one pool do): the batch that throws must be the one
+  // that rethrows, never its neighbour.
+  ForkJoinPool pool(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::atomic<bool> clean_ok{false};
+    std::thread thrower([&pool] {
+      std::vector<std::function<void()>> tasks;
+      tasks.push_back([] { throw std::runtime_error("batch boom"); });
+      EXPECT_THROW(pool.invoke_all(std::move(tasks)), std::runtime_error);
+    });
+    std::thread clean([&pool, &clean_ok] {
+      std::vector<std::function<void()>> tasks;
+      std::atomic<int> n{0};
+      for (int i = 0; i < 8; ++i) tasks.push_back([&n] { n.fetch_add(1); });
+      pool.invoke_all(std::move(tasks));
+      clean_ok.store(n.load() == 8);
+    });
+    thrower.join();
+    clean.join();
+    EXPECT_TRUE(clean_ok.load()) << "trial " << trial;
+  }
+}
+
 TEST(ForkJoinPool, CurrentPoolVisibleFromWorkers) {
   ForkJoinPool pool(2);
   std::atomic<int> ok{0};
