@@ -1,0 +1,190 @@
+// Streaming ingestion throughput: sustained tuples/sec of the epoch loop
+// (src/stream/streaming.h) as a function of epoch size x producer threads
+// x shard count — the knobs a deployment actually turns.  Small epochs
+// buy latency and fine retain(N) windows but pay the per-epoch fixpoint
+// overhead every few tuples; large epochs amortise it.  Results go to
+// stdout and BENCH_streaming.json (working directory) so the perf
+// trajectory is machine-readable from this PR onward.
+//
+// Workload: a telemetry stream of (sensor, seq) readings.  Every reading
+// is hash-routed to its owner shard, derives one enriched tuple on the
+// *next* sensor's owner shard (cross-shard mail each epoch), and the
+// reading table runs under retain(2) so Gamma stays bounded however long
+// the stream runs — exactly the shape examples/streaming_telemetry.cpp
+// demonstrates.
+//
+// Usage: bench_streaming [events] [reps]
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "stream/streaming.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace jstar;
+using namespace jstar::bench;
+using namespace jstar::stream;
+
+struct Reading {
+  std::int64_t sensor, seq;
+  auto operator<=>(const Reading&) const = default;
+};
+
+struct Result {
+  double seconds = 0;
+  StreamReport report;
+};
+
+/// Builds a fresh sharded stream, publishes `events` readings from
+/// `producers` threads, drains, and reports end-to-end wall time.
+Result run_config(std::int64_t events, std::int64_t epoch_size, int producers,
+                  int shards) {
+  StreamOptions sopts;
+  sopts.ring_capacity = 8192;
+  sopts.max_epoch_tuples = epoch_size;
+  EngineOptions eopts;
+  eopts.sequential = true;  // 2-core box: threads go to producers, not rules
+  dist::ShardedOptions dopts;
+  dopts.mode = dist::ShardedMode::Bsp;
+
+  using Stream = ShardedStreamingEngine<Reading>;
+  Stream stream(
+      sopts, shards, eopts, dopts,
+      [shards](int /*shard*/, Engine& eng, dist::Sender<Reading>& sender,
+               const Stream::Emit&) {
+        auto& readings = eng.table(
+            TableDecl<Reading>("Reading")
+                .orderby_lit("R")
+                .orderby_seq("seq", &Reading::seq)
+                .hash([](const Reading& r) {
+                  return hash_fields(r.sensor, r.seq);
+                })
+                .retain(2));
+        eng.rule(readings, "enrich",
+                 [&sender, shards](RuleCtx&, const Reading& r) {
+                   if (r.sensor >= 1000) return;  // enriched already
+                   sender.send(
+                       dist::partition_of(r.sensor + 1001, shards),
+                       Reading{r.sensor + 1000, r.seq});
+                 });
+        return [&readings, &eng](const Reading& r) {
+          eng.put(readings, r);
+        };
+      },
+      [shards](const Reading& r) {
+        return dist::partition_of(r.sensor, shards);
+      });
+
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(producers));
+  for (int t = 0; t < producers; ++t) {
+    threads.emplace_back([&stream, events, producers, t] {
+      for (std::int64_t i = t; i < events; i += producers) {
+        stream.publish(Reading{i % 64, i});
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  (void)stream.drain();
+  Result r;
+  r.seconds = timer.seconds();
+  r.report = stream.report();
+  stream.stop();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::int64_t events = arg_or(argc, argv, 1, 60000);
+  const int reps = static_cast<int>(arg_or(argc, argv, 2, 2));
+
+  print_header(
+      "streaming ingestion: sustained tuples/sec vs epoch size x producers "
+      "x shards");
+  std::printf("%-12s %-10s %-8s %11s %14s %10s %10s\n", "epoch_size",
+              "producers", "shards", "time", "tuples/sec", "epochs",
+              "messages");
+
+  json::Array rows;
+  double headline_rate = 0;
+  std::int64_t headline_epoch = 0;
+  int headline_shards = 0;
+  for (const std::int64_t epoch_size : {64, 512, 4096}) {
+    for (const int producers : {1, 4}) {
+      for (const int shards : {1, 8}) {
+        Result best;
+        best.seconds = 1e100;
+        const Timing t = measure(
+            [&] {
+              const Result r =
+                  run_config(events, epoch_size, producers, shards);
+              if (r.seconds < best.seconds) best = r;
+            },
+            reps, /*warmup=*/1);
+        (void)t;
+        const double rate =
+            best.seconds > 0
+                ? static_cast<double>(best.report.ingested) / best.seconds
+                : 0;
+        std::printf("%-12lld %-10d %-8d %9.3f s %14.0f %10lld %10lld\n",
+                    static_cast<long long>(epoch_size), producers, shards,
+                    best.seconds, rate,
+                    static_cast<long long>(best.report.epochs),
+                    static_cast<long long>(best.report.messages));
+        rows.push_back(json::Object{
+            {"epoch_size", epoch_size},
+            {"producers", producers},
+            {"shards", shards},
+            {"events", events},
+            {"seconds", best.seconds},
+            {"tuples_per_sec", rate},
+            {"epochs", best.report.epochs},
+            {"batches", best.report.batches},
+            {"tuples", best.report.tuples},
+            {"messages", best.report.messages},
+            {"max_epoch_ingested", best.report.max_epoch_ingested},
+        });
+        if (rate > headline_rate) {
+          headline_rate = rate;
+          headline_epoch = epoch_size;
+          headline_shards = shards;
+        }
+      }
+    }
+  }
+
+  std::printf(
+      "\nheadline: best sustained rate %.0f tuples/s at epoch size %lld, "
+      "%d shards\n",
+      headline_rate, static_cast<long long>(headline_epoch),
+      headline_shards);
+
+  const json::Value doc = json::Object{
+      {"bench", "streaming"},
+      {"events", events},
+      {"rows", std::move(rows)},
+      {"headline",
+       json::Object{
+           {"tuples_per_sec", headline_rate},
+           {"epoch_size", headline_epoch},
+           {"shards", headline_shards},
+       }},
+  };
+  std::FILE* f = std::fopen("BENCH_streaming.json", "w");
+  if (f != nullptr) {
+    const std::string text = json::write(doc);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote BENCH_streaming.json\n");
+  } else {
+    std::printf("could not write BENCH_streaming.json\n");
+  }
+  return 0;
+}

@@ -40,6 +40,7 @@ void Engine::prepare() {
   env.causality_checks = opts_.causality_checks;
   env.parallel = !opts_.sequential;
   env.task_per_rule = opts_.task_per_rule;
+  env.epoch = &epoch_;
   // configure() registers each table's orderby literals, so it must run
   // before the order relation is frozen into ranks.
   for (auto& t : tables_) {
@@ -81,6 +82,13 @@ bool Engine::step(RunReport* report) {
   RunReport scratch;
   process_batch(key, *node, report != nullptr ? *report : scratch);
   return true;
+}
+
+std::int64_t Engine::begin_epoch() {
+  prepare();
+  const std::int64_t e = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  for (auto& t : tables_) t->retire_epochs(e);
+  return e;
 }
 
 RunReport Engine::run() {

@@ -21,6 +21,7 @@
 // any strategy (§2 stage 3).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <set>
 #include <string>
@@ -126,6 +127,21 @@ class Engine {
   /// how event-driven input (§3) is expressed.
   RunReport run();
 
+  /// Opens the next streaming epoch: bumps the epoch counter and retires
+  /// Gamma tuples that fell out of any retain(N) window (Fig 3 step 4
+  /// generalised to wall-clock streams).  Gamma otherwise survives across
+  /// epochs — run() stays incremental — and the Delta set is empty between
+  /// epochs by construction (run() drains it).  Returns the new epoch.
+  /// Long-lived callers (src/stream/streaming.h) call this once per
+  /// ingestion slice; one-shot batch programs never need to.
+  std::int64_t begin_epoch();
+
+  /// The current epoch: 0 until the first begin_epoch().  Rules observe it
+  /// through RuleCtx::epoch().
+  std::int64_t epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
   /// Processes exactly one Delta batch (the minimal equivalence class).
   /// Returns false when the Delta set is empty.  Useful for debuggers and
   /// for visualising execution frontiers batch by batch.
@@ -161,6 +177,7 @@ class Engine {
   std::unique_ptr<sched::ForkJoinPool> pool_;        // owned (private) pool
   sched::ForkJoinPool* external_pool_ = nullptr;     // shared pool, not owned
   bool prepared_ = false;
+  std::atomic<std::int64_t> epoch_{0};               // streaming epoch clock
 };
 
 }  // namespace jstar

@@ -15,6 +15,7 @@ struct TableStats {
   std::atomic<std::int64_t> delta_dups{0};     // discarded as batch duplicates
   std::atomic<std::int64_t> gamma_inserts{0};  // stored into Gamma
   std::atomic<std::int64_t> gamma_dups{0};     // set-semantics duplicates
+  std::atomic<std::int64_t> gamma_retired{0};  // retired by retain(N) GC
   std::atomic<std::int64_t> fires{0};          // rule invocations triggered
   std::atomic<std::int64_t> queries{0};        // query operations served
   std::atomic<std::int64_t> pk_conflicts{0};   // primary-key invariant hits
@@ -27,6 +28,7 @@ struct TableStats {
     delta_dups = 0;
     gamma_inserts = 0;
     gamma_dups = 0;
+    gamma_retired = 0;
     fires = 0;
     queries = 0;
     pk_conflicts = 0;

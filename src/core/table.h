@@ -18,6 +18,7 @@
 // dynamically against the law of causality (§4).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -78,8 +79,10 @@ class EdgeMatrix {
 /// causality timestamp of the trigger tuple's batch.
 class RuleCtx {
  public:
-  RuleCtx(DeltaKey now, int from_table, EdgeMatrix* edges)
-      : now_(std::move(now)), from_table_(from_table), edges_(edges) {}
+  RuleCtx(DeltaKey now, int from_table, EdgeMatrix* edges,
+          std::int64_t epoch = 0)
+      : now_(std::move(now)), from_table_(from_table), edges_(edges),
+        epoch_(epoch) {}
 
   /// The causality timestamp the rule is executing at.
   const DeltaKey& now() const { return now_; }
@@ -87,11 +90,17 @@ class RuleCtx {
   EdgeMatrix* edges() const { return edges_; }
   /// True for initial puts performed before the engine starts running.
   bool initial() const { return now_.empty(); }
+  /// The streaming epoch this rule fires in (Engine::begin_epoch clock);
+  /// 0 for one-shot batch runs.  Causality timestamps stay per-epoch local:
+  /// mail and stream ingestion enter as initial puts between runs, so an
+  /// epoch's keys never compare against a previous epoch's.
+  std::int64_t epoch() const { return epoch_; }
 
  private:
   DeltaKey now_;
   int from_table_;
   EdgeMatrix* edges_;
+  std::int64_t epoch_;
 };
 
 // ---------------------------------------------------------------------------
@@ -174,6 +183,21 @@ class TableDecl {
     return *this;
   }
 
+  /// Streaming lifetime hint — `retain(N)`: tuples live for the N most
+  /// recent *engine* epochs (the Engine::begin_epoch clock that
+  /// src/stream/streaming.h advances once per ingestion slice) and are
+  /// retired at the next epoch boundary after they fall out of the window.
+  /// The middle ground between full Gamma (retain everything forever —
+  /// unbounded under an infinite stream) and -noGamma (retain nothing):
+  /// rules may still join against the recent past, but the heap stays
+  /// proportional to the window.  Unlike retain_epochs, tuples need no
+  /// epoch field; arrival time is the epoch.  Tables with a primary key
+  /// keep their pk index forever — combine with care.
+  TableDecl& retain(std::int64_t keep) {
+    retain_engine_keep_ = keep;
+    return *this;
+  }
+
   /// External side effect executed once per tuple when it leaves the Delta
   /// set (the kosher way to print, §6.2 footnote 8).
   TableDecl& effect(std::function<void(const T&)> e) {
@@ -203,6 +227,7 @@ class TableDecl {
   std::function<void(const T&)> effect_;
   std::function<std::int64_t(const T&)> retain_epoch_of_;  // lifetime hint
   std::int64_t retain_keep_ = 0;                           // 0 = retain all
+  std::int64_t retain_engine_keep_ = 0;  // retain(N): engine-epoch window
 };
 
 // ---------------------------------------------------------------------------
@@ -235,6 +260,9 @@ class TableBase {
     bool causality_checks = true;
     bool parallel = false;
     bool task_per_rule = false;  // §5.2 one task per (tuple, rule)
+    /// The owning engine's epoch clock (streaming); null in unit-test
+    /// harnesses that configure tables without an engine.
+    const std::atomic<std::int64_t>* epoch = nullptr;
   };
 
   /// Called by Engine::prepare(): resolves literals, builds the store.
@@ -251,6 +279,12 @@ class TableBase {
   virtual void batch_fire_phase(BatchVecBase& slice,
                                 const std::vector<std::uint8_t>& keep,
                                 const DeltaKey& key) = 0;
+
+  /// Epoch-boundary GC hook, called by Engine::begin_epoch with the epoch
+  /// just opened.  Tables without a retain(N) hint ignore it.
+  virtual void retire_epochs(std::int64_t current_epoch) {
+    (void)current_epoch;
+  }
 
  protected:
   friend class Engine;
@@ -426,10 +460,12 @@ class Table final : public TableBase {
       for (const auto& idx : indexes_) {
         if (idx->tag == b.field_tag) {
           stats_.index_lookups.fetch_add(1, std::memory_order_relaxed);
-          // Indexes never forget, but a retention hint (retain_epochs)
-          // retires tuples from the store; re-validate hits against the
-          // store so index and scan paths stay observationally identical.
-          const bool check_live = decl_.retain_keep_ >= 1;
+          // Indexes never forget, but a retention hint (retain_epochs or
+          // retain) retires tuples from the store; re-validate hits against
+          // the store so index and scan paths stay observationally
+          // identical.
+          const bool check_live =
+              decl_.retain_keep_ >= 1 || decl_.retain_engine_keep_ >= 1;
           idx->lookup(b.value, [&](const T& t) {
             if (pred(t) && (!check_live || store_->contains(t))) fn(t);
           });
@@ -497,9 +533,28 @@ class Table final : public TableBase {
     JSTAR_CHECK_MSG(!key_steps_.empty(),
                     "table '" + name_ +
                         "' needs at least one lit/seq orderby level");
+    JSTAR_CHECK_MSG(
+        decl_.retain_engine_keep_ < 1 || decl_.retain_keep_ < 1,
+        "table '" + name_ +
+            "' sets both retain(N) and retain_epochs — pick one window");
     // Build the Gamma store per strategy (§1.4 late commitment).
+    window_store_ = nullptr;
     if (no_gamma) {
       store_ = std::make_unique<NullStore<T>>();
+    } else if (decl_.retain_engine_keep_ >= 1) {
+      // retain(N): window over the *engine* epoch clock — every tuple's
+      // epoch is the epoch it arrived in, and begin_epoch() retires the
+      // buckets that fell out of the window (see retire_epochs below).
+      auto owned = std::make_unique<EpochWindowStore<T, FnHash<T>>>(
+          [clock = env.epoch](const T&) {
+            return clock != nullptr
+                       ? clock->load(std::memory_order_relaxed)
+                       : 0;
+          },
+          decl_.retain_engine_keep_, FnHash<T>{decl_.hash_},
+          /*clock_epochs=*/true);
+      window_store_ = owned.get();
+      store_ = std::move(owned);
     } else if (decl_.retain_keep_ >= 1) {
       store_ = std::make_unique<EpochWindowStore<T, FnHash<T>>>(
           decl_.retain_epoch_of_, decl_.retain_keep_, FnHash<T>{decl_.hash_});
@@ -510,6 +565,13 @@ class Table final : public TableBase {
     } else {
       store_ = std::make_unique<TreeSetStore<T>>();
     }
+  }
+
+  void retire_epochs(std::int64_t current_epoch) override {
+    if (window_store_ == nullptr) return;
+    const std::int64_t retired = window_store_->retire_up_to(
+        current_epoch - decl_.retain_engine_keep_);
+    stats_.gamma_retired.fetch_add(retired, std::memory_order_relaxed);
   }
 
   void batch_insert_phase(BatchVecBase& slice,
@@ -546,7 +608,7 @@ class Table final : public TableBase {
             if (!keep[static_cast<std::size_t>(i)]) return;
             const T& t = bv.items[static_cast<std::size_t>(i)];
             if (r == 0 && decl_.effect_) decl_.effect_(t);
-            RuleCtx ctx(key, id_, env_.edges);
+            RuleCtx ctx(key, id_, env_.edges, current_epoch());
             stats_.fires.fetch_add(1, std::memory_order_relaxed);
             rules_[r].fn(ctx, t);
           },
@@ -705,10 +767,16 @@ class Table final : public TableBase {
     return it->second;
   }
 
+  std::int64_t current_epoch() const {
+    return env_.epoch != nullptr
+               ? env_.epoch->load(std::memory_order_relaxed)
+               : 0;
+  }
+
   void fire_tuple(const DeltaKey& k, const T& t) {
     if (decl_.effect_) decl_.effect_(t);
     if (rules_.empty()) return;
-    RuleCtx ctx(k, id_, env_.edges);
+    RuleCtx ctx(k, id_, env_.edges, current_epoch());
     for (const auto& r : rules_) {
       stats_.fires.fetch_add(1, std::memory_order_relaxed);
       r.fn(ctx, t);
@@ -720,6 +788,8 @@ class Table final : public TableBase {
   std::vector<KeyStep> key_steps_;
   std::vector<std::unique_ptr<SecondaryIndex>> indexes_;
   std::unique_ptr<GammaStore<T>> store_;
+  // Set iff the store is a retain(N) engine-epoch window (aliases store_).
+  EpochWindowStore<T, FnHash<T>>* window_store_ = nullptr;
   std::vector<NamedRule> rules_;
   bool has_pk_ = false;
   // Primary-key index: one of these is active depending on strategy.

@@ -21,6 +21,7 @@
 // choice is a swappable hint.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -48,11 +49,16 @@ class EpochWindowStore final : public GammaStore<T> {
   /// `epoch_of` extracts the epoch field; the most recent `keep_epochs`
   /// distinct epoch *values* (by numeric distance, not count) stay live:
   /// after a tuple with epoch e arrives, tuples with epoch <= e -
-  /// keep_epochs are retired.
+  /// keep_epochs are retired.  `clock_epochs` says the epoch comes from an
+  /// external clock (TableDecl::retain over Engine::begin_epoch) rather
+  /// than from the tuple itself: only then can the same tuple re-arrive
+  /// under a different epoch, so dedup/contains must scan the whole live
+  /// window instead of the tuple's own bucket.
   EpochWindowStore(std::function<std::int64_t(const T&)> epoch_of,
-                   std::int64_t keep_epochs, Hash hash = Hash{})
+                   std::int64_t keep_epochs, Hash hash = Hash{},
+                   bool clock_epochs = false)
       : epoch_of_(std::move(epoch_of)), keep_(keep_epochs),
-        hash_(std::move(hash)) {
+        clock_epochs_(clock_epochs), hash_(std::move(hash)) {
     JSTAR_CHECK_MSG(keep_ >= 1, "EpochWindowStore needs keep_epochs >= 1");
   }
 
@@ -67,6 +73,15 @@ class EpochWindowStore final : public GammaStore<T> {
       retired_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
+    // Engine-clock windows: the same tuple may re-arrive in a later epoch
+    // and must stay a set-semantics duplicate (lifetime keyed to the first
+    // arrival), so dedup spans the whole live window.  Tuple-carried
+    // epochs skip this — their bucket is a pure function of the tuple.
+    if (clock_epochs_) {
+      for (const auto& [epoch, bucket] : buckets_) {
+        if (epoch != e && bucket.count(t) != 0) return false;
+      }
+    }
     auto bucket_it = buckets_.find(e);
     if (bucket_it == buckets_.end()) {
       bucket_it = buckets_.emplace(e, Bucket(8, hash_)).first;
@@ -75,21 +90,22 @@ class EpochWindowStore final : public GammaStore<T> {
     if (fresh) ++size_;
     if (e > max_epoch_) {
       max_epoch_ = e;
-      // Retire buckets that fell out of the window.
-      const std::int64_t threshold = max_epoch_ - keep_;
-      for (auto it = buckets_.begin();
-           it != buckets_.end() && it->first <= threshold;) {
-        retired_.fetch_add(static_cast<std::int64_t>(it->second.size()),
-                           std::memory_order_relaxed);
-        size_ -= it->second.size();
-        it = buckets_.erase(it);
-      }
+      retire_locked(max_epoch_ - keep_);
     }
     return fresh;
   }
 
   bool contains(const T& t) const override {
     std::shared_lock lk(mu_);
+    if (clock_epochs_) {
+      // Window-wide membership, mirroring insert's dedup scope (the live
+      // bucket count is at most keep_ + 1, so this stays O(window)).
+      for (const auto& [epoch, bucket] : buckets_) {
+        (void)epoch;
+        if (bucket.count(t) != 0) return true;
+      }
+      return false;
+    }
     const auto it = buckets_.find(epoch_of_(t));
     return it != buckets_.end() && it->second.count(t) != 0;
   }
@@ -130,11 +146,39 @@ class EpochWindowStore final : public GammaStore<T> {
     return retired_.load(std::memory_order_relaxed);
   }
 
+  /// Explicit GC entry point for engine-epoch windows (TableDecl::retain):
+  /// retires every bucket with epoch <= threshold, exactly as if an insert
+  /// had advanced the window past them.  Insert-driven retirement alone is
+  /// not enough under a stream — a quiet table would otherwise never shed
+  /// its old epochs.  max_epoch_ ratchets forward so stragglers behind the
+  /// new window keep being dropped on insert.  Returns the number of
+  /// tuples retired.
+  std::int64_t retire_up_to(std::int64_t threshold) {
+    std::unique_lock lk(mu_);
+    max_epoch_ = std::max(max_epoch_, threshold + keep_);
+    return retire_locked(threshold);
+  }
+
  private:
   using Bucket = std::unordered_set<T, Hash>;
 
+  /// Erases every bucket with epoch <= threshold, maintaining size_ and
+  /// retired_.  Caller holds the exclusive lock.
+  std::int64_t retire_locked(std::int64_t threshold) {
+    std::int64_t dropped = 0;
+    for (auto it = buckets_.begin();
+         it != buckets_.end() && it->first <= threshold;) {
+      dropped += static_cast<std::int64_t>(it->second.size());
+      size_ -= it->second.size();
+      it = buckets_.erase(it);
+    }
+    retired_.fetch_add(dropped, std::memory_order_relaxed);
+    return dropped;
+  }
+
   std::function<std::int64_t(const T&)> epoch_of_;
   const std::int64_t keep_;
+  const bool clock_epochs_;
   Hash hash_;
 
   mutable std::shared_mutex mu_;

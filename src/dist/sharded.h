@@ -256,6 +256,17 @@ class ShardedEngine {
     mailboxes_[static_cast<std::size_t>(shard)]->push(tuple);
   }
 
+  /// Opens the next streaming epoch on every shard engine in lockstep:
+  /// advances each Engine's epoch clock and retires Gamma tuples that fell
+  /// out of any retain(N) window.  Returns the new (common) epoch.  Called
+  /// by the sharded streaming loop (src/stream/streaming.h) once per
+  /// ingestion slice; one-shot clusters never need it.
+  std::int64_t begin_epoch() {
+    std::int64_t e = 0;
+    for (auto& eng : engines_) e = eng->begin_epoch();
+    return e;
+  }
+
   /// Runs the cluster to its fixpoint under the configured mode.  Always
   /// executes at least one engine run per shard, so tuples put directly
   /// during setup reach their fixpoint even with no seeds.  May be called

@@ -1,0 +1,37 @@
+#include "stream/streaming.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace jstar::stream {
+
+void StreamReport::absorb(const EpochStats& e) {
+  ++epochs;
+  ingested += e.ingested;
+  batches += e.batches;
+  tuples += e.tuples;
+  messages += e.messages;
+  max_epoch_ingested = std::max(max_epoch_ingested, e.ingested);
+  busy_seconds += e.seconds;
+}
+
+double StreamReport::tuples_per_second() const {
+  return busy_seconds > 0.0 ? static_cast<double>(ingested) / busy_seconds
+                            : 0.0;
+}
+
+std::string StreamReport::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%lld epochs, %lld ingested (max %lld/epoch), %lld batches, "
+                "%lld tuples, %.3f s busy, %.0f tuples/s",
+                static_cast<long long>(epochs),
+                static_cast<long long>(ingested),
+                static_cast<long long>(max_epoch_ingested),
+                static_cast<long long>(batches),
+                static_cast<long long>(tuples), busy_seconds,
+                tuples_per_second());
+  return std::string(buf);
+}
+
+}  // namespace jstar::stream

@@ -1,0 +1,504 @@
+// Streaming execution — the long-lived form of the engine (ROADMAP north
+// star: a service absorbing heavy traffic, not a one-shot batch job).
+//
+// The paper's engine (§3, §5) runs a program to fixpoint exactly once; its
+// event-driven contract (later puts + runs continue the same database) is
+// already incremental per batch.  This subsystem closes the loop into a
+// *stream*: external producers publish tuples from any thread into a
+// multi-producer Disruptor ring (src/disruptor/mp_ring_buffer.h — Table 1's
+// "multiple producers" alternative used as the ingestion edge), and a
+// long-lived consumer thread chops the stream into **epochs**:
+//
+//   wait for input → begin_epoch → drain a bounded slice of the ring →
+//   deliver as initial puts → run the all-minimums strategy to fixpoint →
+//   publish per-epoch stats → repeat.
+//
+// Correctness is the same pseudo-naive delta argument as the sharded
+// mailboxes: stream input only enters the engine *between*
+// runs-to-quiescence, as initial puts (the empty causality timestamp), so
+// an epoch's causality keys never compare against a previous epoch's, and
+// set semantics makes any redelivered tuple a no-op.  Hence the streaming
+// fixpoint over any epoch slicing equals the one-shot batch fixpoint —
+// pinned tuple-for-tuple by tests/test_streaming_differential.cpp across
+// sequential / BSP / async × shard counts.
+//
+// Memory stays bounded under an infinite stream via TableDecl::retain(N)
+// (windowed Gamma GC over the Engine::begin_epoch clock, generalising
+// -noGamma; see core/table.h and core/window_store.h).
+//
+// Consumer API: rules emit results through the Emit handle passed to the
+// setup callback; callers take them with poll() (non-blocking) or drain()
+// (block until every tuple published so far has been folded into a
+// completed epoch fixpoint, then poll).  report() snapshots cumulative
+// StreamReport stats; poll_epochs() drains the per-epoch log.
+//
+// Two front-ends over the same epoch loop (detail::StreamBase):
+//   * StreamingEngine<T, Out>        — one Engine (sequential or parallel),
+//   * ShardedStreamingEngine<T, Out> — a ShardedEngine cluster (BSP or
+//     async schedule, one shared fork/join pool), with a route function
+//     assigning each ingested tuple to its owner shard.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "disruptor/mp_ring_buffer.h"
+#include "dist/sharded.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace jstar::stream {
+
+/// Strategy knobs of the streaming substrate itself (the wrapped engine
+/// keeps its own EngineOptions / ShardedOptions — strategy stays apart
+/// from the program at every layer).
+struct StreamOptions {
+  /// Ingestion ring capacity (power of two).  Producers block when the
+  /// consumer falls this far behind — natural backpressure.
+  std::size_t ring_capacity = 1024;
+  /// Upper bound on tuples drained per epoch.  Small slices keep retain(N)
+  /// windows fine-grained and epoch latency low; large slices amortise the
+  /// per-epoch fixpoint cost (bench_streaming sweeps this).
+  std::int64_t max_epoch_tuples = 512;
+  /// How the consumer (and blocked producers) wait on the ring.
+  disruptor::WaitStrategy wait = disruptor::WaitStrategy::Blocking;
+  /// Completed-epoch log retention for poll_epochs(); the oldest entries
+  /// are dropped (and counted) beyond this, so an unpolled stream does not
+  /// leak.
+  std::size_t epoch_log_capacity = 1024;
+};
+
+/// Stats of one completed epoch.
+struct EpochStats {
+  std::int64_t epoch = 0;     ///< Engine::begin_epoch clock value
+  std::int64_t ingested = 0;  ///< tuples drained from the ring
+  std::int64_t batches = 0;   ///< Delta batches of the fixpoint run
+  std::int64_t tuples = 0;    ///< tuples taken out of Delta
+  std::int64_t messages = 0;  ///< cross-shard messages (sharded only)
+  double seconds = 0.0;       ///< deliver + run wall time
+};
+
+/// Cumulative stats of a stream (all epochs so far).
+struct StreamReport {
+  std::int64_t epochs = 0;
+  std::int64_t ingested = 0;
+  std::int64_t batches = 0;
+  std::int64_t tuples = 0;
+  std::int64_t messages = 0;
+  std::int64_t max_epoch_ingested = 0;
+  std::int64_t epoch_log_dropped = 0;  ///< per-epoch entries aged out
+  double busy_seconds = 0.0;
+
+  void absorb(const EpochStats& e);
+  /// Sustained ingest rate over busy time (the bench headline).
+  double tuples_per_second() const;
+  std::string summary() const;
+};
+
+namespace detail {
+
+/// Ring envelope: a stream tuple or the shutdown poison pill stop() sends
+/// through the same ordered channel (so shutdown drains everything
+/// published before it).
+template <typename T>
+struct Envelope {
+  T value{};
+  bool poison = false;
+};
+
+/// The multi-producer ingestion edge: publish() from any thread, one
+/// consumer draining bounded slices in publish order.
+template <typename T>
+class IngestQueue {
+ public:
+  IngestQueue(std::size_t capacity, disruptor::WaitStrategy wait)
+      : ring_(capacity, wait) {
+    cid_ = ring_.add_consumer();
+  }
+
+  void publish(const T& t) {
+    const std::int64_t seq = ring_.claim();
+    Envelope<T>& env = ring_.slot(seq);
+    env.value = t;
+    env.poison = false;
+    ring_.publish(seq);
+  }
+
+  void publish_poison() {
+    const std::int64_t seq = ring_.claim();
+    ring_.slot(seq).poison = true;
+    ring_.publish(seq);
+  }
+
+  /// Consumer side: blocks until at least one envelope is published.
+  void wait_ready() { (void)ring_.wait_for(next_); }
+
+  /// True when an envelope is ready without blocking.
+  bool ready() const { return ring_.is_available(next_); }
+
+  /// Hands up to `max` envelopes to `deliver` in publish order (poison
+  /// pills are counted into *saw_poison instead).  Must be preceded by
+  /// wait_ready()/ready().  Returns the number of tuples delivered.
+  std::int64_t consume_slice(std::int64_t max,
+                             const std::function<void(const T&)>& deliver,
+                             bool* saw_poison) {
+    const std::int64_t hi = ring_.wait_for(next_);
+    const std::int64_t slice_hi = std::min(hi, next_ + max - 1);
+    std::int64_t n = 0;
+    for (std::int64_t s = next_; s <= slice_hi; ++s) {
+      Envelope<T>& env = ring_.slot(s);
+      if (env.poison) {
+        *saw_poison = true;
+      } else {
+        deliver(env.value);
+        ++n;
+      }
+    }
+    // Commit frees the slots for producers; the epoch's tuples are already
+    // copied into the engine's Delta set by deliver.
+    ring_.commit(cid_, slice_hi);
+    consumed_ = slice_hi;
+    next_ = slice_hi + 1;
+    return n;
+  }
+
+  /// Highest sequence any producer has claimed (the drain() barrier
+  /// target) and the highest sequence the consumer has taken.
+  std::int64_t claimed() const { return ring_.claimed(); }
+  std::int64_t consumed() const { return consumed_; }
+
+ private:
+  disruptor::MpRingBuffer<Envelope<T>> ring_;
+  int cid_ = -1;
+  std::int64_t next_ = 0;       // consumer-only
+  std::int64_t consumed_ = -1;  // consumer-only
+};
+
+/// CRTP core shared by StreamingEngine and ShardedStreamingEngine: the
+/// ingestion ring, the epoch loop thread, the output channel and the
+/// stats/drain plumbing.  Derived implements the three epoch hooks:
+///   std::int64_t epoch_begin();
+///   void epoch_deliver(const T&);
+///   EpochStats epoch_fixpoint();   // fills batches/tuples/messages
+template <typename T, typename Out, typename Derived>
+class StreamBase {
+ public:
+  using Emit = std::function<void(const Out&)>;
+
+  /// Publishes one tuple into the stream.  Callable from any thread while
+  /// the stream runs; blocks when the ring is full (backpressure).  Must
+  /// not race stop().
+  void publish(const T& t) { queue_.publish(t); }
+
+  /// Non-blocking: takes every output emitted so far.
+  std::vector<Out> poll() {
+    std::lock_guard<std::mutex> lk(out_mu_);
+    std::vector<Out> got = std::move(outputs_);
+    outputs_.clear();
+    return got;
+  }
+
+  /// Blocks until every tuple published before the call has been folded
+  /// into a completed epoch fixpoint, then returns poll().  After drain()
+  /// (and with no concurrent producers) the wrapped engine is quiescent,
+  /// so its tables may be queried directly.  Rethrows the failure if an
+  /// epoch's rules threw (the stream is dead afterwards; see failed()).
+  std::vector<Out> drain() {
+    drain_barrier();
+    rethrow_if_failed();
+    return poll();
+  }
+
+  /// True when an epoch's rules threw and the stream halted.  stop() never
+  /// throws (it must be destructor-safe); drain() and
+  /// rethrow_if_failed() surface the stored exception.
+  bool failed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return error_ != nullptr;
+  }
+
+  void rethrow_if_failed() {
+    std::exception_ptr err;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      err = error_;
+    }
+    if (err) std::rethrow_exception(err);
+  }
+
+  /// Graceful shutdown: a poison pill flows through the ring, so every
+  /// tuple published before stop() is still processed.  Idempotent; the
+  /// destructor of the derived class calls it.
+  void stop() {
+    std::lock_guard<std::mutex> lk(stop_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    queue_.publish_poison();
+    if (worker_.joinable()) worker_.join();
+  }
+
+  bool running() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return running_;
+  }
+
+  /// Cumulative stats snapshot.
+  StreamReport report() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return report_;
+  }
+
+  /// Drains the completed-epoch log (per-epoch StreamReport stats).
+  std::vector<EpochStats> poll_epochs() {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<EpochStats> got(epoch_log_.begin(), epoch_log_.end());
+    epoch_log_.clear();
+    return got;
+  }
+
+ protected:
+  explicit StreamBase(const StreamOptions& sopts)
+      : sopts_(sopts), queue_(sopts.ring_capacity, sopts.wait) {
+    JSTAR_CHECK_MSG(sopts_.max_epoch_tuples >= 1,
+                    "StreamOptions::max_epoch_tuples must be >= 1");
+  }
+  ~StreamBase() = default;
+
+  /// Derived constructors call this after their engine is fully set up.
+  void start() {
+    worker_ = std::thread([this] { loop(); });
+  }
+
+  Emit make_emit() {
+    return [this](const Out& out) {
+      std::lock_guard<std::mutex> lk(out_mu_);
+      outputs_.push_back(out);
+    };
+  }
+
+  const StreamOptions sopts_;
+
+ private:
+  Derived& derived() { return static_cast<Derived&>(*this); }
+
+  void loop() {
+    try {
+      run_epochs();
+    } catch (...) {
+      // A rule threw during an epoch's fixpoint.  The stream halts (the
+      // engine state may be mid-derivation); drain() rethrows.
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        error_ = std::current_exception();
+        running_ = false;
+      }
+      cv_.notify_all();
+      // Keep committing the ring so producers blocked on a full buffer
+      // and stop()'s poison pill always make progress; the tuples are
+      // discarded — this engine is dead.  If the failing slice already
+      // held the poison (stop() raced the failure), there is no second
+      // pill to wait for.
+      if (!saw_poison_) discard_until_poison();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      running_ = false;
+    }
+    cv_.notify_all();
+  }
+
+  void run_epochs() {
+    while (!saw_poison_ || queue_.ready()) {
+      queue_.wait_ready();
+      // Buffer the slice before opening an epoch: a slice holding only
+      // the shutdown poison pill must not advance the retain(N) windows
+      // (and idle streams never spin them forward at all).
+      slice_.clear();
+      bool poison = false;
+      queue_.consume_slice(
+          sopts_.max_epoch_tuples,
+          [this](const T& t) { slice_.push_back(t); }, &poison);
+      if (poison) saw_poison_ = true;
+      if (slice_.empty()) {
+        std::lock_guard<std::mutex> lk(mu_);
+        processed_ = queue_.consumed();
+        cv_.notify_all();
+        continue;
+      }
+      EpochStats es;
+      es.epoch = derived().epoch_begin();
+      WallTimer timer;
+      es.ingested = static_cast<std::int64_t>(slice_.size());
+      for (const T& t : slice_) derived().epoch_deliver(t);
+      const EpochStats run = derived().epoch_fixpoint();
+      es.batches = run.batches;
+      es.tuples = run.tuples;
+      es.messages = run.messages;
+      es.seconds = timer.seconds();
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        report_.absorb(es);
+        epoch_log_.push_back(es);
+        while (epoch_log_.size() > sopts_.epoch_log_capacity) {
+          epoch_log_.pop_front();
+          ++report_.epoch_log_dropped;
+        }
+        processed_ = queue_.consumed();
+      }
+      cv_.notify_all();
+    }
+  }
+
+  void discard_until_poison() {
+    bool poison = false;
+    while (!poison) {
+      queue_.wait_ready();
+      (void)queue_.consume_slice(sopts_.max_epoch_tuples,
+                                 [](const T&) {}, &poison);
+      std::lock_guard<std::mutex> lk(mu_);
+      processed_ = queue_.consumed();
+    }
+    cv_.notify_all();
+  }
+
+  void drain_barrier() {
+    const std::int64_t target = queue_.claimed();
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return processed_ >= target || !running_; });
+  }
+
+  IngestQueue<T> queue_;
+  std::thread worker_;
+  std::vector<T> slice_;    // consumer-thread scratch, reused across epochs
+  bool saw_poison_ = false;  // consumer-thread only
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  StreamReport report_;
+  std::deque<EpochStats> epoch_log_;
+  std::int64_t processed_ = -1;
+  bool running_ = true;
+  std::exception_ptr error_ = nullptr;
+
+  std::mutex out_mu_;
+  std::vector<Out> outputs_;
+
+  std::mutex stop_mu_;
+  bool stopped_ = false;
+};
+
+}  // namespace detail
+
+/// A long-lived single-engine stream.  T is the ingested tuple type (must
+/// be copyable and default-constructible — it lives in ring slots); Out is
+/// what rules emit to consumers.
+template <typename T, typename Out = T>
+class StreamingEngine final
+    : public detail::StreamBase<T, Out, StreamingEngine<T, Out>> {
+  using Base = detail::StreamBase<T, Out, StreamingEngine<T, Out>>;
+  friend Base;
+
+ public:
+  using Deliver = std::function<void(const T&)>;
+  using Emit = typename Base::Emit;
+  /// Declares tables and rules on the engine and returns the Deliver
+  /// function that hands one ingested tuple to it (typically
+  /// `eng.put(table, t)`).  `emit` is the thread-safe output channel for
+  /// rules/effects.
+  using Setup = std::function<Deliver(Engine&, const Emit&)>;
+
+  StreamingEngine(const StreamOptions& sopts, const EngineOptions& eopts,
+                  const Setup& setup)
+      : Base(sopts), engine_(eopts) {
+    deliver_ = setup(engine_, this->make_emit());
+    engine_.prepare();
+    this->start();
+  }
+
+  ~StreamingEngine() { this->stop(); }
+
+  /// The wrapped engine.  Only query it while the stream is provably
+  /// quiescent: after drain() with no concurrent producers, or after
+  /// stop().
+  Engine& engine() { return engine_; }
+
+ private:
+  std::int64_t epoch_begin() { return engine_.begin_epoch(); }
+  void epoch_deliver(const T& t) { deliver_(t); }
+  EpochStats epoch_fixpoint() {
+    const RunReport r = engine_.run();
+    EpochStats es;
+    es.batches = r.batches;
+    es.tuples = r.tuples;
+    return es;
+  }
+
+  Engine engine_;
+  Deliver deliver_;
+};
+
+/// A long-lived sharded stream: the cluster substrate (src/dist/sharded.h,
+/// BSP or async schedule over one shared fork/join pool) run epoch by
+/// epoch.  `route` assigns each ingested tuple to its owner shard
+/// (typically dist::partition_of over the tuple's key).
+template <typename T, typename Out = T>
+class ShardedStreamingEngine final
+    : public detail::StreamBase<T, Out, ShardedStreamingEngine<T, Out>> {
+  using Base = detail::StreamBase<T, Out, ShardedStreamingEngine<T, Out>>;
+  friend Base;
+
+ public:
+  using Emit = typename Base::Emit;
+  using Route = std::function<int(const T&)>;
+  /// Per-shard setup, as in ShardedEngine, plus the shared output channel.
+  using Setup = std::function<typename dist::ShardedEngine<T>::Deliver(
+      int shard, Engine&, dist::Sender<T>&, const Emit&)>;
+
+  ShardedStreamingEngine(const StreamOptions& sopts, int shards,
+                         const EngineOptions& eopts,
+                         const dist::ShardedOptions& dopts,
+                         const Setup& setup, Route route)
+      : Base(sopts),
+        route_(std::move(route)),
+        cluster_(shards, eopts, dopts,
+                 [this, &setup](int shard, Engine& eng,
+                                dist::Sender<T>& sender) {
+                   return setup(shard, eng, sender, this->make_emit());
+                 }) {
+    this->start();
+  }
+
+  ~ShardedStreamingEngine() { this->stop(); }
+
+  int shards() const { return cluster_.shards(); }
+  /// Quiescence caveats as in StreamingEngine::engine().
+  Engine& engine(int shard) { return cluster_.engine(shard); }
+  dist::ShardedEngine<T>& cluster() { return cluster_; }
+
+ private:
+  std::int64_t epoch_begin() { return cluster_.begin_epoch(); }
+  void epoch_deliver(const T& t) { cluster_.seed(route_(t), t); }
+  EpochStats epoch_fixpoint() {
+    const dist::ShardedRunReport r = cluster_.run();
+    EpochStats es;
+    es.batches = r.local_batches;
+    es.tuples = r.local_tuples;
+    es.messages = r.messages;
+    return es;
+  }
+
+  Route route_;
+  dist::ShardedEngine<T> cluster_;
+};
+
+}  // namespace jstar::stream

@@ -1,0 +1,244 @@
+// Shared randomized differential harness (the JastAdd-style equivalence
+// discipline: an aggressive schedule is only trusted against a reference
+// evaluator).  Extracted from tests/test_dist_async.cpp so every new
+// execution mode — async sharding, streaming epochs, future backends —
+// pins its fixpoint tuple-for-tuple against the same batch oracle.
+//
+// A random program is a directed multigraph over a small key universe plus
+// a generation bound: a tuple (key, gen) derives (key2, gen+1) for every
+// out-edge of key while gen+1 <= max_gen.  The fixpoint is the set of
+// derivable (key, gen) pairs — finite, schedule independent, and rich in
+// cross-shard traffic once keys are hash routed.
+//
+// Replayability: sweeps read their seed range from the environment —
+//   JSTAR_TEST_SEEDS      how many seeds to run (default per call site,
+//                         usually 200; the nightly stress job sets 2000),
+//   JSTAR_TEST_SEED_BASE  first seed (default 0).
+// Every assertion carries repro() so a CI failure log contains the exact
+// one-seed reproduction command.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dist/sharded.h"
+#include "util/rng.h"
+
+namespace jstar::difftest {
+
+// --- seed-range scaling and failure replay ---------------------------------
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0') return def;
+  return static_cast<std::uint64_t>(parsed);
+}
+
+/// Seeds per sweep (JSTAR_TEST_SEEDS, nightly-scaled).
+inline std::uint64_t seed_count(std::uint64_t def = 200) {
+  return env_u64("JSTAR_TEST_SEEDS", def);
+}
+
+/// First seed of the sweep (JSTAR_TEST_SEED_BASE, for replaying one seed).
+inline std::uint64_t seed_base() { return env_u64("JSTAR_TEST_SEED_BASE", 0); }
+
+/// Minimized reproduction command for a failing seed, for assertion
+/// messages: rerunning the named test with the base pinned to the failing
+/// seed and the count to 1 replays exactly the failing case.
+inline std::string repro(std::uint64_t seed, const char* test_exe,
+                         const char* gtest_filter) {
+  return "seed " + std::to_string(seed) +
+         " — replay: JSTAR_TEST_SEED_BASE=" + std::to_string(seed) +
+         " JSTAR_TEST_SEEDS=1 ./" + test_exe +
+         " --gtest_filter=" + gtest_filter;
+}
+
+// --- random programs and the engine-free oracle ----------------------------
+
+struct Tok {
+  std::int64_t key, gen;
+  auto operator<=>(const Tok&) const = default;
+};
+
+struct Program {
+  std::int64_t keys = 0;
+  std::int64_t max_gen = 0;
+  std::vector<std::vector<std::int64_t>> adj;  // out-edges per key
+  std::vector<Tok> seeds;
+  /// Rules per engine: 1 = "derive" only; 2 adds a duplicate "derive2"
+  /// (same body), which leaves the fixpoint unchanged but doubles the
+  /// derivation paths — the shape that exercises task_per_rule and the
+  /// dedup layers.  Generators keep fanout/gen small when rules == 2 so
+  /// the no-dedup (-noGamma) combinations stay bounded.
+  int rules = 1;
+};
+
+inline Program random_program_shaped(std::uint64_t seed,
+                                     std::uint64_t max_fanout,
+                                     std::int64_t gen_cap, int rules) {
+  SplitMix64 rng(seed);
+  Program p;
+  p.rules = rules;
+  p.keys = 4 + static_cast<std::int64_t>(rng.next_below(29));  // 4..32
+  p.max_gen =
+      1 + static_cast<std::int64_t>(rng.next_below(
+              static_cast<std::uint64_t>(gen_cap)));  // 1..gen_cap
+  p.adj.resize(static_cast<std::size_t>(p.keys));
+  for (auto& out : p.adj) {
+    const std::uint64_t fanout = rng.next_below(max_fanout + 1);
+    for (std::uint64_t f = 0; f < fanout; ++f) {
+      out.push_back(static_cast<std::int64_t>(
+          rng.next_below(static_cast<std::uint64_t>(p.keys))));
+    }
+  }
+  const std::uint64_t nseeds = 1 + rng.next_below(4);  // 1..4
+  for (std::uint64_t i = 0; i < nseeds; ++i) {
+    p.seeds.push_back(Tok{static_cast<std::int64_t>(rng.next_below(
+                              static_cast<std::uint64_t>(p.keys))),
+                          0});
+  }
+  return p;
+}
+
+/// The shape the async differential sweep has always used.
+inline Program random_program(std::uint64_t seed) {
+  return random_program_shaped(seed, /*max_fanout=*/3, /*gen_cap=*/7,
+                               /*rules=*/1);
+}
+
+/// A smaller shape for the EngineOptions flag matrix: with -noGamma there
+/// is no set-semantics dedup, so every derivation path is walked — keep
+/// fanout and depth low enough that 2 rules x fanout 2 x gen <= 4 stays a
+/// few hundred firings.
+inline Program random_small_program(std::uint64_t seed) {
+  return random_program_shaped(seed, /*max_fanout=*/2, /*gen_cap=*/4,
+                               /*rules=*/2);
+}
+
+/// Engine-free worklist oracle.
+inline std::set<Tok> oracle_fixpoint(const Program& p) {
+  std::set<Tok> seen(p.seeds.begin(), p.seeds.end());
+  std::vector<Tok> work(p.seeds.begin(), p.seeds.end());
+  while (!work.empty()) {
+    const Tok t = work.back();
+    work.pop_back();
+    if (t.gen + 1 > p.max_gen) continue;
+    for (const std::int64_t k2 : p.adj[static_cast<std::size_t>(t.key)]) {
+      const Tok next{k2, t.gen + 1};
+      if (seen.insert(next).second) work.push_back(next);
+    }
+  }
+  return seen;
+}
+
+inline TableDecl<Tok> tok_decl() {
+  return TableDecl<Tok>("Tok")
+      .orderby_lit("T")
+      .orderby_seq("gen", &Tok::gen)
+      .hash([](const Tok& t) { return hash_fields(t.key, t.gen); });
+}
+
+/// Attaches the program's derivation rules to `toks` (p.rules copies, so
+/// the fixpoint is unchanged but task_per_rule has real work to split).
+/// `put` performs one local put (local engine or sender routing).
+inline void add_rules(Engine& eng, Table<Tok>& toks, const Program& p,
+                      std::function<void(RuleCtx&, const Tok&)> put) {
+  for (int r = 0; r < p.rules; ++r) {
+    eng.rule(toks, r == 0 ? "derive" : "derive" + std::to_string(r + 1),
+             [&p, put](RuleCtx& ctx, const Tok& t) {
+               if (t.gen + 1 > p.max_gen) return;
+               for (const std::int64_t k2 :
+                    p.adj[static_cast<std::size_t>(t.key)]) {
+                 put(ctx, Tok{k2, t.gen + 1});
+               }
+             });
+  }
+}
+
+// --- reference evaluators ---------------------------------------------------
+
+/// Reference 1: a single Engine under `opts`, rules put locally (gen
+/// increases, so local puts respect the law of causality).  The observed
+/// set is collected through the table's effect — not a Gamma scan — so it
+/// works identically for -noGamma (NullStore) configurations, where the
+/// effect fires for every delivery and the set dedups.
+inline std::set<Tok> single_engine_fixpoint(const Program& p,
+                                            const EngineOptions& opts) {
+  std::set<Tok> observed;
+  std::mutex mu;
+  Engine eng(opts);
+  auto& toks = eng.table(tok_decl().effect([&observed, &mu](const Tok& t) {
+    std::lock_guard<std::mutex> lk(mu);
+    observed.insert(t);
+  }));
+  add_rules(eng, toks, p, [&toks](RuleCtx& ctx, const Tok& t) {
+    toks.put(ctx, t);
+  });
+  for (const Tok& s : p.seeds) eng.put(toks, s);
+  eng.run();
+  return observed;
+}
+
+/// The default reference: one sequential Engine.
+inline std::set<Tok> single_engine_fixpoint(const Program& p) {
+  EngineOptions opts;
+  opts.sequential = true;
+  return single_engine_fixpoint(p, opts);
+}
+
+/// References 2 and 3: the sharded engine under either schedule.  Every
+/// derived tuple is routed through the mailbox to the hash owner of its
+/// key, so fan-out traffic crosses shard boundaries constantly.  Also
+/// checks ownership: a tuple may only materialise on the shard its key
+/// hashes to.
+inline std::set<Tok> sharded_fixpoint(const Program& p, int shards,
+                                      dist::ShardedMode mode,
+                                      bool sequential_engines,
+                                      dist::ShardedRunReport* report_out =
+                                          nullptr) {
+  EngineOptions opts;
+  opts.sequential = sequential_engines;
+  opts.threads = 2;
+  dist::ShardedOptions sopts;
+  sopts.mode = mode;
+
+  std::vector<Table<Tok>*> tables(static_cast<std::size_t>(shards));
+  dist::ShardedEngine<Tok> cluster(
+      shards, opts, sopts,
+      [&p, &tables, shards](int shard, Engine& eng,
+                            dist::Sender<Tok>& sender) {
+        auto& toks = eng.table(tok_decl());
+        tables[static_cast<std::size_t>(shard)] = &toks;
+        add_rules(eng, toks, p, [&sender, shards](RuleCtx&, const Tok& t) {
+          sender.send(dist::partition_of(t.key, shards), t);
+        });
+        return [&toks, &eng](const Tok& t) { eng.put(toks, t); };
+      });
+
+  for (const Tok& s : p.seeds) {
+    cluster.seed(dist::partition_of(s.key, shards), s);
+  }
+  const dist::ShardedRunReport report = cluster.run();
+  if (report_out != nullptr) *report_out = report;
+
+  std::set<Tok> out;
+  for (int s = 0; s < shards; ++s) {
+    tables[static_cast<std::size_t>(s)]->scan([&](const Tok& t) {
+      EXPECT_EQ(dist::partition_of(t.key, shards), s)
+          << "tuple (" << t.key << "," << t.gen << ") on a non-owner shard";
+      out.insert(t);
+    });
+  }
+  return out;
+}
+
+}  // namespace jstar::difftest

@@ -1,14 +1,20 @@
 // Randomized differential harness for the async pipelined executor
-// (§2 stage 3, src/dist/sharded.h): generate seeded random rule programs
-// (random fan-out, cross-shard key routing, 1/2/3/8 shards) and assert the
+// (§2 stage 3, src/dist/sharded.h), built on the shared program
+// generator/oracle in tests/differential.h: seeded random rule programs
+// (random fan-out, cross-shard key routing, 1/2/3/8 shards), asserting the
 // async fixpoint is tuple-for-tuple identical to (a) a plain C++ worklist
 // oracle, (b) the sequential single-Engine reference, and (c) the BSP
 // sharded reference.  This is the JastAdd-style equivalence pinning: an
 // aggressive schedule is only trusted against a reference evaluator.
 //
-// Also covered here: deterministic exception propagation when several
-// shards throw (lowest shard id wins — the latent nondeterminism fix) and
-// the async report's per-shard busy/drain counters.
+// Sweep sizes scale with JSTAR_TEST_SEEDS (default 200; the nightly stress
+// job runs 2000) and failures print a one-seed replay command.
+//
+// Also covered here: the EngineOptions flag matrix (no_delta x no_gamma x
+// task_per_rule x delta_stripes) differentially against the oracle — these
+// flags were previously only exercised one at a time — plus deterministic
+// exception propagation when several shards throw (lowest shard id wins)
+// and the async report's per-shard busy/drain counters.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -16,144 +22,24 @@
 #include <string>
 #include <vector>
 
+#include "differential.h"
 #include "dist/sharded.h"
 #include "util/rng.h"
 
 namespace jstar::dist {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Random program generation.  A program is a directed multigraph over a
-// small key universe plus a generation bound: a tuple (key, gen) derives
-// (key2, gen+1) for every out-edge of key while gen+1 <= max_gen.  The
-// fixpoint is the set of derivable (key, gen) pairs — finite, schedule
-// independent, and rich in cross-shard traffic once keys are hash routed.
-// ---------------------------------------------------------------------------
-
-struct Tok {
-  std::int64_t key, gen;
-  auto operator<=>(const Tok&) const = default;
-};
-
-struct Program {
-  std::int64_t keys = 0;
-  std::int64_t max_gen = 0;
-  std::vector<std::vector<std::int64_t>> adj;  // out-edges per key
-  std::vector<Tok> seeds;
-};
-
-Program random_program(std::uint64_t seed) {
-  SplitMix64 rng(seed);
-  Program p;
-  p.keys = 4 + static_cast<std::int64_t>(rng.next_below(29));   // 4..32
-  p.max_gen = 1 + static_cast<std::int64_t>(rng.next_below(7));  // 1..7
-  p.adj.resize(static_cast<std::size_t>(p.keys));
-  for (auto& out : p.adj) {
-    const std::uint64_t fanout = rng.next_below(4);  // 0..3
-    for (std::uint64_t f = 0; f < fanout; ++f) {
-      out.push_back(static_cast<std::int64_t>(
-          rng.next_below(static_cast<std::uint64_t>(p.keys))));
-    }
-  }
-  const std::uint64_t nseeds = 1 + rng.next_below(4);  // 1..4
-  for (std::uint64_t i = 0; i < nseeds; ++i) {
-    p.seeds.push_back(Tok{static_cast<std::int64_t>(rng.next_below(
-                              static_cast<std::uint64_t>(p.keys))),
-                          0});
-  }
-  return p;
-}
-
-/// Engine-free worklist oracle.
-std::set<Tok> oracle_fixpoint(const Program& p) {
-  std::set<Tok> seen(p.seeds.begin(), p.seeds.end());
-  std::vector<Tok> work(p.seeds.begin(), p.seeds.end());
-  while (!work.empty()) {
-    const Tok t = work.back();
-    work.pop_back();
-    if (t.gen + 1 > p.max_gen) continue;
-    for (const std::int64_t k2 : p.adj[static_cast<std::size_t>(t.key)]) {
-      const Tok next{k2, t.gen + 1};
-      if (seen.insert(next).second) work.push_back(next);
-    }
-  }
-  return seen;
-}
-
-TableDecl<Tok> tok_decl() {
-  return TableDecl<Tok>("Tok")
-      .orderby_lit("T")
-      .orderby_seq("gen", &Tok::gen)
-      .hash([](const Tok& t) { return hash_fields(t.key, t.gen); });
-}
-
-/// Reference 1: one sequential Engine, rules put locally (gen increases,
-/// so local puts respect the law of causality).
-std::set<Tok> single_engine_fixpoint(const Program& p) {
-  EngineOptions opts;
-  opts.sequential = true;
-  Engine eng(opts);
-  auto& toks = eng.table(tok_decl());
-  eng.rule(toks, "derive", [&p, &toks](RuleCtx& ctx, const Tok& t) {
-    if (t.gen + 1 > p.max_gen) return;
-    for (const std::int64_t k2 : p.adj[static_cast<std::size_t>(t.key)]) {
-      toks.put(ctx, Tok{k2, t.gen + 1});
-    }
-  });
-  for (const Tok& s : p.seeds) eng.put(toks, s);
-  eng.run();
-  std::set<Tok> out;
-  toks.scan([&](const Tok& t) { out.insert(t); });
-  return out;
-}
-
-/// References 2 and 3: the sharded engine under either schedule.  Every
-/// derived tuple is routed through the mailbox to the hash owner of its
-/// key, so fan-out traffic crosses shard boundaries constantly.  Also
-/// checks ownership: a tuple may only materialise on the shard its key
-/// hashes to.
-std::set<Tok> sharded_fixpoint(const Program& p, int shards, ShardedMode mode,
-                               bool sequential_engines,
-                               ShardedRunReport* report_out = nullptr) {
-  EngineOptions opts;
-  opts.sequential = sequential_engines;
-  opts.threads = 2;
-  ShardedOptions sopts;
-  sopts.mode = mode;
-
-  std::vector<Table<Tok>*> tables(static_cast<std::size_t>(shards));
-  ShardedEngine<Tok> cluster(
-      shards, opts, sopts,
-      [&p, &tables, shards](int shard, Engine& eng, Sender<Tok>& sender) {
-        auto& toks = eng.table(tok_decl());
-        tables[static_cast<std::size_t>(shard)] = &toks;
-        eng.rule(toks, "derive", [&p, &sender, shards](RuleCtx&,
-                                                       const Tok& t) {
-          if (t.gen + 1 > p.max_gen) return;
-          for (const std::int64_t k2 :
-               p.adj[static_cast<std::size_t>(t.key)]) {
-            sender.send(partition_of(k2, shards), Tok{k2, t.gen + 1});
-          }
-        });
-        return [&toks, &eng](const Tok& t) { eng.put(toks, t); };
-      });
-
-  for (const Tok& s : p.seeds) {
-    cluster.seed(partition_of(s.key, shards), s);
-  }
-  const ShardedRunReport report = cluster.run();
-  if (report_out != nullptr) *report_out = report;
-
-  std::set<Tok> out;
-  for (int s = 0; s < shards; ++s) {
-    tables[static_cast<std::size_t>(s)]->scan([&](const Tok& t) {
-      EXPECT_EQ(partition_of(t.key, shards), s)
-          << "tuple (" << t.key << "," << t.gen << ") on a non-owner shard";
-      out.insert(t);
-    });
-  }
-  return out;
-}
+using difftest::Program;
+using difftest::Tok;
+using difftest::oracle_fixpoint;
+using difftest::random_program;
+using difftest::random_small_program;
+using difftest::repro;
+using difftest::seed_base;
+using difftest::seed_count;
+using difftest::sharded_fixpoint;
+using difftest::single_engine_fixpoint;
+using difftest::tok_decl;
 
 // ---------------------------------------------------------------------------
 // The differential sweep: >= 200 seeds, shard counts cycling 1/2/3/8.
@@ -161,25 +47,78 @@ std::set<Tok> sharded_fixpoint(const Program& p, int shards, ShardedMode mode,
 // parallel engines on the shared pool to also exercise that combination.
 // ---------------------------------------------------------------------------
 
-TEST(AsyncDifferential, TwoHundredSeedsMatchOracleAndBothReferences) {
+TEST(AsyncDifferential, SeededSweepMatchesOracleAndBothReferences) {
+  constexpr const char* kFilter =
+      "AsyncDifferential.SeededSweepMatchesOracleAndBothReferences";
   const int shard_choices[] = {1, 2, 3, 8};
-  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+  const std::uint64_t base = seed_base();
+  const std::uint64_t count = seed_count(200);
+  for (std::uint64_t seed = base; seed < base + count; ++seed) {
     const Program p = random_program(seed * 0x9e3779b9ULL + 1);
     const int shards = shard_choices[seed % 4];
     const bool parallel_engines = (seed % 8) == 7;
 
     const std::set<Tok> expect = oracle_fixpoint(p);
     const std::set<Tok> seq_ref = single_engine_fixpoint(p);
-    const std::set<Tok> bsp = sharded_fixpoint(p, shards, ShardedMode::Bsp,
-                                               !parallel_engines);
-    const std::set<Tok> async = sharded_fixpoint(
-        p, shards, ShardedMode::Async, !parallel_engines);
+    const std::set<Tok> bsp =
+        sharded_fixpoint(p, shards, ShardedMode::Bsp, !parallel_engines);
+    const std::set<Tok> async =
+        sharded_fixpoint(p, shards, ShardedMode::Async, !parallel_engines);
 
-    ASSERT_EQ(seq_ref, expect) << "seed " << seed;
-    ASSERT_EQ(bsp, expect) << "seed " << seed << " shards " << shards;
-    ASSERT_EQ(async, expect) << "seed " << seed << " shards " << shards
-                             << (parallel_engines ? " (parallel engines)"
-                                                  : " (sequential engines)");
+    ASSERT_EQ(seq_ref, expect) << repro(seed, "test_dist_async", kFilter);
+    ASSERT_EQ(bsp, expect) << "shards " << shards << ", "
+                           << repro(seed, "test_dist_async", kFilter);
+    ASSERT_EQ(async, expect)
+        << "shards " << shards
+        << (parallel_engines ? " (parallel engines), "
+                             : " (sequential engines), ")
+        << repro(seed, "test_dist_async", kFilter);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EngineOptions flag matrix: no_delta x no_gamma x task_per_rule x
+// delta_stripes, swept differentially.  The programs use the small shape
+// (2 duplicate rules, low fan-out/depth) because -noGamma removes
+// set-semantics dedup: every derivation path is walked, and the observed
+// set is collected through the table effect (fires once per delivery)
+// rather than a Gamma scan.
+// ---------------------------------------------------------------------------
+
+TEST(EngineOptionsMatrix, AllFlagCombinationsMatchOracle) {
+  constexpr const char* kFilter =
+      "EngineOptionsMatrix.AllFlagCombinationsMatchOracle";
+  const std::uint64_t base = seed_base();
+  const std::uint64_t count = seed_count(24);
+  for (std::uint64_t seed = base; seed < base + count; ++seed) {
+    const Program p = random_small_program(seed * 0x51ed2701ULL + 3);
+    const std::set<Tok> expect = oracle_fixpoint(p);
+    for (const bool sequential : {true, false}) {
+      for (const bool no_delta : {false, true}) {
+        for (const bool no_gamma : {false, true}) {
+          // task_per_rule and delta_stripes only exist in parallel mode.
+          const std::vector<std::pair<bool, int>> parallel_axes =
+              sequential ? std::vector<std::pair<bool, int>>{{false, 0}}
+                         : std::vector<std::pair<bool, int>>{
+                               {false, 0}, {true, 0}, {false, 4}, {true, 4}};
+          for (const auto& [task_per_rule, stripes] : parallel_axes) {
+            EngineOptions opts;
+            opts.sequential = sequential;
+            opts.threads = 2;
+            opts.task_per_rule = task_per_rule;
+            opts.delta_stripes = stripes;
+            if (no_delta) opts.no_delta.insert("Tok");
+            if (no_gamma) opts.no_gamma.insert("Tok");
+            ASSERT_EQ(single_engine_fixpoint(p, opts), expect)
+                << "sequential=" << sequential << " no_delta=" << no_delta
+                << " no_gamma=" << no_gamma
+                << " task_per_rule=" << task_per_rule
+                << " delta_stripes=" << stripes << ", "
+                << repro(seed, "test_dist_async", kFilter);
+          }
+        }
+      }
+    }
   }
 }
 
@@ -239,7 +178,9 @@ TEST(AsyncDifferential, EventDrivenReruns) {
   p.keys = 8;
   p.max_gen = 6;
   p.adj.assign(8, {});
-  for (std::int64_t k = 0; k < 8; ++k) p.adj[k] = {(k + 1) % 8};
+  for (std::int64_t k = 0; k < 8; ++k) {
+    p.adj[static_cast<std::size_t>(k)] = {(k + 1) % 8};
+  }
   p.seeds = {Tok{0, 0}};
 
   EngineOptions opts;

@@ -51,6 +51,41 @@ TEST(EpochWindowStore, DuplicateWithinWindowIsDetected) {
   EXPECT_EQ(store.size(), 1u);
 }
 
+TEST(EpochWindowStore, RetireUpToEmptiesOldBucketsWithoutInserts) {
+  // The engine-clock GC entry point (TableDecl::retain): a quiet store
+  // must shed history at epoch boundaries even when nothing new arrives.
+  EpochWindowStore<Cell, CellHash> store(cell_iter, 2);
+  for (std::int64_t it = 0; it < 4; ++it) {
+    store.insert({it, 0, 1.0});
+  }
+  EXPECT_EQ(store.size(), 2u);  // iterations 2 and 3 live
+  EXPECT_EQ(store.retire_up_to(2), 1);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.contains({3, 0, 1.0}));
+  EXPECT_FALSE(store.contains({2, 0, 1.0}));
+  EXPECT_EQ(store.retire_up_to(10), 1);  // clears the rest, ratchets max
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.retired(), 4);
+  // The ratchet keeps dropping stragglers behind the advanced window.
+  EXPECT_TRUE(store.insert({5, 0, 1.0}));  // fresh-but-dropped straggler
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(EpochWindowStore, DuplicateAcrossLiveEpochBucketsIsDetected) {
+  // With an engine-clock epoch_of (retain), the same tuple can re-arrive
+  // in a later epoch while still live: dedup must span the whole window.
+  std::int64_t clock = 0;
+  EpochWindowStore<Cell, CellHash> store(
+      [&clock](const Cell&) { return clock; }, 3, CellHash{},
+      /*clock_epochs=*/true);
+  clock = 1;
+  EXPECT_TRUE(store.insert({0, 7, 1.0}));
+  clock = 2;
+  EXPECT_FALSE(store.insert({0, 7, 1.0}));  // still live in epoch-1 bucket
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.contains({0, 7, 1.0}));
+}
+
 TEST(EpochWindowStore, StragglerBehindWindowDroppedButFresh) {
   EpochWindowStore<Cell, CellHash> store(cell_iter, 1);
   EXPECT_TRUE(store.insert({5, 0, 1.0}));
