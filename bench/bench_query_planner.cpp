@@ -1,0 +1,253 @@
+// Query-planner access paths vs full scans (§1.4): the speedup a routed
+// rule-body lookup gets over the O(N) Gamma scan that used to serve it.
+//
+// Workload: one table of `rows` tuples (default 10^6) under the default
+// ordered sequential store, declaring every access structure the planner
+// can route through — a primary key on the unique leading field, a hash
+// index on a 0.1%-selective group field, a composite hash index on
+// (group, cat) at ~0.01% selectivity, and an ordered-range prefix on the
+// leading field.  Each selective query shape runs twice per probe key:
+// once as a typed predicate (planner-routed) and once as the semantically
+// identical query::lambda (which carries no bindings, forcing the
+// residual full scan).  Routed and scanned results are checked identical
+// before any timing is reported.
+//
+// Results go to stdout and BENCH_query_planner.json; the headline is the
+// *minimum* speedup across the selective (<= 1% hit rate) shapes — the
+// acceptance bar is >= 5x at 10^6 rows.
+//
+// Usage: bench_query_planner [rows] [reps]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/engine.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace jstar;
+using namespace jstar::bench;
+
+struct Row {
+  std::int64_t id, group, cat, score;
+  auto operator<=>(const Row&) const = default;
+};
+
+constexpr std::int64_t kGroups = 1000;  // 0.1% of rows per group
+constexpr std::int64_t kCats = 10;      // 0.01% per (group, cat)
+
+struct PathResult {
+  std::string path;
+  double hit_rate = 0;
+  double routed_seconds = 0;
+  double scan_seconds = 0;
+  std::int64_t routed_tuples = 0;
+  std::int64_t scan_tuples = 0;
+  double speedup() const {
+    return routed_seconds > 0 ? scan_seconds / routed_seconds : 0;
+  }
+};
+
+/// Times `queries` probes of one shape, routed vs lambda-scanned, and
+/// checks the two paths return the same tuple counts per probe.
+template <typename RoutedFn, typename ScanFn>
+PathResult run_path(const std::string& name, std::int64_t rows, int queries,
+                    int reps, RoutedFn&& routed, ScanFn&& scanned) {
+  PathResult r;
+  r.path = name;
+  for (int q = 0; q < queries; ++q) {  // warmup + correctness check
+    const std::int64_t a = routed(q);
+    const std::int64_t b = scanned(q);
+    if (a != b) {
+      std::fprintf(stderr, "MISMATCH %s probe %d: routed %lld scan %lld\n",
+                   name.c_str(), q, static_cast<long long>(a),
+                   static_cast<long long>(b));
+      std::exit(1);
+    }
+  }
+  r.routed_seconds = 1e100;
+  r.scan_seconds = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    WallTimer t1;
+    std::int64_t got = 0;
+    for (int q = 0; q < queries; ++q) got += routed(q);
+    r.routed_seconds = std::min(r.routed_seconds, t1.seconds());
+    r.routed_tuples = got;
+    WallTimer t2;
+    got = 0;
+    for (int q = 0; q < queries; ++q) got += scanned(q);
+    r.scan_seconds = std::min(r.scan_seconds, t2.seconds());
+    r.scan_tuples = got;
+  }
+  r.hit_rate = static_cast<double>(r.routed_tuples) /
+               static_cast<double>(rows * queries);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::int64_t rows = arg_or(argc, argv, 1, 1000000);
+  const int reps = static_cast<int>(arg_or(argc, argv, 2, 3));
+  const int queries = 16;
+
+  print_header("query planner: routed access paths vs full scan at " +
+               std::to_string(rows) + " Gamma tuples");
+
+  Engine eng(EngineOptions{.sequential = true});
+  auto& table = eng.table(
+      TableDecl<Row>("Row")
+          .orderby_lit("R")
+          .primary_key(&Row::id)
+          .hash([](const Row& r) {
+            return hash_fields(r.id, r.group, r.cat, r.score);
+          }));
+  table.add_index(&Row::group);
+  table.add_index(&Row::group, &Row::cat);
+  table.add_range_index(
+      [](const std::vector<std::int64_t>& v) {
+        return Row{v[0], INT64_MIN, INT64_MIN, INT64_MIN};
+      },
+      &Row::id);
+
+  WallTimer load;
+  SplitMix64 rng(0xbe7c4);
+  for (std::int64_t i = 0; i < rows; ++i) {
+    eng.put(table, Row{i, i % kGroups, (i / kGroups) % kCats,
+                       static_cast<std::int64_t>(rng.next_below(1 << 20))});
+  }
+  eng.run();
+  std::printf("loaded %lld rows in %.2f s (gamma=%zu)\n",
+              static_cast<long long>(rows), load.seconds(),
+              table.gamma_size());
+
+  SplitMix64 probe_rng(0x5eed);
+  std::vector<std::int64_t> probes;
+  for (int q = 0; q < queries; ++q) {
+    probes.push_back(static_cast<std::int64_t>(
+        probe_rng.next_below(static_cast<std::uint64_t>(rows))));
+  }
+  const std::int64_t span = std::max<std::int64_t>(rows / 100, 1);  // 1%
+
+  std::vector<PathResult> results;
+  // 0.1% hit rate: single-field hash index.
+  results.push_back(run_path(
+      "index-probe eq(group)", rows, queries, reps,
+      [&](int q) {
+        return table.query_count(query::eq(&Row::group,
+                                           probes[static_cast<std::size_t>(q)] % kGroups));
+      },
+      [&](int q) {
+        const std::int64_t g = probes[static_cast<std::size_t>(q)] % kGroups;
+        return table.query_count(
+            query::lambda<Row>([g](const Row& r) { return r.group == g; }));
+      }));
+  // ~0.01%: composite hash index.
+  results.push_back(run_path(
+      "index-probe eq(group) && eq(cat)", rows, queries, reps,
+      [&](int q) {
+        const std::int64_t g = probes[static_cast<std::size_t>(q)] % kGroups;
+        return table.query_count(query::eq(&Row::group, g) &&
+                                 query::eq(&Row::cat, g % kCats));
+      },
+      [&](int q) {
+        const std::int64_t g = probes[static_cast<std::size_t>(q)] % kGroups;
+        const std::int64_t c = g % kCats;
+        return table.query_count(query::lambda<Row>(
+            [g, c](const Row& r) { return r.group == g && r.cat == c; }));
+      }));
+  // 1%: ordered-range seek on the leading field.
+  results.push_back(run_path(
+      "range-scan between(id)", rows, queries, reps,
+      [&](int q) {
+        const std::int64_t lo =
+            probes[static_cast<std::size_t>(q)] % (rows - span);
+        return table.query_count(query::between(&Row::id, lo, lo + span));
+      },
+      [&](int q) {
+        const std::int64_t lo =
+            probes[static_cast<std::size_t>(q)] % (rows - span);
+        const std::int64_t hi = lo + span;
+        return table.query_count(query::lambda<Row>(
+            [lo, hi](const Row& r) { return r.id >= lo && r.id < hi; }));
+      }));
+  // One in N: the pk probe.
+  results.push_back(run_path(
+      "pk-probe eq(id)", rows, queries, reps,
+      [&](int q) {
+        return table.query_count(
+            query::eq(&Row::id, probes[static_cast<std::size_t>(q)]));
+      },
+      [&](int q) {
+        const std::int64_t id = probes[static_cast<std::size_t>(q)];
+        return table.query_count(
+            query::lambda<Row>([id](const Row& r) { return r.id == id; }));
+      }));
+  // Contradiction: the planner proves emptiness without touching data.
+  results.push_back(run_path(
+      "always-empty eq&&eq conflict", rows, queries, reps,
+      [&](int q) {
+        const std::int64_t g = probes[static_cast<std::size_t>(q)] % kGroups;
+        return table.query_count(query::eq(&Row::group, g) &&
+                                 query::eq(&Row::group, g + 1));
+      },
+      [&](int q) {
+        const std::int64_t g = probes[static_cast<std::size_t>(q)] % kGroups;
+        return table.query_count(query::lambda<Row>([g](const Row& r) {
+          return r.group == g && r.group == g + 1;
+        }));
+      }));
+
+  std::printf("%-36s %10s %12s %12s %9s\n", "path", "hit-rate", "routed",
+              "scan", "speedup");
+  json::Array rows_json;
+  double min_selective_speedup = 1e100;
+  for (const PathResult& r : results) {
+    std::printf("%-36s %9.4f%% %10.6f s %10.6f s %8.1fx\n", r.path.c_str(),
+                r.hit_rate * 100, r.routed_seconds, r.scan_seconds,
+                r.speedup());
+    rows_json.push_back(json::Object{
+        {"path", r.path},
+        {"hit_rate", r.hit_rate},
+        {"routed_seconds", r.routed_seconds},
+        {"scan_seconds", r.scan_seconds},
+        {"routed_tuples", r.routed_tuples},
+        {"speedup", r.speedup()},
+    });
+    // The acceptance bar covers the selective (<= 1% hit rate) shapes.
+    if (r.hit_rate <= 0.01 && r.speedup() < min_selective_speedup) {
+      min_selective_speedup = r.speedup();
+    }
+  }
+  std::printf("\nheadline: min selective (<=1%% hit) speedup %.1fx over "
+              "full scan at %lld rows\n",
+              min_selective_speedup, static_cast<long long>(rows));
+
+  const json::Value doc = json::Object{
+      {"bench", "query_planner"},
+      {"rows", rows},
+      {"reps", reps},
+      {"queries_per_path", queries},
+      {"paths", std::move(rows_json)},
+      {"headline",
+       json::Object{
+           {"min_selective_speedup", min_selective_speedup},
+           {"rows", rows},
+       }},
+  };
+  std::FILE* f = std::fopen("BENCH_query_planner.json", "w");
+  if (f != nullptr) {
+    const std::string text = json::write(doc);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote BENCH_query_planner.json\n");
+  } else {
+    std::printf("could not write BENCH_query_planner.json\n");
+  }
+  return 0;
+}

@@ -198,7 +198,9 @@ Table<Done>& add_dijkstra_program(Engine& eng, const Graph& g,
           .orderby_seq("distance", &Done::distance)
           .orderby_lit("Done")
           .hash([](const Done& d) { return hash_fields(d.vertex, d.distance); })
-          .primary_key([](const Done& d) { return d.vertex; })
+          // Member-pointer pk: the query planner can now route
+          // query::eq(&Done::vertex, v) through the pk index (PkProbe).
+          .primary_key(&Done::vertex)
           .store_factory([](bool parallel) -> std::unique_ptr<GammaStore<Done>> {
             if (parallel) {
               return std::make_unique<StripedHashStore<Done, DoneHash>>(64);
@@ -209,9 +211,14 @@ Table<Done>& add_dijkstra_program(Engine& eng, const Graph& g,
 
   // Fig 5: foreach (Estimate dist) { ... }
   eng.rule(est, "settle", [&est, &done, &g](RuleCtx& ctx, const Estimate& e) {
-    if (done.get_unique(e.vertex).has_value()) return;
+    // The "is it settled yet?" negative query, written as a typed
+    // predicate: the planner compiles it to the O(1) PkProbe access path
+    // (Done declares vertex as its pk), not a Gamma scan.
+    if (!done.none(query::eq(&Done::vertex, e.vertex))) return;
     done.put(ctx, Done{e.vertex, e.distance});
     for (const Graph::Arc& arc : g.arcs(e.vertex)) {
+      // Same access path, via the raw pk probe: this runs once per arc,
+      // and get_unique skips re-building the predicate each time.
       if (!done.get_unique(arc.to).has_value()) {
         est.put(ctx, Estimate{arc.to, e.distance + arc.weight});
       }

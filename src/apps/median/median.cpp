@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <mutex>
 
 #include "util/rng.h"
@@ -202,6 +203,21 @@ double median_jstar(const std::vector<double>& values,
           .orderby_seq("iter", &PartResult::iter)
           .orderby_lit("MedResult")
           .hash([](const PartResult& r) { return hash_fields(r.iter, r.region); }));
+  // iter is PartResult's leading field: declaring it as an ordered-range
+  // prefix lets the planner compile the decide rule's "all results of this
+  // iteration" equality into an O(log N + k) seek on the default ordered
+  // store (the lower_bound tuple pins every later field at its minimum).
+  part.add_range_index(
+      [](const std::vector<std::int64_t>& v) {
+        return PartResult{v[0], std::numeric_limits<std::int32_t>::min(),
+                          std::numeric_limits<std::int64_t>::min(),
+                          std::numeric_limits<std::int64_t>::min(),
+                          -std::numeric_limits<double>::infinity(),
+                          -std::numeric_limits<double>::infinity(),
+                          std::numeric_limits<std::int32_t>::min(),
+                          std::numeric_limits<std::int32_t>::min()};
+      },
+      &PartResult::iter);
   auto& decide = eng.table(
       TableDecl<Decide>("Decide")
           .orderby_lit("Med")
@@ -297,9 +313,8 @@ double median_jstar(const std::vector<double>& values,
       return;
     }
     std::vector<PartResult> results;
-    part.scan_range(PartResult{d.iter, 0, INT64_MIN, INT64_MIN, 0, 0, 0, 0},
-                    PartResult{d.iter + 1, 0, INT64_MIN, INT64_MIN, 0, 0, 0, 0},
-                    [&](const PartResult& r) { results.push_back(r); });
+    part.query(query::eq(&PartResult::iter, d.iter),
+               [&](const PartResult& r) { results.push_back(r); });
     std::sort(results.begin(), results.end(),
               [](const PartResult& a, const PartResult& b) {
                 return a.region < b.region;

@@ -239,6 +239,22 @@ class SkipListMap {
     }
   }
 
+  /// Ordered traversal of entries with lo <= key, to the end (the
+  /// open-above form of for_range, used by unbounded range plans).
+  template <typename Fn>
+  void for_each_from(const K& lo, Fn&& fn) const {
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    find(lo, preds, succs);
+    for (Node* n = succs[0]; n != nullptr;
+         n = n->next[0].load(std::memory_order_acquire)) {
+      if (n->fully_linked.load(std::memory_order_acquire) &&
+          !n->marked.load(std::memory_order_acquire)) {
+        fn(n->key, n->value);
+      }
+    }
+  }
+
   std::size_t size() const {
     const auto s = size_.load(std::memory_order_relaxed);
     return s > 0 ? static_cast<std::size_t>(s) : 0;

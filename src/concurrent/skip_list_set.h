@@ -36,6 +36,11 @@ class SkipListSet {
     map_.for_range(lo, hi, [&](const T& k, const Unit&) { fn(k); });
   }
 
+  template <typename Fn>
+  void for_each_from(const T& lo, Fn&& fn) const {
+    map_.for_each_from(lo, [&](const T& k, const Unit&) { fn(k); });
+  }
+
   std::size_t size() const { return map_.size(); }
   bool empty() const { return map_.empty(); }
   void collect_garbage() { map_.collect_garbage(); }

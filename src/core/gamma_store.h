@@ -49,6 +49,19 @@ class GammaStore : public GammaStoreBase {
       if (!(t < lo) && (t < hi)) fn(t);
     });
   }
+  /// Visits tuples t with lo <= t, to the end of the structure's order —
+  /// the open-above range-plan pushdown.  Unordered stores fall back to a
+  /// filtered full scan.
+  virtual void scan_from(const T& lo,
+                         const std::function<void(const T&)>& fn) const {
+    scan([&](const T& t) {
+      if (!(t < lo)) fn(t);
+    });
+  }
+  /// True when the store's iteration order is the tuple order and
+  /// scan_range/scan_from seek instead of scanning — the query planner
+  /// only compiles range plans against such stores.
+  virtual bool ordered() const { return false; }
 };
 
 /// Sequential ordered store — the Java TreeSet default.
@@ -66,6 +79,11 @@ class TreeSetStore final : public GammaStore<T> {
       fn(*it);
     }
   }
+  void scan_from(const T& lo,
+                 const std::function<void(const T&)>& fn) const override {
+    for (auto it = set_.lower_bound(lo); it != set_.end(); ++it) fn(*it);
+  }
+  bool ordered() const override { return true; }
   std::size_t size() const override { return set_.size(); }
 
  private:
@@ -86,6 +104,11 @@ class SkipListStore final : public GammaStore<T> {
                   const std::function<void(const T&)>& fn) const override {
     set_.for_range(lo, hi, fn);
   }
+  void scan_from(const T& lo,
+                 const std::function<void(const T&)>& fn) const override {
+    set_.for_each_from(lo, fn);
+  }
+  bool ordered() const override { return true; }
   std::size_t size() const override { return set_.size(); }
 
  private:

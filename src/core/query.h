@@ -4,19 +4,29 @@
 //
 // Predicates built from field matchers compose with && and ||, and they
 // *describe* themselves: each predicate knows which fields it constrains
-// to equality, so the engine can route a query through a secondary index
-// when one exists (see table.h / index support) instead of scanning —
-// reproducing the paper's point that query structure, not the program
-// text, should pick the data structure.
+// to equality (EqBinding) and which to an interval (RangeBinding), so the
+// query planner (core/query_plan.h) can route a query through a primary
+// key, a secondary index or an ordered range scan instead of a full Gamma
+// scan — reproducing the paper's point that query structure, not the
+// program text, should pick the data structure.
+//
+// Conjunction normalises its bindings: equalities are deduped by field
+// tag, intervals on the same field are intersected, and an unsatisfiable
+// combination (eq(f, a) && eq(f, b), an empty interval, or an equality
+// outside its field's interval) marks the predicate as *never true*, which
+// the planner compiles to the always-empty access path.
 //
 //   using q = jstar::query;
 //   auto p = q::eq(&Pv::year, 2012) && q::lt(&Pv::power, 100);
 //   table.find_if(p);   // works anywhere a callable is expected
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 namespace jstar::query {
@@ -27,6 +37,17 @@ namespace jstar::query {
 struct EqBinding {
   const void* field_tag = nullptr;
   std::int64_t value = 0;
+};
+
+/// One interval binding: "lo <= field #tag <= hi" (both inclusive; the
+/// INT64_MIN/INT64_MAX sentinels mean unbounded).  lt/le/gt/ge/between
+/// produce these; conjunction intersects intervals with the same tag.
+struct RangeBinding {
+  const void* field_tag = nullptr;
+  std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+  std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+
+  bool empty() const { return lo > hi; }
 };
 
 namespace detail {
@@ -52,26 +73,87 @@ const void* field_tag(M T::*member) {
   return reinterpret_cast<const void*>(h);
 }
 
+/// True when every value of X survives a round trip through int64 —
+/// signed integrals and anything narrower than 64 bits.  uint64 is out:
+/// values above INT64_MAX would wrap, falsifying interval arithmetic.
+template <typename X>
+inline constexpr bool int64_exact_v =
+    std::is_integral_v<X> && (std::is_signed_v<X> || sizeof(X) < 8);
+
+/// Bindings describe field/value pairs as int64 — sound only when both
+/// the member and the probe value convert exactly (a truncated double or
+/// a wrapped uint64 would make interval arithmetic, and hence
+/// never-detection and range-plan bounds, lie about the callable).
+/// Other matchers simply carry no bindings and plan as residual scans.
+template <typename M, typename V>
+inline constexpr bool bindable_v = int64_exact_v<M> && int64_exact_v<V>;
+
 }  // namespace detail
 
-/// A predicate over T: callable, plus the list of equality bindings it
-/// implies (for index routing).  And/Or compose; Or discards bindings
-/// (a disjunction no longer pins a field to one value).
+/// A predicate over T: callable, plus the equality and interval bindings
+/// it implies (for planner routing) and a `never` flag for conjunctions
+/// provably unsatisfiable from the bindings alone.  And composes and
+/// normalises bindings; Or and Not discard them (a disjunction no longer
+/// pins a field, and negation flips satisfiability in ways the bindings
+/// cannot express).
 template <typename T>
 class Pred {
  public:
-  Pred(std::function<bool(const T&)> fn, std::vector<EqBinding> eqs = {})
-      : fn_(std::move(fn)), eqs_(std::move(eqs)) {}
+  Pred(std::function<bool(const T&)> fn, std::vector<EqBinding> eqs = {},
+       std::vector<RangeBinding> ranges = {}, bool never = false)
+      : fn_(std::move(fn)), eqs_(std::move(eqs)), ranges_(std::move(ranges)),
+        never_(never) {}
 
   bool operator()(const T& t) const { return fn_(t); }
   const std::vector<EqBinding>& eq_bindings() const { return eqs_; }
+  const std::vector<RangeBinding>& range_bindings() const { return ranges_; }
+  /// True when the bindings prove the predicate matches no tuple (e.g.
+  /// eq(f, 1) && eq(f, 2)).  The callable agrees — it would return false
+  /// for every input — so the planner may skip the data entirely.
+  bool never() const { return never_; }
 
   friend Pred operator&&(const Pred& a, const Pred& b) {
     std::vector<EqBinding> eqs = a.eqs_;
-    eqs.insert(eqs.end(), b.eqs_.begin(), b.eqs_.end());
+    std::vector<RangeBinding> ranges = a.ranges_;
+    bool never = a.never_ || b.never_;
+    // Dedupe equalities by field tag; two different pinned values on the
+    // same field can never both hold.
+    for (const EqBinding& nb : b.eqs_) {
+      bool seen = false;
+      for (const EqBinding& ob : eqs) {
+        if (ob.field_tag != nb.field_tag) continue;
+        seen = true;
+        if (ob.value != nb.value) never = true;
+        break;
+      }
+      if (!seen) eqs.push_back(nb);
+    }
+    // Intersect intervals per field tag.
+    for (const RangeBinding& nr : b.ranges_) {
+      bool seen = false;
+      for (RangeBinding& orr : ranges) {
+        if (orr.field_tag != nr.field_tag) continue;
+        seen = true;
+        orr.lo = std::max(orr.lo, nr.lo);
+        orr.hi = std::min(orr.hi, nr.hi);
+        break;
+      }
+      if (!seen) ranges.push_back(nr);
+    }
+    // An empty interval, or an equality outside its field's interval, is a
+    // contradiction.
+    for (const RangeBinding& r : ranges) {
+      if (r.empty()) never = true;
+      for (const EqBinding& e : eqs) {
+        if (e.field_tag == r.field_tag &&
+            (e.value < r.lo || e.value > r.hi)) {
+          never = true;
+        }
+      }
+    }
     return Pred(
         [fa = a.fn_, fb = b.fn_](const T& t) { return fa(t) && fb(t); },
-        std::move(eqs));
+        std::move(eqs), std::move(ranges), never);
   }
   friend Pred operator||(const Pred& a, const Pred& b) {
     return Pred(
@@ -84,14 +166,21 @@ class Pred {
  private:
   std::function<bool(const T&)> fn_;
   std::vector<EqBinding> eqs_;
+  std::vector<RangeBinding> ranges_;
+  bool never_ = false;
 };
 
 /// field == value — the indexable equality matcher.
 template <typename T, typename M, typename V>
 Pred<T> eq(M T::*member, V value) {
-  EqBinding b{detail::field_tag(member), static_cast<std::int64_t>(value)};
-  return Pred<T>(
-      [member, value](const T& t) { return t.*member == value; }, {b});
+  if constexpr (detail::bindable_v<M, V>) {
+    EqBinding b{detail::field_tag(member), static_cast<std::int64_t>(value)};
+    return Pred<T>(
+        [member, value](const T& t) { return t.*member == value; }, {b});
+  } else {
+    return Pred<T>(
+        [member, value](const T& t) { return t.*member == value; });
+  }
 }
 
 template <typename T, typename M, typename V>
@@ -100,30 +189,75 @@ Pred<T> ne(M T::*member, V value) {
 }
 template <typename T, typename M, typename V>
 Pred<T> lt(M T::*member, V value) {
-  return Pred<T>([member, value](const T& t) { return t.*member < value; });
+  const auto fn = [member, value](const T& t) { return t.*member < value; };
+  if constexpr (detail::bindable_v<M, V>) {
+    const auto v = static_cast<std::int64_t>(value);
+    RangeBinding r{detail::field_tag(member),
+                   std::numeric_limits<std::int64_t>::min(),
+                   v == std::numeric_limits<std::int64_t>::min() ? v : v - 1};
+    const bool never = v == std::numeric_limits<std::int64_t>::min();
+    return Pred<T>(fn, {}, {r}, never);
+  } else {
+    return Pred<T>(fn);
+  }
 }
 template <typename T, typename M, typename V>
 Pred<T> le(M T::*member, V value) {
-  return Pred<T>([member, value](const T& t) { return t.*member <= value; });
+  const auto fn = [member, value](const T& t) { return t.*member <= value; };
+  if constexpr (detail::bindable_v<M, V>) {
+    RangeBinding r{detail::field_tag(member),
+                   std::numeric_limits<std::int64_t>::min(),
+                   static_cast<std::int64_t>(value)};
+    return Pred<T>(fn, {}, {r});
+  } else {
+    return Pred<T>(fn);
+  }
 }
 template <typename T, typename M, typename V>
 Pred<T> gt(M T::*member, V value) {
-  return Pred<T>([member, value](const T& t) { return t.*member > value; });
+  const auto fn = [member, value](const T& t) { return t.*member > value; };
+  if constexpr (detail::bindable_v<M, V>) {
+    const auto v = static_cast<std::int64_t>(value);
+    RangeBinding r{detail::field_tag(member),
+                   v == std::numeric_limits<std::int64_t>::max() ? v : v + 1,
+                   std::numeric_limits<std::int64_t>::max()};
+    const bool never = v == std::numeric_limits<std::int64_t>::max();
+    return Pred<T>(fn, {}, {r}, never);
+  } else {
+    return Pred<T>(fn);
+  }
 }
 template <typename T, typename M, typename V>
 Pred<T> ge(M T::*member, V value) {
-  return Pred<T>([member, value](const T& t) { return t.*member >= value; });
+  const auto fn = [member, value](const T& t) { return t.*member >= value; };
+  if constexpr (detail::bindable_v<M, V>) {
+    RangeBinding r{detail::field_tag(member),
+                   static_cast<std::int64_t>(value),
+                   std::numeric_limits<std::int64_t>::max()};
+    return Pred<T>(fn, {}, {r});
+  } else {
+    return Pred<T>(fn);
+  }
 }
 
 /// value in [lo, hi)
 template <typename T, typename M, typename V>
 Pred<T> between(M T::*member, V lo, V hi) {
-  return Pred<T>([member, lo, hi](const T& t) {
+  const auto fn = [member, lo, hi](const T& t) {
     return t.*member >= lo && t.*member < hi;
-  });
+  };
+  if constexpr (detail::bindable_v<M, V>) {
+    const auto l = static_cast<std::int64_t>(lo);
+    const auto h = static_cast<std::int64_t>(hi);
+    RangeBinding r{detail::field_tag(member), l,
+                   h == std::numeric_limits<std::int64_t>::min() ? h : h - 1};
+    return Pred<T>(fn, {}, {r}, r.empty());
+  } else {
+    return Pred<T>(fn);
+  }
 }
 
-/// Arbitrary lambda escape hatch (no index routing information).
+/// Arbitrary lambda escape hatch (no planner routing information).
 template <typename T, typename Fn>
 Pred<T> lambda(Fn&& fn) {
   return Pred<T>(std::function<bool(const T&)>(std::forward<Fn>(fn)));

@@ -1,0 +1,251 @@
+// The query-planner layer (§1.4): compiles a query::Pred<T> into an
+// *access path* against one table's storage.
+//
+// The paper's claim is that query structure, not program text, should pick
+// the data structure.  The predicate DSL (core/query.h) extracts structure
+// — equality and interval bindings per field — and this layer matches that
+// structure against what the table declared: a primary key, secondary hash
+// indexes (single-field or composite), and ordered-range prefixes served
+// natively by an ordered Gamma store.  Table<T>::query() then *executes*
+// the plan; results are identical whichever path is chosen (the residual
+// predicate is always applied), so planning can never change program
+// meaning — only its cost:
+//
+//   AlwaysEmpty  O(1)          bindings are contradictory; touch nothing
+//   PkProbe      O(1)          pred pins the primary-key field
+//   IndexProbe   O(k)          secondary hash index bucket (k = bucket size)
+//   RangeScan    O(log N + k)  ordered store seek over an eq-prefix + range
+//   FullScan     O(N)          residual scan — the only option before this
+//                              layer existed
+//
+// The planner is deliberately engine-free: it consumes a PlannerCatalog (a
+// plain description of the table's access structures) so it can be unit
+// tested without building tables, and so future layers (sharded routing,
+// cost models) can reuse it.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+
+namespace jstar {
+
+/// How a planned query will touch the table's data.
+enum class AccessPath {
+  AlwaysEmpty,  ///< contradiction in the bindings; no data touched
+  PkProbe,      ///< primary-key hash probe
+  IndexProbe,   ///< secondary hash index bucket visit
+  RangeScan,    ///< ordered-store range scan (eq-prefix + optional interval)
+  FullScan,     ///< residual full scan
+};
+
+inline const char* to_string(AccessPath p) {
+  switch (p) {
+    case AccessPath::AlwaysEmpty: return "always-empty";
+    case AccessPath::PkProbe: return "pk-probe";
+    case AccessPath::IndexProbe: return "index-probe";
+    case AccessPath::RangeScan: return "range-scan";
+    case AccessPath::FullScan: return "full-scan";
+  }
+  return "?";
+}
+
+/// One hash index the table declared: all `tags` must be equality-bound
+/// for the index to serve a query (composite indexes list several tags).
+struct HashIndexSpec {
+  std::vector<const void*> tags;
+};
+
+/// One ordered-range capability: a prefix of the Gamma store's
+/// lexicographic sort order, in order.  A query routes here when the
+/// leading tags are equality-bound and (optionally) the next tag carries
+/// an interval binding.
+struct RangeIndexSpec {
+  std::vector<const void*> tags;
+};
+
+/// Everything the planner needs to know about a table, engine-free.
+struct PlannerCatalog {
+  const void* pk_tag = nullptr;  ///< primary-key field tag, if declared
+  std::vector<HashIndexSpec> hash_indexes;
+  std::vector<RangeIndexSpec> range_indexes;
+  bool store_ordered = false;  ///< Gamma store serves seeks (TreeSet/SkipList)
+  bool no_gamma = false;       ///< NullStore: scans see nothing
+};
+
+/// A compiled access path.  `values` are the equality keys in the chosen
+/// index's tag order (PkProbe uses values[0]); RangeScan uses `values` as
+/// the eq-bound prefix plus, when `has_range` is set, the inclusive
+/// [lo, hi] interval on the next prefix field.
+struct QueryPlan {
+  AccessPath path = AccessPath::FullScan;
+  int slot = -1;  ///< which hash/range index (position in the catalog)
+  std::vector<std::int64_t> values;
+  bool has_range = false;
+  std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+  std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+
+  /// Human-readable explain line for tests, logs and benchmarks.
+  std::string describe() const {
+    std::string s = to_string(path);
+    if (path == AccessPath::PkProbe && !values.empty()) {
+      s += "(pk=" + std::to_string(values[0]) + ")";
+    } else if (path == AccessPath::IndexProbe) {
+      s += "(index " + std::to_string(slot) + ", keys=";
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i) s += ",";
+        s += std::to_string(values[i]);
+      }
+      s += ")";
+    } else if (path == AccessPath::RangeScan) {
+      s += "(range " + std::to_string(slot) + ", prefix=";
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i) s += ",";
+        s += std::to_string(values[i]);
+      }
+      if (has_range) {
+        s += ", [" +
+             (lo == std::numeric_limits<std::int64_t>::min()
+                  ? std::string("-inf")
+                  : std::to_string(lo)) +
+             ", " +
+             (hi == std::numeric_limits<std::int64_t>::max()
+                  ? std::string("+inf")
+                  : std::to_string(hi)) +
+             "]";
+      }
+      s += ")";
+    }
+    return s;
+  }
+};
+
+namespace detail {
+
+inline const query::EqBinding* find_eq(
+    const std::vector<query::EqBinding>& eqs, const void* tag) {
+  for (const query::EqBinding& e : eqs) {
+    if (e.field_tag == tag) return &e;
+  }
+  return nullptr;
+}
+
+inline const query::RangeBinding* find_range(
+    const std::vector<query::RangeBinding>& ranges, const void* tag) {
+  for (const query::RangeBinding& r : ranges) {
+    if (r.field_tag == tag) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace detail
+
+/// Compiles a predicate against a table description.  Deterministic: the
+/// first (most specific) match in the fixed preference order wins —
+/// contradiction, primary key, widest-covering hash index, longest
+/// ordered-range prefix, residual scan.
+template <typename T>
+QueryPlan plan_query(const PlannerCatalog& cat, const query::Pred<T>& pred) {
+  QueryPlan plan;
+  const auto& eqs = pred.eq_bindings();
+  const auto& ranges = pred.range_bindings();
+
+  if (pred.never()) {
+    plan.path = AccessPath::AlwaysEmpty;
+    return plan;
+  }
+  // A -noGamma table stores nothing: every scan is empty, and any index
+  // the program declared must not resurrect tuples the store dropped, so
+  // the plan degrades to the (vacuous) scan.
+  if (cat.no_gamma) return plan;
+
+  if (cat.pk_tag != nullptr) {
+    if (const query::EqBinding* e = detail::find_eq(eqs, cat.pk_tag)) {
+      plan.path = AccessPath::PkProbe;
+      plan.values = {e->value};
+      return plan;
+    }
+  }
+
+  // Widest hash index whose every tag is equality-bound (ties: first
+  // declared).  Composite indexes therefore beat single-field ones when
+  // both apply.
+  int best_slot = -1;
+  std::size_t best_width = 0;
+  for (std::size_t i = 0; i < cat.hash_indexes.size(); ++i) {
+    const HashIndexSpec& idx = cat.hash_indexes[i];
+    if (idx.tags.empty() || idx.tags.size() <= best_width) continue;
+    bool all = true;
+    for (const void* tag : idx.tags) {
+      if (detail::find_eq(eqs, tag) == nullptr) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      best_slot = static_cast<int>(i);
+      best_width = idx.tags.size();
+    }
+  }
+  if (best_slot >= 0) {
+    plan.path = AccessPath::IndexProbe;
+    plan.slot = best_slot;
+    for (const void* tag : cat.hash_indexes[static_cast<std::size_t>(
+             best_slot)].tags) {
+      plan.values.push_back(detail::find_eq(eqs, tag)->value);
+    }
+    return plan;
+  }
+
+  // Longest ordered-range prefix: leading tags equality-bound, optionally
+  // one interval on the next tag.  Only worth it when the store can seek.
+  if (cat.store_ordered) {
+    int range_slot = -1;
+    std::size_t range_prefix = 0;
+    bool range_has_interval = false;
+    const query::RangeBinding* range_interval = nullptr;
+    for (std::size_t i = 0; i < cat.range_indexes.size(); ++i) {
+      const RangeIndexSpec& idx = cat.range_indexes[i];
+      std::size_t prefix = 0;
+      while (prefix < idx.tags.size() &&
+             detail::find_eq(eqs, idx.tags[prefix]) != nullptr) {
+        ++prefix;
+      }
+      const query::RangeBinding* interval =
+          prefix < idx.tags.size()
+              ? detail::find_range(ranges, idx.tags[prefix])
+              : nullptr;
+      if (prefix == 0 && interval == nullptr) continue;
+      const std::size_t covered = prefix + (interval != nullptr ? 1 : 0);
+      if (covered > range_prefix + (range_has_interval ? 1 : 0) ||
+          range_slot < 0) {
+        range_slot = static_cast<int>(i);
+        range_prefix = prefix;
+        range_has_interval = interval != nullptr;
+        range_interval = interval;
+      }
+    }
+    if (range_slot >= 0) {
+      plan.path = AccessPath::RangeScan;
+      plan.slot = range_slot;
+      const RangeIndexSpec& idx =
+          cat.range_indexes[static_cast<std::size_t>(range_slot)];
+      for (std::size_t i = 0; i < range_prefix; ++i) {
+        plan.values.push_back(detail::find_eq(eqs, idx.tags[i])->value);
+      }
+      if (range_has_interval) {
+        plan.has_range = true;
+        plan.lo = range_interval->lo;
+        plan.hi = range_interval->hi;
+      }
+      return plan;
+    }
+  }
+
+  return plan;  // residual FullScan
+}
+
+}  // namespace jstar

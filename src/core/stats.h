@@ -21,6 +21,13 @@ struct TableStats {
   std::atomic<std::int64_t> pk_conflicts{0};   // primary-key invariant hits
   std::atomic<std::int64_t> index_lookups{0};  // queries routed via an index
   std::atomic<std::int64_t> full_scans{0};     // queries that had to scan
+  // --- query-planner access paths (core/query_plan.h) ---
+  std::atomic<std::int64_t> pk_probes{0};      // plans served by the pk index
+  std::atomic<std::int64_t> range_scans{0};    // plans served by ordered range
+  std::atomic<std::int64_t> empty_plans{0};    // contradictions: no data read
+  std::atomic<std::int64_t> index_retired{0};  // index entries swept by GC
+  std::atomic<std::int64_t> residual_rows{0};  // tuples a routed plan examined
+  std::atomic<std::int64_t> residual_hits{0};  // ...of which passed the filter
 
   void reset() {
     puts = 0;
@@ -34,6 +41,12 @@ struct TableStats {
     pk_conflicts = 0;
     index_lookups = 0;
     full_scans = 0;
+    pk_probes = 0;
+    range_scans = 0;
+    empty_plans = 0;
+    index_retired = 0;
+    residual_rows = 0;
+    residual_hits = 0;
   }
 };
 

@@ -21,9 +21,11 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -34,6 +36,7 @@
 #include "core/gamma_store.h"
 #include "core/key.h"
 #include "core/query.h"
+#include "core/query_plan.h"
 #include "core/window_store.h"
 #include "core/orderby.h"
 #include "core/stats.h"
@@ -162,6 +165,16 @@ class TableDecl {
     return *this;
   }
 
+  /// Member-pointer form: additionally records the field's identity so the
+  /// query planner can route query::eq on this field through the pk index
+  /// (the O(1) PkProbe access path).
+  template <typename M>
+  TableDecl& primary_key(M T::*member) {
+    pk_tag_ = query::field_tag(member);
+    return primary_key(std::function<std::int64_t(const T&)>(
+        [member](const T& t) { return static_cast<std::int64_t>(t.*member); }));
+  }
+
   /// Overrides the Gamma data structure (the §1.4 / §6.2 tuning hook).
   TableDecl& store_factory(StoreFactory f) {
     store_factory_ = std::move(f);
@@ -223,6 +236,7 @@ class TableDecl {
   std::vector<Level> levels_;
   std::function<std::size_t(const T&)> hash_;
   std::function<std::int64_t(const T&)> pk_;
+  const void* pk_tag_ = nullptr;  // set by the member-pointer overload
   StoreFactory store_factory_;
   std::function<void(const T&)> effect_;
   std::function<std::int64_t(const T&)> retain_epoch_of_;  // lifetime hint
@@ -375,7 +389,11 @@ class Table final : public TableBase {
   }
 
   /// First tuple satisfying pred, if any (a `get ... ?` query).
+  /// The generic overloads below are constrained away from query::Pred<T>
+  /// arguments: an unconstrained forwarding template would win overload
+  /// resolution for rvalue predicates and silently bypass the planner.
   template <typename Pred>
+    requires(!std::is_same_v<std::decay_t<Pred>, query::Pred<T>>)
   std::optional<T> find_if(Pred&& pred) const {
     std::optional<T> out;
     scan([&](const T& t) {
@@ -384,13 +402,29 @@ class Table final : public TableBase {
     return out;
   }
 
+  /// Planned overload: a typed predicate routes through plan_for() — pk
+  /// probe, index bucket, ordered range — instead of scanning.
+  std::optional<T> find_if(const query::Pred<T>& pred) const {
+    std::optional<T> out;
+    query(pred, [&](const T& t) {
+      if (!out) out = t;
+    });
+    return out;
+  }
+
   template <typename Pred>
+    requires(!std::is_same_v<std::decay_t<Pred>, query::Pred<T>>)
   std::int64_t count_if(Pred&& pred) const {
     std::int64_t n = 0;
     scan([&](const T& t) {
       if (pred(t)) ++n;
     });
     return n;
+  }
+
+  /// Planned overload (same routing as query()).
+  std::int64_t count_if(const query::Pred<T>& pred) const {
+    return query_count(pred);
   }
 
   /// Aggregate query: folds every stored tuple into a reducer (the
@@ -407,6 +441,7 @@ class Table final : public TableBase {
   /// `get min T(...)`: the least tuple under `less` among those matching
   /// pred, if any.
   template <typename Pred, typename Less = std::less<T>>
+    requires(!std::is_same_v<std::decay_t<Pred>, query::Pred<T>>)
   std::optional<T> min_by(Pred&& pred, Less less = {}) const {
     std::optional<T> best;
     scan([&](const T& t) {
@@ -416,10 +451,35 @@ class Table final : public TableBase {
     return best;
   }
 
+  /// Planned overload: visits only the plan's access path.
+  template <typename Less = std::less<T>>
+  std::optional<T> min_by(const query::Pred<T>& pred, Less less = {}) const {
+    std::optional<T> best;
+    query(pred, [&](const T& t) {
+      if (!best || less(t, *best)) best = t;
+    });
+    return best;
+  }
+
   /// Negative query (§4): true iff no stored tuple matches.
   template <typename Pred>
+    requires(!std::is_same_v<std::decay_t<Pred>, query::Pred<T>>)
   bool none(Pred&& pred) const {
     return !find_if(std::forward<Pred>(pred)).has_value();
+  }
+
+  /// Planned overload.
+  bool none(const query::Pred<T>& pred) const {
+    return !find_if(pred).has_value();
+  }
+
+  /// Planned aggregate: folds every tuple on the predicate's access path
+  /// into a reducer (reduce/reducers.h, or any type with add()) — the
+  /// `get sum/min/count` aggregates of §3–§4, now planner-routed.
+  template <typename R, typename Proj>
+  R fold(const query::Pred<T>& pred, Proj&& proj, R reducer = R{}) const {
+    query(pred, [&](const T& t) { reducer.add(proj(t)); });
+    return reducer;
   }
 
   bool contains(const T& t) const {
@@ -432,51 +492,76 @@ class Table final : public TableBase {
   GammaStore<T>* store() { return store_.get(); }
   const GammaStore<T>* store() const { return store_.get(); }
 
-  // --- secondary indexes & routed queries (§1.4) ---------------------------
+  // --- secondary indexes, range prefixes & planned queries (§1.4) ----------
 
-  /// Declares a secondary hash index on an integral field.  Must be called
-  /// before the engine starts; index maintenance then piggybacks on Gamma
-  /// inserts.  Queries built from query::eq on the same field are routed
-  /// through the index automatically (see query()).
-  template <typename M>
-  void add_index(M T::*member) {
+  /// Declares a secondary hash index on one or more integral fields (a
+  /// composite index when several are given).  Must be called before the
+  /// engine starts; index maintenance then piggybacks on Gamma inserts and
+  /// retention sweeps (retire_epochs).  Queries whose predicate pins every
+  /// indexed field with query::eq route through the index automatically.
+  template <typename... Ms>
+  void add_index(Ms T::*... members) {
+    static_assert(sizeof...(Ms) >= 1, "add_index needs at least one field");
     JSTAR_CHECK_MSG(store_ == nullptr,
                     "index on '" + name_ + "' added after execution started");
-    indexes_.push_back(std::make_unique<SecondaryIndex>(
-        query::field_tag(member), [member](const T& t) {
-          return static_cast<std::int64_t>(t.*member);
-        }));
+    std::vector<const void*> tags{query::field_tag(members)...};
+    std::vector<std::function<std::int64_t(const T&)>> getters{
+        std::function<std::int64_t(const T&)>([members](const T& t) {
+          return static_cast<std::int64_t>(t.*members);
+        })...};
+    indexes_.push_back(std::make_unique<SecondaryIndex>(std::move(tags),
+                                                        std::move(getters)));
   }
 
-  /// Runs `fn` over every stored tuple matching `pred`.  If the predicate
-  /// pins an indexed field to a value, only that index bucket is visited
-  /// (stats().index_lookups); otherwise the whole table is scanned
-  /// (stats().full_scans).  Results are identical either way — the §1.4
-  /// claim that access-path choice cannot change program meaning.
+  /// Declares an ordered-range prefix: `members...` must be a prefix of
+  /// the Gamma store's lexicographic sort order (for the defaulted <=>
+  /// stores, the struct's leading fields in order).  `lower_bound` maps a
+  /// vector of 1..N leading values to the *least* tuple carrying them
+  /// (remaining fields at their minimum).  The planner then compiles
+  /// eq-prefix + interval predicates on these fields into O(log N + k)
+  /// seeks on TreeSetStore/SkipListStore instead of full scans.  Ignored
+  /// (residual scan) when the configured store is unordered.
+  template <typename... Ms>
+  void add_range_index(
+      std::function<T(const std::vector<std::int64_t>&)> lower_bound,
+      Ms T::*... members) {
+    static_assert(sizeof...(Ms) >= 1,
+                  "add_range_index needs at least one field");
+    JSTAR_CHECK_MSG(store_ == nullptr,
+                    "range index on '" + name_ +
+                        "' added after execution started");
+    range_indexes_.push_back(RangeIndex{
+        {query::field_tag(members)...},
+        {std::function<std::int64_t(const T&)>([members](const T& t) {
+          return static_cast<std::int64_t>(t.*members);
+        })...},
+        std::move(lower_bound)});
+  }
+
+  /// The planner-visible description of this table's access structures
+  /// (the cached copy once configure() froze the declarations).
+  PlannerCatalog planner_catalog() const {
+    return store_ != nullptr ? catalog_ : build_planner_catalog();
+  }
+
+  /// Compiles (but does not run) the access path `query(pred, ...)` would
+  /// take — the `EXPLAIN` of this engine.
+  QueryPlan plan_for(const query::Pred<T>& pred) const {
+    if (store_ != nullptr) return plan_query(catalog_, pred);
+    return plan_query(build_planner_catalog(), pred);
+  }
+
+  /// Runs `fn` over every stored tuple matching `pred`, executing the
+  /// compiled plan: a contradiction touches nothing, a pk-pinning
+  /// predicate probes the pk index, an eq-covered hash index visits one
+  /// bucket, an ordered eq-prefix/interval seeks the store, and anything
+  /// else scans.  Results are identical whichever path runs — the §1.4
+  /// claim that access-path choice cannot change program meaning — because
+  /// the full predicate is always applied as a residual filter.
   void query(const query::Pred<T>& pred,
              const std::function<void(const T&)>& fn) const {
     stats_.queries.fetch_add(1, std::memory_order_relaxed);
-    for (const query::EqBinding& b : pred.eq_bindings()) {
-      for (const auto& idx : indexes_) {
-        if (idx->tag == b.field_tag) {
-          stats_.index_lookups.fetch_add(1, std::memory_order_relaxed);
-          // Indexes never forget, but a retention hint (retain_epochs or
-          // retain) retires tuples from the store; re-validate hits against
-          // the store so index and scan paths stay observationally
-          // identical.
-          const bool check_live =
-              decl_.retain_keep_ >= 1 || decl_.retain_engine_keep_ >= 1;
-          idx->lookup(b.value, [&](const T& t) {
-            if (pred(t) && (!check_live || store_->contains(t))) fn(t);
-          });
-          return;
-        }
-      }
-    }
-    stats_.full_scans.fetch_add(1, std::memory_order_relaxed);
-    store_->scan([&](const T& t) {
-      if (pred(t)) fn(t);
-    });
+    execute_plan(plan_for(pred), pred, fn);
   }
 
   /// Count of tuples matching pred, routed like query().
@@ -487,6 +572,7 @@ class Table final : public TableBase {
   }
 
   std::size_t index_count() const { return indexes_.size(); }
+  std::size_t range_index_count() const { return range_indexes_.size(); }
 
   void add_rule(std::string rule_name, Rule fn) {
     rules_.push_back({std::move(rule_name), std::move(fn)});
@@ -539,6 +625,7 @@ class Table final : public TableBase {
             "' sets both retain(N) and retain_epochs — pick one window");
     // Build the Gamma store per strategy (§1.4 late commitment).
     window_store_ = nullptr;
+    epoch_window_ = nullptr;
     if (no_gamma) {
       store_ = std::make_unique<NullStore<T>>();
     } else if (decl_.retain_engine_keep_ >= 1) {
@@ -554,10 +641,13 @@ class Table final : public TableBase {
           decl_.retain_engine_keep_, FnHash<T>{decl_.hash_},
           /*clock_epochs=*/true);
       window_store_ = owned.get();
+      epoch_window_ = owned.get();
       store_ = std::move(owned);
     } else if (decl_.retain_keep_ >= 1) {
-      store_ = std::make_unique<EpochWindowStore<T, FnHash<T>>>(
+      auto owned = std::make_unique<EpochWindowStore<T, FnHash<T>>>(
           decl_.retain_epoch_of_, decl_.retain_keep_, FnHash<T>{decl_.hash_});
+      epoch_window_ = owned.get();
+      store_ = std::move(owned);
     } else if (decl_.store_factory_) {
       store_ = decl_.store_factory_(env.parallel);
     } else if (env.parallel) {
@@ -565,6 +655,17 @@ class Table final : public TableBase {
     } else {
       store_ = std::make_unique<TreeSetStore<T>>();
     }
+    // Epoch-aware index maintenance: whatever the window retires is swept
+    // from the secondary indexes too, so "indexes never forget" is no
+    // longer true — routed and scanned queries see the same live set.
+    if (epoch_window_ != nullptr) {
+      epoch_window_->set_retire_listener(
+          [this](const T& t) { retire_from_indexes(t); });
+    }
+    // Declarations are frozen from here on (add_index/add_range_index
+    // check store_ == nullptr), so the planner catalog can be built once
+    // instead of per query — query() sits in hot rule bodies.
+    catalog_ = build_planner_catalog();
   }
 
   void retire_epochs(std::int64_t current_epoch) override {
@@ -654,17 +755,59 @@ class Table final : public TableBase {
     std::function<std::int64_t(const T&)> getter;
   };
 
-  /// Striped hash multimap from an integral field value to tuples; safe
-  /// for concurrent inserts from parallel rule tasks.
+  /// Striped hash multimap from an integral key to tuples; safe for
+  /// concurrent inserts from parallel rule tasks.  Composite indexes mix
+  /// the field values into one key — a mix collision only costs extra
+  /// residual-filter work, never a wrong result, because query() always
+  /// re-applies the full predicate.
   struct SecondaryIndex {
-    SecondaryIndex(const void* t, std::function<std::int64_t(const T&)> k)
-        : tag(t), key_of(std::move(k)), shards(16) {}
+    SecondaryIndex(std::vector<const void*> ts,
+                   std::vector<std::function<std::int64_t(const T&)>> gs)
+        : tags(std::move(ts)), getters(std::move(gs)), shards(16) {}
+
+    static std::int64_t mix(std::int64_t h, std::int64_t v) {
+      std::uint64_t z = static_cast<std::uint64_t>(h) ^
+                        (static_cast<std::uint64_t>(v) +
+                         0x9e3779b97f4a7c15ULL +
+                         (static_cast<std::uint64_t>(h) << 6) +
+                         (static_cast<std::uint64_t>(h) >> 2));
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      return static_cast<std::int64_t>(z ^ (z >> 27));
+    }
+
+    std::int64_t key_of(const T& t) const {
+      if (getters.size() == 1) return getters[0](t);
+      std::int64_t h = 0;
+      for (const auto& g : getters) h = mix(h, g(t));
+      return h;
+    }
+    std::int64_t key_from_values(const std::vector<std::int64_t>& vs) const {
+      if (vs.size() == 1) return vs[0];
+      std::int64_t h = 0;
+      for (const std::int64_t v : vs) h = mix(h, v);
+      return h;
+    }
 
     void insert(const T& t) {
       const std::int64_t key = key_of(t);
       Shard& s = shard_for(key);
       std::lock_guard<std::mutex> lk(s.mu);
       s.map.emplace(key, t);
+    }
+    /// Removes one entry equal to `t`, if present; returns whether an
+    /// entry was removed (retention sweeps count these).
+    bool erase(const T& t) {
+      const std::int64_t key = key_of(t);
+      Shard& s = shard_for(key);
+      std::lock_guard<std::mutex> lk(s.mu);
+      auto [lo, hi] = s.map.equal_range(key);
+      for (auto it = lo; it != hi; ++it) {
+        if (it->second == t) {
+          s.map.erase(it);
+          return true;
+        }
+      }
+      return false;
     }
     void lookup(std::int64_t key,
                 const std::function<void(const T&)>& fn) const {
@@ -674,8 +817,8 @@ class Table final : public TableBase {
       for (auto it = lo; it != hi; ++it) fn(it->second);
     }
 
-    const void* tag;
-    std::function<std::int64_t(const T&)> key_of;
+    std::vector<const void*> tags;
+    std::vector<std::function<std::int64_t(const T&)>> getters;
 
    private:
     struct Shard {
@@ -689,6 +832,24 @@ class Table final : public TableBase {
       return shards[static_cast<std::size_t>(key) % shards.size()];
     }
     mutable std::vector<Shard> shards;
+  };
+
+  /// One declared ordered-range prefix (see add_range_index).  The
+  /// getters let execute_range verify that the factory represented a
+  /// requested bound exactly (a value outside a narrower field type's
+  /// range truncates — detected as a failed round trip).
+  struct RangeIndex {
+    std::vector<const void*> tags;
+    std::vector<std::function<std::int64_t(const T&)>> getters;
+    std::function<T(const std::vector<std::int64_t>&)> lower_bound;
+
+    bool bound_exact(const T& t,
+                     const std::vector<std::int64_t>& values) const {
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        if (getters[i](t) != values[i]) return false;
+      }
+      return true;
+    }
   };
 
   void enqueue_delta(const DeltaKey& k, const T& t) {
@@ -753,7 +914,154 @@ class Table final : public TableBase {
   }
 
   void update_indexes(const T& t) {
+    if (indexes_.empty()) return;
+    // A -noGamma store retains nothing and a retention window drops
+    // stragglers on arrival; in both cases the tuple never reached Gamma,
+    // and the indexes must mirror the store exactly.
+    if (no_gamma_) return;
+    // Only tuple-carried epoch windows (retain_epochs) need the liveness
+    // guard: their insert path can drop stragglers and retire buckets
+    // mid-run.  Clock windows (retain) advance only in begin_epoch(),
+    // between runs, so inserts there can never race a retirement.
+    if (epoch_window_ != nullptr && window_store_ == nullptr) {
+      if (!store_->contains(t)) return;
+      for (const auto& idx : indexes_) idx->insert(t);
+      // A concurrent insert can retire t's bucket between the check above
+      // and our index insert — the retire listener would find nothing to
+      // erase.  The recheck closes that window: whichever of (listener
+      // erase, this erase) runs second actually removes the entry.
+      if (!store_->contains(t)) {
+        for (const auto& idx : indexes_) idx->erase(t);
+      }
+      return;
+    }
     for (const auto& idx : indexes_) idx->insert(t);
+  }
+
+  PlannerCatalog build_planner_catalog() const {
+    PlannerCatalog cat;
+    cat.pk_tag = has_pk_ ? decl_.pk_tag_ : nullptr;
+    cat.hash_indexes.reserve(indexes_.size());
+    for (const auto& idx : indexes_) cat.hash_indexes.push_back({idx->tags});
+    cat.range_indexes.reserve(range_indexes_.size());
+    for (const auto& ri : range_indexes_) {
+      cat.range_indexes.push_back({ri.tags});
+    }
+    cat.store_ordered = store_ != nullptr && store_->ordered();
+    cat.no_gamma = no_gamma_;
+    return cat;
+  }
+
+  /// Retention sweep hook (EpochWindowStore retire listener): drop the
+  /// retired tuple from every secondary index.
+  void retire_from_indexes(const T& t) {
+    for (const auto& idx : indexes_) {
+      if (idx->erase(t)) {
+        stats_.index_retired.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Runs one compiled access path, applying `pred` as the residual filter
+  /// on every routed path (so routing can never widen the result set) and
+  /// counting which path served the query.  Windowed tables additionally
+  /// re-validate index/pk hits against the store: the pk index is
+  /// deliberately never retired (get_unique's documented contract), and
+  /// revalidation keeps the sweep-based index maintenance honest even
+  /// against custom stores.
+  void execute_plan(const QueryPlan& plan, const query::Pred<T>& pred,
+                    const std::function<void(const T&)>& fn) const {
+    const bool check_live = epoch_window_ != nullptr;
+    std::int64_t examined = 0, passed = 0;
+    const auto residual = [&](const T& t) {
+      ++examined;
+      if (pred(t) && (!check_live || store_->contains(t))) {
+        ++passed;
+        fn(t);
+      }
+    };
+    switch (plan.path) {
+      case AccessPath::AlwaysEmpty:
+        stats_.empty_plans.fetch_add(1, std::memory_order_relaxed);
+        return;
+      case AccessPath::PkProbe: {
+        stats_.pk_probes.fetch_add(1, std::memory_order_relaxed);
+        if (const std::optional<T> hit = peek_pk(plan.values[0])) {
+          residual(*hit);
+        }
+        break;
+      }
+      case AccessPath::IndexProbe: {
+        stats_.index_lookups.fetch_add(1, std::memory_order_relaxed);
+        const SecondaryIndex& idx =
+            *indexes_[static_cast<std::size_t>(plan.slot)];
+        idx.lookup(idx.key_from_values(plan.values), residual);
+        break;
+      }
+      case AccessPath::RangeScan: {
+        stats_.range_scans.fetch_add(1, std::memory_order_relaxed);
+        execute_range(plan, residual);
+        break;
+      }
+      case AccessPath::FullScan:
+        stats_.full_scans.fetch_add(1, std::memory_order_relaxed);
+        store_->scan([&](const T& t) {
+          if (pred(t)) fn(t);
+        });
+        return;
+    }
+    stats_.residual_rows.fetch_add(examined, std::memory_order_relaxed);
+    stats_.residual_hits.fetch_add(passed, std::memory_order_relaxed);
+  }
+
+  /// Materialises the plan's boundary tuples through the range index's
+  /// lower_bound factory and seeks the ordered store.  Every degradation
+  /// errs on the wide side (the residual filter trims, so a seek may
+  /// visit extra tuples but must never skip matching ones):
+  ///  * an unbounded-below interval with no eq prefix has no seek origin
+  ///    — residual-scan the whole store;
+  ///  * a bound the factory could not represent exactly (a query constant
+  ///    outside a narrower field type's range truncates; detected as a
+  ///    failed getter round trip) widens to the residual scan (lo side)
+  ///    or an open-above seek (hi side);
+  ///  * an upper bound that cannot be incremented without int64 overflow
+  ///    becomes an open-above seek.
+  void execute_range(const QueryPlan& plan,
+                     const std::function<void(const T&)>& residual) const {
+    constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+    const RangeIndex& ri = range_indexes_[static_cast<std::size_t>(plan.slot)];
+    std::vector<std::int64_t> lov = plan.values;
+    // The INT64_MIN "unbounded below" sentinel is pushed like any other
+    // bound: for an int64 leading field it round-trips (seek from the
+    // store minimum, still bounded above); for a narrower field the
+    // bound_exact check below catches the truncation and degrades.
+    if (plan.has_range) lov.push_back(plan.lo);
+    if (lov.empty()) {
+      store_->scan(residual);
+      return;
+    }
+    const T lo_t = ri.lower_bound(lov);
+    if (!ri.bound_exact(lo_t, lov)) {
+      store_->scan(residual);
+      return;
+    }
+    std::vector<std::int64_t> hiv = plan.values;
+    bool open_above = false;
+    if (plan.has_range && plan.hi != kMax) {
+      hiv.push_back(plan.hi + 1);
+    } else if (!hiv.empty() && hiv.back() != kMax) {
+      hiv.back() += 1;  // end of the eq prefix
+    } else {
+      open_above = true;
+    }
+    if (!open_above) {
+      const T hi_t = ri.lower_bound(hiv);
+      if (ri.bound_exact(hi_t, hiv) && lo_t < hi_t) {
+        store_->scan_range(lo_t, hi_t, residual);
+        return;
+      }
+    }
+    store_->scan_from(lo_t, residual);
   }
 
   std::optional<T> peek_pk(std::int64_t pk) const {
@@ -787,9 +1095,14 @@ class Table final : public TableBase {
   RuntimeEnv env_;
   std::vector<KeyStep> key_steps_;
   std::vector<std::unique_ptr<SecondaryIndex>> indexes_;
+  std::vector<RangeIndex> range_indexes_;
   std::unique_ptr<GammaStore<T>> store_;
   // Set iff the store is a retain(N) engine-epoch window (aliases store_).
   EpochWindowStore<T, FnHash<T>>* window_store_ = nullptr;
+  // Set for either retention flavour (retain or retain_epochs); the retire
+  // listener sweeping the secondary indexes hangs off this.
+  EpochWindowStore<T, FnHash<T>>* epoch_window_ = nullptr;
+  PlannerCatalog catalog_;  // built once by configure()
   std::vector<NamedRule> rules_;
   bool has_pk_ = false;
   // Primary-key index: one of these is active depending on strategy.

@@ -146,6 +146,17 @@ class EpochWindowStore final : public GammaStore<T> {
     return retired_.load(std::memory_order_relaxed);
   }
 
+  /// Registers a callback invoked once per tuple the window retires (both
+  /// insert-driven and retire_up_to retirement).  This is how epoch-aware
+  /// index maintenance works: the owning table removes retired tuples from
+  /// its secondary indexes, so indexes forget exactly when Gamma does.
+  /// Called under the store's exclusive lock — the listener must not call
+  /// back into the store.  Set before the engine runs; not thread-safe
+  /// against concurrent inserts.
+  void set_retire_listener(std::function<void(const T&)> fn) {
+    on_retire_ = std::move(fn);
+  }
+
   /// Explicit GC entry point for engine-epoch windows (TableDecl::retain):
   /// retires every bucket with epoch <= threshold, exactly as if an insert
   /// had advanced the window past them.  Insert-driven retirement alone is
@@ -170,6 +181,9 @@ class EpochWindowStore final : public GammaStore<T> {
          it != buckets_.end() && it->first <= threshold;) {
       dropped += static_cast<std::int64_t>(it->second.size());
       size_ -= it->second.size();
+      if (on_retire_) {
+        for (const T& t : it->second) on_retire_(t);
+      }
       it = buckets_.erase(it);
     }
     retired_.fetch_add(dropped, std::memory_order_relaxed);
@@ -180,6 +194,7 @@ class EpochWindowStore final : public GammaStore<T> {
   const std::int64_t keep_;
   const bool clock_epochs_;
   Hash hash_;
+  std::function<void(const T&)> on_retire_;
 
   mutable std::shared_mutex mu_;
   std::map<std::int64_t, Bucket> buckets_;

@@ -145,6 +145,25 @@ struct ShardedRunReport {
   std::vector<ShardStats> shard_stats;  // one entry per shard
 };
 
+/// Cluster-wide roll-up of the query-planner access-path counters
+/// (TableStats) summed over every table of every shard engine — how the
+/// planner actually routed rule-body lookups across the cluster.  Indexes
+/// are built *per shard* (each shard's setup callback declares them on its
+/// private tables), so these counters also prove per-shard index
+/// construction took effect.
+struct ClusterQueryStats {
+  std::int64_t queries = 0;
+  std::int64_t index_lookups = 0;
+  std::int64_t full_scans = 0;
+  std::int64_t pk_probes = 0;
+  std::int64_t range_scans = 0;
+  std::int64_t empty_plans = 0;
+  std::int64_t index_retired = 0;
+  std::int64_t gamma_retired = 0;
+  std::int64_t residual_rows = 0;
+  std::int64_t residual_hits = 0;
+};
+
 template <typename T>
 class ShardedEngine;
 
@@ -243,6 +262,29 @@ class ShardedEngine {
   int shards() const { return shards_; }
   const ShardedOptions& sharded_options() const { return sopts_; }
   Engine& engine(int shard) { return *engines_.at(static_cast<std::size_t>(shard)); }
+
+  /// Sums the query-planner access-path counters over every shard's
+  /// tables.  Only meaningful while the cluster is quiescent (between
+  /// run()s) — shard workers bump the counters concurrently during a run.
+  ClusterQueryStats query_stats() const {
+    ClusterQueryStats out;
+    for (const auto& eng : engines_) {
+      for (const TableBase* t : eng->all_tables()) {
+        const TableStats& s = t->stats();
+        out.queries += s.queries.load(std::memory_order_relaxed);
+        out.index_lookups += s.index_lookups.load(std::memory_order_relaxed);
+        out.full_scans += s.full_scans.load(std::memory_order_relaxed);
+        out.pk_probes += s.pk_probes.load(std::memory_order_relaxed);
+        out.range_scans += s.range_scans.load(std::memory_order_relaxed);
+        out.empty_plans += s.empty_plans.load(std::memory_order_relaxed);
+        out.index_retired += s.index_retired.load(std::memory_order_relaxed);
+        out.gamma_retired += s.gamma_retired.load(std::memory_order_relaxed);
+        out.residual_rows += s.residual_rows.load(std::memory_order_relaxed);
+        out.residual_hits += s.residual_hits.load(std::memory_order_relaxed);
+      }
+    }
+    return out;
+  }
 
   /// Stages a tuple for delivery to `shard` at the start of the next
   /// run().  Seeds dedup under set semantics like all mail, and do not

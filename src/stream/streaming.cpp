@@ -11,6 +11,8 @@ void StreamReport::absorb(const EpochStats& e) {
   batches += e.batches;
   tuples += e.tuples;
   messages += e.messages;
+  gamma_retired += e.gamma_retired;
+  index_retired += e.index_retired;
   max_epoch_ingested = std::max(max_epoch_ingested, e.ingested);
   busy_seconds += e.seconds;
 }
@@ -24,12 +26,15 @@ std::string StreamReport::summary() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "%lld epochs, %lld ingested (max %lld/epoch), %lld batches, "
-                "%lld tuples, %.3f s busy, %.0f tuples/s",
+                "%lld tuples, %lld retired (+%lld index), %.3f s busy, "
+                "%.0f tuples/s",
                 static_cast<long long>(epochs),
                 static_cast<long long>(ingested),
                 static_cast<long long>(max_epoch_ingested),
                 static_cast<long long>(batches),
-                static_cast<long long>(tuples), busy_seconds,
+                static_cast<long long>(tuples),
+                static_cast<long long>(gamma_retired),
+                static_cast<long long>(index_retired), busy_seconds,
                 tuples_per_second());
   return std::string(buf);
 }

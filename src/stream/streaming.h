@@ -84,6 +84,8 @@ struct EpochStats {
   std::int64_t batches = 0;   ///< Delta batches of the fixpoint run
   std::int64_t tuples = 0;    ///< tuples taken out of Delta
   std::int64_t messages = 0;  ///< cross-shard messages (sharded only)
+  std::int64_t gamma_retired = 0;  ///< retain(N) tuples GC'd at epoch open
+  std::int64_t index_retired = 0;  ///< secondary-index entries swept with them
   double seconds = 0.0;       ///< deliver + run wall time
 };
 
@@ -94,6 +96,8 @@ struct StreamReport {
   std::int64_t batches = 0;
   std::int64_t tuples = 0;
   std::int64_t messages = 0;
+  std::int64_t gamma_retired = 0;  ///< cumulative retain(N) GC volume
+  std::int64_t index_retired = 0;  ///< cumulative index entries swept
   std::int64_t max_epoch_ingested = 0;
   std::int64_t epoch_log_dropped = 0;  ///< per-epoch entries aged out
   double busy_seconds = 0.0;
@@ -105,6 +109,24 @@ struct StreamReport {
 };
 
 namespace detail {
+
+/// Snapshot of one engine's cumulative retirement counters, summed over
+/// its tables.  The epoch loop diffs these around begin_epoch() to report
+/// per-epoch GC volume (retain(N) Gamma retirement + the secondary-index
+/// sweep that rides along).
+struct RetiredTotals {
+  std::int64_t gamma = 0;
+  std::int64_t index = 0;
+};
+
+inline RetiredTotals retired_totals(Engine& eng) {
+  RetiredTotals r;
+  for (const TableBase* t : eng.all_tables()) {
+    r.gamma += t->stats().gamma_retired.load(std::memory_order_relaxed);
+    r.index += t->stats().index_retired.load(std::memory_order_relaxed);
+  }
+  return r;
+}
 
 /// Ring envelope: a stream tuple or the shutdown poison pill stop() sends
 /// through the same ordered channel (so shutdown drains everything
@@ -344,6 +366,8 @@ class StreamBase {
       es.batches = run.batches;
       es.tuples = run.tuples;
       es.messages = run.messages;
+      es.gamma_retired = run.gamma_retired;
+      es.index_retired = run.index_retired;
       es.seconds = timer.seconds();
       {
         std::lock_guard<std::mutex> lk(mu_);
@@ -433,18 +457,30 @@ class StreamingEngine final
   Engine& engine() { return engine_; }
 
  private:
-  std::int64_t epoch_begin() { return engine_.begin_epoch(); }
+  std::int64_t epoch_begin() {
+    const detail::RetiredTotals before = detail::retired_totals(engine_);
+    const std::int64_t e = engine_.begin_epoch();
+    const detail::RetiredTotals after = detail::retired_totals(engine_);
+    epoch_gamma_retired_ = after.gamma - before.gamma;
+    epoch_index_retired_ = after.index - before.index;
+    return e;
+  }
   void epoch_deliver(const T& t) { deliver_(t); }
   EpochStats epoch_fixpoint() {
     const RunReport r = engine_.run();
     EpochStats es;
     es.batches = r.batches;
     es.tuples = r.tuples;
+    es.gamma_retired = epoch_gamma_retired_;
+    es.index_retired = epoch_index_retired_;
     return es;
   }
 
   Engine engine_;
   Deliver deliver_;
+  // Consumer-thread scratch: GC volume of the epoch being processed.
+  std::int64_t epoch_gamma_retired_ = 0;
+  std::int64_t epoch_index_retired_ = 0;
 };
 
 /// A long-lived sharded stream: the cluster substrate (src/dist/sharded.h,
@@ -486,7 +522,24 @@ class ShardedStreamingEngine final
   dist::ShardedEngine<T>& cluster() { return cluster_; }
 
  private:
-  std::int64_t epoch_begin() { return cluster_.begin_epoch(); }
+  detail::RetiredTotals cluster_retired_totals() {
+    detail::RetiredTotals r;
+    for (int s = 0; s < cluster_.shards(); ++s) {
+      const detail::RetiredTotals one = detail::retired_totals(
+          cluster_.engine(s));
+      r.gamma += one.gamma;
+      r.index += one.index;
+    }
+    return r;
+  }
+  std::int64_t epoch_begin() {
+    const detail::RetiredTotals before = cluster_retired_totals();
+    const std::int64_t e = cluster_.begin_epoch();
+    const detail::RetiredTotals after = cluster_retired_totals();
+    epoch_gamma_retired_ = after.gamma - before.gamma;
+    epoch_index_retired_ = after.index - before.index;
+    return e;
+  }
   void epoch_deliver(const T& t) { cluster_.seed(route_(t), t); }
   EpochStats epoch_fixpoint() {
     const dist::ShardedRunReport r = cluster_.run();
@@ -494,11 +547,15 @@ class ShardedStreamingEngine final
     es.batches = r.local_batches;
     es.tuples = r.local_tuples;
     es.messages = r.messages;
+    es.gamma_retired = epoch_gamma_retired_;
+    es.index_retired = epoch_index_retired_;
     return es;
   }
 
   Route route_;
   dist::ShardedEngine<T> cluster_;
+  std::int64_t epoch_gamma_retired_ = 0;
+  std::int64_t epoch_index_retired_ = 0;
 };
 
 }  // namespace jstar::stream

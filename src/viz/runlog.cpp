@@ -1,6 +1,7 @@
 #include "viz/runlog.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -38,10 +39,17 @@ json::Value table_to_json(const TableLog& t) {
       {"delta_dups", t.delta_dups},
       {"gamma_inserts", t.gamma_inserts},
       {"gamma_dups", t.gamma_dups},
+      {"gamma_retired", t.gamma_retired},
       {"fires", t.fires},
       {"queries", t.queries},
       {"index_lookups", t.index_lookups},
       {"full_scans", t.full_scans},
+      {"pk_probes", t.pk_probes},
+      {"range_scans", t.range_scans},
+      {"empty_plans", t.empty_plans},
+      {"index_retired", t.index_retired},
+      {"residual_rows", t.residual_rows},
+      {"residual_hits", t.residual_hits},
       {"rules", std::move(rules)},
   };
 }
@@ -57,10 +65,17 @@ TableLog table_from_json(const json::Value& v) {
   t.delta_dups = v.at("delta_dups").as_int();
   t.gamma_inserts = v.at("gamma_inserts").as_int();
   t.gamma_dups = v.at("gamma_dups").as_int();
+  t.gamma_retired = v.at("gamma_retired").as_int();
   t.fires = v.at("fires").as_int();
   t.queries = v.at("queries").as_int();
   t.index_lookups = v.at("index_lookups").as_int();
   t.full_scans = v.at("full_scans").as_int();
+  t.pk_probes = v.at("pk_probes").as_int();
+  t.range_scans = v.at("range_scans").as_int();
+  t.empty_plans = v.at("empty_plans").as_int();
+  t.index_retired = v.at("index_retired").as_int();
+  t.residual_rows = v.at("residual_rows").as_int();
+  t.residual_hits = v.at("residual_hits").as_int();
   for (const json::Value& r : v.at("rules").as_array()) {
     t.rules.push_back(r.as_string());
   }
@@ -89,10 +104,17 @@ RunLog capture(const Engine& engine, const std::string& program,
     tl.delta_dups = s.delta_dups.load();
     tl.gamma_inserts = s.gamma_inserts.load();
     tl.gamma_dups = s.gamma_dups.load();
+    tl.gamma_retired = s.gamma_retired.load();
     tl.fires = s.fires.load();
     tl.queries = s.queries.load();
     tl.index_lookups = s.index_lookups.load();
     tl.full_scans = s.full_scans.load();
+    tl.pk_probes = s.pk_probes.load();
+    tl.range_scans = s.range_scans.load();
+    tl.empty_plans = s.empty_plans.load();
+    tl.index_retired = s.index_retired.load();
+    tl.residual_rows = s.residual_rows.load();
+    tl.residual_hits = s.residual_hits.load();
     tl.rules = t->rule_names();
     log.tables.push_back(std::move(tl));
   }
@@ -174,7 +196,20 @@ std::string dot_graph(const RunLog& log) {
        << "|puts=" << t.puts << " fires=" << t.fires
        << "\\lgamma=" << t.gamma_inserts << " dup=" << t.gamma_dups
        << "\\lqueries=" << t.queries << " idx=" << t.index_lookups
-       << " scan=" << t.full_scans << "\\l}\"";
+       << " scan=" << t.full_scans << "\\l";
+    // Planner access paths, shown only when some query routed off the
+    // scan path (keeps planner-free programs' graphs unchanged).
+    // residual_rows covers index probes, which have no counter of their
+    // own in this sum (index_lookups predates the planner).
+    if (t.pk_probes + t.range_scans + t.empty_plans + t.index_retired +
+            t.residual_rows > 0) {
+      char rate[32];
+      std::snprintf(rate, sizeof(rate), "%.2f", t.residual_rate());
+      os << "pk=" << t.pk_probes << " range=" << t.range_scans
+         << " empty=" << t.empty_plans << " swept=" << t.index_retired
+         << " sel=" << rate << "\\l";
+    }
+    os << "}\"";
     if (t.fires > 0 && t.fires >= hot) os << ", color=red, penwidth=2";
     if (t.no_delta || t.no_gamma) os << ", style=dashed";
     os << "];\n";

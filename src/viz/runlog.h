@@ -31,11 +31,29 @@ struct TableLog {
   std::int64_t delta_dups = 0;
   std::int64_t gamma_inserts = 0;
   std::int64_t gamma_dups = 0;
+  std::int64_t gamma_retired = 0;
   std::int64_t fires = 0;
   std::int64_t queries = 0;
   std::int64_t index_lookups = 0;
   std::int64_t full_scans = 0;
+  // Query-planner access paths (core/query_plan.h).
+  std::int64_t pk_probes = 0;
+  std::int64_t range_scans = 0;
+  std::int64_t empty_plans = 0;
+  std::int64_t index_retired = 0;
+  std::int64_t residual_rows = 0;
+  std::int64_t residual_hits = 0;
   std::vector<std::string> rules;
+
+  /// Fraction of tuples a routed plan examined that survived the residual
+  /// filter (1.0 = every examined tuple matched, i.e. perfectly selective
+  /// routing; 0 when no routed query ran).
+  double residual_rate() const {
+    return residual_rows > 0
+               ? static_cast<double>(residual_hits) /
+                     static_cast<double>(residual_rows)
+               : 0.0;
+  }
 
   friend bool operator==(const TableLog&, const TableLog&) = default;
 };

@@ -182,5 +182,320 @@ TEST(IndexedQueryMisc, IndexSeesOnlyFreshTuples) {
   EXPECT_EQ(readings.query_count(query::eq(&Reading::sensor, 1)), 1);
 }
 
+// --- range bindings & conjunction normalisation ------------------------------
+
+TEST(QueryPred, ComparisonsCarryRangeBindings) {
+  const auto p = query::lt(&Reading::value, 10);
+  ASSERT_EQ(p.range_bindings().size(), 1u);
+  EXPECT_EQ(p.range_bindings()[0].hi, 9);
+  EXPECT_EQ(p.range_bindings()[0].lo, INT64_MIN);
+
+  const auto q2 = query::ge(&Reading::value, 3);
+  ASSERT_EQ(q2.range_bindings().size(), 1u);
+  EXPECT_EQ(q2.range_bindings()[0].lo, 3);
+  EXPECT_EQ(q2.range_bindings()[0].hi, INT64_MAX);
+
+  const auto b = query::between(&Reading::hour, 4, 8);
+  ASSERT_EQ(b.range_bindings().size(), 1u);
+  EXPECT_EQ(b.range_bindings()[0].lo, 4);
+  EXPECT_EQ(b.range_bindings()[0].hi, 7);  // [lo, hi) stored inclusively
+}
+
+TEST(QueryPred, AndIntersectsRangesPerField) {
+  const auto p = query::ge(&Reading::value, 3) &&
+                 query::lt(&Reading::value, 10) &&
+                 query::le(&Reading::hour, 5);
+  ASSERT_EQ(p.range_bindings().size(), 2u);
+  EXPECT_EQ(p.range_bindings()[0].lo, 3);
+  EXPECT_EQ(p.range_bindings()[0].hi, 9);
+  EXPECT_EQ(p.range_bindings()[1].hi, 5);
+  EXPECT_FALSE(p.never());
+}
+
+TEST(QueryPred, AndDedupesEqBindingsByField) {
+  const auto p = query::eq(&Reading::sensor, 5) &&
+                 query::eq(&Reading::sensor, 5) &&
+                 query::lt(&Reading::value, 100);
+  ASSERT_EQ(p.eq_bindings().size(), 1u);
+  EXPECT_EQ(p.eq_bindings()[0].value, 5);
+  EXPECT_FALSE(p.never());
+}
+
+TEST(QueryPred, ContradictionsAreNever) {
+  // eq(f, a) && eq(f, b), a != b.
+  EXPECT_TRUE((query::eq(&Reading::sensor, 1) &&
+               query::eq(&Reading::sensor, 2)).never());
+  // Empty interval intersection.
+  EXPECT_TRUE((query::ge(&Reading::value, 10) &&
+               query::lt(&Reading::value, 10)).never());
+  // Equality outside the field's interval.
+  EXPECT_TRUE((query::eq(&Reading::value, 50) &&
+               query::lt(&Reading::value, 10)).never());
+  // Disjunction and negation drop satisfiability knowledge.
+  const auto contradiction =
+      query::eq(&Reading::sensor, 1) && query::eq(&Reading::sensor, 2);
+  EXPECT_FALSE((contradiction || query::eq(&Reading::sensor, 3)).never());
+  EXPECT_FALSE((!contradiction).never());
+}
+
+TEST(QueryPred, NonIntegralMatchersCarryNoBindings) {
+  struct Pt {
+    double x;
+    std::int64_t i;
+    std::uint64_t u;
+    auto operator<=>(const Pt&) const = default;
+  };
+  // Double fields/probes would lie after int64 truncation, so they stay
+  // pure callables (planned as residual scans).
+  EXPECT_TRUE(query::lt(&Pt::x, 0.5).range_bindings().empty());
+  EXPECT_TRUE(query::eq(&Pt::x, 1.0).eq_bindings().empty());
+  EXPECT_TRUE(query::between(&Pt::x, 0.0, 1.0).range_bindings().empty());
+  // uint64 would wrap above INT64_MAX — no bindings either.
+  EXPECT_TRUE(query::eq(&Pt::u, std::uint64_t{1}).eq_bindings().empty());
+  EXPECT_TRUE(query::lt(&Pt::u, std::uint64_t{1} << 63)
+                  .range_bindings()
+                  .empty());
+  // ge(i, 0) && lt(i, 0.5) is satisfiable by i == 0: the truncated lt
+  // must not poison the conjunction into never().
+  const auto p = query::ge(&Pt::i, 0) && query::lt(&Pt::i, 0.5);
+  EXPECT_EQ(p.range_bindings().size(), 1u);  // only the integral side binds
+  EXPECT_FALSE(p.never());
+  EXPECT_TRUE(p(Pt{0.0, 0}));
+}
+
+// --- planned access paths ----------------------------------------------------
+
+struct Keyed {
+  std::int64_t id, group, score;
+  auto operator<=>(const Keyed&) const = default;
+};
+
+TableDecl<Keyed> keyed_decl() {
+  return TableDecl<Keyed>("Keyed").orderby_lit("K").hash([](const Keyed& k) {
+    return hash_fields(k.id, k.group, k.score);
+  });
+}
+
+class PlannedQuery : public ::testing::TestWithParam<bool /*sequential*/> {};
+
+TEST_P(PlannedQuery, AlwaysEmptyPlanTouchesNothing) {
+  EngineOptions opts;
+  opts.sequential = GetParam();
+  Engine eng(opts);
+  auto& t = eng.table(keyed_decl());
+  for (int i = 0; i < 50; ++i) eng.put(t, Keyed{i, i % 5, i});
+  eng.run();
+  const auto p = query::eq(&Keyed::group, 1) && query::eq(&Keyed::group, 2);
+  EXPECT_EQ(t.plan_for(p).path, AccessPath::AlwaysEmpty);
+  EXPECT_EQ(t.query_count(p), 0);
+  EXPECT_EQ(t.stats().empty_plans.load(), 1);
+  EXPECT_EQ(t.stats().full_scans.load(), 0);
+}
+
+TEST_P(PlannedQuery, PkProbeRoutesAndMatchesScan) {
+  EngineOptions opts;
+  opts.sequential = GetParam();
+  Engine eng(opts);
+  auto& t = eng.table(keyed_decl().primary_key(&Keyed::id));
+  for (int i = 0; i < 100; ++i) eng.put(t, Keyed{i, i % 5, i * 2});
+  eng.run();
+  const auto p = query::eq(&Keyed::id, 42);
+  EXPECT_EQ(t.plan_for(p).path, AccessPath::PkProbe);
+  const std::optional<Keyed> routed = t.find_if(p);
+  const std::optional<Keyed> scanned = t.find_if(
+      query::lambda<Keyed>([](const Keyed& k) { return k.id == 42; }));
+  ASSERT_TRUE(routed.has_value());
+  EXPECT_EQ(*routed, *scanned);
+  EXPECT_EQ(t.stats().pk_probes.load(), 1);
+  // A pk probe that misses agrees with the (empty) scan.
+  EXPECT_EQ(t.query_count(query::eq(&Keyed::id, 9999)), 0);
+  // Rvalue predicates must take the planned overloads too — an
+  // unconstrained forwarding template would win resolution for
+  // temporaries and silently full-scan.
+  EXPECT_FALSE(t.none(query::eq(&Keyed::id, 42)));
+  EXPECT_TRUE(t.find_if(query::eq(&Keyed::id, 7)).has_value());
+  EXPECT_EQ(t.stats().pk_probes.load(), 4);
+  EXPECT_EQ(t.stats().full_scans.load(), 1);  // only the lambda twin
+}
+
+TEST_P(PlannedQuery, CompositeIndexCoversMultiEqQueries) {
+  EngineOptions opts;
+  opts.sequential = GetParam();
+  Engine eng(opts);
+  auto& t = eng.table(keyed_decl());
+  t.add_index(&Keyed::group, &Keyed::score);
+  std::int64_t expect = 0;
+  for (int i = 0; i < 400; ++i) {
+    const Keyed k{i, i % 7, i % 11};
+    if (k.group == 3 && k.score == 5) ++expect;
+    eng.put(t, k);
+  }
+  eng.run();
+  const auto p = query::eq(&Keyed::group, 3) && query::eq(&Keyed::score, 5);
+  EXPECT_EQ(t.plan_for(p).path, AccessPath::IndexProbe);
+  EXPECT_GT(expect, 0);
+  EXPECT_EQ(t.query_count(p), expect);
+  EXPECT_EQ(t.stats().index_lookups.load(), 1);
+  // One pinned field alone cannot use the composite index.
+  EXPECT_EQ(t.plan_for(query::eq(&Keyed::group, 3)).path,
+            AccessPath::FullScan);
+}
+
+TEST_P(PlannedQuery, RangeScanAgreesWithScanOnOrderedStores) {
+  EngineOptions opts;
+  opts.sequential = GetParam();
+  Engine eng(opts);
+  auto& t = eng.table(keyed_decl());
+  // id is Keyed's leading field: an ordered-range prefix on it.
+  t.add_range_index(
+      [](const std::vector<std::int64_t>& v) {
+        return Keyed{v[0], INT64_MIN, INT64_MIN};
+      },
+      &Keyed::id);
+  for (int i = 0; i < 500; ++i) eng.put(t, Keyed{i % 250, i % 5, i});
+  eng.run();
+
+  const std::vector<query::Pred<Keyed>> preds = {
+      query::between(&Keyed::id, 40, 60),
+      query::ge(&Keyed::id, 200),
+      query::lt(&Keyed::id, 17),
+      query::eq(&Keyed::id, 123),
+      query::between(&Keyed::id, 10, 20) && query::ge(&Keyed::score, 100),
+  };
+  for (const auto& p : preds) {
+    EXPECT_EQ(t.plan_for(p).path, AccessPath::RangeScan) << p.never();
+    std::vector<Keyed> routed, scanned;
+    t.query(p, [&](const Keyed& k) { routed.push_back(k); });
+    t.scan([&](const Keyed& k) {
+      if (p(k)) scanned.push_back(k);
+    });
+    std::sort(routed.begin(), routed.end());
+    std::sort(scanned.begin(), scanned.end());
+    EXPECT_EQ(routed, scanned);
+    EXPECT_FALSE(routed.empty());
+  }
+  EXPECT_EQ(t.stats().range_scans.load(),
+            static_cast<std::int64_t>(preds.size()));
+  EXPECT_EQ(t.stats().full_scans.load(), 0);
+}
+
+TEST_P(PlannedQuery, FoldRoutesThroughThePlan) {
+  EngineOptions opts;
+  opts.sequential = GetParam();
+  Engine eng(opts);
+  auto& t = eng.table(keyed_decl());
+  t.add_index(&Keyed::group);
+  std::int64_t expect = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (i % 5 == 2) expect += i;
+    eng.put(t, Keyed{i, i % 5, i});
+  }
+  eng.run();
+  struct Sum {
+    std::int64_t total = 0;
+    void add(std::int64_t v) { total += v; }
+  };
+  const Sum s = t.fold(query::eq(&Keyed::group, 2),
+                       [](const Keyed& k) { return k.score; }, Sum{});
+  EXPECT_EQ(s.total, expect);
+  EXPECT_EQ(t.stats().index_lookups.load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, PlannedQuery, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "sequential" : "parallel";
+                         });
+
+TEST(PlannedQueryMisc, NoGammaIndexNeverResurrectsTuples) {
+  EngineOptions opts;
+  opts.sequential = true;
+  opts.no_gamma.insert("Keyed");
+  Engine eng(opts);
+  auto& t = eng.table(keyed_decl());
+  t.add_index(&Keyed::group);
+  for (int i = 0; i < 20; ++i) eng.put(t, Keyed{i, i % 3, i});
+  eng.run();
+  // The store retains nothing, so the routed query must see nothing too.
+  EXPECT_EQ(t.plan_for(query::eq(&Keyed::group, 1)).path,
+            AccessPath::FullScan);
+  EXPECT_EQ(t.query_count(query::eq(&Keyed::group, 1)), 0);
+}
+
+TEST(PlannedQueryMisc, RetainSweepsSecondaryIndexes) {
+  Engine eng(EngineOptions{.sequential = true});
+  auto& t = eng.table(keyed_decl().retain(1));
+  t.add_index(&Keyed::group);
+  for (int i = 0; i < 30; ++i) eng.put(t, Keyed{i, i % 3, i});
+  eng.run();
+  EXPECT_EQ(t.query_count(query::eq(&Keyed::group, 1)), 10);
+  // Open two epochs: everything inserted at epoch 0 falls out of the
+  // retain(1) window, and the index entries are swept with the tuples.
+  eng.begin_epoch();
+  eng.begin_epoch();
+  EXPECT_EQ(t.gamma_size(), 0u);
+  EXPECT_EQ(t.stats().index_retired.load(), 30);
+  EXPECT_EQ(t.query_count(query::eq(&Keyed::group, 1)), 0);
+  // Re-inserting after the sweep indexes the fresh tuples again.
+  eng.put(t, Keyed{1000, 1, 1});
+  eng.run();
+  EXPECT_EQ(t.query_count(query::eq(&Keyed::group, 1)), 1);
+}
+
+TEST(PlannedQueryMisc, RangeBoundsSurviveNarrowLeadingFields) {
+  struct Nf {
+    std::int32_t f;
+    std::int64_t v;
+    auto operator<=>(const Nf&) const = default;
+  };
+  Engine eng(EngineOptions{.sequential = true});
+  auto& t = eng.table(TableDecl<Nf>("Nf").orderby_lit("N").hash(
+      [](const Nf& n) { return hash_fields(n.f, n.v); }));
+  t.add_range_index(
+      [](const std::vector<std::int64_t>& v) {
+        return Nf{static_cast<std::int32_t>(v[0]), INT64_MIN};
+      },
+      &Nf::f);
+  for (int i = -20; i < 20; ++i) eng.put(t, Nf{i, i});
+  eng.run();
+  // Unbounded-below interval: the INT64_MIN sentinel must not reach the
+  // narrowing factory (truncated it would skip the negative tuples).
+  EXPECT_EQ(t.query_count(query::lt(&Nf::f, 5)), 25);
+  // Query constants beyond int32: the failed factory round trip degrades
+  // to a wide scan instead of seeking to a truncated bound.
+  EXPECT_EQ(t.query_count(query::between(&Nf::f, std::int64_t{0},
+                                         (std::int64_t{1} << 32) + 5)),
+            20);
+  EXPECT_EQ(t.query_count(query::ge(&Nf::f, -5)), 25);
+  EXPECT_EQ(t.stats().full_scans.load(), 0);  // all served as range plans
+}
+
+TEST(PlannedQueryMisc, ExplainDescribesThePlan) {
+  Engine eng(EngineOptions{.sequential = true});
+  auto& t = eng.table(keyed_decl().primary_key(&Keyed::id));
+  t.add_index(&Keyed::group);
+  t.add_range_index(
+      [](const std::vector<std::int64_t>& v) {
+        return Keyed{v[0], INT64_MIN, INT64_MIN};
+      },
+      &Keyed::id);
+  eng.put(t, Keyed{1, 1, 1});
+  eng.run();
+  EXPECT_EQ(t.plan_for(query::eq(&Keyed::id, 7)).describe(), "pk-probe(pk=7)");
+  EXPECT_EQ(t.plan_for(query::eq(&Keyed::group, 3)).describe(),
+            "index-probe(index 0, keys=3)");
+  EXPECT_EQ(t.plan_for(query::between(&Keyed::id, 2, 9) &&
+                       query::ne(&Keyed::id, 5))
+                .describe(),
+            "range-scan(range 0, prefix=, [2, 8])");
+  EXPECT_EQ(t.plan_for(query::lambda<Keyed>([](const Keyed&) {
+              return true;
+            })).describe(),
+            "full-scan");
+  EXPECT_EQ(t.plan_for(query::eq(&Keyed::score, 1) &&
+                       query::eq(&Keyed::score, 2))
+                .describe(),
+            "always-empty");
+}
+
 }  // namespace
 }  // namespace jstar

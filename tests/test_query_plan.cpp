@@ -1,0 +1,287 @@
+// Tests for the query-planner layer (core/query_plan.h).
+//
+// Two halves:
+//  * engine-free planner unit tests — plan_query() against a hand-built
+//    PlannerCatalog, pinning the access-path preference order (always-empty
+//    > pk probe > widest hash index > longest ordered-range prefix >
+//    residual scan) and its guards (unordered stores, -noGamma);
+//  * the randomized differential sweep (tests/differential.h) for the
+//    index ∧ retain(N) interaction: across sequential / BSP / async shard
+//    schedules driven through the streaming epoch loop, routed queries
+//    must stay tuple-for-tuple identical to full scans — including after
+//    epoch retirement has swept Gamma and the secondary indexes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/query_plan.h"
+#include "differential.h"
+#include "stream/streaming.h"
+
+namespace jstar {
+namespace {
+
+using difftest::Program;
+using difftest::Tok;
+
+// --- planner unit tests ------------------------------------------------------
+
+const void* key_tag() { return query::field_tag(&Tok::key); }
+const void* gen_tag() { return query::field_tag(&Tok::gen); }
+
+TEST(QueryPlanner, ContradictionBeatsEverything) {
+  PlannerCatalog cat;
+  cat.pk_tag = key_tag();
+  cat.hash_indexes.push_back({{key_tag()}});
+  const auto p = query::eq(&Tok::key, 1) && query::eq(&Tok::key, 2);
+  EXPECT_EQ(plan_query(cat, p).path, AccessPath::AlwaysEmpty);
+}
+
+TEST(QueryPlanner, PkBeatsHashIndexBeatsRange) {
+  PlannerCatalog cat;
+  cat.pk_tag = key_tag();
+  cat.hash_indexes.push_back({{key_tag()}});
+  cat.range_indexes.push_back({{key_tag()}});
+  cat.store_ordered = true;
+  const auto p = query::eq(&Tok::key, 7);
+  EXPECT_EQ(plan_query(cat, p).path, AccessPath::PkProbe);
+
+  cat.pk_tag = nullptr;
+  EXPECT_EQ(plan_query(cat, p).path, AccessPath::IndexProbe);
+
+  cat.hash_indexes.clear();
+  EXPECT_EQ(plan_query(cat, p).path, AccessPath::RangeScan);
+
+  cat.range_indexes.clear();
+  EXPECT_EQ(plan_query(cat, p).path, AccessPath::FullScan);
+}
+
+TEST(QueryPlanner, CompositeIndexBeatsSingleWhenBothCovered) {
+  PlannerCatalog cat;
+  cat.hash_indexes.push_back({{key_tag()}});
+  cat.hash_indexes.push_back({{key_tag(), gen_tag()}});
+  const auto p = query::eq(&Tok::key, 3) && query::eq(&Tok::gen, 4);
+  const QueryPlan plan = plan_query(cat, p);
+  EXPECT_EQ(plan.path, AccessPath::IndexProbe);
+  EXPECT_EQ(plan.slot, 1);
+  ASSERT_EQ(plan.values.size(), 2u);
+  EXPECT_EQ(plan.values[0], 3);
+  EXPECT_EQ(plan.values[1], 4);
+  // Only key pinned: the composite cannot serve, the single one can.
+  const QueryPlan single = plan_query(cat, query::eq(&Tok::key, 3));
+  EXPECT_EQ(single.path, AccessPath::IndexProbe);
+  EXPECT_EQ(single.slot, 0);
+}
+
+TEST(QueryPlanner, RangePrefixCombinesEqAndInterval) {
+  PlannerCatalog cat;
+  cat.range_indexes.push_back({{key_tag(), gen_tag()}});
+  cat.store_ordered = true;
+  const auto p = query::eq(&Tok::key, 5) && query::between(&Tok::gen, 1, 4);
+  const QueryPlan plan = plan_query(cat, p);
+  EXPECT_EQ(plan.path, AccessPath::RangeScan);
+  ASSERT_EQ(plan.values.size(), 1u);
+  EXPECT_EQ(plan.values[0], 5);
+  EXPECT_TRUE(plan.has_range);
+  EXPECT_EQ(plan.lo, 1);
+  EXPECT_EQ(plan.hi, 3);
+}
+
+TEST(QueryPlanner, UnorderedStoreDisablesRangePlans) {
+  PlannerCatalog cat;
+  cat.range_indexes.push_back({{key_tag()}});
+  cat.store_ordered = false;
+  EXPECT_EQ(plan_query(cat, query::eq(&Tok::key, 1)).path,
+            AccessPath::FullScan);
+}
+
+TEST(QueryPlanner, NoGammaDegradesToVacuousScan) {
+  PlannerCatalog cat;
+  cat.pk_tag = key_tag();
+  cat.hash_indexes.push_back({{key_tag()}});
+  cat.no_gamma = true;
+  EXPECT_EQ(plan_query(cat, query::eq(&Tok::key, 1)).path,
+            AccessPath::FullScan);
+}
+
+// --- the index ∧ retain(N) differential sweep --------------------------------
+
+/// Per-seed configuration drawn from the seed itself, so the sweep walks
+/// the whole (schedule × shards × engine × indexes × retention) matrix.
+struct SweepConfig {
+  int shards = 1;
+  dist::ShardedMode mode = dist::ShardedMode::Bsp;
+  bool sequential_engines = true;
+  int index_kind = 0;       // 0 = hash, 1 = range, 2 = hash+range+composite
+  std::int64_t retain = 0;  // 0 = keep everything
+  std::int64_t slice = 2;   // stream epoch size (small => many epochs)
+};
+
+SweepConfig config_for(std::uint64_t seed) {
+  SplitMix64 rng(seed ^ 0x9a7a11e7u);
+  SweepConfig c;
+  c.shards = 1 + static_cast<int>(rng.next_below(3));  // 1..3
+  c.mode = rng.next_below(2) == 0 ? dist::ShardedMode::Bsp
+                                  : dist::ShardedMode::Async;
+  c.sequential_engines = rng.next_below(2) == 0;
+  c.index_kind = static_cast<int>(rng.next_below(3));
+  c.retain = rng.next_below(2) == 0 ? 0 : 1 + static_cast<std::int64_t>(
+                                              rng.next_below(3));  // 1..3
+  c.slice = 1 + static_cast<std::int64_t>(rng.next_below(3));      // 1..3
+  return c;
+}
+
+/// Declares the sweep's Tok table on one shard engine: the optional
+/// retain(N) window plus the seed-selected index set.  Range prefixes ride
+/// Tok's lexicographic order (key is the leading field).
+Table<Tok>& declare_tok_table(Engine& eng, const SweepConfig& cfg) {
+  TableDecl<Tok> decl = difftest::tok_decl();
+  if (cfg.retain > 0) decl.retain(cfg.retain);
+  auto& toks = eng.table(std::move(decl));
+  if (cfg.index_kind == 0 || cfg.index_kind == 2) {
+    toks.add_index(&Tok::key);
+  }
+  if (cfg.index_kind == 2) {
+    toks.add_index(&Tok::key, &Tok::gen);
+  }
+  if (cfg.index_kind == 1 || cfg.index_kind == 2) {
+    toks.add_range_index(
+        [](const std::vector<std::int64_t>& v) {
+          return v.size() == 1 ? Tok{v[0], INT64_MIN} : Tok{v[0], v[1]};
+        },
+        &Tok::key, &Tok::gen);
+  }
+  return toks;
+}
+
+/// Compares every routed query shape against the residual-scan truth on
+/// one shard's table.  Returns false (with the failed shape recorded in
+/// *why) when any shape diverges.
+bool routed_equals_scan(Table<Tok>& toks, const Program& p,
+                        std::string* why) {
+  const auto check = [&](const query::Pred<Tok>& routed,
+                         const std::string& label) {
+    std::vector<Tok> via_plan, via_scan;
+    toks.query(routed, [&](const Tok& t) { via_plan.push_back(t); });
+    toks.scan([&](const Tok& t) {
+      if (routed(t)) via_scan.push_back(t);
+    });
+    std::sort(via_plan.begin(), via_plan.end());
+    std::sort(via_scan.begin(), via_scan.end());
+    if (via_plan != via_scan) {
+      *why = label + ": routed " + std::to_string(via_plan.size()) +
+             " tuples, scan " + std::to_string(via_scan.size());
+      return false;
+    }
+    return true;
+  };
+  for (std::int64_t k = 0; k < p.keys; ++k) {
+    if (!check(query::eq(&Tok::key, k), "eq(key)")) return false;
+    if (!check(query::eq(&Tok::key, k) && query::ge(&Tok::gen, 1),
+               "eq(key) && ge(gen)")) {
+      return false;
+    }
+    if (!check(query::eq(&Tok::key, k) && query::eq(&Tok::gen, 2),
+               "eq(key) && eq(gen)")) {
+      return false;
+    }
+  }
+  if (!check(query::between(&Tok::key, std::int64_t{0}, p.keys / 2 + 1),
+             "between(key)")) {
+    return false;
+  }
+  return true;
+}
+
+TEST(QueryPlanDifferential, RoutedEqualsScanAcrossModesAndRetention) {
+  const std::uint64_t seeds = difftest::seed_count(200);
+  const std::uint64_t base = difftest::seed_base();
+  std::int64_t swept_runs = 0;        // runs where retention actually fired
+  std::int64_t routed_queries = 0;    // non-scan access paths taken
+  for (std::uint64_t seed = base; seed < base + seeds; ++seed) {
+    const Program p = difftest::random_program(seed);
+    const SweepConfig cfg = config_for(seed);
+    const std::string repro =
+        difftest::repro(seed, "test_query_plan",
+                        "QueryPlanDifferential.*");
+
+    EngineOptions eopts;
+    eopts.sequential = cfg.sequential_engines;
+    eopts.threads = 2;
+    dist::ShardedOptions dopts;
+    dopts.mode = cfg.mode;
+    stream::StreamOptions sopts;
+    sopts.ring_capacity = 64;
+    sopts.max_epoch_tuples = cfg.slice;
+
+    std::vector<Table<Tok>*> tables(static_cast<std::size_t>(cfg.shards));
+    using Stream = stream::ShardedStreamingEngine<Tok>;
+    Stream stream(
+        sopts, cfg.shards, eopts, dopts,
+        [&p, &cfg, &tables](int shard, Engine& eng,
+                            dist::Sender<Tok>& sender,
+                            const Stream::Emit&) {
+          auto& toks = declare_tok_table(eng, cfg);
+          tables[static_cast<std::size_t>(shard)] = &toks;
+          difftest::add_rules(
+              eng, toks, p,
+              [&sender, shards = cfg.shards](RuleCtx&, const Tok& t) {
+                sender.send(dist::partition_of(t.key, shards), t);
+              });
+          return [&toks, &eng](const Tok& t) { eng.put(toks, t); };
+        },
+        [shards = cfg.shards](const Tok& t) {
+          return dist::partition_of(t.key, shards);
+        });
+
+    // Publish the program's seed tuples one by one: with slice sizes of
+    // 1..3 this opens several retain(N) epochs per run, so retirement
+    // happens *between* derivation waves, not just at the end.
+    for (const Tok& s : p.seeds) stream.publish(s);
+    (void)stream.drain();
+
+    // Routed and scanned results must agree on whatever each shard
+    // currently stores — with and without windows having retired tuples.
+    for (int s = 0; s < cfg.shards; ++s) {
+      std::string why;
+      ASSERT_TRUE(routed_equals_scan(
+          *tables[static_cast<std::size_t>(s)], p, &why))
+          << why << " on shard " << s << ", " << repro;
+    }
+
+    // Without retention the cluster must still compute the exact batch
+    // fixpoint (the streaming/sharded schedules cannot lose tuples).
+    if (cfg.retain == 0) {
+      std::set<Tok> got;
+      for (int s = 0; s < cfg.shards; ++s) {
+        tables[static_cast<std::size_t>(s)]->scan(
+            [&](const Tok& t) { got.insert(t); });
+      }
+      ASSERT_EQ(got, difftest::oracle_fixpoint(p)) << repro;
+    }
+
+    const dist::ClusterQueryStats qs = stream.cluster().query_stats();
+    routed_queries +=
+        qs.index_lookups + qs.range_scans + qs.pk_probes + qs.empty_plans;
+    if (qs.gamma_retired > 0) {
+      ++swept_runs;
+      // Every stored tuple is indexed, so gamma_retired > 0 with a hash
+      // index declared implies the sweep removed index entries too.
+      if (cfg.index_kind != 1) {
+        ASSERT_GT(qs.index_retired, 0) << repro;
+      }
+      const stream::StreamReport rep = stream.report();
+      ASSERT_EQ(rep.gamma_retired, qs.gamma_retired) << repro;
+      ASSERT_EQ(rep.index_retired, qs.index_retired) << repro;
+    }
+    stream.stop();
+  }
+  // The sweep must have actually exercised the interesting paths.
+  EXPECT_GT(routed_queries, 0);
+  EXPECT_GT(swept_runs, 0);
+}
+
+}  // namespace
+}  // namespace jstar

@@ -117,5 +117,32 @@ TEST(RunLog, CapturesIndexAndScanCounters) {
   EXPECT_EQ(log.tables[0].full_scans, 1);
 }
 
+TEST(RunLog, CapturesPlannerAccessPathCounters) {
+  Engine eng(EngineOptions{.sequential = true});
+  auto& src = eng.table(TableDecl<Src>("Src")
+                            .orderby_lit("A")
+                            .orderby_seq("id", &Src::id)
+                            .primary_key(&Src::id)
+                            .hash([](const Src& s) { return hash_fields(s.id); }));
+  for (int i = 0; i < 5; ++i) eng.put(src, Src{i});
+  const RunReport report = eng.run();
+  (void)src.query_count(query::eq(&Src::id, 2));                  // pk probe
+  (void)src.query_count(query::eq(&Src::id, 1) &&
+                        query::eq(&Src::id, 3));                  // empty plan
+  const RunLog log = capture(eng, "planned", report);
+  EXPECT_EQ(log.tables[0].pk_probes, 1);
+  EXPECT_EQ(log.tables[0].empty_plans, 1);
+  EXPECT_EQ(log.tables[0].residual_rows, 1);
+  EXPECT_EQ(log.tables[0].residual_hits, 1);
+  EXPECT_DOUBLE_EQ(log.tables[0].residual_rate(), 1.0);
+  // Round trip keeps the planner counters.
+  const RunLog back = from_json(to_json(log));
+  EXPECT_EQ(back, log);
+  // The dot graph surfaces the access-path row for routed tables.
+  const std::string dot = dot_graph(log);
+  EXPECT_NE(dot.find("pk=1"), std::string::npos);
+  EXPECT_NE(dot.find("empty=1"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace jstar::viz
