@@ -140,6 +140,22 @@ class ResultArrayStore final : public GammaStore<ResultCell> {
       }
     }
   }
+  /// Chunked pushdown over the dense table: one output row per span, so
+  /// scan-side consumers pay the type-erased hop per row, not per cell.
+  void scan_chunks(const std::function<void(const ResultCell*, std::size_t)>&
+                       fn) const override {
+    if (out_->cols() <= 0) return;
+    std::vector<ResultCell> row(static_cast<std::size_t>(out_->cols()));
+    for (int r = 0; r < out_->rows(); ++r) {
+      for (int col = 0; col < out_->cols(); ++col) {
+        row[static_cast<std::size_t>(col)] =
+            ResultCell{r, col, out_->at(r, col)};
+      }
+      fn(row.data(), row.size());
+    }
+  }
+  bool chunked() const override { return true; }
+  std::string describe() const override { return "result-array"; }
   std::size_t size() const override {
     return static_cast<std::size_t>(count_.load(std::memory_order_relaxed));
   }

@@ -112,6 +112,7 @@ class DataArrayStore final : public GammaStore<DataTuple> {
   std::size_t size() const override {
     return static_cast<std::size_t>(count_.load(std::memory_order_relaxed));
   }
+  std::string describe() const override { return "two-copy-array"; }
 
  private:
   TwoCopyArray* array_;
@@ -197,11 +198,15 @@ double median_jstar(const std::vector<double>& values,
           .orderby_lit("MedTask")
           .orderby_par("region")
           .hash([](const PartTask& t) { return hash_fields(t.iter, t.region); }));
+  // PartResult rides the flat ordered substrate (§6.4): a small
+  // sorted-array Gamma whose range seeks below run over one contiguous
+  // span — the rule text never changes, only this declaration.
   auto& part = eng.table(
       TableDecl<PartResult>("PartResult")
           .orderby_lit("Med")
           .orderby_seq("iter", &PartResult::iter)
           .orderby_lit("MedResult")
+          .flat_store()
           .hash([](const PartResult& r) { return hash_fields(r.iter, r.region); }));
   // iter is PartResult's leading field: declaring it as an ordered-range
   // prefix lets the planner compile the decide rule's "all results of this

@@ -115,6 +115,7 @@ class MonthArrayStore final : public GammaStore<PvRecord> {
     }
     return n;
   }
+  std::string describe() const override { return "month-array"; }
   /// The specialised query path: all records of one month.
   void month_scan(int month,
                   const std::function<void(const PvRecord&)>& fn) const {
@@ -175,6 +176,7 @@ class YearMonthHashStore final : public GammaStore<PvRecord> {
     }
     return n;
   }
+  std::string describe() const override { return "year-month-hash"; }
   /// The keyed query path: all records of one (year, month).
   void ym_scan(std::int32_t year, std::int32_t month,
                const std::function<void(const PvRecord&)>& fn) const {
@@ -216,6 +218,11 @@ std::unique_ptr<GammaStore<PvRecord>> make_store(GammaKind kind,
       return std::make_unique<YearMonthHashStore>(parallel ? 16 : 1);
     case GammaKind::MonthArray:
       return std::make_unique<MonthArrayStore>();
+    case GammaKind::FlatHash:
+      // The §6.4 flat tier: open-addressing contiguous slots; the
+      // (year, month) query key routes through the composite index
+      // run_jstar_impl declares for this kind.
+      return std::make_unique<FlatHashStore<PvRecord>>();
   }
   return nullptr;
 }
@@ -279,10 +286,12 @@ static Result run_jstar_impl(const csv::Buffer& input,
           .store_factory([&config](bool parallel) {
             return make_store(config.gamma, parallel);
           }));
-  if (config.gamma == GammaKind::Default) {
+  if (config.gamma == GammaKind::Default ||
+      config.gamma == GammaKind::FlatHash) {
     // Composite secondary index on the query key: sumMonth's planned
-    // (year, month) lookup probes one bucket instead of range-scanning the
-    // ordered default store.  The custom stores are their own index.
+    // (year, month) lookup probes one bucket instead of scanning the
+    // ordered default store / the flat hash slots.  The hand-written
+    // custom stores are their own index.
     pv.add_index(&PvRecord::year, &PvRecord::month);
   }
   auto& sum = eng.table(

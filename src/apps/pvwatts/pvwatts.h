@@ -71,6 +71,7 @@ enum class GammaKind {
   Default,      // TreeSet / ConcurrentSkipListSet
   Hash,         // HashSet / striped concurrent hash set
   MonthArray,   // custom array[12]-of-hash-sets (§6.2)
+  FlatHash,     // open-addressing flat array (§6.4) + (year, month) index
 };
 
 inline const char* to_string(GammaKind g) {
@@ -78,6 +79,7 @@ inline const char* to_string(GammaKind g) {
     case GammaKind::Default: return "skiplist";
     case GammaKind::Hash: return "hash";
     case GammaKind::MonthArray: return "month-array";
+    case GammaKind::FlatHash: return "flat-hash";
   }
   return "?";
 }

@@ -5,6 +5,7 @@
 // is fully known).
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <functional>
 #include <mutex>
@@ -18,7 +19,7 @@ template <typename K, typename V, typename Hash = std::hash<K>>
 class StripedHashMap {
  public:
   explicit StripedHashMap(std::size_t stripes = 16)
-      : shards_(round_up_pow2(stripes)) {}
+      : shards_(std::bit_ceil(stripes)) {}
 
   /// Inserts (key, value) if absent; returns true if inserted.
   bool insert(const K& key, V value) {
@@ -88,6 +89,9 @@ class StripedHashMap {
     return n;
   }
 
+  /// The stripe count actually in use (after power-of-two rounding).
+  std::size_t stripes() const { return shards_.size(); }
+
   void clear() {
     for (Shard& s : shards_) {
       std::lock_guard<std::mutex> lk(s.mu);
@@ -100,12 +104,6 @@ class StripedHashMap {
     mutable std::mutex mu;
     std::unordered_map<K, V, Hash> map;
   };
-
-  static std::size_t round_up_pow2(std::size_t n) {
-    std::size_t p = 1;
-    while (p < n) p <<= 1;
-    return p;
-  }
 
   Shard& shard(const K& key) {
     return shards_[Hash{}(key) & (shards_.size() - 1)];
@@ -121,7 +119,7 @@ template <typename T, typename Hash = std::hash<T>>
 class StripedHashSet {
  public:
   explicit StripedHashSet(std::size_t stripes = 16)
-      : shards_(round_up_pow2(stripes)) {}
+      : shards_(std::bit_ceil(stripes)) {}
 
   /// Inserts v if absent; returns true if inserted.
   bool insert(const T& v) {
@@ -159,17 +157,14 @@ class StripedHashSet {
     return n;
   }
 
+  /// The stripe count actually in use (after power-of-two rounding).
+  std::size_t stripes() const { return shards_.size(); }
+
  private:
   struct Shard {
     mutable std::mutex mu;
     std::unordered_set<T, Hash> set;
   };
-
-  static std::size_t round_up_pow2(std::size_t n) {
-    std::size_t p = 1;
-    while (p < n) p <<= 1;
-    return p;
-  }
 
   Shard& shard(const T& v) { return shards_[Hash{}(v) & (shards_.size() - 1)]; }
   const Shard& shard(const T& v) const {

@@ -1,0 +1,393 @@
+// Flat array-backed Gamma substrates — the §6.4 "native arrays" storage
+// tier ("for some programs we have used custom data structures based on
+// native arrays ... considerably faster than the general-purpose
+// collections").
+//
+// Two structures, selectable per table through TableDecl::flat_store() /
+// flat_hash_store() without touching rule bodies (the §1.4 late
+// commitment to data structures):
+//
+//   * FlatOrderedStore<T> — one sorted contiguous vector plus a small
+//     unsorted staging buffer with deferred merge.  Lookups binary-search
+//     the sorted run and hash-probe the staging set; scan_range/scan_from
+//     are real lower_bound seeks, so ordered() is true and the query
+//     planner routes range plans here exactly as it does for the tree and
+//     skip-list defaults.  Ordered reads merge the staging buffer first,
+//     so every scan runs over one cache-contiguous span.  An optional
+//     engine-epoch window (TableDecl::retain(N)) tags tuples with the
+//     epoch clock on arrival; retire_up_to() compacts the arrays in
+//     place.
+//
+//   * FlatHashStore<T> — open addressing over a power-of-two capacity
+//     with linear probing (no tombstones: GammaStore never erases
+//     individual tuples).  Unordered, so range plans degrade to residual
+//     scans; pair it with secondary indexes when the query key is fully
+//     known.  T must be default-constructible (empty slots hold T{}).
+//
+// Both override scan_chunks() to hand out contiguous [data, n) spans —
+// the chunked scan pushdown that lets Table<T> hot loops inline their
+// predicate instead of paying a type-erased call per tuple.
+//
+// Thread-safety: a shared_mutex per store — inserts and merges exclusive,
+// lookups and scans shared.  Like EpochWindowStore, scan callbacks run
+// under the store's lock: a rule must not put into the same -noDelta
+// table from inside one of its own scan callbacks, and retire listeners
+// must not call back into the store.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/gamma_store.h"
+
+namespace jstar {
+
+/// Sorted contiguous-array store with a staged-merge write side.
+template <typename T, typename Hash = std::hash<T>>
+class FlatOrderedStore final : public GammaStore<T>, public RetiringStore<T> {
+ public:
+  explicit FlatOrderedStore(Hash hash = Hash{})
+      : hash_(std::move(hash)), staging_set_(8, hash_) {}
+
+  /// Engine-epoch windowed variant (TableDecl::retain(N)): every tuple is
+  /// tagged with `clock`'s value at insert time and retire_up_to()
+  /// compacts the arrays in place.  `clock` may be null (epoch 0
+  /// forever, as in engine-free unit harnesses).
+  explicit FlatOrderedStore(const std::atomic<std::int64_t>* clock,
+                            Hash hash = Hash{})
+      : hash_(std::move(hash)), staging_set_(8, hash_), clock_(clock),
+        windowed_(true) {}
+
+  bool insert(const T& t) override {
+    std::unique_lock lk(mu_);
+    std::int64_t e = 0;
+    if (windowed_) {
+      e = epoch_now();
+      if (e <= retired_through_) {
+        // A straggler behind the retain(N) window: no future query can
+        // observe it, so drop — but report fresh, exactly like
+        // EpochWindowStore, so rules still fire for it once.
+        retired_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    if (staging_set_.count(t) != 0 ||
+        std::binary_search(sorted_.begin(), sorted_.end(), t)) {
+      return false;
+    }
+    staging_.push_back(t);
+    if (windowed_) staging_epochs_.push_back(e);
+    staging_set_.insert(t);
+    if (staging_.size() >= staging_limit()) merge_locked();
+    return true;
+  }
+
+  bool contains(const T& t) const override {
+    std::shared_lock lk(mu_);
+    return staging_set_.count(t) != 0 ||
+           std::binary_search(sorted_.begin(), sorted_.end(), t);
+  }
+
+  void scan(const std::function<void(const T&)>& fn) const override {
+    with_merged([&] {
+      for (const T& t : sorted_) fn(t);
+    });
+  }
+
+  void scan_range(const T& lo, const T& hi,
+                  const std::function<void(const T&)>& fn) const override {
+    with_merged([&] {
+      for (auto it = std::lower_bound(sorted_.begin(), sorted_.end(), lo);
+           it != sorted_.end() && *it < hi; ++it) {
+        fn(*it);
+      }
+    });
+  }
+
+  void scan_from(const T& lo,
+                 const std::function<void(const T&)>& fn) const override {
+    with_merged([&] {
+      for (auto it = std::lower_bound(sorted_.begin(), sorted_.end(), lo);
+           it != sorted_.end(); ++it) {
+        fn(*it);
+      }
+    });
+  }
+
+  void scan_chunks(const std::function<void(const T*, std::size_t)>& fn)
+      const override {
+    with_merged([&] {
+      if (!sorted_.empty()) fn(sorted_.data(), sorted_.size());
+    });
+  }
+
+  bool ordered() const override { return true; }
+  bool chunked() const override { return true; }
+
+  std::size_t size() const override {
+    std::shared_lock lk(mu_);
+    return sorted_.size() + staging_.size();
+  }
+
+  std::string describe() const override {
+    return windowed_ ? "flat-ordered(retain)" : "flat-ordered";
+  }
+
+  // --- RetiringStore (TableDecl::retain(N) integration) --------------------
+
+  /// Compacts the arrays in place, dropping every tuple whose arrival
+  /// epoch is <= threshold, and ratchets the straggler cutoff forward.
+  /// Returns the number of tuples retired.  No-op for unwindowed stores.
+  /// The retire listener fires *after* the store lock is released: the
+  /// listener takes other locks (secondary-index shards) that queries
+  /// hold while re-entering this store, so notifying under the lock
+  /// would close a lock-order cycle.  The brief window where an index
+  /// still lists a retired tuple is harmless — probe hits are
+  /// revalidated against the store.
+  std::int64_t retire_up_to(std::int64_t threshold) override {
+    std::vector<T> victims;
+    std::int64_t dropped = 0;
+    {
+      std::unique_lock lk(mu_);
+      if (!windowed_) return 0;
+      retired_through_ = std::max(retired_through_, threshold);
+      merge_locked();
+      std::size_t w = 0;
+      for (std::size_t r = 0; r < sorted_.size(); ++r) {
+        if (sorted_epochs_[r] <= threshold) {
+          ++dropped;
+          if (on_retire_) victims.push_back(std::move(sorted_[r]));
+        } else {
+          if (w != r) {
+            sorted_[w] = std::move(sorted_[r]);
+            sorted_epochs_[w] = sorted_epochs_[r];
+          }
+          ++w;
+        }
+      }
+      sorted_.resize(w);
+      sorted_epochs_.resize(w);
+      retired_.fetch_add(dropped, std::memory_order_relaxed);
+    }
+    for (const T& t : victims) on_retire_(t);
+    return dropped;
+  }
+
+  void set_retire_listener(std::function<void(const T&)> fn) override {
+    on_retire_ = std::move(fn);
+  }
+
+  // --- introspection (tests, benches) --------------------------------------
+
+  /// Tuples currently awaiting a merge.
+  std::size_t staged() const {
+    std::shared_lock lk(mu_);
+    return staging_.size();
+  }
+  /// Staging merges performed so far.
+  std::int64_t merges() const {
+    return merges_.load(std::memory_order_relaxed);
+  }
+  /// Tuples dropped by window retirement so far.
+  std::int64_t retired() const {
+    return retired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Deferred-merge threshold: proportional to the sorted run so the
+  /// total merge traffic stays O(N) amortised, floored so tiny tables
+  /// don't merge on every insert.
+  std::size_t staging_limit() const {
+    return std::max<std::size_t>(64, sorted_.size() / 8);
+  }
+
+  std::int64_t epoch_now() const {
+    return clock_ != nullptr ? clock_->load(std::memory_order_relaxed) : 0;
+  }
+
+  /// Runs fn with the staging buffer folded into the sorted run.  Fast
+  /// path: staging already empty — shared lock only.  Otherwise merge
+  /// under the exclusive lock, release, and retry under a shared lock so
+  /// the O(N) scan itself never blocks concurrent readers.
+  template <typename Fn>
+  void with_merged(Fn&& fn) const {
+    for (;;) {
+      {
+        std::shared_lock lk(mu_);
+        if (staging_.empty()) {
+          fn();
+          return;
+        }
+      }
+      std::unique_lock lk(mu_);
+      merge_locked();
+    }
+  }
+
+  /// Sorts the staging buffer and merges it into the sorted run from the
+  /// back (no extra allocation beyond the resize).  Caller holds the
+  /// exclusive lock.  Cross-region duplicates cannot exist — insert
+  /// rejects them — so the merge needs no dedup pass.
+  void merge_locked() const {
+    const std::size_t m = staging_.size();
+    if (m == 0) return;
+    if (windowed_) {
+      // Co-sort the epoch tags with their tuples.
+      std::vector<std::pair<T, std::int64_t>> tmp(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        tmp[i] = {std::move(staging_[i]), staging_epochs_[i]};
+      }
+      std::sort(tmp.begin(), tmp.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (std::size_t i = 0; i < m; ++i) {
+        staging_[i] = std::move(tmp[i].first);
+        staging_epochs_[i] = tmp[i].second;
+      }
+    } else {
+      std::sort(staging_.begin(), staging_.end());
+    }
+    const std::size_t n = sorted_.size();
+    sorted_.resize(n + m);
+    if (windowed_) sorted_epochs_.resize(n + m);
+    std::size_t i = n, j = m, k = n + m;
+    while (j > 0) {
+      if (i > 0 && staging_[j - 1] < sorted_[i - 1]) {
+        --i;
+        --k;
+        sorted_[k] = std::move(sorted_[i]);
+        if (windowed_) sorted_epochs_[k] = sorted_epochs_[i];
+      } else {
+        --j;
+        --k;
+        sorted_[k] = std::move(staging_[j]);
+        if (windowed_) sorted_epochs_[k] = staging_epochs_[j];
+      }
+    }
+    staging_.clear();
+    staging_epochs_.clear();
+    staging_set_.clear();
+    merges_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Hash hash_;
+  mutable std::shared_mutex mu_;
+  // Scans merge on demand, so the regions are mutable behind const reads.
+  mutable std::vector<T> sorted_;
+  mutable std::vector<std::int64_t> sorted_epochs_;  // windowed only
+  mutable std::vector<T> staging_;
+  mutable std::vector<std::int64_t> staging_epochs_;  // windowed only
+  mutable std::unordered_set<T, Hash> staging_set_;
+  const std::atomic<std::int64_t>* clock_ = nullptr;
+  const bool windowed_ = false;
+  std::int64_t retired_through_ = std::numeric_limits<std::int64_t>::min() / 2;
+  std::function<void(const T&)> on_retire_;
+  mutable std::atomic<std::int64_t> merges_{0};
+  std::atomic<std::int64_t> retired_{0};
+};
+
+/// Open-addressing hash store: power-of-two capacity, linear probing.
+template <typename T, typename Hash = std::hash<T>>
+class FlatHashStore final : public GammaStore<T> {
+ public:
+  explicit FlatHashStore(Hash hash = Hash{}, std::size_t initial_capacity = 64)
+      : hash_(std::move(hash)) {
+    grow_to(std::bit_ceil(std::max<std::size_t>(initial_capacity, 16)));
+  }
+
+  bool insert(const T& t) override {
+    std::unique_lock lk(mu_);
+    // Grow at 3/4 load so linear probes stay short.
+    if ((count_ + 1) * 4 > slots_.size() * 3) grow_to(slots_.size() * 2);
+    const std::size_t i = probe(t);
+    if (used_[i] != 0) return false;
+    slots_[i] = t;
+    used_[i] = 1;
+    ++count_;
+    return true;
+  }
+
+  bool contains(const T& t) const override {
+    std::shared_lock lk(mu_);
+    return used_[probe(t)] != 0;
+  }
+
+  void scan(const std::function<void(const T&)>& fn) const override {
+    std::shared_lock lk(mu_);
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (used_[i] != 0) fn(slots_[i]);
+    }
+  }
+
+  /// Chunked pushdown: emits each maximal run of occupied slots as one
+  /// contiguous span.
+  void scan_chunks(const std::function<void(const T*, std::size_t)>& fn)
+      const override {
+    std::shared_lock lk(mu_);
+    std::size_t i = 0;
+    const std::size_t n = slots_.size();
+    while (i < n) {
+      while (i < n && used_[i] == 0) ++i;
+      std::size_t j = i;
+      while (j < n && used_[j] != 0) ++j;
+      if (j > i) fn(slots_.data() + i, j - i);
+      i = j;
+    }
+  }
+
+  bool chunked() const override { return true; }
+
+  std::size_t size() const override {
+    std::shared_lock lk(mu_);
+    return count_;
+  }
+
+  std::string describe() const override { return "flat-hash"; }
+
+  /// Current slot-array capacity (tests).
+  std::size_t capacity() const {
+    std::shared_lock lk(mu_);
+    return slots_.size();
+  }
+
+ private:
+  /// Index of t if present, else of the empty slot where it would go.
+  /// The load-factor bound guarantees an empty slot exists.
+  std::size_t probe(const T& t) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash_(t) & mask;
+    while (used_[i] != 0 && !(slots_[i] == t)) i = (i + 1) & mask;
+    return i;
+  }
+
+  void grow_to(std::size_t cap) {
+    std::vector<T> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_used = std::move(used_);
+    slots_ = std::vector<T>(cap);
+    used_.assign(cap, 0);
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_used[i] == 0) continue;
+      const std::size_t j = probe(old_slots[i]);
+      slots_[j] = std::move(old_slots[i]);
+      used_[j] = 1;
+    }
+  }
+
+  Hash hash_;
+  mutable std::shared_mutex mu_;
+  std::vector<T> slots_;
+  std::vector<std::uint8_t> used_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace jstar

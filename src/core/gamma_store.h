@@ -13,11 +13,14 @@
 // sequential are only used by the sequential engine.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <set>
+#include <string>
+#include <thread>
 #include <unordered_set>
 
 #include "concurrent/skip_list_set.h"
@@ -30,6 +33,30 @@ class GammaStoreBase {
  public:
   virtual ~GammaStoreBase() = default;
   virtual std::size_t size() const = 0;
+  /// Human-readable substrate name, surfaced in TableStats / run logs so
+  /// a tuning session can see which structure each table actually got.
+  virtual std::string describe() const { return "custom"; }
+};
+
+/// Retention capability — stores that can drop tuples when a retain(N)
+/// window advances: the bucketed EpochWindowStore (core/window_store.h)
+/// erases whole epoch buckets, the flat substrate (core/flat_store.h)
+/// compacts its arrays in place.  Table<T> drives either through this
+/// interface at epoch boundaries.
+template <typename T>
+class RetiringStore {
+ public:
+  virtual ~RetiringStore() = default;
+  /// Retires every tuple whose epoch is <= threshold; returns the count.
+  virtual std::int64_t retire_up_to(std::int64_t threshold) = 0;
+  /// Callback invoked once per retired tuple, after the store has
+  /// released its own lock (the listener takes index-shard locks that
+  /// queries hold while re-entering the store — notifying under the
+  /// store lock would close a lock-order cycle).  This is how
+  /// epoch-aware index maintenance works: the owning table sweeps
+  /// retired tuples out of its secondary indexes, so indexes forget
+  /// exactly when Gamma does.
+  virtual void set_retire_listener(std::function<void(const T&)> fn) = 0;
 };
 
 /// Storage interface for one table's Gamma data.
@@ -62,6 +89,18 @@ class GammaStore : public GammaStoreBase {
   /// scan_range/scan_from seek instead of scanning — the query planner
   /// only compiles range plans against such stores.
   virtual bool ordered() const { return false; }
+  /// Chunked scan pushdown (§6.4): visits the stored tuples as contiguous
+  /// [data, data + n) spans, so hot loops run over cache-lined arrays and
+  /// pay the type-erasure cost once per chunk instead of once per tuple.
+  /// The default adapter degrades to one-tuple chunks over scan(); stores
+  /// answering chunked() hand out real multi-tuple spans.
+  virtual void scan_chunks(
+      const std::function<void(const T*, std::size_t)>& fn) const {
+    scan([&fn](const T& t) { fn(&t, 1); });
+  }
+  /// True when scan_chunks delivers genuinely contiguous multi-tuple
+  /// spans — Table<T> then routes its scans through the chunked path.
+  virtual bool chunked() const { return false; }
 };
 
 /// Sequential ordered store — the Java TreeSet default.
@@ -85,6 +124,7 @@ class TreeSetStore final : public GammaStore<T> {
   }
   bool ordered() const override { return true; }
   std::size_t size() const override { return set_.size(); }
+  std::string describe() const override { return "tree-set"; }
 
  private:
   std::set<T> set_;
@@ -110,6 +150,7 @@ class SkipListStore final : public GammaStore<T> {
   }
   bool ordered() const override { return true; }
   std::size_t size() const override { return set_.size(); }
+  std::string describe() const override { return "skip-list"; }
 
  private:
   concurrent::SkipListSet<T> set_;
@@ -126,6 +167,7 @@ class HashSetStore final : public GammaStore<T> {
     for (const T& t : set_) fn(t);
   }
   std::size_t size() const override { return set_.size(); }
+  std::string describe() const override { return "hash-set"; }
 
  private:
   std::unordered_set<T, Hash> set_;
@@ -135,13 +177,32 @@ class HashSetStore final : public GammaStore<T> {
 template <typename T, typename Hash>
 class StripedHashStore final : public GammaStore<T> {
  public:
-  explicit StripedHashStore(std::size_t stripes = 64) : set_(stripes) {}
+  /// Stripe count for this machine: 4x the hardware concurrency (so
+  /// concurrent inserters rarely collide on a stripe lock), clamped to
+  /// [16, 256]; the underlying set rounds up to a power of two.  A table
+  /// on a 64-core box gets 256 stripes, a 2-core CI runner gets 16 —
+  /// instead of the previous hardcoded 64 either way.
+  static std::size_t default_stripes() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const std::size_t want = 4 * static_cast<std::size_t>(hw == 0 ? 4 : hw);
+    return std::clamp<std::size_t>(want, 16, 256);
+  }
+
+  /// `stripes == 0` picks default_stripes() for this machine.
+  explicit StripedHashStore(std::size_t stripes = 0)
+      : set_(stripes == 0 ? default_stripes() : stripes) {}
   bool insert(const T& t) override { return set_.insert(t); }
   bool contains(const T& t) const override { return set_.contains(t); }
   void scan(const std::function<void(const T&)>& fn) const override {
     set_.for_each(fn);
   }
   std::size_t size() const override { return set_.size(); }
+  /// The stripe count actually chosen (after power-of-two rounding),
+  /// surfaced through describe() into run logs.
+  std::size_t stripes() const { return set_.stripes(); }
+  std::string describe() const override {
+    return "striped-hash(" + std::to_string(stripes()) + ")";
+  }
 
  private:
   concurrent::StripedHashSet<T, Hash> set_;
@@ -161,6 +222,7 @@ class NullStore final : public GammaStore<T> {
   bool contains(const T&) const override { return false; }
   void scan(const std::function<void(const T&)>&) const override {}
   std::size_t size() const override { return 0; }
+  std::string describe() const override { return "null"; }
   /// Number of tuples that passed through (for stats only).
   std::int64_t passed_through() const {
     return count_.load(std::memory_order_relaxed);

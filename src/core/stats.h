@@ -16,6 +16,9 @@ struct TableStats {
   std::atomic<std::int64_t> gamma_inserts{0};  // stored into Gamma
   std::atomic<std::int64_t> gamma_dups{0};     // set-semantics duplicates
   std::atomic<std::int64_t> gamma_retired{0};  // retired by retain(N) GC
+  // -noGamma throughput: tuples accepted by a NullStore but never stored,
+  // so such tables show their traffic instead of a silent size() == 0.
+  std::atomic<std::int64_t> gamma_passed_through{0};
   std::atomic<std::int64_t> fires{0};          // rule invocations triggered
   std::atomic<std::int64_t> queries{0};        // query operations served
   std::atomic<std::int64_t> pk_conflicts{0};   // primary-key invariant hits
@@ -36,6 +39,7 @@ struct TableStats {
     gamma_inserts = 0;
     gamma_dups = 0;
     gamma_retired = 0;
+    gamma_passed_through = 0;
     fires = 0;
     queries = 0;
     pk_conflicts = 0;

@@ -33,6 +33,7 @@
 #include "concurrent/striped_hash_map.h"
 #include "core/batch.h"
 #include "core/delta_tree.h"
+#include "core/flat_store.h"
 #include "core/gamma_store.h"
 #include "core/key.h"
 #include "core/query.h"
@@ -181,6 +182,27 @@ class TableDecl {
     return *this;
   }
 
+  /// §6.4 native-array preset: swaps the Gamma structure for the sorted
+  /// contiguous-array substrate (core/flat_store.h).  Still ordered, so
+  /// range plans route through it; scans run over one cache-contiguous
+  /// span via the chunked pushdown.  Reuses this table's hash() for the
+  /// staging buffer, and composes with retain(N): the flat store then
+  /// epoch-tags tuples and compacts in place at epoch boundaries.
+  TableDecl& flat_store() {
+    preset_ = StorePreset::FlatOrdered;
+    return *this;
+  }
+
+  /// §6.4 open-addressing preset (core/flat_store.h): power-of-two
+  /// capacity, linear probing, contiguous slot runs for chunked scans.
+  /// Unordered — pair with secondary indexes when the query key is fully
+  /// known.  With retain(N) this falls back to the bucketed window store
+  /// (open addressing cannot drop whole epochs without a rebuild).
+  TableDecl& flat_hash_store() {
+    preset_ = StorePreset::FlatHash;
+    return *this;
+  }
+
   /// Manual lifetime hint (Fig 3 step 4, §6.6): tuples carry a
   /// nondecreasing epoch in `epoch_of`, and rules only query the most
   /// recent `keep` epochs; older tuples are retired from Gamma as the
@@ -225,6 +247,7 @@ class TableDecl {
   friend class Table;
 
   enum class LevelKind { Lit, Seq, Par };
+  enum class StorePreset { None, FlatOrdered, FlatHash };
   struct Level {
     LevelKind kind;
     std::string name;
@@ -238,6 +261,7 @@ class TableDecl {
   std::function<std::int64_t(const T&)> pk_;
   const void* pk_tag_ = nullptr;  // set by the member-pointer overload
   StoreFactory store_factory_;
+  StorePreset preset_ = StorePreset::None;  // flat_store()/flat_hash_store()
   std::function<void(const T&)> effect_;
   std::function<std::int64_t(const T&)> retain_epoch_of_;  // lifetime hint
   std::int64_t retain_keep_ = 0;                           // 0 = retain all
@@ -263,6 +287,9 @@ class TableBase {
   virtual std::size_t gamma_size() const = 0;
   virtual std::size_t rule_count() const = 0;
   virtual std::vector<std::string> rule_names() const = 0;
+  /// Which Gamma substrate configure() actually installed (GammaStore
+  /// describe()), for run logs and tuning sessions.
+  virtual std::string store_describe() const = 0;
 
   // --- engine-internal interface -----------------------------------------
 
@@ -373,11 +400,15 @@ class Table final : public TableBase {
     return it->second;
   }
 
-  /// Visits all stored tuples.
+  /// Visits all stored tuples.  Chunk-capable stores (the flat
+  /// substrates) take the templated fast path: the type-erased hop
+  /// happens once per contiguous span, and the per-tuple loop below
+  /// inlines `fn` — this is what find_if/count_if/none/min_by/aggregate
+  /// and the planner's residual scans all ride on.
   template <typename Fn>
   void scan(Fn&& fn) const {
     stats_.queries.fetch_add(1, std::memory_order_relaxed);
-    store_->scan(std::function<void(const T&)>(std::forward<Fn>(fn)));
+    raw_scan(std::forward<Fn>(fn));
   }
 
   /// Ordered range scan [lo, hi) on stores that support it.
@@ -586,6 +617,9 @@ class Table final : public TableBase {
   std::size_t gamma_size() const override {
     return store_ ? store_->size() : 0;
   }
+  std::string store_describe() const override {
+    return store_ ? store_->describe() : "unconfigured";
+  }
   std::size_t rule_count() const override { return rules_.size(); }
   std::vector<std::string> rule_names() const override {
     std::vector<std::string> out;
@@ -624,14 +658,42 @@ class Table final : public TableBase {
         "table '" + name_ +
             "' sets both retain(N) and retain_epochs — pick one window");
     // Build the Gamma store per strategy (§1.4 late commitment).
+    JSTAR_CHECK_MSG(
+        !(decl_.preset_ != TableDecl<T>::StorePreset::None &&
+          static_cast<bool>(decl_.store_factory_)),
+        "table '" + name_ +
+            "' sets both a flat-store preset and a store_factory");
+    // Tuple-carried windows (retain_epochs) need the bucketed epoch
+    // store; only the engine-clock retain(N) window composes with the
+    // flat tier.  Fail rather than silently dropping the preset.
+    JSTAR_CHECK_MSG(
+        !(decl_.preset_ != TableDecl<T>::StorePreset::None &&
+          decl_.retain_keep_ >= 1),
+        "table '" + name_ +
+            "' combines a flat-store preset with retain_epochs — "
+            "tuple-carried windows need the epoch-bucketed store");
     window_store_ = nullptr;
-    epoch_window_ = nullptr;
+    retiring_store_ = nullptr;
+    tuple_epoch_window_ = false;
     if (no_gamma) {
       store_ = std::make_unique<NullStore<T>>();
+    } else if (decl_.retain_engine_keep_ >= 1 &&
+               decl_.preset_ == TableDecl<T>::StorePreset::FlatOrdered) {
+      // retain(N) over the flat substrate: tuples are tagged with the
+      // engine epoch clock on arrival and begin_epoch() compacts the
+      // arrays in place (see retire_epochs below).
+      auto owned = std::make_unique<FlatOrderedStore<T, FnHash<T>>>(
+          env.epoch, FnHash<T>{decl_.hash_});
+      window_store_ = owned.get();
+      retiring_store_ = owned.get();
+      store_ = std::move(owned);
     } else if (decl_.retain_engine_keep_ >= 1) {
       // retain(N): window over the *engine* epoch clock — every tuple's
       // epoch is the epoch it arrived in, and begin_epoch() retires the
       // buckets that fell out of the window (see retire_epochs below).
+      // A flat_hash_store() preset lands here too: open addressing
+      // cannot drop whole epochs without a rebuild, so the bucketed
+      // window serves windowed tables instead.
       auto owned = std::make_unique<EpochWindowStore<T, FnHash<T>>>(
           [clock = env.epoch](const T&) {
             return clock != nullptr
@@ -641,13 +703,20 @@ class Table final : public TableBase {
           decl_.retain_engine_keep_, FnHash<T>{decl_.hash_},
           /*clock_epochs=*/true);
       window_store_ = owned.get();
-      epoch_window_ = owned.get();
+      retiring_store_ = owned.get();
       store_ = std::move(owned);
     } else if (decl_.retain_keep_ >= 1) {
       auto owned = std::make_unique<EpochWindowStore<T, FnHash<T>>>(
           decl_.retain_epoch_of_, decl_.retain_keep_, FnHash<T>{decl_.hash_});
-      epoch_window_ = owned.get();
+      retiring_store_ = owned.get();
+      tuple_epoch_window_ = true;
       store_ = std::move(owned);
+    } else if (decl_.preset_ == TableDecl<T>::StorePreset::FlatOrdered) {
+      store_ = std::make_unique<FlatOrderedStore<T, FnHash<T>>>(
+          FnHash<T>{decl_.hash_});
+    } else if (decl_.preset_ == TableDecl<T>::StorePreset::FlatHash) {
+      store_ = std::make_unique<FlatHashStore<T, FnHash<T>>>(
+          FnHash<T>{decl_.hash_});
     } else if (decl_.store_factory_) {
       store_ = decl_.store_factory_(env.parallel);
     } else if (env.parallel) {
@@ -658,8 +727,8 @@ class Table final : public TableBase {
     // Epoch-aware index maintenance: whatever the window retires is swept
     // from the secondary indexes too, so "indexes never forget" is no
     // longer true — routed and scanned queries see the same live set.
-    if (epoch_window_ != nullptr) {
-      epoch_window_->set_retire_listener(
+    if (retiring_store_ != nullptr) {
+      retiring_store_->set_retire_listener(
           [this](const T& t) { retire_from_indexes(t); });
     }
     // Declarations are frozen from here on (add_index/add_range_index
@@ -909,6 +978,11 @@ class Table final : public TableBase {
       return false;
     }
     stats_.gamma_inserts.fetch_add(1, std::memory_order_relaxed);
+    // -noGamma: the NullStore accepted the tuple but retained nothing;
+    // count the pass-through so the table's throughput stays visible.
+    if (no_gamma_) {
+      stats_.gamma_passed_through.fetch_add(1, std::memory_order_relaxed);
+    }
     update_indexes(t);
     return true;
   }
@@ -923,7 +997,7 @@ class Table final : public TableBase {
     // guard: their insert path can drop stragglers and retire buckets
     // mid-run.  Clock windows (retain) advance only in begin_epoch(),
     // between runs, so inserts there can never race a retirement.
-    if (epoch_window_ != nullptr && window_store_ == nullptr) {
+    if (tuple_epoch_window_) {
       if (!store_->contains(t)) return;
       for (const auto& idx : indexes_) idx->insert(t);
       // A concurrent insert can retire t's bucket between the check above
@@ -971,11 +1045,25 @@ class Table final : public TableBase {
   /// against custom stores.
   void execute_plan(const QueryPlan& plan, const query::Pred<T>& pred,
                     const std::function<void(const T&)>& fn) const {
-    const bool check_live = epoch_window_ != nullptr;
+    const bool check_live = retiring_store_ != nullptr;
     std::int64_t examined = 0, passed = 0;
-    const auto residual = [&](const T& t) {
+    // Hits coming from a side structure (pk index, secondary hash index)
+    // may be stale on windowed tables — the pk index is deliberately
+    // never retired — so they are revalidated against the store.  Tuples
+    // delivered by the store's *own* scans are live by construction, and
+    // re-entering the store from inside one of its scan callbacks would
+    // self-deadlock on the flat substrates' lock, so the scan-side
+    // residual skips the membership re-check.
+    const auto residual_probe = [&](const T& t) {
       ++examined;
       if (pred(t) && (!check_live || store_->contains(t))) {
+        ++passed;
+        fn(t);
+      }
+    };
+    const auto residual_scan = [&](const T& t) {
+      ++examined;
+      if (pred(t)) {
         ++passed;
         fn(t);
       }
@@ -987,7 +1075,7 @@ class Table final : public TableBase {
       case AccessPath::PkProbe: {
         stats_.pk_probes.fetch_add(1, std::memory_order_relaxed);
         if (const std::optional<T> hit = peek_pk(plan.values[0])) {
-          residual(*hit);
+          residual_probe(*hit);
         }
         break;
       }
@@ -995,17 +1083,17 @@ class Table final : public TableBase {
         stats_.index_lookups.fetch_add(1, std::memory_order_relaxed);
         const SecondaryIndex& idx =
             *indexes_[static_cast<std::size_t>(plan.slot)];
-        idx.lookup(idx.key_from_values(plan.values), residual);
+        idx.lookup(idx.key_from_values(plan.values), residual_probe);
         break;
       }
       case AccessPath::RangeScan: {
         stats_.range_scans.fetch_add(1, std::memory_order_relaxed);
-        execute_range(plan, residual);
+        execute_range(plan, residual_scan);
         break;
       }
       case AccessPath::FullScan:
         stats_.full_scans.fetch_add(1, std::memory_order_relaxed);
-        store_->scan([&](const T& t) {
+        raw_scan([&](const T& t) {
           if (pred(t)) fn(t);
         });
         return;
@@ -1064,6 +1152,22 @@ class Table final : public TableBase {
     store_->scan_from(lo_t, residual);
   }
 
+  /// Store scan dispatch shared by scan() and the planner's residual
+  /// full scan (no stats bump): chunk-capable stores get the templated
+  /// per-span loop — one type-erased hop per contiguous span, the
+  /// visitor inlined in the loop — the rest the classic per-tuple
+  /// type-erased visitor.
+  template <typename Fn>
+  void raw_scan(Fn&& fn) const {
+    if (store_->chunked()) {
+      store_->scan_chunks([&](const T* data, std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i) fn(data[i]);
+      });
+    } else {
+      store_->scan(std::function<void(const T&)>(std::forward<Fn>(fn)));
+    }
+  }
+
   std::optional<T> peek_pk(std::int64_t pk) const {
     if (env_.parallel) {
       T out;
@@ -1097,11 +1201,16 @@ class Table final : public TableBase {
   std::vector<std::unique_ptr<SecondaryIndex>> indexes_;
   std::vector<RangeIndex> range_indexes_;
   std::unique_ptr<GammaStore<T>> store_;
-  // Set iff the store is a retain(N) engine-epoch window (aliases store_).
-  EpochWindowStore<T, FnHash<T>>* window_store_ = nullptr;
+  // Set iff the store is a retain(N) engine-epoch window (aliases store_)
+  // — either the bucketed EpochWindowStore or the in-place-compacting
+  // FlatOrderedStore; retire_epochs drives it through this interface.
+  RetiringStore<T>* window_store_ = nullptr;
   // Set for either retention flavour (retain or retain_epochs); the retire
   // listener sweeping the secondary indexes hangs off this.
-  EpochWindowStore<T, FnHash<T>>* epoch_window_ = nullptr;
+  RetiringStore<T>* retiring_store_ = nullptr;
+  // True only for tuple-carried epoch windows (retain_epochs), whose
+  // insert path can retire buckets mid-run (see update_indexes).
+  bool tuple_epoch_window_ = false;
   PlannerCatalog catalog_;  // built once by configure()
   std::vector<NamedRule> rules_;
   bool has_pk_ = false;

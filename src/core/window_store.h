@@ -29,6 +29,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <unordered_set>
+#include <vector>
 
 #include "core/gamma_store.h"
 #include "util/check.h"
@@ -44,7 +45,7 @@ struct FnHash {
 };
 
 template <typename T, typename Hash = std::hash<T>>
-class EpochWindowStore final : public GammaStore<T> {
+class EpochWindowStore final : public GammaStore<T>, public RetiringStore<T> {
  public:
   /// `epoch_of` extracts the epoch field; the most recent `keep_epochs`
   /// distinct epoch *values* (by numeric distance, not count) stay live:
@@ -88,10 +89,13 @@ class EpochWindowStore final : public GammaStore<T> {
     }
     const bool fresh = bucket_it->second.insert(t).second;
     if (fresh) ++size_;
+    std::vector<T> victims;
     if (e > max_epoch_) {
       max_epoch_ = e;
-      retire_locked(max_epoch_ - keep_);
+      retire_locked(max_epoch_ - keep_, &victims);
     }
+    lk.unlock();
+    notify_retired(victims);
     return fresh;
   }
 
@@ -123,6 +127,8 @@ class EpochWindowStore final : public GammaStore<T> {
     return size_;
   }
 
+  std::string describe() const override { return "epoch-window"; }
+
   /// Visits only the tuples of one epoch (the common query shape: "the
   /// current iteration's array").
   void scan_epoch(std::int64_t epoch,
@@ -150,10 +156,14 @@ class EpochWindowStore final : public GammaStore<T> {
   /// insert-driven and retire_up_to retirement).  This is how epoch-aware
   /// index maintenance works: the owning table removes retired tuples from
   /// its secondary indexes, so indexes forget exactly when Gamma does.
-  /// Called under the store's exclusive lock — the listener must not call
-  /// back into the store.  Set before the engine runs; not thread-safe
-  /// against concurrent inserts.
-  void set_retire_listener(std::function<void(const T&)> fn) {
+  /// Called *after* the store releases its exclusive lock: the listener
+  /// takes index-shard locks that queries hold while re-entering this
+  /// store (probe revalidation), so notifying under the lock would close
+  /// a lock-order cycle.  The brief window where an index still lists a
+  /// retired tuple is harmless — probe hits are revalidated against the
+  /// store.  Set before the engine runs; not thread-safe against
+  /// concurrent inserts.
+  void set_retire_listener(std::function<void(const T&)> fn) override {
     on_retire_ = std::move(fn);
   }
 
@@ -164,30 +174,43 @@ class EpochWindowStore final : public GammaStore<T> {
   /// its old epochs.  max_epoch_ ratchets forward so stragglers behind the
   /// new window keep being dropped on insert.  Returns the number of
   /// tuples retired.
-  std::int64_t retire_up_to(std::int64_t threshold) {
-    std::unique_lock lk(mu_);
-    max_epoch_ = std::max(max_epoch_, threshold + keep_);
-    return retire_locked(threshold);
+  std::int64_t retire_up_to(std::int64_t threshold) override {
+    std::vector<T> victims;
+    std::int64_t dropped;
+    {
+      std::unique_lock lk(mu_);
+      max_epoch_ = std::max(max_epoch_, threshold + keep_);
+      dropped = retire_locked(threshold, &victims);
+    }
+    notify_retired(victims);
+    return dropped;
   }
 
  private:
   using Bucket = std::unordered_set<T, Hash>;
 
   /// Erases every bucket with epoch <= threshold, maintaining size_ and
-  /// retired_.  Caller holds the exclusive lock.
-  std::int64_t retire_locked(std::int64_t threshold) {
+  /// retired_.  Caller holds the exclusive lock; the retired tuples are
+  /// collected into `victims` (only when a listener is registered) for
+  /// notification after the lock is released.
+  std::int64_t retire_locked(std::int64_t threshold, std::vector<T>* victims) {
     std::int64_t dropped = 0;
     for (auto it = buckets_.begin();
          it != buckets_.end() && it->first <= threshold;) {
       dropped += static_cast<std::int64_t>(it->second.size());
       size_ -= it->second.size();
       if (on_retire_) {
-        for (const T& t : it->second) on_retire_(t);
+        victims->insert(victims->end(), it->second.begin(), it->second.end());
       }
       it = buckets_.erase(it);
     }
     retired_.fetch_add(dropped, std::memory_order_relaxed);
     return dropped;
+  }
+
+  void notify_retired(const std::vector<T>& victims) const {
+    if (!on_retire_) return;
+    for (const T& t : victims) on_retire_(t);
   }
 
   std::function<std::int64_t(const T&)> epoch_of_;

@@ -160,6 +160,7 @@ struct ClusterQueryStats {
   std::int64_t empty_plans = 0;
   std::int64_t index_retired = 0;
   std::int64_t gamma_retired = 0;
+  std::int64_t gamma_passed_through = 0;
   std::int64_t residual_rows = 0;
   std::int64_t residual_hits = 0;
 };
@@ -279,6 +280,8 @@ class ShardedEngine {
         out.empty_plans += s.empty_plans.load(std::memory_order_relaxed);
         out.index_retired += s.index_retired.load(std::memory_order_relaxed);
         out.gamma_retired += s.gamma_retired.load(std::memory_order_relaxed);
+        out.gamma_passed_through +=
+            s.gamma_passed_through.load(std::memory_order_relaxed);
         out.residual_rows += s.residual_rows.load(std::memory_order_relaxed);
         out.residual_hits += s.residual_hits.load(std::memory_order_relaxed);
       }

@@ -32,6 +32,7 @@ json::Value table_to_json(const TableLog& t) {
   return json::Object{
       {"name", t.name},
       {"orderby", t.orderby},
+      {"store", t.store},
       {"no_delta", t.no_delta},
       {"no_gamma", t.no_gamma},
       {"puts", t.puts},
@@ -40,6 +41,7 @@ json::Value table_to_json(const TableLog& t) {
       {"gamma_inserts", t.gamma_inserts},
       {"gamma_dups", t.gamma_dups},
       {"gamma_retired", t.gamma_retired},
+      {"gamma_passed_through", t.gamma_passed_through},
       {"fires", t.fires},
       {"queries", t.queries},
       {"index_lookups", t.index_lookups},
@@ -58,6 +60,7 @@ TableLog table_from_json(const json::Value& v) {
   TableLog t;
   t.name = v.at("name").as_string();
   t.orderby = v.at("orderby").as_string();
+  t.store = v.at("store").as_string();
   t.no_delta = v.at("no_delta").as_bool();
   t.no_gamma = v.at("no_gamma").as_bool();
   t.puts = v.at("puts").as_int();
@@ -66,6 +69,7 @@ TableLog table_from_json(const json::Value& v) {
   t.gamma_inserts = v.at("gamma_inserts").as_int();
   t.gamma_dups = v.at("gamma_dups").as_int();
   t.gamma_retired = v.at("gamma_retired").as_int();
+  t.gamma_passed_through = v.at("gamma_passed_through").as_int();
   t.fires = v.at("fires").as_int();
   t.queries = v.at("queries").as_int();
   t.index_lookups = v.at("index_lookups").as_int();
@@ -97,6 +101,7 @@ RunLog capture(const Engine& engine, const std::string& program,
     TableLog tl;
     tl.name = t->name();
     tl.orderby = orderby_string(*t);
+    tl.store = t->store_describe();
     tl.no_delta = t->no_delta();
     tl.no_gamma = t->no_gamma();
     tl.puts = s.puts.load();
@@ -105,6 +110,7 @@ RunLog capture(const Engine& engine, const std::string& program,
     tl.gamma_inserts = s.gamma_inserts.load();
     tl.gamma_dups = s.gamma_dups.load();
     tl.gamma_retired = s.gamma_retired.load();
+    tl.gamma_passed_through = s.gamma_passed_through.load();
     tl.fires = s.fires.load();
     tl.queries = s.queries.load();
     tl.index_lookups = s.index_lookups.load();
@@ -194,8 +200,11 @@ std::string dot_graph(const RunLog& log) {
     const TableLog& t = log.tables[i];
     os << "  t" << i << " [label=\"{" << t.name << " " << t.orderby
        << "|puts=" << t.puts << " fires=" << t.fires
-       << "\\lgamma=" << t.gamma_inserts << " dup=" << t.gamma_dups
-       << "\\lqueries=" << t.queries << " idx=" << t.index_lookups
+       << "\\lgamma=" << t.gamma_inserts << " dup=" << t.gamma_dups;
+    // -noGamma tables store nothing; show their throughput instead.
+    if (t.no_gamma) os << " passed=" << t.gamma_passed_through;
+    if (!t.store.empty()) os << " [" << t.store << "]";
+    os << "\\lqueries=" << t.queries << " idx=" << t.index_lookups
        << " scan=" << t.full_scans << "\\l";
     // Planner access paths, shown only when some query routed off the
     // scan path (keeps planner-free programs' graphs unchanged).

@@ -24,6 +24,9 @@ namespace jstar::viz {
 struct TableLog {
   std::string name;
   std::string orderby;
+  /// Which Gamma substrate the engine installed (GammaStore::describe():
+  /// "tree-set", "skip-list", "flat-ordered", "striped-hash(64)", ...).
+  std::string store;
   bool no_delta = false;
   bool no_gamma = false;
   std::int64_t puts = 0;
@@ -32,6 +35,9 @@ struct TableLog {
   std::int64_t gamma_inserts = 0;
   std::int64_t gamma_dups = 0;
   std::int64_t gamma_retired = 0;
+  /// -noGamma throughput: tuples that passed through a NullStore, so such
+  /// tables report traffic instead of a silent size() == 0.
+  std::int64_t gamma_passed_through = 0;
   std::int64_t fires = 0;
   std::int64_t queries = 0;
   std::int64_t index_lookups = 0;

@@ -140,11 +140,32 @@ inline std::set<Tok> oracle_fixpoint(const Program& p) {
   return seen;
 }
 
-inline TableDecl<Tok> tok_decl() {
-  return TableDecl<Tok>("Tok")
-      .orderby_lit("T")
-      .orderby_seq("gen", &Tok::gen)
-      .hash([](const Tok& t) { return hash_fields(t.key, t.gen); });
+/// Gamma substrate selector for differential sweeps: the flat tier
+/// (core/flat_store.h) must compute the same fixpoints as the node-based
+/// defaults under every schedule, so the harness entry points take one.
+enum class StoreKind { Default, FlatOrdered, FlatHash };
+
+inline const char* to_string(StoreKind k) {
+  switch (k) {
+    case StoreKind::Default: return "default";
+    case StoreKind::FlatOrdered: return "flat-ordered";
+    case StoreKind::FlatHash: return "flat-hash";
+  }
+  return "?";
+}
+
+inline TableDecl<Tok> tok_decl(StoreKind store = StoreKind::Default) {
+  TableDecl<Tok> decl =
+      TableDecl<Tok>("Tok")
+          .orderby_lit("T")
+          .orderby_seq("gen", &Tok::gen)
+          .hash([](const Tok& t) { return hash_fields(t.key, t.gen); });
+  switch (store) {
+    case StoreKind::Default: break;
+    case StoreKind::FlatOrdered: decl.flat_store(); break;
+    case StoreKind::FlatHash: decl.flat_hash_store(); break;
+  }
+  return decl;
 }
 
 /// Attaches the program's derivation rules to `toks` (p.rules copies, so
@@ -172,14 +193,17 @@ inline void add_rules(Engine& eng, Table<Tok>& toks, const Program& p,
 /// works identically for -noGamma (NullStore) configurations, where the
 /// effect fires for every delivery and the set dedups.
 inline std::set<Tok> single_engine_fixpoint(const Program& p,
-                                            const EngineOptions& opts) {
+                                            const EngineOptions& opts,
+                                            StoreKind store =
+                                                StoreKind::Default) {
   std::set<Tok> observed;
   std::mutex mu;
   Engine eng(opts);
-  auto& toks = eng.table(tok_decl().effect([&observed, &mu](const Tok& t) {
-    std::lock_guard<std::mutex> lk(mu);
-    observed.insert(t);
-  }));
+  auto& toks =
+      eng.table(tok_decl(store).effect([&observed, &mu](const Tok& t) {
+        std::lock_guard<std::mutex> lk(mu);
+        observed.insert(t);
+      }));
   add_rules(eng, toks, p, [&toks](RuleCtx& ctx, const Tok& t) {
     toks.put(ctx, t);
   });
@@ -204,7 +228,8 @@ inline std::set<Tok> sharded_fixpoint(const Program& p, int shards,
                                       dist::ShardedMode mode,
                                       bool sequential_engines,
                                       dist::ShardedRunReport* report_out =
-                                          nullptr) {
+                                          nullptr,
+                                      StoreKind store = StoreKind::Default) {
   EngineOptions opts;
   opts.sequential = sequential_engines;
   opts.threads = 2;
@@ -214,9 +239,9 @@ inline std::set<Tok> sharded_fixpoint(const Program& p, int shards,
   std::vector<Table<Tok>*> tables(static_cast<std::size_t>(shards));
   dist::ShardedEngine<Tok> cluster(
       shards, opts, sopts,
-      [&p, &tables, shards](int shard, Engine& eng,
-                            dist::Sender<Tok>& sender) {
-        auto& toks = eng.table(tok_decl());
+      [&p, &tables, shards, store](int shard, Engine& eng,
+                                   dist::Sender<Tok>& sender) {
+        auto& toks = eng.table(tok_decl(store));
         tables[static_cast<std::size_t>(shard)] = &toks;
         add_rules(eng, toks, p, [&sender, shards](RuleCtx&, const Tok& t) {
           sender.send(dist::partition_of(t.key, shards), t);

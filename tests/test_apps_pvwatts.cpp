@@ -94,7 +94,9 @@ INSTANTIATE_TEST_SUITE_P(
         JStarCase{false, 4, true, GammaKind::MonthArray, "par4_monthArray"},
         JStarCase{false, 4, false, GammaKind::MonthArray, "par4_delta"},
         JStarCase{false, 4, true, GammaKind::Default, "par4_skiplist"},
-        JStarCase{false, 4, true, GammaKind::Hash, "par4_hash"}),
+        JStarCase{false, 4, true, GammaKind::Hash, "par4_hash"},
+        JStarCase{true, 1, true, GammaKind::FlatHash, "seq_noDelta_flatHash"},
+        JStarCase{false, 4, true, GammaKind::FlatHash, "par4_flatHash"}),
     [](const auto& info) { return info.param.label; });
 
 TEST(PvWattsJStarMisc, RoundRobinInputSameAnswer) {

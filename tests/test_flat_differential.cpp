@@ -1,0 +1,297 @@
+// The flat-substrate differential sweep (tests/differential.h): the §6.4
+// flat array-backed stores must compute exactly the fixpoints the
+// node-based defaults compute, under every schedule this repo has.
+//
+// Two randomized sweeps:
+//  * a deterministic batch sweep — the same random program runs twice,
+//    once on the default tree/skip-list stores and once on a flat
+//    substrate, across sequential / BSP-sharded / async-sharded
+//    schedules with the seed tuples split into engine-epoch waves and an
+//    optional retain(N) window.  Epoch assignment only advances between
+//    runs, so retirement is schedule-independent and the two final Gamma
+//    databases must match tuple for tuple — including after the flat
+//    store's in-place compaction;
+//  * a streaming sweep — flat-store tables behind
+//    ShardedStreamingEngine's epoch loop, checking routed == scanned per
+//    shard and the exact oracle fixpoint when no window is set.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "differential.h"
+#include "stream/streaming.h"
+
+namespace jstar {
+namespace {
+
+using difftest::Program;
+using difftest::StoreKind;
+using difftest::Tok;
+
+/// Per-seed configuration drawn from the seed, walking the whole
+/// (schedule × shards × engine × store × retention × indexes) matrix.
+struct SweepConfig {
+  int exec = 0;  // 0 = single sequential engine, 1 = BSP, 2 = async
+  int shards = 1;
+  bool sequential_engines = true;
+  StoreKind store = StoreKind::FlatOrdered;
+  std::int64_t retain = 0;  // 0 = keep everything
+  bool indexes = false;     // declare hash + range indexes on Tok
+};
+
+SweepConfig config_for(std::uint64_t seed) {
+  SplitMix64 rng(seed ^ 0xf1a7f1a7u);
+  SweepConfig c;
+  c.exec = static_cast<int>(rng.next_below(3));
+  c.shards = 1 + static_cast<int>(rng.next_below(3));  // 1..3
+  c.sequential_engines = rng.next_below(2) == 0;
+  c.store = rng.next_below(2) == 0 ? StoreKind::FlatOrdered
+                                   : StoreKind::FlatHash;
+  // retain(N) only rides the ordered flat substrate here: the flat hash
+  // preset documents its fallback to the bucketed window (covered by
+  // unit tests), and this sweep wants the in-place compaction path hot.
+  c.retain = (c.store == StoreKind::FlatOrdered && rng.next_below(2) == 0)
+                 ? 1 + static_cast<std::int64_t>(rng.next_below(3))  // 1..3
+                 : 0;
+  c.indexes = rng.next_below(2) == 0;
+  return c;
+}
+
+TableDecl<Tok> decl_for(const SweepConfig& cfg, StoreKind store) {
+  TableDecl<Tok> decl = difftest::tok_decl(store);
+  if (cfg.retain > 0) decl.retain(cfg.retain);
+  return decl;
+}
+
+void declare_indexes(Table<Tok>& toks, const SweepConfig& cfg) {
+  if (!cfg.indexes) return;
+  toks.add_index(&Tok::key);
+  toks.add_range_index(
+      [](const std::vector<std::int64_t>& v) {
+        return v.size() == 1 ? Tok{v[0], INT64_MIN} : Tok{v[0], v[1]};
+      },
+      &Tok::key, &Tok::gen);
+}
+
+/// Routed query shapes vs the residual-scan truth on one table.
+bool routed_equals_scan(Table<Tok>& toks, const Program& p,
+                        std::string* why) {
+  const auto check = [&](const query::Pred<Tok>& pred,
+                         const std::string& label) {
+    std::vector<Tok> via_plan, via_scan;
+    toks.query(pred, [&](const Tok& t) { via_plan.push_back(t); });
+    toks.scan([&](const Tok& t) {
+      if (pred(t)) via_scan.push_back(t);
+    });
+    std::sort(via_plan.begin(), via_plan.end());
+    std::sort(via_scan.begin(), via_scan.end());
+    if (via_plan != via_scan) {
+      *why = label + ": routed " + std::to_string(via_plan.size()) +
+             " tuples, scan " + std::to_string(via_scan.size());
+      return false;
+    }
+    return true;
+  };
+  for (std::int64_t k = 0; k < p.keys; ++k) {
+    if (!check(query::eq(&Tok::key, k), "eq(key)")) return false;
+    if (!check(query::eq(&Tok::key, k) && query::ge(&Tok::gen, 2),
+               "eq(key) && ge(gen)")) {
+      return false;
+    }
+  }
+  return check(query::between(&Tok::key, std::int64_t{0}, p.keys / 2 + 1),
+               "between(key)");
+}
+
+struct RunOut {
+  std::set<Tok> tuples;
+  std::int64_t gamma_retired = 0;
+  bool routed_ok = true;
+  std::string why;
+};
+
+/// Runs the program under cfg with the given store kind, one engine
+/// epoch per seed tuple (so retain(N) windows retire between derivation
+/// waves), and returns the final Gamma contents.
+RunOut run_config(const Program& p, const SweepConfig& cfg, StoreKind store) {
+  RunOut out;
+  EngineOptions eopts;
+  eopts.sequential = cfg.exec == 0 ? true : cfg.sequential_engines;
+  eopts.threads = 2;
+
+  if (cfg.exec == 0) {
+    Engine eng(eopts);
+    auto& toks = eng.table(decl_for(cfg, store));
+    declare_indexes(toks, cfg);
+    difftest::add_rules(eng, toks, p, [&toks](RuleCtx& ctx, const Tok& t) {
+      toks.put(ctx, t);
+    });
+    for (std::size_t i = 0; i < p.seeds.size(); ++i) {
+      if (i > 0) eng.begin_epoch();
+      eng.put(toks, p.seeds[i]);
+      eng.run();
+    }
+    toks.scan([&](const Tok& t) { out.tuples.insert(t); });
+    out.gamma_retired = toks.stats().gamma_retired.load();
+    if (cfg.indexes) out.routed_ok = routed_equals_scan(toks, p, &out.why);
+    return out;
+  }
+
+  dist::ShardedOptions sopts;
+  sopts.mode = cfg.exec == 1 ? dist::ShardedMode::Bsp
+                             : dist::ShardedMode::Async;
+  std::vector<Table<Tok>*> tables(static_cast<std::size_t>(cfg.shards));
+  dist::ShardedEngine<Tok> cluster(
+      cfg.shards, eopts, sopts,
+      [&p, &cfg, &tables, store](int shard, Engine& eng,
+                                 dist::Sender<Tok>& sender) {
+        auto& toks = eng.table(decl_for(cfg, store));
+        declare_indexes(toks, cfg);
+        tables[static_cast<std::size_t>(shard)] = &toks;
+        difftest::add_rules(
+            eng, toks, p,
+            [&sender, shards = cfg.shards](RuleCtx&, const Tok& t) {
+              sender.send(dist::partition_of(t.key, shards), t);
+            });
+        return [&toks, &eng](const Tok& t) { eng.put(toks, t); };
+      });
+  for (std::size_t i = 0; i < p.seeds.size(); ++i) {
+    if (i > 0) cluster.begin_epoch();
+    cluster.seed(dist::partition_of(p.seeds[i].key, cfg.shards), p.seeds[i]);
+    (void)cluster.run();
+  }
+  for (int s = 0; s < cfg.shards; ++s) {
+    Table<Tok>& toks = *tables[static_cast<std::size_t>(s)];
+    toks.scan([&](const Tok& t) {
+      EXPECT_EQ(dist::partition_of(t.key, cfg.shards), s)
+          << "tuple (" << t.key << "," << t.gen << ") on a non-owner shard";
+      out.tuples.insert(t);
+    });
+    if (cfg.indexes && out.routed_ok) {
+      out.routed_ok = routed_equals_scan(toks, p, &out.why);
+    }
+  }
+  out.gamma_retired = cluster.query_stats().gamma_retired;
+  return out;
+}
+
+TEST(FlatDifferential, FlatEqualsDefaultAcrossSchedulesAndRetention) {
+  const std::uint64_t seeds = difftest::seed_count(200);
+  const std::uint64_t base = difftest::seed_base();
+  std::int64_t swept_runs = 0;       // runs where retention actually fired
+  std::int64_t flat_hash_runs = 0;   // flat-hash configurations exercised
+  for (std::uint64_t seed = base; seed < base + seeds; ++seed) {
+    const Program p = difftest::random_program(seed);
+    const SweepConfig cfg = config_for(seed);
+    const std::string repro =
+        difftest::repro(seed, "test_flat_differential",
+                        "FlatDifferential.*");
+
+    const RunOut flat = run_config(p, cfg, cfg.store);
+    const RunOut dflt = run_config(p, cfg, StoreKind::Default);
+
+    // The tentpole claim: swapping the Gamma substrate cannot change the
+    // program's meaning — the stored sets match tuple for tuple, with
+    // and without windows having compacted the flat arrays.
+    ASSERT_EQ(flat.tuples, dflt.tuples)
+        << difftest::to_string(cfg.store) << " vs default, exec "
+        << cfg.exec << ", retain " << cfg.retain << ", " << repro;
+    ASSERT_TRUE(flat.routed_ok) << flat.why << ", " << repro;
+    ASSERT_TRUE(dflt.routed_ok) << dflt.why << ", " << repro;
+
+    // Identical retirement: epoch tagging only advances between runs, so
+    // the in-place compaction must drop exactly what the bucketed window
+    // drops.
+    ASSERT_EQ(flat.gamma_retired, dflt.gamma_retired) << repro;
+    if (flat.gamma_retired > 0) ++swept_runs;
+    if (cfg.store == StoreKind::FlatHash) ++flat_hash_runs;
+
+    // Without retention both must equal the engine-free oracle exactly.
+    if (cfg.retain == 0) {
+      ASSERT_EQ(flat.tuples, difftest::oracle_fixpoint(p)) << repro;
+    }
+  }
+  // The sweep must have exercised the interesting paths.
+  EXPECT_GT(swept_runs, 0);
+  EXPECT_GT(flat_hash_runs, 0);
+}
+
+// Flat-store tables behind the streaming epoch loop: multi-producer
+// ingestion, bounded epoch slices, retain(N) windows — routed and
+// scanned queries agree on whatever each shard retains, and with no
+// window the cluster still computes the exact batch fixpoint.
+TEST(FlatDifferential, FlatStoresUnderStreamingEpochs) {
+  const std::uint64_t seeds = difftest::seed_count(200);
+  const std::uint64_t base = difftest::seed_base();
+  std::int64_t routed_queries = 0;
+  for (std::uint64_t seed = base; seed < base + seeds; ++seed) {
+    const Program p = difftest::random_program(seed);
+    SweepConfig cfg = config_for(seed);
+    if (cfg.exec == 0) cfg.exec = 1 + static_cast<int>(seed % 2);
+    cfg.indexes = true;
+    const std::string repro =
+        difftest::repro(seed, "test_flat_differential",
+                        "FlatDifferential.FlatStoresUnderStreamingEpochs");
+
+    EngineOptions eopts;
+    eopts.sequential = cfg.sequential_engines;
+    eopts.threads = 2;
+    dist::ShardedOptions dopts;
+    dopts.mode = cfg.exec == 1 ? dist::ShardedMode::Bsp
+                               : dist::ShardedMode::Async;
+    stream::StreamOptions sopts;
+    sopts.ring_capacity = 64;
+    sopts.max_epoch_tuples = 1 + static_cast<std::int64_t>(seed % 3);
+
+    std::vector<Table<Tok>*> tables(static_cast<std::size_t>(cfg.shards));
+    using Stream = stream::ShardedStreamingEngine<Tok>;
+    Stream stream(
+        sopts, cfg.shards, eopts, dopts,
+        [&p, &cfg, &tables](int shard, Engine& eng,
+                            dist::Sender<Tok>& sender,
+                            const Stream::Emit&) {
+          auto& toks = eng.table(decl_for(cfg, cfg.store));
+          declare_indexes(toks, cfg);
+          tables[static_cast<std::size_t>(shard)] = &toks;
+          difftest::add_rules(
+              eng, toks, p,
+              [&sender, shards = cfg.shards](RuleCtx&, const Tok& t) {
+                sender.send(dist::partition_of(t.key, shards), t);
+              });
+          return [&toks, &eng](const Tok& t) { eng.put(toks, t); };
+        },
+        [shards = cfg.shards](const Tok& t) {
+          return dist::partition_of(t.key, shards);
+        });
+
+    for (const Tok& s : p.seeds) stream.publish(s);
+    (void)stream.drain();
+
+    for (int s = 0; s < cfg.shards; ++s) {
+      std::string why;
+      ASSERT_TRUE(routed_equals_scan(
+          *tables[static_cast<std::size_t>(s)], p, &why))
+          << why << " on shard " << s << " ("
+          << difftest::to_string(cfg.store) << "), " << repro;
+    }
+    if (cfg.retain == 0) {
+      std::set<Tok> got;
+      for (int s = 0; s < cfg.shards; ++s) {
+        tables[static_cast<std::size_t>(s)]->scan(
+            [&](const Tok& t) { got.insert(t); });
+      }
+      ASSERT_EQ(got, difftest::oracle_fixpoint(p)) << repro;
+    }
+    const dist::ClusterQueryStats qs = stream.cluster().query_stats();
+    routed_queries +=
+        qs.index_lookups + qs.range_scans + qs.pk_probes + qs.empty_plans;
+    stream.stop();
+  }
+  EXPECT_GT(routed_queries, 0);
+}
+
+}  // namespace
+}  // namespace jstar

@@ -1,0 +1,385 @@
+// Unit tests for the flat array-backed Gamma substrates
+// (core/flat_store.h): staging-buffer merges, duplicate rejection across
+// the staged and merged regions, real lower_bound seeks, the chunked scan
+// pushdown (including the per-tuple default adapter on node-based
+// stores), the open-addressing hash store, engine-epoch windowing with
+// in-place compaction, and the Table-level preset / planner integration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/flat_store.h"
+#include "util/rng.h"
+
+namespace jstar {
+namespace {
+
+struct Cell {
+  std::int64_t a, b;
+  auto operator<=>(const Cell&) const = default;
+};
+struct CellHash {
+  std::size_t operator()(const Cell& c) const { return hash_fields(c.a, c.b); }
+};
+
+// --- FlatOrderedStore --------------------------------------------------------
+
+TEST(FlatOrderedStore, InsertContainsAndSortedScan) {
+  FlatOrderedStore<Cell, CellHash> store;
+  SplitMix64 rng(7);
+  std::set<Cell> reference;
+  for (int i = 0; i < 1000; ++i) {
+    const Cell c{static_cast<std::int64_t>(rng.next_below(200)),
+                 static_cast<std::int64_t>(rng.next_below(50))};
+    EXPECT_EQ(store.insert(c), reference.insert(c).second);
+  }
+  EXPECT_EQ(store.size(), reference.size());
+  for (const Cell& c : reference) EXPECT_TRUE(store.contains(c));
+  EXPECT_FALSE(store.contains(Cell{-1, -1}));
+  // Scan visits every tuple in sorted order.
+  std::vector<Cell> scanned;
+  store.scan([&](const Cell& c) { scanned.push_back(c); });
+  EXPECT_TRUE(std::is_sorted(scanned.begin(), scanned.end()));
+  EXPECT_EQ(scanned.size(), reference.size());
+  EXPECT_TRUE(std::equal(scanned.begin(), scanned.end(), reference.begin()));
+  EXPECT_GT(store.merges(), 0);
+}
+
+TEST(FlatOrderedStore, DuplicateRejectionAcrossStagedAndMergedRegions) {
+  FlatOrderedStore<Cell, CellHash> store;
+  // Fill past several merge thresholds so {1,1} lands in the sorted run.
+  for (std::int64_t i = 0; i < 500; ++i) EXPECT_TRUE(store.insert({i, i}));
+  ASSERT_GT(store.merges(), 0);
+  // Duplicate of a merged tuple.
+  EXPECT_FALSE(store.insert({1, 1}));
+  // A fresh tuple sits in staging; its duplicate must also be rejected
+  // while still staged.
+  EXPECT_TRUE(store.insert({1000, 0}));
+  ASSERT_GT(store.staged(), 0u);
+  EXPECT_FALSE(store.insert({1000, 0}));
+  // Force a merge via an ordered read, then reject again from the merged
+  // region.
+  std::int64_t n = 0;
+  store.scan([&](const Cell&) { ++n; });
+  EXPECT_EQ(store.staged(), 0u);
+  EXPECT_FALSE(store.insert({1000, 0}));
+  EXPECT_EQ(n, 501);
+  EXPECT_EQ(store.size(), 501u);
+}
+
+TEST(FlatOrderedStore, RangeAndFromSeeksMatchTreeSet) {
+  FlatOrderedStore<Cell, CellHash> flat;
+  TreeSetStore<Cell> tree;
+  SplitMix64 rng(21);
+  for (int i = 0; i < 800; ++i) {
+    const Cell c{static_cast<std::int64_t>(rng.next_below(100)),
+                 static_cast<std::int64_t>(rng.next_below(100))};
+    flat.insert(c);
+    tree.insert(c);
+  }
+  for (std::int64_t lo = 0; lo < 100; lo += 7) {
+    const Cell clo{lo, 0};
+    const Cell chi{lo + 13, 0};
+    std::vector<Cell> a, b;
+    flat.scan_range(clo, chi, [&](const Cell& c) { a.push_back(c); });
+    tree.scan_range(clo, chi, [&](const Cell& c) { b.push_back(c); });
+    EXPECT_EQ(a, b) << "range [" << lo << ", " << lo + 13 << ")";
+    a.clear();
+    b.clear();
+    flat.scan_from(clo, [&](const Cell& c) { a.push_back(c); });
+    tree.scan_from(clo, [&](const Cell& c) { b.push_back(c); });
+    EXPECT_EQ(a, b) << "from " << lo;
+  }
+  EXPECT_TRUE(flat.ordered());
+}
+
+TEST(FlatOrderedStore, ScanChunksDeliversOneContiguousSpan) {
+  FlatOrderedStore<Cell, CellHash> store;
+  for (std::int64_t i = 0; i < 300; ++i) store.insert({i, 0});
+  std::size_t chunks = 0, tuples = 0;
+  bool sorted_within = true;
+  store.scan_chunks([&](const Cell* data, std::size_t n) {
+    ++chunks;
+    tuples += n;
+    sorted_within = sorted_within && std::is_sorted(data, data + n);
+  });
+  EXPECT_EQ(chunks, 1u);  // ordered reads merge staging first
+  EXPECT_EQ(tuples, 300u);
+  EXPECT_TRUE(sorted_within);
+  EXPECT_TRUE(store.chunked());
+}
+
+// The default adapter: a node-based store advertises chunked() == false
+// but scan_chunks still visits everything, one tuple per span.
+TEST(GammaStore, DefaultScanChunksAdapterEquivalence) {
+  TreeSetStore<Cell> tree;
+  for (std::int64_t i = 0; i < 50; ++i) tree.insert({i % 13, i});
+  std::vector<Cell> via_scan, via_chunks;
+  tree.scan([&](const Cell& c) { via_scan.push_back(c); });
+  std::size_t chunks = 0;
+  tree.scan_chunks([&](const Cell* data, std::size_t n) {
+    ++chunks;
+    for (std::size_t i = 0; i < n; ++i) via_chunks.push_back(data[i]);
+  });
+  EXPECT_FALSE(tree.chunked());
+  EXPECT_EQ(via_chunks, via_scan);
+  EXPECT_EQ(chunks, via_scan.size());  // one-tuple chunks
+}
+
+// --- FlatHashStore -----------------------------------------------------------
+
+TEST(FlatHashStore, InsertGrowContainsAndScan) {
+  FlatHashStore<Cell, CellHash> store(CellHash{}, 16);
+  const std::size_t initial_cap = store.capacity();
+  std::set<Cell> reference;
+  SplitMix64 rng(33);
+  for (int i = 0; i < 2000; ++i) {
+    const Cell c{static_cast<std::int64_t>(rng.next_below(500)),
+                 static_cast<std::int64_t>(rng.next_below(7))};
+    EXPECT_EQ(store.insert(c), reference.insert(c).second);
+  }
+  EXPECT_EQ(store.size(), reference.size());
+  EXPECT_GT(store.capacity(), initial_cap);  // grew past 16 slots
+  for (const Cell& c : reference) EXPECT_TRUE(store.contains(c));
+  EXPECT_FALSE(store.contains(Cell{-5, -5}));
+  std::set<Cell> scanned;
+  store.scan([&](const Cell& c) { scanned.insert(c); });
+  EXPECT_EQ(scanned, reference);
+  EXPECT_FALSE(store.ordered());
+}
+
+TEST(FlatHashStore, ScanChunksCoverEveryTupleExactlyOnce) {
+  FlatHashStore<Cell, CellHash> store;
+  std::set<Cell> reference;
+  for (std::int64_t i = 0; i < 777; ++i) {
+    store.insert({i * 3 % 101, i});
+    reference.insert({i * 3 % 101, i});
+  }
+  std::multiset<Cell> via_chunks;
+  std::size_t chunks = 0;
+  store.scan_chunks([&](const Cell* data, std::size_t n) {
+    ++chunks;
+    for (std::size_t i = 0; i < n; ++i) via_chunks.insert(data[i]);
+  });
+  EXPECT_EQ(via_chunks.size(), reference.size());  // exactly once each
+  EXPECT_TRUE(std::equal(reference.begin(), reference.end(),
+                         via_chunks.begin()));
+  EXPECT_GE(chunks, 1u);
+  EXPECT_LE(chunks, store.size());
+}
+
+// A pathological hash (every tuple collides) must stay correct, just slow.
+TEST(FlatHashStore, SurvivesTotalHashCollisions) {
+  struct ConstHash {
+    std::size_t operator()(const Cell&) const { return 42; }
+  };
+  FlatHashStore<Cell, ConstHash> store;
+  for (std::int64_t i = 0; i < 200; ++i) {
+    EXPECT_TRUE(store.insert({i, 0}));
+    EXPECT_FALSE(store.insert({i, 0}));
+  }
+  EXPECT_EQ(store.size(), 200u);
+  for (std::int64_t i = 0; i < 200; ++i) EXPECT_TRUE(store.contains({i, 0}));
+  EXPECT_FALSE(store.contains({200, 0}));
+}
+
+// --- engine-epoch windowing (retain(N) over the flat substrate) -------------
+
+TEST(FlatOrderedStore, WindowedRetireCompactsInPlaceAndNotifies) {
+  std::atomic<std::int64_t> clock{0};
+  FlatOrderedStore<Cell, CellHash> store(&clock);
+  std::vector<Cell> retired;
+  store.set_retire_listener([&](const Cell& c) { retired.push_back(c); });
+
+  for (std::int64_t e = 0; e < 4; ++e) {
+    clock.store(e);
+    for (std::int64_t i = 0; i < 100; ++i) {
+      EXPECT_TRUE(store.insert({e, i}));
+    }
+  }
+  EXPECT_EQ(store.size(), 400u);
+  // Re-arrival of an epoch-0 tuple in a later epoch stays a duplicate
+  // (lifetime keyed to first arrival, like the bucketed window store).
+  EXPECT_FALSE(store.insert({0, 5}));
+
+  // Retire epochs <= 1: 200 tuples compacted away, listener saw each.
+  EXPECT_EQ(store.retire_up_to(1), 200);
+  EXPECT_EQ(store.size(), 200u);
+  EXPECT_EQ(retired.size(), 200u);
+  for (const Cell& c : retired) EXPECT_LE(c.a, 1);
+  EXPECT_FALSE(store.contains({0, 5}));
+  EXPECT_TRUE(store.contains({3, 5}));
+  // The survivors stay sorted and contiguous.
+  std::size_t chunks = 0;
+  bool sorted_within = true;
+  store.scan_chunks([&](const Cell* d, std::size_t n) {
+    ++chunks;
+    sorted_within = sorted_within && std::is_sorted(d, d + n);
+  });
+  EXPECT_EQ(chunks, 1u);
+  EXPECT_TRUE(sorted_within);
+  EXPECT_EQ(store.retired(), 200);
+
+  // A straggler at or behind the ratchet is dropped but reported fresh.
+  clock.store(1);
+  EXPECT_TRUE(store.insert({1, 999}));
+  EXPECT_FALSE(store.contains({1, 999}));
+  EXPECT_EQ(store.retired(), 201);
+  EXPECT_EQ(store.describe(), "flat-ordered(retain)");
+}
+
+// --- Table-level integration -------------------------------------------------
+
+struct Row {
+  std::int64_t id, group, score;
+  auto operator<=>(const Row&) const = default;
+};
+
+TableDecl<Row> row_decl() {
+  return TableDecl<Row>("Row")
+      .orderby_lit("R")
+      .hash([](const Row& r) { return hash_fields(r.id, r.group, r.score); });
+}
+
+TEST(FlatTable, PresetInstallsFlatStoreAndPlannerRoutesRangePlans) {
+  Engine eng(EngineOptions{.sequential = true});
+  auto& table = eng.table(row_decl().flat_store());
+  table.add_range_index(
+      [](const std::vector<std::int64_t>& v) {
+        return Row{v[0], INT64_MIN, INT64_MIN};
+      },
+      &Row::id);
+  for (std::int64_t i = 0; i < 500; ++i) {
+    eng.put(table, Row{i, i % 10, i * 3});
+  }
+  eng.run();
+  EXPECT_EQ(table.store_describe(), "flat-ordered");
+  EXPECT_TRUE(table.store()->ordered());
+  // The range plan compiles against the flat store...
+  const auto pred = query::between(&Row::id, std::int64_t{100},
+                                   std::int64_t{150});
+  EXPECT_EQ(table.plan_for(pred).path, AccessPath::RangeScan);
+  // ...and routed results equal the residual scan.
+  std::vector<Row> routed, scanned;
+  table.query(pred, [&](const Row& r) { routed.push_back(r); });
+  table.scan([&](const Row& r) {
+    if (pred(r)) scanned.push_back(r);
+  });
+  std::sort(scanned.begin(), scanned.end());
+  EXPECT_EQ(routed, scanned);  // flat range seeks emit in order
+  EXPECT_EQ(routed.size(), 50u);
+  EXPECT_GT(table.stats().range_scans.load(), 0);
+}
+
+TEST(FlatTable, GenericQueriesRideTheChunkedPath) {
+  Engine eng(EngineOptions{.sequential = true});
+  auto& flat = eng.table(row_decl().flat_store());
+  auto& hash = eng.table(TableDecl<Row>("RowH")
+                             .orderby_lit("H")
+                             .flat_hash_store()
+                             .hash([](const Row& r) {
+                               return hash_fields(r.id, r.group, r.score);
+                             }));
+  eng.order({"R", "H"});
+  for (std::int64_t i = 0; i < 400; ++i) {
+    eng.put(flat, Row{i, i % 7, i});
+    eng.put(hash, Row{i, i % 7, i});
+  }
+  eng.run();
+  EXPECT_EQ(hash.store_describe(), "flat-hash");
+  for (Table<Row>* t : {&flat, &hash}) {
+    EXPECT_EQ(t->count_if([](const Row& r) { return r.group == 3; }), 57);
+    const auto hit = t->find_if([](const Row& r) { return r.id == 123; });
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->score, 123);
+    EXPECT_TRUE(t->none([](const Row& r) { return r.id > 1000; }));
+    const auto m = t->min_by([](const Row& r) { return r.group == 5; });
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->id, 5);
+  }
+}
+
+TEST(FlatTable, RetainWindowRetiresGammaAndSweepsIndexes) {
+  Engine eng(EngineOptions{.sequential = true});
+  auto& table = eng.table(row_decl().flat_store().retain(2));
+  table.add_index(&Row::group);
+  eng.prepare();
+  EXPECT_EQ(table.store_describe(), "flat-ordered(retain)");
+
+  for (std::int64_t e = 0; e < 5; ++e) {
+    if (e > 0) eng.begin_epoch();
+    for (std::int64_t i = 0; i < 20; ++i) {
+      eng.put(table, Row{e * 100 + i, e, i});
+    }
+    eng.run();
+  }
+  // Window of 2: epochs 3 and 4 survive, 0..2 were compacted away and
+  // swept from the secondary index.
+  EXPECT_EQ(table.gamma_size(), 40u);
+  EXPECT_EQ(table.stats().gamma_retired.load(), 60);
+  EXPECT_EQ(table.stats().index_retired.load(), 60);
+  // Routed index lookups agree with scans after retirement.
+  for (std::int64_t g = 0; g < 5; ++g) {
+    const auto pred = query::eq(&Row::group, g);
+    std::set<Row> routed, scanned;
+    table.query(pred, [&](const Row& r) { routed.insert(r); });
+    table.scan([&](const Row& r) {
+      if (pred(r)) scanned.insert(r);
+    });
+    EXPECT_EQ(routed, scanned) << "group " << g;
+    EXPECT_EQ(routed.size(), g >= 3 ? 20u : 0u) << "group " << g;
+  }
+  EXPECT_GT(table.stats().index_lookups.load(), 0);
+}
+
+// A flat preset combined with a tuple-carried window (retain_epochs) is
+// rejected rather than silently dropped — only the engine-clock
+// retain(N) window composes with the flat tier.
+TEST(FlatTable, FlatPresetWithRetainEpochsIsRejected) {
+  Engine eng(EngineOptions{.sequential = true});
+  auto& table = eng.table(
+      row_decl().flat_store().retain_epochs(&Row::group, 2));
+  (void)table;
+  EXPECT_THROW(eng.prepare(), CheckError);
+}
+
+// flat_hash_store + retain(N) falls back to the bucketed window store.
+TEST(FlatTable, FlatHashWithRetainFallsBackToEpochWindow) {
+  Engine eng(EngineOptions{.sequential = true});
+  auto& table = eng.table(row_decl().flat_hash_store().retain(1));
+  eng.prepare();
+  EXPECT_EQ(table.store_describe(), "epoch-window");
+  for (std::int64_t i = 0; i < 10; ++i) eng.put(table, Row{i, 0, 0});
+  eng.run();
+  eng.begin_epoch();
+  eng.begin_epoch();
+  EXPECT_EQ(table.gamma_size(), 0u);
+  EXPECT_EQ(table.stats().gamma_retired.load(), 10);
+}
+
+// --- satellite: StripedHashStore auto stripes --------------------------------
+
+TEST(StripedHashStore, DefaultStripesTrackHardwareConcurrency) {
+  struct RowHash {
+    std::size_t operator()(const Row& r) const {
+      return hash_fields(r.id, r.group, r.score);
+    }
+  };
+  StripedHashStore<Row, RowHash> store;
+  const std::size_t n = store.stripes();
+  EXPECT_GE(n, 16u);
+  EXPECT_LE(n, 256u);
+  EXPECT_EQ(n & (n - 1), 0u);  // power of two
+  EXPECT_EQ(store.describe(), "striped-hash(" + std::to_string(n) + ")");
+  // Explicit stripe counts still win.
+  StripedHashStore<Row, RowHash> pinned(8);
+  EXPECT_EQ(pinned.stripes(), 8u);
+}
+
+}  // namespace
+}  // namespace jstar

@@ -101,6 +101,42 @@ TEST(RunLog, DotGraphSkipsEdgesForUnknownTables) {
   EXPECT_EQ(dot.find("->"), std::string::npos);
 }
 
+// The -noGamma satellite: a NullStore table reports its pass-through
+// traffic (and the installed substrate name) instead of a silent
+// size() == 0.
+TEST(RunLog, CapturesStoreNameAndNoGammaPassThrough) {
+  EngineOptions opts;
+  opts.sequential = true;
+  opts.no_gamma.insert("Dst");
+  Engine eng(opts);
+  auto& src = eng.table(TableDecl<Src>("Src")
+                            .orderby_lit("A")
+                            .orderby_seq("id", &Src::id)
+                            .hash([](const Src& s) { return hash_fields(s.id); }));
+  auto& dst = eng.table(TableDecl<Dst>("Dst")
+                            .orderby_lit("B")
+                            .hash([](const Dst& d) { return hash_fields(d.v); }));
+  eng.order({"A", "B"});
+  eng.rule(src, "derive", [&](RuleCtx& ctx, const Src& s) {
+    dst.put(ctx, Dst{s.id});
+  });
+  for (int i = 0; i < 25; ++i) eng.put(src, Src{i});
+  const RunReport report = eng.run();
+  EXPECT_EQ(dst.gamma_size(), 0u);  // nothing retained...
+  const RunLog log = capture(eng, "nogamma", report);
+  EXPECT_EQ(log.tables[0].store, "tree-set");
+  EXPECT_EQ(log.tables[1].store, "null");
+  EXPECT_TRUE(log.tables[1].no_gamma);
+  EXPECT_EQ(log.tables[1].gamma_passed_through, 25);  // ...throughput shown
+  // Round trip keeps the new fields; the dot graph surfaces them.
+  const RunLog back = from_json(to_json(log));
+  EXPECT_EQ(back, log);
+  const std::string dot = dot_graph(log);
+  EXPECT_NE(dot.find("passed=25"), std::string::npos);
+  EXPECT_NE(dot.find("[null]"), std::string::npos);
+  EXPECT_NE(dot.find("[tree-set]"), std::string::npos);
+}
+
 TEST(RunLog, CapturesIndexAndScanCounters) {
   Engine eng(EngineOptions{.sequential = true});
   auto& src = eng.table(TableDecl<Src>("Src")
