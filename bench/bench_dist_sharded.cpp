@@ -21,9 +21,15 @@
 // Results go to stdout as a table and to BENCH_dist_sharded.json (in the
 // working directory) so the perf trajectory is machine-readable from this
 // PR onward.  The "headline" object records async-over-BSP speedup on the
-// deep workload at the widest shard count.
+// deep workload at the widest shard count, and the "wide_guard" object
+// records the async/BSP time ratio on the wide workload at 2/4/8 shards.
+// The guard is enforced: if any of those ratios drops below
+// kWideGuardBar (async more than ~10% slower than BSP), the bench exits
+// non-zero — so CI fails loudly if the unbatched-fabric regression
+// returns.
 //
 // Usage: bench_dist_sharded [wide_vertices] [wide_edges] [deep_vertices]
+//                           [reps]
 #include <cstdio>
 #include <set>
 #include <string>
@@ -46,6 +52,11 @@ struct Visit {
 };
 
 using Graph = std::vector<std::vector<std::int64_t>>;
+
+/// Wide-workload floor on async/BSP (BSP seconds / async seconds) at 2, 4
+/// and 8 shards.  Async must stay within ~10% of BSP on its *worst* shape
+/// while dominating on deep; below the bar the run fails.
+constexpr double kWideGuardBar = 0.9;
 
 Graph random_graph(std::int64_t vertices, std::int64_t edges,
                    std::uint64_t seed) {
@@ -169,7 +180,7 @@ int main(int argc, char** argv) {
   const std::int64_t wide_vertices = arg_or(argc, argv, 1, 200000);
   const std::int64_t wide_edges = arg_or(argc, argv, 2, 400000);
   const std::int64_t deep_vertices = arg_or(argc, argv, 3, 4000);
-  const int reps = 3;
+  const int reps = static_cast<int>(arg_or(argc, argv, 4, 3));
 
   struct Workload {
     const char* name;
@@ -186,6 +197,9 @@ int main(int argc, char** argv) {
   json::Array workloads_json;
   double headline_bsp = 0, headline_async = 0;
   int headline_shards = 0;
+  json::Array wide_guard_rows;
+  double wide_guard_min = 1e100;
+  int wide_guard_worst_shards = 0;
 
   print_header("scale-out: sharded BFS, BSP vs async (cluster analogue of "
                "[7])");
@@ -208,6 +222,20 @@ int main(int argc, char** argv) {
         headline_async = async_r.seconds;
         headline_shards = shards;
       }
+      if (std::string(w.name) == "wide" && shards >= 2) {
+        const double ratio =
+            async_r.seconds > 0 ? bsp.seconds / async_r.seconds : 0.0;
+        wide_guard_rows.push_back(json::Object{
+            {"shards", shards},
+            {"bsp_seconds", bsp.seconds},
+            {"async_seconds", async_r.seconds},
+            {"async_vs_bsp", ratio},
+        });
+        if (ratio < wide_guard_min) {
+          wide_guard_min = ratio;
+          wide_guard_worst_shards = shards;
+        }
+      }
     }
     workloads_json.push_back(json::Object{
         {"name", w.name},
@@ -221,6 +249,11 @@ int main(int argc, char** argv) {
       headline_async > 0 ? headline_bsp / headline_async : 0.0;
   std::printf("\nheadline: deep workload, %d shards: async %.2fx over BSP\n",
               headline_shards, headline_speedup);
+  const bool wide_guard_ok = wide_guard_min >= kWideGuardBar;
+  std::printf(
+      "wide guard: min async/BSP ratio %.2fx at %d shards (bar %.2fx) — %s\n",
+      wide_guard_min, wide_guard_worst_shards, kWideGuardBar,
+      wide_guard_ok ? "ok" : "FAIL");
 
   const json::Value doc = json::Object{
       {"bench", "dist_sharded"},
@@ -233,6 +266,15 @@ int main(int argc, char** argv) {
            {"async_seconds", headline_async},
            {"async_speedup_over_bsp", headline_speedup},
        }},
+      {"wide_guard",
+       json::Object{
+           {"workload", "wide"},
+           {"bar", kWideGuardBar},
+           {"min_async_vs_bsp", wide_guard_min},
+           {"worst_shards", wide_guard_worst_shards},
+           {"ok", wide_guard_ok},
+           {"rows", std::move(wide_guard_rows)},
+       }},
   };
   std::FILE* f = std::fopen("BENCH_dist_sharded.json", "w");
   if (f != nullptr) {
@@ -244,5 +286,7 @@ int main(int argc, char** argv) {
   } else {
     std::printf("could not write BENCH_dist_sharded.json\n");
   }
-  return 0;
+  // The guard is the bench's verdict: exit non-zero when the batched
+  // fabric has regressed back below the bar so CI smokes catch it.
+  return wide_guard_ok ? 0 : 1;
 }

@@ -3,103 +3,162 @@
 //
 // A Mailbox<T> is the *inbound* box of one shard.  Any number of producers
 // push concurrently; exactly one consumer (the owning shard) drains.  The
-// box keeps two set buffers and an index that says which one is the write
-// side: push() inserts into the write buffer under a short mutex section,
-// drain() flips the index under the same mutex — an O(1) swap — and then
-// moves the full buffer out *after* releasing the lock.  Producers
-// therefore never wait behind a consumer iterating thousands of tuples;
-// they only contend on individual set inserts into the other buffer.  This
-// is the "lock-free-ish" double buffering the async executor leans on: the
-// critical section is a pointer flip, not a drain.
+// box keeps two append-only vector buffers and an index that says which
+// one is the write side: push()/push_all() append to the write buffer
+// under a short mutex section, drain() flips the index under the same
+// mutex — an O(1) swap — and then takes the full buffer out *after*
+// releasing the lock.  Producers therefore never wait behind a consumer
+// iterating thousands of tuples, and an append is a vector push_back, not
+// a red-black tree insert: the write path is O(1) per tuple and O(1)
+// locks/wakes per *batch*, which is what lets the async executor's
+// sender-side batching (Sender<T> in sharded.h) turn per-tuple fabric
+// cost into per-flush cost.
 //
-// Epochs: every drain() is one epoch (counted in drains()).  Dedup is per
-// destination per epoch — a tuple pushed twice into the same write buffer
-// is delivered once; pushed again after the buffer swapped, it is a new
-// delivery (set semantics at the receiving engine makes the redelivery a
-// no-op, so cross-epoch duplicates are harmless, only counted).
+// Dedup is deferred to the drain: the consumer sorts + uniques the taken
+// buffer outside any lock, so delivery still sees each tuple at most once
+// per epoch (set semantics at the receiving engine makes any cross-epoch
+// redelivery a no-op, so those are harmless, only counted).
 //
-// Termination support: an optional pending counter can be attached.  While
-// attached, every *fresh* push increments it under the mailbox mutex —
-// which means the increment is visible before any drain() can hand the
-// tuple to the consumer, so the async termination detector's credit
-// arithmetic (decrement after processing) can never observe a transient
-// zero while work is still in flight.
+// Epoch counters: polls() counts every drain() call — including empty
+// polls — while drains() counts only the drains that actually carried
+// mail.  ShardStats::drains (sharded.h) is defined in terms of the
+// latter, so idle polling never inflates epoch counts.
+//
+// Termination support (bulk credits): an optional pending counter can be
+// attached.  While attached, every appended tuple — duplicates included —
+// adds one credit under the mailbox mutex, so the increment is visible
+// before any drain() can hand the tuple to the consumer.  Because credits
+// are granted per *raw* push while delivery dedups, drain() returns the
+// raw count alongside the deduped mail (Drained::credits): the consumer
+// repays exactly what was granted and the Dijkstra–Scholten counter can
+// never observe a transient zero while work is in flight, nor leak a
+// credit to a deduped tuple.
+//
+// Backpressure (credit-aware, soft): set_capacity(N) bounds the undrained
+// write-buffer depth — the box's share of outstanding credits.  A
+// throttled push_all() waits (bounded) for the consumer to drain below
+// the bound before appending.  The wait is *timed*, never unbounded: a
+// shard worker is both a producer and a consumer, so a cycle of shards
+// all blocked pushing into each other's full boxes would deadlock if the
+// bound were hard.  After the timeout the append proceeds — capacity is a
+// throttle target that bounds queue growth *rate*, not a strict depth
+// invariant, which keeps the fabric deadlock-free by construction.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
-#include <set>
 #include <utility>
+#include <vector>
 
 namespace jstar::dist {
 
 template <typename T>
 class Mailbox {
  public:
+  /// One drained epoch: the deduped mail plus the raw number of pushes it
+  /// collapsed from.  `credits` — not mail.size() — is what a consumer
+  /// must repay to the pending counter (each raw push granted one).
+  struct Drained {
+    std::vector<T> mail;        ///< sorted, deduped within the epoch
+    std::int64_t credits = 0;   ///< raw pushes drained (incl. duplicates)
+  };
+
   Mailbox() = default;
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
 
-  /// Inserts `t` into the current write buffer.  Returns true when the
-  /// tuple is fresh in this epoch (not a duplicate of an undrained tuple).
-  /// Wakes a consumer blocked in wait().  Thread-safe.
-  bool push(const T& t) {
-    bool fresh;
+  /// Appends `t` to the current write buffer (no dedup — that is the
+  /// drain's job) and grants one credit.  Wakes the consumer only on the
+  /// empty→nonempty transition; while mail is already pending the
+  /// consumer cannot be blocked in wait(), so further notifies would be
+  /// wasted syscalls (wakeup coalescing).  Thread-safe.
+  void push(const T& t) {
+    bool wake;
     {
       std::lock_guard<std::mutex> lk(mu_);
-      fresh = bufs_[write_].insert(t).second;
-      if (fresh && pending_ != nullptr) {
+      wake = bufs_[write_].empty();
+      bufs_[write_].push_back(t);
+      if (pending_ != nullptr) {
         pending_->fetch_add(1, std::memory_order_acq_rel);
       }
-      if (fresh) nonempty_.store(true, std::memory_order_release);
+      nonempty_.store(true, std::memory_order_release);
     }
-    if (fresh) cv_.notify_one();
-    return fresh;
+    if (wake) {
+      wakeups_.fetch_add(1, std::memory_order_relaxed);
+      cv_.notify_one();
+    }
   }
 
-  /// Bulk push; returns how many tuples were fresh this epoch.
+  /// Bulk append: one lock, one bulk credit grant, at most one wakeup for
+  /// the whole batch — the fast path the async sender's flush rides.
+  /// Returns the number of tuples appended (== the credits granted).
+  /// When `throttle` and a capacity is set, waits (bounded) for the
+  /// consumer to drain below the bound first; see the header comment for
+  /// why the wait must be timed.
   template <typename It>
-  std::int64_t push_all(It first, It last) {
-    std::int64_t fresh = 0;
+  std::int64_t push_all(It first, It last, bool throttle = true) {
+    const auto n = static_cast<std::int64_t>(std::distance(first, last));
+    if (n == 0) return 0;
+    bool wake;
     {
-      std::lock_guard<std::mutex> lk(mu_);
-      for (It it = first; it != last; ++it) {
-        if (bufs_[write_].insert(*it).second) {
-          ++fresh;
-          if (pending_ != nullptr) {
-            pending_->fetch_add(1, std::memory_order_acq_rel);
-          }
-        }
+      std::unique_lock<std::mutex> lk(mu_);
+      if (throttle && capacity_ > 0 &&
+          static_cast<std::int64_t>(bufs_[write_].size()) >= capacity_) {
+        throttled_.fetch_add(1, std::memory_order_relaxed);
+        space_.wait_for(lk, max_throttle_wait_, [&] {
+          return static_cast<std::int64_t>(bufs_[write_].size()) < capacity_;
+        });
       }
-      if (fresh > 0) nonempty_.store(true, std::memory_order_release);
+      auto& buf = bufs_[write_];
+      wake = buf.empty();
+      buf.insert(buf.end(), first, last);
+      if (pending_ != nullptr) {
+        pending_->fetch_add(n, std::memory_order_acq_rel);
+      }
+      nonempty_.store(true, std::memory_order_release);
     }
-    if (fresh > 0) cv_.notify_one();
-    return fresh;
+    if (wake) {
+      wakeups_.fetch_add(1, std::memory_order_relaxed);
+      cv_.notify_one();
+    }
+    return n;
   }
 
-  /// Swap-on-drain: flips the write side under the lock (O(1)), then moves
-  /// the filled buffer out after unlocking so producers are not blocked
-  /// while the consumer takes ownership.  Single consumer only — the
-  /// returned buffer aliases the non-write side until the *next* drain.
-  /// Counts one epoch even when empty (the consumer polled).
-  std::set<T> drain() {
+  /// Swap-on-drain: flips the write side under the lock (O(1)), then
+  /// takes the filled buffer after unlocking and sorts + uniques it there,
+  /// so producers are blocked by neither the hand-off nor the dedup.
+  /// Single consumer only.  Counts one poll always and one drain (epoch)
+  /// only when mail actually moved; wakes producers throttled on a full
+  /// box.
+  Drained drain() {
     int full;
     {
       std::lock_guard<std::mutex> lk(mu_);
       full = write_;
       write_ ^= 1;
       nonempty_.store(false, std::memory_order_release);
-      drains_.fetch_add(1, std::memory_order_relaxed);
+      polls_.fetch_add(1, std::memory_order_relaxed);
     }
-    std::set<T> out = std::move(bufs_[static_cast<std::size_t>(full)]);
+    space_.notify_all();
+    Drained out;
+    out.mail = std::move(bufs_[static_cast<std::size_t>(full)]);
     bufs_[static_cast<std::size_t>(full)].clear();
+    out.credits = static_cast<std::int64_t>(out.mail.size());
+    if (!out.mail.empty()) {
+      drains_.fetch_add(1, std::memory_order_relaxed);
+      std::sort(out.mail.begin(), out.mail.end());
+      out.mail.erase(std::unique(out.mail.begin(), out.mail.end()),
+                     out.mail.end());
+    }
     return out;
   }
 
   /// True when the write buffer has undrained mail.  Lock-free hint for
-  /// polling loops; the authoritative empty check is drain().empty().
+  /// polling loops; the authoritative empty check is drain().mail.empty().
   bool has_mail() const { return nonempty_.load(std::memory_order_acquire); }
 
   /// Blocks until mail arrives or `stop()` returns true.  `stop` is
@@ -113,19 +172,50 @@ class Mailbox {
     });
   }
 
-  /// Wakes every waiter so it re-evaluates its stop predicate (used for
-  /// termination / abort broadcast).
+  /// Timed wait: returns true when mail is present on wakeup, false on a
+  /// bare timeout or stop.  The receiver-side min-batch drain uses this
+  /// to briefly top up a small epoch without risking liveness.
+  template <typename Stop>
+  bool wait_for(std::chrono::nanoseconds timeout, Stop&& stop) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait_for(lk, timeout, [&] {
+      return nonempty_.load(std::memory_order_acquire) || stop();
+    });
+    return nonempty_.load(std::memory_order_acquire);
+  }
+
+  /// Wakes every waiter — consumer and throttled producers — so it
+  /// re-evaluates its stop predicate (termination / abort broadcast).
   void poke() {
     std::lock_guard<std::mutex> lk(mu_);
     cv_.notify_all();
+    space_.notify_all();
   }
 
-  /// Number of drain() epochs so far.
+  /// Total drain() calls (every consumer poll, empty or not).
+  std::int64_t polls() const {
+    return polls_.load(std::memory_order_relaxed);
+  }
+
+  /// Drains that carried mail — the "non-empty drain epochs" that
+  /// ShardStats::drains and ShardedRunReport::epochs are defined over.
   std::int64_t drains() const {
     return drains_.load(std::memory_order_relaxed);
   }
 
-  /// Undrained tuple count (takes the lock; for setup-time accounting).
+  /// Consumer wakeups actually issued (empty→nonempty transitions); the
+  /// coalescing means this is bounded by drains()+1, not by pushes.
+  std::int64_t wakeups() const {
+    return wakeups_.load(std::memory_order_relaxed);
+  }
+
+  /// Times a producer hit the capacity bound and waited for the consumer.
+  std::int64_t throttled() const {
+    return throttled_.load(std::memory_order_relaxed);
+  }
+
+  /// Undrained raw tuple count (takes the lock; for setup-time
+  /// accounting — this is exactly the credits a future drain will carry).
   std::int64_t pending_size() const {
     std::lock_guard<std::mutex> lk(mu_);
     return static_cast<std::int64_t>(bufs_[write_].size());
@@ -139,13 +229,31 @@ class Mailbox {
     pending_ = counter;
   }
 
+  /// Sets the backpressure bound: throttled push_all() calls wait up to
+  /// `max_wait` while the undrained depth is >= `capacity` (0 = no bound).
+  /// Must be called while no producer is pushing (the async executor
+  /// configures it at construction time).
+  void set_capacity(std::int64_t capacity,
+                    std::chrono::nanoseconds max_wait =
+                        std::chrono::milliseconds(1)) {
+    std::lock_guard<std::mutex> lk(mu_);
+    capacity_ = capacity;
+    max_throttle_wait_ = max_wait;
+  }
+
  private:
   mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::set<T> bufs_[2];
+  std::condition_variable cv_;     // consumer waits for mail
+  std::condition_variable space_;  // throttled producers wait for a drain
+  std::vector<T> bufs_[2];
   int write_ = 0;
+  std::int64_t capacity_ = 0;  // 0 = unbounded
+  std::chrono::nanoseconds max_throttle_wait_ = std::chrono::milliseconds(1);
   std::atomic<bool> nonempty_{false};
+  std::atomic<std::int64_t> polls_{0};
   std::atomic<std::int64_t> drains_{0};
+  std::atomic<std::int64_t> wakeups_{0};
+  std::atomic<std::int64_t> throttled_{0};
   std::atomic<std::int64_t>* pending_ = nullptr;
 };
 

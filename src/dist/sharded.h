@@ -28,24 +28,48 @@
 // Async (the pipelined schedule):
 //   Every shard runs on its own long-lived worker thread in a loop:
 //   drain own mailbox → deliver as initial puts → run engine to
-//   quiescence → repeat.  There is no barrier: shard A fires rules against
-//   epoch-3 mail while shard B is still computing epoch 1.  Mail still only
-//   enters an engine *between* runs-to-quiescence, so the BSP causality
-//   argument carries over unchanged — which is why the async fixpoint is
-//   tuple-for-tuple identical (tests/test_dist_async.cpp pins this against
-//   the sequential and BSP references across hundreds of random programs).
+//   quiescence → flush send batches → repeat.  There is no barrier: shard
+//   A fires rules against epoch-3 mail while shard B is still computing
+//   epoch 1.  Mail still only enters an engine *between*
+//   runs-to-quiescence, so the BSP causality argument carries over
+//   unchanged — which is why the async fixpoint is tuple-for-tuple
+//   identical (tests/test_dist_async.cpp pins this against the sequential
+//   and BSP references across hundreds of random programs).
+//
+//   The mailbox fabric is batched end to end (the fix for the wide-
+//   workload regression where per-tuple pushes made async *lose* to BSP):
+//   * sender side — a rule's send lands in a per-sender, per-destination
+//     batch buffer; a batch is flushed as one Mailbox::push_all (one lock,
+//     one bulk credit grant, at most one consumer wakeup) when it reaches
+//     ShardedOptions::async_batch, and every remaining batch is flushed
+//     after the shard's run-to-quiescence, before its credits are
+//     returned (flush-before-idle),
+//   * receiver side — a shard tops its drained epoch up to
+//     ShardedOptions::min_drain_batch while more mail is arriving (and,
+//     once it has seen bulk traffic, waits briefly for in-flight
+//     flushes), so an engine run amortises over a real batch instead of
+//     epoch-churning on single tuples,
+//   * backpressure — each mailbox bounds its undrained depth
+//     (ShardedOptions::mailbox_capacity, a bound on that box's share of
+//     outstanding credits); producers over the bound wait for the
+//     consumer, with a timed escape so producer↔consumer cycles cannot
+//     deadlock (see mailbox.h).
 //
 //   Termination is detected by credit counting (Dijkstra–Scholten style):
 //   a shared `unprocessed` counter holds one credit per undrained mailbox
-//   tuple plus one initial token per shard.  A fresh mailbox push
-//   increments the counter *under the mailbox lock*, i.e. before the tuple
-//   is drainable; a shard decrements its drained credits only *after* its
-//   engine reached quiescence for that epoch — so every send a rule makes
-//   is counted before the credit that caused it is returned.  The counter
-//   therefore reaches zero exactly when every mailbox is empty and every
-//   shard is quiescent; the shard that returns the last credit broadcasts
-//   shutdown.  Per-shard drain epochs, busy/idle seconds and wait counts
-//   are reported in ShardedRunReport::shard_stats.
+//   tuple plus one initial token per shard.  Every mailbox push — bulk or
+//   single — increments the counter *under the mailbox lock*, i.e. before
+//   the tuple is drainable; a shard decrements its drained credits only
+//   *after* its engine reached quiescence for that epoch AND its send
+//   batches are flushed — so every send a rule makes is counted before
+//   the credit that caused it is returned.  The bulk-credit argument for
+//   why zero still proves global quiescence: a shard's batch buffers are
+//   non-empty only while it is mid-epoch, and every running epoch holds
+//   at least one unreturned credit (its drained mail, or the initial
+//   token), so the counter cannot reach zero while any batched send is
+//   still uncounted.  The shard that returns the last credit broadcasts
+//   shutdown.  Per-shard poll/drain epochs, busy/idle seconds and wait
+//   counts are reported in ShardedRunReport::shard_stats.
 //
 // Trade-offs (also see the "Sharded execution" section of README.md):
 //   * BSP: deterministic message accounting, superstep == wavefront depth,
@@ -70,6 +94,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -117,10 +142,30 @@ struct ShardedOptions {
   /// shard engines.  0 = EngineOptions::threads.  Ignored when the shard
   /// engines are sequential.
   int pool_threads = 0;
+
+  // --- async fabric tuning (ignored in BSP mode) ---------------------------
+
+  /// Sender-side flush threshold: a per-(sender, destination) batch is
+  /// pushed into the destination mailbox once it holds this many tuples
+  /// (and always after the sender's run-to-quiescence, before credits are
+  /// returned).  <= 1 flushes every send immediately (the unbatched
+  /// fabric of PR 2).
+  std::int64_t async_batch = 256;
+  /// Receiver-side batch floor: a shard tops up a freshly drained epoch
+  /// while more mail is arriving (and, in the bulk regime, waits briefly
+  /// for in-flight flushes) until it holds this many tuples.  <= 1 runs
+  /// on whatever a single drain returned.
+  std::int64_t min_drain_batch = 128;
+  /// Backpressure bound on each mailbox's undrained depth — its share of
+  /// the outstanding Dijkstra–Scholten credits.  Cross-shard flushes into
+  /// a box at or over the bound wait (timed, deadlock-free; see
+  /// mailbox.h) for the consumer to drain.  0 = unbounded.
+  std::int64_t mailbox_capacity = 1 << 15;
 };
 
 /// Per-shard execution counters of one run (both modes fill them).
 struct ShardStats {
+  std::int64_t polls = 0;           ///< mailbox drain calls, empty included
   std::int64_t drains = 0;          ///< non-empty mailbox drain epochs
   std::int64_t drained_tuples = 0;  ///< tuples delivered from the mailbox
   std::int64_t runs = 0;            ///< engine runs to quiescence
@@ -175,10 +220,13 @@ class ShardedEngine;
 /// whole run in async mode (there are no supersteps to scope it to; the
 /// wider window can only suppress redundant redeliveries).
 ///
-/// In BSP mode sends are buffered until the barrier; in async mode a fresh
-/// send is pushed into the destination's mailbox immediately, which is
-/// what lets the receiving shard start on it while the sender is still
-/// computing.
+/// In BSP mode sends are buffered until the barrier.  In async mode a
+/// fresh send lands in a per-destination batch buffer; the batch reaches
+/// the destination's mailbox as one bulk push when it hits the flush
+/// threshold (ShardedOptions::async_batch) — and always after the owning
+/// shard's run-to-quiescence, *before* that epoch's credits are returned,
+/// which is what keeps the Dijkstra–Scholten counter sound under
+/// batching (see the header comment).
 template <typename T>
 class Sender {
  public:
@@ -188,36 +236,65 @@ class Sender {
                               " out of range [0, " +
                               std::to_string(out_.size()) + ")");
     }
-    if (async_) {
-      {
-        std::lock_guard<std::mutex> lk(mu_);
-        if (!out_[static_cast<std::size_t>(dest)].insert(tuple).second) {
-          return;  // already sent this run
-        }
-      }
-      fabric_->async_send(self_, dest, tuple);
+    if (!async_) {
+      std::lock_guard<std::mutex> lk(mu_);
+      out_[static_cast<std::size_t>(dest)].insert(tuple);
       return;
     }
-    std::lock_guard<std::mutex> lk(mu_);
-    out_[static_cast<std::size_t>(dest)].insert(tuple);
+    std::vector<T> flush;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!out_[static_cast<std::size_t>(dest)].insert(tuple).second) {
+        return;  // already sent this run
+      }
+      std::vector<T>& batch = batch_[static_cast<std::size_t>(dest)];
+      batch.push_back(tuple);
+      if (static_cast<std::int64_t>(batch.size()) < batch_limit_) return;
+      flush.swap(batch);  // deliver outside the sender lock
+    }
+    fabric_->async_send_batch(self_, dest, flush);
   }
 
  private:
   friend class ShardedEngine<T>;
 
-  Sender(int self, int shards, bool async, ShardedEngine<T>* fabric)
+  Sender(int self, int shards, bool async, std::int64_t batch_limit,
+         ShardedEngine<T>* fabric)
       : self_(self),
         async_(async),
+        batch_limit_(std::max<std::int64_t>(1, batch_limit)),
         fabric_(fabric),
-        out_(static_cast<std::size_t>(shards)) {}
+        out_(static_cast<std::size_t>(shards)),
+        batch_(async ? static_cast<std::size_t>(shards) : 0) {}
+
+  /// Flush-before-idle: drains every per-destination batch into the
+  /// mailboxes.  The owning shard's worker calls this after each
+  /// run-to-quiescence and before returning the epoch's credits, so no
+  /// send can be buffered-but-uncounted once the shard goes idle.
+  void flush_all() {
+    for (std::size_t d = 0; d < batch_.size(); ++d) {
+      std::vector<T> flush;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        flush.swap(batch_[d]);
+      }
+      if (!flush.empty()) {
+        fabric_->async_send_batch(self_, static_cast<int>(d), flush);
+      }
+    }
+  }
 
   const int self_;
   const bool async_;
+  const std::int64_t batch_limit_;
   ShardedEngine<T>* const fabric_;
   std::mutex mu_;
   // BSP: per-destination outbox, drained at the barrier.
   // Async: per-destination already-sent window for this run.
   std::vector<std::set<T>> out_;
+  // Async only: per-destination pending batch (admitted through the dedup
+  // window, not yet pushed to the mailbox).
+  std::vector<std::vector<T>> batch_;
 };
 
 /// N private Engines plus the mailbox fabric between them.  The setup
@@ -253,9 +330,10 @@ class ShardedEngine {
     mailboxes_.reserve(static_cast<std::size_t>(shards));
     for (int s = 0; s < shards; ++s) {
       engines_.push_back(std::make_unique<Engine>(opts, shared_pool_.get()));
-      senders_.push_back(
-          std::unique_ptr<Sender<T>>(new Sender<T>(s, shards, async, this)));
+      senders_.push_back(std::unique_ptr<Sender<T>>(
+          new Sender<T>(s, shards, async, sopts_.async_batch, this)));
       mailboxes_.push_back(std::make_unique<Mailbox<T>>());
+      if (async) mailboxes_.back()->set_capacity(sopts_.mailbox_capacity);
       deliver_.push_back(setup(s, *engines_.back(), *senders_.back()));
     }
   }
@@ -327,8 +405,9 @@ class ShardedEngine {
   // --- shared helpers ------------------------------------------------------
 
   /// Delivers one drained epoch to shard `s` and runs its engine to
-  /// quiescence, accumulating into that shard's stats slot.
-  void run_shard_epoch(std::size_t s, const std::set<T>& mail,
+  /// quiescence, accumulating into that shard's stats slot.  `mail` is
+  /// deduped by Mailbox::drain, so every element is one delivery.
+  void run_shard_epoch(std::size_t s, const std::vector<T>& mail,
                        ShardStats& st) {
     WallTimer busy;
     if (!mail.empty()) {
@@ -380,8 +459,9 @@ class ShardedEngine {
     if (engines_[0]->options().sequential || shards_ == 1) {
       for (std::size_t s = 0; s < n; ++s) {
         try {
-          const std::set<T> mail = mailboxes_[s]->drain();
-          run_shard_epoch(s, mail, report.shard_stats[s]);
+          const auto drained = mailboxes_[s]->drain();
+          ++report.shard_stats[s].polls;
+          run_shard_epoch(s, drained.mail, report.shard_stats[s]);
         } catch (...) {
           errors[s] = std::current_exception();
         }
@@ -392,8 +472,9 @@ class ShardedEngine {
       for (std::size_t s = 0; s < n; ++s) {
         threads.emplace_back([this, s, &report, &errors] {
           try {
-            const std::set<T> mail = mailboxes_[s]->drain();
-            run_shard_epoch(s, mail, report.shard_stats[s]);
+            const auto drained = mailboxes_[s]->drain();
+            ++report.shard_stats[s].polls;
+            run_shard_epoch(s, drained.mail, report.shard_stats[s]);
           } catch (...) {
             errors[s] = std::current_exception();
           }
@@ -451,53 +532,110 @@ class ShardedEngine {
 
   // --- async mode ----------------------------------------------------------
 
-  /// Called by Sender in async mode after the per-sender dedup window
-  /// admitted the tuple.  Pushes into the destination's mailbox (a fresh
-  /// push bumps the in-flight credit counter under the mailbox lock) and
-  /// accounts the message.
-  void async_send(int src, int dest, const T& tuple) {
-    mailboxes_[static_cast<std::size_t>(dest)]->push(tuple);
+  /// Called by Sender in async mode with a batch the per-sender dedup
+  /// window admitted.  One bulk push grants the in-flight credits under
+  /// the destination's mailbox lock and wakes its consumer at most once;
+  /// the message counters move by the whole batch.  Self-delivery skips
+  /// the backpressure throttle — the pushing thread is (or feeds) the
+  /// very consumer that must drain this box, so waiting on itself could
+  /// only burn the timeout.
+  void async_send_batch(int src, int dest, const std::vector<T>& batch) {
+    mailboxes_[static_cast<std::size_t>(dest)]->push_all(
+        batch.begin(), batch.end(), /*throttle=*/src != dest);
+    const auto n = static_cast<std::int64_t>(batch.size());
     if (src == dest) {
-      async_local_messages_.fetch_add(1, std::memory_order_relaxed);
+      async_local_messages_.fetch_add(n, std::memory_order_relaxed);
     } else {
-      async_messages_.fetch_add(1, std::memory_order_relaxed);
+      async_messages_.fetch_add(n, std::memory_order_relaxed);
     }
   }
 
-  /// The long-lived shard worker: drain → deliver → run-to-quiescence →
-  /// return credits, sleeping only when the mailbox is empty and the
-  /// initial token is spent.  The worker that returns the last credit
-  /// detects global quiescence and broadcasts shutdown.
+  bool stopping() const {
+    return done_.load(std::memory_order_acquire) ||
+           abort_.load(std::memory_order_acquire);
+  }
+
+  /// Merges a second drained epoch into the first (both sides arrive
+  /// sorted + deduped from Mailbox::drain); credits add raw.
+  static void merge_drained(typename Mailbox<T>::Drained& into,
+                            typename Mailbox<T>::Drained&& more) {
+    into.credits += more.credits;
+    if (more.mail.empty()) return;
+    const auto mid =
+        static_cast<typename std::vector<T>::difference_type>(
+            into.mail.size());
+    into.mail.insert(into.mail.end(), more.mail.begin(), more.mail.end());
+    std::inplace_merge(into.mail.begin(), into.mail.begin() + mid,
+                       into.mail.end());
+    into.mail.erase(std::unique(into.mail.begin(), into.mail.end()),
+                    into.mail.end());
+  }
+
+  /// The long-lived shard worker: drain (+ min-batch top-up) → deliver →
+  /// run-to-quiescence → flush send batches → return credits, sleeping
+  /// only when the mailbox is empty and the initial token is spent.  The
+  /// worker that returns the last credit detects global quiescence and
+  /// broadcasts shutdown.
   void async_shard_loop(std::size_t s, ShardStats& st) {
     Mailbox<T>& box = *mailboxes_[s];
-    bool token = true;  // covers the first run (setup-time puts)
-    while (!done_.load(std::memory_order_acquire) &&
-           !abort_.load(std::memory_order_acquire)) {
-      std::set<T> mail = box.drain();
-      if (mail.empty() && !token) {
+    Sender<T>& sender = *senders_[s];
+    const auto stop = [this] { return stopping(); };
+    const std::int64_t min_batch =
+        std::max<std::int64_t>(1, sopts_.min_drain_batch);
+    // How long to wait for an in-flight flush when topping up a small
+    // epoch in the bulk regime.  Short on purpose: it only trims epoch
+    // churn, it must never become a pipeline stall.
+    constexpr auto kTopUpWait = std::chrono::microseconds(200);
+    bool token = true;   // covers the first run (setup-time puts)
+    bool bulk = false;   // hysteresis: the previous epoch met min_batch
+    while (!stopping()) {
+      typename Mailbox<T>::Drained d = box.drain();
+      ++st.polls;
+      if (d.mail.empty() && !token) {
         ++st.idle_waits;
         WallTimer idle;
-        box.wait([this] {
-          return done_.load(std::memory_order_acquire) ||
-                 abort_.load(std::memory_order_acquire);
-        });
+        box.wait(stop);
         st.idle_seconds += idle.seconds();
         continue;
       }
-      const std::int64_t credit =
-          static_cast<std::int64_t>(mail.size()) + (token ? 1 : 0);
+      // Receiver-side min-batch: top up from mail that arrived during
+      // the drain itself (free), and — only once bulk traffic has been
+      // seen — wait briefly for an in-flight flush.  A latency-bound
+      // pipeline (deep workloads: one or two tuples per epoch) never
+      // sets `bulk`, so it never pays the wait.
+      if (!d.mail.empty()) {
+        bool waited = false;
+        while (static_cast<std::int64_t>(d.mail.size()) < min_batch &&
+               !stopping()) {
+          if (!box.has_mail()) {
+            if (!bulk || waited) break;
+            waited = true;
+            WallTimer idle;
+            const bool got = box.wait_for(kTopUpWait, stop);
+            st.idle_seconds += idle.seconds();
+            if (!got) break;
+          }
+          typename Mailbox<T>::Drained more = box.drain();
+          ++st.polls;
+          merge_drained(d, std::move(more));
+        }
+        bulk = static_cast<std::int64_t>(d.mail.size()) >= min_batch;
+      }
+      const std::int64_t credit = d.credits + (token ? 1 : 0);
       token = false;
       try {
-        run_shard_epoch(s, mail, st);
+        run_shard_epoch(s, d.mail, st);
       } catch (...) {
         errors_[s] = std::current_exception();
         abort_.store(true, std::memory_order_release);
         for (auto& mb : mailboxes_) mb->poke();
         return;
       }
-      // Return the credits only now: every send this epoch's rules made
-      // has already incremented the counter, so hitting zero proves global
-      // quiescence (empty mailboxes + every shard idle).
+      // Flush-before-idle, then return the credits: every send this
+      // epoch's rules made is now in a mailbox and counted, so hitting
+      // zero proves global quiescence (empty mailboxes, empty batch
+      // buffers, every shard idle).
+      sender.flush_all();
       if (unprocessed_.fetch_sub(credit, std::memory_order_acq_rel) ==
           credit) {
         done_.store(true, std::memory_order_release);
@@ -520,6 +658,9 @@ class ShardedEngine {
     for (auto& sender : senders_) {
       std::lock_guard<std::mutex> lk(sender->mu_);
       for (auto& window : sender->out_) window.clear();
+      // Batches left by an aborted run would double-deliver (and carry
+      // stale credits) if they leaked into this run.
+      for (auto& batch : sender->batch_) batch.clear();
     }
     // Initial credits: one token per shard plus the mail (seeds or
     // leftovers from a previous event-driven run) already staged.  The

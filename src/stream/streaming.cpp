@@ -11,6 +11,7 @@ void StreamReport::absorb(const EpochStats& e) {
   batches += e.batches;
   tuples += e.tuples;
   messages += e.messages;
+  mail_epochs += e.mail_epochs;
   gamma_retired += e.gamma_retired;
   index_retired += e.index_retired;
   max_epoch_ingested = std::max(max_epoch_ingested, e.ingested);

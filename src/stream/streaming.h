@@ -84,6 +84,10 @@ struct EpochStats {
   std::int64_t batches = 0;   ///< Delta batches of the fixpoint run
   std::int64_t tuples = 0;    ///< tuples taken out of Delta
   std::int64_t messages = 0;  ///< cross-shard messages (sharded only)
+  /// Non-empty mailbox drain epochs inside the cluster fixpoint (sharded
+  /// only) — the fabric-churn counter the async batching collapses.  Idle
+  /// polls never inflate it (ShardStats::drains semantics).
+  std::int64_t mail_epochs = 0;
   std::int64_t gamma_retired = 0;  ///< retain(N) tuples GC'd at epoch open
   std::int64_t index_retired = 0;  ///< secondary-index entries swept with them
   double seconds = 0.0;       ///< deliver + run wall time
@@ -96,6 +100,7 @@ struct StreamReport {
   std::int64_t batches = 0;
   std::int64_t tuples = 0;
   std::int64_t messages = 0;
+  std::int64_t mail_epochs = 0;  ///< cumulative cluster drain epochs
   std::int64_t gamma_retired = 0;  ///< cumulative retain(N) GC volume
   std::int64_t index_retired = 0;  ///< cumulative index entries swept
   std::int64_t max_epoch_ingested = 0;
@@ -366,6 +371,7 @@ class StreamBase {
       es.batches = run.batches;
       es.tuples = run.tuples;
       es.messages = run.messages;
+      es.mail_epochs = run.mail_epochs;
       es.gamma_retired = run.gamma_retired;
       es.index_retired = run.index_retired;
       es.seconds = timer.seconds();
@@ -487,6 +493,12 @@ class StreamingEngine final
 /// BSP or async schedule over one shared fork/join pool) run epoch by
 /// epoch.  `route` assigns each ingested tuple to its owner shard
 /// (typically dist::partition_of over the tuple's key).
+///
+/// Works unchanged with the async fabric's sender batching: cluster_.run()
+/// flushes every send batch before returning its last credit
+/// (flush-before-idle), so when run() returns the fabric is empty and the
+/// epoch boundary this wrapper drives in lockstep stays clean — no mail
+/// can leak from one streaming epoch into the next.
 template <typename T, typename Out = T>
 class ShardedStreamingEngine final
     : public detail::StreamBase<T, Out, ShardedStreamingEngine<T, Out>> {
@@ -547,6 +559,7 @@ class ShardedStreamingEngine final
     es.batches = r.local_batches;
     es.tuples = r.local_tuples;
     es.messages = r.messages;
+    es.mail_epochs = r.epochs;
     es.gamma_retired = epoch_gamma_retired_;
     es.index_retired = epoch_index_retired_;
     return es;

@@ -223,17 +223,23 @@ inline std::set<Tok> single_engine_fixpoint(const Program& p) {
 /// derived tuple is routed through the mailbox to the hash owner of its
 /// key, so fan-out traffic crosses shard boundaries constantly.  Also
 /// checks ownership: a tuple may only materialise on the shard its key
-/// hashes to.
+/// hashes to.  `fabric` (optional) overrides the async fabric tuning —
+/// batch threshold, drain floor, mailbox capacity — so knob sweeps can
+/// force the flush / top-up / throttle paths on tiny programs; its mode
+/// field is overwritten by `mode`.
 inline std::set<Tok> sharded_fixpoint(const Program& p, int shards,
                                       dist::ShardedMode mode,
                                       bool sequential_engines,
                                       dist::ShardedRunReport* report_out =
                                           nullptr,
-                                      StoreKind store = StoreKind::Default) {
+                                      StoreKind store = StoreKind::Default,
+                                      const dist::ShardedOptions* fabric =
+                                          nullptr) {
   EngineOptions opts;
   opts.sequential = sequential_engines;
   opts.threads = 2;
   dist::ShardedOptions sopts;
+  if (fabric != nullptr) sopts = *fabric;
   sopts.mode = mode;
 
   std::vector<Table<Tok>*> tables(static_cast<std::size_t>(shards));

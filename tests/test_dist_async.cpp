@@ -77,6 +77,65 @@ TEST(AsyncDifferential, SeededSweepMatchesOracleAndBothReferences) {
 }
 
 // ---------------------------------------------------------------------------
+// The same sweep with the batched fabric forced into its corner regimes:
+// tiny sender batches, a tiny mailbox capacity (every cross-shard flush
+// throttles) and a drain floor larger than most epochs (the top-up wait
+// path).  Correctness must be knob-independent — the knobs move tuples
+// between flushes and epochs, never in or out of the fixpoint — and
+// termination must still be detected with credits granted/returned in
+// bulk.
+// ---------------------------------------------------------------------------
+
+TEST(AsyncDifferential, BackpressureAndTinyBatchesMatchOracle) {
+  constexpr const char* kFilter =
+      "AsyncDifferential.BackpressureAndTinyBatchesMatchOracle";
+  const int shard_choices[] = {1, 2, 3, 8};
+  // Three corner fabrics: unbatched+tight capacity, batch boundary
+  // straddling + throttle + top-up, and flush-threshold-never-reached
+  // (every delivery rides the flush-before-idle path).
+  const ShardedOptions fabrics[] = {
+      [] {
+        ShardedOptions o;
+        o.async_batch = 1;
+        o.min_drain_batch = 1;
+        o.mailbox_capacity = 2;
+        return o;
+      }(),
+      [] {
+        ShardedOptions o;
+        o.async_batch = 3;
+        o.min_drain_batch = 5;
+        o.mailbox_capacity = 4;
+        return o;
+      }(),
+      [] {
+        ShardedOptions o;
+        o.async_batch = 1 << 20;
+        o.min_drain_batch = 7;
+        o.mailbox_capacity = 8;
+        return o;
+      }(),
+  };
+  const std::uint64_t base = seed_base();
+  const std::uint64_t count = seed_count(200);
+  for (std::uint64_t seed = base; seed < base + count; ++seed) {
+    const Program p = random_program(seed * 0x2545f491ULL + 11);
+    const int shards = shard_choices[seed % 4];
+    const ShardedOptions& fabric = fabrics[seed % 3];
+
+    const std::set<Tok> expect = oracle_fixpoint(p);
+    const std::set<Tok> async = sharded_fixpoint(
+        p, shards, ShardedMode::Async, /*sequential_engines=*/true, nullptr,
+        difftest::StoreKind::Default, &fabric);
+    ASSERT_EQ(async, expect)
+        << "shards " << shards << ", async_batch " << fabric.async_batch
+        << ", min_drain_batch " << fabric.min_drain_batch
+        << ", mailbox_capacity " << fabric.mailbox_capacity << ", "
+        << repro(seed, "test_dist_async", kFilter);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // EngineOptions flag matrix: no_delta x no_gamma x task_per_rule x
 // delta_stripes, swept differentially.  The programs use the small shape
 // (2 duplicate rules, low fan-out/depth) because -noGamma removes

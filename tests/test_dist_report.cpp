@@ -26,14 +26,15 @@ struct Visit {
 // mailbox.  The BSP wavefront advances one vertex per superstep, so the
 // report is fully predictable from n.
 ShardedRunReport run_chain(std::int64_t n, int shards, bool sequential,
-                           std::set<std::int64_t>* reached = nullptr) {
+                           std::set<std::int64_t>* reached = nullptr,
+                           const ShardedOptions& sopts = {}) {
   EngineOptions opts;
   opts.sequential = sequential;
   opts.threads = 2;
 
   std::vector<Table<Visit>*> tables(static_cast<std::size_t>(shards));
   ShardedEngine<Visit> cluster(
-      shards, opts,
+      shards, opts, sopts,
       [n, shards, &tables](int shard, Engine& eng, Sender<Visit>& sender) {
         auto& visits = eng.table(TableDecl<Visit>("Visit")
                                      .orderby_lit("V")
@@ -104,6 +105,46 @@ TEST(DistReport, MessagesSplitIntoCrossAndLocalExactly) {
   const ShardedRunReport r = run_chain(50, 4, /*sequential=*/true);
   EXPECT_EQ(r.messages + r.local_messages, 49);
   EXPECT_GT(r.messages, 0);  // 50 hash-spread vertices never all co-locate
+}
+
+// --- epoch / poll accounting -----------------------------------------------
+
+// The counter contract after the polls/drains split: report.epochs is the
+// sum of per-shard *non-empty* drain epochs, every shard polled at least
+// as often as it drained, and idle polls never leak into the epoch count.
+TEST(DistReport, EpochsCountNonEmptyDrainsOnlyBsp) {
+  const ShardedRunReport r = run_chain(40, 3, /*sequential=*/true);
+  std::int64_t drains = 0;
+  for (const ShardStats& st : r.shard_stats) {
+    EXPECT_LE(st.drains, st.polls);
+    // BSP polls every shard's mailbox exactly once per superstep.
+    EXPECT_EQ(st.polls, r.supersteps);
+    drains += st.drains;
+  }
+  EXPECT_EQ(r.epochs, drains);
+  // The chain wavefront touches exactly one shard per superstep, so most
+  // polls are empty: epochs must be far below shards * supersteps.
+  EXPECT_EQ(r.epochs, 40);
+  EXPECT_LT(r.epochs, static_cast<std::int64_t>(3) * r.supersteps);
+}
+
+TEST(DistReport, EpochsCountNonEmptyDrainsOnlyAsync) {
+  ShardedOptions sopts;
+  sopts.mode = ShardedMode::Async;
+  std::set<std::int64_t> reached;
+  const ShardedRunReport r =
+      run_chain(64, 3, /*sequential=*/true, &reached, sopts);
+  EXPECT_EQ(reached.size(), 64u);
+  std::int64_t drains = 0;
+  for (const ShardStats& st : r.shard_stats) {
+    EXPECT_LE(st.drains, st.polls);
+    drains += st.drains;
+  }
+  EXPECT_EQ(r.epochs, drains);
+  // 63 hops delivered one tuple each (plus the seed): even with async
+  // idle re-polls the epoch count is bounded by deliveries, not polls.
+  EXPECT_LE(r.epochs, 64);
+  EXPECT_GE(r.epochs, 1);
 }
 
 // --- partition_of properties -----------------------------------------------
