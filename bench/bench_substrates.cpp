@@ -17,6 +17,17 @@
 //   min_speedup  exit non-zero if the flat-ordered chunked scan is not
 //                at least this many times faster than the skip-list
 //                per-tuple scan (default 3)
+//
+// A second, fixed acceptance bar guards the columnar (SoA) tier of
+// ISSUE 7: the per-column kernels (core/column_store.h) must run the
+// wide-row residual aggregate at least 4x faster than the flat store's
+// chunked scan of the same rows; the measurement lands in the
+// `columnar_guard` object of BENCH_substrates.json and the process exits
+// non-zero below the bar.  The bar is defined at 1e6 rows (the CI smoke
+// scale): there the 80 MB of wide rows stream from memory while the 8 MB
+// bound column stays cache-resident, so the ratio is structural rather
+// than cache-size luck.  Below 1e6 rows the speedup is reported but not
+// enforced — a small smoke run should not fail on a cache artefact.
 #include <cstdio>
 #include <functional>
 #include <map>
@@ -26,6 +37,7 @@
 
 #include "bench/harness.h"
 #include "concurrent/skip_list_map.h"
+#include "core/column_store.h"
 #include "core/engine.h"
 #include "core/flat_store.h"
 #include "core/window_store.h"
@@ -43,6 +55,20 @@ struct Row {
 };
 struct RowHash {
   std::size_t operator()(const Row& r) const {
+    return hash_fields(r.id, r.group, r.score);
+  }
+};
+
+/// The columnar section's tuple: a realistic wide record (80 bytes).  A
+/// residual aggregate touches only `group` and `score`, so the SoA
+/// kernel streams the 8-byte bound column (plus the few selected scores)
+/// where any row-major path drags the whole tuple through the cache.
+struct WideRow {
+  std::int64_t id, group, score, f3, f4, f5, f6, f7, f8, f9;
+  auto operator<=>(const WideRow&) const = default;
+};
+struct WideHash {
+  std::size_t operator()(const WideRow& r) const {
     return hash_fields(r.id, r.group, r.score);
   }
 };
@@ -262,6 +288,98 @@ int main(int argc, char** argv) {
                  },
                  reps, skiplist_range);
 
+  // --- columnar kernels vs row-major chunked scans (the ISSUE 7 bar) --------
+  // Same residual full-scan aggregate (count one 0.1% group + sum its
+  // scores), three executions over 80-byte wide rows: the flat store's
+  // chunked templated loop, the columnar store reconstituting chunks
+  // (sanity: SoA without pushdown buys nothing), and the columnar
+  // kernels — bitmap select on the group column, gather-sum on the score
+  // column, tuples never materialised.
+  print_header("columnar kernels at " + std::to_string(rows) +
+               " wide rows (80 B each)");
+  const auto wide_of = [](std::int64_t id) {
+    return WideRow{id,      id % kGroups, (id * 2654435761) % 1024,
+                   id * 3,  id * 5,       id * 7,
+                   id * 9,  id * 11,      id * 13,
+                   id * 17};
+  };
+  auto wide_flat = std::make_unique<FlatOrderedStore<WideRow, WideHash>>();
+  auto wide_col = std::make_unique<
+      ColumnStore<WideRow, WideHash, std::int64_t WideRow::*,
+                  std::int64_t WideRow::*, std::int64_t WideRow::*,
+                  std::int64_t WideRow::*, std::int64_t WideRow::*,
+                  std::int64_t WideRow::*, std::int64_t WideRow::*,
+                  std::int64_t WideRow::*, std::int64_t WideRow::*,
+                  std::int64_t WideRow::*>>(
+      WideHash{}, &WideRow::id, &WideRow::group, &WideRow::score,
+      &WideRow::f3, &WideRow::f4, &WideRow::f5, &WideRow::f6, &WideRow::f7,
+      &WideRow::f8, &WideRow::f9);
+  {
+    WallTimer load;
+    for (const std::int64_t id : ids) {
+      const WideRow r = wide_of(id);
+      wide_flat->insert(r);
+      wide_col->insert(r);
+    }
+    std::printf("loaded 2 wide stores in %.2f s\n", load.seconds());
+  }
+  const auto wide_chunk_pass = [&](const GammaStore<WideRow>& s) {
+    ScanResult r;
+    s.scan_chunks([&r](const WideRow* data, std::size_t n) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (data[i].group == 7) {
+          ++r.count;
+          r.sum += data[i].score;
+        }
+      }
+    });
+    return r;
+  };
+  const std::vector<ColumnarOps<WideRow>::Bound> wide_bounds{
+      {query::field_tag(&WideRow::group), 7, 7}};
+  const void* wide_score_tag = query::field_tag(&WideRow::score);
+  const auto wide_kernel_pass = [&] {
+    // One gather answers both aggregates: the selection count arrives via
+    // KernelStats, the sum via the streamed value spans — a single pass
+    // over the bound column, never touching the other eight fields.
+    ScanResult r;
+    ColumnarOps<WideRow>::KernelStats ks;
+    (void)wide_col->kernel_gather_i64(
+        wide_bounds, wide_score_tag,
+        [&r](const std::int64_t* v, std::size_t n) {
+          for (std::size_t i = 0; i < n; ++i) r.sum += v[i];
+        },
+        &ks);
+    r.count = ks.selected;
+    return r;
+  };
+  const ScanResult wide_expect = wide_chunk_pass(*wide_flat);
+  const auto wide_check = [&](const ScanResult& got, const char* who) {
+    if (got.count != wide_expect.count || got.sum != wide_expect.sum) {
+      std::fprintf(stderr, "MISMATCH %s: count %lld/%lld sum %lld/%lld\n",
+                   who, static_cast<long long>(got.count),
+                   static_cast<long long>(wide_expect.count),
+                   static_cast<long long>(got.sum),
+                   static_cast<long long>(wide_expect.sum));
+      std::exit(1);
+    }
+  };
+  wide_check(wide_chunk_pass(*wide_col), "columnar chunks");
+  wide_check(wide_kernel_pass(), "columnar kernels");
+
+  std::printf("%-14s %-22s %12s %17s %9s\n", "store", "path", "seconds",
+              "throughput", "speedup");
+  const double wide_flat_chunk = scan_row(
+      "flat-ordered", "chunked templated", rows,
+      [&] { (void)wide_chunk_pass(*wide_flat); }, reps, 0);
+  (void)scan_row("columnar", "chunked reconstitute", rows,
+                 [&] { (void)wide_chunk_pass(*wide_col); }, reps,
+                 wide_flat_chunk);
+  const double wide_kernels = scan_row(
+      "columnar", "kernels (count+sum)", rows, [&] { (void)wide_kernel_pass(); },
+      reps, wide_flat_chunk);
+  const double columnar_kernel_speedup = wide_flat_chunk / wide_kernels;
+
   // --- Table-level end-to-end: count_if through the engine ------------------
   print_header("Table<T>::count_if end-to-end (" + std::to_string(rows) +
                " rows per table)");
@@ -292,15 +410,63 @@ int main(int argc, char** argv) {
       "table/flat", "count_if(lambda)", rows,
       [&] { (void)count_pass(*table_flat); }, reps, table_default_s);
 
+  // Typed-predicate count over the wide rows: the flat preset plans a
+  // residual full scan (chunked, predicate inlined); the columns() preset
+  // compiles the same predicate to the bitmap-count kernel.  Same query
+  // text, the declaration alone moves it between execution tiers.
+  const auto build_wide_table = [&](bool columnar) {
+    auto eng = std::make_unique<Engine>(EngineOptions{.sequential = true});
+    TableDecl<WideRow> decl("WideRow");
+    decl.orderby_lit("W").hash(WideHash{});
+    if (columnar) {
+      decl.columns(&WideRow::id, &WideRow::group, &WideRow::score,
+                   &WideRow::f3, &WideRow::f4, &WideRow::f5, &WideRow::f6,
+                   &WideRow::f7, &WideRow::f8, &WideRow::f9);
+    } else {
+      decl.flat_store();
+    }
+    auto* table = &eng->table(std::move(decl));
+    for (const std::int64_t id : ids) eng->put(*table, wide_of(id));
+    (void)eng->run();
+    return std::make_pair(std::move(eng), table);
+  };
+  auto [weng_flat, wtable_flat] = build_wide_table(false);
+  auto [weng_col, wtable_col] = build_wide_table(true);
+  const auto wide_pred = query::eq(&WideRow::group, std::int64_t{7});
+  if (wtable_flat->count_if(wide_pred) != wide_expect.count ||
+      wtable_col->count_if(wide_pred) != wide_expect.count) {
+    std::fprintf(stderr, "MISMATCH wide table count_if\n");
+    return 1;
+  }
+  const double wtable_flat_s = scan_row(
+      "table/flat", "count_if(typed pred)", rows,
+      [&] { (void)wtable_flat->count_if(wide_pred); }, reps, 0);
+  const double wtable_col_s = scan_row(
+      "table/columnar", "count_if(typed pred)", rows,
+      [&] { (void)wtable_col->count_if(wide_pred); }, reps, wtable_flat_s);
+  const double table_columnar_count_speedup = wtable_flat_s / wtable_col_s;
+
   // --- headline + JSON ------------------------------------------------------
   const double flat_scan_speedup = skiplist_fn / flat_chunk;
   const double flat_pertuple_speedup = skiplist_fn / flat_fn;
+  // The columnar bar is independent of the legacy flat bar: kernels must
+  // beat the flat chunked scan on the same wide-row aggregate by 4x.  It
+  // is only *enforced* at the scale it is defined at (>= 1e6 rows, the
+  // CI smoke): below that the whole wide store can sit in L3 and the
+  // ratio measures cache size, not layout — small local runs still
+  // report the number but do not fail on it.
+  constexpr double kColumnarBar = 4.0;
+  constexpr std::int64_t kColumnarBarRows = 1000000;
   std::printf(
       "\nheadline: flat-ordered chunked scan %.1fx over skip-list "
       "per-tuple std::function at %lld rows (per-tuple flat path: %.1fx; "
       "bar: %.1fx)\n",
       flat_scan_speedup, static_cast<long long>(rows),
       flat_pertuple_speedup, bar);
+  std::printf(
+      "headline: columnar kernels %.1fx over flat-ordered chunked scan on "
+      "the wide-row aggregate (table-level count_if: %.1fx; bar: %.1fx)\n",
+      columnar_kernel_speedup, table_columnar_count_speedup, kColumnarBar);
 
   const json::Value doc = json::Object{
       {"bench", "substrates"},
@@ -315,6 +481,15 @@ int main(int argc, char** argv) {
            {"flat_hash_scan_speedup", skiplist_fn / flat_hash_chunk},
            {"table_count_if_speedup", table_default_s / table_flat_s},
            {"bar", bar},
+           {"rows", rows},
+       }},
+      {"columnar_guard",
+       json::Object{
+           {"kernel_speedup_vs_flat_chunked", columnar_kernel_speedup},
+           {"table_count_if_speedup", table_columnar_count_speedup},
+           {"flat_chunked_seconds", wide_flat_chunk},
+           {"kernel_seconds", wide_kernels},
+           {"bar", kColumnarBar},
            {"rows", rows},
        }},
   };
@@ -334,6 +509,13 @@ int main(int argc, char** argv) {
                  "FAIL: flat-ordered chunked scan speedup %.2fx is below "
                  "the %.1fx acceptance bar\n",
                  flat_scan_speedup, bar);
+    return 1;
+  }
+  if (rows >= kColumnarBarRows && columnar_kernel_speedup < kColumnarBar) {
+    std::fprintf(stderr,
+                 "FAIL: columnar kernel speedup %.2fx is below the %.1fx "
+                 "acceptance bar\n",
+                 columnar_kernel_speedup, kColumnarBar);
     return 1;
   }
   return 0;

@@ -198,15 +198,20 @@ double median_jstar(const std::vector<double>& values,
           .orderby_lit("MedTask")
           .orderby_par("region")
           .hash([](const PartTask& t) { return hash_fields(t.iter, t.region); }));
-  // PartResult rides the flat ordered substrate (§6.4): a small
-  // sorted-array Gamma whose range seeks below run over one contiguous
-  // span — the rule text never changes, only this declaration.
+  // PartResult rides the columnar (SoA) substrate (§6.4): a small
+  // per-field-array Gamma whose range seeks below run over contiguous
+  // reconstituted spans — the rule text never changes, only this
+  // declaration.  (It rode the row-major flat store before; swapping
+  // substrates is exactly the §1.4 late-commitment move.)
   auto& part = eng.table(
       TableDecl<PartResult>("PartResult")
           .orderby_lit("Med")
           .orderby_seq("iter", &PartResult::iter)
           .orderby_lit("MedResult")
-          .flat_store()
+          .columns(&PartResult::iter, &PartResult::region,
+                   &PartResult::below, &PartResult::equal,
+                   &PartResult::sample_below, &PartResult::sample_above,
+                   &PartResult::has_below, &PartResult::has_above)
           .hash([](const PartResult& r) { return hash_fields(r.iter, r.region); }));
   // iter is PartResult's leading field: declaring it as an ordered-range
   // prefix lets the planner compile the decide rule's "all results of this

@@ -223,6 +223,10 @@ std::unique_ptr<GammaStore<PvRecord>> make_store(GammaKind kind,
       // (year, month) query key routes through the composite index
       // run_jstar_impl declares for this kind.
       return std::make_unique<FlatHashStore<PvRecord>>();
+    case GammaKind::Columnar:
+      // Configured through the TableDecl::columns() preset instead of a
+      // store_factory (run_jstar_impl branches before reaching here).
+      break;
   }
   return nullptr;
 }
@@ -279,15 +283,25 @@ static Result run_jstar_impl(const csv::Buffer& input,
   auto& req = eng.table(TableDecl<ReadRequest>("PvWattsRequest")
                             .orderby_lit("Req")
                             .hash(detail_hash::ReadRequestHash{}));
-  auto& pv = eng.table(
+  TableDecl<PvRecord> pv_decl =
       TableDecl<PvRecord>("PvWatts")
           .orderby_lit("PvWatts")
-          .hash([](const PvRecord& r) { return std::hash<PvRecord>{}(r); })
-          .store_factory([&config](bool parallel) {
-            return make_store(config.gamma, parallel);
-          }));
+          .hash([](const PvRecord& r) { return std::hash<PvRecord>{}(r); });
+  if (config.gamma == GammaKind::Columnar) {
+    // The SoA tier: every field its own array; sumMonth's planned
+    // (year, month) lookup probes the composite index below, and any
+    // residual full-scan predicate compiles to per-column kernels.
+    pv_decl.columns(&PvRecord::year, &PvRecord::month, &PvRecord::day,
+                    &PvRecord::hour, &PvRecord::power);
+  } else {
+    pv_decl.store_factory([&config](bool parallel) {
+      return make_store(config.gamma, parallel);
+    });
+  }
+  auto& pv = eng.table(std::move(pv_decl));
   if (config.gamma == GammaKind::Default ||
-      config.gamma == GammaKind::FlatHash) {
+      config.gamma == GammaKind::FlatHash ||
+      config.gamma == GammaKind::Columnar) {
     // Composite secondary index on the query key: sumMonth's planned
     // (year, month) lookup probes one bucket instead of scanning the
     // ordered default store / the flat hash slots.  The hand-written

@@ -72,6 +72,7 @@ enum class GammaKind {
   Hash,         // HashSet / striped concurrent hash set
   MonthArray,   // custom array[12]-of-hash-sets (§6.2)
   FlatHash,     // open-addressing flat array (§6.4) + (year, month) index
+  Columnar,     // per-field SoA arrays (§6.4) + (year, month) index
 };
 
 inline const char* to_string(GammaKind g) {
@@ -80,6 +81,7 @@ inline const char* to_string(GammaKind g) {
     case GammaKind::Hash: return "hash";
     case GammaKind::MonthArray: return "month-array";
     case GammaKind::FlatHash: return "flat-hash";
+    case GammaKind::Columnar: return "columnar";
   }
   return "?";
 }

@@ -1,0 +1,742 @@
+// Columnar (SoA) Gamma substrate — the data-layout half of ROADMAP item 3.
+//
+// The JStar position (§1.4, §6.4) is that Gamma is a *set abstraction*
+// whose physical representation is the implementation's business.
+// ColumnStore<T> takes that one step further than the flat tier: tuples
+// are shredded into per-field contiguous columns (structure-of-arrays),
+// so a residual scan or aggregate that touches one or two fields streams
+// 8 bytes per row instead of sizeof(T) — and the per-column loops are
+// plain strided arithmetic the compiler auto-vectorizes.
+//
+// Shape: the read-optimised region is a set of parallel column vectors,
+// sorted by the *tuple's* natural order (operator<, same as every ordered
+// substrate, so the planner's range plans route here unchanged).  The
+// write side is a small row-major staging buffer with the same deferred
+// merge discipline as FlatOrderedStore: inserts hash-probe the staging
+// set and binary-search the columnar region (reconstituting O(log N)
+// rows); ordered reads fold staging in first.  An optional engine-epoch
+// window (TableDecl::retain(N)) epoch-tags rows and retire_up_to()
+// compacts every column in place.
+//
+// Kernels: beyond the GammaStore contract, the store implements
+// ColumnarOps<T> — a type-erased kernel interface the table layer uses to
+// push *computation* down to the columns.  A planner residual predicate
+// whose bindings are exact (query::Pred::binding_exact) compiles to
+// per-column selection loops producing a byte mask; counts, projections
+// (fold) and argmin (min_by) then run over selected column values without
+// ever materialising tuples.  Results are bit-identical to the scan path:
+// bindings only ever target int64-exact fields (core/query.h bindable_v),
+// so comparing in int64 space is the same comparison the callable makes.
+//
+// Thread-safety: one shared_mutex, same discipline as the flat tier —
+// inserts and merges exclusive, scans and kernels shared; scan callbacks
+// run under the store's lock (no re-entry), retire listeners fire after
+// the lock is released.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/gamma_store.h"
+#include "core/query.h"
+#include "util/check.h"
+
+namespace jstar {
+
+namespace columnar_detail {
+
+template <typename P>
+struct member_value;
+template <typename C, typename V>
+struct member_value<V C::*> {
+  using type = V;
+};
+/// The field type a pointer-to-member points at.
+template <typename P>
+using member_value_t = typename member_value<P>::type;
+
+}  // namespace columnar_detail
+
+/// Type-erased columnar kernel interface, implemented by ColumnStore and
+/// consumed by Table<T>'s query paths.  `Bound` is one conjunct of an
+/// exact predicate, already normalised to an inclusive int64 interval
+/// (equalities arrive as [v, v]); a row is selected when every bound
+/// holds.  Kernels report how many rows they swept and how many the mask
+/// selected, feeding the TableStats selectivity counters.
+template <typename T>
+class ColumnarOps {
+ public:
+  struct Bound {
+    const void* tag = nullptr;
+    std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+    std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+  };
+  struct KernelStats {
+    std::int64_t rows = 0;      // rows the kernel swept
+    std::int64_t selected = 0;  // rows the selection mask kept
+  };
+
+  virtual ~ColumnarOps() = default;
+
+  /// Field tags of the stored columns, for the planner catalog.
+  virtual const std::vector<const void*>& column_tags() const = 0;
+  virtual bool has_column(const void* tag) const = 0;
+
+  /// Count of rows satisfying every bound.  Never materialises tuples.
+  virtual KernelStats kernel_count(const std::vector<Bound>& bounds) const = 0;
+
+  /// Reconstitutes the selected rows and hands them out as contiguous
+  /// spans (the chunked-scan shape, so the table layer's visitor loop
+  /// inlines).
+  virtual KernelStats kernel_select(
+      const std::vector<Bound>& bounds,
+      const std::function<void(const T*, std::size_t)>& fn) const = 0;
+
+  /// Streams the selected rows' values of one column as int64 spans.
+  /// Returns false (untouched stats) when the column is missing or
+  /// floating-point — the caller falls back to the tuple path.
+  /// `stats` may be null when the caller does not record counters.
+  virtual bool kernel_gather_i64(
+      const std::vector<Bound>& bounds, const void* col,
+      const std::function<void(const std::int64_t*, std::size_t)>& fn,
+      KernelStats* stats) const = 0;
+
+  /// Same, converting any arithmetic column to double.
+  virtual bool kernel_gather_f64(
+      const std::vector<Bound>& bounds, const void* col,
+      const std::function<void(const double*, std::size_t)>& fn,
+      KernelStats* stats) const = 0;
+
+  /// Argmin over one column among the selected rows: *out is the first
+  /// row (in store order) carrying the minimal value, or empty when
+  /// nothing is selected.  Returns false when the column is missing.
+  virtual bool kernel_min_row(const std::vector<Bound>& bounds,
+                              const void* col, std::optional<T>* out,
+                              KernelStats* stats) const = 0;
+};
+
+/// The columnar substrate.  `Members` are the pointer-to-member types
+/// naming every field of T, in any order (TableDecl::columns deduces
+/// them); field types must be arithmetic.  The declaration must cover
+/// every field — reconstitution would otherwise fabricate tuples missing
+/// data — which is checked by round-tripping the first inserts.
+template <typename T, typename Hash, typename... Members>
+class ColumnStore final : public GammaStore<T>,
+                          public RetiringStore<T>,
+                          public ColumnarOps<T> {
+  static_assert(sizeof...(Members) >= 1, "a columnar store needs columns");
+  static_assert(
+      (std::is_arithmetic_v<columnar_detail::member_value_t<Members>> && ...),
+      "columnar fields must be arithmetic (shred to primitive columns)");
+
+ public:
+  using Bound = typename ColumnarOps<T>::Bound;
+  using KernelStats = typename ColumnarOps<T>::KernelStats;
+
+  explicit ColumnStore(Hash hash, Members... members)
+      : hash_(std::move(hash)), staging_set_(8, hash_),
+        members_(members...) {
+    init_tags();
+  }
+
+  /// Engine-epoch windowed variant (TableDecl::retain(N)): rows are
+  /// tagged with `clock`'s value at insert time and retire_up_to()
+  /// compacts every column in place.  `clock` may be null (epoch 0
+  /// forever, as in engine-free unit harnesses).
+  ColumnStore(const std::atomic<std::int64_t>* clock, Hash hash,
+              Members... members)
+      : hash_(std::move(hash)), staging_set_(8, hash_), members_(members...),
+        clock_(clock), windowed_(true) {
+    init_tags();
+  }
+
+  // --- GammaStore ----------------------------------------------------------
+
+  bool insert(const T& t) override {
+    std::unique_lock lk(mu_);
+    std::int64_t e = 0;
+    if (windowed_) {
+      e = epoch_now();
+      if (e <= retired_through_) {
+        // Straggler behind the retain(N) window: drop, but report fresh so
+        // rules still fire once (same contract as the other windows).
+        retired_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    if (staging_set_.count(t) != 0) return false;
+    const std::size_t pos = lower_bound_row(t);
+    if (pos < row_count() && row_at(pos) == t) return false;
+    verify_coverage_locked(t);
+    staging_.push_back(t);
+    if (windowed_) staging_epochs_.push_back(e);
+    staging_set_.insert(t);
+    if (staging_.size() >= staging_limit()) merge_locked();
+    return true;
+  }
+
+  bool contains(const T& t) const override {
+    std::shared_lock lk(mu_);
+    if (staging_set_.count(t) != 0) return true;
+    const std::size_t pos = lower_bound_row(t);
+    return pos < row_count() && row_at(pos) == t;
+  }
+
+  void scan(const std::function<void(const T&)>& fn) const override {
+    with_merged([&] { stream_rows(0, row_count(), fn); });
+  }
+
+  void scan_range(const T& lo, const T& hi,
+                  const std::function<void(const T&)>& fn) const override {
+    with_merged([&] { stream_rows(lower_bound_row(lo), lower_bound_row(hi),
+                                  fn); });
+  }
+
+  void scan_from(const T& lo,
+                 const std::function<void(const T&)>& fn) const override {
+    with_merged([&] { stream_rows(lower_bound_row(lo), row_count(), fn); });
+  }
+
+  /// Chunked pushdown: reconstitutes rows through a small row-major
+  /// staging buffer and emits contiguous spans, so Table<T> hot loops
+  /// still pay one type-erased hop per ~kChunk tuples.
+  void scan_chunks(const std::function<void(const T*, std::size_t)>& fn)
+      const override {
+    with_merged([&] {
+      const std::size_t n = row_count();
+      if (n == 0) return;
+      std::vector<T> buf(std::min<std::size_t>(n, kChunk));
+      for (std::size_t base = 0; base < n; base += buf.size()) {
+        const std::size_t c = std::min(buf.size(), n - base);
+        fill_chunk(buf.data(), base, c, Seq{});
+        fn(buf.data(), c);
+      }
+    });
+  }
+
+  bool ordered() const override { return true; }
+  bool chunked() const override { return true; }
+
+  std::size_t size() const override {
+    std::shared_lock lk(mu_);
+    return row_count() + staging_.size();
+  }
+
+  std::string describe() const override {
+    const std::string cols = std::to_string(sizeof...(Members));
+    return windowed_ ? "columnar(" + cols + ",retain)" : "columnar(" + cols +
+                                                             ")";
+  }
+
+  // --- RetiringStore (TableDecl::retain(N) integration) --------------------
+
+  /// Compacts every column in place, dropping rows whose arrival epoch is
+  /// <= threshold, and ratchets the straggler cutoff forward.  The retire
+  /// listener fires after the store lock is released (lock-order: the
+  /// listener takes index-shard locks that queries hold while re-entering
+  /// this store).
+  std::int64_t retire_up_to(std::int64_t threshold) override {
+    std::vector<T> victims;
+    std::int64_t dropped = 0;
+    {
+      std::unique_lock lk(mu_);
+      if (!windowed_) return 0;
+      retired_through_ = std::max(retired_through_, threshold);
+      merge_locked();
+      const std::size_t n = row_count();
+      std::size_t w = 0;
+      for (std::size_t r = 0; r < n; ++r) {
+        if (epochs_[r] <= threshold) {
+          ++dropped;
+          if (on_retire_) victims.push_back(row_at(r));
+        } else {
+          if (w != r) {
+            move_row(r, w, Seq{});
+            epochs_[w] = epochs_[r];
+          }
+          ++w;
+        }
+      }
+      resize_columns(w, Seq{});
+      epochs_.resize(w);
+      retired_.fetch_add(dropped, std::memory_order_relaxed);
+    }
+    for (const T& t : victims) on_retire_(t);
+    return dropped;
+  }
+
+  void set_retire_listener(std::function<void(const T&)> fn) override {
+    on_retire_ = std::move(fn);
+  }
+
+  // --- ColumnarOps ---------------------------------------------------------
+
+  const std::vector<const void*>& column_tags() const override {
+    return tags_;
+  }
+
+  bool has_column(const void* tag) const override {
+    return std::find(tags_.begin(), tags_.end(), tag) != tags_.end();
+  }
+
+  KernelStats kernel_count(const std::vector<Bound>& bounds) const override {
+    KernelStats ks;
+    with_merged([&] {
+      const std::size_t n = row_count();
+      ks.rows = static_cast<std::int64_t>(n);
+      if (n == 0) return;
+      if (bounds.size() == 1) {
+        // One bound: fuse the count into the column pass, no mask.
+        std::int64_t c = 0;
+        visit_column(bounds[0].tag, [&](const auto& col) {
+          c = count_in_range(col, bounds[0]);
+        });
+        ks.selected = c;
+        return;
+      }
+      const std::vector<std::uint8_t> sel = selection(bounds, n);
+      std::int64_t c = 0;
+      for (const std::uint8_t s : sel) c += s;
+      ks.selected = c;
+    });
+    return ks;
+  }
+
+  KernelStats kernel_select(
+      const std::vector<Bound>& bounds,
+      const std::function<void(const T*, std::size_t)>& fn) const override {
+    KernelStats ks;
+    with_merged([&] {
+      const std::size_t n = row_count();
+      ks.rows = static_cast<std::int64_t>(n);
+      if (n == 0) return;
+      const std::vector<std::uint8_t> sel = selection(bounds, n);
+      std::vector<T> buf;
+      buf.reserve(kChunk);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!sel[i]) continue;
+        buf.push_back(row_at(i));
+        ++ks.selected;
+        if (buf.size() == kChunk) {
+          fn(buf.data(), buf.size());
+          buf.clear();
+        }
+      }
+      if (!buf.empty()) fn(buf.data(), buf.size());
+    });
+    return ks;
+  }
+
+  bool kernel_gather_i64(
+      const std::vector<Bound>& bounds, const void* col,
+      const std::function<void(const std::int64_t*, std::size_t)>& fn,
+      KernelStats* stats) const override {
+    return gather_as<std::int64_t>(bounds, col, fn, stats,
+                                   /*allow_floating=*/false);
+  }
+
+  bool kernel_gather_f64(
+      const std::vector<Bound>& bounds, const void* col,
+      const std::function<void(const double*, std::size_t)>& fn,
+      KernelStats* stats) const override {
+    return gather_as<double>(bounds, col, fn, stats, /*allow_floating=*/true);
+  }
+
+  bool kernel_min_row(const std::vector<Bound>& bounds, const void* col,
+                      std::optional<T>* out,
+                      KernelStats* stats) const override {
+    bool supported = false;
+    out->reset();
+    with_merged([&] {
+      const std::size_t n = row_count();
+      if (stats != nullptr) stats->rows = static_cast<std::int64_t>(n);
+      const std::vector<std::uint8_t> sel = selection(bounds, n);
+      supported = visit_column(col, [&](const auto& column) {
+        using V = typename std::decay_t<decltype(column)>::value_type;
+        bool found = false;
+        V best{};
+        std::size_t best_i = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!sel[i]) continue;
+          if (stats != nullptr) ++stats->selected;
+          // Strict less: ties keep the earliest row, which in this sorted
+          // store is also what a store-order scan would keep.
+          if (!found || column[i] < best) {
+            found = true;
+            best = column[i];
+            best_i = i;
+          }
+        }
+        if (found) *out = row_at(best_i);
+      });
+    });
+    return supported;
+  }
+
+  // --- introspection (tests, benches) --------------------------------------
+
+  std::size_t staged() const {
+    std::shared_lock lk(mu_);
+    return staging_.size();
+  }
+  std::int64_t merges() const {
+    return merges_.load(std::memory_order_relaxed);
+  }
+  std::int64_t retired() const {
+    return retired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::size_t kCols = sizeof...(Members);
+  static constexpr std::size_t kChunk = 1024;
+  using Seq = std::make_index_sequence<kCols>;
+
+  template <std::size_t I>
+  using col_value_t = columnar_detail::member_value_t<
+      std::tuple_element_t<I, std::tuple<Members...>>>;
+
+  void init_tags() {
+    init_tags_impl(Seq{});
+  }
+  template <std::size_t... Is>
+  void init_tags_impl(std::index_sequence<Is...>) {
+    (tags_.push_back(query::field_tag(std::get<Is>(members_))), ...);
+  }
+
+  std::size_t row_count() const { return std::get<0>(cols_).size(); }
+
+  /// Reconstitutes row i into a tuple (every column contributes a field).
+  T row_at(std::size_t i) const { return row_at_impl(i, Seq{}); }
+  template <std::size_t... Is>
+  T row_at_impl(std::size_t i, std::index_sequence<Is...>) const {
+    T t{};
+    ((t.*(std::get<Is>(members_)) =
+          static_cast<col_value_t<Is>>(std::get<Is>(cols_)[i])),
+     ...);
+    return t;
+  }
+
+  template <std::size_t... Is>
+  void append_row(const T& t, std::index_sequence<Is...>) const {
+    (std::get<Is>(cols_).push_back(t.*(std::get<Is>(members_))), ...);
+  }
+  template <std::size_t... Is>
+  void write_row(const T& t, std::size_t to, std::index_sequence<Is...>)
+      const {
+    ((std::get<Is>(cols_)[to] = t.*(std::get<Is>(members_))), ...);
+  }
+  template <std::size_t... Is>
+  void move_row(std::size_t from, std::size_t to,
+                std::index_sequence<Is...>) const {
+    ((std::get<Is>(cols_)[to] = std::get<Is>(cols_)[from]), ...);
+  }
+  template <std::size_t... Is>
+  void resize_columns(std::size_t n, std::index_sequence<Is...>) const {
+    (std::get<Is>(cols_).resize(n), ...);
+  }
+
+  /// Binary search for the first row >= t in *tuple* order.  Comparisons
+  /// reconstitute O(log N) rows, so ordering is the tuple's natural
+  /// operator< whatever order the columns were declared in.
+  std::size_t lower_bound_row(const T& t) const {
+    std::size_t lo = 0, hi = row_count();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (row_at(mid) < t) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Reconstitutes rows [a, b) through the chunk buffer and visits each.
+  void stream_rows(std::size_t a, std::size_t b,
+                   const std::function<void(const T&)>& fn) const {
+    if (a >= b) return;
+    std::vector<T> buf(std::min<std::size_t>(b - a, kChunk));
+    for (std::size_t base = a; base < b; base += buf.size()) {
+      const std::size_t c = std::min(buf.size(), b - base);
+      fill_chunk(buf.data(), base, c, Seq{});
+      for (std::size_t i = 0; i < c; ++i) fn(buf[i]);
+    }
+  }
+
+  /// Column-at-a-time reconstitution of rows [base, base+c) into buf —
+  /// each inner loop streams one contiguous column.
+  template <std::size_t... Is>
+  void fill_chunk(T* buf, std::size_t base, std::size_t c,
+                  std::index_sequence<Is...>) const {
+    (fill_chunk_col<Is>(buf, base, c), ...);
+  }
+  template <std::size_t I>
+  void fill_chunk_col(T* buf, std::size_t base, std::size_t c) const {
+    const auto& col = std::get<I>(cols_);
+    const auto m = std::get<I>(members_);
+    for (std::size_t i = 0; i < c; ++i) buf[i].*m = col[base + i];
+  }
+
+  /// Invokes f with the column vector whose field tag is `tag`; returns
+  /// whether a column matched.
+  template <typename F>
+  bool visit_column(const void* tag, F&& f) const {
+    return visit_column_impl(tag, std::forward<F>(f), Seq{});
+  }
+  template <typename F, std::size_t... Is>
+  bool visit_column_impl(const void* tag, F&& f,
+                         std::index_sequence<Is...>) const {
+    bool hit = false;
+    auto try_one = [&](auto ic) {
+      constexpr std::size_t I = decltype(ic)::value;
+      if (hit || tags_[I] != tag) return;
+      hit = true;
+      f(std::get<I>(cols_));
+    };
+    (try_one(std::integral_constant<std::size_t, Is>{}), ...);
+    return hit;
+  }
+
+  /// True when column value v lies in the bound's inclusive interval.
+  /// Bounds only ever come from int64-exact bindings (core/query.h), so
+  /// integral columns compare in int64 space losslessly; the floating
+  /// branch exists only to keep instantiation legal and is unreachable
+  /// through the planner.
+  template <typename V>
+  static std::uint8_t in_bound(V v, const Bound& b) {
+    if constexpr (std::is_floating_point_v<V>) {
+      return static_cast<std::uint8_t>(v >= static_cast<double>(b.lo) &&
+                                       v <= static_cast<double>(b.hi));
+    } else {
+      const std::int64_t x = static_cast<std::int64_t>(v);
+      return static_cast<std::uint8_t>(
+          static_cast<int>(x >= b.lo) & static_cast<int>(x <= b.hi));
+    }
+  }
+
+  /// Single-bound fused count over one column (auto-vectorizes).
+  template <typename Col>
+  static std::int64_t count_in_range(const Col& col, const Bound& b) {
+    std::int64_t c = 0;
+    const std::size_t n = col.size();
+    for (std::size_t i = 0; i < n; ++i) c += in_bound(col[i], b);
+    return c;
+  }
+
+  /// Builds the selection mask: one byte per row, ANDed across bounds.
+  /// Bounds whose tag is not a stored column select nothing (the caller —
+  /// the planner — only emits covered bounds, so this is belt and
+  /// braces, not a semantic fallback).
+  std::vector<std::uint8_t> selection(const std::vector<Bound>& bounds,
+                                      std::size_t n) const {
+    std::vector<std::uint8_t> sel(n, 1);
+    for (const Bound& b : bounds) {
+      const bool hit = visit_column(b.tag, [&](const auto& col) {
+        std::uint8_t* s = sel.data();
+        for (std::size_t i = 0; i < n; ++i) s[i] &= in_bound(col[i], b);
+      });
+      if (!hit) std::fill(sel.begin(), sel.end(), std::uint8_t{0});
+    }
+    return sel;
+  }
+
+  /// Shared gather body: masks, then streams the target column's selected
+  /// values as Out spans through a small buffer.
+  template <typename Out, typename FnSpan>
+  bool gather_as(const std::vector<Bound>& bounds, const void* col,
+                 const FnSpan& fn, KernelStats* stats,
+                 bool allow_floating) const {
+    bool supported = false;
+    with_merged([&] {
+      const std::size_t n = row_count();
+      if (stats != nullptr) stats->rows = static_cast<std::int64_t>(n);
+      supported = visit_column(col, [&](const auto& column) {
+        using V = typename std::decay_t<decltype(column)>::value_type;
+        if constexpr (std::is_floating_point_v<V>) {
+          // An int64 gather from a floating column is not lossless; the
+          // post-visit check below reports unsupported so the caller
+          // takes the tuple path.
+          if (!allow_floating) return;
+        }
+        std::array<Out, kChunk> buf{};
+        std::size_t fill = 0;
+        std::int64_t selected = 0;
+        const auto emit = [&](std::size_t i) {
+          buf[fill++] = static_cast<Out>(column[i]);
+          ++selected;
+          if (fill == kChunk) {
+            fn(buf.data(), fill);
+            fill = 0;
+          }
+        };
+        if (bounds.size() == 1) {
+          // One bound: fuse the predicate into the gather pass — no
+          // selection mask is materialised (mirrors kernel_count).  Each
+          // block is first pre-counted with a branch-free reduction the
+          // compiler vectorises; blocks selecting nothing (the common
+          // case at low selectivity) skip the per-row emit scan, so the
+          // pass degrades to a pure streaming count.  An unknown bound
+          // column selects nothing: visit_column skips the lambda.
+          const Bound& b = bounds[0];
+          constexpr std::size_t kBlock = 256;
+          visit_column(b.tag, [&](const auto& bcol) {
+            const auto* const p = bcol.data();
+            std::size_t base = 0;
+            // Full blocks get a fixed trip count so the pre-count
+            // reduction vectorises even under -O2's cheap cost model.
+            for (; base + kBlock <= n; base += kBlock) {
+              std::int64_t in_block = 0;
+              for (std::size_t j = 0; j < kBlock; ++j) {
+                in_block += in_bound(p[base + j], b);
+              }
+              if (in_block == 0) continue;
+              for (std::size_t j = 0; j < kBlock; ++j) {
+                if (in_bound(p[base + j], b)) emit(base + j);
+              }
+            }
+            for (std::size_t i = base; i < n; ++i) {
+              if (in_bound(p[i], b)) emit(i);
+            }
+          });
+        } else {
+          const std::vector<std::uint8_t> sel = selection(bounds, n);
+          for (std::size_t i = 0; i < n; ++i) {
+            if (sel[i]) emit(i);
+          }
+        }
+        if (fill > 0) fn(buf.data(), fill);
+        if (stats != nullptr) stats->selected += selected;
+      });
+      if (supported && !allow_floating) {
+        visit_column(col, [&](const auto& column) {
+          using V = typename std::decay_t<decltype(column)>::value_type;
+          if (std::is_floating_point_v<V>) supported = false;
+        });
+      }
+    });
+    return supported;
+  }
+
+  /// Coverage check (first inserts only): the declared columns must name
+  /// every field, or reconstituted rows would silently drop data.  A
+  /// shred → reconstitute round trip catches any missing column as an
+  /// equality failure, without assuming anything about padding.
+  void verify_coverage_locked(const T& t) const {
+    if (coverage_checks_left_ == 0) return;
+    --coverage_checks_left_;
+    T back{};
+    copy_fields(t, back, Seq{});
+    JSTAR_CHECK_MSG(back == t,
+                    "columns(...) must name every field of the tuple type: "
+                    "a shredded row did not reconstitute equal");
+  }
+  template <std::size_t... Is>
+  void copy_fields(const T& from, T& to, std::index_sequence<Is...>) const {
+    ((to.*(std::get<Is>(members_)) = from.*(std::get<Is>(members_))), ...);
+  }
+
+  std::size_t staging_limit() const {
+    return std::max<std::size_t>(64, row_count() / 8);
+  }
+
+  std::int64_t epoch_now() const {
+    return clock_ != nullptr ? clock_->load(std::memory_order_relaxed) : 0;
+  }
+
+  /// Runs fn with the staging buffer folded into the columns.  Fast path:
+  /// staging already empty — shared lock only.  Otherwise merge under the
+  /// exclusive lock, release, and retry shared (same as the flat tier).
+  template <typename Fn>
+  void with_merged(Fn&& fn) const {
+    for (;;) {
+      {
+        std::shared_lock lk(mu_);
+        if (staging_.empty()) {
+          fn();
+          return;
+        }
+      }
+      std::unique_lock lk(mu_);
+      merge_locked();
+    }
+  }
+
+  /// Sorts staging (tuple order) and back-merges it into every column.
+  /// Caller holds the exclusive lock.  Cross-region duplicates cannot
+  /// exist — insert rejects them — so no dedup pass.
+  void merge_locked() const {
+    const std::size_t m = staging_.size();
+    if (m == 0) return;
+    if (windowed_) {
+      std::vector<std::pair<T, std::int64_t>> tmp(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        tmp[i] = {std::move(staging_[i]), staging_epochs_[i]};
+      }
+      std::sort(tmp.begin(), tmp.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (std::size_t i = 0; i < m; ++i) {
+        staging_[i] = std::move(tmp[i].first);
+        staging_epochs_[i] = tmp[i].second;
+      }
+    } else {
+      std::sort(staging_.begin(), staging_.end());
+    }
+    const std::size_t n = row_count();
+    resize_columns(n + m, Seq{});
+    if (windowed_) epochs_.resize(n + m);
+    std::size_t i = n, j = m, k = n + m;
+    while (j > 0) {
+      // row_at reads indices < i, untouched by the writes at >= k.
+      if (i > 0 && staging_[j - 1] < row_at(i - 1)) {
+        --i;
+        --k;
+        move_row(i, k, Seq{});
+        if (windowed_) epochs_[k] = epochs_[i];
+      } else {
+        --j;
+        --k;
+        write_row(staging_[j], k, Seq{});
+        if (windowed_) epochs_[k] = staging_epochs_[j];
+      }
+    }
+    staging_.clear();
+    staging_epochs_.clear();
+    staging_set_.clear();
+    merges_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Hash hash_;
+  mutable std::shared_mutex mu_;
+  // Scans merge on demand, so the regions are mutable behind const reads.
+  mutable std::vector<T> staging_;
+  mutable std::vector<std::int64_t> staging_epochs_;  // windowed only
+  mutable std::unordered_set<T, Hash> staging_set_;
+  std::tuple<Members...> members_;
+  std::vector<const void*> tags_;
+  mutable std::tuple<std::vector<columnar_detail::member_value_t<Members>>...>
+      cols_;
+  mutable std::vector<std::int64_t> epochs_;  // windowed only
+  const std::atomic<std::int64_t>* clock_ = nullptr;
+  const bool windowed_ = false;
+  std::int64_t retired_through_ = std::numeric_limits<std::int64_t>::min() / 2;
+  std::function<void(const T&)> on_retire_;
+  mutable std::int64_t coverage_checks_left_ = 64;
+  mutable std::atomic<std::int64_t> merges_{0};
+  std::atomic<std::int64_t> retired_{0};
+};
+
+}  // namespace jstar

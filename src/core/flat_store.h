@@ -105,6 +105,13 @@ class FlatOrderedStore final : public GammaStore<T>, public RetiringStore<T> {
     });
   }
 
+  // Staged-region visibility: the ordered seeks below iterate only the
+  // sorted_ run, which is safe *only because* with_merged() folds the
+  // staging buffer into sorted_ before running the body — a staged-but-
+  // unmerged tuple is therefore always visible to range plans (regression:
+  // FlatOrderedStore.RangeSeeksSeeStagedUnmergedTuples).  Any future seek
+  // path added here must either go through with_merged() or probe the
+  // staging set explicitly.
   void scan_range(const T& lo, const T& hi,
                   const std::function<void(const T&)>& fn) const override {
     with_merged([&] {

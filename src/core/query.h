@@ -22,10 +22,14 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <limits>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <type_traits>
 #include <vector>
 
@@ -53,24 +57,25 @@ struct RangeBinding {
 namespace detail {
 
 /// Stable opaque tag for a pointer-to-member.  Two mentions of &T::x give
-/// the same tag; distinct fields give distinct tags.
+/// the same tag; distinct fields give distinct tags — guaranteed, not just
+/// probable.  Tags are the planner's field identity: a collision would
+/// silently bind a predicate to the wrong pk/index and return wrong rows,
+/// so hashing the member-pointer bytes (as an earlier version did) is not
+/// an option.  Instead the exact byte pattern is interned: the registry is
+/// a function-local static, so each (T, M) instantiation owns a disjoint
+/// node pool (distinct types can never alias), and within an instantiation
+/// two distinct members differ in their bytes and intern to distinct
+/// nodes.  std::set nodes are stable under later inserts, and the registry
+/// is leaked so tags stay valid through static destruction.
 template <typename T, typename M>
 const void* field_tag(M T::*member) {
-  // Function-local statics keyed by the template instantiation would
-  // collapse all members of the same type; instead hash the member
-  // pointer's bytes into a per-instantiation registry.
   static_assert(sizeof(member) <= 16);
-  union {
-    M T::*m;
-    unsigned char bytes[16];
-  } u{};
-  u.m = member;
-  // The bytes uniquely identify the member within (T, M); combine with a
-  // per-instantiation anchor so (T1::x, T2::y) of equal offsets differ.
-  static const char anchor = 0;
-  std::size_t h = reinterpret_cast<std::size_t>(&anchor);
-  for (unsigned char b : u.bytes) h = h * 131 + b;
-  return reinterpret_cast<const void*>(h);
+  std::array<unsigned char, 16> key{};  // zero-padded exact bytes
+  std::memcpy(key.data(), &member, sizeof(member));
+  static std::mutex mu;
+  static auto& interned = *new std::set<std::array<unsigned char, 16>>();
+  std::lock_guard<std::mutex> lk(mu);
+  return static_cast<const void*>(&*interned.insert(key).first);
 }
 
 /// True when every value of X survives a round trip through int64 —
@@ -100,9 +105,10 @@ template <typename T>
 class Pred {
  public:
   Pred(std::function<bool(const T&)> fn, std::vector<EqBinding> eqs = {},
-       std::vector<RangeBinding> ranges = {}, bool never = false)
+       std::vector<RangeBinding> ranges = {}, bool never = false,
+       bool exact = false)
       : fn_(std::move(fn)), eqs_(std::move(eqs)), ranges_(std::move(ranges)),
-        never_(never) {}
+        never_(never), exact_(exact) {}
 
   bool operator()(const T& t) const { return fn_(t); }
   const std::vector<EqBinding>& eq_bindings() const { return eqs_; }
@@ -111,6 +117,14 @@ class Pred {
   /// eq(f, 1) && eq(f, 2)).  The callable agrees — it would return false
   /// for every input — so the planner may skip the data entirely.
   bool never() const { return never_; }
+  /// True when the bindings *are* the predicate: the callable returns true
+  /// exactly when every binding holds, with nothing left over.  Bindable
+  /// eq/lt/le/gt/ge/between matchers are exact, conjunction preserves
+  /// exactness, and everything that drops routing information (||, !, ne,
+  /// lambdas, unbindable fields) clears it.  Columnar kernels rely on
+  /// this: an exact predicate can be evaluated entirely against bound
+  /// columns, skipping the per-tuple residual callable.
+  bool binding_exact() const { return exact_; }
 
   friend Pred operator&&(const Pred& a, const Pred& b) {
     std::vector<EqBinding> eqs = a.eqs_;
@@ -153,7 +167,7 @@ class Pred {
     }
     return Pred(
         [fa = a.fn_, fb = b.fn_](const T& t) { return fa(t) && fb(t); },
-        std::move(eqs), std::move(ranges), never);
+        std::move(eqs), std::move(ranges), never, a.exact_ && b.exact_);
   }
   friend Pred operator||(const Pred& a, const Pred& b) {
     return Pred(
@@ -168,6 +182,7 @@ class Pred {
   std::vector<EqBinding> eqs_;
   std::vector<RangeBinding> ranges_;
   bool never_ = false;
+  bool exact_ = false;  // bindings fully describe the callable
 };
 
 /// field == value — the indexable equality matcher.
@@ -176,7 +191,8 @@ Pred<T> eq(M T::*member, V value) {
   if constexpr (detail::bindable_v<M, V>) {
     EqBinding b{detail::field_tag(member), static_cast<std::int64_t>(value)};
     return Pred<T>(
-        [member, value](const T& t) { return t.*member == value; }, {b});
+        [member, value](const T& t) { return t.*member == value; }, {b}, {},
+        /*never=*/false, /*exact=*/true);
   } else {
     return Pred<T>(
         [member, value](const T& t) { return t.*member == value; });
@@ -196,7 +212,7 @@ Pred<T> lt(M T::*member, V value) {
                    std::numeric_limits<std::int64_t>::min(),
                    v == std::numeric_limits<std::int64_t>::min() ? v : v - 1};
     const bool never = v == std::numeric_limits<std::int64_t>::min();
-    return Pred<T>(fn, {}, {r}, never);
+    return Pred<T>(fn, {}, {r}, never, /*exact=*/true);
   } else {
     return Pred<T>(fn);
   }
@@ -208,7 +224,7 @@ Pred<T> le(M T::*member, V value) {
     RangeBinding r{detail::field_tag(member),
                    std::numeric_limits<std::int64_t>::min(),
                    static_cast<std::int64_t>(value)};
-    return Pred<T>(fn, {}, {r});
+    return Pred<T>(fn, {}, {r}, /*never=*/false, /*exact=*/true);
   } else {
     return Pred<T>(fn);
   }
@@ -222,7 +238,7 @@ Pred<T> gt(M T::*member, V value) {
                    v == std::numeric_limits<std::int64_t>::max() ? v : v + 1,
                    std::numeric_limits<std::int64_t>::max()};
     const bool never = v == std::numeric_limits<std::int64_t>::max();
-    return Pred<T>(fn, {}, {r}, never);
+    return Pred<T>(fn, {}, {r}, never, /*exact=*/true);
   } else {
     return Pred<T>(fn);
   }
@@ -234,7 +250,7 @@ Pred<T> ge(M T::*member, V value) {
     RangeBinding r{detail::field_tag(member),
                    static_cast<std::int64_t>(value),
                    std::numeric_limits<std::int64_t>::max()};
-    return Pred<T>(fn, {}, {r});
+    return Pred<T>(fn, {}, {r}, /*never=*/false, /*exact=*/true);
   } else {
     return Pred<T>(fn);
   }
@@ -251,7 +267,7 @@ Pred<T> between(M T::*member, V lo, V hi) {
     const auto h = static_cast<std::int64_t>(hi);
     RangeBinding r{detail::field_tag(member), l,
                    h == std::numeric_limits<std::int64_t>::min() ? h : h - 1};
-    return Pred<T>(fn, {}, {r}, r.empty());
+    return Pred<T>(fn, {}, {r}, r.empty(), /*exact=*/true);
   } else {
     return Pred<T>(fn);
   }

@@ -24,6 +24,7 @@
 // cost models) can reuse it.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -74,6 +75,10 @@ struct PlannerCatalog {
   std::vector<RangeIndexSpec> range_indexes;
   bool store_ordered = false;  ///< Gamma store serves seeks (TreeSet/SkipList)
   bool no_gamma = false;       ///< NullStore: scans see nothing
+  /// Field tags the store holds as contiguous columns (ColumnStore); a
+  /// residual full scan over an exact predicate whose every bound field is
+  /// listed here compiles to vectorized per-column kernels.
+  std::vector<const void*> column_tags;
 };
 
 /// A compiled access path.  `values` are the equality keys in the chosen
@@ -87,10 +92,16 @@ struct QueryPlan {
   bool has_range = false;
   std::int64_t lo = std::numeric_limits<std::int64_t>::min();
   std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+  /// FullScan refinement: the residual scan can run as per-column
+  /// vectorized kernels (exact predicate, every bound field stored as a
+  /// column).  Never set on other paths — probes and range seeks already
+  /// beat a full columnar sweep.
+  bool columnar = false;
 
   /// Human-readable explain line for tests, logs and benchmarks.
   std::string describe() const {
     std::string s = to_string(path);
+    if (path == AccessPath::FullScan && columnar) s += "(columnar-kernel)";
     if (path == AccessPath::PkProbe && !values.empty()) {
       s += "(pk=" + std::to_string(values[0]) + ")";
     } else if (path == AccessPath::IndexProbe) {
@@ -245,7 +256,24 @@ QueryPlan plan_query(const PlannerCatalog& cat, const query::Pred<T>& pred) {
     }
   }
 
-  return plan;  // residual FullScan
+  // Residual FullScan.  A columnar store can still serve it with
+  // vectorized kernels when the predicate is binding-exact (the callable
+  // is fully described by its bindings, so skipping the per-tuple
+  // residual is sound) and every bound field is a stored column.
+  if (!cat.column_tags.empty() && pred.binding_exact() &&
+      !(eqs.empty() && ranges.empty())) {
+    const auto stored = [&](const void* tag) {
+      return std::find(cat.column_tags.begin(), cat.column_tags.end(), tag) !=
+             cat.column_tags.end();
+    };
+    bool covered = true;
+    for (const query::EqBinding& e : eqs) covered = covered && stored(e.field_tag);
+    for (const query::RangeBinding& r : ranges) {
+      covered = covered && stored(r.field_tag);
+    }
+    plan.columnar = covered;
+  }
+  return plan;
 }
 
 }  // namespace jstar

@@ -31,6 +31,10 @@ struct TableStats {
   std::atomic<std::int64_t> index_retired{0};  // index entries swept by GC
   std::atomic<std::int64_t> residual_rows{0};  // tuples a routed plan examined
   std::atomic<std::int64_t> residual_hits{0};  // ...of which passed the filter
+  // --- columnar kernels (core/column_store.h) ---
+  std::atomic<std::int64_t> columnar_kernels{0};   // queries served by kernels
+  std::atomic<std::int64_t> columnar_rows{0};      // rows the kernels swept
+  std::atomic<std::int64_t> columnar_selected{0};  // ...the masks selected
 
   void reset() {
     puts = 0;
@@ -51,6 +55,9 @@ struct TableStats {
     index_retired = 0;
     residual_rows = 0;
     residual_hits = 0;
+    columnar_kernels = 0;
+    columnar_rows = 0;
+    columnar_selected = 0;
   }
 };
 

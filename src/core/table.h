@@ -32,6 +32,7 @@
 
 #include "concurrent/striped_hash_map.h"
 #include "core/batch.h"
+#include "core/column_store.h"
 #include "core/delta_tree.h"
 #include "core/flat_store.h"
 #include "core/gamma_store.h"
@@ -203,6 +204,33 @@ class TableDecl {
     return *this;
   }
 
+  /// Columnar (SoA) preset (core/column_store.h): shreds tuples into
+  /// per-field contiguous columns.  `members` must name *every* field of
+  /// T (checked at runtime by round-tripping early inserts), in any
+  /// order; field types must be arithmetic.  Still ordered by the tuple's
+  /// operator<, so range plans route here unchanged — and residual full
+  /// scans over exact predicates on these fields compile to vectorized
+  /// per-column kernels (count_if/fold/min_by never materialise tuples).
+  /// Composes with retain(N): rows are epoch-tagged and every column is
+  /// compacted in place at epoch boundaries.
+  template <typename... Ms>
+  TableDecl& columns(Ms T::*... members) {
+    static_assert(sizeof...(Ms) >= 1, "columns() needs at least one field");
+    preset_ = StorePreset::Columnar;
+    columnar_factory_ = [members...](const std::atomic<std::int64_t>* clock,
+                                     bool windowed,
+                                     std::function<std::size_t(const T&)> h)
+        -> std::unique_ptr<GammaStore<T>> {
+      if (windowed) {
+        return std::make_unique<ColumnStore<T, FnHash<T>, Ms T::*...>>(
+            clock, FnHash<T>{std::move(h)}, members...);
+      }
+      return std::make_unique<ColumnStore<T, FnHash<T>, Ms T::*...>>(
+          FnHash<T>{std::move(h)}, members...);
+    };
+    return *this;
+  }
+
   /// Manual lifetime hint (Fig 3 step 4, §6.6): tuples carry a
   /// nondecreasing epoch in `epoch_of`, and rules only query the most
   /// recent `keep` epochs; older tuples are retired from Gamma as the
@@ -247,7 +275,12 @@ class TableDecl {
   friend class Table;
 
   enum class LevelKind { Lit, Seq, Par };
-  enum class StorePreset { None, FlatOrdered, FlatHash };
+  enum class StorePreset { None, FlatOrdered, FlatHash, Columnar };
+  /// Built by columns(): configure() calls it with the engine clock (for
+  /// retain(N) windows) and the table's hash.
+  using ColumnarFactory = std::function<std::unique_ptr<GammaStore<T>>(
+      const std::atomic<std::int64_t>*, bool,
+      std::function<std::size_t(const T&)>)>;
   struct Level {
     LevelKind kind;
     std::string name;
@@ -261,7 +294,8 @@ class TableDecl {
   std::function<std::int64_t(const T&)> pk_;
   const void* pk_tag_ = nullptr;  // set by the member-pointer overload
   StoreFactory store_factory_;
-  StorePreset preset_ = StorePreset::None;  // flat_store()/flat_hash_store()
+  StorePreset preset_ = StorePreset::None;  // flat/columnar presets
+  ColumnarFactory columnar_factory_;        // set by columns()
   std::function<void(const T&)> effect_;
   std::function<std::int64_t(const T&)> retain_epoch_of_;  // lifetime hint
   std::int64_t retain_keep_ = 0;                           // 0 = retain all
@@ -513,6 +547,76 @@ class Table final : public TableBase {
     return reducer;
   }
 
+  /// Member-pointer projection overload (more specialized, so it wins
+  /// overload resolution over the generic Proj form): on a columnar full
+  /// scan the projected values are gathered straight from the column —
+  /// tuples are never materialised.  Falls back to the generic path for
+  /// any other plan.
+  template <typename R, typename M>
+  R fold(const query::Pred<T>& pred, M T::*proj, R reducer = R{}) const {
+    if (columnar_ops_ != nullptr) {
+      const QueryPlan plan = plan_for(pred);
+      if (plan.path == AccessPath::FullScan && plan.columnar) {
+        const void* tag = query::field_tag(proj);
+        typename ColumnarOps<T>::KernelStats ks;
+        bool served = false;
+        if constexpr (std::is_floating_point_v<M>) {
+          served = columnar_ops_->kernel_gather_f64(
+              kernel_bounds(pred), tag,
+              [&](const double* v, std::size_t n) {
+                for (std::size_t i = 0; i < n; ++i) {
+                  reducer.add(static_cast<M>(v[i]));
+                }
+              },
+              &ks);
+        } else {
+          served = columnar_ops_->kernel_gather_i64(
+              kernel_bounds(pred), tag,
+              [&](const std::int64_t* v, std::size_t n) {
+                for (std::size_t i = 0; i < n; ++i) {
+                  reducer.add(static_cast<M>(v[i]));
+                }
+              },
+              &ks);
+        }
+        if (served) {
+          stats_.queries.fetch_add(1, std::memory_order_relaxed);
+          stats_.full_scans.fetch_add(1, std::memory_order_relaxed);
+          note_kernel(ks);
+          return reducer;
+        }
+      }
+    }
+    return fold(pred, [proj](const T& t) { return t.*proj; },
+                std::move(reducer));
+  }
+
+  /// Member-pointer key overload of min_by: "least tuple by this field".
+  /// On a columnar full scan the argmin runs over the key column alone;
+  /// ties keep the first row in store order, exactly as the scan path
+  /// does.  Falls back to the comparator form for any other plan.
+  template <typename M>
+  std::optional<T> min_by(const query::Pred<T>& pred, M T::*key) const {
+    if (columnar_ops_ != nullptr) {
+      const QueryPlan plan = plan_for(pred);
+      if (plan.path == AccessPath::FullScan && plan.columnar) {
+        const void* tag = query::field_tag(key);
+        std::optional<T> out;
+        typename ColumnarOps<T>::KernelStats ks;
+        if (columnar_ops_->kernel_min_row(kernel_bounds(pred), tag, &out,
+                                          &ks)) {
+          stats_.queries.fetch_add(1, std::memory_order_relaxed);
+          stats_.full_scans.fetch_add(1, std::memory_order_relaxed);
+          note_kernel(ks);
+          return out;
+        }
+      }
+    }
+    return min_by(pred, [key](const T& a, const T& b) {
+      return a.*key < b.*key;
+    });
+  }
+
   bool contains(const T& t) const {
     stats_.queries.fetch_add(1, std::memory_order_relaxed);
     return store_->contains(t);
@@ -595,10 +699,22 @@ class Table final : public TableBase {
     execute_plan(plan_for(pred), pred, fn);
   }
 
-  /// Count of tuples matching pred, routed like query().
+  /// Count of tuples matching pred, routed like query().  On a columnar
+  /// full scan the count never materialises a tuple: the kernel counts
+  /// selected rows straight off the column masks.
   std::int64_t query_count(const query::Pred<T>& pred) const {
+    const QueryPlan plan = plan_for(pred);
+    if (plan.path == AccessPath::FullScan && plan.columnar &&
+        columnar_ops_ != nullptr) {
+      stats_.queries.fetch_add(1, std::memory_order_relaxed);
+      stats_.full_scans.fetch_add(1, std::memory_order_relaxed);
+      const auto ks = columnar_ops_->kernel_count(kernel_bounds(pred));
+      note_kernel(ks);
+      return ks.selected;
+    }
     std::int64_t n = 0;
-    query(pred, [&](const T&) { ++n; });
+    stats_.queries.fetch_add(1, std::memory_order_relaxed);
+    execute_plan(plan, pred, [&](const T&) { ++n; });
     return n;
   }
 
@@ -687,6 +803,17 @@ class Table final : public TableBase {
       window_store_ = owned.get();
       retiring_store_ = owned.get();
       store_ = std::move(owned);
+    } else if (decl_.preset_ == TableDecl<T>::StorePreset::Columnar) {
+      // columns(...): the SoA substrate; with retain(N) it epoch-tags
+      // rows and compacts every column in place at epoch boundaries.
+      const bool windowed = decl_.retain_engine_keep_ >= 1;
+      auto owned = decl_.columnar_factory_(env.epoch, windowed, decl_.hash_);
+      if (windowed) {
+        auto* retiring = dynamic_cast<RetiringStore<T>*>(owned.get());
+        window_store_ = retiring;
+        retiring_store_ = retiring;
+      }
+      store_ = std::move(owned);
     } else if (decl_.retain_engine_keep_ >= 1) {
       // retain(N): window over the *engine* epoch clock — every tuple's
       // epoch is the epoch it arrived in, and begin_epoch() retires the
@@ -724,6 +851,9 @@ class Table final : public TableBase {
     } else {
       store_ = std::make_unique<TreeSetStore<T>>();
     }
+    // Kernel interface, when the configured store exposes one (the
+    // columnar preset, or a store_factory returning a ColumnStore).
+    columnar_ops_ = dynamic_cast<ColumnarOps<T>*>(store_.get());
     // Epoch-aware index maintenance: whatever the window retires is swept
     // from the secondary indexes too, so "indexes never forget" is no
     // longer true — routed and scanned queries see the same live set.
@@ -1023,6 +1153,9 @@ class Table final : public TableBase {
     }
     cat.store_ordered = store_ != nullptr && store_->ordered();
     cat.no_gamma = no_gamma_;
+    if (const auto* ops = dynamic_cast<const ColumnarOps<T>*>(store_.get())) {
+      cat.column_tags = ops->column_tags();
+    }
     return cat;
   }
 
@@ -1034,6 +1167,28 @@ class Table final : public TableBase {
         stats_.index_retired.fetch_add(1, std::memory_order_relaxed);
       }
     }
+  }
+
+  /// Normalises an exact predicate's bindings into the kernel interface's
+  /// inclusive intervals (equalities become [v, v]).
+  static std::vector<typename ColumnarOps<T>::Bound> kernel_bounds(
+      const query::Pred<T>& pred) {
+    std::vector<typename ColumnarOps<T>::Bound> out;
+    out.reserve(pred.eq_bindings().size() + pred.range_bindings().size());
+    for (const query::EqBinding& e : pred.eq_bindings()) {
+      out.push_back({e.field_tag, e.value, e.value});
+    }
+    for (const query::RangeBinding& r : pred.range_bindings()) {
+      out.push_back({r.field_tag, r.lo, r.hi});
+    }
+    return out;
+  }
+
+  void note_kernel(const typename ColumnarOps<T>::KernelStats& ks) const {
+    stats_.columnar_kernels.fetch_add(1, std::memory_order_relaxed);
+    stats_.columnar_rows.fetch_add(ks.rows, std::memory_order_relaxed);
+    stats_.columnar_selected.fetch_add(ks.selected,
+                                       std::memory_order_relaxed);
   }
 
   /// Runs one compiled access path, applying `pred` as the residual filter
@@ -1093,6 +1248,16 @@ class Table final : public TableBase {
       }
       case AccessPath::FullScan:
         stats_.full_scans.fetch_add(1, std::memory_order_relaxed);
+        if (plan.columnar && columnar_ops_ != nullptr) {
+          // Vectorized pushdown: the exact predicate is evaluated against
+          // the columns (selection mask), and only selected rows are
+          // reconstituted — no per-tuple residual call.
+          note_kernel(columnar_ops_->kernel_select(
+              kernel_bounds(pred), [&](const T* data, std::size_t n) {
+                for (std::size_t i = 0; i < n; ++i) fn(data[i]);
+              }));
+          return;
+        }
         raw_scan([&](const T& t) {
           if (pred(t)) fn(t);
         });
@@ -1201,6 +1366,8 @@ class Table final : public TableBase {
   std::vector<std::unique_ptr<SecondaryIndex>> indexes_;
   std::vector<RangeIndex> range_indexes_;
   std::unique_ptr<GammaStore<T>> store_;
+  // Kernel interface when the store is columnar (aliases store_).
+  ColumnarOps<T>* columnar_ops_ = nullptr;
   // Set iff the store is a retain(N) engine-epoch window (aliases store_)
   // — either the bucketed EpochWindowStore or the in-place-compacting
   // FlatOrderedStore; retire_epochs drives it through this interface.

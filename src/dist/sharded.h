@@ -208,6 +208,9 @@ struct ClusterQueryStats {
   std::int64_t gamma_passed_through = 0;
   std::int64_t residual_rows = 0;
   std::int64_t residual_hits = 0;
+  std::int64_t columnar_kernels = 0;
+  std::int64_t columnar_rows = 0;
+  std::int64_t columnar_selected = 0;
 };
 
 template <typename T>
@@ -362,6 +365,11 @@ class ShardedEngine {
             s.gamma_passed_through.load(std::memory_order_relaxed);
         out.residual_rows += s.residual_rows.load(std::memory_order_relaxed);
         out.residual_hits += s.residual_hits.load(std::memory_order_relaxed);
+        out.columnar_kernels +=
+            s.columnar_kernels.load(std::memory_order_relaxed);
+        out.columnar_rows += s.columnar_rows.load(std::memory_order_relaxed);
+        out.columnar_selected +=
+            s.columnar_selected.load(std::memory_order_relaxed);
       }
     }
     return out;

@@ -52,6 +52,9 @@ json::Value table_to_json(const TableLog& t) {
       {"index_retired", t.index_retired},
       {"residual_rows", t.residual_rows},
       {"residual_hits", t.residual_hits},
+      {"columnar_kernels", t.columnar_kernels},
+      {"columnar_rows", t.columnar_rows},
+      {"columnar_selected", t.columnar_selected},
       {"rules", std::move(rules)},
   };
 }
@@ -80,6 +83,9 @@ TableLog table_from_json(const json::Value& v) {
   t.index_retired = v.at("index_retired").as_int();
   t.residual_rows = v.at("residual_rows").as_int();
   t.residual_hits = v.at("residual_hits").as_int();
+  t.columnar_kernels = v.at("columnar_kernels").as_int();
+  t.columnar_rows = v.at("columnar_rows").as_int();
+  t.columnar_selected = v.at("columnar_selected").as_int();
   for (const json::Value& r : v.at("rules").as_array()) {
     t.rules.push_back(r.as_string());
   }
@@ -121,6 +127,9 @@ RunLog capture(const Engine& engine, const std::string& program,
     tl.index_retired = s.index_retired.load();
     tl.residual_rows = s.residual_rows.load();
     tl.residual_hits = s.residual_hits.load();
+    tl.columnar_kernels = s.columnar_kernels.load();
+    tl.columnar_rows = s.columnar_rows.load();
+    tl.columnar_selected = s.columnar_selected.load();
     tl.rules = t->rule_names();
     log.tables.push_back(std::move(tl));
   }
@@ -217,6 +226,13 @@ std::string dot_graph(const RunLog& log) {
       os << "pk=" << t.pk_probes << " range=" << t.range_scans
          << " empty=" << t.empty_plans << " swept=" << t.index_retired
          << " sel=" << rate << "\\l";
+    }
+    // Columnar kernel pushdown, shown only when a kernel actually ran.
+    if (t.columnar_kernels > 0) {
+      char ksel[32];
+      std::snprintf(ksel, sizeof(ksel), "%.2f", t.kernel_selectivity());
+      os << "kernels=" << t.columnar_kernels << " rows=" << t.columnar_rows
+         << " ksel=" << ksel << "\\l";
     }
     os << "}\"";
     if (t.fires > 0 && t.fires >= hot) os << ", color=red, penwidth=2";

@@ -49,6 +49,10 @@ struct TableLog {
   std::int64_t index_retired = 0;
   std::int64_t residual_rows = 0;
   std::int64_t residual_hits = 0;
+  // Columnar kernel pushdown (core/column_store.h).
+  std::int64_t columnar_kernels = 0;
+  std::int64_t columnar_rows = 0;
+  std::int64_t columnar_selected = 0;
   std::vector<std::string> rules;
 
   /// Fraction of tuples a routed plan examined that survived the residual
@@ -58,6 +62,15 @@ struct TableLog {
     return residual_rows > 0
                ? static_cast<double>(residual_hits) /
                      static_cast<double>(residual_rows)
+               : 0.0;
+  }
+
+  /// Fraction of kernel-swept rows the selection bitmaps kept (how
+  /// selective the pushed-down predicates were; 0 when no kernel ran).
+  double kernel_selectivity() const {
+    return columnar_rows > 0
+               ? static_cast<double>(columnar_selected) /
+                     static_cast<double>(columnar_rows)
                : 0.0;
   }
 

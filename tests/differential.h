@@ -143,13 +143,14 @@ inline std::set<Tok> oracle_fixpoint(const Program& p) {
 /// Gamma substrate selector for differential sweeps: the flat tier
 /// (core/flat_store.h) must compute the same fixpoints as the node-based
 /// defaults under every schedule, so the harness entry points take one.
-enum class StoreKind { Default, FlatOrdered, FlatHash };
+enum class StoreKind { Default, FlatOrdered, FlatHash, Columnar };
 
 inline const char* to_string(StoreKind k) {
   switch (k) {
     case StoreKind::Default: return "default";
     case StoreKind::FlatOrdered: return "flat-ordered";
     case StoreKind::FlatHash: return "flat-hash";
+    case StoreKind::Columnar: return "columnar";
   }
   return "?";
 }
@@ -164,6 +165,7 @@ inline TableDecl<Tok> tok_decl(StoreKind store = StoreKind::Default) {
     case StoreKind::Default: break;
     case StoreKind::FlatOrdered: decl.flat_store(); break;
     case StoreKind::FlatHash: decl.flat_hash_store(); break;
+    case StoreKind::Columnar: decl.columns(&Tok::key, &Tok::gen); break;
   }
   return decl;
 }

@@ -96,7 +96,9 @@ INSTANTIATE_TEST_SUITE_P(
         JStarCase{false, 4, true, GammaKind::Default, "par4_skiplist"},
         JStarCase{false, 4, true, GammaKind::Hash, "par4_hash"},
         JStarCase{true, 1, true, GammaKind::FlatHash, "seq_noDelta_flatHash"},
-        JStarCase{false, 4, true, GammaKind::FlatHash, "par4_flatHash"}),
+        JStarCase{false, 4, true, GammaKind::FlatHash, "par4_flatHash"},
+        JStarCase{true, 1, true, GammaKind::Columnar, "seq_noDelta_columnar"},
+        JStarCase{false, 4, true, GammaKind::Columnar, "par4_columnar"}),
     [](const auto& info) { return info.param.label; });
 
 TEST(PvWattsJStarMisc, RoundRobinInputSameAnswer) {

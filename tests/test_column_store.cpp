@@ -1,0 +1,456 @@
+// Unit tests for the columnar (SoA) Gamma substrate
+// (core/column_store.h): insert/dedup across the staged and merged
+// regions, tuple-ordered scans and seeks with staged visibility, chunked
+// reconstitution, the vectorized kernel interface (count / select /
+// gather / argmin) pinned against scans, engine-epoch windowing with
+// per-column compaction, the coverage round-trip check, and the
+// Table-level columns() preset / planner kernel routing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/column_store.h"
+#include "core/engine.h"
+#include "reduce/reducers.h"
+#include "util/rng.h"
+
+namespace jstar {
+namespace {
+
+struct Cell {
+  std::int64_t a, b;
+  auto operator<=>(const Cell&) const = default;
+};
+struct CellHash {
+  std::size_t operator()(const Cell& c) const { return hash_fields(c.a, c.b); }
+};
+
+using CellStore = ColumnStore<Cell, CellHash, std::int64_t Cell::*,
+                              std::int64_t Cell::*>;
+
+CellStore make_cell_store() {
+  return CellStore(CellHash{}, &Cell::a, &Cell::b);
+}
+
+// --- GammaStore contract -----------------------------------------------------
+
+TEST(ColumnStore, InsertContainsAndSortedScanMatchTreeSet) {
+  CellStore store = make_cell_store();
+  SplitMix64 rng(11);
+  std::set<Cell> reference;
+  for (int i = 0; i < 1000; ++i) {
+    const Cell c{static_cast<std::int64_t>(rng.next_below(200)),
+                 static_cast<std::int64_t>(rng.next_below(50))};
+    EXPECT_EQ(store.insert(c), reference.insert(c).second);
+  }
+  EXPECT_EQ(store.size(), reference.size());
+  for (const Cell& c : reference) EXPECT_TRUE(store.contains(c));
+  EXPECT_FALSE(store.contains(Cell{-1, -1}));
+  std::vector<Cell> scanned;
+  store.scan([&](const Cell& c) { scanned.push_back(c); });
+  EXPECT_TRUE(std::is_sorted(scanned.begin(), scanned.end()));
+  EXPECT_EQ(scanned.size(), reference.size());
+  EXPECT_TRUE(std::equal(scanned.begin(), scanned.end(), reference.begin()));
+  EXPECT_GT(store.merges(), 0);
+  EXPECT_TRUE(store.ordered());
+  EXPECT_TRUE(store.chunked());
+  EXPECT_EQ(store.describe(), "columnar(2)");
+}
+
+TEST(ColumnStore, DuplicateRejectionAcrossStagedAndMergedRegions) {
+  CellStore store = make_cell_store();
+  for (std::int64_t i = 0; i < 500; ++i) EXPECT_TRUE(store.insert({i, i}));
+  ASSERT_GT(store.merges(), 0);
+  EXPECT_FALSE(store.insert({1, 1}));  // duplicate of a merged row
+  EXPECT_TRUE(store.insert({1000, 0}));
+  ASSERT_GT(store.staged(), 0u);
+  EXPECT_FALSE(store.insert({1000, 0}));  // duplicate while staged
+  std::int64_t n = 0;
+  store.scan([&](const Cell&) { ++n; });
+  EXPECT_EQ(store.staged(), 0u);
+  EXPECT_FALSE(store.insert({1000, 0}));
+  EXPECT_EQ(n, 501);
+  EXPECT_EQ(store.size(), 501u);
+}
+
+TEST(ColumnStore, RangeAndFromSeeksMatchTreeSetAndSeeStagedRows) {
+  CellStore flat = make_cell_store();
+  TreeSetStore<Cell> tree;
+  SplitMix64 rng(23);
+  for (int i = 0; i < 800; ++i) {
+    const Cell c{static_cast<std::int64_t>(rng.next_below(100)),
+                 static_cast<std::int64_t>(rng.next_below(100))};
+    flat.insert(c);
+    tree.insert(c);
+  }
+  for (std::int64_t lo = 0; lo < 100; lo += 7) {
+    const Cell clo{lo, 0};
+    const Cell chi{lo + 13, 0};
+    std::vector<Cell> a, b;
+    flat.scan_range(clo, chi, [&](const Cell& c) { a.push_back(c); });
+    tree.scan_range(clo, chi, [&](const Cell& c) { b.push_back(c); });
+    EXPECT_EQ(a, b) << "range [" << lo << ", " << lo + 13 << ")";
+    a.clear();
+    b.clear();
+    flat.scan_from(clo, [&](const Cell& c) { a.push_back(c); });
+    tree.scan_from(clo, [&](const Cell& c) { b.push_back(c); });
+    EXPECT_EQ(a, b) << "from " << lo;
+  }
+
+  // Staged-but-unmerged rows must be visible to ordered seeks (same
+  // regression shape as the flat store's).
+  CellStore fresh = make_cell_store();
+  for (std::int64_t i = 0; i < 10; ++i) ASSERT_TRUE(fresh.insert({i, 0}));
+  ASSERT_EQ(fresh.merges(), 0);
+  std::vector<Cell> ranged;
+  fresh.scan_range({3, 0}, {7, 0},
+                   [&](const Cell& c) { ranged.push_back(c); });
+  EXPECT_EQ(ranged, (std::vector<Cell>{{3, 0}, {4, 0}, {5, 0}, {6, 0}}));
+}
+
+TEST(ColumnStore, ScanChunksReconstitutionEqualsScan) {
+  CellStore store = make_cell_store();
+  SplitMix64 rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    store.insert({static_cast<std::int64_t>(rng.next_below(1000)),
+                  static_cast<std::int64_t>(rng.next_below(1000))});
+  }
+  std::vector<Cell> via_scan, via_chunks;
+  store.scan([&](const Cell& c) { via_scan.push_back(c); });
+  std::size_t chunks = 0;
+  store.scan_chunks([&](const Cell* data, std::size_t n) {
+    ++chunks;
+    for (std::size_t i = 0; i < n; ++i) via_chunks.push_back(data[i]);
+  });
+  EXPECT_EQ(via_chunks, via_scan);
+  EXPECT_GT(chunks, 1u);  // > 1024 rows → several spans
+}
+
+// --- kernels pinned against scans -------------------------------------------
+
+TEST(ColumnStore, KernelsMatchScanTruth) {
+  CellStore store = make_cell_store();
+  SplitMix64 rng(97);
+  for (int i = 0; i < 2000; ++i) {
+    store.insert({static_cast<std::int64_t>(rng.next_below(40)),
+                  static_cast<std::int64_t>(rng.next_below(300))});
+  }
+  using Bound = ColumnarOps<Cell>::Bound;
+  const void* tag_a = query::field_tag(&Cell::a);
+  const void* tag_b = query::field_tag(&Cell::b);
+  EXPECT_TRUE(store.has_column(tag_a));
+  EXPECT_TRUE(store.has_column(tag_b));
+  ASSERT_EQ(store.column_tags().size(), 2u);
+
+  const std::vector<Bound> bounds{{tag_a, 5, 5}, {tag_b, 40, 200}};
+  const auto match = [](const Cell& c) {
+    return c.a == 5 && c.b >= 40 && c.b <= 200;
+  };
+
+  // Scan truth.
+  std::vector<Cell> expect;
+  std::int64_t expect_sum_b = 0;
+  store.scan([&](const Cell& c) {
+    if (match(c)) {
+      expect.push_back(c);
+      expect_sum_b += c.b;
+    }
+  });
+  ASSERT_FALSE(expect.empty());
+
+  // kernel_count (multi-bound mask path, and single-bound fused path).
+  const auto kc = store.kernel_count(bounds);
+  EXPECT_EQ(kc.selected, static_cast<std::int64_t>(expect.size()));
+  EXPECT_EQ(kc.rows, static_cast<std::int64_t>(store.size()));
+  std::int64_t single = 0;
+  store.scan([&](const Cell& c) { single += c.a == 5 ? 1 : 0; });
+  EXPECT_EQ(store.kernel_count({{tag_a, 5, 5}}).selected, single);
+
+  // kernel_select reconstitutes exactly the matching rows, in order.
+  std::vector<Cell> selected;
+  const auto ksel = store.kernel_select(bounds,
+                                        [&](const Cell* d, std::size_t n) {
+                                          selected.insert(selected.end(), d,
+                                                          d + n);
+                                        });
+  EXPECT_EQ(selected, expect);
+  EXPECT_EQ(ksel.selected, static_cast<std::int64_t>(expect.size()));
+
+  // kernel_gather_i64 streams the b column of matching rows.
+  std::int64_t sum_b = 0;
+  ColumnarOps<Cell>::KernelStats kg;
+  ASSERT_TRUE(store.kernel_gather_i64(
+      bounds, tag_b,
+      [&](const std::int64_t* v, std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i) sum_b += v[i];
+      },
+      &kg));
+  EXPECT_EQ(sum_b, expect_sum_b);
+  EXPECT_EQ(kg.selected, static_cast<std::int64_t>(expect.size()));
+  EXPECT_FALSE(store.kernel_gather_i64(
+      bounds, &store, [](const std::int64_t*, std::size_t) {}, &kg));
+
+  // kernel_gather_f64 agrees (integral column widened to double).
+  double sum_b_f = 0;
+  ASSERT_TRUE(store.kernel_gather_f64(
+      bounds, tag_b,
+      [&](const double* v, std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i) sum_b_f += v[i];
+      },
+      &kg));
+  EXPECT_EQ(sum_b_f, static_cast<double>(expect_sum_b));
+
+  // kernel_min_row: first minimal row in store order.
+  std::optional<Cell> best;
+  for (const Cell& c : expect) {
+    if (!best || c.b < best->b) best = c;
+  }
+  std::optional<Cell> got;
+  ASSERT_TRUE(store.kernel_min_row(bounds, tag_b, &got, &kg));
+  EXPECT_EQ(got, best);
+
+  // An empty selection yields an empty argmin, and zero counts.
+  ASSERT_TRUE(store.kernel_min_row({{tag_a, -7, -7}}, tag_b, &got, &kg));
+  EXPECT_FALSE(got.has_value());
+  EXPECT_EQ(store.kernel_count({{tag_a, -7, -7}}).selected, 0);
+}
+
+// Mixed column types: narrow integrals compare in int64 space, doubles
+// gather via the f64 path and refuse the i64 path.
+struct Mixed {
+  std::int32_t k;
+  std::int16_t g;
+  double w;
+  auto operator<=>(const Mixed&) const = default;
+};
+struct MixedHash {
+  std::size_t operator()(const Mixed& m) const {
+    return hash_fields(m.k, m.g, static_cast<std::int64_t>(m.w * 8));
+  }
+};
+
+TEST(ColumnStore, MixedWidthColumnsAndFloatingGather) {
+  ColumnStore<Mixed, MixedHash, std::int32_t Mixed::*, std::int16_t Mixed::*,
+              double Mixed::*>
+      store(MixedHash{}, &Mixed::k, &Mixed::g, &Mixed::w);
+  for (std::int32_t i = 0; i < 300; ++i) {
+    store.insert({i, static_cast<std::int16_t>(i % 5), i * 0.5});
+  }
+  const void* tag_g = query::field_tag(&Mixed::g);
+  const void* tag_w = query::field_tag(&Mixed::w);
+  EXPECT_EQ(store.kernel_count({{tag_g, 2, 2}}).selected, 60);
+
+  // The double column refuses an int64 gather (lossy)...
+  ColumnarOps<Mixed>::KernelStats ks;
+  EXPECT_FALSE(store.kernel_gather_i64(
+      {{tag_g, 2, 2}}, tag_w, [](const std::int64_t*, std::size_t) {}, &ks));
+  // ...but serves the f64 gather exactly.
+  double sum = 0, expect_sum = 0;
+  store.scan([&](const Mixed& m) {
+    if (m.g == 2) expect_sum += m.w;
+  });
+  ASSERT_TRUE(store.kernel_gather_f64(
+      {{tag_g, 2, 2}}, tag_w,
+      [&](const double* v, std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i) sum += v[i];
+      },
+      &ks));
+  EXPECT_EQ(sum, expect_sum);
+}
+
+// --- coverage check ----------------------------------------------------------
+
+TEST(ColumnStore, MissingColumnFailsTheCoverageRoundTrip) {
+  // Only column a declared: a tuple with a nonzero b cannot reconstitute.
+  ColumnStore<Cell, CellHash, std::int64_t Cell::*> partial(CellHash{},
+                                                            &Cell::a);
+  EXPECT_THROW(partial.insert({1, 7}), CheckError);
+  // Tuples whose undeclared fields are value-initialised slip through the
+  // round trip (nothing to lose) — the check is a guard, not a proof.
+  EXPECT_TRUE(partial.insert({2, 0}));
+}
+
+// --- engine-epoch windowing (retain(N)) --------------------------------------
+
+TEST(ColumnStore, WindowedRetireCompactsColumnsAndNotifies) {
+  std::atomic<std::int64_t> clock{0};
+  CellStore store(&clock, CellHash{}, &Cell::a, &Cell::b);
+  std::vector<Cell> retired;
+  store.set_retire_listener([&](const Cell& c) { retired.push_back(c); });
+
+  for (std::int64_t e = 0; e < 4; ++e) {
+    clock.store(e);
+    for (std::int64_t i = 0; i < 100; ++i) {
+      EXPECT_TRUE(store.insert({e, i}));
+    }
+  }
+  EXPECT_EQ(store.size(), 400u);
+  EXPECT_FALSE(store.insert({0, 5}));  // re-arrival stays a duplicate
+
+  EXPECT_EQ(store.retire_up_to(1), 200);
+  EXPECT_EQ(store.size(), 200u);
+  EXPECT_EQ(retired.size(), 200u);
+  for (const Cell& c : retired) EXPECT_LE(c.a, 1);
+  EXPECT_FALSE(store.contains({0, 5}));
+  EXPECT_TRUE(store.contains({3, 5}));
+  // Survivors stay sorted; kernels see only the live rows.
+  std::vector<Cell> scanned;
+  store.scan([&](const Cell& c) { scanned.push_back(c); });
+  EXPECT_TRUE(std::is_sorted(scanned.begin(), scanned.end()));
+  const void* tag_a = query::field_tag(&Cell::a);
+  EXPECT_EQ(store.kernel_count({{tag_a, 0, 9}}).rows, 200);
+  EXPECT_EQ(store.kernel_count({{tag_a, 2, 3}}).selected, 200);
+  EXPECT_EQ(store.retired(), 200);
+
+  // Straggler at or behind the ratchet: dropped but reported fresh.
+  clock.store(1);
+  EXPECT_TRUE(store.insert({1, 999}));
+  EXPECT_FALSE(store.contains({1, 999}));
+  EXPECT_EQ(store.retired(), 201);
+  EXPECT_EQ(store.describe(), "columnar(2,retain)");
+}
+
+// --- Table-level integration -------------------------------------------------
+
+struct Row {
+  std::int64_t id, group, score;
+  auto operator<=>(const Row&) const = default;
+};
+
+TableDecl<Row> row_decl() {
+  return TableDecl<Row>("Row")
+      .orderby_lit("R")
+      .hash([](const Row& r) { return hash_fields(r.id, r.group, r.score); });
+}
+
+TEST(ColumnarTable, PresetInstallsColumnStoreAndPlannerCompilesKernels) {
+  Engine eng(EngineOptions{.sequential = true});
+  auto& table =
+      eng.table(row_decl().columns(&Row::id, &Row::group, &Row::score));
+  for (std::int64_t i = 0; i < 500; ++i) {
+    eng.put(table, Row{i, i % 10, (i * 7) % 101});
+  }
+  eng.run();
+  EXPECT_EQ(table.store_describe(), "columnar(3)");
+  EXPECT_TRUE(table.store()->ordered());
+
+  // Exact predicates on stored columns compile to the kernel refinement…
+  const auto pred =
+      query::eq(&Row::group, 3) && query::ge(&Row::score, std::int64_t{50});
+  const QueryPlan plan = table.plan_for(pred);
+  EXPECT_EQ(plan.path, AccessPath::FullScan);
+  EXPECT_TRUE(plan.columnar);
+  EXPECT_EQ(plan.describe(), "full-scan(columnar-kernel)");
+  // …while inexact ones (lambdas, disjunctions) stay plain scans.
+  EXPECT_FALSE(table.plan_for(query::lambda<Row>([](const Row& r) {
+                       return r.group == 3;
+                     })).columnar);
+  EXPECT_FALSE(
+      table.plan_for(query::eq(&Row::group, 3) || query::eq(&Row::group, 4))
+          .columnar);
+
+  // Kernel results equal the scan truth for count / query / fold / min_by.
+  std::vector<Row> expect;
+  std::int64_t expect_sum = 0;
+  table.scan([&](const Row& r) {
+    if (pred(r)) {
+      expect.push_back(r);
+      expect_sum += r.score;
+    }
+  });
+  ASSERT_FALSE(expect.empty());
+  EXPECT_EQ(table.count_if(pred), static_cast<std::int64_t>(expect.size()));
+  std::vector<Row> routed;
+  table.query(pred, [&](const Row& r) { routed.push_back(r); });
+  EXPECT_EQ(routed, expect);  // kernel select emits in store order
+  EXPECT_EQ(table.fold(pred, &Row::score, reduce::Sum<std::int64_t>{})
+                .value(),
+            expect_sum);
+  std::optional<Row> best;
+  for (const Row& r : expect) {
+    if (!best || r.score < best->score) best = r;
+  }
+  EXPECT_EQ(table.min_by(pred, &Row::score), best);
+
+  // The kernels were counted, with sane selectivity numbers.
+  EXPECT_GE(table.stats().columnar_kernels.load(), 4);
+  EXPECT_GT(table.stats().columnar_rows.load(), 0);
+  EXPECT_GT(table.stats().columnar_selected.load(), 0);
+}
+
+TEST(ColumnarTable, ProbeAndRangePlansStillBeatKernels) {
+  Engine eng(EngineOptions{.sequential = true});
+  auto& table =
+      eng.table(row_decl().columns(&Row::id, &Row::group, &Row::score));
+  table.add_index(&Row::group);
+  table.add_range_index(
+      [](const std::vector<std::int64_t>& v) {
+        return Row{v[0], INT64_MIN, INT64_MIN};
+      },
+      &Row::id);
+  for (std::int64_t i = 0; i < 300; ++i) {
+    eng.put(table, Row{i, i % 10, i});
+  }
+  eng.run();
+  // An indexed equality routes through the index, not the kernel.
+  EXPECT_EQ(table.plan_for(query::eq(&Row::group, 3)).path,
+            AccessPath::IndexProbe);
+  // An ordered-prefix interval routes through the range seek (the store
+  // is tuple-ordered, so id — the leading field — serves seeks).
+  const auto range_pred =
+      query::between(&Row::id, std::int64_t{50}, std::int64_t{60});
+  EXPECT_EQ(table.plan_for(range_pred).path, AccessPath::RangeScan);
+  std::vector<Row> via_range;
+  table.query(range_pred, [&](const Row& r) { via_range.push_back(r); });
+  EXPECT_EQ(via_range.size(), 10u);
+  // Routed paths never bump the kernel counters.
+  EXPECT_EQ(table.stats().columnar_kernels.load(), 0);
+}
+
+TEST(ColumnarTable, RetainWindowRetiresAndSweepsIndexes) {
+  Engine eng(EngineOptions{.sequential = true});
+  auto& table = eng.table(
+      row_decl().columns(&Row::id, &Row::group, &Row::score).retain(2));
+  table.add_index(&Row::group);
+  eng.prepare();
+  EXPECT_EQ(table.store_describe(), "columnar(3,retain)");
+
+  for (std::int64_t e = 0; e < 5; ++e) {
+    if (e > 0) eng.begin_epoch();
+    for (std::int64_t i = 0; i < 20; ++i) {
+      eng.put(table, Row{e * 100 + i, e, i});
+    }
+    eng.run();
+  }
+  EXPECT_EQ(table.gamma_size(), 40u);
+  EXPECT_EQ(table.stats().gamma_retired.load(), 60);
+  EXPECT_EQ(table.stats().index_retired.load(), 60);
+  for (std::int64_t g = 0; g < 5; ++g) {
+    const auto pred = query::eq(&Row::group, g);
+    std::set<Row> routed, scanned;
+    table.query(pred, [&](const Row& r) { routed.insert(r); });
+    table.scan([&](const Row& r) {
+      if (pred(r)) scanned.insert(r);
+    });
+    EXPECT_EQ(routed, scanned) << "group " << g;
+    EXPECT_EQ(routed.size(), g >= 3 ? 20u : 0u) << "group " << g;
+  }
+}
+
+// columns() + retain_epochs stays rejected, like the flat presets.
+TEST(ColumnarTable, ColumnsWithRetainEpochsIsRejected) {
+  Engine eng(EngineOptions{.sequential = true});
+  auto& table = eng.table(row_decl()
+                              .columns(&Row::id, &Row::group, &Row::score)
+                              .retain_epochs(&Row::group, 2));
+  (void)table;
+  EXPECT_THROW(eng.prepare(), CheckError);
+}
+
+}  // namespace
+}  // namespace jstar

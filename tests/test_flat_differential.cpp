@@ -3,25 +3,27 @@
 // node-based defaults compute, under every schedule this repo has.
 //
 // Two randomized sweeps:
-//  * a deterministic batch sweep — the same random program runs twice,
-//    once on the default tree/skip-list stores and once on a flat
-//    substrate, across sequential / BSP-sharded / async-sharded
-//    schedules with the seed tuples split into engine-epoch waves and an
-//    optional retain(N) window.  Epoch assignment only advances between
-//    runs, so retirement is schedule-independent and the two final Gamma
-//    databases must match tuple for tuple — including after the flat
-//    store's in-place compaction;
+//  * a deterministic batch sweep — the same random program runs three
+//    times, on the default tree/skip-list stores, on a flat substrate
+//    and on the columnar (SoA) substrate, across sequential /
+//    BSP-sharded / async-sharded schedules with the seed tuples split
+//    into engine-epoch waves and an optional retain(N) window.  Epoch
+//    assignment only advances between runs, so retirement is
+//    schedule-independent and the final Gamma databases must match tuple
+//    for tuple — including after in-place array/column compaction;
 //  * a streaming sweep — flat-store tables behind
 //    ShardedStreamingEngine's epoch loop, checking routed == scanned per
 //    shard and the exact oracle fixpoint when no window is set.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "differential.h"
+#include "reduce/reducers.h"
 #include "stream/streaming.h"
 
 namespace jstar {
@@ -106,6 +108,39 @@ bool routed_equals_scan(Table<Tok>& toks, const Program& p,
                "between(key)");
 }
 
+/// Aggregate shapes vs the scan truth on one table: on the columnar
+/// substrate these compile to per-column kernels (count / gather / argmin)
+/// that never materialise tuples, so they are pinned against the
+/// tuple-at-a-time answers on every store kind.
+bool aggregates_equal_scan(Table<Tok>& toks, const Program& p,
+                           std::string* why) {
+  for (std::int64_t k = 0; k < p.keys; k += 3) {
+    const auto pred = query::eq(&Tok::key, k) && query::ge(&Tok::gen, 1);
+    std::int64_t n = 0, sum = 0;
+    std::optional<Tok> least;
+    toks.scan([&](const Tok& t) {
+      if (!pred(t)) return;
+      ++n;
+      sum += t.gen;
+      if (!least || t.gen < least->gen) least = t;
+    });
+    if (toks.count_if(pred) != n) {
+      *why = "count_if(key=" + std::to_string(k) + ")";
+      return false;
+    }
+    if (toks.fold(pred, &Tok::gen, reduce::Sum<std::int64_t>{}).value() !=
+        sum) {
+      *why = "fold(gen, key=" + std::to_string(k) + ")";
+      return false;
+    }
+    if (toks.min_by(pred, &Tok::gen) != least) {
+      *why = "min_by(gen, key=" + std::to_string(k) + ")";
+      return false;
+    }
+  }
+  return true;
+}
+
 struct RunOut {
   std::set<Tok> tuples;
   std::int64_t gamma_retired = 0;
@@ -137,6 +172,7 @@ RunOut run_config(const Program& p, const SweepConfig& cfg, StoreKind store) {
     toks.scan([&](const Tok& t) { out.tuples.insert(t); });
     out.gamma_retired = toks.stats().gamma_retired.load();
     if (cfg.indexes) out.routed_ok = routed_equals_scan(toks, p, &out.why);
+    if (out.routed_ok) out.routed_ok = aggregates_equal_scan(toks, p, &out.why);
     return out;
   }
 
@@ -173,12 +209,15 @@ RunOut run_config(const Program& p, const SweepConfig& cfg, StoreKind store) {
     if (cfg.indexes && out.routed_ok) {
       out.routed_ok = routed_equals_scan(toks, p, &out.why);
     }
+    if (out.routed_ok) {
+      out.routed_ok = aggregates_equal_scan(toks, p, &out.why);
+    }
   }
   out.gamma_retired = cluster.query_stats().gamma_retired;
   return out;
 }
 
-TEST(FlatDifferential, FlatEqualsDefaultAcrossSchedulesAndRetention) {
+TEST(FlatDifferential, FlatAndColumnarEqualDefaultAcrossSchedules) {
   const std::uint64_t seeds = difftest::seed_count(200);
   const std::uint64_t base = difftest::seed_base();
   std::int64_t swept_runs = 0;       // runs where retention actually fired
@@ -190,26 +229,35 @@ TEST(FlatDifferential, FlatEqualsDefaultAcrossSchedulesAndRetention) {
         difftest::repro(seed, "test_flat_differential",
                         "FlatDifferential.*");
 
+    // Three-way: one flat substrate (ordered or hash, per the seed), the
+    // columnar substrate, and the node-based default — same program, same
+    // schedule, same epoch waves and window.
     const RunOut flat = run_config(p, cfg, cfg.store);
+    const RunOut col = run_config(p, cfg, StoreKind::Columnar);
     const RunOut dflt = run_config(p, cfg, StoreKind::Default);
 
     // The tentpole claim: swapping the Gamma substrate cannot change the
     // program's meaning — the stored sets match tuple for tuple, with
-    // and without windows having compacted the flat arrays.
+    // and without windows having compacted the flat arrays/columns.
     ASSERT_EQ(flat.tuples, dflt.tuples)
         << difftest::to_string(cfg.store) << " vs default, exec "
         << cfg.exec << ", retain " << cfg.retain << ", " << repro;
+    ASSERT_EQ(col.tuples, dflt.tuples)
+        << "columnar vs default, exec " << cfg.exec << ", retain "
+        << cfg.retain << ", " << repro;
     ASSERT_TRUE(flat.routed_ok) << flat.why << ", " << repro;
+    ASSERT_TRUE(col.routed_ok) << col.why << ", columnar, " << repro;
     ASSERT_TRUE(dflt.routed_ok) << dflt.why << ", " << repro;
 
     // Identical retirement: epoch tagging only advances between runs, so
     // the in-place compaction must drop exactly what the bucketed window
     // drops.
     ASSERT_EQ(flat.gamma_retired, dflt.gamma_retired) << repro;
+    ASSERT_EQ(col.gamma_retired, dflt.gamma_retired) << repro;
     if (flat.gamma_retired > 0) ++swept_runs;
     if (cfg.store == StoreKind::FlatHash) ++flat_hash_runs;
 
-    // Without retention both must equal the engine-free oracle exactly.
+    // Without retention all must equal the engine-free oracle exactly.
     if (cfg.retain == 0) {
       ASSERT_EQ(flat.tuples, difftest::oracle_fixpoint(p)) << repro;
     }
@@ -232,6 +280,9 @@ TEST(FlatDifferential, FlatStoresUnderStreamingEpochs) {
     SweepConfig cfg = config_for(seed);
     if (cfg.exec == 0) cfg.exec = 1 + static_cast<int>(seed % 2);
     cfg.indexes = true;
+    // Every third seed rides the columnar substrate through the epoch
+    // loop (keeping whatever window the seed drew).
+    if (seed % 3 == 0) cfg.store = StoreKind::Columnar;
     const std::string repro =
         difftest::repro(seed, "test_flat_differential",
                         "FlatDifferential.FlatStoresUnderStreamingEpochs");

@@ -98,6 +98,31 @@ TEST(FlatOrderedStore, RangeAndFromSeeksMatchTreeSet) {
   EXPECT_TRUE(flat.ordered());
 }
 
+// Regression for the staged-region visibility audit: ordered seeks must
+// see tuples still sitting in the staging buffer (insert count below the
+// 64-tuple merge threshold, so nothing has merged yet).  scan_range /
+// scan_from go through with_merged(), which folds staging into the
+// sorted run before seeking — this pins that contract.
+TEST(FlatOrderedStore, RangeSeeksSeeStagedUnmergedTuples) {
+  FlatOrderedStore<Cell, CellHash> store;
+  for (std::int64_t i = 0; i < 10; ++i) ASSERT_TRUE(store.insert({i, 0}));
+  ASSERT_EQ(store.merges(), 0);  // below the staging threshold
+  ASSERT_EQ(store.staged(), 10u);
+
+  std::vector<Cell> ranged;
+  store.scan_range({3, 0}, {7, 0},
+                   [&](const Cell& c) { ranged.push_back(c); });
+  EXPECT_EQ(ranged, (std::vector<Cell>{{3, 0}, {4, 0}, {5, 0}, {6, 0}}));
+
+  // scan_from with fresh staged tuples again (the range scan above merged).
+  ASSERT_TRUE(store.insert({100, 0}));
+  ASSERT_GT(store.staged(), 0u);
+  std::vector<Cell> from;
+  store.scan_from({8, 0}, [&](const Cell& c) { from.push_back(c); });
+  EXPECT_EQ(from, (std::vector<Cell>{{8, 0}, {9, 0}, {100, 0}}));
+  EXPECT_EQ(store.staged(), 0u);  // ordered reads merge on demand
+}
+
 TEST(FlatOrderedStore, ScanChunksDeliversOneContiguousSpan) {
   FlatOrderedStore<Cell, CellHash> store;
   for (std::int64_t i = 0; i < 300; ++i) store.insert({i, 0});

@@ -82,6 +82,52 @@ TEST(QueryPred, DistinctFieldsHaveDistinctTags) {
             query::field_tag(&Reading::sensor));
 }
 
+// Regression: field_tag used to hash the member-pointer bytes, so two
+// members could collide and alias each other's planner bindings (an
+// eq(&A::x) probe answered from a &B::y index).  Tags are now interned by
+// exact bytes: register a crowd of members across several tuple types and
+// demand pairwise-distinct, call-stable addresses.
+TEST(QueryPred, ManyFieldTagsArePairwiseDistinctAndStable) {
+  struct Wide {
+    std::int64_t f0, f1, f2, f3, f4, f5, f6, f7, f8, f9;
+    auto operator<=>(const Wide&) const = default;
+  };
+  struct Narrow {
+    std::int16_t a, b, c, d;
+    auto operator<=>(const Narrow&) const = default;
+  };
+  struct Mixed {
+    std::int32_t k;
+    double w;
+    std::int8_t flag;
+    auto operator<=>(const Mixed&) const = default;
+  };
+  const auto collect = [] {
+    return std::vector<const void*>{
+        query::field_tag(&Reading::sensor), query::field_tag(&Reading::hour),
+        query::field_tag(&Reading::value),  query::field_tag(&Wide::f0),
+        query::field_tag(&Wide::f1),        query::field_tag(&Wide::f2),
+        query::field_tag(&Wide::f3),        query::field_tag(&Wide::f4),
+        query::field_tag(&Wide::f5),        query::field_tag(&Wide::f6),
+        query::field_tag(&Wide::f7),        query::field_tag(&Wide::f8),
+        query::field_tag(&Wide::f9),        query::field_tag(&Narrow::a),
+        query::field_tag(&Narrow::b),       query::field_tag(&Narrow::c),
+        query::field_tag(&Narrow::d),       query::field_tag(&Mixed::k),
+        query::field_tag(&Mixed::w),        query::field_tag(&Mixed::flag)};
+  };
+  const std::vector<const void*> tags = collect();
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    ASSERT_NE(tags[i], nullptr);
+    for (std::size_t j = i + 1; j < tags.size(); ++j) {
+      EXPECT_NE(tags[i], tags[j]) << "members " << i << " and " << j
+                                  << " interned to the same tag";
+    }
+  }
+  // Re-registering yields the same interned addresses (indexes keyed by
+  // tag at declaration time still match probes planned much later).
+  EXPECT_EQ(collect(), tags);
+}
+
 // --- index routing ----------------------------------------------------------
 
 class IndexedQuery : public ::testing::TestWithParam<bool /*sequential*/> {};

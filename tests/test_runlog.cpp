@@ -180,5 +180,37 @@ TEST(RunLog, CapturesPlannerAccessPathCounters) {
   EXPECT_NE(dot.find("empty=1"), std::string::npos);
 }
 
+TEST(RunLog, CapturesColumnarKernelCounters) {
+  struct Row {
+    std::int64_t id, group;
+    auto operator<=>(const Row&) const = default;
+  };
+  Engine eng(EngineOptions{.sequential = true});
+  auto& rows = eng.table(TableDecl<Row>("Row")
+                             .orderby_lit("A")
+                             .columns(&Row::id, &Row::group)
+                             .hash([](const Row& r) {
+                               return hash_fields(r.id, r.group);
+                             }));
+  for (int i = 0; i < 40; ++i) eng.put(rows, Row{i, i % 4});
+  const RunReport report = eng.run();
+  EXPECT_EQ(rows.query_count(query::eq(&Row::group, 1)), 10);  // kernel
+  const RunLog log = capture(eng, "columnar", report);
+  EXPECT_EQ(log.tables[0].store, "columnar(2)");
+  EXPECT_EQ(log.tables[0].columnar_kernels, 1);
+  EXPECT_EQ(log.tables[0].columnar_rows, 40);
+  EXPECT_EQ(log.tables[0].columnar_selected, 10);
+  EXPECT_DOUBLE_EQ(log.tables[0].kernel_selectivity(), 0.25);
+  // Round trip keeps the kernel counters (the defaulted == would flag a
+  // field missing from either JSON direction).
+  const RunLog back = from_json(to_json(log));
+  EXPECT_EQ(back, log);
+  // The dot graph surfaces the kernel row only for tables that ran one.
+  const std::string dot = dot_graph(log);
+  EXPECT_NE(dot.find("kernels=1"), std::string::npos);
+  EXPECT_NE(dot.find("ksel=0.25"), std::string::npos);
+  EXPECT_EQ(dot_graph(sample_log()).find("kernels="), std::string::npos);
+}
+
 }  // namespace
 }  // namespace jstar::viz
