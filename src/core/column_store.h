@@ -156,45 +156,89 @@ class ColumnStore final : public GammaStore<T>,
   /// Engine-epoch windowed variant (TableDecl::retain(N)): rows are
   /// tagged with `clock`'s value at insert time and retire_up_to()
   /// compacts every column in place.  `clock` may be null (epoch 0
-  /// forever, as in engine-free unit harnesses).
+  /// forever, as in engine-free unit harnesses).  `keep_epochs >= 1`
+  /// enables EpochWindowStore-parity insert-driven retirement (see the
+  /// FlatOrderedStore windowed ctor); 0 keeps the retire_up_to-only
+  /// ratchet.
   ColumnStore(const std::atomic<std::int64_t>* clock, Hash hash,
               Members... members)
+      : ColumnStore(clock, 0, std::move(hash), members...) {}
+
+  ColumnStore(const std::atomic<std::int64_t>* clock, std::int64_t keep_epochs,
+              Hash hash, Members... members)
       : hash_(std::move(hash)), staging_set_(8, hash_), members_(members...),
-        clock_(clock), windowed_(true) {
+        clock_(clock), windowed_(true), keep_(keep_epochs) {
     init_tags();
   }
 
   // --- GammaStore ----------------------------------------------------------
 
   bool insert(const T& t) override {
-    std::unique_lock lk(mu_);
-    std::int64_t e = 0;
-    if (windowed_) {
-      e = epoch_now();
-      if (e <= retired_through_) {
-        // Straggler behind the retain(N) window: drop, but report fresh so
-        // rules still fire once (same contract as the other windows).
-        retired_.fetch_add(1, std::memory_order_relaxed);
-        return true;
+    std::vector<T> victims;
+    bool fresh;
+    {
+      std::unique_lock lk(mu_);
+      std::int64_t e = 0;
+      if (windowed_) {
+        e = epoch_now();
+        if (e <= retired_through_) {
+          // Straggler behind the retain(N) window: drop, but report fresh
+          // so rules still fire once (same contract as the other windows).
+          retired_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+      }
+      fresh = insert_staged_locked(t, e);
+      if (fresh && windowed_ && keep_ >= 1 && e > max_epoch_) {
+        // Insert-driven retirement, mirroring EpochWindowStore.
+        max_epoch_ = e;
+        if (max_epoch_ - keep_ > retired_through_) {
+          retired_through_ = max_epoch_ - keep_;
+          merge_locked();
+          retire_rows_locked(retired_through_, &victims);
+        }
       }
     }
-    if (staging_set_.count(t) != 0) return false;
-    const std::size_t pos = lower_bound_row(t);
-    if (pos < row_count() && row_at(pos) == t) return false;
-    verify_coverage_locked(t);
-    staging_.push_back(t);
-    if (windowed_) staging_epochs_.push_back(e);
-    staging_set_.insert(t);
-    if (staging_.size() >= staging_limit()) merge_locked();
-    return true;
+    for (const T& t2 : victims) on_retire_(t2);
+    return fresh;
   }
 
   bool contains(const T& t) const override {
     std::shared_lock lk(mu_);
     if (staging_set_.count(t) != 0) return true;
     const std::size_t pos = lower_bound_row(t);
-    return pos < row_count() && row_at(pos) == t;
+    return pos < row_count() && row_at(pos) == t && dead_.count(t) == 0;
   }
+
+  /// Retraction support, flat-tier discipline: staged rows are removed
+  /// directly, merged rows join the dead set (hidden immediately from
+  /// contains/dup-checks) and are physically compacted out of every
+  /// column by the next merge — scans and kernels only ever run over a
+  /// purged columnar region (with_merged gates on the dead set too).
+  bool erase(const T& t) override {
+    std::unique_lock lk(mu_);
+    if (staging_set_.erase(t) != 0) {
+      for (std::size_t i = 0; i < staging_.size(); ++i) {
+        if (staging_[i] == t) {
+          staging_[i] = std::move(staging_.back());
+          staging_.pop_back();
+          if (windowed_) {
+            staging_epochs_[i] = staging_epochs_.back();
+            staging_epochs_.pop_back();
+          }
+          break;
+        }
+      }
+      return true;
+    }
+    const std::size_t pos = lower_bound_row(t);
+    if (pos < row_count() && row_at(pos) == t && dead_.insert(t).second) {
+      return true;
+    }
+    return false;
+  }
+
+  bool erasable() const override { return true; }
 
   void scan(const std::function<void(const T&)>& fn) const override {
     with_merged([&] { stream_rows(0, row_count(), fn); });
@@ -233,7 +277,7 @@ class ColumnStore final : public GammaStore<T>,
 
   std::size_t size() const override {
     std::shared_lock lk(mu_);
-    return row_count() + staging_.size();
+    return row_count() + staging_.size() - dead_.size();
   }
 
   std::string describe() const override {
@@ -256,24 +300,9 @@ class ColumnStore final : public GammaStore<T>,
       std::unique_lock lk(mu_);
       if (!windowed_) return 0;
       retired_through_ = std::max(retired_through_, threshold);
+      if (keep_ >= 1) max_epoch_ = std::max(max_epoch_, threshold + keep_);
       merge_locked();
-      const std::size_t n = row_count();
-      std::size_t w = 0;
-      for (std::size_t r = 0; r < n; ++r) {
-        if (epochs_[r] <= threshold) {
-          ++dropped;
-          if (on_retire_) victims.push_back(row_at(r));
-        } else {
-          if (w != r) {
-            move_row(r, w, Seq{});
-            epochs_[w] = epochs_[r];
-          }
-          ++w;
-        }
-      }
-      resize_columns(w, Seq{});
-      epochs_.resize(w);
-      retired_.fetch_add(dropped, std::memory_order_relaxed);
+      dropped = retire_rows_locked(threshold, &victims);
     }
     for (const T& t : victims) on_retire_(t);
     return dropped;
@@ -657,15 +686,61 @@ class ColumnStore final : public GammaStore<T>,
     return clock_ != nullptr ? clock_->load(std::memory_order_relaxed) : 0;
   }
 
-  /// Runs fn with the staging buffer folded into the columns.  Fast path:
-  /// staging already empty — shared lock only.  Otherwise merge under the
-  /// exclusive lock, release, and retry shared (same as the flat tier).
+  /// Dedup-checks t against staging, the columnar region and the dead
+  /// set, then stages it (a row that is physically present but marked
+  /// dead is NOT a duplicate — the stale copy is purged by the next
+  /// merge before the regions could collide).  Caller holds the
+  /// exclusive lock; returns true when fresh.
+  bool insert_staged_locked(const T& t, std::int64_t e) {
+    if (staging_set_.count(t) != 0) return false;
+    const std::size_t pos = lower_bound_row(t);
+    if (pos < row_count() && row_at(pos) == t && dead_.count(t) == 0) {
+      return false;
+    }
+    verify_coverage_locked(t);
+    staging_.push_back(t);
+    if (windowed_) staging_epochs_.push_back(e);
+    staging_set_.insert(t);
+    if (staging_.size() >= staging_limit()) merge_locked();
+    return true;
+  }
+
+  /// Compacts every column in place, dropping rows with epoch <=
+  /// threshold.  Caller holds the exclusive lock and has already merged
+  /// (so no dead rows remain).
+  std::int64_t retire_rows_locked(std::int64_t threshold,
+                                  std::vector<T>* victims) {
+    const std::size_t n = row_count();
+    std::int64_t dropped = 0;
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (epochs_[r] <= threshold) {
+        ++dropped;
+        if (on_retire_) victims->push_back(row_at(r));
+      } else {
+        if (w != r) {
+          move_row(r, w, Seq{});
+          epochs_[w] = epochs_[r];
+        }
+        ++w;
+      }
+    }
+    resize_columns(w, Seq{});
+    epochs_.resize(w);
+    retired_.fetch_add(dropped, std::memory_order_relaxed);
+    return dropped;
+  }
+
+  /// Runs fn with the staging buffer folded into the columns and the
+  /// dead set purged.  Fast path: nothing pending — shared lock only.
+  /// Otherwise merge under the exclusive lock, release, and retry shared
+  /// (same as the flat tier).
   template <typename Fn>
   void with_merged(Fn&& fn) const {
     for (;;) {
       {
         std::shared_lock lk(mu_);
-        if (staging_.empty()) {
+        if (staging_.empty() && dead_.empty()) {
           fn();
           return;
         }
@@ -675,10 +750,26 @@ class ColumnStore final : public GammaStore<T>,
     }
   }
 
-  /// Sorts staging (tuple order) and back-merges it into every column.
-  /// Caller holds the exclusive lock.  Cross-region duplicates cannot
-  /// exist — insert rejects them — so no dedup pass.
+  /// The anti-merge: compacts dead rows out of every column, then sorts
+  /// staging (tuple order) and back-merges it.  Caller holds the
+  /// exclusive lock.  Cross-region duplicates cannot exist once the dead
+  /// are purged — so no dedup pass.
   void merge_locked() const {
+    if (!dead_.empty()) {
+      const std::size_t n = row_count();
+      std::size_t w = 0;
+      for (std::size_t r = 0; r < n; ++r) {
+        if (dead_.count(row_at(r)) != 0) continue;
+        if (w != r) {
+          move_row(r, w, Seq{});
+          if (windowed_) epochs_[w] = epochs_[r];
+        }
+        ++w;
+      }
+      resize_columns(w, Seq{});
+      if (windowed_) epochs_.resize(w);
+      dead_.clear();
+    }
     const std::size_t m = staging_.size();
     if (m == 0) return;
     if (windowed_) {
@@ -725,6 +816,9 @@ class ColumnStore final : public GammaStore<T>,
   mutable std::vector<T> staging_;
   mutable std::vector<std::int64_t> staging_epochs_;  // windowed only
   mutable std::unordered_set<T, Hash> staging_set_;
+  // Erased-but-unpurged rows still physically present in the columns;
+  // every read path subtracts them until the next merge compacts them.
+  mutable std::unordered_set<T, Hash> dead_{8, hash_};
   std::tuple<Members...> members_;
   std::vector<const void*> tags_;
   mutable std::tuple<std::vector<columnar_detail::member_value_t<Members>>...>
@@ -732,6 +826,8 @@ class ColumnStore final : public GammaStore<T>,
   mutable std::vector<std::int64_t> epochs_;  // windowed only
   const std::atomic<std::int64_t>* clock_ = nullptr;
   const bool windowed_ = false;
+  const std::int64_t keep_ = 0;
+  std::int64_t max_epoch_ = std::numeric_limits<std::int64_t>::min() / 2;
   std::int64_t retired_through_ = std::numeric_limits<std::int64_t>::min() / 2;
   std::function<void(const T&)> on_retire_;
   mutable std::int64_t coverage_checks_left_ = 64;

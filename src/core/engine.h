@@ -122,6 +122,24 @@ class Engine {
     t.enqueue_delta(t.key_of(tuple), tuple);
   }
 
+  /// Initial retract: decrements the tuple's multiplicity; processed by
+  /// the next run(), where hitting zero removes it from Gamma and fires
+  /// the sign -1 cascade.  Requires TableDecl::counted().
+  template <typename T>
+  void retract(Table<T>& t, const T& tuple) {
+    prepare();
+    t.seed_signed(tuple, -1);
+  }
+
+  /// Initial upsert: "make the row for this tuple's primary key be
+  /// exactly this tuple", displacing (and retracting downstream of) any
+  /// different incumbent.  Requires counted() and a primary_key.
+  template <typename T>
+  void upsert(Table<T>& t, const T& tuple) {
+    prepare();
+    t.seed_signed(tuple, Table<T>::kUpsertSign);
+  }
+
   /// Runs the program to quiescence (empty Delta set).  May be called
   /// repeatedly: later puts + runs continue the same database, which is
   /// how event-driven input (§3) is expressed.

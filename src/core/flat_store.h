@@ -19,10 +19,12 @@
 //     place.
 //
 //   * FlatHashStore<T> — open addressing over a power-of-two capacity
-//     with linear probing (no tombstones: GammaStore never erases
-//     individual tuples).  Unordered, so range plans degrade to residual
-//     scans; pair it with secondary indexes when the query key is fully
-//     known.  T must be default-constructible (empty slots hold T{}).
+//     with linear probing.  erase() leaves a tombstone so probe chains
+//     stay intact; tombstones are reclaimed by inserts and purged by the
+//     load-factor-triggered rebuild.  Unordered, so range plans degrade
+//     to residual scans; pair it with secondary indexes when the query
+//     key is fully known.  T must be default-constructible (empty slots
+//     hold T{}).
 //
 // Both override scan_chunks() to hand out contiguous [data, n) spans —
 // the chunked scan pushdown that lets Table<T> hot loops inline their
@@ -63,41 +65,88 @@ class FlatOrderedStore final : public GammaStore<T>, public RetiringStore<T> {
   /// Engine-epoch windowed variant (TableDecl::retain(N)): every tuple is
   /// tagged with `clock`'s value at insert time and retire_up_to()
   /// compacts the arrays in place.  `clock` may be null (epoch 0
-  /// forever, as in engine-free unit harnesses).
+  /// forever, as in engine-free unit harnesses).  `keep_epochs >= 1`
+  /// additionally enables insert-driven retirement with the same
+  /// semantics as EpochWindowStore: an insert that advances the observed
+  /// epoch clock retires everything behind the new window immediately,
+  /// and stragglers behind it are silently dropped — so all three
+  /// windowed substrates agree on re-insert-after-retire behaviour
+  /// (regression: CrossSubstrateWindow.StragglerSemanticsAgree).
+  /// `keep_epochs == 0` keeps the legacy retire_up_to-only ratchet.
   explicit FlatOrderedStore(const std::atomic<std::int64_t>* clock,
-                            Hash hash = Hash{})
+                            Hash hash = Hash{}, std::int64_t keep_epochs = 0)
       : hash_(std::move(hash)), staging_set_(8, hash_), clock_(clock),
-        windowed_(true) {}
+        windowed_(true), keep_(keep_epochs) {}
 
   bool insert(const T& t) override {
-    std::unique_lock lk(mu_);
-    std::int64_t e = 0;
-    if (windowed_) {
-      e = epoch_now();
-      if (e <= retired_through_) {
-        // A straggler behind the retain(N) window: no future query can
-        // observe it, so drop — but report fresh, exactly like
-        // EpochWindowStore, so rules still fire for it once.
-        retired_.fetch_add(1, std::memory_order_relaxed);
-        return true;
+    std::vector<T> victims;
+    bool fresh;
+    {
+      std::unique_lock lk(mu_);
+      std::int64_t e = 0;
+      if (windowed_) {
+        e = epoch_now();
+        if (e <= retired_through_) {
+          // A straggler behind the retain(N) window: no future query can
+          // observe it, so drop — but report fresh, exactly like
+          // EpochWindowStore, so rules still fire for it once.
+          retired_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+      }
+      fresh = insert_staged_locked(t, e);
+      if (fresh && windowed_ && keep_ >= 1 && e > max_epoch_) {
+        // Insert-driven retirement, mirroring EpochWindowStore: the
+        // observed clock advanced, so everything behind the new window
+        // goes now and the straggler cutoff ratchets with it.
+        max_epoch_ = e;
+        if (max_epoch_ - keep_ > retired_through_) {
+          retired_through_ = max_epoch_ - keep_;
+          merge_locked();
+          retire_sorted_locked(retired_through_, &victims);
+        }
       }
     }
-    if (staging_set_.count(t) != 0 ||
-        std::binary_search(sorted_.begin(), sorted_.end(), t)) {
-      return false;
-    }
-    staging_.push_back(t);
-    if (windowed_) staging_epochs_.push_back(e);
-    staging_set_.insert(t);
-    if (staging_.size() >= staging_limit()) merge_locked();
-    return true;
+    for (const T& t2 : victims) on_retire_(t2);
+    return fresh;
   }
 
   bool contains(const T& t) const override {
     std::shared_lock lk(mu_);
-    return staging_set_.count(t) != 0 ||
-           std::binary_search(sorted_.begin(), sorted_.end(), t);
+    if (staging_set_.count(t) != 0) return true;
+    return std::binary_search(sorted_.begin(), sorted_.end(), t) &&
+           dead_.count(t) == 0;
   }
+
+  /// Retraction support: a staged tuple is removed from the staging
+  /// buffer directly; a merged tuple joins the dead set and is hidden
+  /// immediately (contains/dup-checks consult the set) but physically
+  /// purged only by the next merge — the anti-merge — so erase stays
+  /// O(staging) instead of O(N) per call under churn-heavy workloads.
+  bool erase(const T& t) override {
+    std::unique_lock lk(mu_);
+    if (staging_set_.erase(t) != 0) {
+      for (std::size_t i = 0; i < staging_.size(); ++i) {
+        if (staging_[i] == t) {
+          staging_[i] = std::move(staging_.back());
+          staging_.pop_back();
+          if (windowed_) {
+            staging_epochs_[i] = staging_epochs_.back();
+            staging_epochs_.pop_back();
+          }
+          break;
+        }
+      }
+      return true;
+    }
+    if (std::binary_search(sorted_.begin(), sorted_.end(), t) &&
+        dead_.insert(t).second) {
+      return true;
+    }
+    return false;
+  }
+
+  bool erasable() const override { return true; }
 
   void scan(const std::function<void(const T&)>& fn) const override {
     with_merged([&] {
@@ -144,7 +193,7 @@ class FlatOrderedStore final : public GammaStore<T>, public RetiringStore<T> {
 
   std::size_t size() const override {
     std::shared_lock lk(mu_);
-    return sorted_.size() + staging_.size();
+    return sorted_.size() + staging_.size() - dead_.size();
   }
 
   std::string describe() const override {
@@ -169,23 +218,9 @@ class FlatOrderedStore final : public GammaStore<T>, public RetiringStore<T> {
       std::unique_lock lk(mu_);
       if (!windowed_) return 0;
       retired_through_ = std::max(retired_through_, threshold);
+      if (keep_ >= 1) max_epoch_ = std::max(max_epoch_, threshold + keep_);
       merge_locked();
-      std::size_t w = 0;
-      for (std::size_t r = 0; r < sorted_.size(); ++r) {
-        if (sorted_epochs_[r] <= threshold) {
-          ++dropped;
-          if (on_retire_) victims.push_back(std::move(sorted_[r]));
-        } else {
-          if (w != r) {
-            sorted_[w] = std::move(sorted_[r]);
-            sorted_epochs_[w] = sorted_epochs_[r];
-          }
-          ++w;
-        }
-      }
-      sorted_.resize(w);
-      sorted_epochs_.resize(w);
-      retired_.fetch_add(dropped, std::memory_order_relaxed);
+      dropped = retire_sorted_locked(threshold, &victims);
     }
     for (const T& t : victims) on_retire_(t);
     return dropped;
@@ -223,16 +258,61 @@ class FlatOrderedStore final : public GammaStore<T>, public RetiringStore<T> {
     return clock_ != nullptr ? clock_->load(std::memory_order_relaxed) : 0;
   }
 
-  /// Runs fn with the staging buffer folded into the sorted run.  Fast
-  /// path: staging already empty — shared lock only.  Otherwise merge
-  /// under the exclusive lock, release, and retry under a shared lock so
-  /// the O(N) scan itself never blocks concurrent readers.
+  /// Dedup-checks t against the staging set, the sorted run and the dead
+  /// set, then stages it.  A tuple that is physically in sorted_ but
+  /// marked dead is NOT a duplicate: the staged copy becomes the live one
+  /// and the dead copy is dropped by the next anti-merge before the two
+  /// could ever meet in the same region.  Caller holds the exclusive
+  /// lock; returns true when the tuple was fresh.
+  bool insert_staged_locked(const T& t, std::int64_t e) {
+    if (staging_set_.count(t) != 0) return false;
+    if (std::binary_search(sorted_.begin(), sorted_.end(), t) &&
+        dead_.count(t) == 0) {
+      return false;
+    }
+    staging_.push_back(t);
+    if (windowed_) staging_epochs_.push_back(e);
+    staging_set_.insert(t);
+    if (staging_.size() >= staging_limit()) merge_locked();
+    return true;
+  }
+
+  /// Compacts sorted_ in place, dropping every tuple whose arrival epoch
+  /// is <= threshold; dead tuples cannot appear (merge_locked purges them
+  /// first).  Caller holds the exclusive lock and has already merged.
+  std::int64_t retire_sorted_locked(std::int64_t threshold,
+                                    std::vector<T>* victims) {
+    std::int64_t dropped = 0;
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < sorted_.size(); ++r) {
+      if (sorted_epochs_[r] <= threshold) {
+        ++dropped;
+        if (on_retire_) victims->push_back(std::move(sorted_[r]));
+      } else {
+        if (w != r) {
+          sorted_[w] = std::move(sorted_[r]);
+          sorted_epochs_[w] = sorted_epochs_[r];
+        }
+        ++w;
+      }
+    }
+    sorted_.resize(w);
+    sorted_epochs_.resize(w);
+    retired_.fetch_add(dropped, std::memory_order_relaxed);
+    return dropped;
+  }
+
+  /// Runs fn with the staging buffer folded into the sorted run and the
+  /// dead set purged.  Fast path: nothing pending — shared lock only.
+  /// Otherwise merge under the exclusive lock, release, and retry under
+  /// a shared lock so the O(N) scan itself never blocks concurrent
+  /// readers.
   template <typename Fn>
   void with_merged(Fn&& fn) const {
     for (;;) {
       {
         std::shared_lock lk(mu_);
-        if (staging_.empty()) {
+        if (staging_.empty() && dead_.empty()) {
           fn();
           return;
         }
@@ -242,11 +322,28 @@ class FlatOrderedStore final : public GammaStore<T>, public RetiringStore<T> {
     }
   }
 
-  /// Sorts the staging buffer and merges it into the sorted run from the
+  /// The anti-merge: compacts dead tuples out of the sorted run, then
+  /// sorts the staging buffer and merges it into the sorted run from the
   /// back (no extra allocation beyond the resize).  Caller holds the
-  /// exclusive lock.  Cross-region duplicates cannot exist — insert
-  /// rejects them — so the merge needs no dedup pass.
+  /// exclusive lock.  Cross-region duplicates cannot exist once the dead
+  /// are purged — insert rejects live duplicates and a re-inserted dead
+  /// tuple's stale copy is removed here before the staged copy lands —
+  /// so the merge needs no dedup pass.
   void merge_locked() const {
+    if (!dead_.empty()) {
+      std::size_t w = 0;
+      for (std::size_t r = 0; r < sorted_.size(); ++r) {
+        if (dead_.count(sorted_[r]) != 0) continue;
+        if (w != r) {
+          sorted_[w] = std::move(sorted_[r]);
+          if (windowed_) sorted_epochs_[w] = sorted_epochs_[r];
+        }
+        ++w;
+      }
+      sorted_.resize(w);
+      if (windowed_) sorted_epochs_.resize(w);
+      dead_.clear();
+    }
     const std::size_t m = staging_.size();
     if (m == 0) return;
     if (windowed_) {
@@ -295,8 +392,13 @@ class FlatOrderedStore final : public GammaStore<T>, public RetiringStore<T> {
   mutable std::vector<T> staging_;
   mutable std::vector<std::int64_t> staging_epochs_;  // windowed only
   mutable std::unordered_set<T, Hash> staging_set_;
+  // Erased-but-unpurged tuples still physically present in sorted_; every
+  // read path subtracts them until the next merge compacts them away.
+  mutable std::unordered_set<T, Hash> dead_{8, hash_};
   const std::atomic<std::int64_t>* clock_ = nullptr;
   const bool windowed_ = false;
+  const std::int64_t keep_ = 0;
+  std::int64_t max_epoch_ = std::numeric_limits<std::int64_t>::min() / 2;
   std::int64_t retired_through_ = std::numeric_limits<std::int64_t>::min() / 2;
   std::function<void(const T&)> on_retire_;
   mutable std::atomic<std::int64_t> merges_{0};
@@ -314,39 +416,71 @@ class FlatHashStore final : public GammaStore<T> {
 
   bool insert(const T& t) override {
     std::unique_lock lk(mu_);
-    // Grow at 3/4 load so linear probes stay short.
-    if ((count_ + 1) * 4 > slots_.size() * 3) grow_to(slots_.size() * 2);
-    const std::size_t i = probe(t);
-    if (used_[i] != 0) return false;
-    slots_[i] = t;
-    used_[i] = 1;
+    // Grow (or rebuild in place, purging tombstones) at 3/4 occupancy so
+    // linear probes stay short even after heavy churn: tombstones extend
+    // probe chains exactly like live slots do.
+    if ((count_ + tombstones_ + 1) * 4 > slots_.size() * 3) {
+      grow_to((count_ + 1) * 4 > slots_.size() * 3 ? slots_.size() * 2
+                                                   : slots_.size());
+    }
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash_(t) & mask;
+    std::size_t spot = kNpos;  // first tombstone on the chain, reusable
+    while (used_[i] != kEmpty) {
+      if (used_[i] == kUsed && slots_[i] == t) return false;
+      if (used_[i] == kTomb && spot == kNpos) spot = i;
+      i = (i + 1) & mask;
+    }
+    if (spot == kNpos) {
+      spot = i;
+    } else {
+      --tombstones_;
+    }
+    slots_[spot] = t;
+    used_[spot] = kUsed;
     ++count_;
     return true;
   }
 
   bool contains(const T& t) const override {
     std::shared_lock lk(mu_);
-    return used_[probe(t)] != 0;
+    return find(t) != kNpos;
   }
+
+  /// Retraction support: the slot becomes a tombstone — probe chains for
+  /// other tuples that ran through it stay intact — and is reclaimed by
+  /// a later insert on the same chain or by the next rebuild.
+  bool erase(const T& t) override {
+    std::unique_lock lk(mu_);
+    const std::size_t i = find(t);
+    if (i == kNpos) return false;
+    slots_[i] = T{};
+    used_[i] = kTomb;
+    --count_;
+    ++tombstones_;
+    return true;
+  }
+
+  bool erasable() const override { return true; }
 
   void scan(const std::function<void(const T&)>& fn) const override {
     std::shared_lock lk(mu_);
     for (std::size_t i = 0; i < slots_.size(); ++i) {
-      if (used_[i] != 0) fn(slots_[i]);
+      if (used_[i] == kUsed) fn(slots_[i]);
     }
   }
 
   /// Chunked pushdown: emits each maximal run of occupied slots as one
-  /// contiguous span.
+  /// contiguous span (tombstones break runs like empty slots do).
   void scan_chunks(const std::function<void(const T*, std::size_t)>& fn)
       const override {
     std::shared_lock lk(mu_);
     std::size_t i = 0;
     const std::size_t n = slots_.size();
     while (i < n) {
-      while (i < n && used_[i] == 0) ++i;
+      while (i < n && used_[i] != kUsed) ++i;
       std::size_t j = i;
-      while (j < n && used_[j] != 0) ++j;
+      while (j < n && used_[j] == kUsed) ++j;
       if (j > i) fn(slots_.data() + i, j - i);
       i = j;
     }
@@ -367,26 +501,44 @@ class FlatHashStore final : public GammaStore<T> {
     return slots_.size();
   }
 
- private:
-  /// Index of t if present, else of the empty slot where it would go.
-  /// The load-factor bound guarantees an empty slot exists.
-  std::size_t probe(const T& t) const {
-    const std::size_t mask = slots_.size() - 1;
-    std::size_t i = hash_(t) & mask;
-    while (used_[i] != 0 && !(slots_[i] == t)) i = (i + 1) & mask;
-    return i;
+  /// Erased-but-unreclaimed slots (tests).
+  std::size_t tombstones() const {
+    std::shared_lock lk(mu_);
+    return tombstones_;
   }
 
+ private:
+  static constexpr std::uint8_t kEmpty = 0, kUsed = 1, kTomb = 2;
+  static constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+
+  /// Index of t's occupied slot, or kNpos.  The search must run past
+  /// tombstones: t may live beyond one left by an erased chain member.
+  /// The load-factor bound guarantees an empty terminator exists.
+  std::size_t find(const T& t) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash_(t) & mask;
+    while (used_[i] != kEmpty) {
+      if (used_[i] == kUsed && slots_[i] == t) return i;
+      i = (i + 1) & mask;
+    }
+    return kNpos;
+  }
+
+  /// Rehashes live slots into a capacity-`cap` array; tombstones vanish
+  /// (cap may equal the current capacity — a pure tombstone purge).
   void grow_to(std::size_t cap) {
     std::vector<T> old_slots = std::move(slots_);
     std::vector<std::uint8_t> old_used = std::move(used_);
     slots_ = std::vector<T>(cap);
     used_.assign(cap, 0);
+    tombstones_ = 0;
+    const std::size_t mask = cap - 1;
     for (std::size_t i = 0; i < old_slots.size(); ++i) {
-      if (old_used[i] == 0) continue;
-      const std::size_t j = probe(old_slots[i]);
+      if (old_used[i] != kUsed) continue;
+      std::size_t j = hash_(old_slots[i]) & mask;
+      while (used_[j] != kEmpty) j = (j + 1) & mask;
       slots_[j] = std::move(old_slots[i]);
-      used_[j] = 1;
+      used_[j] = kUsed;
     }
   }
 
@@ -395,6 +547,7 @@ class FlatHashStore final : public GammaStore<T> {
   std::vector<T> slots_;
   std::vector<std::uint8_t> used_;
   std::size_t count_ = 0;
+  std::size_t tombstones_ = 0;
 };
 
 }  // namespace jstar

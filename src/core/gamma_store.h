@@ -101,6 +101,18 @@ class GammaStore : public GammaStoreBase {
   /// True when scan_chunks delivers genuinely contiguous multi-tuple
   /// spans — Table<T> then routes its scans through the chunked path.
   virtual bool chunked() const { return false; }
+  /// Erase/tombstone contract (retractions, ROADMAP item 4): removes `t`
+  /// if present; returns true exactly when a stored tuple was removed.
+  /// After erase(t) returns true, contains(t) is false and no scan (plain,
+  /// range, or chunked) may deliver t again — substrates that defer
+  /// physical removal (flat anti-merge dead sets, open-addressing
+  /// tombstones, columnar compaction) must hide the tuple immediately.
+  /// Stores that cannot erase keep the default and report !erasable();
+  /// Table<T> refuses counted()/retract() on top of those.
+  virtual bool erase(const T&) { return false; }
+  /// True when erase() actually removes tuples (NullStore and custom
+  /// insert-only stores say false).
+  virtual bool erasable() const { return false; }
 };
 
 /// Sequential ordered store — the Java TreeSet default.
@@ -123,6 +135,8 @@ class TreeSetStore final : public GammaStore<T> {
     for (auto it = set_.lower_bound(lo); it != set_.end(); ++it) fn(*it);
   }
   bool ordered() const override { return true; }
+  bool erase(const T& t) override { return set_.erase(t) != 0; }
+  bool erasable() const override { return true; }
   std::size_t size() const override { return set_.size(); }
   std::string describe() const override { return "tree-set"; }
 
@@ -149,6 +163,8 @@ class SkipListStore final : public GammaStore<T> {
     set_.for_each_from(lo, fn);
   }
   bool ordered() const override { return true; }
+  bool erase(const T& t) override { return set_.erase(t); }
+  bool erasable() const override { return true; }
   std::size_t size() const override { return set_.size(); }
   std::string describe() const override { return "skip-list"; }
 
@@ -166,6 +182,8 @@ class HashSetStore final : public GammaStore<T> {
   void scan(const std::function<void(const T&)>& fn) const override {
     for (const T& t : set_) fn(t);
   }
+  bool erase(const T& t) override { return set_.erase(t) != 0; }
+  bool erasable() const override { return true; }
   std::size_t size() const override { return set_.size(); }
   std::string describe() const override { return "hash-set"; }
 
@@ -196,6 +214,8 @@ class StripedHashStore final : public GammaStore<T> {
   void scan(const std::function<void(const T&)>& fn) const override {
     set_.for_each(fn);
   }
+  bool erase(const T& t) override { return set_.erase(t); }
+  bool erasable() const override { return true; }
   std::size_t size() const override { return set_.size(); }
   /// The stripe count actually chosen (after power-of-two rounding),
   /// surfaced through describe() into run logs.

@@ -35,6 +35,13 @@ struct TableStats {
   std::atomic<std::int64_t> columnar_kernels{0};   // queries served by kernels
   std::atomic<std::int64_t> columnar_rows{0};      // rows the kernels swept
   std::atomic<std::int64_t> columnar_selected{0};  // ...the masks selected
+  // --- retractions & upserts (counted tables, ROADMAP item 4) ---
+  std::atomic<std::int64_t> retracts{0};        // retract deltas processed
+  std::atomic<std::int64_t> gamma_erased{0};    // tuples removed from Gamma
+  std::atomic<std::int64_t> retract_debts{0};   // retract-before-insert debts
+  std::atomic<std::int64_t> annihilated{0};     // inserts cancelled by debt
+  std::atomic<std::int64_t> upserts{0};         // upsert deltas processed
+  std::atomic<std::int64_t> upsert_replaced{0}; // ...that displaced a tuple
 
   void reset() {
     puts = 0;
@@ -58,6 +65,12 @@ struct TableStats {
     columnar_kernels = 0;
     columnar_rows = 0;
     columnar_selected = 0;
+    retracts = 0;
+    gamma_erased = 0;
+    retract_debts = 0;
+    annihilated = 0;
+    upserts = 0;
+    upsert_replaced = 0;
   }
 };
 

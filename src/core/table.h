@@ -23,6 +23,7 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <type_traits>
@@ -85,9 +86,9 @@ class EdgeMatrix {
 class RuleCtx {
  public:
   RuleCtx(DeltaKey now, int from_table, EdgeMatrix* edges,
-          std::int64_t epoch = 0)
+          std::int64_t epoch = 0, int sign = +1)
       : now_(std::move(now)), from_table_(from_table), edges_(edges),
-        epoch_(epoch) {}
+        epoch_(epoch), sign_(sign) {}
 
   /// The causality timestamp the rule is executing at.
   const DeltaKey& now() const { return now_; }
@@ -100,12 +101,19 @@ class RuleCtx {
   /// mail and stream ingestion enter as initial puts between runs, so an
   /// epoch's keys never compare against a previous epoch's.
   std::int64_t epoch() const { return epoch_; }
+  /// +1 when the rule re-runs for an inserted trigger, -1 for a retracted
+  /// one (delta-correct recomputation: the same rule body is replayed and
+  /// every put it makes is multiplied by this sign, so the downstream
+  /// facts a retracted trigger once derived are retracted in turn).
+  int sign() const { return sign_; }
+  bool retraction() const { return sign_ < 0; }
 
  private:
   DeltaKey now_;
   int from_table_;
   EdgeMatrix* edges_;
   std::int64_t epoch_;
+  int sign_;
 };
 
 // ---------------------------------------------------------------------------
@@ -218,12 +226,12 @@ class TableDecl {
     static_assert(sizeof...(Ms) >= 1, "columns() needs at least one field");
     preset_ = StorePreset::Columnar;
     columnar_factory_ = [members...](const std::atomic<std::int64_t>* clock,
-                                     bool windowed,
+                                     std::int64_t keep,
                                      std::function<std::size_t(const T&)> h)
         -> std::unique_ptr<GammaStore<T>> {
-      if (windowed) {
+      if (keep >= 1) {
         return std::make_unique<ColumnStore<T, FnHash<T>, Ms T::*...>>(
-            clock, FnHash<T>{std::move(h)}, members...);
+            clock, keep, FnHash<T>{std::move(h)}, members...);
       }
       return std::make_unique<ColumnStore<T, FnHash<T>, Ms T::*...>>(
           FnHash<T>{std::move(h)}, members...);
@@ -268,6 +276,35 @@ class TableDecl {
     return *this;
   }
 
+  /// Opts the table into counted (multiset) Gamma semantics, the
+  /// prerequisite for Table::retract / Table::upsert (ROADMAP item 4).
+  /// Each tuple carries an insertion multiplicity — the signed sum of
+  /// its puts and retracts — and is present iff the count is >= 1.
+  /// Rules fire exactly on presence transitions: once with sign +1 when
+  /// the count first goes positive, once with sign -1 when it returns to
+  /// zero, and the rule's own puts inherit the trigger's sign — so a
+  /// retraction re-derives exactly the affected downstream cone.  Counts
+  /// are commutative, which is what keeps sequential, BSP and async
+  /// sharded execution confluent under interleaved insert/retract
+  /// schedules.  A retract arriving before its insert records a debt
+  /// (count -1) that annihilates the later insert.  Must be declared up
+  /// front: enabling counting after tuples exist would miscount them.
+  /// Incompatible with -noGamma, -noDelta and retain_epochs; the
+  /// configured store must support erase() (every built-in substrate
+  /// does).
+  TableDecl& counted() {
+    counted_ = true;
+    return *this;
+  }
+
+  /// External side effect executed once per tuple when a retraction
+  /// removes it from Gamma (the counterpart of effect() for the -1
+  /// transition).  Requires counted().
+  TableDecl& retract_effect(std::function<void(const T&)> e) {
+    retract_effect_ = std::move(e);
+    return *this;
+  }
+
   const std::string& name() const { return name_; }
 
  private:
@@ -276,10 +313,10 @@ class TableDecl {
 
   enum class LevelKind { Lit, Seq, Par };
   enum class StorePreset { None, FlatOrdered, FlatHash, Columnar };
-  /// Built by columns(): configure() calls it with the engine clock (for
-  /// retain(N) windows) and the table's hash.
+  /// Built by columns(): configure() calls it with the engine clock, the
+  /// retain(N) window width (0 when unwindowed), and the table's hash.
   using ColumnarFactory = std::function<std::unique_ptr<GammaStore<T>>(
-      const std::atomic<std::int64_t>*, bool,
+      const std::atomic<std::int64_t>*, std::int64_t,
       std::function<std::size_t(const T&)>)>;
   struct Level {
     LevelKind kind;
@@ -297,9 +334,11 @@ class TableDecl {
   StorePreset preset_ = StorePreset::None;  // flat/columnar presets
   ColumnarFactory columnar_factory_;        // set by columns()
   std::function<void(const T&)> effect_;
+  std::function<void(const T&)> retract_effect_;
   std::function<std::int64_t(const T&)> retain_epoch_of_;  // lifetime hint
   std::int64_t retain_keep_ = 0;                           // 0 = retain all
   std::int64_t retain_engine_keep_ = 0;  // retain(N): engine-epoch window
+  bool counted_ = false;  // multiset Gamma: retract/upsert enabled
 };
 
 // ---------------------------------------------------------------------------
@@ -390,25 +429,65 @@ class Table final : public TableBase {
   // --- program-facing API --------------------------------------------------
 
   /// Puts a tuple from within a rule.  Enforces the law of causality: the
-  /// new tuple's timestamp must be >= the trigger's timestamp.
+  /// new tuple's timestamp must be >= the trigger's timestamp.  Inside a
+  /// retraction cascade (ctx.retraction()) the put is sign-flipped into a
+  /// retract, so an unchanged rule body re-derives its conclusions with
+  /// the trigger's sign — the heart of delta-correct recomputation.
   void put(RuleCtx& ctx, const T& t) {
     stats_.puts.fetch_add(1, std::memory_order_relaxed);
-    DeltaKey k = key_of(t);
-    if (env_.causality_checks && !ctx.initial()) {
-      if ((k <=> ctx.now()) == std::strong_ordering::less) {
-        throw CausalityViolation(
-            "rule fired at " + jstar::to_string(ctx.now()) +
-            " put a tuple into the past at " + jstar::to_string(k) +
-            " of table " + name_);
-      }
-    }
-    if (ctx.edges() != nullptr) ctx.edges()->record(ctx.from_table(), id_);
-    if (no_delta_) {
-      deliver_now(k, t);
-    } else {
-      enqueue_delta(k, t);
-    }
+    put_signed(ctx, t, ctx.sign());
   }
+
+  /// Retracts a tuple: its multiplicity drops by one, and when the count
+  /// returns to zero the tuple leaves Gamma, its secondary indexes and
+  /// its pk slot, and rules re-fire with sign -1 so downstream
+  /// derivations are retracted in turn.  Requires TableDecl::counted().
+  /// A retract with no matching insert records a debt (count -1) that
+  /// annihilates the insert when (if) it arrives — that commutativity is
+  /// what keeps sharded modes confluent.  Inside a retraction cascade the
+  /// sign flips back: retracting a retraction re-inserts.
+  void retract(RuleCtx& ctx, const T& t) {
+    stats_.retracts.fetch_add(1, std::memory_order_relaxed);
+    put_signed(ctx, t, -ctx.sign());
+  }
+
+  /// Keyed overwrite: "make the row for t's primary key be exactly t".
+  /// If a different tuple holds the key at processing time it is
+  /// force-retracted (count to zero regardless of multiplicity, firing
+  /// the -1 cascade) before t is inserted with count 1; if t itself is
+  /// already the key's row this is a no-op.  Requires counted() and a
+  /// primary_key.  Ill-defined inside a retraction cascade — checked.
+  void upsert(RuleCtx& ctx, const T& t) {
+    JSTAR_CHECK_MSG(!ctx.retraction(),
+                    "upsert into '" + name_ + "' from a retraction cascade");
+    stats_.upserts.fetch_add(1, std::memory_order_relaxed);
+    put_signed(ctx, t, kUpsertSign);
+  }
+
+  /// Engine-internal seam for signed deltas arriving from outside rule
+  /// bodies (Engine::retract/upsert, the sharded fabric's signed mail
+  /// lane, stream retraction envelopes): the retract/upsert analogue of
+  /// the initial-put path.  `sign` is +1 (insert), a negative count
+  /// (retract), or kUpsertSign.
+  void seed_signed(const T& t, std::int32_t sign) {
+    if (sign == kUpsertSign) {
+      stats_.upserts.fetch_add(1, std::memory_order_relaxed);
+    } else if (sign < 0) {
+      stats_.retracts.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats_.puts.fetch_add(1, std::memory_order_relaxed);
+    }
+    check_signed_ok(sign);
+    enqueue_delta(key_of(t), t, sign);
+  }
+
+  /// Sentinel sign marking an upsert delta in batches and signed mail
+  /// (never combined with counted multiplicities).
+  static constexpr std::int32_t kUpsertSign =
+      std::numeric_limits<std::int32_t>::min();
+
+  /// Whether this table runs counted (multiset) Gamma semantics.
+  bool counted() const { return decl_.counted_; }
 
   /// The tuple's causality timestamp per the orderby list.
   DeltaKey key_of(const T& t) const {
@@ -788,6 +867,24 @@ class Table final : public TableBase {
         "table '" + name_ +
             "' combines a flat-store preset with retain_epochs — "
             "tuple-carried windows need the epoch-bucketed store");
+    if (decl_.counted_) {
+      JSTAR_CHECK_MSG(!no_gamma, "counted table '" + name_ +
+                                     "' cannot run -noGamma (nothing to "
+                                     "retract from)");
+      JSTAR_CHECK_MSG(!no_delta, "counted table '" + name_ +
+                                     "' cannot run -noDelta (signed deltas "
+                                     "need batch combining)");
+      JSTAR_CHECK_MSG(decl_.retain_keep_ < 1,
+                      "counted table '" + name_ +
+                          "' cannot use retain_epochs — tuple-carried "
+                          "windows retire mid-run; use retain(N)");
+      if (count_shards_.empty()) {
+        count_shards_.reserve(kCountShards);
+        for (std::size_t i = 0; i < kCountShards; ++i) {
+          count_shards_.push_back(std::make_unique<CountShard>(this));
+        }
+      }
+    }
     window_store_ = nullptr;
     retiring_store_ = nullptr;
     tuple_epoch_window_ = false;
@@ -797,9 +894,12 @@ class Table final : public TableBase {
                decl_.preset_ == TableDecl<T>::StorePreset::FlatOrdered) {
       // retain(N) over the flat substrate: tuples are tagged with the
       // engine epoch clock on arrival and begin_epoch() compacts the
-      // arrays in place (see retire_epochs below).
+      // arrays in place (see retire_epochs below).  Passing the window
+      // width also arms insert-driven retirement, so straggler semantics
+      // match the bucketed EpochWindowStore even when the clock advances
+      // without a begin_epoch() sweep.
       auto owned = std::make_unique<FlatOrderedStore<T, FnHash<T>>>(
-          env.epoch, FnHash<T>{decl_.hash_});
+          env.epoch, FnHash<T>{decl_.hash_}, decl_.retain_engine_keep_);
       window_store_ = owned.get();
       retiring_store_ = owned.get();
       store_ = std::move(owned);
@@ -807,7 +907,8 @@ class Table final : public TableBase {
       // columns(...): the SoA substrate; with retain(N) it epoch-tags
       // rows and compacts every column in place at epoch boundaries.
       const bool windowed = decl_.retain_engine_keep_ >= 1;
-      auto owned = decl_.columnar_factory_(env.epoch, windowed, decl_.hash_);
+      auto owned = decl_.columnar_factory_(
+          env.epoch, decl_.retain_engine_keep_, decl_.hash_);
       if (windowed) {
         auto* retiring = dynamic_cast<RetiringStore<T>*>(owned.get());
         window_store_ = retiring;
@@ -854,6 +955,9 @@ class Table final : public TableBase {
     // Kernel interface, when the configured store exposes one (the
     // columnar preset, or a store_factory returning a ColumnStore).
     columnar_ops_ = dynamic_cast<ColumnarOps<T>*>(store_.get());
+    JSTAR_CHECK_MSG(!decl_.counted_ || store_->erasable(),
+                    "counted table '" + name_ + "': store '" +
+                        store_->describe() + "' cannot erase tuples");
     // Epoch-aware index maintenance: whatever the window retires is swept
     // from the secondary indexes too, so "indexes never forget" is no
     // longer true — routed and scanned queries see the same live set.
@@ -878,10 +982,22 @@ class Table final : public TableBase {
                           std::vector<std::uint8_t>& keep) override {
     auto& bv = static_cast<BatchVec&>(slice);
     const std::int64_t n = static_cast<std::int64_t>(bv.items.size());
-    keep.assign(static_cast<std::size_t>(n), 0);
+    keep.assign(static_cast<std::size_t>(n), kKeepNone);
+    if (decl_.counted_) bv.displaced.resize(bv.items.size());
     auto insert_one = [&](std::int64_t i) {
-      keep[static_cast<std::size_t>(i)] =
-          insert_gamma(bv.items[static_cast<std::size_t>(i)]) ? 1 : 0;
+      const auto u = static_cast<std::size_t>(i);
+      if (!decl_.counted_) {
+        keep[u] = insert_gamma(bv.items[u]) ? kKeepInsert : kKeepNone;
+        return;
+      }
+      const std::int32_t s = bv.sign[u];
+      if (s == kUpsertSign) {
+        keep[u] = upsert_gamma(bv.items[u], &bv.displaced[u]);
+      } else if (s != 0) {
+        // s == 0 means the tuple's inserts and retracts annihilated
+        // inside the batch — no Gamma mutation, no firing.
+        keep[u] = counted_apply(bv.items[u], s);
+      }
     };
     if (env_.pool != nullptr && n > 1) {
       env_.pool->for_each_index(n, insert_one);
@@ -895,10 +1011,14 @@ class Table final : public TableBase {
                         const DeltaKey& key) override {
     auto& bv = static_cast<BatchVec&>(slice);
     const std::int64_t n = static_cast<std::int64_t>(bv.items.size());
-    if (env_.pool != nullptr && env_.task_per_rule && rules_.size() > 1) {
+    if (env_.pool != nullptr && env_.task_per_rule && rules_.size() > 1 &&
+        !decl_.counted_) {
       // §5.2 fine-grained strategy: one task per (tuple, rule) pair.
       // Effects run in the rule-0 task so they still happen exactly once
-      // per tuple.
+      // per tuple.  Counted tables skip this strategy: an upsert fires
+      // two cascades per item (displaced then replacement), which the
+      // flat (tuple, rule) indexing cannot express — they use the
+      // per-tuple tasks below instead.
       const auto rules = static_cast<std::int64_t>(rules_.size());
       env_.pool->for_each_index(
           n * rules,
@@ -916,8 +1036,24 @@ class Table final : public TableBase {
       return;
     }
     auto fire_one = [&](std::int64_t i) {
-      if (!keep[static_cast<std::size_t>(i)]) return;
-      fire_tuple(key, bv.items[static_cast<std::size_t>(i)]);
+      const auto u = static_cast<std::size_t>(i);
+      switch (keep[u]) {
+        case kKeepInsert:
+          fire_tuple(key, bv.items[u]);
+          break;
+        case kKeepRetract:
+          fire_tuple(key, bv.items[u], -1);
+          break;
+        case kKeepUpsert:
+          // The displaced tuple's downstream cone is retracted before
+          // the replacement's is derived, both at this batch's
+          // timestamp.
+          fire_tuple(key, bv.displaced[u], -1);
+          fire_tuple(key, bv.items[u]);
+          break;
+        default:
+          break;
+      }
     };
     if (env_.pool != nullptr && n > 1) {
       // The paper's strategy: one fork/join task per minimal tuple (§5).
@@ -944,7 +1080,16 @@ class Table final : public TableBase {
     explicit BatchVec(const Table* table)
         : seen(8, HashAdapter{table}) {}
     std::vector<T> items;
-    std::unordered_set<T, HashAdapter> seen;
+    // Net signed multiplicity per item (parallel to items).  Counted
+    // tables accumulate the +1/-1 deltas of one tuple into a single
+    // entry, so an insert and its retract meeting in the same batch
+    // annihilate before phase A even runs; kUpsertSign marks an upsert
+    // delta.  Non-counted tables only ever hold +1.  `displaced` is
+    // sized by phase A when the batch carries upserts: slot i receives
+    // the tuple upsert i displaced, for phase B's retraction cascade.
+    std::vector<std::int32_t> sign;
+    std::vector<T> displaced;
+    std::unordered_map<T, std::size_t, HashAdapter> seen;  // tuple -> index
     std::size_t count() const override { return items.size(); }
   };
 
@@ -1051,7 +1196,39 @@ class Table final : public TableBase {
     }
   };
 
-  void enqueue_delta(const DeltaKey& k, const T& t) {
+  /// Shared body of put/retract/upsert: causality check, dataflow edge,
+  /// and routing of the signed delta.
+  void put_signed(RuleCtx& ctx, const T& t, std::int32_t sign) {
+    check_signed_ok(sign);
+    DeltaKey k = key_of(t);
+    if (env_.causality_checks && !ctx.initial()) {
+      if ((k <=> ctx.now()) == std::strong_ordering::less) {
+        throw CausalityViolation(
+            "rule fired at " + jstar::to_string(ctx.now()) +
+            " put a tuple into the past at " + jstar::to_string(k) +
+            " of table " + name_);
+      }
+    }
+    if (ctx.edges() != nullptr) ctx.edges()->record(ctx.from_table(), id_);
+    if (no_delta_) {
+      // Counted tables reject -noDelta at configure time, so only +1
+      // deltas can reach the inline path.
+      deliver_now(k, t);
+    } else {
+      enqueue_delta(k, t, sign);
+    }
+  }
+
+  void check_signed_ok(std::int32_t sign) const {
+    JSTAR_CHECK_MSG(
+        sign == 1 || decl_.counted_,
+        "table '" + name_ + "' received a signed delta (retract/upsert or "
+        "a retraction cascade) but is not declared counted()");
+    JSTAR_CHECK_MSG(sign != kUpsertSign || static_cast<bool>(decl_.pk_),
+                    "upsert into '" + name_ + "' needs a primary key");
+  }
+
+  void enqueue_delta(const DeltaKey& k, const T& t, std::int32_t sign = 1) {
     BatchNode& node = env_.delta->get_or_insert(k);
     std::lock_guard<std::mutex> lk(node.mu);
     if (node.per_table.size() <= static_cast<std::size_t>(id_)) {
@@ -1060,12 +1237,30 @@ class Table final : public TableBase {
     auto& slot = node.per_table[static_cast<std::size_t>(id_)];
     if (!slot) slot = std::make_unique<BatchVec>(this);
     auto& bv = static_cast<BatchVec&>(*slot);
-    if (bv.seen.insert(t).second) {
+    const auto [it, fresh] = bv.seen.emplace(t, bv.items.size());
+    if (fresh) {
       bv.items.push_back(t);
+      bv.sign.push_back(sign);
       stats_.delta_inserts.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      stats_.delta_dups.fetch_add(1, std::memory_order_relaxed);
+      return;
     }
+    std::int32_t& s = bv.sign[it->second];
+    if (decl_.counted_ && sign != kUpsertSign && s != kUpsertSign) {
+      // Counted tables accumulate signed multiplicity instead of
+      // deduping: an insert and a retract of the same tuple meeting in
+      // one batch net to zero and phase A skips the tuple entirely.
+      s += sign;
+      stats_.delta_inserts.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (decl_.counted_ && sign == kUpsertSign) {
+      // An upsert supersedes this batch's earlier counted deltas for the
+      // same tuple — it forces the key's row (and count) anyway.
+      s = kUpsertSign;
+      stats_.delta_inserts.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    stats_.delta_dups.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// -noDelta path (§5.1): straight into Gamma, fire rules inline.
@@ -1142,6 +1337,163 @@ class Table final : public TableBase {
     for (const auto& idx : indexes_) idx->insert(t);
   }
 
+  // --- counted (multiset) Gamma: retract/upsert machinery ------------------
+
+  // Phase-A keep codes (per batch item), consumed by batch_fire_phase.
+  static constexpr std::uint8_t kKeepNone = 0;     // no presence transition
+  static constexpr std::uint8_t kKeepInsert = 1;   // became present: sign +1
+  static constexpr std::uint8_t kKeepRetract = 2;  // left Gamma: sign -1
+  static constexpr std::uint8_t kKeepUpsert = 3;   // displaced + inserted
+
+  /// The side count map holds a tuple's multiplicity ONLY when it is
+  /// interesting: >= 2 (stored, with spare multiplicity) or <= -1 (a
+  /// retract-before-insert debt).  Count 1 is represented by store
+  /// membership alone and count 0 by absence, so insert-only workloads
+  /// never touch the map and its size is bounded by the number of
+  /// over-inserted or indebted tuples, not by the table.  Batch items
+  /// are distinct (the seen map dedups), so per-tuple transitions never
+  /// race even under parallel phase A; the shard mutex only guards map
+  /// structure against different tuples sharing a shard.
+  struct CountShard {
+    explicit CountShard(const Table* t) : map(8, HashAdapter{t}) {}
+    std::mutex mu;
+    std::unordered_map<T, std::int64_t, HashAdapter> map;
+  };
+  static constexpr std::size_t kCountShards = 16;
+
+  CountShard& count_shard(const T& t) const {
+    return *count_shards_[decl_.hash_(t) % kCountShards];
+  }
+
+  std::int64_t load_count(const T& t) const {
+    {
+      CountShard& s = count_shard(t);
+      std::lock_guard<std::mutex> lk(s.mu);
+      const auto it = s.map.find(t);
+      if (it != s.map.end()) return it->second;
+    }
+    return store_->contains(t) ? 1 : 0;
+  }
+
+  void store_count(const T& t, std::int64_t c) {
+    CountShard& s = count_shard(t);
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (c == 0 || c == 1) {
+      s.map.erase(t);
+    } else {
+      s.map[t] = c;
+    }
+  }
+
+  void clear_count(const T& t) {
+    CountShard& s = count_shard(t);
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.map.erase(t);
+  }
+
+  /// Applies a net signed multiplicity to one tuple and performs whatever
+  /// Gamma/pk/index mutation its presence transition demands.  Returns
+  /// the phase-B keep code.
+  std::uint8_t counted_apply(const T& t, std::int64_t s) {
+    const std::int64_t before = load_count(t);
+    const std::int64_t after = before + s;
+    if (s > 0) {
+      if (before <= 0 && after >= 1) {
+        // 0 (or a debt) -> positive: the tuple becomes present.
+        if (!insert_gamma(t)) {
+          // A pk conflict blocks presence entirely; the insert is
+          // dropped rather than banking multiplicity for a tuple the
+          // invariant rejects, and any debt stays on the books.
+          return kKeepNone;
+        }
+        if (before < 0) {
+          stats_.annihilated.fetch_add(-before, std::memory_order_relaxed);
+        }
+        store_count(t, after);
+        return kKeepInsert;
+      }
+      if (after <= 0) {
+        // Fully consumed by an outstanding debt: no firing.
+        stats_.annihilated.fetch_add(s, std::memory_order_relaxed);
+        store_count(t, after);
+        return kKeepNone;
+      }
+      // Present and stays present: pure multiplicity growth.
+      stats_.gamma_dups.fetch_add(s, std::memory_order_relaxed);
+      store_count(t, after);
+      return kKeepNone;
+    }
+    // s < 0: retraction.
+    if (before >= 1 && after <= 0) {
+      gamma_remove(t);
+      store_count(t, after);  // after <= -1 keeps the residue as debt
+      if (after < 0) {
+        stats_.retract_debts.fetch_add(-after, std::memory_order_relaxed);
+      }
+      has_retracted_.store(true, std::memory_order_relaxed);
+      return kKeepRetract;
+    }
+    if (before >= 1) {
+      // Stays present: multiplicity shrinks.
+      store_count(t, after);
+      return kKeepNone;
+    }
+    // Absent: the retract arrived before its insert — record a debt.
+    stats_.retract_debts.fetch_add(-s, std::memory_order_relaxed);
+    store_count(t, after);
+    return kKeepNone;
+  }
+
+  /// Resolves an upsert at processing time against the live pk index.
+  /// Any displaced tuple is written into *displaced for phase B's
+  /// retraction cascade.
+  std::uint8_t upsert_gamma(const T& t, T* displaced) {
+    const std::int64_t pk = decl_.pk_(t);
+    const std::optional<T> existing = peek_pk(pk);
+    if (existing && *existing == t) {
+      stats_.gamma_dups.fetch_add(1, std::memory_order_relaxed);
+      return kKeepNone;
+    }
+    if (existing) {
+      // Force the incumbent out entirely, whatever its multiplicity: an
+      // upsert is a statement about the key's current row, not a
+      // counted delta.
+      clear_count(*existing);
+      gamma_remove(*existing);
+      has_retracted_.store(true, std::memory_order_relaxed);
+      stats_.upsert_replaced.fetch_add(1, std::memory_order_relaxed);
+      *displaced = *existing;
+    }
+    clear_count(t);  // wipe any debt: the key's row is now exactly t
+    const bool fresh = insert_gamma(t);
+    JSTAR_CHECK_MSG(fresh, "upsert into '" + name_ +
+                               "' failed to claim the freed pk slot");
+    return existing ? kKeepUpsert : kKeepInsert;
+  }
+
+  /// Removes a tuple that just transitioned to absent: the pk slot (only
+  /// when this tuple owns it), the store itself, and every secondary
+  /// index.  Eager index erasure keeps routed queries from resurrecting
+  /// retracted tuples; the probe-side revalidation in execute_plan backs
+  /// it up for any window where an index entry is momentarily stale.
+  void gamma_remove(const T& t) {
+    if (has_pk_) {
+      const std::int64_t pk = decl_.pk_(t);
+      const std::optional<T> existing = peek_pk(pk);
+      if (existing && *existing == t) {
+        if (env_.parallel) {
+          pk_index_par_.erase(pk);
+        } else {
+          pk_index_seq_.erase(pk);
+        }
+      }
+    }
+    if (store_->erase(t)) {
+      stats_.gamma_erased.fetch_add(1, std::memory_order_relaxed);
+    }
+    for (const auto& idx : indexes_) idx->erase(t);
+  }
+
   PlannerCatalog build_planner_catalog() const {
     PlannerCatalog cat;
     cat.pk_tag = has_pk_ ? decl_.pk_tag_ : nullptr;
@@ -1160,8 +1512,12 @@ class Table final : public TableBase {
   }
 
   /// Retention sweep hook (EpochWindowStore retire listener): drop the
-  /// retired tuple from every secondary index.
+  /// retired tuple from every secondary index.  Counted tables also
+  /// forget the tuple's multiplicity (and any debt): window retirement
+  /// erases a tuple completely, keeping count map and store in
+  /// agreement.
   void retire_from_indexes(const T& t) {
+    if (decl_.counted_ && !count_shards_.empty()) clear_count(t);
     for (const auto& idx : indexes_) {
       if (idx->erase(t)) {
         stats_.index_retired.fetch_add(1, std::memory_order_relaxed);
@@ -1200,7 +1556,13 @@ class Table final : public TableBase {
   /// against custom stores.
   void execute_plan(const QueryPlan& plan, const query::Pred<T>& pred,
                     const std::function<void(const T&)>& fn) const {
-    const bool check_live = retiring_store_ != nullptr;
+    // Probe hits must be revalidated once tuples can disappear mid-run:
+    // retention windows always could, and a counted table starts to the
+    // moment its first retraction lands (sticky flag — erasure is eager,
+    // but a racing probe may still hold a just-erased hit).
+    const bool check_live =
+        retiring_store_ != nullptr ||
+        (decl_.counted_ && has_retracted_.load(std::memory_order_relaxed));
     std::int64_t examined = 0, passed = 0;
     // Hits coming from a side structure (pk index, secondary hash index)
     // may be stale on windowed tables — the pk index is deliberately
@@ -1350,10 +1712,14 @@ class Table final : public TableBase {
                : 0;
   }
 
-  void fire_tuple(const DeltaKey& k, const T& t) {
-    if (decl_.effect_) decl_.effect_(t);
+  void fire_tuple(const DeltaKey& k, const T& t, int sign = +1) {
+    if (sign > 0) {
+      if (decl_.effect_) decl_.effect_(t);
+    } else if (decl_.retract_effect_) {
+      decl_.retract_effect_(t);
+    }
     if (rules_.empty()) return;
-    RuleCtx ctx(k, id_, env_.edges, current_epoch());
+    RuleCtx ctx(k, id_, env_.edges, current_epoch(), sign);
     for (const auto& r : rules_) {
       stats_.fires.fetch_add(1, std::memory_order_relaxed);
       r.fn(ctx, t);
@@ -1381,6 +1747,11 @@ class Table final : public TableBase {
   PlannerCatalog catalog_;  // built once by configure()
   std::vector<NamedRule> rules_;
   bool has_pk_ = false;
+  // Counted (multiset) Gamma: the side count map's shards, plus a sticky
+  // flag that arms probe revalidation once any retraction has removed a
+  // tuple (stale index/pk hits become possible from then on).
+  std::vector<std::unique_ptr<CountShard>> count_shards_;
+  std::atomic<bool> has_retracted_{false};
   // Primary-key index: one of these is active depending on strategy.
   std::unordered_map<std::int64_t, T> pk_index_seq_;
   mutable concurrent::StripedHashMap<std::int64_t, T> pk_index_par_{64};

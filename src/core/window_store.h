@@ -122,6 +122,32 @@ class EpochWindowStore final : public GammaStore<T>, public RetiringStore<T> {
     }
   }
 
+  /// Retraction support: removes `t` from whichever live bucket holds it.
+  /// Clock-epoch windows search the whole live window (mirroring insert's
+  /// dedup scope); tuple-carried epochs go straight to the tuple's bucket.
+  /// A straggler that the window already dropped simply returns false —
+  /// the tuple is gone either way.
+  bool erase(const T& t) override {
+    std::unique_lock lk(mu_);
+    if (clock_epochs_) {
+      for (auto& [epoch, bucket] : buckets_) {
+        (void)epoch;
+        if (bucket.erase(t) != 0) {
+          --size_;
+          return true;
+        }
+      }
+      return false;
+    }
+    const auto it = buckets_.find(epoch_of_(t));
+    if (it == buckets_.end() || it->second.erase(t) == 0) return false;
+    --size_;
+    if (it->second.empty()) buckets_.erase(it);
+    return true;
+  }
+
+  bool erasable() const override { return true; }
+
   std::size_t size() const override {
     std::shared_lock lk(mu_);
     return size_;

@@ -62,8 +62,20 @@ class Mailbox {
   /// One drained epoch: the deduped mail plus the raw number of pushes it
   /// collapsed from.  `credits` — not mail.size() — is what a consumer
   /// must repay to the pending counter (each raw push granted one).
+  ///
+  /// `signed_mail` is the counted-table lane: (tuple, sign) deltas whose
+  /// exact multiplicities are the payload, so this lane is NEVER sorted,
+  /// deduped, or cancelled — an insert and its own retraction travel as
+  /// two entries even though they will annihilate at the receiver.  Each
+  /// still granted one credit at push time, and `credits` covers both
+  /// lanes: a delta that cancels against its twin repays its credit like
+  /// any other, which is what keeps the Dijkstra–Scholten counter from
+  /// leaking (or double-freeing) under duplicate cancellation.
   struct Drained {
     std::vector<T> mail;        ///< sorted, deduped within the epoch
+    /// Signed deltas in arrival order; +1 insert, negative retract, or
+    /// the receiver table's upsert sentinel.  Never deduped.
+    std::vector<std::pair<T, std::int32_t>> signed_mail;
     std::int64_t credits = 0;   ///< raw pushes drained (incl. duplicates)
   };
 
@@ -80,7 +92,7 @@ class Mailbox {
     bool wake;
     {
       std::lock_guard<std::mutex> lk(mu_);
-      wake = bufs_[write_].empty();
+      wake = bufs_[write_].empty() && signed_bufs_[write_].empty();
       bufs_[write_].push_back(t);
       if (pending_ != nullptr) {
         pending_->fetch_add(1, std::memory_order_acq_rel);
@@ -106,15 +118,63 @@ class Mailbox {
     bool wake;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      if (throttle && capacity_ > 0 &&
-          static_cast<std::int64_t>(bufs_[write_].size()) >= capacity_) {
+      if (throttle && capacity_ > 0 && undrained_locked() >= capacity_) {
         throttled_.fetch_add(1, std::memory_order_relaxed);
-        space_.wait_for(lk, max_throttle_wait_, [&] {
-          return static_cast<std::int64_t>(bufs_[write_].size()) < capacity_;
-        });
+        space_.wait_for(lk, max_throttle_wait_,
+                        [&] { return undrained_locked() < capacity_; });
       }
       auto& buf = bufs_[write_];
-      wake = buf.empty();
+      wake = buf.empty() && signed_bufs_[write_].empty();
+      buf.insert(buf.end(), first, last);
+      if (pending_ != nullptr) {
+        pending_->fetch_add(n, std::memory_order_acq_rel);
+      }
+      nonempty_.store(true, std::memory_order_release);
+    }
+    if (wake) {
+      wakeups_.fetch_add(1, std::memory_order_relaxed);
+      cv_.notify_one();
+    }
+    return n;
+  }
+
+  /// Appends a signed delta to the write buffer's signed lane and grants
+  /// one credit.  No dedup at any stage — exact multiplicities are the
+  /// payload (see Drained).  Thread-safe.
+  void push_signed(const T& t, std::int32_t sign) {
+    bool wake;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      wake = bufs_[write_].empty() && signed_bufs_[write_].empty();
+      signed_bufs_[write_].emplace_back(t, sign);
+      if (pending_ != nullptr) {
+        pending_->fetch_add(1, std::memory_order_acq_rel);
+      }
+      nonempty_.store(true, std::memory_order_release);
+    }
+    if (wake) {
+      wakeups_.fetch_add(1, std::memory_order_relaxed);
+      cv_.notify_one();
+    }
+  }
+
+  /// Bulk signed append — the signed analogue of push_all().  `first`/
+  /// `last` iterate std::pair<T, std::int32_t>.  Same credit and
+  /// backpressure discipline as the unsigned lane.
+  template <typename It>
+  std::int64_t push_all_signed(It first, It last, bool throttle = true) {
+    const auto n = static_cast<std::int64_t>(std::distance(first, last));
+    if (n == 0) return 0;
+    bool wake;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (throttle && capacity_ > 0 && undrained_locked() >= capacity_) {
+        throttled_.fetch_add(1, std::memory_order_relaxed);
+        space_.wait_for(lk, max_throttle_wait_,
+                        [&] { return undrained_locked() < capacity_; });
+      }
+      auto& buf = signed_bufs_[write_];
+      wake = buf.empty() && bufs_[write_].empty();
       buf.insert(buf.end(), first, last);
       if (pending_ != nullptr) {
         pending_->fetch_add(n, std::memory_order_acq_rel);
@@ -129,8 +189,9 @@ class Mailbox {
   }
 
   /// Swap-on-drain: flips the write side under the lock (O(1)), then
-  /// takes the filled buffer after unlocking and sorts + uniques it there,
-  /// so producers are blocked by neither the hand-off nor the dedup.
+  /// takes the filled buffers after unlocking and sorts + uniques the
+  /// unsigned lane there, so producers are blocked by neither the
+  /// hand-off nor the dedup.  The signed lane is handed over verbatim.
   /// Single consumer only.  Counts one poll always and one drain (epoch)
   /// only when mail actually moved; wakes producers throttled on a full
   /// box.
@@ -147,9 +208,17 @@ class Mailbox {
     Drained out;
     out.mail = std::move(bufs_[static_cast<std::size_t>(full)]);
     bufs_[static_cast<std::size_t>(full)].clear();
-    out.credits = static_cast<std::int64_t>(out.mail.size());
-    if (!out.mail.empty()) {
+    out.signed_mail = std::move(signed_bufs_[static_cast<std::size_t>(full)]);
+    signed_bufs_[static_cast<std::size_t>(full)].clear();
+    // Credits are granted per raw push, so repayment must be counted
+    // before the unsigned dedup below collapses anything (and the signed
+    // lane never collapses at all).
+    out.credits = static_cast<std::int64_t>(out.mail.size()) +
+                  static_cast<std::int64_t>(out.signed_mail.size());
+    if (!out.mail.empty() || !out.signed_mail.empty()) {
       drains_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!out.mail.empty()) {
       std::sort(out.mail.begin(), out.mail.end());
       out.mail.erase(std::unique(out.mail.begin(), out.mail.end()),
                      out.mail.end());
@@ -214,11 +283,12 @@ class Mailbox {
     return throttled_.load(std::memory_order_relaxed);
   }
 
-  /// Undrained raw tuple count (takes the lock; for setup-time
-  /// accounting — this is exactly the credits a future drain will carry).
+  /// Undrained raw tuple count across both lanes (takes the lock; for
+  /// setup-time accounting — this is exactly the credits a future drain
+  /// will carry).
   std::int64_t pending_size() const {
     std::lock_guard<std::mutex> lk(mu_);
-    return static_cast<std::int64_t>(bufs_[write_].size());
+    return undrained_locked();
   }
 
   /// Attaches (or detaches, with nullptr) the shared in-flight counter.
@@ -242,10 +312,17 @@ class Mailbox {
   }
 
  private:
+  /// Undrained depth across both lanes; caller holds mu_.
+  std::int64_t undrained_locked() const {
+    return static_cast<std::int64_t>(bufs_[write_].size()) +
+           static_cast<std::int64_t>(signed_bufs_[write_].size());
+  }
+
   mutable std::mutex mu_;
   std::condition_variable cv_;     // consumer waits for mail
   std::condition_variable space_;  // throttled producers wait for a drain
   std::vector<T> bufs_[2];
+  std::vector<std::pair<T, std::int32_t>> signed_bufs_[2];
   int write_ = 0;
   std::int64_t capacity_ = 0;  // 0 = unbounded
   std::chrono::nanoseconds max_throttle_wait_ = std::chrono::milliseconds(1);

@@ -104,6 +104,7 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/engine.h"
@@ -211,6 +212,13 @@ struct ClusterQueryStats {
   std::int64_t columnar_kernels = 0;
   std::int64_t columnar_rows = 0;
   std::int64_t columnar_selected = 0;
+  // Counted-table deltas (retractions & upserts) across the cluster.
+  std::int64_t retracts = 0;
+  std::int64_t gamma_erased = 0;
+  std::int64_t retract_debts = 0;
+  std::int64_t annihilated = 0;
+  std::int64_t upserts = 0;
+  std::int64_t upsert_replaced = 0;
 };
 
 template <typename T>
@@ -258,6 +266,36 @@ class Sender {
     fabric_->async_send_batch(self_, dest, flush);
   }
 
+  /// Sends a signed delta (+1 insert, negative retract, or the receiver
+  /// table's upsert sentinel) for a counted table.  Signed sends bypass
+  /// EVERY dedup layer — the sender window here, and the mailbox's
+  /// drain-side sort+unique — because exact multiplicities are the
+  /// payload: two schedules deduping over different windows would
+  /// deliver different counts and the shards would diverge.  Counted
+  /// tables must route ALL their cross-shard traffic (inserts included)
+  /// through this lane for the same reason.
+  void send_signed(int dest, const T& tuple, std::int32_t sign) {
+    if (dest < 0 || dest >= static_cast<int>(signed_out_.size())) {
+      throw std::out_of_range("Sender::send_signed: shard " +
+                              std::to_string(dest) + " out of range [0, " +
+                              std::to_string(signed_out_.size()) + ")");
+    }
+    if (!async_) {
+      std::lock_guard<std::mutex> lk(mu_);
+      signed_out_[static_cast<std::size_t>(dest)].emplace_back(tuple, sign);
+      return;
+    }
+    std::vector<std::pair<T, std::int32_t>> flush;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      auto& batch = signed_batch_[static_cast<std::size_t>(dest)];
+      batch.emplace_back(tuple, sign);
+      if (static_cast<std::int64_t>(batch.size()) < batch_limit_) return;
+      flush.swap(batch);  // deliver outside the sender lock
+    }
+    fabric_->async_send_signed_batch(self_, dest, flush);
+  }
+
  private:
   friend class ShardedEngine<T>;
 
@@ -268,7 +306,9 @@ class Sender {
         batch_limit_(std::max<std::int64_t>(1, batch_limit)),
         fabric_(fabric),
         out_(static_cast<std::size_t>(shards)),
-        batch_(async ? static_cast<std::size_t>(shards) : 0) {}
+        batch_(async ? static_cast<std::size_t>(shards) : 0),
+        signed_out_(static_cast<std::size_t>(shards)),
+        signed_batch_(async ? static_cast<std::size_t>(shards) : 0) {}
 
   /// Flush-before-idle: drains every per-destination batch into the
   /// mailboxes.  The owning shard's worker calls this after each
@@ -285,6 +325,16 @@ class Sender {
         fabric_->async_send_batch(self_, static_cast<int>(d), flush);
       }
     }
+    for (std::size_t d = 0; d < signed_batch_.size(); ++d) {
+      std::vector<std::pair<T, std::int32_t>> flush;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        flush.swap(signed_batch_[d]);
+      }
+      if (!flush.empty()) {
+        fabric_->async_send_signed_batch(self_, static_cast<int>(d), flush);
+      }
+    }
   }
 
   const int self_;
@@ -298,6 +348,11 @@ class Sender {
   // Async only: per-destination pending batch (admitted through the dedup
   // window, not yet pushed to the mailbox).
   std::vector<std::vector<T>> batch_;
+  // Signed lane (counted tables): never deduped at any layer.
+  // BSP: per-destination signed outbox, drained at the barrier.
+  std::vector<std::vector<std::pair<T, std::int32_t>>> signed_out_;
+  // Async only: per-destination pending signed batch.
+  std::vector<std::vector<std::pair<T, std::int32_t>>> signed_batch_;
 };
 
 /// N private Engines plus the mailbox fabric between them.  The setup
@@ -309,13 +364,31 @@ class ShardedEngine {
  public:
   /// Hands one inbound tuple to a shard (typically `eng.put(table, t)`).
   using Deliver = std::function<void(const T&)>;
+  /// Hands one inbound *signed* delta to a shard (typically
+  /// `table.seed_signed(t, sign)` on a counted table).  Only needed by
+  /// programs using the signed lane (Sender::send_signed / seed_signed).
+  using DeliverSigned = std::function<void(const T&, std::int32_t)>;
   using Setup = std::function<Deliver(int shard, Engine&, Sender<T>&)>;
+
+  /// Both delivery seams of one shard, as returned by SetupHooks.
+  struct ShardHooks {
+    Deliver deliver;                // unsigned mail
+    DeliverSigned deliver_signed;   // signed mail; may be null
+  };
+  using SetupHooks = std::function<ShardHooks(int shard, Engine&, Sender<T>&)>;
 
   ShardedEngine(int shards, const EngineOptions& opts, const Setup& setup)
       : ShardedEngine(shards, opts, ShardedOptions{}, setup) {}
 
   ShardedEngine(int shards, const EngineOptions& opts,
                 const ShardedOptions& sopts, const Setup& setup)
+      : ShardedEngine(shards, opts, sopts,
+                      SetupHooks([&setup](int s, Engine& eng, Sender<T>& snd) {
+                        return ShardHooks{setup(s, eng, snd), nullptr};
+                      })) {}
+
+  ShardedEngine(int shards, const EngineOptions& opts,
+                const ShardedOptions& sopts, const SetupHooks& setup)
       : shards_(shards), sopts_(sopts) {
     if (shards < 1) {
       throw std::logic_error("ShardedEngine: shard count must be >= 1, got " +
@@ -337,7 +410,9 @@ class ShardedEngine {
           new Sender<T>(s, shards, async, sopts_.async_batch, this)));
       mailboxes_.push_back(std::make_unique<Mailbox<T>>());
       if (async) mailboxes_.back()->set_capacity(sopts_.mailbox_capacity);
-      deliver_.push_back(setup(s, *engines_.back(), *senders_.back()));
+      ShardHooks hooks = setup(s, *engines_.back(), *senders_.back());
+      deliver_.push_back(std::move(hooks.deliver));
+      deliver_signed_.push_back(std::move(hooks.deliver_signed));
     }
   }
 
@@ -370,6 +445,13 @@ class ShardedEngine {
         out.columnar_rows += s.columnar_rows.load(std::memory_order_relaxed);
         out.columnar_selected +=
             s.columnar_selected.load(std::memory_order_relaxed);
+        out.retracts += s.retracts.load(std::memory_order_relaxed);
+        out.gamma_erased += s.gamma_erased.load(std::memory_order_relaxed);
+        out.retract_debts += s.retract_debts.load(std::memory_order_relaxed);
+        out.annihilated += s.annihilated.load(std::memory_order_relaxed);
+        out.upserts += s.upserts.load(std::memory_order_relaxed);
+        out.upsert_replaced +=
+            s.upsert_replaced.load(std::memory_order_relaxed);
       }
     }
     return out;
@@ -385,6 +467,19 @@ class ShardedEngine {
                               std::to_string(shards_) + ")");
     }
     mailboxes_[static_cast<std::size_t>(shard)]->push(tuple);
+  }
+
+  /// Stages a signed delta (insert/retract/upsert of a counted table) for
+  /// delivery to `shard` at the start of the next run().  Travels the
+  /// signed lane: never deduped, exact multiplicities delivered.  The
+  /// shard's setup must have returned a DeliverSigned hook.
+  void seed_signed(int shard, const T& tuple, std::int32_t sign) {
+    if (shard < 0 || shard >= shards_) {
+      throw std::out_of_range("ShardedEngine::seed_signed: shard " +
+                              std::to_string(shard) + " out of range [0, " +
+                              std::to_string(shards_) + ")");
+    }
+    mailboxes_[static_cast<std::size_t>(shard)]->push_signed(tuple, sign);
   }
 
   /// Opens the next streaming epoch on every shard engine in lockstep:
@@ -414,17 +509,30 @@ class ShardedEngine {
 
   /// Delivers one drained epoch to shard `s` and runs its engine to
   /// quiescence, accumulating into that shard's stats slot.  `mail` is
-  /// deduped by Mailbox::drain, so every element is one delivery.
-  void run_shard_epoch(std::size_t s, const std::vector<T>& mail,
-                       ShardStats& st) {
+  /// deduped by Mailbox::drain; `signed_mail` arrives verbatim (exact
+  /// multiplicities) and is handed to the shard's DeliverSigned hook.
+  void run_shard_epoch(
+      std::size_t s, const std::vector<T>& mail,
+      const std::vector<std::pair<T, std::int32_t>>& signed_mail,
+      ShardStats& st) {
     WallTimer busy;
-    if (!mail.empty()) {
+    if (!mail.empty() || !signed_mail.empty()) {
       ++st.drains;
-      st.drained_tuples += static_cast<std::int64_t>(mail.size());
+      st.drained_tuples += static_cast<std::int64_t>(mail.size()) +
+                           static_cast<std::int64_t>(signed_mail.size());
     }
     ++st.runs;
     if (deliver_[s]) {
       for (const T& t : mail) deliver_[s](t);
+    }
+    if (!signed_mail.empty()) {
+      if (!deliver_signed_[s]) {
+        throw std::logic_error(
+            "shard " + std::to_string(s) +
+            " received signed mail but its setup returned no DeliverSigned "
+            "hook");
+      }
+      for (const auto& [t, sign] : signed_mail) deliver_signed_[s](t, sign);
     }
     const RunReport r = engines_[s]->run();
     shard_batches_[s] += r.batches;
@@ -469,7 +577,8 @@ class ShardedEngine {
         try {
           const auto drained = mailboxes_[s]->drain();
           ++report.shard_stats[s].polls;
-          run_shard_epoch(s, drained.mail, report.shard_stats[s]);
+          run_shard_epoch(s, drained.mail, drained.signed_mail,
+                          report.shard_stats[s]);
         } catch (...) {
           errors[s] = std::current_exception();
         }
@@ -482,7 +591,8 @@ class ShardedEngine {
           try {
             const auto drained = mailboxes_[s]->drain();
             ++report.shard_stats[s].polls;
-            run_shard_epoch(s, drained.mail, report.shard_stats[s]);
+            run_shard_epoch(s, drained.mail, drained.signed_mail,
+                            report.shard_stats[s]);
           } catch (...) {
             errors[s] = std::current_exception();
           }
@@ -505,16 +615,31 @@ class ShardedEngine {
       std::lock_guard<std::mutex> lk(sender.mu_);
       for (std::size_t d = 0; d < sender.out_.size(); ++d) {
         std::set<T>& out = sender.out_[d];
-        if (out.empty()) continue;
-        const auto count = static_cast<std::int64_t>(out.size());
-        if (d == s) {
-          report.local_messages += count;
-        } else {
-          report.messages += count;
+        if (!out.empty()) {
+          const auto count = static_cast<std::int64_t>(out.size());
+          if (d == s) {
+            report.local_messages += count;
+          } else {
+            report.messages += count;
+          }
+          moved += count;
+          mailboxes_[d]->push_all(out.begin(), out.end());
+          out.clear();
         }
-        moved += count;
-        mailboxes_[d]->push_all(out.begin(), out.end());
-        out.clear();
+        auto& sout = sender.signed_out_[d];
+        if (!sout.empty()) {
+          // The signed lane moves verbatim — counting it raw keeps the
+          // message totals a pure function of the signed traffic.
+          const auto count = static_cast<std::int64_t>(sout.size());
+          if (d == s) {
+            report.local_messages += count;
+          } else {
+            report.messages += count;
+          }
+          moved += count;
+          mailboxes_[d]->push_all_signed(sout.begin(), sout.end());
+          sout.clear();
+        }
       }
     }
     return moved;
@@ -558,16 +683,35 @@ class ShardedEngine {
     }
   }
 
+  /// Signed-lane twin of async_send_batch: same credit/backpressure
+  /// discipline, no dedup anywhere.
+  void async_send_signed_batch(
+      int src, int dest,
+      const std::vector<std::pair<T, std::int32_t>>& batch) {
+    mailboxes_[static_cast<std::size_t>(dest)]->push_all_signed(
+        batch.begin(), batch.end(), /*throttle=*/src != dest);
+    const auto n = static_cast<std::int64_t>(batch.size());
+    if (src == dest) {
+      async_local_messages_.fetch_add(n, std::memory_order_relaxed);
+    } else {
+      async_messages_.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+
   bool stopping() const {
     return done_.load(std::memory_order_acquire) ||
            abort_.load(std::memory_order_acquire);
   }
 
-  /// Merges a second drained epoch into the first (both sides arrive
-  /// sorted + deduped from Mailbox::drain); credits add raw.
+  /// Merges a second drained epoch into the first (both unsigned sides
+  /// arrive sorted + deduped from Mailbox::drain); credits add raw.  The
+  /// signed lanes concatenate in drain order — never sorted or deduped,
+  /// multiplicities are the payload.
   static void merge_drained(typename Mailbox<T>::Drained& into,
                             typename Mailbox<T>::Drained&& more) {
     into.credits += more.credits;
+    into.signed_mail.insert(into.signed_mail.end(), more.signed_mail.begin(),
+                            more.signed_mail.end());
     if (more.mail.empty()) return;
     const auto mid =
         static_cast<typename std::vector<T>::difference_type>(
@@ -599,7 +743,11 @@ class ShardedEngine {
     while (!stopping()) {
       typename Mailbox<T>::Drained d = box.drain();
       ++st.polls;
-      if (d.mail.empty() && !token) {
+      const auto drained_size = [&d] {
+        return static_cast<std::int64_t>(d.mail.size()) +
+               static_cast<std::int64_t>(d.signed_mail.size());
+      };
+      if (drained_size() == 0 && !token) {
         ++st.idle_waits;
         WallTimer idle;
         box.wait(stop);
@@ -611,10 +759,9 @@ class ShardedEngine {
       // seen — wait briefly for an in-flight flush.  A latency-bound
       // pipeline (deep workloads: one or two tuples per epoch) never
       // sets `bulk`, so it never pays the wait.
-      if (!d.mail.empty()) {
+      if (drained_size() > 0) {
         bool waited = false;
-        while (static_cast<std::int64_t>(d.mail.size()) < min_batch &&
-               !stopping()) {
+        while (drained_size() < min_batch && !stopping()) {
           if (!box.has_mail()) {
             if (!bulk || waited) break;
             waited = true;
@@ -627,12 +774,12 @@ class ShardedEngine {
           ++st.polls;
           merge_drained(d, std::move(more));
         }
-        bulk = static_cast<std::int64_t>(d.mail.size()) >= min_batch;
+        bulk = drained_size() >= min_batch;
       }
       const std::int64_t credit = d.credits + (token ? 1 : 0);
       token = false;
       try {
-        run_shard_epoch(s, d.mail, st);
+        run_shard_epoch(s, d.mail, d.signed_mail, st);
       } catch (...) {
         errors_[s] = std::current_exception();
         abort_.store(true, std::memory_order_release);
@@ -669,6 +816,8 @@ class ShardedEngine {
       // Batches left by an aborted run would double-deliver (and carry
       // stale credits) if they leaked into this run.
       for (auto& batch : sender->batch_) batch.clear();
+      for (auto& sout : sender->signed_out_) sout.clear();
+      for (auto& batch : sender->signed_batch_) batch.clear();
     }
     // Initial credits: one token per shard plus the mail (seeds or
     // leftovers from a previous event-driven run) already staged.  The
@@ -714,6 +863,7 @@ class ShardedEngine {
   std::vector<std::unique_ptr<Sender<T>>> senders_;
   std::vector<std::unique_ptr<Mailbox<T>>> mailboxes_;
   std::vector<Deliver> deliver_;
+  std::vector<DeliverSigned> deliver_signed_;
 
   // Per-run accumulation (indexed by shard; each slot written by at most
   // one thread during a run, folded into the report afterwards).

@@ -26,6 +26,14 @@
 // (windowed Gamma GC over the Engine::begin_epoch clock, generalising
 // -noGamma; see core/table.h and core/window_store.h).
 //
+// Streams over TableDecl::counted() tables also carry **retractions and
+// upserts**: publish_retract()/publish_upsert() ride the same ordered ring
+// as publish(), each epoch slice preserves per-producer publish order, and
+// the signed tuples enter the engine through the SetupHooks deliver_signed
+// lane (seed_signed / the sharded mailbox signed lane), so the streaming
+// fixpoint over any slicing still equals the one-shot batch fixpoint of
+// the same net counts.
+//
 // Consumer API: rules emit results through the Emit handle passed to the
 // setup callback; callers take them with poll() (non-blocking) or drain()
 // (block until every tuple published so far has been folded into a
@@ -44,6 +52,7 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <limits>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -135,12 +144,21 @@ inline RetiredTotals retired_totals(Engine& eng) {
 
 /// Ring envelope: a stream tuple or the shutdown poison pill stop() sends
 /// through the same ordered channel (so shutdown drains everything
-/// published before it).
+/// published before it).  `sign` carries the tuple's delta polarity for
+/// counted tables: +1 insert, -1 retraction, kUpsertSign upsert (same
+/// sentinel as Table<T>::kUpsertSign).  Retractions ride the same ordered
+/// ring as insertions, so a publish()/publish_retract() pair from one
+/// producer is folded into epochs in publish order.
 template <typename T>
 struct Envelope {
   T value{};
+  std::int32_t sign = 1;
   bool poison = false;
 };
+
+/// Upsert sentinel for Envelope::sign; equals Table<T>::kUpsertSign.
+constexpr std::int32_t kStreamUpsertSign =
+    std::numeric_limits<std::int32_t>::min();
 
 /// The multi-producer ingestion edge: publish() from any thread, one
 /// consumer draining bounded slices in publish order.
@@ -152,10 +170,11 @@ class IngestQueue {
     cid_ = ring_.add_consumer();
   }
 
-  void publish(const T& t) {
+  void publish(const T& t, std::int32_t sign = 1) {
     const std::int64_t seq = ring_.claim();
     Envelope<T>& env = ring_.slot(seq);
     env.value = t;
+    env.sign = sign;
     env.poison = false;
     ring_.publish(seq);
   }
@@ -175,9 +194,10 @@ class IngestQueue {
   /// Hands up to `max` envelopes to `deliver` in publish order (poison
   /// pills are counted into *saw_poison instead).  Must be preceded by
   /// wait_ready()/ready().  Returns the number of tuples delivered.
-  std::int64_t consume_slice(std::int64_t max,
-                             const std::function<void(const T&)>& deliver,
-                             bool* saw_poison) {
+  std::int64_t consume_slice(
+      std::int64_t max,
+      const std::function<void(const T&, std::int32_t)>& deliver,
+      bool* saw_poison) {
     const std::int64_t hi = ring_.wait_for(next_);
     const std::int64_t slice_hi = std::min(hi, next_ + max - 1);
     std::int64_t n = 0;
@@ -186,7 +206,7 @@ class IngestQueue {
       if (env.poison) {
         *saw_poison = true;
       } else {
-        deliver(env.value);
+        deliver(env.value, env.sign);
         ++n;
       }
     }
@@ -214,7 +234,7 @@ class IngestQueue {
 /// ingestion ring, the epoch loop thread, the output channel and the
 /// stats/drain plumbing.  Derived implements the three epoch hooks:
 ///   std::int64_t epoch_begin();
-///   void epoch_deliver(const T&);
+///   void epoch_deliver(const T&, std::int32_t sign);
 ///   EpochStats epoch_fixpoint();   // fills batches/tuples/messages
 template <typename T, typename Out, typename Derived>
 class StreamBase {
@@ -225,6 +245,19 @@ class StreamBase {
   /// the stream runs; blocks when the ring is full (backpressure).  Must
   /// not race stop().
   void publish(const T& t) { queue_.publish(t); }
+
+  /// Publishes a retraction: the tuple's multiplicity is decremented when
+  /// its epoch runs, and hitting zero removes it from Gamma and fires the
+  /// sign -1 cascade.  Requires a signed delivery hook (the SetupHooks
+  /// constructor form) routing into a TableDecl::counted() table.
+  /// Ordered with publish() from the same producer thread.
+  void publish_retract(const T& t) { queue_.publish(t, -1); }
+
+  /// Publishes an upsert: "make the row for this tuple's primary key be
+  /// exactly this tuple" when its epoch runs, displacing (and retracting
+  /// downstream of) any different incumbent.  Same hook requirement as
+  /// publish_retract(), plus a primary_key on the target table.
+  void publish_upsert(const T& t) { queue_.publish(t, detail::kStreamUpsertSign); }
 
   /// Non-blocking: takes every output emitted so far.
   std::vector<Out> poll() {
@@ -354,7 +387,10 @@ class StreamBase {
       bool poison = false;
       queue_.consume_slice(
           sopts_.max_epoch_tuples,
-          [this](const T& t) { slice_.push_back(t); }, &poison);
+          [this](const T& t, std::int32_t sign) {
+            slice_.emplace_back(t, sign);
+          },
+          &poison);
       if (poison) saw_poison_ = true;
       if (slice_.empty()) {
         std::lock_guard<std::mutex> lk(mu_);
@@ -366,7 +402,7 @@ class StreamBase {
       es.epoch = derived().epoch_begin();
       WallTimer timer;
       es.ingested = static_cast<std::int64_t>(slice_.size());
-      for (const T& t : slice_) derived().epoch_deliver(t);
+      for (const auto& [t, sign] : slice_) derived().epoch_deliver(t, sign);
       const EpochStats run = derived().epoch_fixpoint();
       es.batches = run.batches;
       es.tuples = run.tuples;
@@ -394,7 +430,7 @@ class StreamBase {
     while (!poison) {
       queue_.wait_ready();
       (void)queue_.consume_slice(sopts_.max_epoch_tuples,
-                                 [](const T&) {}, &poison);
+                                 [](const T&, std::int32_t) {}, &poison);
       std::lock_guard<std::mutex> lk(mu_);
       processed_ = queue_.consumed();
     }
@@ -409,7 +445,8 @@ class StreamBase {
 
   IngestQueue<T> queue_;
   std::thread worker_;
-  std::vector<T> slice_;    // consumer-thread scratch, reused across epochs
+  // Consumer-thread scratch, reused across epochs: (tuple, sign) pairs.
+  std::vector<std::pair<T, std::int32_t>> slice_;
   bool saw_poison_ = false;  // consumer-thread only
 
   mutable std::mutex mu_;
@@ -440,17 +477,37 @@ class StreamingEngine final
 
  public:
   using Deliver = std::function<void(const T&)>;
+  /// Signed delivery for counted tables: hands one ingested tuple plus its
+  /// delta sign (-1 retraction, Table<X>::kUpsertSign upsert) to the
+  /// engine — typically `table.seed_signed(t, sign)`.
+  using DeliverSigned = std::function<void(const T&, std::int32_t)>;
   using Emit = typename Base::Emit;
   /// Declares tables and rules on the engine and returns the Deliver
   /// function that hands one ingested tuple to it (typically
   /// `eng.put(table, t)`).  `emit` is the thread-safe output channel for
   /// rules/effects.
   using Setup = std::function<Deliver(Engine&, const Emit&)>;
+  /// Both delivery lanes; deliver_signed may be null when the stream never
+  /// sees publish_retract()/publish_upsert().
+  struct Hooks {
+    Deliver deliver;
+    DeliverSigned deliver_signed;
+  };
+  using SetupHooks = std::function<Hooks(Engine&, const Emit&)>;
 
   StreamingEngine(const StreamOptions& sopts, const EngineOptions& eopts,
                   const Setup& setup)
+      : StreamingEngine(sopts, eopts,
+                        SetupHooks([&setup](Engine& eng, const Emit& emit) {
+                          return Hooks{setup(eng, emit), nullptr};
+                        })) {}
+
+  StreamingEngine(const StreamOptions& sopts, const EngineOptions& eopts,
+                  const SetupHooks& setup)
       : Base(sopts), engine_(eopts) {
-    deliver_ = setup(engine_, this->make_emit());
+    Hooks hooks = setup(engine_, this->make_emit());
+    deliver_ = std::move(hooks.deliver);
+    deliver_signed_ = std::move(hooks.deliver_signed);
     engine_.prepare();
     this->start();
   }
@@ -471,7 +528,16 @@ class StreamingEngine final
     epoch_index_retired_ = after.index - before.index;
     return e;
   }
-  void epoch_deliver(const T& t) { deliver_(t); }
+  void epoch_deliver(const T& t, std::int32_t sign) {
+    if (sign == 1) {
+      deliver_(t);
+      return;
+    }
+    JSTAR_CHECK_MSG(deliver_signed_ != nullptr,
+                    "publish_retract/publish_upsert require the SetupHooks "
+                    "constructor with a deliver_signed hook");
+    deliver_signed_(t, sign);
+  }
   EpochStats epoch_fixpoint() {
     const RunReport r = engine_.run();
     EpochStats es;
@@ -484,6 +550,7 @@ class StreamingEngine final
 
   Engine engine_;
   Deliver deliver_;
+  DeliverSigned deliver_signed_;
   // Consumer-thread scratch: GC volume of the epoch being processed.
   std::int64_t epoch_gamma_retired_ = 0;
   std::int64_t epoch_index_retired_ = 0;
@@ -511,6 +578,14 @@ class ShardedStreamingEngine final
   /// Per-shard setup, as in ShardedEngine, plus the shared output channel.
   using Setup = std::function<typename dist::ShardedEngine<T>::Deliver(
       int shard, Engine&, dist::Sender<T>&, const Emit&)>;
+  /// Hooks form: per-shard setup returning both delivery lanes
+  /// (ShardedEngine::ShardHooks), required when the stream carries
+  /// publish_retract()/publish_upsert() traffic — signed tuples reach
+  /// their owner shard through the mailbox signed lane and enter the
+  /// engine via the deliver_signed hook.
+  using SetupHooks =
+      std::function<typename dist::ShardedEngine<T>::ShardHooks(
+          int shard, Engine&, dist::Sender<T>&, const Emit&)>;
 
   ShardedStreamingEngine(const StreamOptions& sopts, int shards,
                          const EngineOptions& eopts,
@@ -519,10 +594,26 @@ class ShardedStreamingEngine final
       : Base(sopts),
         route_(std::move(route)),
         cluster_(shards, eopts, dopts,
-                 [this, &setup](int shard, Engine& eng,
-                                dist::Sender<T>& sender) {
-                   return setup(shard, eng, sender, this->make_emit());
-                 }) {
+                 typename dist::ShardedEngine<T>::Setup(
+                     [this, &setup](int shard, Engine& eng,
+                                    dist::Sender<T>& sender) {
+                       return setup(shard, eng, sender, this->make_emit());
+                     })) {
+    this->start();
+  }
+
+  ShardedStreamingEngine(const StreamOptions& sopts, int shards,
+                         const EngineOptions& eopts,
+                         const dist::ShardedOptions& dopts,
+                         const SetupHooks& setup, Route route)
+      : Base(sopts),
+        route_(std::move(route)),
+        cluster_(shards, eopts, dopts,
+                 typename dist::ShardedEngine<T>::SetupHooks(
+                     [this, &setup](int shard, Engine& eng,
+                                    dist::Sender<T>& sender) {
+                       return setup(shard, eng, sender, this->make_emit());
+                     })) {
     this->start();
   }
 
@@ -552,7 +643,13 @@ class ShardedStreamingEngine final
     epoch_index_retired_ = after.index - before.index;
     return e;
   }
-  void epoch_deliver(const T& t) { cluster_.seed(route_(t), t); }
+  void epoch_deliver(const T& t, std::int32_t sign) {
+    if (sign == 1) {
+      cluster_.seed(route_(t), t);
+    } else {
+      cluster_.seed_signed(route_(t), t, sign);
+    }
+  }
   EpochStats epoch_fixpoint() {
     const dist::ShardedRunReport r = cluster_.run();
     EpochStats es;

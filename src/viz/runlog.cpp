@@ -55,6 +55,12 @@ json::Value table_to_json(const TableLog& t) {
       {"columnar_kernels", t.columnar_kernels},
       {"columnar_rows", t.columnar_rows},
       {"columnar_selected", t.columnar_selected},
+      {"retracts", t.retracts},
+      {"gamma_erased", t.gamma_erased},
+      {"retract_debts", t.retract_debts},
+      {"annihilated", t.annihilated},
+      {"upserts", t.upserts},
+      {"upsert_replaced", t.upsert_replaced},
       {"rules", std::move(rules)},
   };
 }
@@ -86,6 +92,12 @@ TableLog table_from_json(const json::Value& v) {
   t.columnar_kernels = v.at("columnar_kernels").as_int();
   t.columnar_rows = v.at("columnar_rows").as_int();
   t.columnar_selected = v.at("columnar_selected").as_int();
+  t.retracts = v.at("retracts").as_int();
+  t.gamma_erased = v.at("gamma_erased").as_int();
+  t.retract_debts = v.at("retract_debts").as_int();
+  t.annihilated = v.at("annihilated").as_int();
+  t.upserts = v.at("upserts").as_int();
+  t.upsert_replaced = v.at("upsert_replaced").as_int();
   for (const json::Value& r : v.at("rules").as_array()) {
     t.rules.push_back(r.as_string());
   }
@@ -130,6 +142,12 @@ RunLog capture(const Engine& engine, const std::string& program,
     tl.columnar_kernels = s.columnar_kernels.load();
     tl.columnar_rows = s.columnar_rows.load();
     tl.columnar_selected = s.columnar_selected.load();
+    tl.retracts = s.retracts.load();
+    tl.gamma_erased = s.gamma_erased.load();
+    tl.retract_debts = s.retract_debts.load();
+    tl.annihilated = s.annihilated.load();
+    tl.upserts = s.upserts.load();
+    tl.upsert_replaced = s.upsert_replaced.load();
     tl.rules = t->rule_names();
     log.tables.push_back(std::move(tl));
   }
@@ -226,6 +244,12 @@ std::string dot_graph(const RunLog& log) {
       os << "pk=" << t.pk_probes << " range=" << t.range_scans
          << " empty=" << t.empty_plans << " swept=" << t.index_retired
          << " sel=" << rate << "\\l";
+    }
+    // Retraction/upsert churn, shown only for tables that saw some.
+    if (t.retracts + t.upserts > 0) {
+      os << "retracts=" << t.retracts << " erased=" << t.gamma_erased
+         << " debts=" << t.retract_debts << " upserts=" << t.upserts
+         << " replaced=" << t.upsert_replaced << "\\l";
     }
     // Columnar kernel pushdown, shown only when a kernel actually ran.
     if (t.columnar_kernels > 0) {

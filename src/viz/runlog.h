@@ -53,6 +53,13 @@ struct TableLog {
   std::int64_t columnar_kernels = 0;
   std::int64_t columnar_rows = 0;
   std::int64_t columnar_selected = 0;
+  // Retractions & upserts (TableDecl::counted(), core/table.h).
+  std::int64_t retracts = 0;
+  std::int64_t gamma_erased = 0;
+  std::int64_t retract_debts = 0;
+  std::int64_t annihilated = 0;
+  std::int64_t upserts = 0;
+  std::int64_t upsert_replaced = 0;
   std::vector<std::string> rules;
 
   /// Fraction of tuples a routed plan examined that survived the residual

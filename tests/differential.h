@@ -22,6 +22,8 @@
 
 #include <cstdlib>
 #include <functional>
+#include <limits>
+#include <map>
 #include <mutex>
 #include <set>
 #include <string>
@@ -271,6 +273,281 @@ inline std::set<Tok> sharded_fixpoint(const Program& p, int shards,
       out.insert(t);
     });
   }
+  return out;
+}
+
+// --- counted (multiset) schedules: retract- and upsert-heavy waves ---------
+//
+// A signed schedule drives a counted() table: waves of signed seed
+// operations (insert +1, retract -1, upsert) separated by run()-to-
+// quiescence points, so later waves land on a live incremental database.
+// The fixpoint of a signed schedule is fully determined by the *net* seed
+// count of every tuple — insert/retract commute per tuple — which gives a
+// closed-form stratified oracle and makes the sweep mode-independent:
+// sequential, BSP and async sharding must all land on it tuple-for-tuple.
+
+/// One signed seed operation.  `sign` is +1 (insert), -1 (retract) or
+/// kUpsertOp (keyed overwrite; only used by the upsert-heavy schedules).
+inline constexpr std::int32_t kUpsertOp =
+    std::numeric_limits<std::int32_t>::min();
+struct SignedOp {
+  Tok t;
+  std::int32_t sign = 1;
+};
+using Wave = std::vector<SignedOp>;
+
+struct CountedCase {
+  Program p;          // derivation graph; p.seeds stays empty (waves drive)
+  std::vector<Wave> waves;
+};
+
+/// A delete-heavy schedule: an insert wave followed by waves mixing
+/// retractions of live tuples (the common case), duplicate inserts
+/// (multiplicity > 1), retractions of tuples never inserted (debts), and
+/// direct retractions of *derived* tuples — every signed path the counted
+/// layer has.
+inline CountedCase make_delete_heavy_case(std::uint64_t seed) {
+  CountedCase c;
+  c.p = random_program_shaped(seed * 0x9e3779b9ULL + 17, /*max_fanout=*/3,
+                              /*gen_cap=*/6, /*rules=*/1);
+  c.p.seeds.clear();  // the waves are the only seed source
+  SplitMix64 rng(seed ^ 0xd1b54a32d192ed03ULL);
+  auto random_key = [&] {
+    return static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(c.p.keys)));
+  };
+  std::vector<Tok> pool;  // tuples some earlier wave inserted
+  const std::uint64_t nwaves = 2 + rng.next_below(3);  // 2..4
+  for (std::uint64_t w = 0; w < nwaves; ++w) {
+    Wave wave;
+    const std::uint64_t nops = 2 + rng.next_below(7);  // 2..8
+    for (std::uint64_t i = 0; i < nops; ++i) {
+      const std::uint64_t dice = rng.next_below(10);
+      if (w == 0 || pool.empty() || dice < 3) {
+        const Tok t{random_key(), 0};
+        wave.push_back({t, 1});
+        pool.push_back(t);
+      } else if (dice < 7) {
+        // Retract something a previous wave inserted (may already be
+        // retracted — then it digs a debt, which is also on-contract).
+        wave.push_back({pool[rng.next_below(pool.size())], -1});
+      } else if (dice < 8) {
+        // Duplicate insert: multiplicity 2 shields one retraction.
+        wave.push_back({pool[rng.next_below(pool.size())], 1});
+      } else if (dice < 9) {
+        // Debt: retract a gen-0 tuple that may never have been inserted.
+        wave.push_back({Tok{random_key(), 0}, -1});
+      } else {
+        // Direct retraction of a derived tuple: cancels one derivation
+        // path (or digs a debt if the tuple is underivable).
+        const std::int64_t g = 1 + static_cast<std::int64_t>(rng.next_below(
+                                       static_cast<std::uint64_t>(
+                                           c.p.max_gen)));
+        wave.push_back({Tok{random_key(), g}, -1});
+      }
+    }
+    c.waves.push_back(std::move(wave));
+  }
+  return c;
+}
+
+/// Stratified net-count oracle for signed (+1/-1) schedules with rules=1:
+/// a tuple (k, g) is present iff its net seed count plus one derivation
+/// per out-edge instance from every present (k', g-1) parent is >= 1.
+/// Generations strictly increase, so presence is computed stratum by
+/// stratum — no fixpoint iteration needed.
+inline std::set<Tok> counted_oracle(const CountedCase& c) {
+  std::map<Tok, std::int64_t> net;
+  for (const Wave& w : c.waves) {
+    for (const SignedOp& op : w) net[op.t] += op.sign;
+  }
+  std::set<Tok> result;
+  std::vector<char> prev(static_cast<std::size_t>(c.p.keys), 0);
+  for (std::int64_t g = 0; g <= c.p.max_gen; ++g) {
+    std::vector<std::int64_t> derived(static_cast<std::size_t>(c.p.keys), 0);
+    if (g > 0) {
+      for (std::int64_t k = 0; k < c.p.keys; ++k) {
+        if (prev[static_cast<std::size_t>(k)] == 0) continue;
+        for (const std::int64_t k2 : c.p.adj[static_cast<std::size_t>(k)]) {
+          ++derived[static_cast<std::size_t>(k2)];
+        }
+      }
+    }
+    std::vector<char> cur(static_cast<std::size_t>(c.p.keys), 0);
+    for (std::int64_t k = 0; k < c.p.keys; ++k) {
+      std::int64_t count = derived[static_cast<std::size_t>(k)];
+      const auto it = net.find(Tok{k, g});
+      if (it != net.end()) count += it->second;
+      if (count >= 1) {
+        cur[static_cast<std::size_t>(k)] = 1;
+        result.insert(Tok{k, g});
+      }
+    }
+    prev = std::move(cur);
+  }
+  return result;
+}
+
+/// Applies one signed op through the Engine front door.
+inline void apply_op(Engine& eng, Table<Tok>& toks, const SignedOp& op) {
+  if (op.sign == kUpsertOp) {
+    eng.upsert(toks, op.t);
+  } else if (op.sign < 0) {
+    eng.retract(toks, op.t);
+  } else {
+    eng.put(toks, op.t);
+  }
+}
+
+/// Counted reference 1: one Engine, waves applied with a run() between
+/// each (later waves differentiate a live database).  The observed set is
+/// the final Gamma scan — presence, not transition history.
+inline std::set<Tok> counted_single_fixpoint(const CountedCase& c,
+                                             const EngineOptions& opts,
+                                             StoreKind store =
+                                                 StoreKind::Default,
+                                             std::int64_t retain = 0,
+                                             bool epoch_per_wave = false) {
+  Engine eng(opts);
+  TableDecl<Tok> decl = tok_decl(store).counted();
+  if (retain > 0) decl.retain(retain);
+  auto& toks = eng.table(decl);
+  add_rules(eng, toks, c.p, [&toks](RuleCtx& ctx, const Tok& t) {
+    toks.put(ctx, t);
+  });
+  for (const Wave& w : c.waves) {
+    if (epoch_per_wave) eng.begin_epoch();
+    for (const SignedOp& op : w) apply_op(eng, toks, op);
+    eng.run();
+  }
+  std::set<Tok> out;
+  toks.scan([&out](const Tok& t) { out.insert(t); });
+  return out;
+}
+
+/// Counted references 2 and 3: the sharded engine under either schedule.
+/// ALL rule traffic rides the signed mailbox lane (send_signed with the
+/// cascade's sign) so exact multiplicities cross shard boundaries; the
+/// unsigned set-semantics lane would collapse counts.
+inline std::set<Tok> counted_sharded_fixpoint(const CountedCase& c,
+                                              int shards,
+                                              dist::ShardedMode mode,
+                                              bool sequential_engines,
+                                              StoreKind store =
+                                                  StoreKind::Default,
+                                              std::int64_t retain = 0,
+                                              bool epoch_per_wave = false,
+                                              bool with_pk = false) {
+  EngineOptions opts;
+  opts.sequential = sequential_engines;
+  opts.threads = 2;
+  dist::ShardedOptions sopts;
+  sopts.mode = mode;
+
+  std::vector<Table<Tok>*> tables(static_cast<std::size_t>(shards));
+  dist::ShardedEngine<Tok> cluster(
+      shards, opts, sopts,
+      typename dist::ShardedEngine<Tok>::SetupHooks(
+          [&c, &tables, shards, store, retain, with_pk](
+              int shard, Engine& eng, dist::Sender<Tok>& sender) {
+            TableDecl<Tok> decl = tok_decl(store).counted();
+            if (retain > 0) decl.retain(retain);
+            if (with_pk) decl.primary_key(&Tok::key);
+            auto& toks = eng.table(decl);
+            tables[static_cast<std::size_t>(shard)] = &toks;
+            add_rules(eng, toks, c.p,
+                      [&sender, shards](RuleCtx& ctx, const Tok& t) {
+                        sender.send_signed(
+                            dist::partition_of(t.key, shards), t, ctx.sign());
+                      });
+            typename dist::ShardedEngine<Tok>::ShardHooks hooks;
+            hooks.deliver = [&toks, &eng](const Tok& t) { eng.put(toks, t); };
+            hooks.deliver_signed = [&toks, &eng](const Tok& t,
+                                                 std::int32_t sign) {
+              eng.prepare();
+              toks.seed_signed(t, sign);
+            };
+            return hooks;
+          }));
+
+  for (const Wave& w : c.waves) {
+    if (epoch_per_wave) cluster.begin_epoch();
+    for (const SignedOp& op : w) {
+      cluster.seed_signed(dist::partition_of(op.t.key, shards), op.t,
+                          op.sign);
+    }
+    cluster.run();
+  }
+
+  std::set<Tok> out;
+  for (int s = 0; s < shards; ++s) {
+    tables[static_cast<std::size_t>(s)]->scan([&](const Tok& t) {
+      EXPECT_EQ(dist::partition_of(t.key, shards), s)
+          << "tuple (" << t.key << "," << t.gen << ") on a non-owner shard";
+      out.insert(t);
+    });
+  }
+  return out;
+}
+
+/// An upsert-heavy schedule over a keyed table (pk = Tok::key, value =
+/// Tok::gen): waves of keyed overwrites, retractions of the current row,
+/// duplicate inserts and debts — at most one op per key per wave, because
+/// two ops racing to the same key in one quiescence interval have no
+/// defined winner across schedules.  No derivation rules: a pk table
+/// holds one row per key, which a fan-out rule would violate.
+inline CountedCase make_upsert_heavy_case(std::uint64_t seed) {
+  CountedCase c;
+  SplitMix64 rng(seed ^ 0x94d049bb133111ebULL);
+  c.p.keys = 4 + static_cast<std::int64_t>(rng.next_below(9));  // 4..12
+  c.p.max_gen = 0;
+  c.p.adj.resize(static_cast<std::size_t>(c.p.keys));
+  c.p.rules = 0;
+  // Track the value each key currently holds (-1 = absent) so retraction
+  // ops name real rows and multiplicity ops duplicate the live row.
+  std::vector<std::int64_t> val(static_cast<std::size_t>(c.p.keys), -1);
+  const std::uint64_t nwaves = 3 + rng.next_below(4);  // 3..6
+  for (std::uint64_t w = 0; w < nwaves; ++w) {
+    Wave wave;
+    for (std::int64_t k = 0; k < c.p.keys; ++k) {
+      if (rng.next_below(3) == 0) continue;  // key skips this wave
+      auto& cur = val[static_cast<std::size_t>(k)];
+      const std::uint64_t dice = rng.next_below(10);
+      if (cur < 0 || dice < 6) {
+        // Keyed overwrite (or first write) to a fresh value.
+        const std::int64_t v =
+            static_cast<std::int64_t>(rng.next_below(10));
+        wave.push_back({Tok{k, v}, kUpsertOp});
+        cur = v;
+      } else if (dice < 8) {
+        wave.push_back({Tok{k, cur}, -1});  // retract the current row
+        cur = -1;
+      } else if (dice < 9) {
+        wave.push_back({Tok{k, cur}, 1});   // duplicate: multiplicity 2
+      } else {
+        // Debt on a value the key does not hold.
+        wave.push_back({Tok{k, cur + 100}, -1});
+      }
+    }
+    c.waves.push_back(std::move(wave));
+  }
+  return c;
+}
+
+/// Upsert reference: one Engine with pk = Tok::key.  Used both as the
+/// sequential cross-mode reference and as the parallel subject.
+inline std::set<Tok> upsert_single_fixpoint(const CountedCase& c,
+                                            const EngineOptions& opts,
+                                            StoreKind store =
+                                                StoreKind::Default) {
+  Engine eng(opts);
+  auto& toks = eng.table(tok_decl(store).counted().primary_key(&Tok::key));
+  for (const Wave& w : c.waves) {
+    for (const SignedOp& op : w) apply_op(eng, toks, op);
+    eng.run();
+  }
+  std::set<Tok> out;
+  toks.scan([&out](const Tok& t) { out.insert(t); });
   return out;
 }
 

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <set>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "dist/mailbox.h"
@@ -141,6 +142,134 @@ TEST(Mailbox, WaitForReportsMailVsTimeout) {
   // Empty box: a short wait times out and reports no mail.
   EXPECT_FALSE(
       box.wait_for(std::chrono::microseconds(100), [] { return false; }));
+}
+
+// --- signed lane (retraction / upsert mail) ---------------------------------
+
+// The signed lane never dedups (multiplicities are data), yet its credits
+// follow the same raw-push rule as the unsigned lane.  In particular a
+// retraction pushed right behind its own insertion — the pair a receiver
+// annihilates to nothing — must still repay both credits, or the async
+// termination detector would wait forever on mail that "vanished".
+TEST(MailboxSigned, RetractionBehindItsInsertionStillRepaysCredits) {
+  Mailbox<int> box;
+  std::atomic<std::int64_t> pending{0};
+  box.set_pending_counter(&pending);
+  box.push(7);            // unsigned lane, dedups at drain
+  box.push(7);
+  box.push_signed(7, +1);
+  box.push_signed(7, -1);  // cancels the insertion at the receiving table
+  box.push_signed(7, -1);  // debt
+  EXPECT_EQ(pending.load(), 5);
+  EXPECT_EQ(box.pending_size(), 5);
+  const auto d = box.drain();
+  EXPECT_EQ(d.mail, std::vector<int>{7});  // unsigned dedup unchanged
+  ASSERT_EQ(d.signed_mail.size(), 3u);     // signed mail never deduped
+  std::int64_t net = 0;
+  for (const auto& [t, s] : d.signed_mail) {
+    EXPECT_EQ(t, 7);
+    net += s;
+  }
+  EXPECT_EQ(net, -1);
+  EXPECT_EQ(d.credits, 5);  // raw pushes across both lanes, pre-dedup
+  pending.fetch_sub(d.credits);
+  EXPECT_EQ(pending.load(), 0);
+}
+
+TEST(MailboxSigned, PushAllSignedGrantsBulkCreditsAndPreservesOrder) {
+  Mailbox<int> box;
+  std::atomic<std::int64_t> pending{0};
+  box.set_pending_counter(&pending);
+  const std::vector<std::pair<int, std::int32_t>> batch{
+      {5, 1}, {5, -1}, {5, 1}, {9, -1}};
+  EXPECT_EQ(box.push_all_signed(batch.begin(), batch.end()), 4);
+  EXPECT_EQ(pending.load(), 4);
+  const auto d = box.drain();
+  EXPECT_TRUE(d.mail.empty());
+  EXPECT_EQ(d.signed_mail, batch);  // verbatim, in push order
+  EXPECT_EQ(d.credits, 4);
+  pending.fetch_sub(d.credits);
+  EXPECT_EQ(pending.load(), 0);
+}
+
+TEST(MailboxSigned, SignedPushWakesAndCountsAsDrain) {
+  Mailbox<int> box;
+  EXPECT_EQ(box.wakeups(), 0);
+  box.push_signed(1, -1);
+  EXPECT_EQ(box.wakeups(), 1);  // empty→nonempty seen across both lanes
+  EXPECT_TRUE(box.has_mail());
+  const auto d = box.drain();
+  ASSERT_EQ(d.signed_mail.size(), 1u);
+  EXPECT_EQ(box.drains(), 1);  // signed-only mail is still a real drain
+  EXPECT_FALSE(box.has_mail());
+}
+
+// Duplicate-cancellation credit stress: producers blast insert/retract
+// pairs of the same tiny tuple universe — every pair nets to zero at the
+// receiver — while a consumer drains concurrently.  Deliveries must
+// conserve the per-tuple net sign and every granted credit must be
+// repaid, which is exactly the Dijkstra–Scholten soundness condition the
+// async executor's termination detector needs from this lane.
+TEST(MailboxStress, SignedDuplicateCancellationKeepsCreditsBalanced) {
+  constexpr int kProducers = 8;
+  constexpr std::int64_t kUniverse = 16;
+  constexpr std::int64_t kPairs = 4000;
+  Mailbox<std::int64_t> box;
+  std::atomic<std::int64_t> pending{0};
+  box.set_pending_counter(&pending);
+
+  std::atomic<int> live{kProducers};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&box, &live, p] {
+      SplitMix64 rng(static_cast<std::uint64_t>(p) * 131 + 7);
+      std::vector<std::pair<std::int64_t, std::int32_t>> batch;
+      for (std::int64_t i = 0; i < kPairs; ++i) {
+        const auto v =
+            static_cast<std::int64_t>(rng.next_below(kUniverse));
+        if (p % 2 == 0) {
+          box.push_signed(v, +1);
+          box.push_signed(v, -1);
+        } else {
+          batch.emplace_back(v, +1);
+          batch.emplace_back(v, -1);
+          if (batch.size() >= 32) {
+            box.push_all_signed(batch.begin(), batch.end());
+            batch.clear();
+          }
+        }
+        if (rng.next_below(64) == 0) std::this_thread::yield();
+      }
+      if (!batch.empty()) box.push_all_signed(batch.begin(), batch.end());
+      live.fetch_sub(1);
+    });
+  }
+
+  std::int64_t credits = 0;
+  std::int64_t delivered = 0;
+  std::vector<std::int64_t> net(kUniverse, 0);
+  const auto absorb = [&](const Mailbox<std::int64_t>::Drained& d) {
+    EXPECT_TRUE(d.mail.empty());  // nothing used the unsigned lane
+    for (const auto& [v, s] : d.signed_mail) {
+      ASSERT_GE(v, 0);
+      ASSERT_LT(v, kUniverse);
+      net[static_cast<std::size_t>(v)] += s;
+      ++delivered;
+    }
+    credits += d.credits;
+    pending.fetch_sub(d.credits);
+  };
+  while (live.load() > 0 || box.has_mail()) absorb(box.drain());
+  for (auto& t : producers) t.join();
+  absorb(box.drain());
+
+  // No dedup ever: every signed push is delivered, credited, and repaid.
+  EXPECT_EQ(delivered, 2 * kProducers * kPairs);
+  EXPECT_EQ(credits, delivered);
+  EXPECT_EQ(pending.load(), 0);
+  // Pairwise cancellation conserved tuple-for-tuple.
+  for (const std::int64_t n : net) EXPECT_EQ(n, 0);
 }
 
 // --- backpressure -----------------------------------------------------------
