@@ -40,7 +40,9 @@
 #include "core/column_store.h"
 #include "core/engine.h"
 #include "core/flat_store.h"
+#include "core/simd.h"
 #include "core/window_store.h"
+#include "sched/fork_join_pool.h"
 #include "util/json.h"
 #include "util/rng.h"
 
@@ -442,6 +444,68 @@ int main(int argc, char** argv) {
       reps, wide_flat_chunk);
   const double columnar_kernel_speedup = wide_flat_chunk / wide_kernels;
 
+  // --- SIMD dispatch + morsel scaling (the two-axis execution layer) --------
+  // Axis 1: the same single-bound kernel_count on the loaded group
+  // column, once at the host's runtime-dispatched level and once pinned
+  // to the portable-scalar table through ExecHints — the `simd_guard`
+  // bar (vectorized >= 1.5x scalar at >= 1e6 rows) is enforced only on
+  // AVX2/AVX-512 hosts; scalar and NEON hosts record the ratio and
+  // auto-skip.  Axis 2: the same kernel over temporary 1/2/4/8-worker
+  // fork/join pools, against the sequential (no-pool) pass — fixed
+  // 64Ki-row morsels, so the work partition is identical at every width.
+  print_header("simd dispatch + morsel scaling at " + std::to_string(rows) +
+               " rows (host level: " +
+               simd::to_string(simd::active_level()) + ")");
+  const auto count_only_pass = [&] {
+    return wide_col->kernel_count(wide_bounds).selected;
+  };
+  wide_col->set_exec_hints(ExecHints{nullptr, /*simd=*/true, false});
+  if (count_only_pass() != wide_expect.count) {
+    std::fprintf(stderr, "MISMATCH simd kernel_count\n");
+    return 1;
+  }
+  std::printf("%-14s %-22s %12s %17s %9s\n", "store", "path", "seconds",
+              "throughput", "speedup");
+  const double simd_scalar_s = [&] {
+    wide_col->set_exec_hints(ExecHints{nullptr, /*simd=*/false, false});
+    if (count_only_pass() != wide_expect.count) {
+      std::fprintf(stderr, "MISMATCH scalar kernel_count\n");
+      std::exit(1);
+    }
+    return scan_row("columnar", "count, pinned scalar", rows,
+                    [&] { (void)count_only_pass(); }, reps, 0);
+  }();
+  const double simd_vector_s = [&] {
+    wide_col->set_exec_hints(ExecHints{nullptr, /*simd=*/true, false});
+    return scan_row(
+        "columnar",
+        std::string("count, ") + simd::to_string(wide_col->dispatch_level()),
+        rows, [&] { (void)count_only_pass(); }, reps, simd_scalar_s);
+  }();
+  const double simd_speedup = simd_scalar_s / simd_vector_s;
+
+  json::Array morsel_scaling;
+  for (const int workers : {1, 2, 4, 8}) {
+    sched::ForkJoinPool pool(workers);
+    wide_col->set_exec_hints(ExecHints{&pool, true, true});
+    if (count_only_pass() != wide_expect.count) {
+      std::fprintf(stderr, "MISMATCH morsel kernel_count\n");
+      return 1;
+    }
+    const double s = scan_row(
+        "columnar", "count, " + std::to_string(workers) + " workers", rows,
+        [&] { (void)count_only_pass(); }, reps, simd_vector_s);
+    morsel_scaling.push_back(json::Object{
+        {"workers", workers},
+        {"seconds", s},
+        {"speedup_vs_sequential", simd_vector_s / s},
+        {"morsels", static_cast<std::int64_t>(
+                        morsel::count(static_cast<std::size_t>(rows)))},
+    });
+  }
+  // Restore the defaults (no pool, active dispatch) for any later use.
+  wide_col->set_exec_hints(ExecHints{nullptr, true, true});
+
   // --- Table-level end-to-end: count_if through the engine ------------------
   print_header("Table<T>::count_if end-to-end (" + std::to_string(rows) +
                " rows per table)");
@@ -525,6 +589,17 @@ int main(int argc, char** argv) {
   // enforced at CI-smoke scale.
   constexpr double kChurnBar = 0.8;
   constexpr std::int64_t kChurnBarRows = 1000000;
+  // The simd bar compares the *same* kernel_count at the host's
+  // runtime-dispatched level against the pinned portable-scalar table.
+  // It is only meaningful where wide vectors exist, so it is enforced on
+  // AVX2/AVX-512 hosts at CI-smoke scale and auto-skipped (recorded,
+  // not failed) on scalar and NEON hosts or when JSTAR_SIMD=off.
+  constexpr double kSimdBar = 1.5;
+  constexpr std::int64_t kSimdBarRows = 1000000;
+  const simd::Level simd_level = simd::active_level();
+  const bool simd_guard_enforced =
+      rows >= kSimdBarRows && (simd_level == simd::Level::Avx2 ||
+                               simd_level == simd::Level::Avx512);
   std::printf(
       "\nheadline: flat-ordered chunked scan %.1fx over skip-list "
       "per-tuple std::function at %lld rows (per-tuple flat path: %.1fx; "
@@ -539,6 +614,11 @@ int main(int argc, char** argv) {
       "headline: chunked scan after 50%% retraction churn runs at %.2fx "
       "the insert-only flat-ordered scan (flat-hash: %.2fx; bar: %.1fx)\n",
       churn_scan_ratio, churn_hash_scan_ratio, kChurnBar);
+  std::printf(
+      "headline: %s kernel_count %.1fx over pinned scalar (bar: %.1fx, "
+      "%s)\n",
+      simd::to_string(simd_level), simd_speedup, kSimdBar,
+      simd_guard_enforced ? "enforced" : "recorded only on this host");
 
   const json::Value doc = json::Object{
       {"bench", "substrates"},
@@ -574,6 +654,23 @@ int main(int argc, char** argv) {
            {"bar", kChurnBar},
            {"rows", rows},
        }},
+      {"simd",
+       json::Object{
+           {"detect_level", simd::to_string(simd::detect_level())},
+           {"dispatch_level", simd::to_string(simd_level)},
+           {"morsels_env_on", simd::morsels_env_on()},
+           {"morsel_scaling", std::move(morsel_scaling)},
+       }},
+      {"simd_guard",
+       json::Object{
+           {"kernel_count_speedup_vs_scalar", simd_speedup},
+           {"scalar_seconds", simd_scalar_s},
+           {"vector_seconds", simd_vector_s},
+           {"bar", kSimdBar},
+           {"rows", rows},
+           {"enforced", simd_guard_enforced},
+           {"skipped", !simd_guard_enforced},
+       }},
   };
   std::FILE* f = std::fopen("BENCH_substrates.json", "w");
   if (f != nullptr) {
@@ -605,6 +702,13 @@ int main(int argc, char** argv) {
                  "FAIL: post-churn chunked scan ratio %.2fx is below the "
                  "%.1fx acceptance bar\n",
                  churn_scan_ratio, kChurnBar);
+    return 1;
+  }
+  if (simd_guard_enforced && simd_speedup < kSimdBar) {
+    std::fprintf(stderr,
+                 "FAIL: %s kernel_count speedup %.2fx over pinned scalar "
+                 "is below the %.1fx acceptance bar\n",
+                 simd::to_string(simd_level), simd_speedup, kSimdBar);
     return 1;
   }
   return 0;

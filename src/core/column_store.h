@@ -28,6 +28,18 @@
 // bindings only ever target int64-exact fields (core/query.h bindable_v),
 // so comparing in int64 space is the same comparison the callable makes.
 //
+// Execution (this PR's two axes): int64 column sweeps run through the
+// runtime-dispatched SIMD primitives of core/simd.h (AVX2/AVX-512 on
+// x86, NEON on aarch64, scalar fallback — JSTAR_SIMD=off pins scalar),
+// and past a fixed sequential cutoff every kernel splits into
+// fixed-size morsels executed on the hinted fork/join pool
+// (set_exec_hints), with partials combined in storage order so results
+// stay deterministic and identical to the sequential pass
+// (JSTAR_MORSELS=off pins sequential).  Kernels only ever see the live,
+// purged, sorted columns — with_merged() folds staging and compacts the
+// dead set before any sweep starts, so SIMD lanes and morsel splits
+// never observe staged or retracted rows.
+//
 // Thread-safety: one shared_mutex, same discipline as the flat tier —
 // inserts and merges exclusive, scans and kernels shared; scan callbacks
 // run under the store's lock (no re-entry), retire listeners fire after
@@ -53,6 +65,8 @@
 
 #include "core/gamma_store.h"
 #include "core/query.h"
+#include "core/simd.h"
+#include "sched/fork_join_pool.h"
 #include "util/check.h"
 
 namespace jstar {
@@ -88,6 +102,7 @@ class ColumnarOps {
   struct KernelStats {
     std::int64_t rows = 0;      // rows the kernel swept
     std::int64_t selected = 0;  // rows the selection mask kept
+    std::int64_t morsels = 0;   // morsels the sweep split into (0 = inline)
   };
 
   virtual ~ColumnarOps() = default;
@@ -275,15 +290,67 @@ class ColumnStore final : public GammaStore<T>,
   bool ordered() const override { return true; }
   bool chunked() const override { return true; }
 
+  /// Morsel-parallel reconstituting scan (see GammaStore::scan_morsels).
+  /// Only engages past the sequential cutoff with a hinted pool; each
+  /// morsel reconstitutes its rows through its own chunk buffer, so
+  /// spans from different morsels never alias.
+  bool scan_morsels(
+      const std::function<void(std::size_t)>& plan,
+      const std::function<void(const T*, std::size_t, std::size_t)>& body)
+      const override {
+    bool ran = false;
+    with_merged([&] {
+      const std::size_t n = row_count();
+      if (!morsels_active(n)) return;
+      const std::size_t m = morsel::count(n);
+      plan(m);
+      pool_->for_each_index(
+          static_cast<std::int64_t>(m),
+          [&](std::int64_t mi) {
+            const std::size_t a =
+                static_cast<std::size_t>(mi) * morsel::kRows;
+            const std::size_t b = std::min(n, a + morsel::kRows);
+            std::vector<T> buf(std::min(b - a, kChunk));
+            for (std::size_t base = a; base < b; base += buf.size()) {
+              const std::size_t c = std::min(buf.size(), b - base);
+              fill_chunk(buf.data(), base, c, Seq{});
+              body(buf.data(), c, static_cast<std::size_t>(mi));
+            }
+          },
+          /*grain=*/1);
+      note_morsels(m);
+      ran = true;
+    });
+    return ran;
+  }
+
   std::size_t size() const override {
     std::shared_lock lk(mu_);
     return row_count() + staging_.size() - dead_.size();
   }
 
+  /// "columnar(<cols>[,retain],<dispatch>[,morsels=<splits>])" — the
+  /// dispatch level the kernels actually run at (after JSTAR_SIMD and
+  /// the ExecHints::simd switch) plus the cumulative morsel split
+  /// count, so run logs record which execution path this store took.
   std::string describe() const override {
-    const std::string cols = std::to_string(sizeof...(Members));
-    return windowed_ ? "columnar(" + cols + ",retain)" : "columnar(" + cols +
-                                                             ")";
+    std::string s = "columnar(" + std::to_string(sizeof...(Members));
+    if (windowed_) s += ",retain";
+    s += ",";
+    s += simd::to_string(simd_level_);
+    const std::int64_t splits =
+        morsel_splits_.load(std::memory_order_relaxed);
+    if (splits > 0) s += ",morsels=" + std::to_string(splits);
+    return s + ")";
+  }
+
+  void set_exec_hints(const ExecHints& h) override {
+    pool_ = h.pool;
+    morsels_on_ = h.morsels;
+    // The JSTAR_SIMD env var is already folded into active_level(); the
+    // hint can only pin scalar on top of it, never re-enable.
+    simd_level_ = h.simd ? simd::active_level() : simd::Level::Scalar;
+    simd_k_ = &simd::kernels(simd_level_);
   }
 
   // --- RetiringStore (TableDecl::retain(N) integration) --------------------
@@ -329,18 +396,22 @@ class ColumnStore final : public GammaStore<T>,
       ks.rows = static_cast<std::int64_t>(n);
       if (n == 0) return;
       if (bounds.size() == 1) {
-        // One bound: fuse the count into the column pass, no mask.
-        std::int64_t c = 0;
+        // One bound: fuse the count into the column pass, no mask — the
+        // SIMD compare+popcount path, split into morsels when large.
         visit_column(bounds[0].tag, [&](const auto& col) {
-          c = count_in_range(col, bounds[0]);
+          std::vector<std::int64_t> parts(morsel::count(n), 0);
+          ks.morsels = static_cast<std::int64_t>(for_each_morsel(
+              n, [&](std::size_t mi, std::size_t a, std::size_t b) {
+                parts[mi] = count_span(col, a, b, bounds[0]);
+              }));
+          for (const std::int64_t p : parts) ks.selected += p;
         });
-        ks.selected = c;
         return;
       }
-      const std::vector<std::uint8_t> sel = selection(bounds, n);
-      std::int64_t c = 0;
-      for (const std::uint8_t s : sel) c += s;
-      ks.selected = c;
+      std::size_t m = 0;
+      const std::vector<std::uint8_t> sel = selection(bounds, n, &m);
+      ks.morsels = static_cast<std::int64_t>(m);
+      ks.selected = simd_k_->mask_count(sel.data(), n);
     });
     return ks;
   }
@@ -353,16 +424,25 @@ class ColumnStore final : public GammaStore<T>,
       const std::size_t n = row_count();
       ks.rows = static_cast<std::int64_t>(n);
       if (n == 0) return;
-      const std::vector<std::uint8_t> sel = selection(bounds, n);
+      std::size_t m = 0;
+      const std::vector<std::uint8_t> sel = selection(bounds, n, &m);
+      ks.morsels = static_cast<std::int64_t>(m);
       std::vector<T> buf;
       buf.reserve(kChunk);
-      for (std::size_t i = 0; i < n; ++i) {
-        if (!sel[i]) continue;
-        buf.push_back(row_at(i));
-        ++ks.selected;
-        if (buf.size() == kChunk) {
-          fn(buf.data(), buf.size());
-          buf.clear();
+      // Mask-compressed emit: blocks whose mask popcount is zero (the
+      // common case at low selectivity) skip the per-row reconstitution
+      // scan entirely.
+      for (std::size_t base = 0; base < n; base += kChunk) {
+        const std::size_t c = std::min(kChunk, n - base);
+        if (simd_k_->mask_count(sel.data() + base, c) == 0) continue;
+        for (std::size_t i = base; i < base + c; ++i) {
+          if (!sel[i]) continue;
+          buf.push_back(row_at(i));
+          ++ks.selected;
+          if (buf.size() == kChunk) {
+            fn(buf.data(), buf.size());
+            buf.clear();
+          }
         }
       }
       if (!buf.empty()) fn(buf.data(), buf.size());
@@ -393,24 +473,62 @@ class ColumnStore final : public GammaStore<T>,
     with_merged([&] {
       const std::size_t n = row_count();
       if (stats != nullptr) stats->rows = static_cast<std::int64_t>(n);
-      const std::vector<std::uint8_t> sel = selection(bounds, n);
+      std::size_t m = 0;
+      const std::vector<std::uint8_t> sel = selection(bounds, n, &m);
+      if (stats != nullptr) stats->morsels = static_cast<std::int64_t>(m);
       supported = visit_column(col, [&](const auto& column) {
         using V = typename std::decay_t<decltype(column)>::value_type;
-        bool found = false;
-        V best{};
-        std::size_t best_i = 0;
-        for (std::size_t i = 0; i < n; ++i) {
-          if (!sel[i]) continue;
-          if (stats != nullptr) ++stats->selected;
-          // Strict less: ties keep the earliest row, which in this sorted
-          // store is also what a store-order scan would keep.
-          if (!found || column[i] < best) {
-            found = true;
-            best = column[i];
-            best_i = i;
+        if constexpr (std::is_same_v<V, std::int64_t>) {
+          // Horizontal-min SIMD path, one masked argmin per morsel;
+          // morsel partials combine in storage order with strict less,
+          // so ties keep the earliest row exactly like the scalar loop.
+          struct Part {
+            bool found = false;
+            std::int64_t min = 0;
+            std::size_t row = 0;
+          };
+          std::vector<Part> parts(morsel::count(n));
+          for_each_morsel(n, [&](std::size_t mi, std::size_t a,
+                                 std::size_t b) {
+            std::int64_t mn = 0;
+            std::size_t r = 0;
+            if (simd_k_->masked_min_i64(column.data() + a, sel.data() + a,
+                                        b - a, &mn, &r)) {
+              parts[mi] = Part{true, mn, a + r};
+            }
+          });
+          bool found = false;
+          std::int64_t best = 0;
+          std::size_t best_i = 0;
+          for (const Part& p : parts) {
+            if (!p.found) continue;
+            if (!found || p.min < best) {
+              found = true;
+              best = p.min;
+              best_i = p.row;
+            }
           }
+          if (stats != nullptr) {
+            stats->selected += simd_k_->mask_count(sel.data(), n);
+          }
+          if (found) *out = row_at(best_i);
+        } else {
+          bool found = false;
+          V best{};
+          std::size_t best_i = 0;
+          for (std::size_t i = 0; i < n; ++i) {
+            if (!sel[i]) continue;
+            if (stats != nullptr) ++stats->selected;
+            // Strict less: ties keep the earliest row, which in this
+            // sorted store is also what a store-order scan would keep.
+            if (!found || column[i] < best) {
+              found = true;
+              best = column[i];
+              best_i = i;
+            }
+          }
+          if (found) *out = row_at(best_i);
         }
-        if (found) *out = row_at(best_i);
       });
     });
     return supported;
@@ -428,6 +546,15 @@ class ColumnStore final : public GammaStore<T>,
   std::int64_t retired() const {
     return retired_.load(std::memory_order_relaxed);
   }
+  /// Morsel-parallel sweeps executed / total splits across them.
+  std::int64_t morsel_runs() const {
+    return morsel_runs_.load(std::memory_order_relaxed);
+  }
+  std::int64_t morsel_splits() const {
+    return morsel_splits_.load(std::memory_order_relaxed);
+  }
+  /// The SIMD dispatch level the kernels run at.
+  simd::Level dispatch_level() const { return simd_level_; }
 
  private:
   static constexpr std::size_t kCols = sizeof...(Members);
@@ -557,34 +684,110 @@ class ColumnStore final : public GammaStore<T>,
     }
   }
 
-  /// Single-bound fused count over one column (auto-vectorizes).
+  /// True when kernels/scans over n rows should split across the pool:
+  /// a pool was hinted, morsels are enabled (EngineOptions AND the
+  /// JSTAR_MORSELS env kill-switch), and the table is past the
+  /// sequential cutoff — small tables keep their current latency.
+  bool morsels_active(std::size_t n) const {
+    return pool_ != nullptr && morsels_on_ && simd::morsels_env_on() &&
+           n >= morsel::kSequentialCutoff;
+  }
+
+  /// Runs body(morsel, begin, end) over the fixed-size morsel partition
+  /// of [0, n) — on the pool when morsels_active, else one inline call
+  /// covering everything.  Returns the split count (0 when inline), so
+  /// callers report it in KernelStats.  The partition is a pure function
+  /// of n, keeping per-morsel partials (and any ordered reduction over
+  /// them) deterministic across pool sizes.
+  template <typename Body>
+  std::size_t for_each_morsel(std::size_t n, const Body& body) const {
+    if (!morsels_active(n)) {
+      body(std::size_t{0}, std::size_t{0}, n);
+      return 0;
+    }
+    const std::size_t m = morsel::count(n);
+    pool_->for_each_index(
+        static_cast<std::int64_t>(m),
+        [&](std::int64_t mi) {
+          const std::size_t a = static_cast<std::size_t>(mi) * morsel::kRows;
+          body(static_cast<std::size_t>(mi), a,
+               std::min(n, a + morsel::kRows));
+        },
+        /*grain=*/1);
+    note_morsels(m);
+    return m;
+  }
+
+  void note_morsels(std::size_t m) const {
+    morsel_runs_.fetch_add(1, std::memory_order_relaxed);
+    morsel_splits_.fetch_add(static_cast<std::int64_t>(m),
+                             std::memory_order_relaxed);
+  }
+
+  /// Single-bound fused count over col[a, b) — the SIMD compare+popcount
+  /// primitive on int64 columns, a portable branch-free loop elsewhere.
   template <typename Col>
-  static std::int64_t count_in_range(const Col& col, const Bound& b) {
-    std::int64_t c = 0;
-    const std::size_t n = col.size();
-    for (std::size_t i = 0; i < n; ++i) c += in_bound(col[i], b);
-    return c;
+  std::int64_t count_span(const Col& col, std::size_t a, std::size_t b,
+                          const Bound& bd) const {
+    using V = typename std::decay_t<decltype(col)>::value_type;
+    if constexpr (std::is_same_v<V, std::int64_t>) {
+      return simd_k_->count_in_range(col.data() + a, b - a, bd.lo, bd.hi);
+    } else {
+      std::int64_t c = 0;
+      for (std::size_t i = a; i < b; ++i) c += in_bound(col[i], bd);
+      return c;
+    }
+  }
+
+  /// sel[a, b) &= bound over col — SIMD on int64 columns.
+  template <typename Col>
+  void mask_span(const Col& col, std::size_t a, std::size_t b,
+                 const Bound& bd, std::uint8_t* sel) const {
+    using V = typename std::decay_t<decltype(col)>::value_type;
+    if constexpr (std::is_same_v<V, std::int64_t>) {
+      simd_k_->mask_and_in_range(col.data() + a, b - a, bd.lo, bd.hi,
+                                 sel + a);
+    } else {
+      for (std::size_t i = a; i < b; ++i) sel[i] &= in_bound(col[i], bd);
+    }
   }
 
   /// Builds the selection mask: one byte per row, ANDed across bounds.
-  /// Bounds whose tag is not a stored column select nothing (the caller —
-  /// the planner — only emits covered bounds, so this is belt and
-  /// braces, not a semantic fallback).
+  /// Each morsel masks its own disjoint sel range (all bounds fused per
+  /// pass), so the parallel build is race-free and bit-identical to the
+  /// sequential one.  Bounds whose tag is not a stored column select
+  /// nothing (the caller — the planner — only emits covered bounds, so
+  /// this is belt and braces, not a semantic fallback).
   std::vector<std::uint8_t> selection(const std::vector<Bound>& bounds,
-                                      std::size_t n) const {
+                                      std::size_t n,
+                                      std::size_t* morsels_used =
+                                          nullptr) const {
     std::vector<std::uint8_t> sel(n, 1);
     for (const Bound& b : bounds) {
-      const bool hit = visit_column(b.tag, [&](const auto& col) {
-        std::uint8_t* s = sel.data();
-        for (std::size_t i = 0; i < n; ++i) s[i] &= in_bound(col[i], b);
-      });
-      if (!hit) std::fill(sel.begin(), sel.end(), std::uint8_t{0});
+      if (!has_column(b.tag)) {
+        std::fill(sel.begin(), sel.end(), std::uint8_t{0});
+        return sel;
+      }
     }
+    const std::size_t m =
+        for_each_morsel(n, [&](std::size_t, std::size_t a, std::size_t b) {
+          for (const Bound& bd : bounds) {
+            visit_column(bd.tag, [&](const auto& col) {
+              mask_span(col, a, b, bd, sel.data());
+            });
+          }
+        });
+    if (morsels_used != nullptr) *morsels_used = m;
     return sel;
   }
 
   /// Shared gather body: masks, then streams the target column's selected
-  /// values as Out spans through a small buffer.
+  /// values as Out spans.  Sequentially that is a small streaming buffer;
+  /// past the morsel cutoff it is a two-phase fused-predicate gather —
+  /// each morsel compresses its selected values into its own buffer on
+  /// the pool, and the buffers then stream to fn in morsel (= storage)
+  /// order, so the caller sees the exact value sequence of the
+  /// sequential pass.
   template <typename Out, typename FnSpan>
   bool gather_as(const std::vector<Bound>& bounds, const void* col,
                  const FnSpan& fn, KernelStats* stats,
@@ -601,6 +804,62 @@ class ColumnStore final : public GammaStore<T>,
           // takes the tuple path.
           if (!allow_floating) return;
         }
+        constexpr std::size_t kBlock = 256;
+        if (morsels_active(n)) {
+          const std::size_t m = morsel::count(n);
+          std::vector<std::vector<Out>> parts(m);
+          const auto morsel_body = [&](std::size_t mi, std::size_t a,
+                                       std::size_t e,
+                                       const auto& keep_row) {
+            std::vector<Out>& dst = parts[mi];
+            for (std::size_t base = a; base < e; base += kBlock) {
+              const std::size_t c = std::min(kBlock, e - base);
+              for (std::size_t i = base; i < base + c; ++i) {
+                if (keep_row(i)) dst.push_back(static_cast<Out>(column[i]));
+              }
+            }
+          };
+          if (bounds.size() == 1) {
+            // Fused predicate, no mask; an unknown bound column selects
+            // nothing (visit_column skips, parts stay empty).
+            const Bound& b = bounds[0];
+            visit_column(b.tag, [&](const auto& bcol) {
+              for_each_morsel(n, [&](std::size_t mi, std::size_t a,
+                                     std::size_t e) {
+                std::vector<Out>& dst = parts[mi];
+                for (std::size_t base = a; base < e; base += kBlock) {
+                  const std::size_t c = std::min(kBlock, e - base);
+                  // SIMD pre-count: empty blocks (the common case at low
+                  // selectivity) skip the per-row emit scan.
+                  if (count_span(bcol, base, base + c, b) == 0) continue;
+                  for (std::size_t i = base; i < base + c; ++i) {
+                    if (in_bound(bcol[i], b)) {
+                      dst.push_back(static_cast<Out>(column[i]));
+                    }
+                  }
+                }
+              });
+            });
+          } else {
+            const std::vector<std::uint8_t> sel = selection(bounds, n);
+            for_each_morsel(
+                n, [&](std::size_t mi, std::size_t a, std::size_t e) {
+                  morsel_body(mi, a, e,
+                              [&](std::size_t i) { return sel[i] != 0; });
+                });
+          }
+          std::int64_t selected = 0;
+          for (const std::vector<Out>& p : parts) {
+            if (p.empty()) continue;
+            fn(p.data(), p.size());
+            selected += static_cast<std::int64_t>(p.size());
+          }
+          if (stats != nullptr) {
+            stats->selected += selected;
+            stats->morsels = static_cast<std::int64_t>(m);
+          }
+          return;
+        }
         std::array<Out, kChunk> buf{};
         std::size_t fill = 0;
         std::int64_t selected = 0;
@@ -615,30 +874,23 @@ class ColumnStore final : public GammaStore<T>,
         if (bounds.size() == 1) {
           // One bound: fuse the predicate into the gather pass — no
           // selection mask is materialised (mirrors kernel_count).  Each
-          // block is first pre-counted with a branch-free reduction the
-          // compiler vectorises; blocks selecting nothing (the common
-          // case at low selectivity) skip the per-row emit scan, so the
-          // pass degrades to a pure streaming count.  An unknown bound
+          // block is first pre-counted with the dispatched SIMD
+          // compare+popcount (portable reduction on non-int64 columns);
+          // blocks selecting nothing (the common case at low
+          // selectivity) skip the per-row emit scan, so the pass
+          // degrades to a pure streaming count.  An unknown bound
           // column selects nothing: visit_column skips the lambda.
           const Bound& b = bounds[0];
-          constexpr std::size_t kBlock = 256;
           visit_column(b.tag, [&](const auto& bcol) {
-            const auto* const p = bcol.data();
             std::size_t base = 0;
-            // Full blocks get a fixed trip count so the pre-count
-            // reduction vectorises even under -O2's cheap cost model.
             for (; base + kBlock <= n; base += kBlock) {
-              std::int64_t in_block = 0;
+              if (count_span(bcol, base, base + kBlock, b) == 0) continue;
               for (std::size_t j = 0; j < kBlock; ++j) {
-                in_block += in_bound(p[base + j], b);
-              }
-              if (in_block == 0) continue;
-              for (std::size_t j = 0; j < kBlock; ++j) {
-                if (in_bound(p[base + j], b)) emit(base + j);
+                if (in_bound(bcol[base + j], b)) emit(base + j);
               }
             }
             for (std::size_t i = base; i < n; ++i) {
-              if (in_bound(p[i], b)) emit(i);
+              if (in_bound(bcol[i], b)) emit(i);
             }
           });
         } else {
@@ -833,6 +1085,16 @@ class ColumnStore final : public GammaStore<T>,
   mutable std::int64_t coverage_checks_left_ = 64;
   mutable std::atomic<std::int64_t> merges_{0};
   std::atomic<std::int64_t> retired_{0};
+  // Execution hints (set_exec_hints): the engine's pool for
+  // morsel-parallel kernels/scans, the morsel switch, and the resolved
+  // SIMD dispatch level.  Defaults give direct-constructed stores (unit
+  // harnesses, benches) SIMD at the host's active level and no morsels.
+  sched::ForkJoinPool* pool_ = nullptr;
+  bool morsels_on_ = true;
+  simd::Level simd_level_ = simd::active_level();
+  const simd::Kernels* simd_k_ = &simd::active_kernels();
+  mutable std::atomic<std::int64_t> morsel_runs_{0};
+  mutable std::atomic<std::int64_t> morsel_splits_{0};
 };
 
 }  // namespace jstar

@@ -41,6 +41,8 @@ void Engine::prepare() {
   env.parallel = !opts_.sequential;
   env.task_per_rule = opts_.task_per_rule;
   env.epoch = &epoch_;
+  env.simd = opts_.simd;
+  env.morsels = opts_.morsels;
   // configure() registers each table's orderby literals, so it must run
   // before the order relation is frozen into ranks.
   for (auto& t : tables_) {

@@ -61,6 +61,14 @@ struct EngineOptions {
   /// many stripes (the scalability experiment motivated by §6.5's
   /// "threads contending for the same branches of the tree").
   int delta_stripes = 0;
+  /// SIMD dispatch for the columnar kernels (core/simd.h).  false pins
+  /// every store to the scalar kernel table.  The JSTAR_SIMD env var is
+  /// ANDed in by the dispatch layer, so the env kill-switch always wins:
+  /// this flag can force scalar, never re-enable vectorized kernels.
+  bool simd = true;
+  /// Morsel-parallel scans/kernels on the engine's fork/join pool.
+  /// false keeps every scan sequential; JSTAR_MORSELS=off wins likewise.
+  bool morsels = true;
 };
 
 /// Summary of one Engine::run().

@@ -52,6 +52,8 @@
 #include <vector>
 
 #include "core/gamma_store.h"
+#include "core/simd.h"
+#include "sched/fork_join_pool.h"
 
 namespace jstar {
 
@@ -188,6 +190,47 @@ class FlatOrderedStore final : public GammaStore<T>, public RetiringStore<T> {
     });
   }
 
+  /// Morsel-parallel flat scan (see GammaStore::scan_morsels): the
+  /// sorted run is one contiguous array, so each morsel is a simple
+  /// sub-span handed to the pool.  Engages only past the sequential
+  /// cutoff with a hinted pool; bodies run under the shared lock the
+  /// same way scan_chunks callbacks do.
+  bool scan_morsels(
+      const std::function<void(std::size_t)>& plan,
+      const std::function<void(const T*, std::size_t, std::size_t)>& body)
+      const override {
+    bool ran = false;
+    with_merged([&] {
+      const std::size_t n = sorted_.size();
+      if (pool_ == nullptr || !morsels_on_ || !simd::morsels_env_on() ||
+          n < morsel::kSequentialCutoff) {
+        return;
+      }
+      const std::size_t m = morsel::count(n);
+      plan(m);
+      const T* base = sorted_.data();
+      pool_->for_each_index(
+          static_cast<std::int64_t>(m),
+          [&](std::int64_t mi) {
+            const std::size_t a =
+                static_cast<std::size_t>(mi) * morsel::kRows;
+            const std::size_t b = std::min(n, a + morsel::kRows);
+            body(base + a, b - a, static_cast<std::size_t>(mi));
+          },
+          /*grain=*/1);
+      morsel_runs_.fetch_add(1, std::memory_order_relaxed);
+      morsel_splits_.fetch_add(static_cast<std::int64_t>(m),
+                               std::memory_order_relaxed);
+      ran = true;
+    });
+    return ran;
+  }
+
+  void set_exec_hints(const ExecHints& h) override {
+    pool_ = h.pool;
+    morsels_on_ = h.morsels;
+  }
+
   bool ordered() const override { return true; }
   bool chunked() const override { return true; }
 
@@ -196,8 +239,15 @@ class FlatOrderedStore final : public GammaStore<T>, public RetiringStore<T> {
     return sorted_.size() + staging_.size() - dead_.size();
   }
 
+  /// "flat-ordered[(retain)]" — with a "(morsels=<splits>)" suffix once
+  /// any scan actually split across the pool, so run logs show which
+  /// tables went morsel-parallel (small tables keep the legacy string).
   std::string describe() const override {
-    return windowed_ ? "flat-ordered(retain)" : "flat-ordered";
+    std::string s = windowed_ ? "flat-ordered(retain)" : "flat-ordered";
+    const std::int64_t splits =
+        morsel_splits_.load(std::memory_order_relaxed);
+    if (splits > 0) s += "(morsels=" + std::to_string(splits) + ")";
+    return s;
   }
 
   // --- RetiringStore (TableDecl::retain(N) integration) --------------------
@@ -403,6 +453,11 @@ class FlatOrderedStore final : public GammaStore<T>, public RetiringStore<T> {
   std::function<void(const T&)> on_retire_;
   mutable std::atomic<std::int64_t> merges_{0};
   std::atomic<std::int64_t> retired_{0};
+  // Execution hints (set_exec_hints) + cumulative morsel counters.
+  sched::ForkJoinPool* pool_ = nullptr;
+  bool morsels_on_ = true;
+  mutable std::atomic<std::int64_t> morsel_runs_{0};
+  mutable std::atomic<std::int64_t> morsel_splits_{0};
 };
 
 /// Open-addressing hash store: power-of-two capacity, linear probing.
@@ -486,6 +541,51 @@ class FlatHashStore final : public GammaStore<T> {
     }
   }
 
+  /// Morsel-parallel slot sweep: the slot array is partitioned into
+  /// fixed morsels; each emits its occupied runs (clipped at the morsel
+  /// boundary — multiple spans per morsel are allowed by the contract).
+  /// Gates on the *live* count, not the capacity, so a sparse table
+  /// does not fan out for a handful of tuples.
+  bool scan_morsels(
+      const std::function<void(std::size_t)>& plan,
+      const std::function<void(const T*, std::size_t, std::size_t)>& body)
+      const override {
+    std::shared_lock lk(mu_);
+    if (pool_ == nullptr || !morsels_on_ || !simd::morsels_env_on() ||
+        count_ < morsel::kSequentialCutoff) {
+      return false;
+    }
+    const std::size_t n = slots_.size();
+    const std::size_t m = morsel::count(n);
+    plan(m);
+    pool_->for_each_index(
+        static_cast<std::int64_t>(m),
+        [&](std::int64_t mi) {
+          const std::size_t a = static_cast<std::size_t>(mi) * morsel::kRows;
+          const std::size_t b = std::min(n, a + morsel::kRows);
+          std::size_t i = a;
+          while (i < b) {
+            while (i < b && used_[i] != kUsed) ++i;
+            std::size_t j = i;
+            while (j < b && used_[j] == kUsed) ++j;
+            if (j > i) {
+              body(slots_.data() + i, j - i, static_cast<std::size_t>(mi));
+            }
+            i = j;
+          }
+        },
+        /*grain=*/1);
+    morsel_runs_.fetch_add(1, std::memory_order_relaxed);
+    morsel_splits_.fetch_add(static_cast<std::int64_t>(m),
+                             std::memory_order_relaxed);
+    return true;
+  }
+
+  void set_exec_hints(const ExecHints& h) override {
+    pool_ = h.pool;
+    morsels_on_ = h.morsels;
+  }
+
   bool chunked() const override { return true; }
 
   std::size_t size() const override {
@@ -493,7 +593,13 @@ class FlatHashStore final : public GammaStore<T> {
     return count_;
   }
 
-  std::string describe() const override { return "flat-hash"; }
+  std::string describe() const override {
+    std::string s = "flat-hash";
+    const std::int64_t splits =
+        morsel_splits_.load(std::memory_order_relaxed);
+    if (splits > 0) s += "(morsels=" + std::to_string(splits) + ")";
+    return s;
+  }
 
   /// Current slot-array capacity (tests).
   std::size_t capacity() const {
@@ -548,6 +654,11 @@ class FlatHashStore final : public GammaStore<T> {
   std::vector<std::uint8_t> used_;
   std::size_t count_ = 0;
   std::size_t tombstones_ = 0;
+  // Execution hints (set_exec_hints) + cumulative morsel counters.
+  sched::ForkJoinPool* pool_ = nullptr;
+  bool morsels_on_ = true;
+  mutable std::atomic<std::int64_t> morsel_runs_{0};
+  mutable std::atomic<std::int64_t> morsel_splits_{0};
 };
 
 }  // namespace jstar

@@ -28,6 +28,36 @@
 
 namespace jstar {
 
+namespace sched {
+class ForkJoinPool;
+}  // namespace sched
+
+/// Execution hints a table hands its store at configure time: the
+/// engine's shared fork/join pool for morsel-parallel scans/kernels, and
+/// the EngineOptions::simd / ::morsels flags.  The JSTAR_SIMD /
+/// JSTAR_MORSELS env kill-switches are ANDed in by the stores themselves
+/// (core/simd.h), so the env var always wins — differential harnesses
+/// can pin the scalar/sequential reference path from outside.
+struct ExecHints {
+  sched::ForkJoinPool* pool = nullptr;
+  bool simd = true;
+  bool morsels = true;
+};
+
+/// Morsel geometry, shared by every substrate that implements
+/// scan_morsels and by the columnar kernels' internal splits.  kRows is
+/// the fixed morsel size — fixed (not ncores-derived) so the partition,
+/// and with it every ordered reduction, is deterministic across pool
+/// sizes.  Tables below kSequentialCutoff run as one morsel on the
+/// calling thread, keeping small-table latency unchanged.
+namespace morsel {
+inline constexpr std::size_t kRows = 64 * 1024;
+inline constexpr std::size_t kSequentialCutoff = 2 * kRows;
+inline constexpr std::size_t count(std::size_t n) {
+  return n == 0 ? 1 : (n + kRows - 1) / kRows;
+}
+}  // namespace morsel
+
 /// Type-erased marker base so Engine can hold stores uniformly.
 class GammaStoreBase {
  public:
@@ -36,6 +66,9 @@ class GammaStoreBase {
   /// Human-readable substrate name, surfaced in TableStats / run logs so
   /// a tuning session can see which structure each table actually got.
   virtual std::string describe() const { return "custom"; }
+  /// Execution hints (pool + SIMD/morsel switches).  Stores that cannot
+  /// use them ignore the call.
+  virtual void set_exec_hints(const ExecHints&) {}
 };
 
 /// Retention capability — stores that can drop tuples when a retain(N)
@@ -101,6 +134,28 @@ class GammaStore : public GammaStoreBase {
   /// True when scan_chunks delivers genuinely contiguous multi-tuple
   /// spans — Table<T> then routes its scans through the chunked path.
   virtual bool chunked() const { return false; }
+  /// Morsel-parallel scan pushdown: splits the stored tuples into
+  /// fixed-size morsels and runs `body(data, n, morsel)` over them on
+  /// the hinted fork/join pool.  `plan(morsels)` fires exactly once,
+  /// before any body call, so the caller can size a per-morsel partials
+  /// array; a morsel may deliver several spans (columnar reconstitution
+  /// chunks), all carrying the same morsel index, and two morsels never
+  /// share an index — per-slot writes need no synchronisation.  Morsel
+  /// indexes follow storage order, so combining partials 0..morsels-1
+  /// keeps sequential reduction order deterministic.  Returns false
+  /// (nothing ran) when the store cannot morselize or the hints disable
+  /// it — the caller falls back to scan_chunks; a `true` run with the
+  /// table below the sequential threshold is a single morsel on the
+  /// calling thread.  Body runs under the store's read lock, same
+  /// re-entry contract as scan.
+  virtual bool scan_morsels(
+      const std::function<void(std::size_t)>& plan,
+      const std::function<void(const T*, std::size_t, std::size_t)>& body)
+      const {
+    (void)plan;
+    (void)body;
+    return false;
+  }
   /// Erase/tombstone contract (retractions, ROADMAP item 4): removes `t`
   /// if present; returns true exactly when a stored tuple was removed.
   /// After erase(t) returns true, contains(t) is false and no scan (plain,

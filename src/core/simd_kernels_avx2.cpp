@@ -1,0 +1,165 @@
+// AVX2 kernel table.  CMake compiles this TU with -mavx2 when the
+// compiler supports the flag on x86; everywhere else the guard below
+// collapses the TU to a nullptr stub so the rest of the binary stays
+// portable and simd::kernels() degrades to scalar.  Selection of this
+// table at runtime is cpuid-gated (simd.cpp), so these intrinsics never
+// execute on hardware without AVX2.
+#include "core/simd.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstring>
+#include <limits>
+
+namespace jstar::simd {
+
+namespace {
+
+/// All-ones lane where lo <= x[i] <= hi.  AVX2 only has signed 64-bit
+/// greater-than, so in-range is NOT(lo > x) AND NOT(x > hi).
+inline __m256i in_range_i64(__m256i x, __m256i vlo, __m256i vhi) {
+  const __m256i below = _mm256_cmpgt_epi64(vlo, x);
+  const __m256i above = _mm256_cmpgt_epi64(x, vhi);
+  const __m256i outside = _mm256_or_si256(below, above);
+  return _mm256_xor_si256(outside, _mm256_set1_epi64x(-1));
+}
+
+/// Expands a 4-bit lane mask into 4 bytes of 0/1.  The multiplier
+/// replicates bit j of k to bit 8j of the product (positions 0/7/14/21
+/// shifted by j land on disjoint bits, so no carries).
+inline std::uint32_t spread4(std::uint32_t k) {
+  return (k * 0x00204081u) & 0x01010101u;
+}
+
+inline std::uint8_t in_bound1(std::int64_t v, std::int64_t lo,
+                              std::int64_t hi) {
+  return static_cast<std::uint8_t>(static_cast<int>(v >= lo) &
+                                   static_cast<int>(v <= hi));
+}
+
+std::int64_t avx2_count_in_range(const std::int64_t* v, std::size_t n,
+                                 std::int64_t lo, std::int64_t hi) {
+  const __m256i vlo = _mm256_set1_epi64x(lo);
+  const __m256i vhi = _mm256_set1_epi64x(hi);
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    // In-range lanes are -1: subtracting adds 1 per selected lane.
+    acc = _mm256_sub_epi64(acc, in_range_i64(x, vlo, vhi));
+  }
+  alignas(32) std::int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::int64_t c = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) c += in_bound1(v[i], lo, hi);
+  return c;
+}
+
+void avx2_mask_and_in_range(const std::int64_t* v, std::size_t n,
+                            std::int64_t lo, std::int64_t hi,
+                            std::uint8_t* sel) {
+  const __m256i vlo = _mm256_set1_epi64x(lo);
+  const __m256i vhi = _mm256_set1_epi64x(hi);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    const __m256i in = in_range_i64(x, vlo, vhi);
+    const std::uint32_t k = static_cast<std::uint32_t>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(in)));
+    std::uint32_t cur;
+    std::memcpy(&cur, sel + i, 4);
+    cur &= spread4(k);
+    std::memcpy(sel + i, &cur, 4);
+  }
+  for (; i < n; ++i) sel[i] &= in_bound1(v[i], lo, hi);
+}
+
+std::int64_t avx2_mask_count(const std::uint8_t* sel, std::size_t n) {
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc = zero;
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i bytes =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sel + i));
+    // Bytes are 0/1 by construction; SAD against zero sums each 8-byte
+    // group into a 64-bit lane, so no 255-iteration saturation dance.
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(bytes, zero));
+  }
+  alignas(32) std::int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::int64_t c = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) c += sel[i];
+  return c;
+}
+
+bool avx2_masked_min_i64(const std::int64_t* v, const std::uint8_t* sel,
+                         std::size_t n, std::int64_t* out_min,
+                         std::size_t* out_row) {
+  // Pass 1 (vector): min over selected lanes, deselected lanes blended to
+  // INT64_MAX.  The sentinel cannot produce a wrong answer: if every
+  // selected value is INT64_MAX the min is INT64_MAX anyway, and pass 2
+  // only looks at selected rows.  AVX2 has no min_epi64, so the running
+  // min is a compare+blend.
+  const std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  const __m256i vmax = _mm256_set1_epi64x(kMax);
+  __m256i vmin = vmax;
+  std::uint32_t any = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    std::uint32_t s4;
+    std::memcpy(&s4, sel + i, 4);
+    any |= s4;
+    if (s4 == 0) continue;
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    // Byte mask (0/1 each) -> all-ones 64-bit lane mask.
+    const __m256i lanes =
+        _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(static_cast<int>(s4)));
+    const __m256i keep = _mm256_cmpgt_epi64(lanes, _mm256_setzero_si256());
+    const __m256i masked = _mm256_blendv_epi8(vmax, x, keep);
+    const __m256i less = _mm256_cmpgt_epi64(vmin, masked);
+    vmin = _mm256_blendv_epi8(vmin, masked, less);
+  }
+  alignas(32) std::int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), vmin);
+  std::int64_t best = kMax;
+  bool found = any != 0;
+  for (const std::int64_t l : lanes) best = l < best ? l : best;
+  for (; i < n; ++i) {
+    if (!sel[i]) continue;
+    found = true;
+    if (v[i] < best) best = v[i];
+  }
+  if (!found) return false;
+  // Pass 2 (scalar): first selected row attaining the min — preserves the
+  // earliest-row tie-break of the sequential argmin.
+  for (std::size_t r = 0; r < n; ++r) {
+    if (sel[r] && v[r] == best) {
+      *out_min = best;
+      *out_row = r;
+      return true;
+    }
+  }
+  return false;  // unreachable: `found` implies a selected row holds best
+}
+
+constexpr Kernels kAvx2{avx2_count_in_range, avx2_mask_and_in_range,
+                        avx2_mask_count, avx2_masked_min_i64};
+
+}  // namespace
+
+const Kernels* avx2_kernels() { return &kAvx2; }
+
+}  // namespace jstar::simd
+
+#else  // !__AVX2__
+
+namespace jstar::simd {
+const Kernels* avx2_kernels() { return nullptr; }
+}  // namespace jstar::simd
+
+#endif

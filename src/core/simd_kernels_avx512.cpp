@@ -1,0 +1,146 @@
+// AVX-512 kernel table (AVX512F only — no BW/VL, so it runs on every
+// avx512f host).  CMake compiles this TU with -mavx512f when the
+// compiler supports it on x86; otherwise the nullptr stub below keeps
+// the binary portable.  Runtime selection is cpuid-gated in simd.cpp.
+#include "core/simd.h"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+namespace jstar::simd {
+
+namespace {
+
+inline __mmask8 in_range_mask(__m512i x, __m512i vlo, __m512i vhi) {
+  const __mmask8 ge = _mm512_cmp_epi64_mask(x, vlo, _MM_CMPINT_NLT);
+  const __mmask8 le = _mm512_cmp_epi64_mask(x, vhi, _MM_CMPINT_LE);
+  return ge & le;
+}
+
+/// Expands a 4-bit lane mask into 4 bytes of 0/1 (see the AVX2 TU).
+inline std::uint32_t spread4(std::uint32_t k) {
+  return (k * 0x00204081u) & 0x01010101u;
+}
+
+/// Packs 8 bytes of 0/1 into an 8-bit lane mask.  The multiplier sends
+/// byte j's low bit to product bit 56+j with no colliding contributions
+/// (positions 56-7m+8j are pairwise distinct), so no carries.
+inline __mmask8 pack8(const std::uint8_t* sel) {
+  std::uint64_t w;
+  std::memcpy(&w, sel, 8);
+  return static_cast<__mmask8>((w * 0x0102040810204080ULL) >> 56);
+}
+
+inline std::uint8_t in_bound1(std::int64_t v, std::int64_t lo,
+                              std::int64_t hi) {
+  return static_cast<std::uint8_t>(static_cast<int>(v >= lo) &
+                                   static_cast<int>(v <= hi));
+}
+
+std::int64_t avx512_count_in_range(const std::int64_t* v, std::size_t n,
+                                   std::int64_t lo, std::int64_t hi) {
+  const __m512i vlo = _mm512_set1_epi64(lo);
+  const __m512i vhi = _mm512_set1_epi64(hi);
+  std::int64_t c = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i x = _mm512_loadu_si512(v + i);
+    c += std::popcount(
+        static_cast<unsigned>(in_range_mask(x, vlo, vhi)));
+  }
+  for (; i < n; ++i) c += in_bound1(v[i], lo, hi);
+  return c;
+}
+
+void avx512_mask_and_in_range(const std::int64_t* v, std::size_t n,
+                              std::int64_t lo, std::int64_t hi,
+                              std::uint8_t* sel) {
+  const __m512i vlo = _mm512_set1_epi64(lo);
+  const __m512i vhi = _mm512_set1_epi64(hi);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i x = _mm512_loadu_si512(v + i);
+    const std::uint32_t k = in_range_mask(x, vlo, vhi);
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(spread4(k & 0xF)) |
+        (static_cast<std::uint64_t>(spread4(k >> 4)) << 32);
+    std::uint64_t cur;
+    std::memcpy(&cur, sel + i, 8);
+    cur &= bytes;
+    std::memcpy(sel + i, &cur, 8);
+  }
+  for (; i < n; ++i) sel[i] &= in_bound1(v[i], lo, hi);
+}
+
+std::int64_t avx512_mask_count(const std::uint8_t* sel, std::size_t n) {
+  // Bytes are 0/1 by construction, so a 64-bit popcount counts 8 at once.
+  std::int64_t c = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, sel + i, 8);
+    c += std::popcount(w);
+  }
+  for (; i < n; ++i) c += sel[i];
+  return c;
+}
+
+bool avx512_masked_min_i64(const std::int64_t* v, const std::uint8_t* sel,
+                           std::size_t n, std::int64_t* out_min,
+                           std::size_t* out_row) {
+  const std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  __m512i vmin = _mm512_set1_epi64(kMax);
+  bool any = false;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __mmask8 k = pack8(sel + i);
+    if (k == 0) continue;
+    any = true;
+    const __m512i x = _mm512_loadu_si512(v + i);
+    vmin = _mm512_mask_min_epi64(vmin, k, vmin, x);
+  }
+  // Horizontal min by hand: gcc-12's _mm512_reduce_min_epi64 expands
+  // through _mm512_undefined_epi32 and trips -Wmaybe-uninitialized.
+  alignas(64) std::int64_t lanes[8];
+  _mm512_store_si512(lanes, vmin);
+  std::int64_t best = kMax;
+  for (const std::int64_t l : lanes) best = l < best ? l : best;
+  bool found = any;
+  for (; i < n; ++i) {
+    if (!sel[i]) continue;
+    found = true;
+    if (v[i] < best) best = v[i];
+  }
+  if (!found) return false;
+  // First selected row attaining the min — earliest-row tie-break.
+  for (std::size_t r = 0; r < n; ++r) {
+    if (sel[r] && v[r] == best) {
+      *out_min = best;
+      *out_row = r;
+      return true;
+    }
+  }
+  return false;  // unreachable
+}
+
+constexpr Kernels kAvx512{avx512_count_in_range, avx512_mask_and_in_range,
+                          avx512_mask_count, avx512_masked_min_i64};
+
+}  // namespace
+
+const Kernels* avx512_kernels() { return &kAvx512; }
+
+}  // namespace jstar::simd
+
+#else  // !__AVX512F__
+
+namespace jstar::simd {
+const Kernels* avx512_kernels() { return nullptr; }
+}  // namespace jstar::simd
+
+#endif

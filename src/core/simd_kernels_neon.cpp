@@ -1,0 +1,87 @@
+// NEON kernel table.  On aarch64 NEON is baseline, so this TU needs no
+// -m flag gate — it compiles whenever the target is aarch64 and the
+// nullptr stub keeps x86 builds portable.
+#include "core/simd.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace jstar::simd {
+
+namespace {
+
+inline std::uint8_t in_bound1(std::int64_t v, std::int64_t lo,
+                              std::int64_t hi) {
+  return static_cast<std::uint8_t>(static_cast<int>(v >= lo) &
+                                   static_cast<int>(v <= hi));
+}
+
+std::int64_t neon_count_in_range(const std::int64_t* v, std::size_t n,
+                                 std::int64_t lo, std::int64_t hi) {
+  const int64x2_t vlo = vdupq_n_s64(lo);
+  const int64x2_t vhi = vdupq_n_s64(hi);
+  int64x2_t acc = vdupq_n_s64(0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const int64x2_t x = vld1q_s64(v + i);
+    const uint64x2_t ge = vcgeq_s64(x, vlo);
+    const uint64x2_t le = vcleq_s64(x, vhi);
+    const int64x2_t in = vreinterpretq_s64_u64(vandq_u64(ge, le));
+    // In-range lanes are -1: subtracting adds 1 per selected lane.
+    acc = vsubq_s64(acc, in);
+  }
+  std::int64_t c = vgetq_lane_s64(acc, 0) + vgetq_lane_s64(acc, 1);
+  for (; i < n; ++i) c += in_bound1(v[i], lo, hi);
+  return c;
+}
+
+void neon_mask_and_in_range(const std::int64_t* v, std::size_t n,
+                            std::int64_t lo, std::int64_t hi,
+                            std::uint8_t* sel) {
+  const int64x2_t vlo = vdupq_n_s64(lo);
+  const int64x2_t vhi = vdupq_n_s64(hi);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const int64x2_t x = vld1q_s64(v + i);
+    const uint64x2_t ge = vcgeq_s64(x, vlo);
+    const uint64x2_t le = vcleq_s64(x, vhi);
+    const uint64x2_t in = vandq_u64(ge, le);
+    sel[i] &= static_cast<std::uint8_t>(vgetq_lane_u64(in, 0) & 1);
+    sel[i + 1] &= static_cast<std::uint8_t>(vgetq_lane_u64(in, 1) & 1);
+  }
+  for (; i < n; ++i) sel[i] &= in_bound1(v[i], lo, hi);
+}
+
+std::int64_t neon_mask_count(const std::uint8_t* sel, std::size_t n) {
+  // Bytes are 0/1 by construction; sum 16 at a time via pairwise widening.
+  std::int64_t c = 0;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t bytes = vld1q_u8(sel + i);
+    c += static_cast<std::int64_t>(vaddvq_u8(bytes));
+  }
+  for (; i < n; ++i) c += sel[i];
+  return c;
+}
+
+}  // namespace
+
+const Kernels* neon_kernels() {
+  // The masked argmin is bandwidth-bound either way; reuse the scalar
+  // routine rather than hand-rolling a 2-lane blend chain.
+  static const Kernels kNeon{neon_count_in_range, neon_mask_and_in_range,
+                             neon_mask_count,
+                             scalar_kernels().masked_min_i64};
+  return &kNeon;
+}
+
+}  // namespace jstar::simd
+
+#else  // !__aarch64__
+
+namespace jstar::simd {
+const Kernels* neon_kernels() { return nullptr; }
+}  // namespace jstar::simd
+
+#endif

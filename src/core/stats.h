@@ -35,6 +35,9 @@ struct TableStats {
   std::atomic<std::int64_t> columnar_kernels{0};   // queries served by kernels
   std::atomic<std::int64_t> columnar_rows{0};      // rows the kernels swept
   std::atomic<std::int64_t> columnar_selected{0};  // ...the masks selected
+  // --- morsel-parallel execution (core/simd.h dispatch + ForkJoinPool) ---
+  std::atomic<std::int64_t> morsel_runs{0};    // scans/kernels that split
+  std::atomic<std::int64_t> morsel_splits{0};  // total morsels dispatched
   // --- retractions & upserts (counted tables, ROADMAP item 4) ---
   std::atomic<std::int64_t> retracts{0};        // retract deltas processed
   std::atomic<std::int64_t> gamma_erased{0};    // tuples removed from Gamma
@@ -65,6 +68,8 @@ struct TableStats {
     columnar_kernels = 0;
     columnar_rows = 0;
     columnar_selected = 0;
+    morsel_runs = 0;
+    morsel_splits = 0;
     retracts = 0;
     gamma_erased = 0;
     retract_debts = 0;

@@ -374,6 +374,11 @@ class TableBase {
     bool causality_checks = true;
     bool parallel = false;
     bool task_per_rule = false;  // §5.2 one task per (tuple, rule)
+    /// SIMD / morsel execution switches (EngineOptions::simd/morsels),
+    /// forwarded to stores as ExecHints; the JSTAR_SIMD / JSTAR_MORSELS
+    /// env kill-switches are ANDed in downstream and win over these.
+    bool simd = true;
+    bool morsels = true;
     /// The owning engine's epoch clock (streaming); null in unit-test
     /// harnesses that configure tables without an engine.
     const std::atomic<std::int64_t>* epoch = nullptr;
@@ -556,9 +561,23 @@ class Table final : public TableBase {
     return out;
   }
 
+  /// Predicates handed to the morsel-parallel overloads below must be
+  /// pure (const-callable, no shared mutable state): past the sequential
+  /// cutoff they run concurrently from pool workers.  Every predicate the
+  /// engine itself emits is; JSTAR_MORSELS=off (or EngineOptions::morsels
+  /// = false) pins the sequential path if a caller's is not.
   template <typename Pred>
     requires(!std::is_same_v<std::decay_t<Pred>, query::Pred<T>>)
   std::int64_t count_if(Pred&& pred) const {
+    if (const auto parts = scan_morsel_parts<std::int64_t>(
+            [&](std::int64_t& p, const T& t) {
+              if (pred(t)) ++p;
+            })) {
+      stats_.queries.fetch_add(1, std::memory_order_relaxed);
+      std::int64_t n = 0;
+      for (const std::int64_t p : *parts) n += p;
+      return n;
+    }
     std::int64_t n = 0;
     scan([&](const T& t) {
       if (pred(t)) ++n;
@@ -578,6 +597,19 @@ class Table final : public TableBase {
   /// structure; this helper is the read itself.
   template <typename R, typename Proj>
   R aggregate(Proj&& proj, R reducer = R{}) const {
+    // Morsel-parallel when the reducer can merge(): per-morsel partials
+    // combine in storage order, so the result is deterministic — and
+    // identical to the sequential fold for the exact (integer) reducers;
+    // floating-point reductions regroup across morsel boundaries.
+    if constexpr (std::is_default_constructible_v<R> &&
+                  requires(R a, const R b) { a.merge(b); }) {
+      if (const auto parts = scan_morsel_parts<R>(
+              [&](R& p, const T& t) { p.add(proj(t)); })) {
+        stats_.queries.fetch_add(1, std::memory_order_relaxed);
+        for (const R& p : *parts) reducer.merge(p);
+        return reducer;
+      }
+    }
     scan([&](const T& t) { reducer.add(proj(t)); });
     return reducer;
   }
@@ -587,6 +619,21 @@ class Table final : public TableBase {
   template <typename Pred, typename Less = std::less<T>>
     requires(!std::is_same_v<std::decay_t<Pred>, query::Pred<T>>)
   std::optional<T> min_by(Pred&& pred, Less less = {}) const {
+    // Morsel-parallel: per-morsel bests combine in storage order under
+    // the same strict less, so ties keep the earliest stored tuple —
+    // exactly what the sequential scan keeps.
+    if (const auto parts = scan_morsel_parts<std::optional<T>>(
+            [&](std::optional<T>& p, const T& t) {
+              if (!pred(t)) return;
+              if (!p || less(t, *p)) p = t;
+            })) {
+      stats_.queries.fetch_add(1, std::memory_order_relaxed);
+      std::optional<T> best;
+      for (const std::optional<T>& p : *parts) {
+        if (p && (!best || less(*p, *best))) best = p;
+      }
+      return best;
+    }
     std::optional<T> best;
     scan([&](const T& t) {
       if (!pred(t)) return;
@@ -622,6 +669,24 @@ class Table final : public TableBase {
   /// `get sum/min/count` aggregates of §3–§4, now planner-routed.
   template <typename R, typename Proj>
   R fold(const query::Pred<T>& pred, Proj&& proj, R reducer = R{}) const {
+    // A mergeable reducer on a plain full scan folds morsel-parallel —
+    // the residual predicate runs inside each morsel, partials merge in
+    // storage order.  Probe/range plans stay on the routed path.
+    if constexpr (std::is_default_constructible_v<R> &&
+                  requires(R a, const R b) { a.merge(b); }) {
+      const QueryPlan plan = plan_for(pred);
+      if (plan.path == AccessPath::FullScan && !plan.columnar) {
+        if (const auto parts = scan_morsel_parts<R>(
+                [&](R& p, const T& t) {
+                  if (pred(t)) p.add(proj(t));
+                })) {
+          stats_.queries.fetch_add(1, std::memory_order_relaxed);
+          stats_.full_scans.fetch_add(1, std::memory_order_relaxed);
+          for (const R& p : *parts) reducer.merge(p);
+          return reducer;
+        }
+      }
+    }
     query(pred, [&](const T& t) { reducer.add(proj(t)); });
     return reducer;
   }
@@ -791,6 +856,20 @@ class Table final : public TableBase {
       note_kernel(ks);
       return ks.selected;
     }
+    if (plan.path == AccessPath::FullScan && !plan.columnar) {
+      // Plain full-scan count: morsel-parallel partial counts, summed in
+      // storage order (residual predicate evaluated inside each morsel).
+      if (const auto parts = scan_morsel_parts<std::int64_t>(
+              [&](std::int64_t& p, const T& t) {
+                if (pred(t)) ++p;
+              })) {
+        stats_.queries.fetch_add(1, std::memory_order_relaxed);
+        stats_.full_scans.fetch_add(1, std::memory_order_relaxed);
+        std::int64_t n = 0;
+        for (const std::int64_t p : *parts) n += p;
+        return n;
+      }
+    }
     std::int64_t n = 0;
     stats_.queries.fetch_add(1, std::memory_order_relaxed);
     execute_plan(plan, pred, [&](const T&) { ++n; });
@@ -955,6 +1034,10 @@ class Table final : public TableBase {
     // Kernel interface, when the configured store exposes one (the
     // columnar preset, or a store_factory returning a ColumnStore).
     columnar_ops_ = dynamic_cast<ColumnarOps<T>*>(store_.get());
+    // Execution hints: the engine's pool for morsel-parallel kernels and
+    // scans, plus the SIMD/morsel switches (env kill-switches are ANDed
+    // in by the stores, so JSTAR_SIMD/JSTAR_MORSELS=off always wins).
+    store_->set_exec_hints(ExecHints{env_.pool, env_.simd, env_.morsels});
     JSTAR_CHECK_MSG(!decl_.counted_ || store_->erasable(),
                     "counted table '" + name_ + "': store '" +
                         store_->describe() + "' cannot erase tuples");
@@ -1545,6 +1628,36 @@ class Table final : public TableBase {
     stats_.columnar_rows.fetch_add(ks.rows, std::memory_order_relaxed);
     stats_.columnar_selected.fetch_add(ks.selected,
                                        std::memory_order_relaxed);
+    if (ks.morsels > 0) note_morsels(static_cast<std::size_t>(ks.morsels));
+  }
+
+  void note_morsels(std::size_t splits) const {
+    stats_.morsel_runs.fetch_add(1, std::memory_order_relaxed);
+    stats_.morsel_splits.fetch_add(static_cast<std::int64_t>(splits),
+                                   std::memory_order_relaxed);
+  }
+
+  /// Morsel-parallel full sweep: asks the store to run its fixed-size
+  /// morsel partition over the pool, reducing each morsel into its own
+  /// Partial slot (disjoint per morsel — no synchronisation).  Returns
+  /// the partials in storage order, or nullopt when the store declined
+  /// (no pool hinted, morsels switched off, below the sequential cutoff,
+  /// or a substrate without contiguous spans) — callers then run their
+  /// sequential path.  `per_tuple` must be pure: it runs concurrently.
+  template <typename Partial, typename PerTuple>
+  std::optional<std::vector<Partial>> scan_morsel_parts(
+      const PerTuple& per_tuple) const {
+    if (store_ == nullptr) return std::nullopt;
+    std::vector<Partial> parts;
+    const bool ran = store_->scan_morsels(
+        [&](std::size_t m) { parts.resize(m); },
+        [&](const T* data, std::size_t n, std::size_t mi) {
+          Partial& p = parts[mi];
+          for (std::size_t i = 0; i < n; ++i) per_tuple(p, data[i]);
+        });
+    if (!ran) return std::nullopt;
+    note_morsels(parts.size());
+    return parts;
   }
 
   /// Runs one compiled access path, applying `pred` as the residual filter

@@ -212,6 +212,8 @@ struct ClusterQueryStats {
   std::int64_t columnar_kernels = 0;
   std::int64_t columnar_rows = 0;
   std::int64_t columnar_selected = 0;
+  std::int64_t morsel_runs = 0;
+  std::int64_t morsel_splits = 0;
   // Counted-table deltas (retractions & upserts) across the cluster.
   std::int64_t retracts = 0;
   std::int64_t gamma_erased = 0;
@@ -445,6 +447,8 @@ class ShardedEngine {
         out.columnar_rows += s.columnar_rows.load(std::memory_order_relaxed);
         out.columnar_selected +=
             s.columnar_selected.load(std::memory_order_relaxed);
+        out.morsel_runs += s.morsel_runs.load(std::memory_order_relaxed);
+        out.morsel_splits += s.morsel_splits.load(std::memory_order_relaxed);
         out.retracts += s.retracts.load(std::memory_order_relaxed);
         out.gamma_erased += s.gamma_erased.load(std::memory_order_relaxed);
         out.retract_debts += s.retract_debts.load(std::memory_order_relaxed);

@@ -55,6 +55,8 @@ json::Value table_to_json(const TableLog& t) {
       {"columnar_kernels", t.columnar_kernels},
       {"columnar_rows", t.columnar_rows},
       {"columnar_selected", t.columnar_selected},
+      {"morsel_runs", t.morsel_runs},
+      {"morsel_splits", t.morsel_splits},
       {"retracts", t.retracts},
       {"gamma_erased", t.gamma_erased},
       {"retract_debts", t.retract_debts},
@@ -92,6 +94,8 @@ TableLog table_from_json(const json::Value& v) {
   t.columnar_kernels = v.at("columnar_kernels").as_int();
   t.columnar_rows = v.at("columnar_rows").as_int();
   t.columnar_selected = v.at("columnar_selected").as_int();
+  t.morsel_runs = v.at("morsel_runs").as_int();
+  t.morsel_splits = v.at("morsel_splits").as_int();
   t.retracts = v.at("retracts").as_int();
   t.gamma_erased = v.at("gamma_erased").as_int();
   t.retract_debts = v.at("retract_debts").as_int();
@@ -142,6 +146,8 @@ RunLog capture(const Engine& engine, const std::string& program,
     tl.columnar_kernels = s.columnar_kernels.load();
     tl.columnar_rows = s.columnar_rows.load();
     tl.columnar_selected = s.columnar_selected.load();
+    tl.morsel_runs = s.morsel_runs.load();
+    tl.morsel_splits = s.morsel_splits.load();
     tl.retracts = s.retracts.load();
     tl.gamma_erased = s.gamma_erased.load();
     tl.retract_debts = s.retract_debts.load();
@@ -257,6 +263,11 @@ std::string dot_graph(const RunLog& log) {
       std::snprintf(ksel, sizeof(ksel), "%.2f", t.kernel_selectivity());
       os << "kernels=" << t.columnar_kernels << " rows=" << t.columnar_rows
          << " ksel=" << ksel << "\\l";
+    }
+    // Morsel-parallel execution, shown only when a scan actually split.
+    if (t.morsel_runs > 0) {
+      os << "morsels=" << t.morsel_splits << " over " << t.morsel_runs
+         << " runs\\l";
     }
     os << "}\"";
     if (t.fires > 0 && t.fires >= hot) os << ", color=red, penwidth=2";

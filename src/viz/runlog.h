@@ -53,6 +53,11 @@ struct TableLog {
   std::int64_t columnar_kernels = 0;
   std::int64_t columnar_rows = 0;
   std::int64_t columnar_selected = 0;
+  // Morsel-parallel execution (core/simd.h + ForkJoinPool): how many
+  // scans/kernels split, and into how many morsels in total.  The SIMD
+  // dispatch level itself rides in `store` (GammaStore::describe()).
+  std::int64_t morsel_runs = 0;
+  std::int64_t morsel_splits = 0;
   // Retractions & upserts (TableDecl::counted(), core/table.h).
   std::int64_t retracts = 0;
   std::int64_t gamma_erased = 0;

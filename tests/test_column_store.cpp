@@ -16,6 +16,7 @@
 
 #include "core/column_store.h"
 #include "core/engine.h"
+#include "core/simd.h"
 #include "reduce/reducers.h"
 #include "util/rng.h"
 
@@ -59,7 +60,9 @@ TEST(ColumnStore, InsertContainsAndSortedScanMatchTreeSet) {
   EXPECT_GT(store.merges(), 0);
   EXPECT_TRUE(store.ordered());
   EXPECT_TRUE(store.chunked());
-  EXPECT_EQ(store.describe(), "columnar(2)");
+  EXPECT_EQ(store.describe(),
+            std::string("columnar(2,") + simd::to_string(simd::active_level()) +
+                ")");
 }
 
 TEST(ColumnStore, DuplicateRejectionAcrossStagedAndMergedRegions) {
@@ -312,7 +315,9 @@ TEST(ColumnStore, WindowedRetireCompactsColumnsAndNotifies) {
   EXPECT_TRUE(store.insert({1, 999}));
   EXPECT_FALSE(store.contains({1, 999}));
   EXPECT_EQ(store.retired(), 201);
-  EXPECT_EQ(store.describe(), "columnar(2,retain)");
+  EXPECT_EQ(store.describe(),
+            std::string("columnar(2,retain,") +
+                simd::to_string(simd::active_level()) + ")");
 }
 
 // --- Table-level integration -------------------------------------------------
@@ -336,7 +341,9 @@ TEST(ColumnarTable, PresetInstallsColumnStoreAndPlannerCompilesKernels) {
     eng.put(table, Row{i, i % 10, (i * 7) % 101});
   }
   eng.run();
-  EXPECT_EQ(table.store_describe(), "columnar(3)");
+  EXPECT_EQ(table.store_describe(),
+            std::string("columnar(3,") + simd::to_string(simd::active_level()) +
+                ")");
   EXPECT_TRUE(table.store()->ordered());
 
   // Exact predicates on stored columns compile to the kernel refinement…
@@ -418,7 +425,9 @@ TEST(ColumnarTable, RetainWindowRetiresAndSweepsIndexes) {
       row_decl().columns(&Row::id, &Row::group, &Row::score).retain(2));
   table.add_index(&Row::group);
   eng.prepare();
-  EXPECT_EQ(table.store_describe(), "columnar(3,retain)");
+  EXPECT_EQ(table.store_describe(),
+            std::string("columnar(3,retain,") +
+                simd::to_string(simd::active_level()) + ")");
 
   for (std::int64_t e = 0; e < 5; ++e) {
     if (e > 0) eng.begin_epoch();

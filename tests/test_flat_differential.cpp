@@ -17,11 +17,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "core/simd.h"
 #include "differential.h"
 #include "reduce/reducers.h"
 #include "stream/streaming.h"
@@ -342,6 +344,121 @@ TEST(FlatDifferential, FlatStoresUnderStreamingEpochs) {
     stream.stop();
   }
   EXPECT_GT(routed_queries, 0);
+}
+
+// --- morsel-parallel vs sequential execution --------------------------------
+//
+// Axis 2 of the SIMD/morsel PR: past the sequential cutoff, count_if /
+// fold / min_by / query_count split into fixed-size morsels on the
+// engine's pool.  The sweep bulk-loads one table pair per substrate —
+// identical contents, one engine with morsels on, one pinned sequential
+// through EngineOptions::morsels = false (the kill-switch satellite) —
+// and pins every randomized interval aggregate between the two.  Partials
+// combine in storage order, so the answers must be bit-identical, not
+// merely close.
+TEST(FlatDifferential, MorselParallelAggregatesEqualSequential) {
+  const std::size_t rows = morsel::kSequentialCutoff + 30000;
+  constexpr std::int64_t kKeys = 797;
+  struct TablePair {
+    StoreKind kind = StoreKind::FlatOrdered;
+    std::unique_ptr<Engine> on, off;
+    Table<Tok>* t_on = nullptr;
+    Table<Tok>* t_off = nullptr;
+  };
+  std::vector<TablePair> pairs;
+  for (const StoreKind kind :
+       {StoreKind::FlatOrdered, StoreKind::FlatHash, StoreKind::Columnar}) {
+    TablePair pr;
+    pr.kind = kind;
+    for (const bool morsels_on : {true, false}) {
+      EngineOptions opts;
+      opts.sequential = false;  // a parallel engine owns the pool
+      opts.threads = 2;
+      opts.morsels = morsels_on;
+      auto eng = std::make_unique<Engine>(opts);
+      auto& toks = eng->table(difftest::tok_decl(kind));
+      for (std::size_t i = 0; i < rows; ++i) {
+        eng->put(toks, Tok{static_cast<std::int64_t>(i) % kKeys,
+                           static_cast<std::int64_t>(i) / kKeys});
+      }
+      eng->run();
+      ASSERT_EQ(toks.store()->size(), rows);
+      (morsels_on ? pr.on : pr.off) = std::move(eng);
+      (morsels_on ? pr.t_on : pr.t_off) = &toks;
+    }
+    pairs.push_back(std::move(pr));
+  }
+
+  // Warm-up: one full-range count per pair, so the split counters below
+  // are meaningful even under a single-seed replay.
+  for (TablePair& pr : pairs) {
+    const auto all = [](const Tok&) { return true; };
+    ASSERT_EQ(pr.t_on->count_if(all), static_cast<std::int64_t>(rows));
+    ASSERT_EQ(pr.t_off->count_if(all), static_cast<std::int64_t>(rows));
+  }
+
+  const std::uint64_t seeds = difftest::seed_count(200);
+  const std::uint64_t base = difftest::seed_base();
+  for (std::uint64_t seed = base; seed < base + seeds; ++seed) {
+    SplitMix64 rng(seed ^ 0x3135E1u);
+    TablePair& pr = pairs[rng.next_below(pairs.size())];
+    const std::int64_t lo = rng.next_in(0, kKeys - 1);
+    const std::int64_t hi = rng.next_in(lo, kKeys - 1);
+    const std::string repro = difftest::repro(
+        seed, "test_flat_differential",
+        "FlatDifferential.MorselParallelAggregatesEqualSequential");
+    const std::string ctx = std::string(difftest::to_string(pr.kind)) +
+                            " [" + std::to_string(lo) + "," +
+                            std::to_string(hi) + "], " + repro;
+    switch (rng.next_below(4)) {
+      case 0: {
+        const auto pred = [lo, hi](const Tok& t) {
+          return t.key >= lo && t.key <= hi;
+        };
+        ASSERT_EQ(pr.t_on->count_if(pred), pr.t_off->count_if(pred)) << ctx;
+        break;
+      }
+      case 1: {
+        const auto pred = query::between(&Tok::key, lo, hi);
+        ASSERT_EQ(
+            pr.t_on->fold(pred, &Tok::gen, reduce::Sum<std::int64_t>{})
+                .value(),
+            pr.t_off->fold(pred, &Tok::gen, reduce::Sum<std::int64_t>{})
+                .value())
+            << ctx;
+        break;
+      }
+      case 2: {
+        const auto pred = [lo, hi](const Tok& t) {
+          return t.key >= lo && t.key <= hi;
+        };
+        ASSERT_EQ(pr.t_on->min_by(pred), pr.t_off->min_by(pred)) << ctx;
+        break;
+      }
+      default: {
+        const auto pred = query::between(&Tok::key, lo, hi) &&
+                          query::ge(&Tok::gen, rng.next_in(0, 60));
+        ASSERT_EQ(pr.t_on->query_count(pred), pr.t_off->query_count(pred))
+            << ctx;
+        break;
+      }
+    }
+  }
+
+  for (const TablePair& pr : pairs) {
+    // The morsel engines actually split (unless the env kill-switch has
+    // the whole process pinned); the EngineOptions::morsels = false
+    // engines never did.
+    if (simd::morsels_env_on()) {
+      EXPECT_GT(pr.t_on->stats().morsel_runs.load(), 0)
+          << difftest::to_string(pr.kind);
+      EXPECT_GT(pr.t_on->stats().morsel_splits.load(),
+                pr.t_on->stats().morsel_runs.load())
+          << difftest::to_string(pr.kind);
+    }
+    EXPECT_EQ(pr.t_off->stats().morsel_runs.load(), 0)
+        << difftest::to_string(pr.kind);
+  }
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "core/simd.h"
 #include "viz/runlog.h"
 
 namespace jstar::viz {
@@ -196,7 +197,10 @@ TEST(RunLog, CapturesColumnarKernelCounters) {
   const RunReport report = eng.run();
   EXPECT_EQ(rows.query_count(query::eq(&Row::group, 1)), 10);  // kernel
   const RunLog log = capture(eng, "columnar", report);
-  EXPECT_EQ(log.tables[0].store, "columnar(2)");
+  // The store string now carries the live dispatch level (host-dependent).
+  EXPECT_EQ(log.tables[0].store,
+            std::string("columnar(2,") +
+                simd::to_string(simd::active_level()) + ")");
   EXPECT_EQ(log.tables[0].columnar_kernels, 1);
   EXPECT_EQ(log.tables[0].columnar_rows, 40);
   EXPECT_EQ(log.tables[0].columnar_selected, 10);

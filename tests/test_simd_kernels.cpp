@@ -1,0 +1,413 @@
+// SIMD-vs-scalar differential for the runtime-dispatched kernel layer
+// (core/simd.h) and its columnar integration (core/column_store.h).
+//
+// Layer 1 — raw kernel tables: every vector table the binary carries
+// (AVX2, AVX-512, NEON, plus whatever active_level() resolved to) is
+// pinned against the scalar table over randomized inputs: every tail
+// length 0..well past the widest vector, INT64_MIN/MAX values and
+// bounds, empty intervals (lo > hi), random 0/1 masks, and duplicated
+// minima (the earliest-row argmin tie-break).  These tests are
+// env-independent — they address the ISA tables directly — so the
+// forced-scalar CI job and the sanitizer jobs run them unchanged.
+//
+// Layer 2 — the columnar substrate: kernels only ever see live, purged,
+// sorted columns (with_merged folds staging and compacts the dead set
+// first), so a store carrying staged-unmerged rows and erased-but-
+// unpurged rows must still kernel-count/select/gather/argmin exactly
+// what a tuple-at-a-time scan sees.  Past the sequential cutoff the
+// same sweeps split into morsels on a ForkJoinPool and must stay
+// bit-identical to the sequential pass, with the split recorded in the
+// store's counters and describe() string.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/column_store.h"
+#include "core/engine.h"
+#include "core/simd.h"
+#include "sched/fork_join_pool.h"
+#include "util/rng.h"
+
+namespace jstar {
+namespace {
+
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+/// Every vector kernel table this binary carries, with its name.
+std::vector<std::pair<const simd::Kernels*, const char*>> vector_tables() {
+  std::vector<std::pair<const simd::Kernels*, const char*>> out;
+  if (const simd::Kernels* k = simd::avx2_kernels()) out.push_back({k, "avx2"});
+  if (const simd::Kernels* k = simd::avx512_kernels()) {
+    out.push_back({k, "avx512"});
+  }
+  if (const simd::Kernels* k = simd::neon_kernels()) out.push_back({k, "neon"});
+  return out;
+}
+
+/// Random value generator that injects the extremes often enough that
+/// every tail shape sees them.
+std::int64_t spicy_value(SplitMix64& rng) {
+  switch (rng.next_below(8)) {
+    case 0: return kMin;
+    case 1: return kMax;
+    case 2: return 0;
+    case 3: return static_cast<std::int64_t>(rng.next_below(16)) - 8;
+    default: return static_cast<std::int64_t>(rng.next());
+  }
+}
+
+TEST(SimdKernels, VectorTablesMatchScalarOnRandomizedInputs) {
+  const auto tables = vector_tables();
+  if (tables.empty()) GTEST_SKIP() << "no vector TU in this binary";
+  const simd::Kernels& ref = simd::scalar_kernels();
+  SplitMix64 rng(0x51D0u);
+  // Every length 0..80 (well past the widest vector including unrolled
+  // tails), then a few big ones; several random (values, bounds, mask)
+  // draws per length.
+  std::vector<std::size_t> lengths;
+  for (std::size_t n = 0; n <= 80; ++n) lengths.push_back(n);
+  lengths.insert(lengths.end(), {1000, 4096, 30000});
+  for (const std::size_t n : lengths) {
+    for (int rep = 0; rep < (n <= 80 ? 8 : 2); ++rep) {
+      std::vector<std::int64_t> v(n);
+      for (auto& x : v) x = spicy_value(rng);
+      std::int64_t lo = spicy_value(rng);
+      std::int64_t hi = spicy_value(rng);
+      if (rep % 4 == 0) std::swap(lo, hi);  // sometimes deliberately empty
+      if (rep % 4 == 1) hi = lo;            // point interval
+      std::vector<std::uint8_t> mask(n);
+      for (auto& m : mask) m = static_cast<std::uint8_t>(rng.next_below(2));
+
+      const std::int64_t want_count =
+          ref.count_in_range(v.data(), n, lo, hi);
+      std::vector<std::uint8_t> want_sel = mask;
+      ref.mask_and_in_range(v.data(), n, lo, hi, want_sel.data());
+      const std::int64_t want_mask_n = ref.mask_count(mask.data(), n);
+      std::int64_t want_min = 0;
+      std::size_t want_row = 0;
+      const bool want_found =
+          ref.masked_min_i64(v.data(), mask.data(), n, &want_min, &want_row);
+
+      for (const auto& [k, name] : tables) {
+        SCOPED_TRACE(std::string(name) + " n=" + std::to_string(n) +
+                     " lo=" + std::to_string(lo) + " hi=" + std::to_string(hi));
+        EXPECT_EQ(k->count_in_range(v.data(), n, lo, hi), want_count);
+        std::vector<std::uint8_t> sel = mask;
+        k->mask_and_in_range(v.data(), n, lo, hi, sel.data());
+        EXPECT_EQ(sel, want_sel);
+        EXPECT_EQ(k->mask_count(mask.data(), n), want_mask_n);
+        std::int64_t got_min = 0;
+        std::size_t got_row = 0;
+        const bool got_found =
+            k->masked_min_i64(v.data(), mask.data(), n, &got_min, &got_row);
+        EXPECT_EQ(got_found, want_found);
+        if (want_found) {
+          EXPECT_EQ(got_min, want_min);
+          EXPECT_EQ(got_row, want_row);  // earliest-row tie-break
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, MaskedMinBreaksTiesAtEarliestRowAcrossLanes) {
+  // Duplicated minima placed in every lane position, so a vector argmin
+  // that picks any lane but the first fails.
+  const auto tables = vector_tables();
+  if (tables.empty()) GTEST_SKIP() << "no vector TU in this binary";
+  for (std::size_t n = 2; n <= 40; ++n) {
+    for (std::size_t first = 0; first + 1 < n; ++first) {
+      for (std::size_t second = first + 1; second < n;
+           second += (n > 16 ? 5 : 1)) {
+        std::vector<std::int64_t> v(n, 100);
+        v[first] = -7;
+        v[second] = -7;
+        std::vector<std::uint8_t> mask(n, 1);
+        for (const auto& [k, name] : tables) {
+          std::int64_t mn = 0;
+          std::size_t row = 0;
+          ASSERT_TRUE(k->masked_min_i64(v.data(), mask.data(), n, &mn, &row));
+          EXPECT_EQ(mn, -7) << name;
+          EXPECT_EQ(row, first) << name << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, DispatchDegradesToNearestAvailableLevel) {
+  // The scalar table is always reachable and always the Scalar answer.
+  EXPECT_EQ(&simd::kernels(simd::Level::Scalar), &simd::scalar_kernels());
+  EXPECT_EQ(simd::resolved_level(simd::Level::Scalar), simd::Level::Scalar);
+  // active_level() is detect_level() capped by JSTAR_SIMD: never above
+  // the hardware, and resolved to a level whose table exists.
+  EXPECT_LE(simd::active_level(), simd::detect_level());
+  EXPECT_EQ(simd::resolved_level(simd::active_level()), simd::active_level());
+  // Asking for a level degrades, never upgrades: the table returned for
+  // Avx2 is not the Avx512 table.
+  if (simd::avx512_kernels() != nullptr && simd::avx2_kernels() != nullptr) {
+    EXPECT_EQ(&simd::kernels(simd::Level::Avx2), simd::avx2_kernels());
+    EXPECT_EQ(&simd::kernels(simd::Level::Avx512), simd::avx512_kernels());
+  }
+}
+
+// --- Layer 2: the columnar substrate ----------------------------------------
+
+struct Cell {
+  std::int64_t a, b;
+  auto operator<=>(const Cell&) const = default;
+};
+struct CellHash {
+  std::size_t operator()(const Cell& c) const { return hash_fields(c.a, c.b); }
+};
+using CellStore = ColumnStore<Cell, CellHash, std::int64_t Cell::*,
+                              std::int64_t Cell::*>;
+using Bound = ColumnarOps<Cell>::Bound;
+
+CellStore make_store() { return CellStore(CellHash{}, &Cell::a, &Cell::b); }
+
+const void* tag_a() { return query::field_tag(&Cell::a); }
+const void* tag_b() { return query::field_tag(&Cell::b); }
+
+/// Tuple-at-a-time oracle over whatever the store's scan delivers.
+struct ScanOracle {
+  std::vector<Cell> rows;
+  explicit ScanOracle(const CellStore& s) {
+    s.scan([&](const Cell& c) { rows.push_back(c); });
+  }
+  bool selected(const Cell& c, const std::vector<Bound>& bounds) const {
+    for (const Bound& bd : bounds) {
+      const std::int64_t x = bd.tag == tag_a() ? c.a : c.b;
+      if (x < bd.lo || x > bd.hi) return false;
+    }
+    return true;
+  }
+  std::int64_t count(const std::vector<Bound>& bounds) const {
+    std::int64_t n = 0;
+    for (const Cell& c : rows) n += selected(c, bounds) ? 1 : 0;
+    return n;
+  }
+  std::vector<Cell> select(const std::vector<Bound>& bounds) const {
+    std::vector<Cell> out;
+    for (const Cell& c : rows) {
+      if (selected(c, bounds)) out.push_back(c);
+    }
+    return out;
+  }
+  std::vector<std::int64_t> gather_b(const std::vector<Bound>& bounds) const {
+    std::vector<std::int64_t> out;
+    for (const Cell& c : rows) {
+      if (selected(c, bounds)) out.push_back(c.b);
+    }
+    return out;
+  }
+  std::optional<Cell> min_b(const std::vector<Bound>& bounds) const {
+    std::optional<Cell> best;
+    for (const Cell& c : rows) {
+      if (!selected(c, bounds)) continue;
+      if (!best || c.b < best->b) best = c;
+    }
+    return best;
+  }
+};
+
+/// Runs all four kernels against the scan oracle for one bound set.
+void expect_kernels_equal_scan(const CellStore& store,
+                               const std::vector<Bound>& bounds,
+                               const char* label) {
+  SCOPED_TRACE(label);
+  const ScanOracle oracle(store);
+  EXPECT_EQ(store.kernel_count(bounds).selected, oracle.count(bounds));
+
+  std::vector<Cell> selected;
+  store.kernel_select(bounds, [&](const Cell* d, std::size_t c) {
+    selected.insert(selected.end(), d, d + c);
+  });
+  EXPECT_EQ(selected, oracle.select(bounds));
+
+  std::vector<std::int64_t> gathered;
+  ASSERT_TRUE(store.kernel_gather_i64(
+      bounds, tag_b(),
+      [&](const std::int64_t* d, std::size_t c) {
+        gathered.insert(gathered.end(), d, d + c);
+      },
+      nullptr));
+  EXPECT_EQ(gathered, oracle.gather_b(bounds));
+
+  std::optional<Cell> least;
+  ASSERT_TRUE(store.kernel_min_row(bounds, tag_b(), &least, nullptr));
+  EXPECT_EQ(least, oracle.min_b(bounds));
+}
+
+TEST(ColumnStoreSimd, KernelsIgnoreDeadSetAndStagedUnmergedRows) {
+  CellStore store = make_store();
+  SplitMix64 rng(0xDEAD5EEDu);
+  std::vector<Cell> inserted;
+  for (int i = 0; i < 4000; ++i) {
+    const Cell c{static_cast<std::int64_t>(rng.next_below(500)),
+                 static_cast<std::int64_t>(rng.next_below(200))};
+    if (store.insert(c)) inserted.push_back(c);
+  }
+  // Erase a third WITHOUT scanning in between: the victims sit in the
+  // dead set, still physically present in the columns, until the next
+  // with_merged purge — which the kernels themselves must force.
+  for (std::size_t i = 0; i < inserted.size(); i += 3) {
+    ASSERT_TRUE(store.erase(inserted[i]));
+  }
+  // Stage fresh rows (n below the merge threshold keeps them unmerged);
+  // kernels must see them too.
+  for (int i = 0; i < 40; ++i) {
+    store.insert(Cell{600 + i, i});
+  }
+  ASSERT_GT(store.staged(), 0u);
+
+  expect_kernels_equal_scan(store, {Bound{tag_a(), 100, 399}}, "one-bound");
+  expect_kernels_equal_scan(
+      store, {Bound{tag_a(), 50, 449}, Bound{tag_b(), 20, 150}}, "two-bound");
+  expect_kernels_equal_scan(store, {Bound{tag_a(), kMin, kMax}}, "all");
+  expect_kernels_equal_scan(store, {Bound{tag_b(), 10, 9}}, "empty-interval");
+  expect_kernels_equal_scan(store, {Bound{tag_a(), 590, kMax}},
+                            "staged-only-matches");
+}
+
+TEST(ColumnStoreSimd, KernelTailLengthsZeroToVectorWidth) {
+  // A store of every size 0..40 rows: below any vector width, so every
+  // kernel runs purely in its tail path.
+  for (std::size_t n = 0; n <= 40; ++n) {
+    CellStore store = make_store();
+    for (std::size_t i = 0; i < n; ++i) {
+      store.insert(Cell{static_cast<std::int64_t>(i % 7),
+                        static_cast<std::int64_t>(i)});
+    }
+    expect_kernels_equal_scan(store, {Bound{tag_a(), 2, 5}},
+                              ("n=" + std::to_string(n)).c_str());
+    expect_kernels_equal_scan(store, {Bound{tag_a(), kMin, kMax}}, "all");
+  }
+}
+
+/// Fills a store with `rows` distinct tuples (b is unique, so the size
+/// really crosses the morsel cutoff); values are dense in `a` so
+/// interval predicates select real work.
+void fill_big(CellStore& store, std::size_t rows) {
+  for (std::size_t i = 0; i < rows; ++i) {
+    store.insert(Cell{static_cast<std::int64_t>(i % 1000),
+                      static_cast<std::int64_t>(i)});
+  }
+}
+
+TEST(ColumnStoreSimd, MorselKernelsMatchSequentialAndRecordSplits) {
+  const std::size_t rows = morsel::kSequentialCutoff + 20000;
+  CellStore par = make_store();
+  CellStore seq = make_store();
+  fill_big(par, rows);
+  fill_big(seq, rows);
+
+  sched::ForkJoinPool pool(2);
+  par.set_exec_hints(ExecHints{&pool, true, true});
+  seq.set_exec_hints(ExecHints{nullptr, true, false});
+
+  const std::vector<std::vector<Bound>> cases = {
+      {Bound{tag_a(), 100, 499}},
+      {Bound{tag_a(), 0, 999}, Bound{tag_b(), 5000, 60000}},
+      {Bound{tag_b(), kMin, kMax}},
+      {Bound{tag_a(), 7, 3}},  // empty interval
+  };
+  for (const auto& bounds : cases) {
+    const auto pc = par.kernel_count(bounds);
+    const auto sc = seq.kernel_count(bounds);
+    EXPECT_EQ(pc.selected, sc.selected);
+    EXPECT_EQ(pc.rows, sc.rows);
+
+    std::vector<std::int64_t> pg, sg;
+    ASSERT_TRUE(par.kernel_gather_i64(
+        bounds, tag_b(),
+        [&](const std::int64_t* d, std::size_t c) {
+          pg.insert(pg.end(), d, d + c);
+        },
+        nullptr));
+    ASSERT_TRUE(seq.kernel_gather_i64(
+        bounds, tag_b(),
+        [&](const std::int64_t* d, std::size_t c) {
+          sg.insert(sg.end(), d, d + c);
+        },
+        nullptr));
+    // Morsel buffers stream in storage order: the exact sequence of the
+    // sequential pass, not merely the same multiset.
+    EXPECT_EQ(pg, sg);
+
+    std::optional<Cell> pm, sm;
+    ASSERT_TRUE(par.kernel_min_row(bounds, tag_b(), &pm, nullptr));
+    ASSERT_TRUE(seq.kernel_min_row(bounds, tag_b(), &sm, nullptr));
+    EXPECT_EQ(pm, sm);
+  }
+
+  if (simd::morsels_env_on()) {
+    EXPECT_GT(par.morsel_runs(), 0);
+    EXPECT_GE(par.morsel_splits(),
+              static_cast<std::int64_t>(morsel::count(rows)));
+    EXPECT_NE(par.describe().find("morsels="), std::string::npos);
+  }
+  EXPECT_EQ(seq.morsel_runs(), 0);
+  EXPECT_EQ(seq.describe().find("morsels="), std::string::npos);
+}
+
+TEST(ColumnStoreSimd, ExecHintsPinScalarAndEnvWinsOverOptions) {
+  CellStore store = make_store();
+  fill_big(store, 1000);
+  sched::ForkJoinPool pool(2);
+  // simd=false pins the scalar table regardless of the host level.
+  store.set_exec_hints(ExecHints{&pool, /*simd=*/false, /*morsels=*/true});
+  EXPECT_EQ(store.dispatch_level(), simd::Level::Scalar);
+  EXPECT_NE(store.describe().find(",scalar"), std::string::npos);
+  expect_kernels_equal_scan(store, {Bound{tag_a(), 100, 800}}, "pinned");
+  // Re-enabling through the hint yields at most the env-capped level —
+  // the hint can never exceed what active_level() resolved.
+  store.set_exec_hints(ExecHints{&pool, /*simd=*/true, /*morsels=*/true});
+  EXPECT_EQ(store.dispatch_level(), simd::active_level());
+}
+
+TEST(ColumnStoreSimd, MorselScanCoversEveryRowExactlyOnce) {
+  const std::size_t rows = morsel::kSequentialCutoff + 5000;
+  CellStore store = make_store();
+  fill_big(store, rows);
+  sched::ForkJoinPool pool(2);
+  store.set_exec_hints(ExecHints{&pool, true, true});
+  if (!simd::morsels_env_on()) GTEST_SKIP() << "JSTAR_MORSELS=off";
+
+  std::size_t planned = 0;
+  std::vector<std::int64_t> per_morsel;
+  const bool ran = store.scan_morsels(
+      [&](std::size_t m) {
+        planned = m;
+        per_morsel.assign(m, 0);
+      },
+      [&](const Cell*, std::size_t c, std::size_t mi) {
+        per_morsel[mi] += static_cast<std::int64_t>(c);
+      });
+  ASSERT_TRUE(ran);
+  EXPECT_EQ(planned, morsel::count(store.size()));
+  std::int64_t total = 0;
+  for (const std::int64_t c : per_morsel) {
+    EXPECT_GT(c, 0);
+    total += c;
+  }
+  EXPECT_EQ(total, static_cast<std::int64_t>(store.size()));
+
+  // Below the cutoff (or without a pool) the store declines.
+  CellStore small = make_store();
+  fill_big(small, 100);
+  small.set_exec_hints(ExecHints{&pool, true, true});
+  EXPECT_FALSE(small.scan_morsels([](std::size_t) {},
+                                  [](const Cell*, std::size_t, std::size_t) {
+                                  }));
+}
+
+}  // namespace
+}  // namespace jstar
