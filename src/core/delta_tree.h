@@ -29,6 +29,22 @@ class DeltaTree {
   /// Thread-safety depends on the backend (see class comment).
   virtual BatchNode& get_or_insert(const DeltaKey& key) = 0;
 
+  /// Callback shape for get_or_insert_batch: invoked once per input key
+  /// with its index and resolved node.  A raw pointer + context instead of
+  /// std::function keeps the per-group dispatch allocation-free on the
+  /// emit-flush hot path.
+  using BatchVisitor = void (*)(void* ctx, std::size_t i, BatchNode& node);
+
+  /// Bulk get_or_insert: resolves keys[0..n) and calls visit(ctx, i, node)
+  /// for each.  Keys need not be distinct or sorted; equal keys resolve to
+  /// the same node.  Same thread-safety as get_or_insert.  The default
+  /// loops; backends override to amortize locking (the striped tree takes
+  /// each stripe lock once per call instead of once per key).
+  virtual void get_or_insert_batch(const DeltaKey* keys, std::size_t n,
+                                   BatchVisitor visit, void* ctx) {
+    for (std::size_t i = 0; i < n; ++i) visit(ctx, i, get_or_insert(keys[i]));
+  }
+
   /// EXCLUSIVE PHASE.  Removes the minimal batch; returns false when empty.
   virtual bool pop_min(DeltaKey& key_out, std::unique_ptr<BatchNode>& node_out) = 0;
 
@@ -62,6 +78,19 @@ class MapDeltaTree final : public DeltaTree {
   bool empty() const override { return map_.empty(); }
   std::size_t batch_count() const override { return map_.size(); }
 
+  /// Devirtualized loop: one red-black descent per key, no virtual call
+  /// per key.
+  void get_or_insert_batch(const DeltaKey* keys, std::size_t n,
+                           BatchVisitor visit, void* ctx) override {
+    for (std::size_t i = 0; i < n; ++i) {
+      auto it = map_.find(keys[i]);
+      if (it == map_.end()) {
+        it = map_.emplace(keys[i], std::make_unique<BatchNode>()).first;
+      }
+      visit(ctx, i, *it->second);
+    }
+  }
+
  private:
   std::map<DeltaKey, std::unique_ptr<BatchNode>, DeltaKeyLess> map_;
 };
@@ -91,6 +120,16 @@ class SkipDeltaTree final : public DeltaTree {
   bool empty() const override { return map_.empty(); }
   std::size_t batch_count() const override { return map_.size(); }
   void collect_garbage() override { map_.collect_garbage(); }
+
+  /// Devirtualized loop over the skip list (concurrent-safe like
+  /// get_or_insert; towers for equal keys merge).
+  void get_or_insert_batch(const DeltaKey* keys, std::size_t n,
+                           BatchVisitor visit, void* ctx) override {
+    for (std::size_t i = 0; i < n; ++i) {
+      visit(ctx, i,
+            *map_.get_or_insert(keys[i], [] { return new BatchNode(); }));
+    }
+  }
 
  private:
   concurrent::SkipListMap<DeltaKey, BatchNode*, DeltaKeyLess> map_;

@@ -4,6 +4,30 @@
 
 namespace jstar {
 
+namespace {
+
+/// Snapshot of the emission counters summed over a table set, for
+/// RunReport deltas (run() may be called repeatedly on one database).
+struct EmitCounters {
+  std::int64_t flushes = 0;
+  std::int64_t buffered = 0;
+  std::int64_t inline_batches = 0;
+};
+
+EmitCounters emit_counters(
+    const std::vector<std::unique_ptr<TableBase>>& tables) {
+  EmitCounters out;
+  for (const auto& t : tables) {
+    const TableStats& s = t->stats();
+    out.flushes += s.emit_flushes.load(std::memory_order_relaxed);
+    out.buffered += s.emit_buffered.load(std::memory_order_relaxed);
+    out.inline_batches += s.inline_batches.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+}  // namespace
+
 Engine::Engine(EngineOptions opts) : opts_(std::move(opts)) {
   JSTAR_CHECK_MSG(opts_.threads >= 1, "threads must be >= 1");
 }
@@ -43,6 +67,8 @@ void Engine::prepare() {
   env.epoch = &epoch_;
   env.simd = opts_.simd;
   env.morsels = opts_.morsels;
+  env.emit_buffer = opts_.emit_buffer;
+  env.inline_fire_cutoff = opts_.inline_fire_cutoff;
   // configure() registers each table's orderby literals, so it must run
   // before the order relation is frozen into ranks.
   for (auto& t : tables_) {
@@ -66,23 +92,41 @@ void Engine::process_batch(const DeltaKey& key, BatchNode& node,
     batch_tuples += static_cast<std::int64_t>(node.per_table[i]->count());
     tables_[i]->batch_insert_phase(*node.per_table[i], keep[i]);
   }
-  // Phase B: effects + rule firing, one fork/join task per tuple (§5).
+  // Phase B: effects + rule firing, morsel-spanned fork/join tasks (§5;
+  // sub-threshold batches run inline on this thread).
   for (std::size_t i = 0; i < slots; ++i) {
     if (!node.per_table[i]) continue;
     tables_[i]->batch_fire_phase(*node.per_table[i], keep[i], key);
   }
+  // The batch's rule emissions sit in per-thread buffers; the fire-phase
+  // join above is the happens-before edge that hands them to this
+  // thread, which bulk-appends them before the next pop_min.
+  flush_emits();
   ++report.batches;
   report.tuples += batch_tuples;
   report.max_batch = std::max(report.max_batch, batch_tuples);
 }
 
+void Engine::flush_emits() {
+  for (auto& t : tables_) t->flush_emits();
+}
+
 bool Engine::step(RunReport* report) {
   prepare();
+  // Puts made through a hand-built RuleCtx since the last batch are
+  // still buffered; surface them before deciding whether Delta is empty.
+  flush_emits();
   DeltaKey key;
   std::unique_ptr<BatchNode> node;
   if (!delta_->pop_min(key, node)) return false;
+  const EmitCounters before = emit_counters(tables_);
   RunReport scratch;
-  process_batch(key, *node, report != nullptr ? *report : scratch);
+  RunReport& out = report != nullptr ? *report : scratch;
+  process_batch(key, *node, out);
+  const EmitCounters after = emit_counters(tables_);
+  out.emit_flushes += after.flushes - before.flushes;
+  out.emit_buffered += after.buffered - before.buffered;
+  out.inline_batches += after.inline_batches - before.inline_batches;
   return true;
 }
 
@@ -97,6 +141,10 @@ RunReport Engine::run() {
   prepare();
   RunReport report;
   WallTimer timer;
+  // Surface any puts buffered outside a run (hand-built RuleCtx callers)
+  // before the first pop decides whether there is work at all.
+  flush_emits();
+  const EmitCounters before = emit_counters(tables_);
   DeltaKey key;
   std::unique_ptr<BatchNode> node;
   int since_gc = 0;
@@ -108,6 +156,10 @@ RunReport Engine::run() {
       since_gc = 0;
     }
   }
+  const EmitCounters after = emit_counters(tables_);
+  report.emit_flushes = after.flushes - before.flushes;
+  report.emit_buffered = after.buffered - before.buffered;
+  report.inline_batches = after.inline_batches - before.inline_batches;
   report.seconds = timer.seconds();
   return report;
 }

@@ -69,6 +69,19 @@ struct EngineOptions {
   /// Morsel-parallel scans/kernels on the engine's fork/join pool.
   /// false keeps every scan sequential; JSTAR_MORSELS=off wins likewise.
   bool morsels = true;
+  /// Batch-at-a-time rule emission: RuleCtx::put/retract/upsert append
+  /// to per-(thread, table) buffers (causality checked eagerly, no lock
+  /// taken) and reach the Delta tree in one bulk append per table per
+  /// batch.  Results are bit-identical to direct puts at any worker
+  /// count; false restores the per-put enqueue.  JSTAR_EMIT=off wins
+  /// likewise (the differential harnesses pin the reference path with
+  /// it).
+  bool emit_buffer = true;
+  /// Batches whose (tuples x rules) work is at or under this cutoff run
+  /// their insert/fire phases inline on the coordinator, skipping the
+  /// pool round-trip that dominates deep small-batch chains.  0 restores
+  /// the legacy always-dispatch behaviour (bench_rule_fire's baseline).
+  std::int64_t inline_fire_cutoff = 16;
 };
 
 /// Summary of one Engine::run().
@@ -77,6 +90,13 @@ struct RunReport {
   std::int64_t tuples = 0;         // tuples taken out of Delta
   std::int64_t max_batch = 0;      // largest equivalence class
   double seconds = 0.0;
+  // Batch-at-a-time emission over the run, summed across tables
+  // (TableStats deltas): bulk flushes that reached the Delta tree, rule
+  // puts that travelled through emit buffers, and fire phases that ran
+  // inline on the coordinator instead of a pool round-trip.
+  std::int64_t emit_flushes = 0;
+  std::int64_t emit_buffered = 0;
+  std::int64_t inline_batches = 0;
 };
 
 class Engine {
@@ -194,6 +214,11 @@ class Engine {
 
  private:
   void process_batch(const DeltaKey& key, BatchNode& node, RunReport& report);
+  /// Drains every table's emit buffers into the Delta tree (table-id
+  /// order, so the flush sequence is deterministic).  Called after each
+  /// batch's fire phase and before the first pop of run()/step(), which
+  /// also covers puts made through a hand-built RuleCtx between runs.
+  void flush_emits();
 
   EngineOptions opts_;
   OrderResolver orders_;

@@ -170,4 +170,18 @@ bool morsels_env_on() {
   return on;
 }
 
+bool emit_env_on() {
+  static const bool on = [] {
+    const char* raw = std::getenv("JSTAR_EMIT");
+    if (raw == nullptr) return true;
+    std::string s;
+    for (const char* p = raw; *p != '\0'; ++p) {
+      s.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(*p))));
+    }
+    return !(s == "off" || s == "0" || s == "false");
+  }();
+  return on;
+}
+
 }  // namespace jstar::simd

@@ -80,6 +80,13 @@ const Kernels& active_kernels();
 /// after the first call.  Stores AND this with ExecHints::morsels.
 bool morsels_env_on();
 
+/// JSTAR_EMIT kill-switch (the emit-buffer axis' analogue of JSTAR_SIMD /
+/// JSTAR_MORSELS): false when the env var is off/0/false, true otherwise.
+/// Cached after the first call.  The engine ANDs this with
+/// EngineOptions::emit_buffer, so the env always wins — differential
+/// harnesses pin the direct-put reference path from outside.
+bool emit_env_on();
+
 /// The level kernels(level) actually resolves to — what describe() and
 /// the bench JSON report.
 Level resolved_level(Level level);

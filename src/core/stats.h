@@ -45,6 +45,12 @@ struct TableStats {
   std::atomic<std::int64_t> annihilated{0};     // inserts cancelled by debt
   std::atomic<std::int64_t> upserts{0};         // upsert deltas processed
   std::atomic<std::int64_t> upsert_replaced{0}; // ...that displaced a tuple
+  // --- batch-at-a-time rule firing (emit buffers + adaptive fire phase) ---
+  std::atomic<std::int64_t> emit_flushes{0};    // flushes that bulk-appended
+                                                // >= 1 record to Delta
+  std::atomic<std::int64_t> emit_buffered{0};   // puts routed via emit buffers
+  std::atomic<std::int64_t> inline_batches{0};  // fire phases run on the
+                                                // coordinator despite a pool
 
   void reset() {
     puts = 0;
@@ -76,6 +82,9 @@ struct TableStats {
     annihilated = 0;
     upserts = 0;
     upsert_replaced = 0;
+    emit_flushes = 0;
+    emit_buffered = 0;
+    inline_batches = 0;
   }
 };
 

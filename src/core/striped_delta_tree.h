@@ -9,15 +9,25 @@
 // mutex; a key is routed to a stripe by hash, so concurrent rule tasks
 // inserting different keys contend on different locks instead of
 // adjacent skip-list towers.  pop_min (coordinator-only, between
-// batches) peeks every stripe's head and removes the global minimum —
-// O(S) per pop with S small and fixed, preserving exactly the causality
-// order of the single-tree backends.
+// batches) removes the global minimum over the stripe heads, preserving
+// exactly the causality order of the single-tree backends.
+//
+// pop_min used to lock every stripe on every call; it now consults a
+// coordinator-side head cache.  Each stripe carries an atomic version
+// bumped (under the stripe lock) whenever its *key set* changes — a new
+// key emplaced or a head popped; appends to an existing BatchNode leave
+// the key set, and therefore the head, untouched.  pop_min re-peeks (and
+// re-locks) only stripes whose version moved since the cached peek, so a
+// steady-state pop loop over K live keys locks O(stripes touched since
+// the last pop), not O(S).  A per-stripe atomic size counter gives
+// empty() without locks at all.
 //
 // Duplicate handling is unchanged: equal keys route to the same stripe
 // and merge into one BatchNode, so set-semantics dedup (footnote 5)
 // keeps working through the per-table slices inside the node.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -34,7 +44,8 @@ namespace jstar {
 class StripedDeltaTree final : public DeltaTree {
  public:
   explicit StripedDeltaTree(int stripes)
-      : stripes_(static_cast<std::size_t>(stripes)) {
+      : stripes_(static_cast<std::size_t>(stripes)),
+        heads_(static_cast<std::size_t>(stripes)) {
     JSTAR_CHECK_MSG(stripes >= 1, "StripedDeltaTree needs >= 1 stripe");
   }
 
@@ -44,51 +55,130 @@ class StripedDeltaTree final : public DeltaTree {
     auto it = s.map.find(key);
     if (it == s.map.end()) {
       it = s.map.emplace(key, std::make_unique<BatchNode>()).first;
+      s.size.fetch_add(1, std::memory_order_relaxed);
+      bump_version(s);
     }
     return *it->second;
   }
 
+  /// Bulk variant: groups the keys by stripe first, then takes each
+  /// touched stripe's lock exactly once — the emit-flush path pays one
+  /// lock per stripe per flush instead of one per distinct key.  Unlike
+  /// get_or_insert this is NOT safe to call from several threads at once
+  /// (it reuses member scratch); the emit flush that drives it is a
+  /// coordinator-only phase.
+  void get_or_insert_batch(const DeltaKey* keys, std::size_t n,
+                           BatchVisitor visit, void* ctx) override {
+    if (n == 0) return;
+    // Chain the key indices per stripe (first-appearance order within a
+    // stripe) without allocating per stripe: head array + next links.
+    scratch_head_.assign(stripes_.size(), -1);
+    scratch_tail_.assign(stripes_.size(), -1);
+    scratch_next_.assign(n, -1);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t si = hash_key(keys[i]) % stripes_.size();
+      const auto ii = static_cast<std::ptrdiff_t>(i);
+      if (scratch_head_[si] < 0) {
+        scratch_head_[si] = ii;
+      } else {
+        scratch_next_[static_cast<std::size_t>(scratch_tail_[si])] = ii;
+      }
+      scratch_tail_[si] = ii;
+    }
+    for (std::size_t si = 0; si < stripes_.size(); ++si) {
+      std::ptrdiff_t i = scratch_head_[si];
+      if (i < 0) continue;
+      Stripe& s = stripes_[si];
+      std::lock_guard<std::mutex> lk(s.mu);
+      bool grew = false;
+      for (; i >= 0; i = scratch_next_[static_cast<std::size_t>(i)]) {
+        const DeltaKey& key = keys[static_cast<std::size_t>(i)];
+        auto it = s.map.find(key);
+        if (it == s.map.end()) {
+          it = s.map.emplace(key, std::make_unique<BatchNode>()).first;
+          s.size.fetch_add(1, std::memory_order_relaxed);
+          grew = true;
+        }
+        visit(ctx, static_cast<std::size_t>(i), *it->second);
+      }
+      if (grew) bump_version(s);
+    }
+  }
+
   bool pop_min(DeltaKey& key_out,
                std::unique_ptr<BatchNode>& node_out) override {
-    // Coordinator-only phase: rule tasks are quiescent, but take the
-    // stripe locks anyway so the backend is robust to -noDelta rules
-    // that fire inline during a batch.
-    Stripe* best = nullptr;
-    for (Stripe& s : stripes_) {
-      std::lock_guard<std::mutex> lk(s.mu);
-      if (s.map.empty()) continue;
-      const DeltaKey& head = s.map.begin()->first;
-      if (best == nullptr || (head <=> best_key_) == std::strong_ordering::less) {
-        best = &s;
-        best_key_ = head;
+    // Coordinator-only phase.  Stripes whose version matches the cached
+    // peek are trusted without locking; the rest are re-peeked under
+    // their lock (same robustness to -noDelta rules that fire inline
+    // during a batch as the old full-scan: those bump versions, which
+    // forces a locked re-peek here).
+    std::ptrdiff_t best = -1;
+    for (std::size_t si = 0; si < stripes_.size(); ++si) {
+      Stripe& s = stripes_[si];
+      HeadCache& hc = heads_[si];
+      const std::uint64_t v = s.version.load(std::memory_order_acquire);
+      if (hc.version != v) {
+        std::lock_guard<std::mutex> lk(s.mu);
+        hc.version = s.version.load(std::memory_order_relaxed);
+        hc.nonempty = !s.map.empty();
+        if (hc.nonempty) hc.head = s.map.begin()->first;
+      }
+      if (!hc.nonempty) continue;
+      if (best < 0 ||
+          (hc.head <=> heads_[static_cast<std::size_t>(best)].head) ==
+              std::strong_ordering::less) {
+        best = static_cast<std::ptrdiff_t>(si);
       }
     }
-    if (best == nullptr) return false;
-    std::lock_guard<std::mutex> lk(best->mu);
+    if (best < 0) return false;
+    Stripe& s = stripes_[static_cast<std::size_t>(best)];
+    HeadCache& hc = heads_[static_cast<std::size_t>(best)];
+    std::lock_guard<std::mutex> lk(s.mu);
     // pop_min runs between batches (no concurrent inserts), so the
     // stripe's head is still the global minimum found by the scan.
-    auto it = best->map.begin();
+    auto it = s.map.begin();
     key_out = it->first;
     node_out = std::move(it->second);
-    best->map.erase(it);
+    s.map.erase(it);
+    s.size.fetch_sub(1, std::memory_order_relaxed);
+    bump_version(s);
+    // Refresh the cache in place — the very next pop then trusts this
+    // stripe without re-locking it.
+    hc.version = s.version.load(std::memory_order_relaxed);
+    hc.nonempty = !s.map.empty();
+    if (hc.nonempty) hc.head = s.map.begin()->first;
     return true;
   }
 
   bool empty() const override {
     for (const Stripe& s : stripes_) {
-      std::lock_guard<std::mutex> lk(s.mu);
-      if (!s.map.empty()) return false;
+      if (s.size.load(std::memory_order_acquire) != 0) return false;
     }
     return true;
   }
 
   std::size_t batch_count() const override {
+    // All stripe locks held together, acquired in ascending stripe index
+    // — one deterministic order shared with collect_garbage, so the two
+    // can never deadlock against each other, and the count is a
+    // consistent snapshot rather than a racy stripe-by-stripe sum.
+    std::vector<std::unique_lock<std::mutex>> locks = lock_all();
     std::size_t n = 0;
-    for (const Stripe& s : stripes_) {
-      std::lock_guard<std::mutex> lk(s.mu);
-      n += s.map.size();
-    }
+    for (const Stripe& s : stripes_) n += s.map.size();
     return n;
+  }
+
+  void collect_garbage() override {
+    // Nothing is deferred-freed in this backend, but the exclusive phase
+    // is the natural point to re-validate the lock-free size counters
+    // against the maps they shadow.  Same ascending-index all-stripe
+    // locking order as batch_count.
+    std::vector<std::unique_lock<std::mutex>> locks = lock_all();
+    for (Stripe& s : stripes_) {
+      JSTAR_CHECK_MSG(s.size.load(std::memory_order_relaxed) == s.map.size(),
+                      "StripedDeltaTree stripe size cache out of sync");
+      s.size.store(s.map.size(), std::memory_order_relaxed);
+    }
   }
 
   int stripe_count() const { return static_cast<int>(stripes_.size()); }
@@ -97,8 +187,33 @@ class StripedDeltaTree final : public DeltaTree {
   struct Stripe {
     mutable std::mutex mu;
     std::map<DeltaKey, std::unique_ptr<BatchNode>, DeltaKeyLess> map;
+    // Bumped under mu whenever the key set changes; lets pop_min trust
+    // its head cache across calls.  size shadows map.size() for lock-free
+    // empty().
+    std::atomic<std::uint64_t> version{0};
+    std::atomic<std::size_t> size{0};
     char pad[kCacheLine];
   };
+
+  // Coordinator-private head cache (pop_min is an exclusive phase; no
+  // synchronization needed beyond the stripe versions).
+  struct HeadCache {
+    std::uint64_t version = ~std::uint64_t{0};
+    bool nonempty = false;
+    DeltaKey head;
+  };
+
+  static void bump_version(Stripe& s) {
+    s.version.store(s.version.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_release);
+  }
+
+  std::vector<std::unique_lock<std::mutex>> lock_all() const {
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(stripes_.size());
+    for (const Stripe& s : stripes_) locks.emplace_back(s.mu);
+    return locks;
+  }
 
   static std::size_t hash_key(const DeltaKey& k) {
     std::size_t h = 0x9E3779B97F4A7C15ull;
@@ -114,7 +229,10 @@ class StripedDeltaTree final : public DeltaTree {
   }
 
   mutable std::vector<Stripe> stripes_;
-  DeltaKey best_key_;  // scratch for pop_min (coordinator-only)
+  std::vector<HeadCache> heads_;  // pop_min scratch (coordinator-only)
+  // get_or_insert_batch scratch (callers are serialized per flush; the
+  // flush itself is coordinator-only).
+  std::vector<std::ptrdiff_t> scratch_head_, scratch_tail_, scratch_next_;
 };
 
 }  // namespace jstar

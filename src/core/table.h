@@ -18,10 +18,12 @@
 // dynamically against the law of causality (§4).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -42,6 +44,7 @@
 #include "core/query_plan.h"
 #include "core/window_store.h"
 #include "core/orderby.h"
+#include "core/simd.h"
 #include "core/stats.h"
 #include "sched/fork_join_pool.h"
 #include "util/check.h"
@@ -379,6 +382,16 @@ class TableBase {
     /// env kill-switches are ANDed in downstream and win over these.
     bool simd = true;
     bool morsels = true;
+    /// Batch-at-a-time rule emission (EngineOptions::emit_buffer): rule
+    /// puts append to per-(thread, table) buffers and reach the Delta
+    /// tree in one bulk append per batch.  The JSTAR_EMIT env
+    /// kill-switch is ANDed in at configure() and wins over this.
+    bool emit_buffer = true;
+    /// Batches whose (tuples x rules) work is at or under this run their
+    /// insert/fire phases inline on the coordinator (EngineOptions::
+    /// inline_fire_cutoff); 0 restores the legacy always-dispatch
+    /// behaviour, which bench_rule_fire uses as its baseline.
+    std::int64_t inline_fire_cutoff = 16;
     /// The owning engine's epoch clock (streaming); null in unit-test
     /// harnesses that configure tables without an engine.
     const std::atomic<std::int64_t>* epoch = nullptr;
@@ -405,8 +418,24 @@ class TableBase {
     (void)current_epoch;
   }
 
+  /// COORDINATOR-ONLY, between batches (after the fire-phase join).
+  /// Drains every emit buffer rules filled during the batch into the
+  /// Delta tree as bulk appends.  No-op for tables without buffered
+  /// emissions.
+  virtual void flush_emits() {}
+
  protected:
   friend class Engine;
+
+  /// Process-unique serial for emit-buffer cache validation: the
+  /// thread-local (table -> buffer) cache keys on (address, serial), so
+  /// a destroyed table's address being reused by a new table can never
+  /// resolve to the old table's buffer.
+  static std::uint64_t next_emit_serial() {
+    static std::atomic<std::uint64_t> n{0};
+    return n.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
   std::string name_;
   int id_ = -1;
   mutable TableStats stats_;
@@ -908,6 +937,11 @@ class Table final : public TableBase {
     no_delta_ = no_delta;
     no_gamma_ = no_gamma;
     has_pk_ = static_cast<bool>(decl_.pk_) && !no_gamma;
+    // Batch-at-a-time emission: the env kill-switch is ANDed in so
+    // JSTAR_EMIT=off always wins over EngineOptions::emit_buffer.
+    // -noDelta tables bypass the Delta tree entirely, so there is
+    // nothing to buffer for them.
+    emit_enabled_ = env_.emit_buffer && simd::emit_env_on() && !no_delta;
     // Resolve orderby levels into key-building steps.  At least one
     // comparable (lit/seq) level is required: an all-par orderby would give
     // every tuple the empty timestamp, which is reserved for initial puts.
@@ -1082,7 +1116,12 @@ class Table final : public TableBase {
         keep[u] = counted_apply(bv.items[u], s);
       }
     };
-    if (env_.pool != nullptr && n > 1) {
+    // Same adaptive cutoff as the fire phase: sub-threshold batches
+    // insert inline on the coordinator instead of paying a pool
+    // round-trip per hop of a deep chain.  (Cutoff 0 keeps the legacy
+    // n > 1 dispatch threshold.)
+    if (env_.pool != nullptr &&
+        n > std::max<std::int64_t>(env_.inline_fire_cutoff, 1)) {
       env_.pool->for_each_index(n, insert_one);
     } else {
       for (std::int64_t i = 0; i < n; ++i) insert_one(i);
@@ -1094,15 +1133,30 @@ class Table final : public TableBase {
                         const DeltaKey& key) override {
     auto& bv = static_cast<BatchVec&>(slice);
     const std::int64_t n = static_cast<std::int64_t>(bv.items.size());
-    if (env_.pool != nullptr && env_.task_per_rule && rules_.size() > 1 &&
+    if (n == 0) return;
+    // Adaptive dispatch: a pool round-trip (task enqueue + worker wake +
+    // join) costs far more than firing a handful of rules, so batches
+    // whose total work (tuples x rules) sits under the cutoff run right
+    // here on the coordinator — the 1-to-few-tuple batches of deep
+    // chain workloads (dijkstra) stop paying a fork/join cycle per hop.
+    const auto rules = static_cast<std::int64_t>(rules_.size());
+    const std::int64_t work = n * std::max<std::int64_t>(1, rules);
+    const bool inline_fire =
+        env_.pool == nullptr || work <= env_.inline_fire_cutoff;
+    if (inline_fire && env_.pool != nullptr) {
+      stats_.inline_batches.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!inline_fire && env_.task_per_rule && rules > 1 &&
         !decl_.counted_) {
       // §5.2 fine-grained strategy: one task per (tuple, rule) pair.
       // Effects run in the rule-0 task so they still happen exactly once
       // per tuple.  Counted tables skip this strategy: an upsert fires
       // two cascades per item (displaced then replacement), which the
       // flat (tuple, rule) indexing cannot express — they use the
-      // per-tuple tasks below instead.
-      const auto rules = static_cast<std::int64_t>(rules_.size());
+      // per-tuple tasks below instead.  The RuleCtx is hoisted out of
+      // the inner loop: it is immutable (every accessor const), so one
+      // instance per batch is safely shared by all of its tasks.
+      RuleCtx ctx(key, id_, env_.edges, current_epoch());
       env_.pool->for_each_index(
           n * rules,
           [&](std::int64_t idx) {
@@ -1111,7 +1165,6 @@ class Table final : public TableBase {
             if (!keep[static_cast<std::size_t>(i)]) return;
             const T& t = bv.items[static_cast<std::size_t>(i)];
             if (r == 0 && decl_.effect_) decl_.effect_(t);
-            RuleCtx ctx(key, id_, env_.edges, current_epoch());
             stats_.fires.fetch_add(1, std::memory_order_relaxed);
             rules_[r].fn(ctx, t);
           },
@@ -1138,12 +1191,98 @@ class Table final : public TableBase {
           break;
       }
     };
-    if (env_.pool != nullptr && n > 1) {
-      // The paper's strategy: one fork/join task per minimal tuple (§5).
-      env_.pool->for_each_index(n, fire_one, /*grain=*/1);
+    if (!inline_fire) {
+      // The paper's all-minimums strategy (§5), morsel-grained: spans of
+      // tuples per task instead of grain=1, so huge batches (matmul
+      // rows, pvwatts hours) stop paying a task spawn per tuple while
+      // small-enough spans keep every worker fed.
+      env_.pool->for_each_index(n, fire_one, fire_grain(n));
     } else {
       for (std::int64_t i = 0; i < n; ++i) fire_one(i);
     }
+  }
+
+  void flush_emits() override {
+    if (!emit_dirty_.load(std::memory_order_relaxed)) return;
+    emit_dirty_.store(false, std::memory_order_relaxed);
+    // Gather in deterministic order: worker-slot hint, then registration
+    // order.  Sequential mode has exactly one buffer, so the gathered
+    // order is the exact put order — making the flush bit-identical to
+    // direct enqueues; in parallel mode the within-batch put order is
+    // already schedule-dependent on the direct path and the batch
+    // combining semantics (append_one) are order-insensitive.
+    std::vector<EmitBuffer*> bufs;
+    {
+      std::lock_guard<std::mutex> lk(emit_mu_);
+      bufs.reserve(emit_buffers_.size());
+      for (const auto& b : emit_buffers_) {
+        if (!b->recs.empty()) bufs.push_back(b.get());
+      }
+    }
+    if (bufs.empty()) return;
+    std::sort(bufs.begin(), bufs.end(),
+              [](const EmitBuffer* a, const EmitBuffer* b) {
+                return a->slot != b->slot ? a->slot < b->slot
+                                          : a->seq < b->seq;
+              });
+    // Index the records in place (one pointer each — the records
+    // themselves stay in their buffers until the bulk append below has
+    // consumed them; copying them out here would cost more than the
+    // direct path's per-put tree probe saved).
+    flush_ptrs_.clear();
+    std::size_t total = 0;
+    for (const EmitBuffer* b : bufs) total += b->recs.size();
+    flush_ptrs_.reserve(total);
+    // Group records by key in first-appearance order.  Grouping, not
+    // sorting: O(n) against O(n log n), and within-key order stays the
+    // gather order (sequential-mode exactness again).  Rule batches emit
+    // long runs of one causality key (a stratum derives into the next),
+    // so the previous record's group is memoized and the ordered map is
+    // only probed on key transitions.
+    flush_groups_.clear();
+    flush_next_.assign(total, -1);
+    std::map<DeltaKey, std::size_t, DeltaKeyLess> group_of;
+    std::size_t last_group = 0;
+    const DeltaKey* last_key = nullptr;
+    for (EmitBuffer* b : bufs) {
+      for (const EmitRecord& r : b->recs) {
+        const auto ii = static_cast<std::ptrdiff_t>(flush_ptrs_.size());
+        flush_ptrs_.push_back(&r);
+        if (last_key == nullptr || !(*last_key == r.key)) {
+          const auto [it, fresh] =
+              group_of.try_emplace(r.key, flush_groups_.size());
+          if (fresh) flush_groups_.push_back(EmitGroup{ii, -1, 0});
+          last_group = it->second;
+          last_key = &r.key;
+        }
+        EmitGroup& g = flush_groups_[last_group];
+        if (g.count > 0) {
+          flush_next_[static_cast<std::size_t>(g.tail)] = ii;
+        }
+        g.tail = ii;
+        ++g.count;
+      }
+    }
+    // One bulk append per distinct key: the tree resolves every node in
+    // one call (the striped backend locks each touched stripe once), and
+    // flush_visit locks each BatchNode once, reserves its slice once,
+    // and funnels the group's records through append_one — one lock and
+    // one dedup-set rehash per flush instead of one per tuple.
+    flush_keys_.clear();
+    flush_keys_.reserve(flush_groups_.size());
+    for (const EmitGroup& g : flush_groups_) {
+      flush_keys_.push_back(
+          flush_ptrs_[static_cast<std::size_t>(g.head)]->key);
+    }
+    env_.delta->get_or_insert_batch(
+        flush_keys_.data(), flush_keys_.size(),
+        [](void* self, std::size_t gi, BatchNode& node) {
+          static_cast<Table*>(self)->flush_visit(gi, node);
+        },
+        this);
+    stats_.emit_flushes.fetch_add(1, std::memory_order_relaxed);
+    flush_ptrs_.clear();
+    for (EmitBuffer* b : bufs) b->recs.clear();  // keeps capacity
   }
 
  private:
@@ -1175,6 +1314,93 @@ class Table final : public TableBase {
     std::unordered_map<T, std::size_t, HashAdapter> seen;  // tuple -> index
     std::size_t count() const override { return items.size(); }
   };
+
+  // --- batch-at-a-time emission ------------------------------------------
+
+  /// One buffered rule put: everything enqueue_delta needs, captured at
+  /// put time (the causality check already ran).
+  struct EmitRecord {
+    DeltaKey key;
+    T tuple;
+    std::int32_t sign;
+  };
+
+  /// A per-(thread, table) append-only buffer.  `slot` is the emitting
+  /// thread's worker index at registration (-1 for non-workers) and
+  /// `seq` its registration order — together the deterministic flush
+  /// order.
+  struct EmitBuffer {
+    int slot = -1;
+    std::uint64_t seq = 0;
+    std::vector<EmitRecord> recs;
+  };
+
+  /// One distinct DeltaKey's slice of a flush: a chain (head/tail into
+  /// flush_next_, indices into flush_ptrs_) over the in-place records, in
+  /// first-appearance order.  The key itself lives in the head record.
+  struct EmitGroup {
+    std::ptrdiff_t head;
+    std::ptrdiff_t tail;
+    std::size_t count;
+  };
+
+  static constexpr std::size_t kEmitCacheSlots = 8;
+
+  /// The calling thread's buffer for this table, registering one on
+  /// first use.  Keyed by (address, serial) in a small thread_local
+  /// cache: joining threads *help* — a shard coordinator can steal and
+  /// execute another engine's fire tasks — so two non-worker threads can
+  /// emit into one table concurrently, and a plain worker-index slot
+  /// array would collide them.  A cache eviction just re-registers a new
+  /// buffer; the orphan keeps being flushed and merely stops growing.
+  EmitBuffer& local_emit_buffer() {
+    struct CacheEntry {
+      const void* table = nullptr;
+      std::uint64_t serial = 0;
+      EmitBuffer* buf = nullptr;
+    };
+    thread_local CacheEntry cache[kEmitCacheSlots];
+    thread_local std::size_t evict = 0;
+    for (CacheEntry& e : cache) {
+      if (e.table == this && e.serial == emit_serial_) return *e.buf;
+    }
+    auto owned = std::make_unique<EmitBuffer>();
+    owned->slot = sched::ForkJoinPool::current_worker_index();
+    EmitBuffer* buf = owned.get();
+    {
+      std::lock_guard<std::mutex> lk(emit_mu_);
+      owned->seq = emit_buffers_.size();
+      emit_buffers_.push_back(std::move(owned));
+    }
+    cache[evict] = CacheEntry{this, emit_serial_, buf};
+    evict = (evict + 1) % kEmitCacheSlots;
+    return *buf;
+  }
+
+  /// Appends one flush group into its (bulk-resolved) BatchNode.
+  void flush_visit(std::size_t gi, BatchNode& node) {
+    const EmitGroup& g = flush_groups_[gi];
+    std::lock_guard<std::mutex> lk(node.mu);
+    BatchVec& bv = slice_of(node);
+    bv.items.reserve(bv.items.size() + g.count);
+    bv.sign.reserve(bv.sign.size() + g.count);
+    bv.seen.reserve(bv.seen.size() + g.count);
+    for (std::ptrdiff_t i = g.head; i >= 0;
+         i = flush_next_[static_cast<std::size_t>(i)]) {
+      const EmitRecord& r = *flush_ptrs_[static_cast<std::size_t>(i)];
+      append_one(bv, r.tuple, r.sign);
+    }
+  }
+
+  /// Morsel-span sizing for the fire loop (the jstar::morsel idiom):
+  /// ~8 spans per worker like for_each_index's auto grain, capped at one
+  /// morsel of rows so enormous batches still yield stealable spans.
+  std::int64_t fire_grain(std::int64_t n) const {
+    const auto p = static_cast<std::int64_t>(env_.pool->size());
+    const std::int64_t span = std::max<std::int64_t>(1, n / (p * 8));
+    return std::min<std::int64_t>(span,
+                                  static_cast<std::int64_t>(morsel::kRows));
+  }
 
   struct KeyStep {
     bool is_lit;
@@ -1297,6 +1523,15 @@ class Table final : public TableBase {
       // Counted tables reject -noDelta at configure time, so only +1
       // deltas can reach the inline path.
       deliver_now(k, t);
+    } else if (emit_enabled_) {
+      // Batch-at-a-time emission: the causality check above ran eagerly
+      // (same throw point as the direct path), but the Delta tree is not
+      // touched here — the record lands in this thread's private buffer
+      // and reaches the tree in one bulk append at flush_emits().
+      EmitBuffer& buf = local_emit_buffer();
+      buf.recs.push_back(EmitRecord{std::move(k), t, sign});
+      emit_dirty_.store(true, std::memory_order_relaxed);
+      stats_.emit_buffered.fetch_add(1, std::memory_order_relaxed);
     } else {
       enqueue_delta(k, t, sign);
     }
@@ -1314,12 +1549,27 @@ class Table final : public TableBase {
   void enqueue_delta(const DeltaKey& k, const T& t, std::int32_t sign = 1) {
     BatchNode& node = env_.delta->get_or_insert(k);
     std::lock_guard<std::mutex> lk(node.mu);
+    append_one(slice_of(node), t, sign);
+  }
+
+  /// This table's slice of `node` (node.mu held by the caller), created
+  /// lazily.  Shared by the per-tuple enqueue and the bulk emit flush.
+  BatchVec& slice_of(BatchNode& node) {
     if (node.per_table.size() <= static_cast<std::size_t>(id_)) {
       node.per_table.resize(static_cast<std::size_t>(id_) + 1);
     }
     auto& slot = node.per_table[static_cast<std::size_t>(id_)];
     if (!slot) slot = std::make_unique<BatchVec>(this);
-    auto& bv = static_cast<BatchVec&>(*slot);
+    return static_cast<BatchVec&>(*slot);
+  }
+
+  /// Appends one signed tuple into slice `bv` (node.mu held by the
+  /// caller): set-semantics dedup for plain tables, signed multiplicity
+  /// accumulation and upsert supersede for counted ones.  The single
+  /// definition of batch-combining semantics — the direct put path and
+  /// the emit flush both land here, which is what makes them
+  /// bit-identical.
+  void append_one(BatchVec& bv, const T& t, std::int32_t sign) {
     const auto [it, fresh] = bv.seen.emplace(t, bv.items.size());
     if (fresh) {
       bv.items.push_back(t);
@@ -1868,6 +2118,17 @@ class Table final : public TableBase {
   // Primary-key index: one of these is active depending on strategy.
   std::unordered_map<std::int64_t, T> pk_index_seq_;
   mutable concurrent::StripedHashMap<std::int64_t, T> pk_index_par_{64};
+  // --- batch-at-a-time emission state ---
+  bool emit_enabled_ = false;  // configure(): option AND env AND !noDelta
+  const std::uint64_t emit_serial_ = next_emit_serial();
+  std::atomic<bool> emit_dirty_{false};  // any record buffered since flush
+  std::mutex emit_mu_;  // guards emit_buffers_ registration
+  std::vector<std::unique_ptr<EmitBuffer>> emit_buffers_;
+  // flush_emits scratch (coordinator-only), reused across batches.
+  std::vector<const EmitRecord*> flush_ptrs_;
+  std::vector<std::ptrdiff_t> flush_next_;
+  std::vector<EmitGroup> flush_groups_;
+  std::vector<DeltaKey> flush_keys_;
 };
 
 }  // namespace jstar

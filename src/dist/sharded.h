@@ -187,6 +187,11 @@ struct ShardedRunReport {
   std::int64_t local_messages = 0;  // self-sends routed through the mailbox
   std::int64_t local_batches = 0;   // Delta batches summed over all shards
   std::int64_t local_tuples = 0;    // tuples taken out of Delta, all shards
+  // Batch-at-a-time emission summed over the shards' inner engines
+  // (RunReport emit_flushes/emit_buffered/inline_batches roll-up).
+  std::int64_t emit_flushes = 0;
+  std::int64_t emit_buffered = 0;
+  std::int64_t inline_batches = 0;
   double seconds = 0.0;
   std::vector<ShardStats> shard_stats;  // one entry per shard
 };
@@ -221,6 +226,11 @@ struct ClusterQueryStats {
   std::int64_t annihilated = 0;
   std::int64_t upserts = 0;
   std::int64_t upsert_replaced = 0;
+  // Batch-at-a-time rule firing across the cluster (each shard's inner
+  // engine buffers its rule emissions and bulk-appends per batch).
+  std::int64_t emit_flushes = 0;
+  std::int64_t emit_buffered = 0;
+  std::int64_t inline_batches = 0;
 };
 
 template <typename T>
@@ -456,6 +466,11 @@ class ShardedEngine {
         out.upserts += s.upserts.load(std::memory_order_relaxed);
         out.upsert_replaced +=
             s.upsert_replaced.load(std::memory_order_relaxed);
+        out.emit_flushes += s.emit_flushes.load(std::memory_order_relaxed);
+        out.emit_buffered +=
+            s.emit_buffered.load(std::memory_order_relaxed);
+        out.inline_batches +=
+            s.inline_batches.load(std::memory_order_relaxed);
       }
     }
     return out;
@@ -541,6 +556,9 @@ class ShardedEngine {
     const RunReport r = engines_[s]->run();
     shard_batches_[s] += r.batches;
     shard_tuples_[s] += r.tuples;
+    shard_emit_flushes_[s] += r.emit_flushes;
+    shard_emit_buffered_[s] += r.emit_buffered;
+    shard_inline_batches_[s] += r.inline_batches;
     st.busy_seconds += busy.seconds();
   }
 
@@ -559,6 +577,9 @@ class ShardedEngine {
       report.epochs += report.shard_stats[s].drains;
       report.local_batches += shard_batches_[s];
       report.local_tuples += shard_tuples_[s];
+      report.emit_flushes += shard_emit_flushes_[s];
+      report.emit_buffered += shard_emit_buffered_[s];
+      report.inline_batches += shard_inline_batches_[s];
     }
   }
 
@@ -858,6 +879,9 @@ class ShardedEngine {
   void reset_run_state() {
     shard_batches_.assign(static_cast<std::size_t>(shards_), 0);
     shard_tuples_.assign(static_cast<std::size_t>(shards_), 0);
+    shard_emit_flushes_.assign(static_cast<std::size_t>(shards_), 0);
+    shard_emit_buffered_.assign(static_cast<std::size_t>(shards_), 0);
+    shard_inline_batches_.assign(static_cast<std::size_t>(shards_), 0);
   }
 
   const int shards_;
@@ -873,6 +897,9 @@ class ShardedEngine {
   // one thread during a run, folded into the report afterwards).
   std::vector<std::int64_t> shard_batches_;
   std::vector<std::int64_t> shard_tuples_;
+  std::vector<std::int64_t> shard_emit_flushes_;
+  std::vector<std::int64_t> shard_emit_buffered_;
+  std::vector<std::int64_t> shard_inline_batches_;
 
   // Async-run state.
   std::atomic<std::int64_t> unprocessed_{0};

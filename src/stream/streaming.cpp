@@ -14,6 +14,9 @@ void StreamReport::absorb(const EpochStats& e) {
   mail_epochs += e.mail_epochs;
   gamma_retired += e.gamma_retired;
   index_retired += e.index_retired;
+  emit_buffered += e.emit_buffered;
+  emit_flushes += e.emit_flushes;
+  inline_batches += e.inline_batches;
   max_epoch_ingested = std::max(max_epoch_ingested, e.ingested);
   busy_seconds += e.seconds;
 }

@@ -99,6 +99,9 @@ struct EpochStats {
   std::int64_t mail_epochs = 0;
   std::int64_t gamma_retired = 0;  ///< retain(N) tuples GC'd at epoch open
   std::int64_t index_retired = 0;  ///< secondary-index entries swept with them
+  std::int64_t emit_buffered = 0;  ///< rule puts routed via emit buffers
+  std::int64_t emit_flushes = 0;   ///< bulk Delta flushes of the fixpoint
+  std::int64_t inline_batches = 0; ///< fire phases run on the coordinator
   double seconds = 0.0;       ///< deliver + run wall time
 };
 
@@ -112,6 +115,9 @@ struct StreamReport {
   std::int64_t mail_epochs = 0;  ///< cumulative cluster drain epochs
   std::int64_t gamma_retired = 0;  ///< cumulative retain(N) GC volume
   std::int64_t index_retired = 0;  ///< cumulative index entries swept
+  std::int64_t emit_buffered = 0;  ///< cumulative buffered rule puts
+  std::int64_t emit_flushes = 0;   ///< cumulative bulk Delta flushes
+  std::int64_t inline_batches = 0; ///< cumulative coordinator-inline fires
   std::int64_t max_epoch_ingested = 0;
   std::int64_t epoch_log_dropped = 0;  ///< per-epoch entries aged out
   double busy_seconds = 0.0;
@@ -410,6 +416,9 @@ class StreamBase {
       es.mail_epochs = run.mail_epochs;
       es.gamma_retired = run.gamma_retired;
       es.index_retired = run.index_retired;
+      es.emit_buffered = run.emit_buffered;
+      es.emit_flushes = run.emit_flushes;
+      es.inline_batches = run.inline_batches;
       es.seconds = timer.seconds();
       {
         std::lock_guard<std::mutex> lk(mu_);
@@ -545,6 +554,9 @@ class StreamingEngine final
     es.tuples = r.tuples;
     es.gamma_retired = epoch_gamma_retired_;
     es.index_retired = epoch_index_retired_;
+    es.emit_buffered = r.emit_buffered;
+    es.emit_flushes = r.emit_flushes;
+    es.inline_batches = r.inline_batches;
     return es;
   }
 
@@ -659,6 +671,9 @@ class ShardedStreamingEngine final
     es.mail_epochs = r.epochs;
     es.gamma_retired = epoch_gamma_retired_;
     es.index_retired = epoch_index_retired_;
+    es.emit_buffered = r.emit_buffered;
+    es.emit_flushes = r.emit_flushes;
+    es.inline_batches = r.inline_batches;
     return es;
   }
 

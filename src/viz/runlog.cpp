@@ -63,6 +63,9 @@ json::Value table_to_json(const TableLog& t) {
       {"annihilated", t.annihilated},
       {"upserts", t.upserts},
       {"upsert_replaced", t.upsert_replaced},
+      {"emit_flushes", t.emit_flushes},
+      {"emit_buffered", t.emit_buffered},
+      {"inline_batches", t.inline_batches},
       {"rules", std::move(rules)},
   };
 }
@@ -102,6 +105,9 @@ TableLog table_from_json(const json::Value& v) {
   t.annihilated = v.at("annihilated").as_int();
   t.upserts = v.at("upserts").as_int();
   t.upsert_replaced = v.at("upsert_replaced").as_int();
+  t.emit_flushes = v.at("emit_flushes").as_int();
+  t.emit_buffered = v.at("emit_buffered").as_int();
+  t.inline_batches = v.at("inline_batches").as_int();
   for (const json::Value& r : v.at("rules").as_array()) {
     t.rules.push_back(r.as_string());
   }
@@ -154,6 +160,9 @@ RunLog capture(const Engine& engine, const std::string& program,
     tl.annihilated = s.annihilated.load();
     tl.upserts = s.upserts.load();
     tl.upsert_replaced = s.upsert_replaced.load();
+    tl.emit_flushes = s.emit_flushes.load();
+    tl.emit_buffered = s.emit_buffered.load();
+    tl.inline_batches = s.inline_batches.load();
     tl.rules = t->rule_names();
     log.tables.push_back(std::move(tl));
   }
@@ -268,6 +277,12 @@ std::string dot_graph(const RunLog& log) {
     if (t.morsel_runs > 0) {
       os << "morsels=" << t.morsel_splits << " over " << t.morsel_runs
          << " runs\\l";
+    }
+    // Batch-at-a-time emission, shown only for tables that buffered or
+    // fired inline at least once (keeps direct-put graphs unchanged).
+    if (t.emit_buffered + t.inline_batches > 0) {
+      os << "emitted=" << t.emit_buffered << " flushes=" << t.emit_flushes
+         << " inline=" << t.inline_batches << "\\l";
     }
     os << "}\"";
     if (t.fires > 0 && t.fires >= hot) os << ", color=red, penwidth=2";

@@ -65,6 +65,10 @@ struct TableLog {
   std::int64_t annihilated = 0;
   std::int64_t upserts = 0;
   std::int64_t upsert_replaced = 0;
+  // Batch-at-a-time rule firing (emit buffers + adaptive fire phase).
+  std::int64_t emit_flushes = 0;
+  std::int64_t emit_buffered = 0;
+  std::int64_t inline_batches = 0;
   std::vector<std::string> rules;
 
   /// Fraction of tuples a routed plan examined that survived the residual

@@ -238,10 +238,12 @@ inline std::set<Tok> sharded_fixpoint(const Program& p, int shards,
                                           nullptr,
                                       StoreKind store = StoreKind::Default,
                                       const dist::ShardedOptions* fabric =
-                                          nullptr) {
+                                          nullptr,
+                                      bool emit_buffer = true) {
   EngineOptions opts;
   opts.sequential = sequential_engines;
   opts.threads = 2;
+  opts.emit_buffer = emit_buffer;
   dist::ShardedOptions sopts;
   if (fabric != nullptr) sopts = *fabric;
   sopts.mode = mode;
@@ -437,10 +439,12 @@ inline std::set<Tok> counted_sharded_fixpoint(const CountedCase& c,
                                                   StoreKind::Default,
                                               std::int64_t retain = 0,
                                               bool epoch_per_wave = false,
-                                              bool with_pk = false) {
+                                              bool with_pk = false,
+                                              bool emit_buffer = true) {
   EngineOptions opts;
   opts.sequential = sequential_engines;
   opts.threads = 2;
+  opts.emit_buffer = emit_buffer;
   dist::ShardedOptions sopts;
   sopts.mode = mode;
 

@@ -186,7 +186,11 @@ TEST_P(PvWattsDisruptorMp, SortedInputMatchesReference) {
 INSTANTIATE_TEST_SUITE_P(Producers, PvWattsDisruptorMp,
                          ::testing::Values(1, 2, 4),
                          [](const auto& info) {
-                           return "p" + std::to_string(info.param);
+                           // Append, not operator+: GCC 12 -Wrestrict
+                           // false positive on char* + string&&.
+                           std::string n = "p";
+                           n += std::to_string(info.param);
+                           return n;
                          });
 
 // §6.2 incremental-reducer optimisation: same answer, zero stored tuples.

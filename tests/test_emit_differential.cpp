@@ -1,0 +1,271 @@
+// Differential sweep for batch-at-a-time rule firing (emit buffers): the
+// buffered emit path — RuleCtx puts staged in per-worker buffers and bulk
+// flushed into the Delta tree once per fire phase — must be bit-identical
+// to direct per-put Delta appends under every schedule.  Buffered runs are
+// pinned against direct-put runs (EngineOptions::emit_buffer = false) and
+// the engine-free oracle across sequential / BSP / async sharding, the
+// default / flat / columnar substrates, counted retract/upsert waves and
+// streaming-style epoch boundaries, at 1/2/4/8 workers.
+//
+// Why this must hold: append_one (core/table.h) is the single definition
+// of batch-combining semantics — dedup, counted sign accumulation, upsert
+// supersede — and the flush replays the exact same records through it,
+// grouped by key in first-appearance order.  Any divergence here means the
+// flush reordered, dropped or double-applied a record.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/simd.h"
+#include "differential.h"
+
+namespace jstar::difftest {
+namespace {
+
+constexpr const char* kExe = "test_emit_differential";
+
+// --- set-semantics derivation programs -------------------------------------
+
+// Sequential mode is the strictest pin: one worker, one buffer, so the
+// flush must preserve the exact put order of the direct path.
+TEST(EmitDifferential, SequentialBufferedMatchesDirectEveryStore) {
+  const std::uint64_t n = seed_count();
+  const std::uint64_t base = seed_base();
+  for (std::uint64_t seed = base; seed < base + n; ++seed) {
+    const Program p = random_program(seed);
+    const std::set<Tok> want = oracle_fixpoint(p);
+    for (const StoreKind store :
+         {StoreKind::Default, StoreKind::FlatOrdered, StoreKind::Columnar}) {
+      EngineOptions direct;
+      direct.sequential = true;
+      direct.emit_buffer = false;
+      EngineOptions buffered;
+      buffered.sequential = true;
+      buffered.emit_buffer = true;
+      const std::set<Tok> got_direct = single_engine_fixpoint(p, direct, store);
+      const std::set<Tok> got_buffered =
+          single_engine_fixpoint(p, buffered, store);
+      EXPECT_EQ(got_direct, want)
+          << to_string(store) << " direct diverged from oracle, "
+          << repro(seed, kExe, "EmitDifferential.*EveryStore");
+      EXPECT_EQ(got_buffered, got_direct)
+          << to_string(store) << " buffered diverged from direct, "
+          << repro(seed, kExe, "EmitDifferential.*EveryStore");
+    }
+  }
+}
+
+// The headline acceptance gate: buffered results are bit-identical at any
+// worker count, including the striped-Delta backend whose bulk-append and
+// pop_min head cache this PR introduced.
+TEST(EmitDifferential, BufferedBitIdenticalAcrossWorkerCounts) {
+  const std::uint64_t n = seed_count();
+  const std::uint64_t base = seed_base();
+  for (std::uint64_t seed = base; seed < base + n; ++seed) {
+    const Program p = random_program(seed);
+    const std::set<Tok> want = oracle_fixpoint(p);
+    for (const int threads : {1, 2, 4, 8}) {
+      EngineOptions opts;
+      opts.sequential = false;
+      opts.threads = threads;
+      opts.emit_buffer = true;
+      if (threads == 4) opts.delta_stripes = 8;  // striped bulk appends
+      EXPECT_EQ(single_engine_fixpoint(p, opts), want)
+          << threads << " workers, "
+          << repro(seed, kExe, "EmitDifferential.*WorkerCounts");
+    }
+  }
+}
+
+// task_per_rule spawns one task per (tuple, rule); its puts ride the same
+// thread-local buffers and must flush to the same fixpoint.
+TEST(EmitDifferential, BufferedTaskPerRule) {
+  const std::uint64_t n = seed_count();
+  const std::uint64_t base = seed_base();
+  for (std::uint64_t seed = base; seed < base + n; ++seed) {
+    const Program p = random_small_program(seed);  // rules = 2
+    const std::set<Tok> want = oracle_fixpoint(p);
+    EngineOptions opts;
+    opts.sequential = false;
+    opts.threads = 4;
+    opts.task_per_rule = true;
+    opts.emit_buffer = true;
+    EXPECT_EQ(single_engine_fixpoint(p, opts), want)
+        << repro(seed, kExe, "EmitDifferential.BufferedTaskPerRule");
+  }
+}
+
+// Sharded schedules: buffered emit runs inside every shard engine while
+// cross-shard traffic rides the mailbox; BSP and async must both land on
+// the direct-put fixpoint.
+TEST(EmitDifferential, ShardedBufferedMatchesDirect) {
+  const std::uint64_t n = seed_count();
+  const std::uint64_t base = seed_base();
+  for (std::uint64_t seed = base; seed < base + n; ++seed) {
+    const Program p = random_program(seed);
+    const std::set<Tok> want = oracle_fixpoint(p);
+    for (const dist::ShardedMode mode :
+         {dist::ShardedMode::Bsp, dist::ShardedMode::Async}) {
+      const std::set<Tok> direct = sharded_fixpoint(
+          p, /*shards=*/3, mode, /*sequential_engines=*/false, nullptr,
+          StoreKind::Default, nullptr, /*emit_buffer=*/false);
+      const std::set<Tok> buffered = sharded_fixpoint(
+          p, /*shards=*/3, mode, /*sequential_engines=*/false, nullptr,
+          StoreKind::Default, nullptr, /*emit_buffer=*/true);
+      EXPECT_EQ(direct, want)
+          << repro(seed, kExe, "EmitDifferential.ShardedBufferedMatchesDirect");
+      EXPECT_EQ(buffered, direct)
+          << (mode == dist::ShardedMode::Bsp ? "bsp" : "async") << ", "
+          << repro(seed, kExe, "EmitDifferential.ShardedBufferedMatchesDirect");
+    }
+  }
+}
+
+// --- counted (multiset) schedules ------------------------------------------
+
+// Retract-heavy waves: sign accumulation happens inside the flush's
+// append_one replay, so counted annihilation must survive buffering under
+// every mode and substrate.
+TEST(EmitDifferential, CountedRetractWavesBuffered) {
+  const std::uint64_t n = seed_count();
+  const std::uint64_t base = seed_base();
+  for (std::uint64_t seed = base; seed < base + n; ++seed) {
+    const CountedCase c = make_delete_heavy_case(seed);
+    const std::set<Tok> want = counted_oracle(c);
+    for (const StoreKind store : {StoreKind::Default, StoreKind::Columnar}) {
+      EngineOptions par;
+      par.sequential = false;
+      par.threads = 4;
+      par.emit_buffer = true;
+      EXPECT_EQ(counted_single_fixpoint(c, par, store), want)
+          << to_string(store) << " parallel buffered, "
+          << repro(seed, kExe, "EmitDifferential.CountedRetractWavesBuffered");
+    }
+    for (const dist::ShardedMode mode :
+         {dist::ShardedMode::Bsp, dist::ShardedMode::Async}) {
+      EXPECT_EQ(counted_sharded_fixpoint(
+                    c, /*shards=*/3, mode, /*sequential_engines=*/false,
+                    StoreKind::Default, /*retain=*/0, /*epoch_per_wave=*/false,
+                    /*with_pk=*/false, /*emit_buffer=*/true),
+                want)
+          << (mode == dist::ShardedMode::Bsp ? "bsp" : "async") << ", "
+          << repro(seed, kExe, "EmitDifferential.CountedRetractWavesBuffered");
+    }
+  }
+}
+
+// Upsert-heavy keyed waves: the kUpsertSign supersede must flush exactly
+// like the direct path (last overwrite per quiescence interval wins).
+TEST(EmitDifferential, UpsertWavesBuffered) {
+  const std::uint64_t n = seed_count();
+  const std::uint64_t base = seed_base();
+  for (std::uint64_t seed = base; seed < base + n; ++seed) {
+    const CountedCase c = make_upsert_heavy_case(seed);
+    EngineOptions direct;
+    direct.sequential = true;
+    direct.emit_buffer = false;
+    EngineOptions buffered;
+    buffered.sequential = false;
+    buffered.threads = 4;
+    buffered.emit_buffer = true;
+    EXPECT_EQ(upsert_single_fixpoint(c, buffered),
+              upsert_single_fixpoint(c, direct))
+        << repro(seed, kExe, "EmitDifferential.UpsertWavesBuffered");
+  }
+}
+
+// Streaming-style epochs: begin_epoch() + retain(N) GC between waves, so
+// flushes interleave with epoch boundaries and tuple retirement.
+TEST(EmitDifferential, EpochWavesWithRetainBuffered) {
+  const std::uint64_t n = seed_count();
+  const std::uint64_t base = seed_base();
+  for (std::uint64_t seed = base; seed < base + n; ++seed) {
+    const CountedCase c = make_delete_heavy_case(seed);
+    EngineOptions direct;
+    direct.sequential = true;
+    direct.emit_buffer = false;
+    EngineOptions buffered;
+    buffered.sequential = false;
+    buffered.threads = 4;
+    buffered.emit_buffer = true;
+    const std::set<Tok> want = counted_single_fixpoint(
+        c, direct, StoreKind::Default, /*retain=*/2, /*epoch_per_wave=*/true);
+    EXPECT_EQ(counted_single_fixpoint(c, buffered, StoreKind::Default,
+                                      /*retain=*/2, /*epoch_per_wave=*/true),
+              want)
+        << repro(seed, kExe, "EmitDifferential.EpochWavesWithRetainBuffered");
+  }
+}
+
+// --- emit mechanics --------------------------------------------------------
+
+// The buffered path actually engages (and surfaces its counters through
+// RunReport), and the EngineOptions kill-switch routes puts back to the
+// direct path.  The JSTAR_EMIT=off env lane is exercised by the CI
+// forced-scalar job, which runs this whole binary with buffering disabled
+// — in that lane the buffered-run counters legitimately read zero.
+TEST(EmitMechanics, CountersSurfaceAndKillSwitchWorks) {
+  struct Hop {
+    std::int64_t n;
+    auto operator<=>(const Hop&) const = default;
+  };
+  const bool env_on = simd::emit_env_on();
+  for (const bool emit : {true, false}) {
+    EngineOptions opts;
+    opts.sequential = false;
+    opts.threads = 2;
+    opts.emit_buffer = emit;
+    Engine eng(opts);
+    auto& hop = eng.table(TableDecl<Hop>("Hop")
+                              .orderby_lit("T")
+                              .orderby_seq("n", &Hop::n)
+                              .hash([](const Hop& h) {
+                                return hash_fields(h.n);
+                              }));
+    // 64 independent chains of 201 tuples each (seed i*1000 walks to
+    // i*1000 + 200), so fire phases have real width and real emit volume.
+    eng.rule(hop, "step", [&](RuleCtx& ctx, const Hop& h) {
+      if (h.n % 1000 < 200) hop.put(ctx, Hop{h.n + 1});
+    });
+    for (std::int64_t i = 0; i < 64; ++i) eng.put(hop, Hop{i * 1000});
+    const RunReport r = eng.run();
+    EXPECT_EQ(hop.gamma_size(), 64u * 201u) << "emit=" << emit;
+    if (emit && env_on) {
+      EXPECT_GT(r.emit_buffered, 0);
+      EXPECT_GT(r.emit_flushes, 0);
+    } else {
+      EXPECT_EQ(r.emit_buffered, 0) << "emit=" << emit;
+      EXPECT_EQ(r.emit_flushes, 0) << "emit=" << emit;
+    }
+  }
+}
+
+// Puts issued through a hand-built RuleCtx between runs (the low-level
+// escape hatch) land in buffers with no fire phase behind them; the next
+// run() must flush the stragglers before its first pop.
+TEST(EmitMechanics, StragglerBufferFlushedAtNextRun) {
+  struct Ev {
+    std::int64_t n;
+    auto operator<=>(const Ev&) const = default;
+  };
+  EngineOptions opts;
+  opts.sequential = true;
+  opts.emit_buffer = true;
+  Engine eng(opts);
+  auto& ev = eng.table(TableDecl<Ev>("Ev")
+                           .orderby_lit("T")
+                           .orderby_seq("n", &Ev::n)
+                           .hash([](const Ev& e) { return hash_fields(e.n); }));
+  eng.put(ev, Ev{1});
+  eng.run();
+  EXPECT_EQ(ev.gamma_size(), 1u);
+  // An empty `now` marks an initial put, so this lands in the emit buffer
+  // with no process_batch (and no end-of-batch flush) behind it.
+  RuleCtx ctx(DeltaKey{}, /*from_table=*/-1, /*edges=*/nullptr);
+  ev.put(ctx, Ev{2});
+  eng.run();
+  EXPECT_EQ(ev.gamma_size(), 2u);
+}
+
+}  // namespace
+}  // namespace jstar::difftest

@@ -34,6 +34,7 @@ struct Strategy {
   std::string label;
   bool task_per_rule = false;  // §5.2 one task per (tuple, rule)
   int delta_stripes = 0;       // lock-striped Delta backend (>= 1)
+  bool emit_buffer = true;     // batch-at-a-time emission (core/table.h)
 };
 
 std::ostream& operator<<(std::ostream& os, const Strategy& s) {
@@ -54,6 +55,7 @@ ProgramOutput run_program(const Strategy& strat) {
   opts.threads = strat.threads;
   opts.task_per_rule = strat.task_per_rule;
   opts.delta_stripes = strat.delta_stripes;
+  opts.emit_buffer = strat.emit_buffer;
   if (strat.no_delta_step) opts.no_delta.insert("Step");
   Engine eng(opts);
 
@@ -123,7 +125,16 @@ INSTANTIATE_TEST_SUITE_P(
         Strategy{false, 2, false, "parallel2_taskPerRule", true},
         Strategy{false, 4, false, "parallel4_taskPerRule", true},
         Strategy{false, 4, false, "parallel4_stripedDelta1", false, 1},
-        Strategy{false, 4, false, "parallel4_stripedDelta8", false, 8}),
+        Strategy{false, 4, false, "parallel4_stripedDelta8", false, 8},
+        // Direct per-put Delta appends (emit buffering off) must produce
+        // the same database as the buffered default, under both firing
+        // strategies and with the striped backend's bulk-append disabled.
+        Strategy{true, 1, false, "sequential_directEmit", false, 0, false},
+        Strategy{false, 4, false, "parallel4_directEmit", false, 0, false},
+        Strategy{false, 4, false, "parallel4_taskPerRule_directEmit", true, 0,
+                 false},
+        Strategy{false, 4, false, "parallel4_stripedDelta8_directEmit", false,
+                 8, false}),
     [](const auto& info) { return info.param.label; });
 
 // §5.2: with task_per_rule every rule of a multi-rule table fires in its
@@ -160,6 +171,51 @@ TEST(TaskPerRule, FiresEveryRuleOncePerTupleWithSingleEffect) {
     EXPECT_EQ(rule_b.load(), kN) << "task_per_rule=" << per_rule;
     EXPECT_EQ(rule_c.load(), kN) << "task_per_rule=" << per_rule;
     EXPECT_EQ(item.stats().fires.load(), 3 * kN);
+  }
+}
+
+// stats.fires counts rule *invocations* — one per (tuple, rule) pair —
+// identically under every firing strategy: the per-tuple path (which runs
+// all rules of a tuple in one task), task_per_rule (one task per rule),
+// and the inline small-batch fast path all bump it the same way.  This
+// pins the unified accounting so a strategy change can never be mistaken
+// for a workload change in run logs.
+TEST(FiresAccounting, InvocationCountIndependentOfStrategy) {
+  struct Item {
+    std::int64_t id;
+    auto operator<=>(const Item&) const = default;
+  };
+  // A literal-only orderby puts all kN tuples in ONE batch, so the fire
+  // phase's work (kN x kRules) is far above the inline cutoff and the
+  // parallel strategies genuinely split it across pool tasks.
+  constexpr int kN = 300;
+  constexpr int kRules = 3;
+  std::int64_t reference = -1;
+  for (const bool sequential : {true, false}) {
+    for (const bool per_rule : {false, true}) {
+      if (sequential && per_rule) continue;  // task_per_rule needs a pool
+      EngineOptions opts;
+      opts.sequential = sequential;
+      opts.threads = 4;
+      opts.task_per_rule = per_rule;
+      Engine eng(opts);
+      auto& item = eng.table(
+          TableDecl<Item>("Item")
+              .orderby_lit("T")
+              .hash([](const Item& i) { return hash_fields(i.id); }));
+      for (int r = 0; r < kRules; ++r) {
+        eng.rule(item, "r" + std::to_string(r),
+                 [](RuleCtx&, const Item&) {});
+      }
+      for (int i = 0; i < kN; ++i) eng.put(item, Item{i});
+      eng.run();
+      const std::int64_t fires = item.stats().fires.load();
+      EXPECT_EQ(fires, static_cast<std::int64_t>(kN) * kRules)
+          << "sequential=" << sequential << " task_per_rule=" << per_rule;
+      if (reference < 0) reference = fires;
+      EXPECT_EQ(fires, reference)
+          << "sequential=" << sequential << " task_per_rule=" << per_rule;
+    }
   }
 }
 

@@ -103,7 +103,13 @@ TEST(OrderResolver, RanksOnRandomDagsAreValidTopologicalOrders) {
     // Random DAG: edges only from lower to higher index (acyclic by
     // construction), then registered under shuffled names.
     std::vector<std::string> names;
-    for (int i = 0; i < kN; ++i) names.push_back("L" + std::to_string(i));
+    // Built by append rather than operator+ to sidestep the GCC 12
+    // -Wrestrict false positive on char* + string&& (PR 105651).
+    for (int i = 0; i < kN; ++i) {
+      std::string n = "L";
+      n += std::to_string(i);
+      names.push_back(std::move(n));
+    }
     std::uniform_int_distribution<int> pick(0, kN - 1);
     for (int e = 0; e < 18; ++e) {
       int a = pick(rng), b = pick(rng);
